@@ -1,0 +1,63 @@
+//! # ec-baselines — the comparison methods of Section 8.1
+//!
+//! * [`single_groups`] — the `Single` baseline: every candidate replacement is
+//!   a group of its own, ranked by how many cells it was generated from, so a
+//!   human confirming `k` "groups" confirms `k` individual value pairs.
+//! * [`wrangler`] — a Trifacta-style rule engine: a small set of declarative
+//!   rewrite rules that a skilled user could write in about an hour, applied
+//!   globally to every cell of a column. The per-dataset rule sets in
+//!   [`wrangler::rule_sets`] play the role of the 30–40 lines of wrangler code
+//!   the paper's user wrote.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod wrangler;
+
+use ec_grouping::Group;
+use ec_replace::CandidateSet;
+
+/// The `Single` baseline: one group per candidate replacement, ordered by the
+/// number of cells the replacement was generated from (most profitable first),
+/// with ties broken lexicographically for determinism.
+pub fn single_groups(candidates: &CandidateSet) -> Vec<Group> {
+    let mut groups: Vec<(usize, Group)> = candidates
+        .replacements
+        .iter()
+        .map(|r| (candidates.set(r).len(), Group::singleton(r.clone())))
+        .collect();
+    groups.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then_with(|| a.1.members().first().cmp(&b.1.members().first()))
+    });
+    groups.into_iter().map(|(_, g)| g).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_replace::{generate_candidates, CandidateConfig};
+
+    #[test]
+    fn single_groups_are_all_singletons_ordered_by_support() {
+        let clusters = vec![
+            vec!["Street".to_string(), "St".to_string()],
+            vec!["Street".to_string(), "St".to_string()],
+            vec!["Avenue".to_string(), "Ave".to_string()],
+        ];
+        let candidates = generate_candidates(&clusters, &CandidateConfig::full_value_only());
+        let groups = single_groups(&candidates);
+        assert_eq!(groups.len(), candidates.len());
+        assert!(groups.iter().all(|g| g.size() == 1));
+        // Street<->St replacements are supported by two cells, Avenue<->Ave by one.
+        assert!(groups[0].members()[0].lhs().contains("St"));
+        assert_eq!(candidates.set(&groups[0].members()[0]).len(), 2);
+        assert_eq!(candidates.set(&groups.last().unwrap().members()[0]).len(), 1);
+    }
+
+    #[test]
+    fn empty_candidates_give_no_groups() {
+        let candidates = generate_candidates(&[], &CandidateConfig::default());
+        assert!(single_groups(&candidates).is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! A Trifacta-style rule-wrangling engine.
+//!
+//! The paper's baseline asked a skilled user to spend an hour writing 30–40
+//! lines of wrangler code (regex replaces, substring extraction) per dataset
+//! and applied them globally. This module provides the equivalent: a small
+//! declarative rule language ([`Rule`]) whose rules rewrite whole cell values,
+//! plus hand-written [`rule_sets`] for the three datasets covering the common
+//! transformation families (and, like the paper's user, only a fraction of the
+//! long tail).
+
+use serde::{Deserialize, Serialize};
+
+/// One wrangling rule, applied to a whole cell value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rule {
+    /// Replace every whole-token occurrence of `from` with `to`
+    /// (`REPLACE on: '{from}' with: '{to}'`).
+    ReplaceToken {
+        /// Token to replace.
+        from: String,
+        /// Replacement token (may be empty to delete the token).
+        to: String,
+    },
+    /// Remove every parenthesised fragment, e.g. `"(edt)"` or `"(author)"`
+    /// (the paper's first example rule: `REPLACE with: '' on: '({any}+)'`).
+    RemoveParenthetical,
+    /// Rewrite `"Last, First"` into `"First Last"` for every comma-separated
+    /// name-shaped fragment (the paper's second example rule).
+    TransposeCommaName,
+    /// Append an ordinal suffix to a leading house number (`"9 St"` → `"9th St"`).
+    OrdinalizeLeadingNumber,
+    /// Lower-case the whole value.
+    Lowercase,
+    /// Collapse runs of whitespace to a single space and trim the ends.
+    NormalizeWhitespace,
+}
+
+impl Rule {
+    /// Applies the rule to one value.
+    pub fn apply(&self, value: &str) -> String {
+        match self {
+            Rule::ReplaceToken { from, to } => {
+                let tokens: Vec<&str> = value.split_whitespace().collect();
+                let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+                for t in tokens {
+                    if t == from {
+                        if !to.is_empty() {
+                            out.push(to.clone());
+                        }
+                        continue;
+                    }
+                    // Keep trailing punctuation (e.g. "Street," -> "St,").
+                    let (core, punct) = split_trailing_punct(t);
+                    if core == from {
+                        if !to.is_empty() {
+                            out.push(format!("{to}{punct}"));
+                        } else if !punct.is_empty() {
+                            out.push(punct.to_string());
+                        }
+                    } else {
+                        out.push(t.to_string());
+                    }
+                }
+                out.join(" ")
+            }
+            Rule::RemoveParenthetical => {
+                let mut out = String::with_capacity(value.len());
+                let mut depth = 0usize;
+                for c in value.chars() {
+                    match c {
+                        '(' => depth += 1,
+                        ')' => depth = depth.saturating_sub(1),
+                        _ if depth == 0 => out.push(c),
+                        _ => {}
+                    }
+                }
+                Rule::NormalizeWhitespace.apply(&out)
+            }
+            Rule::TransposeCommaName => transpose_comma_names(value),
+            Rule::OrdinalizeLeadingNumber => {
+                let mut tokens: Vec<String> =
+                    value.split_whitespace().map(str::to_string).collect();
+                if let Some(first) = tokens.first_mut() {
+                    if !first.is_empty() && first.chars().all(|c| c.is_ascii_digit()) {
+                        let n: u32 = first.parse().unwrap_or(0);
+                        first.push_str(ordinal_suffix(n));
+                    }
+                }
+                tokens.join(" ")
+            }
+            Rule::Lowercase => value.to_lowercase(),
+            Rule::NormalizeWhitespace => value.split_whitespace().collect::<Vec<_>>().join(" "),
+        }
+    }
+}
+
+fn split_trailing_punct(token: &str) -> (&str, &str) {
+    let end = token
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| matches!(c, ',' | '.' | ';' | ':'))
+        .map(|(i, _)| i)
+        .last()
+        .unwrap_or(token.len());
+    token.split_at(end)
+}
+
+fn ordinal_suffix(n: u32) -> &'static str {
+    match (n % 10, n % 100) {
+        (_, 11..=13) => "th",
+        (1, _) => "st",
+        (2, _) => "nd",
+        (3, _) => "rd",
+        _ => "th",
+    }
+}
+
+/// Rewrites `"Last, First"` fragments into `"First Last"`. Fragments are the
+/// `", "`-separated pieces that look like a pair of name tokens; values that do
+/// not look like comma-transposed names are returned unchanged.
+fn transpose_comma_names(value: &str) -> String {
+    let parts: Vec<&str> = value.split(", ").collect();
+    if parts.len() < 2 {
+        return value.to_string();
+    }
+    // "Last, First" or "Last, First Last2, First2 ..." — pair them up.
+    if parts.len() == 2 && looks_like_name(parts[0]) && looks_like_name(parts[1]) {
+        let last = parts[0].trim();
+        let first = parts[1].trim();
+        return format!("{first} {last}");
+    }
+    value.to_string()
+}
+
+fn looks_like_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.split_whitespace().count() <= 2
+        && s.chars().all(|c| c.is_alphabetic() || c.is_whitespace() || c == '.')
+}
+
+/// An ordered list of rules applied left to right to every cell value.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RuleSet {
+    /// The rules, applied in order.
+    pub rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Creates a rule set.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        RuleSet { rules }
+    }
+
+    /// Number of rules (the paper reports its user wrote 30–40 lines).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the rule set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Applies all rules to one value.
+    pub fn apply(&self, value: &str) -> String {
+        let mut out = value.to_string();
+        for rule in &self.rules {
+            out = rule.apply(&out);
+        }
+        out
+    }
+
+    /// Applies the rule set globally to a column (values grouped by cluster),
+    /// the way Trifacta applies wrangler scripts. Returns the rewritten column
+    /// and the number of cells that changed.
+    pub fn apply_column(&self, clusters: &[Vec<String>]) -> (Vec<Vec<String>>, usize) {
+        let mut changed = 0;
+        let out = clusters
+            .iter()
+            .map(|cluster| {
+                cluster
+                    .iter()
+                    .map(|v| {
+                        let new = self.apply(v);
+                        if new != *v {
+                            changed += 1;
+                        }
+                        new
+                    })
+                    .collect()
+            })
+            .collect();
+        (out, changed)
+    }
+}
+
+/// The hand-written rule sets standing in for the paper's per-dataset wrangler
+/// scripts.
+pub mod rule_sets {
+    use super::{Rule, RuleSet};
+
+    /// Rules for the AuthorList dataset: strip role annotations, transpose
+    /// comma names, expand a handful of common nicknames.
+    pub fn author_list() -> RuleSet {
+        let mut rules = vec![Rule::RemoveParenthetical, Rule::TransposeCommaName];
+        for (full, nick) in [
+            ("Robert", "Bob"),
+            ("William", "Bill"),
+            ("Steven", "Steve"),
+            ("Kenneth", "Ken"),
+            ("Michael", "Mike"),
+            ("Thomas", "Tom"),
+        ] {
+            rules.push(Rule::ReplaceToken { from: nick.to_string(), to: full.to_string() });
+        }
+        rules.push(Rule::NormalizeWhitespace);
+        RuleSet::new(rules)
+    }
+
+    /// Rules for the Address dataset: expand street-type abbreviations,
+    /// abbreviate state names, ordinalize leading house numbers.
+    pub fn address() -> RuleSet {
+        let mut rules = vec![Rule::OrdinalizeLeadingNumber];
+        for (full, abbrev) in [
+            ("Street", "St"),
+            ("Avenue", "Ave"),
+            ("Road", "Rd"),
+            ("Boulevard", "Blvd"),
+            ("Drive", "Dr"),
+            ("Lane", "Ln"),
+        ] {
+            rules.push(Rule::ReplaceToken { from: abbrev.to_string(), to: full.to_string() });
+        }
+        for (full, abbrev) in [
+            ("California", "CA"),
+            ("Wisconsin", "WI"),
+            ("Texas", "TX"),
+            ("Florida", "FL"),
+            ("Illinois", "IL"),
+        ] {
+            rules.push(Rule::ReplaceToken { from: full.to_string(), to: abbrev.to_string() });
+        }
+        rules.push(Rule::NormalizeWhitespace);
+        RuleSet::new(rules)
+    }
+
+    /// Rules for the JournalTitle dataset: expand a handful of common
+    /// abbreviations and lower-case everything (a blunt but typical wrangler
+    /// normalisation).
+    pub fn journal_title() -> RuleSet {
+        let mut rules = Vec::new();
+        for (full, abbrev) in [
+            ("Journal", "J."),
+            ("International", "Int."),
+            ("Transactions", "Trans."),
+            ("Proceedings", "Proc."),
+            ("Review", "Rev."),
+            ("Advances", "Adv."),
+            ("Annals", "Ann."),
+            ("Bulletin", "Bull."),
+        ] {
+            rules.push(Rule::ReplaceToken { from: abbrev.to_string(), to: full.to_string() });
+        }
+        rules.push(Rule::Lowercase);
+        rules.push(Rule::NormalizeWhitespace);
+        RuleSet::new(rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_token_respects_token_boundaries_and_punctuation() {
+        let r = Rule::ReplaceToken { from: "St".into(), to: "Street".into() };
+        assert_eq!(r.apply("9th St, 02141 WI"), "9th Street, 02141 WI");
+        // "Stone" is not the token "St".
+        assert_eq!(r.apply("Stone St"), "Stone Street");
+        assert_eq!(r.apply("nothing here"), "nothing here");
+    }
+
+    #[test]
+    fn remove_parenthetical_mirrors_the_paper_rule() {
+        let r = Rule::RemoveParenthetical;
+        assert_eq!(r.apply("carroll, john (edt)"), "carroll, john");
+        assert_eq!(r.apply("brown, keith (author) extra"), "brown, keith extra");
+        assert_eq!(r.apply("no parens"), "no parens");
+        assert_eq!(r.apply("nested (a (b) c) end"), "nested end");
+    }
+
+    #[test]
+    fn transpose_comma_name_mirrors_the_paper_rule() {
+        let r = Rule::TransposeCommaName;
+        assert_eq!(r.apply("Smith, James"), "James Smith");
+        assert_eq!(r.apply("knuth, donald e."), "donald e. knuth");
+        // A value that is not a simple "Last, First" pair is left alone.
+        assert_eq!(r.apply("9 St, 02141 WI"), "9 St, 02141 WI");
+        assert_eq!(r.apply("plain value"), "plain value");
+    }
+
+    #[test]
+    fn ordinalize_leading_number() {
+        let r = Rule::OrdinalizeLeadingNumber;
+        assert_eq!(r.apply("9 Main St"), "9th Main St");
+        assert_eq!(r.apply("21 Oak Ave"), "21st Oak Ave");
+        assert_eq!(r.apply("3 Pine Rd"), "3rd Pine Rd");
+        assert_eq!(r.apply("9th Main St"), "9th Main St");
+        assert_eq!(r.apply("Main St"), "Main St");
+    }
+
+    #[test]
+    fn lowercase_and_whitespace() {
+        assert_eq!(Rule::Lowercase.apply("Journal OF Things"), "journal of things");
+        assert_eq!(Rule::NormalizeWhitespace.apply("  a   b  "), "a b");
+    }
+
+    #[test]
+    fn rule_set_applies_in_order_and_counts_changes() {
+        let rs = rule_sets::address();
+        assert!(rs.len() >= 10, "a realistic wrangler script has a dozen-plus rules");
+        let (updated, changed) = rs.apply_column(&[vec![
+            "9 Main St, 02141 Wisconsin".to_string(),
+            "9th Main Street, 02141 WI".to_string(),
+        ]]);
+        assert_eq!(updated[0][0], "9th Main Street, 02141 WI");
+        assert_eq!(updated[0][1], "9th Main Street, 02141 WI");
+        assert_eq!(changed, 1);
+    }
+
+    #[test]
+    fn author_rule_set_handles_table4_style_values() {
+        let rs = rule_sets::author_list();
+        assert_eq!(rs.apply("carroll, john (edt)"), "john carroll");
+        assert_eq!(rs.apply("Smith, James"), "James Smith");
+        assert_eq!(rs.apply("Bob Johnson"), "Robert Johnson");
+    }
+
+    #[test]
+    fn journal_rule_set_normalises_abbreviations_and_case() {
+        let rs = rule_sets::journal_title();
+        assert_eq!(rs.apply("J. Computer Science"), "journal computer science");
+        assert_eq!(rs.apply("Journal of Computer Science"), "journal of computer science");
+    }
+
+    #[test]
+    fn empty_rule_set_is_identity() {
+        let rs = RuleSet::default();
+        assert!(rs.is_empty());
+        let (updated, changed) = rs.apply_column(&[vec!["x".to_string()]]);
+        assert_eq!(updated[0][0], "x");
+        assert_eq!(changed, 0);
+    }
+}

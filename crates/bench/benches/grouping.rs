@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the grouping algorithms (the Figure 9
+//! comparison at micro scale): OneShot vs EarlyTerm upfront grouping and the
+//! incremental next-largest-group call.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ec_data::{GeneratorConfig, PaperDataset};
+use ec_grouping::{GroupingConfig, StructuredGrouper};
+use ec_replace::{generate_candidates, CandidateConfig};
+
+fn candidate_replacements(num_clusters: usize) -> Vec<ec_graph::Replacement> {
+    let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+        num_clusters,
+        seed: 2,
+        num_sources: 4,
+    });
+    generate_candidates(&dataset.column_values(0), &CandidateConfig::default()).replacements
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(8));
+    for &num_clusters in &[15usize, 30] {
+        let replacements = candidate_replacements(num_clusters);
+        group.bench_with_input(
+            BenchmarkId::new("oneshot_upfront", replacements.len()),
+            &replacements,
+            |b, reps| {
+                b.iter(|| StructuredGrouper::one_shot_all(reps, GroupingConfig::one_shot()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("earlyterm_upfront", replacements.len()),
+            &replacements,
+            |b, reps| {
+                b.iter(|| StructuredGrouper::one_shot_all(reps, GroupingConfig::default()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental_first_group", replacements.len()),
+            &replacements,
+            |b, reps| {
+                b.iter(|| {
+                    StructuredGrouper::new(reps, GroupingConfig::default())
+                        .next_group()
+                        .map(|g| g.size())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: the effect of structure refinement (Section 7.2) and of the
+//! maximum pivot-path length (Appendix E) on grouping time and on the number
+//! of groups needed to cover the replacements.
+
+use ec_data::{GeneratorConfig, PaperDataset};
+use ec_grouping::{GroupingConfig, StructuredGrouper};
+use ec_replace::{generate_candidates, CandidateConfig};
+use std::time::Instant;
+
+fn main() {
+    let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+        num_clusters: 120,
+        seed: 2,
+        num_sources: 6,
+    });
+    let candidates = generate_candidates(&dataset.column_values(0), &CandidateConfig::default());
+    println!(
+        "Address ablation over {} candidate replacements\n",
+        candidates.len()
+    );
+    println!(
+        "{:<34} {:>12} {:>12} {:>14}",
+        "configuration", "groups", "largest", "grouping time"
+    );
+    let run = |label: &str, config: GroupingConfig| {
+        let start = Instant::now();
+        let groups = StructuredGrouper::new(&candidates.replacements, config).all_groups();
+        let elapsed = start.elapsed();
+        println!(
+            "{:<34} {:>12} {:>12} {:>14.3?}",
+            label,
+            groups.len(),
+            groups.first().map(|g| g.size()).unwrap_or(0),
+            elapsed
+        );
+    };
+    run("default (structure, path<=6)", GroupingConfig::default());
+    run(
+        "no structure refinement",
+        GroupingConfig { structure_refinement: false, ..GroupingConfig::default() },
+    );
+    for len in [3usize, 4, 6, 8] {
+        run(
+            &format!("max path length = {len}"),
+            GroupingConfig { max_path_len: len, ..GroupingConfig::default() },
+        );
+    }
+    run("no affix labels", GroupingConfig::without_affix());
+}

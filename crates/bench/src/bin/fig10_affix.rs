@@ -1,0 +1,26 @@
+//! Figure 10: recall of standardizing variant values with and without the
+//! affix string functions (Appendix D / F).
+
+use ec_bench::{checkpoints, evaluation_sample, group_method_series, print_series};
+use ec_data::PaperDataset;
+use ec_grouping::GroupingConfig;
+
+fn main() {
+    for kind in PaperDataset::ALL {
+        let dataset = kind.generate(&kind.default_config());
+        let budget = kind.paper_budget();
+        let sample = evaluation_sample(&dataset, 1000, 500 + budget as u64);
+        let cps = checkpoints(budget);
+        println!("=== {} ===", kind.name());
+        let affix = group_method_series(&dataset, GroupingConfig::default(), &cps, &sample, 7);
+        print_series("Affix", &affix);
+        let noaffix = group_method_series(&dataset, GroupingConfig::without_affix(), &cps, &sample, 7);
+        print_series("NoAffix", &noaffix);
+        let last_affix = affix.last().unwrap();
+        let last_noaffix = noaffix.last().unwrap();
+        println!(
+            "=> final recall: Affix {:.3} vs NoAffix {:.3} (paper: Affix always >= NoAffix)\n",
+            last_affix.recall, last_noaffix.recall
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! The `ec` tool only needs `--flag value` options, `--switch` booleans, and
+//! one leading subcommand, so a hand-rolled parser keeps the dependency
+//! surface to the sanctioned crate list (no `clap`). Unknown flags are
+//! rejected so typos fail loudly instead of being ignored.
+
+use crate::CliError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Parsed command-line arguments: a subcommand plus its options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand name (the first non-flag argument).
+    pub command: String,
+    /// `--key value` options.
+    pub options: BTreeMap<String, String>,
+    /// `--switch` options with no value.
+    pub switches: BTreeSet<String>,
+}
+
+impl ParsedArgs {
+    /// A string-valued option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required string-valued option.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing required option --{key}")))
+    }
+
+    /// An optional numeric option with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// An optional u64 option with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// An optional float option with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} expects a number, got '{v}'"))),
+        }
+    }
+
+    /// Whether a boolean switch was passed.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.contains(switch)
+    }
+}
+
+/// The flags each subcommand accepts: (value options, boolean switches).
+fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
+    match command {
+        "generate" => Some((
+            &["dataset", "clusters", "seed", "sources", "output"],
+            &[],
+        )),
+        "profile" => Some((&["input", "name"], &[])),
+        "groups" => Some((
+            &["input", "column", "top", "max-path-len"],
+            &["no-affix", "no-structure"],
+        )),
+        "consolidate" => Some((
+            &["input", "column", "budget", "mode", "output", "golden", "truth-method"],
+            &[],
+        )),
+        "resolve" => Some((&["input", "threshold", "output", "name"], &[])),
+        "help" | "" => Some((&[], &[])),
+        _ => None,
+    }
+}
+
+/// Parses the raw argument list (excluding the program name).
+pub fn parse(args: &[String]) -> Result<ParsedArgs, CliError> {
+    let mut parsed = ParsedArgs::default();
+    let mut iter = args.iter().peekable();
+    match iter.next() {
+        None => {
+            parsed.command = "help".to_string();
+            return Ok(parsed);
+        }
+        Some(cmd) if cmd.starts_with("--") => {
+            return Err(CliError::Usage(format!(
+                "expected a subcommand before '{cmd}'; run `ec help`"
+            )))
+        }
+        Some(cmd) => parsed.command = cmd.clone(),
+    }
+    let Some((value_opts, switch_opts)) = accepted(&parsed.command) else {
+        return Err(CliError::Usage(format!(
+            "unknown subcommand '{}'; run `ec help`",
+            parsed.command
+        )));
+    };
+    while let Some(arg) = iter.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(CliError::Usage(format!("unexpected positional argument '{arg}'")));
+        };
+        if switch_opts.contains(&name) {
+            parsed.switches.insert(name.to_string());
+        } else if value_opts.contains(&name) {
+            let value = iter
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--{name} requires a value")))?;
+            parsed.options.insert(name.to_string(), value.clone());
+        } else {
+            return Err(CliError::Usage(format!(
+                "unknown option --{name} for subcommand '{}'",
+                parsed.command
+            )));
+        }
+    }
+    Ok(parsed)
+}
+
+/// The `ec help` text.
+pub fn usage() -> String {
+    "\
+ec — entity consolidation from the command line
+
+USAGE:
+  ec <subcommand> [options]
+
+SUBCOMMANDS:
+  generate     generate one of the paper's synthetic datasets as clustered CSV
+                 --dataset authorlist|address|journaltitle  --clusters N
+                 --seed N  --sources N  --output FILE
+  profile      profile a clustered CSV: per-column statistics, structure
+               histograms and a standardization priority ranking
+                 --input FILE  [--name NAME]
+  groups       show the largest replacement groups of one column
+                 --input FILE  --column NAME|INDEX  [--top K]
+                 [--max-path-len N]  [--no-affix]  [--no-structure]
+  consolidate  standardize columns and emit golden records
+                 --input FILE  [--column NAME|INDEX]  [--budget N]
+                 [--mode auto|approve-all|interactive]
+                 [--truth-method majority|reliability]
+                 [--output FILE]  [--golden FILE]
+  resolve      cluster flat (unresolved) records into a clustered CSV
+                 --input FILE  [--threshold T]  [--name NAME]  [--output FILE]
+  help         show this message
+
+Clustered CSV has columns: cluster, source, <attr>..., [<attr>__truth]...
+Flat CSV has columns: source, <attr>...
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_switches() {
+        let p = parse(&args(&[
+            "groups", "--input", "data.csv", "--column", "Address", "--top", "5", "--no-affix",
+        ]))
+        .unwrap();
+        assert_eq!(p.command, "groups");
+        assert_eq!(p.get("input"), Some("data.csv"));
+        assert_eq!(p.get("column"), Some("Address"));
+        assert_eq!(p.get_usize("top", 10).unwrap(), 5);
+        assert!(p.has("no-affix"));
+        assert!(!p.has("no-structure"));
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(parse(&[]).unwrap().command, "help");
+    }
+
+    #[test]
+    fn unknown_subcommand_is_rejected() {
+        let err = parse(&args(&["frobnicate"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(msg) if msg.contains("frobnicate")));
+    }
+
+    #[test]
+    fn unknown_option_is_rejected() {
+        let err = parse(&args(&["profile", "--bogus", "x"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(msg) if msg.contains("--bogus")));
+    }
+
+    #[test]
+    fn option_without_value_is_rejected() {
+        let err = parse(&args(&["profile", "--input"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(msg) if msg.contains("requires a value")));
+    }
+
+    #[test]
+    fn flag_before_subcommand_is_rejected() {
+        assert!(parse(&args(&["--input", "x"])).is_err());
+        assert!(parse(&args(&["generate", "stray"])).is_err());
+    }
+
+    #[test]
+    fn numeric_accessors_validate() {
+        let p = parse(&args(&["generate", "--clusters", "abc"])).unwrap();
+        assert!(p.get_usize("clusters", 10).is_err());
+        assert_eq!(p.get_usize("seed", 7).unwrap(), 7, "missing option falls back to default");
+        let p = parse(&args(&["resolve", "--threshold", "0.8"])).unwrap();
+        assert!((p.get_f64("threshold", 0.5).unwrap() - 0.8).abs() < 1e-9);
+        assert!(parse(&args(&["resolve", "--threshold", "x"]))
+            .unwrap()
+            .get_f64("threshold", 0.5)
+            .is_err());
+    }
+
+    #[test]
+    fn require_reports_the_missing_flag() {
+        let p = parse(&args(&["profile"])).unwrap();
+        let err = p.require("input").unwrap_err();
+        assert!(matches!(err, CliError::Usage(msg) if msg.contains("--input")));
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        let text = usage();
+        for cmd in ["generate", "profile", "groups", "consolidate", "resolve"] {
+            assert!(text.contains(cmd));
+        }
+    }
+}

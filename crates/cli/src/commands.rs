@@ -1,0 +1,512 @@
+//! The `ec` subcommands.
+//!
+//! Every function takes the already-parsed arguments plus any input text and
+//! returns a [`CommandOutput`]; nothing here touches the file system or the
+//! terminal directly (interactive review writes prompts through the writer
+//! handed in by the caller).
+
+use crate::args::ParsedArgs;
+use crate::interactive::InteractiveOracle;
+use crate::{CliError, CommandOutput};
+use ec_core::{
+    ApproveAllOracle, ColumnReport, ConsolidationConfig, Pipeline, SimulatedOracle, TruthMethod,
+};
+use ec_data::{dataset_from_csv, dataset_to_csv, raw_records_from_csv, Dataset, GeneratorConfig, PaperDataset};
+use ec_grouping::{GroupingConfig, StructuredGrouper};
+use ec_profile::{prioritize_columns, render_dataset_profile, render_priorities, DatasetProfile};
+use ec_replace::{generate_candidates, CandidateConfig};
+use ec_report::table::fmt_f64;
+use ec_report::TextTable;
+use ec_resolution::{RawRecord, Resolver, ResolverConfig};
+use std::io::{BufRead, Write};
+
+/// `ec generate`: produce one of the paper's synthetic datasets as clustered
+/// CSV (to a file with `--output`, otherwise to stdout).
+pub fn generate(parsed: &ParsedArgs) -> Result<CommandOutput, CliError> {
+    let which = match parsed.get("dataset").unwrap_or("address").to_ascii_lowercase().as_str() {
+        "authorlist" | "author-list" | "authors" => PaperDataset::AuthorList,
+        "address" | "addresses" => PaperDataset::Address,
+        "journaltitle" | "journal-title" | "journals" => PaperDataset::JournalTitle,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown dataset '{other}'; expected authorlist, address, or journaltitle"
+            )))
+        }
+    };
+    let defaults = which.default_config();
+    let config = GeneratorConfig {
+        num_clusters: parsed.get_usize("clusters", defaults.num_clusters)?,
+        seed: parsed.get_u64("seed", defaults.seed)?,
+        num_sources: parsed.get_usize("sources", defaults.num_sources)?,
+    };
+    let dataset = which.generate(&config);
+    let csv = dataset_to_csv(&dataset);
+    let stats = dataset.stats(0);
+    let summary = format!(
+        "generated {} ({} clusters, {} records, {} distinct value pairs on column 0, seed {})\n",
+        which.name(),
+        stats.num_clusters,
+        stats.num_records,
+        stats.distinct_value_pairs,
+        config.seed,
+    );
+    match parsed.get("output") {
+        Some(path) => Ok(CommandOutput::text(summary).with_file(path, csv)),
+        None => Ok(CommandOutput::text(csv)),
+    }
+}
+
+/// `ec profile`: per-column statistics plus the standardization priority
+/// ranking of a clustered CSV.
+pub fn profile(parsed: &ParsedArgs, input: &str) -> Result<CommandOutput, CliError> {
+    let name = parsed.get("name").unwrap_or("input");
+    let dataset = parse_dataset(name, input)?;
+    let profile = DatasetProfile::profile(&dataset);
+    let mut out = render_dataset_profile(&profile);
+    out.push_str("\nstandardization priority:\n");
+    out.push_str(&render_priorities(&prioritize_columns(&profile)));
+    Ok(CommandOutput::text(out))
+}
+
+/// `ec groups`: print the largest replacement groups of one column — a dry
+/// run of what the human would be asked to confirm.
+pub fn groups(parsed: &ParsedArgs, input: &str) -> Result<CommandOutput, CliError> {
+    let dataset = parse_dataset("input", input)?;
+    let col = resolve_column(&dataset, parsed.require("column")?)?;
+    let top = parsed.get_usize("top", 10)?;
+
+    let mut config = GroupingConfig::default();
+    config.max_path_len = parsed.get_usize("max-path-len", config.max_path_len)?;
+    if parsed.has("no-affix") {
+        config.graph.enable_affix = false;
+    }
+    if parsed.has("no-structure") {
+        config.structure_refinement = false;
+    }
+
+    let candidates = generate_candidates(&dataset.column_values(col), &CandidateConfig::default());
+    let mut grouper = StructuredGrouper::new(&candidates.replacements, config);
+    let mut out = format!(
+        "column '{}': {} candidate replacements\n",
+        dataset.columns[col],
+        candidates.replacements.len()
+    );
+    let mut shown = 0usize;
+    while shown < top {
+        let Some(group) = grouper.next_group() else {
+            break;
+        };
+        shown += 1;
+        out.push_str(&format!("\n#{shown} — {} replacements", group.size()));
+        if let Some(program) = group.program() {
+            out.push_str(&format!("  (shared transformation: {program})"));
+        }
+        out.push('\n');
+        for member in group.members().iter().take(6) {
+            out.push_str(&format!("   {:?} -> {:?}\n", member.lhs(), member.rhs()));
+        }
+        if group.size() > 6 {
+            out.push_str(&format!("   … and {} more\n", group.size() - 6));
+        }
+    }
+    if shown == 0 {
+        out.push_str("no groups (the column has no non-identical value pairs inside clusters)\n");
+    }
+    Ok(CommandOutput::text(out))
+}
+
+/// `ec consolidate`: standardize one or all columns under a budget and emit
+/// the standardized dataset and its golden records.
+pub fn consolidate(
+    parsed: &ParsedArgs,
+    input: &str,
+    stdin: &mut dyn BufRead,
+    prompt_out: &mut dyn Write,
+) -> Result<CommandOutput, CliError> {
+    let mut dataset = parse_dataset("input", input)?;
+    let columns: Vec<usize> = match parsed.get("column") {
+        Some(spec) => vec![resolve_column(&dataset, spec)?],
+        None => (0..dataset.columns.len()).collect(),
+    };
+    let budget = parsed.get_usize("budget", 100)?;
+    let mode = parsed.get("mode").unwrap_or("auto");
+    let truth_method = match parsed.get("truth-method").unwrap_or("majority") {
+        "majority" | "mc" => TruthMethod::MajorityConsensus,
+        "reliability" | "source-reliability" => TruthMethod::SourceReliability,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown truth method '{other}'; expected majority or reliability"
+            )))
+        }
+    };
+    // The `__truth` columns are what the simulated expert judges against; when
+    // they are absent the automatic mode falls back to approving everything
+    // (an upper bound a user can then restrict interactively).
+    let has_truth = input.lines().next().is_some_and(|h| h.contains("__truth"));
+
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget,
+        ..ConsolidationConfig::default()
+    });
+    let mut reports: Vec<ColumnReport> = Vec::new();
+    for &col in &columns {
+        let report = match mode {
+            "interactive" => {
+                writeln!(prompt_out, "== reviewing groups of column '{}' ==", dataset.columns[col])
+                    .map_err(|e| CliError::Io(e.to_string()))?;
+                let mut oracle = InteractiveOracle::new(stdin, prompt_out);
+                pipeline.standardize_column(&mut dataset, col, &mut oracle)
+            }
+            "approve-all" => {
+                pipeline.standardize_column(&mut dataset, col, &mut ApproveAllOracle)
+            }
+            "auto" => {
+                if has_truth {
+                    let mut oracle = SimulatedOracle::for_column(&dataset, col, 7 + col as u64);
+                    pipeline.standardize_column(&mut dataset, col, &mut oracle)
+                } else {
+                    pipeline.standardize_column(&mut dataset, col, &mut ApproveAllOracle)
+                }
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown mode '{other}'; expected auto, approve-all, or interactive"
+                )))
+            }
+        };
+        reports.push(report);
+    }
+
+    let golden = pipeline.discover_golden_records(&dataset, truth_method);
+
+    // Summary of the standardization work.
+    let mut summary_table =
+        TextTable::new(["column", "candidates", "groups reviewed", "approved", "cells updated"]);
+    for report in &reports {
+        summary_table.push_row([
+            dataset.columns[report.column].clone(),
+            report.candidates.to_string(),
+            report.groups_reviewed.to_string(),
+            report.groups_approved.to_string(),
+            report.cells_updated.to_string(),
+        ]);
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "consolidated {} clusters / {} records with budget {} per column ({} mode)\n\n",
+        dataset.clusters.len(),
+        dataset.num_records(),
+        budget,
+        mode
+    ));
+    out.push_str(&summary_table.to_plain_text());
+
+    // Golden-record preview and the decided fraction.
+    let decided: usize = golden
+        .iter()
+        .map(|g| g.iter().filter(|v| v.is_some()).count())
+        .sum();
+    let total = golden.len() * dataset.columns.len().max(1);
+    out.push_str(&format!(
+        "\ngolden records: {} of {} cluster-columns decided ({}%)\n",
+        decided,
+        total,
+        fmt_f64(100.0 * decided as f64 / total.max(1) as f64, 1)
+    ));
+    let mut preview = TextTable::new(
+        std::iter::once("cluster".to_string()).chain(dataset.columns.iter().cloned()),
+    );
+    for (i, record) in golden.iter().enumerate().take(10) {
+        preview.push_row(
+            std::iter::once(i.to_string())
+                .chain(record.iter().map(|v| v.clone().unwrap_or_else(|| "(undecided)".into()))),
+        );
+    }
+    out.push_str(&preview.to_plain_text());
+
+    let mut output = CommandOutput::text(out);
+    if let Some(path) = parsed.get("output") {
+        output = output.with_file(path, dataset_to_csv(&dataset));
+    }
+    if let Some(path) = parsed.get("golden") {
+        output = output.with_file(path, golden_records_csv(&dataset, &golden));
+    }
+    Ok(output)
+}
+
+/// `ec resolve`: cluster flat records into a clustered CSV.
+pub fn resolve(parsed: &ParsedArgs, input: &str) -> Result<CommandOutput, CliError> {
+    let (columns, raw) = raw_records_from_csv(input).map_err(|e| CliError::Data(e.to_string()))?;
+    let records: Vec<RawRecord> = raw
+        .into_iter()
+        .map(|(source, fields)| RawRecord { source, fields })
+        .collect();
+    let threshold = parsed.get_f64("threshold", 0.75)?;
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(CliError::Usage(format!(
+            "--threshold must be between 0 and 1, got {threshold}"
+        )));
+    }
+    let name = parsed.get("name").unwrap_or("resolved");
+    let resolver = Resolver::new(ResolverConfig {
+        threshold,
+        ..ResolverConfig::default()
+    });
+    let dataset = resolver.resolve_to_dataset(name, columns, &records, None);
+    let csv = dataset_to_csv(&dataset);
+    let summary = format!(
+        "resolved {} records into {} clusters (threshold {})\n",
+        records.len(),
+        dataset.clusters.len(),
+        threshold
+    );
+    match parsed.get("output") {
+        Some(path) => Ok(CommandOutput::text(summary).with_file(path, csv)),
+        None => Ok(CommandOutput::text(csv)),
+    }
+}
+
+/// Parses a clustered CSV, mapping errors to [`CliError::Data`].
+fn parse_dataset(name: &str, input: &str) -> Result<Dataset, CliError> {
+    dataset_from_csv(name, input).map_err(|e| CliError::Data(e.to_string()))
+}
+
+/// Resolves a `--column` argument given either a column name or an index.
+fn resolve_column(dataset: &Dataset, spec: &str) -> Result<usize, CliError> {
+    if let Some(idx) = dataset.column_index(spec) {
+        return Ok(idx);
+    }
+    if let Ok(idx) = spec.parse::<usize>() {
+        if idx < dataset.columns.len() {
+            return Ok(idx);
+        }
+    }
+    Err(CliError::Usage(format!(
+        "no column '{}'; available columns: {}",
+        spec,
+        dataset.columns.join(", ")
+    )))
+}
+
+/// Serializes golden records as CSV: one row per cluster.
+fn golden_records_csv(dataset: &Dataset, golden: &[Vec<Option<String>>]) -> String {
+    let mut records = Vec::with_capacity(golden.len() + 1);
+    let mut header = vec!["cluster".to_string()];
+    header.extend(dataset.columns.iter().cloned());
+    records.push(header);
+    for (i, record) in golden.iter().enumerate() {
+        let mut row = vec![i.to_string()];
+        row.extend(record.iter().map(|v| v.clone().unwrap_or_default()));
+        records.push(row);
+    }
+    ec_data::csv::write(&records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use std::io::Cursor;
+
+    fn parsed(argv: &[&str]) -> ParsedArgs {
+        let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        parse(&args).unwrap()
+    }
+
+    fn address_csv(clusters: usize) -> String {
+        let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+            num_clusters: clusters,
+            seed: 11,
+            num_sources: 4,
+        });
+        dataset_to_csv(&dataset)
+    }
+
+    #[test]
+    fn generate_to_stdout_and_to_file() {
+        let out = generate(&parsed(&["generate", "--dataset", "journaltitle", "--clusters", "8"]))
+            .unwrap();
+        assert!(out.stdout.starts_with("cluster,source,"));
+        assert!(out.files.is_empty());
+
+        let out = generate(&parsed(&[
+            "generate", "--dataset", "authorlist", "--clusters", "5", "--output", "a.csv",
+        ]))
+        .unwrap();
+        assert!(out.stdout.contains("AuthorList"));
+        assert_eq!(out.files[0].0, "a.csv");
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        let err = generate(&parsed(&["generate", "--dataset", "movies"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn profile_renders_columns_and_priorities() {
+        let csv = address_csv(10);
+        let out = profile(&parsed(&["profile", "--input", "x.csv"]), &csv).unwrap();
+        assert!(out.stdout.contains("standardization priority"));
+        assert!(out.stdout.contains("address"), "the Address dataset's column is named 'address': {}", out.stdout);
+    }
+
+    #[test]
+    fn profile_rejects_malformed_input() {
+        let err = profile(&parsed(&["profile", "--input", "x.csv"]), "not,a,clustered\n1,2,3\n")
+            .unwrap_err();
+        assert!(matches!(err, CliError::Data(_)));
+    }
+
+    #[test]
+    fn groups_lists_the_largest_groups_first() {
+        let csv = address_csv(20);
+        let out = groups(
+            &parsed(&["groups", "--input", "x.csv", "--column", "0", "--top", "3"]),
+            &csv,
+        )
+        .unwrap();
+        assert!(out.stdout.contains("#1"));
+        let sizes: Vec<usize> = out
+            .stdout
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| {
+                l.split_whitespace()
+                    .nth(2)
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or(0)
+            })
+            .collect();
+        assert!(!sizes.is_empty());
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "groups are size-ordered: {sizes:?}");
+    }
+
+    #[test]
+    fn groups_rejects_unknown_columns() {
+        let csv = address_csv(5);
+        let err = groups(&parsed(&["groups", "--input", "x.csv", "--column", "Phone"]), &csv)
+            .unwrap_err();
+        assert!(matches!(err, CliError::Usage(msg) if msg.contains("Phone")));
+    }
+
+    #[test]
+    fn consolidate_auto_uses_truth_and_writes_outputs() {
+        let csv = address_csv(15);
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        let out = consolidate(
+            &parsed(&[
+                "consolidate", "--input", "x.csv", "--budget", "12", "--output", "std.csv",
+                "--golden", "g.csv",
+            ]),
+            &csv,
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap();
+        assert!(out.stdout.contains("golden records"));
+        assert_eq!(out.files.len(), 2);
+        let golden = &out.files.iter().find(|(p, _)| p == "g.csv").unwrap().1;
+        assert!(golden.starts_with("cluster,"));
+        assert!(prompts.is_empty(), "auto mode never prompts");
+    }
+
+    #[test]
+    fn consolidate_interactive_prompts_and_honours_answers() {
+        let csv = address_csv(6);
+        // Approve the first group forward, reject everything else (input runs out).
+        let mut stdin = Cursor::new(b"f\nr\nr\nr\nr\nr\nr\nr\nr\nr\n".to_vec());
+        let mut prompts = Vec::new();
+        let out = consolidate(
+            &parsed(&[
+                "consolidate", "--input", "x.csv", "--column", "0", "--budget", "5", "--mode",
+                "interactive",
+            ]),
+            &csv,
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap();
+        let transcript = String::from_utf8(prompts).unwrap();
+        assert!(transcript.contains("reviewing groups"));
+        assert!(transcript.contains("replace left with right"));
+        assert!(out.stdout.contains("consolidated"));
+    }
+
+    #[test]
+    fn consolidate_without_truth_falls_back_to_approve_all() {
+        let csv = "cluster,source,Name\n0,0,Mary Lee\n0,1,\"Lee, Mary\"\n0,2,M. Lee\n";
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        let out = consolidate(
+            &parsed(&["consolidate", "--input", "x.csv", "--budget", "10"]),
+            csv,
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap();
+        assert!(out.stdout.contains("approved"));
+    }
+
+    #[test]
+    fn consolidate_rejects_bad_mode_and_truth_method() {
+        let csv = address_csv(3);
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        assert!(consolidate(
+            &parsed(&["consolidate", "--input", "x", "--mode", "psychic"]),
+            &csv,
+            &mut stdin,
+            &mut prompts
+        )
+        .is_err());
+        assert!(consolidate(
+            &parsed(&["consolidate", "--input", "x", "--truth-method", "magic"]),
+            &csv,
+            &mut stdin,
+            &mut prompts
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn resolve_clusters_flat_records() {
+        let flat = "source,Name,Address\n\
+                    0,Mary Lee,\"9 St, 02141 Wisconsin\"\n\
+                    1,M. Lee,\"9th St, 02141 WI\"\n\
+                    2,\"Lee, Mary\",\"9 Street, 02141 WI\"\n\
+                    0,Robert Brown,\"77 Mass Ave, 02139 MA\"\n\
+                    1,Bob Brown,\"77 Massachusetts Ave, 02139 MA\"\n";
+        let out = resolve(
+            &parsed(&["resolve", "--input", "x.csv", "--threshold", "0.5", "--output", "c.csv"]),
+            flat,
+        )
+        .unwrap();
+        assert!(out.stdout.contains("resolved 5 records"));
+        let csv = &out.files[0].1;
+        let clustered = dataset_from_csv("r", csv).unwrap();
+        assert!(clustered.clusters.len() < 5, "similar records were merged: {csv}");
+    }
+
+    #[test]
+    fn resolve_validates_threshold_and_input() {
+        assert!(resolve(&parsed(&["resolve", "--input", "x", "--threshold", "3"]), "source,A\n0,x\n").is_err());
+        assert!(resolve(&parsed(&["resolve", "--input", "x"]), "bogus\n1\n").is_err());
+    }
+
+    #[test]
+    fn column_resolution_by_name_and_index() {
+        let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+            num_clusters: 2,
+            seed: 1,
+            num_sources: 2,
+        });
+        assert_eq!(resolve_column(&dataset, "0").unwrap(), 0);
+        assert_eq!(
+            resolve_column(&dataset, &dataset.columns[0]).unwrap(),
+            0
+        );
+        assert!(resolve_column(&dataset, "999").is_err());
+    }
+}

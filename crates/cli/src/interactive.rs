@@ -1,0 +1,174 @@
+//! The interactive review oracle.
+//!
+//! `ec consolidate --mode interactive` plays the role of the paper's human
+//! expert: each replacement group is printed with a handful of its member
+//! pairs and the shared transformation program, and the user answers with a
+//! single letter — approve forward, approve backward, or reject — exactly the
+//! decision surface of Section 3, Step 3.
+
+use ec_core::{Oracle, Verdict};
+use ec_grouping::Group;
+use ec_replace::Direction;
+use std::io::{BufRead, Write};
+
+/// How many member replacements of a group are printed for review.
+const SHOWN_MEMBERS: usize = 8;
+
+/// An [`Oracle`] that asks a human over a line-oriented text channel.
+pub struct InteractiveOracle<'a> {
+    input: &'a mut dyn BufRead,
+    output: &'a mut dyn Write,
+    reviewed: usize,
+    approved: usize,
+}
+
+impl<'a> InteractiveOracle<'a> {
+    /// Creates an oracle reading answers from `input` and writing prompts to
+    /// `output` (stdin/stdout in the CLI, in-memory buffers in tests).
+    pub fn new(input: &'a mut dyn BufRead, output: &'a mut dyn Write) -> Self {
+        InteractiveOracle {
+            input,
+            output,
+            reviewed: 0,
+            approved: 0,
+        }
+    }
+
+    /// Number of groups reviewed so far.
+    pub fn reviewed(&self) -> usize {
+        self.reviewed
+    }
+
+    /// Number of groups approved so far.
+    pub fn approved(&self) -> usize {
+        self.approved
+    }
+
+    fn prompt(&mut self, group: &Group) -> std::io::Result<Verdict> {
+        writeln!(self.output)?;
+        writeln!(
+            self.output,
+            "group #{} — {} replacements",
+            self.reviewed,
+            group.size()
+        )?;
+        if let Some(program) = group.program() {
+            writeln!(self.output, "shared transformation: {program}")?;
+        }
+        for member in group.members().iter().take(SHOWN_MEMBERS) {
+            writeln!(self.output, "  {:?} -> {:?}", member.lhs(), member.rhs())?;
+        }
+        if group.size() > SHOWN_MEMBERS {
+            writeln!(self.output, "  … and {} more", group.size() - SHOWN_MEMBERS)?;
+        }
+        loop {
+            write!(
+                self.output,
+                "[f] replace left with right  [b] replace right with left  [r] reject  > "
+            )?;
+            self.output.flush()?;
+            let mut line = String::new();
+            if self.input.read_line(&mut line)? == 0 {
+                // End of input: stop approving anything further.
+                return Ok(Verdict::Reject);
+            }
+            match line.trim().to_ascii_lowercase().as_str() {
+                "f" | "forward" | "y" | "yes" | "a" | "approve" => {
+                    return Ok(Verdict::Approve(Direction::Forward))
+                }
+                "b" | "backward" => return Ok(Verdict::Approve(Direction::Backward)),
+                "r" | "reject" | "n" | "no" => return Ok(Verdict::Reject),
+                other => {
+                    writeln!(self.output, "unrecognized answer '{other}', please type f, b or r")?;
+                }
+            }
+        }
+    }
+}
+
+impl Oracle for InteractiveOracle<'_> {
+    fn review(&mut self, group: &Group) -> Verdict {
+        self.reviewed += 1;
+        let verdict = self.prompt(group).unwrap_or(Verdict::Reject);
+        if matches!(verdict, Verdict::Approve(_)) {
+            self.approved += 1;
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_graph::Replacement;
+    use std::io::Cursor;
+
+    fn group() -> Group {
+        Group::new(
+            None,
+            vec![
+                Replacement::new("Street", "St"),
+                Replacement::new("Avenue", "Ave"),
+            ],
+        )
+    }
+
+    fn review_with(answers: &str) -> (Verdict, String, usize, usize) {
+        let mut input = Cursor::new(answers.as_bytes().to_vec());
+        let mut output = Vec::new();
+        let mut oracle = InteractiveOracle::new(&mut input, &mut output);
+        let verdict = oracle.review(&group());
+        let reviewed = oracle.reviewed();
+        let approved = oracle.approved();
+        (verdict, String::from_utf8(output).unwrap(), reviewed, approved)
+    }
+
+    #[test]
+    fn forward_backward_and_reject_answers() {
+        assert_eq!(review_with("f\n").0, Verdict::Approve(Direction::Forward));
+        assert_eq!(review_with("yes\n").0, Verdict::Approve(Direction::Forward));
+        assert_eq!(review_with("b\n").0, Verdict::Approve(Direction::Backward));
+        assert_eq!(review_with("r\n").0, Verdict::Reject);
+        assert_eq!(review_with("no\n").0, Verdict::Reject);
+    }
+
+    #[test]
+    fn prompt_shows_the_members_and_counts_reviews() {
+        let (verdict, transcript, reviewed, approved) = review_with("f\n");
+        assert_eq!(verdict, Verdict::Approve(Direction::Forward));
+        assert!(transcript.contains("2 replacements"));
+        assert!(transcript.contains("\"Street\" -> \"St\""));
+        assert_eq!(reviewed, 1);
+        assert_eq!(approved, 1);
+    }
+
+    #[test]
+    fn unrecognized_answers_reprompt() {
+        let (verdict, transcript, _, approved) = review_with("maybe\nf\n");
+        assert_eq!(verdict, Verdict::Approve(Direction::Forward));
+        assert!(transcript.contains("unrecognized answer 'maybe'"));
+        assert_eq!(approved, 1);
+    }
+
+    #[test]
+    fn end_of_input_rejects() {
+        let (verdict, _, reviewed, approved) = review_with("");
+        assert_eq!(verdict, Verdict::Reject);
+        assert_eq!(reviewed, 1);
+        assert_eq!(approved, 0);
+    }
+
+    #[test]
+    fn large_groups_are_truncated_in_the_prompt() {
+        let members: Vec<Replacement> = (0..20)
+            .map(|i| Replacement::new(format!("v{i}"), format!("w{i}")))
+            .collect();
+        let big = Group::new(None, members);
+        let mut input = Cursor::new(b"r\n".to_vec());
+        let mut output = Vec::new();
+        let mut oracle = InteractiveOracle::new(&mut input, &mut output);
+        oracle.review(&big);
+        let transcript = String::from_utf8(output).unwrap();
+        assert!(transcript.contains("… and 12 more"));
+    }
+}

@@ -1,0 +1,185 @@
+//! # ec-cli — the `ec` command-line tool
+//!
+//! A thin, file-oriented front end over the `entity-consolidation` workspace:
+//! it reads clustered (or flat) CSV files, runs the profiling / grouping /
+//! consolidation / resolution machinery, and writes standardized CSV and
+//! golden-record CSV files back out.
+//!
+//! All command logic lives in this library crate and is pure with respect to
+//! the file system: commands receive input text and return a [`CommandOutput`]
+//! holding the text to print and the files to write, so every subcommand is
+//! unit-testable without touching disk. The `ec` binary in `main.rs` is only
+//! argument collection, file reading, and file writing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod interactive;
+
+pub use args::{parse, usage, ParsedArgs};
+pub use interactive::InteractiveOracle;
+
+use std::fmt;
+
+/// An error surfaced to the `ec` user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line was malformed (unknown flag, missing value, …).
+    Usage(String),
+    /// A file could not be read or written.
+    Io(String),
+    /// The input data could not be parsed or is inconsistent.
+    Data(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(msg) => write!(f, "io error: {msg}"),
+            CliError::Data(msg) => write!(f, "data error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// What a subcommand produced: text for stdout plus files to write.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommandOutput {
+    /// Text to print to standard output.
+    pub stdout: String,
+    /// `(path, contents)` pairs to write to disk. Paths are taken verbatim
+    /// from the command line.
+    pub files: Vec<(String, String)>,
+}
+
+impl CommandOutput {
+    /// An output that only prints text.
+    pub fn text(stdout: impl Into<String>) -> Self {
+        CommandOutput {
+            stdout: stdout.into(),
+            files: Vec::new(),
+        }
+    }
+
+    /// Adds a file to write.
+    pub fn with_file(mut self, path: impl Into<String>, contents: impl Into<String>) -> Self {
+        self.files.push((path.into(), contents.into()));
+        self
+    }
+}
+
+/// Runs one parsed subcommand. `read_input` maps an `--input` path to its
+/// contents (the binary passes a closure over `std::fs`, tests pass in-memory
+/// text); `stdin` provides the answers and `prompt_out` receives the prompts
+/// of `--mode interactive`.
+pub fn run(
+    parsed: &ParsedArgs,
+    read_input: &dyn Fn(&str) -> Result<String, CliError>,
+    stdin: &mut dyn std::io::BufRead,
+    prompt_out: &mut dyn std::io::Write,
+) -> Result<CommandOutput, CliError> {
+    match parsed.command.as_str() {
+        "help" => Ok(CommandOutput::text(usage())),
+        "generate" => commands::generate(parsed),
+        "profile" => {
+            let text = read_input(parsed.require("input")?)?;
+            commands::profile(parsed, &text)
+        }
+        "groups" => {
+            let text = read_input(parsed.require("input")?)?;
+            commands::groups(parsed, &text)
+        }
+        "consolidate" => {
+            let text = read_input(parsed.require("input")?)?;
+            commands::consolidate(parsed, &text, stdin, prompt_out)
+        }
+        "resolve" => {
+            let text = read_input(parsed.require("input")?)?;
+            commands::resolve(parsed, &text)
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(argv: &[&str], inputs: &[(&str, &str)]) -> Result<CommandOutput, CliError> {
+        let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let parsed = parse(&args)?;
+        let inputs: Vec<(String, String)> =
+            inputs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+        let read = move |path: &str| -> Result<String, CliError> {
+            inputs
+                .iter()
+                .find(|(p, _)| p == path)
+                .map(|(_, text)| text.clone())
+                .ok_or_else(|| CliError::Io(format!("no such file: {path}")))
+        };
+        let mut empty = std::io::Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        run(&parsed, &read, &mut empty, &mut prompts)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_cli(&["help"], &[]).unwrap();
+        assert!(out.stdout.contains("SUBCOMMANDS"));
+        assert!(out.files.is_empty());
+        let out = run_cli(&[], &[]).unwrap();
+        assert!(out.stdout.contains("SUBCOMMANDS"));
+    }
+
+    #[test]
+    fn missing_input_file_is_an_io_error() {
+        let err = run_cli(&["profile", "--input", "nope.csv"], &[]).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn end_to_end_generate_then_profile_then_consolidate() {
+        // Generate a small Address dataset to a file...
+        let generated = run_cli(
+            &[
+                "generate", "--dataset", "address", "--clusters", "12", "--seed", "9",
+                "--output", "addr.csv",
+            ],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(generated.files.len(), 1);
+        let (path, csv) = &generated.files[0];
+        assert_eq!(path, "addr.csv");
+        assert!(csv.starts_with("cluster,source,"));
+
+        // ...profile it...
+        let profiled = run_cli(&["profile", "--input", "addr.csv"], &[("addr.csv", csv)]).unwrap();
+        assert!(profiled.stdout.contains("standardization priority"));
+
+        // ...and consolidate it with the simulated oracle.
+        let consolidated = run_cli(
+            &[
+                "consolidate", "--input", "addr.csv", "--budget", "15", "--mode", "auto",
+                "--output", "out.csv", "--golden", "golden.csv",
+            ],
+            &[("addr.csv", csv)],
+        )
+        .unwrap();
+        assert!(consolidated.stdout.contains("golden records"));
+        assert_eq!(consolidated.files.len(), 2);
+        let golden = &consolidated.files.iter().find(|(p, _)| p == "golden.csv").unwrap().1;
+        assert!(golden.lines().count() > 1);
+    }
+
+    #[test]
+    fn error_display_prefixes_the_kind() {
+        assert!(CliError::Usage("x".into()).to_string().starts_with("usage error"));
+        assert!(CliError::Io("x".into()).to_string().starts_with("io error"));
+        assert!(CliError::Data("x".into()).to_string().starts_with("data error"));
+    }
+}

@@ -1,0 +1,48 @@
+//! The `ec` binary: argument collection, file I/O, and exit codes. All command
+//! logic lives in the `ec-cli` library so it can be unit tested.
+
+use ec_cli::{parse, run, CliError};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("{err}");
+            eprintln!("run `ec help` for usage");
+            return ExitCode::from(2);
+        }
+    };
+
+    let read_input = |path: &str| -> Result<String, CliError> {
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))
+    };
+
+    let stdin = std::io::stdin();
+    let mut stdin_lock = stdin.lock();
+    let stdout = std::io::stdout();
+    let mut stdout_lock = stdout.lock();
+
+    match run(&parsed, &read_input, &mut stdin_lock, &mut stdout_lock) {
+        Ok(output) => {
+            for (path, contents) in &output.files {
+                if let Err(e) = std::fs::write(path, contents) {
+                    eprintln!("io error: failed to write {path}: {e}");
+                    return ExitCode::from(1);
+                }
+                let _ = writeln!(stdout_lock, "wrote {path}");
+            }
+            let _ = write!(stdout_lock, "{}", output.stdout);
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::from(match err {
+                CliError::Usage(_) => 2,
+                _ => 1,
+            })
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Oracles: the human (or simulated human) that verifies replacement groups.
+//!
+//! The framework presents each group to an oracle, which either rejects it or
+//! approves it together with a replacement direction (Section 3, Step 3). The
+//! paper's experiments use a human expert; this crate provides a
+//! [`SimulatedOracle`] that makes the same judgement against the generators'
+//! ground truth — a group is approved when most of its member pairs are true
+//! variant pairs — plus scripted/constant oracles for tests and ablations.
+
+use ec_data::Dataset;
+use ec_grouping::Group;
+use ec_replace::Direction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The oracle's decision on one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The group's transformation is valid; apply it in the given direction.
+    Approve(Direction),
+    /// The group's transformation is invalid; apply nothing.
+    Reject,
+}
+
+/// Something that can review replacement groups.
+pub trait Oracle {
+    /// Reviews one group.
+    fn review(&mut self, group: &Group) -> Verdict;
+}
+
+/// A ground-truth-driven simulation of the paper's human expert.
+///
+/// The expert "browses the value pairs in a group and marks the group as
+/// either correct (… most or all value pairs representing true variant
+/// values) or incorrect". The simulation approves a group when the fraction of
+/// member pairs labelled variant in the ground truth reaches
+/// `approval_threshold` (default 0.5), picks the direction that moves values
+/// towards canonical forms, and optionally flips its verdict with a small
+/// `error_rate` to model human mistakes (the robustness experiment).
+#[derive(Debug, Clone)]
+pub struct SimulatedOracle {
+    pair_labels: HashMap<(String, String), (usize, usize)>,
+    canonical: HashSet<String>,
+    approval_threshold: f64,
+    error_rate: f64,
+    rng: StdRng,
+    reviewed: usize,
+    approved: usize,
+}
+
+impl SimulatedOracle {
+    /// Builds the oracle for one column of a dataset.
+    pub fn for_column(dataset: &Dataset, col: usize, seed: u64) -> Self {
+        SimulatedOracle {
+            pair_labels: dataset.pair_labels(col),
+            canonical: dataset.canonical_values(col),
+            approval_threshold: 0.5,
+            error_rate: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            reviewed: 0,
+            approved: 0,
+        }
+    }
+
+    /// Sets the probability of flipping a verdict (modelling human error).
+    pub fn with_error_rate(mut self, error_rate: f64) -> Self {
+        self.error_rate = error_rate;
+        self
+    }
+
+    /// Sets the fraction of member pairs that must be variants for approval.
+    pub fn with_approval_threshold(mut self, threshold: f64) -> Self {
+        self.approval_threshold = threshold;
+        self
+    }
+
+    /// Number of groups reviewed so far.
+    pub fn reviewed(&self) -> usize {
+        self.reviewed
+    }
+
+    /// Number of groups approved so far.
+    pub fn approved(&self) -> usize {
+        self.approved
+    }
+
+    /// The fraction of a group's members that are known variant pairs, and the
+    /// preferred direction.
+    fn assess(&self, group: &Group) -> (f64, Direction) {
+        let mut variant = 0usize;
+        let mut known = 0usize;
+        let mut towards_rhs = 0usize;
+        let mut towards_lhs = 0usize;
+        for member in group.members() {
+            let key = (member.lhs().to_string(), member.rhs().to_string());
+            if let Some(&(v, c)) = self.pair_labels.get(&key) {
+                known += 1;
+                if v >= c.max(1) || (c == 0 && v > 0) {
+                    variant += 1;
+                }
+            }
+            if self.canonical.contains(member.rhs()) {
+                towards_rhs += 1;
+            }
+            if self.canonical.contains(member.lhs()) {
+                towards_lhs += 1;
+            }
+        }
+        let fraction = if known == 0 {
+            0.0
+        } else {
+            variant as f64 / known as f64
+        };
+        let direction = if towards_lhs > towards_rhs {
+            Direction::Backward
+        } else {
+            Direction::Forward
+        };
+        (fraction, direction)
+    }
+}
+
+impl Oracle for SimulatedOracle {
+    fn review(&mut self, group: &Group) -> Verdict {
+        self.reviewed += 1;
+        let (fraction, direction) = self.assess(group);
+        let mut approve = fraction >= self.approval_threshold && fraction > 0.0;
+        if self.error_rate > 0.0 && self.rng.gen_bool(self.error_rate) {
+            approve = !approve;
+        }
+        if approve {
+            self.approved += 1;
+            Verdict::Approve(direction)
+        } else {
+            Verdict::Reject
+        }
+    }
+}
+
+/// An oracle that replays a fixed list of verdicts (for tests); it rejects
+/// everything after the script runs out.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedOracle {
+    verdicts: VecDeque<Verdict>,
+}
+
+impl ScriptedOracle {
+    /// Creates a scripted oracle.
+    pub fn new(verdicts: impl IntoIterator<Item = Verdict>) -> Self {
+        ScriptedOracle {
+            verdicts: verdicts.into_iter().collect(),
+        }
+    }
+}
+
+impl Oracle for ScriptedOracle {
+    fn review(&mut self, _group: &Group) -> Verdict {
+        self.verdicts.pop_front().unwrap_or(Verdict::Reject)
+    }
+}
+
+/// Approves everything in the forward direction (an upper bound on recall, a
+/// lower bound on precision).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApproveAllOracle;
+
+impl Oracle for ApproveAllOracle {
+    fn review(&mut self, _group: &Group) -> Verdict {
+        Verdict::Approve(Direction::Forward)
+    }
+}
+
+/// Rejects everything (the do-nothing baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RejectAllOracle;
+
+impl Oracle for RejectAllOracle {
+    fn review(&mut self, _group: &Group) -> Verdict {
+        Verdict::Reject
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_data::{Cell, Cluster, Dataset, Row};
+    use ec_graph::Replacement;
+
+    fn tiny_dataset() -> Dataset {
+        let mk = |observed: &str, truth: &str| Cell {
+            observed: observed.to_string(),
+            truth: truth.to_string(),
+        };
+        let mut d = Dataset::new("tiny", vec!["name".to_string()]);
+        d.clusters.push(Cluster {
+            rows: vec![
+                Row { source: 0, cells: vec![mk("Mary Lee", "Mary Lee")] },
+                Row { source: 1, cells: vec![mk("Lee, Mary", "Mary Lee")] },
+                Row { source: 2, cells: vec![mk("Bob Jones", "Bob Jones")] },
+            ],
+            golden: vec!["Mary Lee".to_string()],
+        });
+        d
+    }
+
+    #[test]
+    fn simulated_oracle_approves_variant_groups_towards_canonical() {
+        let d = tiny_dataset();
+        let mut oracle = SimulatedOracle::for_column(&d, 0, 1);
+        let group = Group::new(None, vec![Replacement::new("Lee, Mary", "Mary Lee")]);
+        match oracle.review(&group) {
+            Verdict::Approve(direction) => assert_eq!(direction, Direction::Forward),
+            Verdict::Reject => panic!("a pure variant group must be approved"),
+        }
+        assert_eq!(oracle.reviewed(), 1);
+        assert_eq!(oracle.approved(), 1);
+    }
+
+    #[test]
+    fn simulated_oracle_rejects_conflict_groups() {
+        let d = tiny_dataset();
+        let mut oracle = SimulatedOracle::for_column(&d, 0, 1);
+        let group = Group::new(None, vec![Replacement::new("Mary Lee", "Bob Jones")]);
+        assert_eq!(oracle.review(&group), Verdict::Reject);
+        // Unknown pairs (never co-occurring in a cluster) are also rejected.
+        let unknown = Group::new(None, vec![Replacement::new("A", "B")]);
+        assert_eq!(oracle.review(&unknown), Verdict::Reject);
+    }
+
+    #[test]
+    fn direction_prefers_the_canonical_side() {
+        let d = tiny_dataset();
+        let mut oracle = SimulatedOracle::for_column(&d, 0, 1);
+        // Reversed orientation: lhs is canonical, rhs is the variant, so the
+        // oracle should ask for the backward direction.
+        let group = Group::new(None, vec![Replacement::new("Mary Lee", "Lee, Mary")]);
+        assert_eq!(oracle.review(&group), Verdict::Approve(Direction::Backward));
+    }
+
+    #[test]
+    fn error_rate_flips_verdicts_sometimes() {
+        let d = tiny_dataset();
+        let group = Group::new(None, vec![Replacement::new("Lee, Mary", "Mary Lee")]);
+        let mut flipped = 0;
+        for seed in 0..200 {
+            let mut oracle = SimulatedOracle::for_column(&d, 0, seed).with_error_rate(0.3);
+            if oracle.review(&group) == Verdict::Reject {
+                flipped += 1;
+            }
+        }
+        assert!(flipped > 20 && flipped < 120, "≈30% of verdicts should flip, saw {flipped}/200");
+    }
+
+    #[test]
+    fn scripted_and_constant_oracles() {
+        let group = Group::new(None, vec![Replacement::new("a", "b")]);
+        let mut scripted = ScriptedOracle::new([
+            Verdict::Approve(Direction::Forward),
+            Verdict::Reject,
+        ]);
+        assert_eq!(scripted.review(&group), Verdict::Approve(Direction::Forward));
+        assert_eq!(scripted.review(&group), Verdict::Reject);
+        assert_eq!(scripted.review(&group), Verdict::Reject, "script exhausted");
+        assert_eq!(ApproveAllOracle.review(&group), Verdict::Approve(Direction::Forward));
+        assert_eq!(RejectAllOracle.review(&group), Verdict::Reject);
+    }
+}

@@ -1,0 +1,264 @@
+//! A small, dependency-free CSV reader/writer.
+//!
+//! The paper's datasets are distributed as delimited text; downstream users
+//! will want to load their own clustered (or raw) data the same way. The
+//! sanctioned dependency list has no CSV crate, so this module implements the
+//! subset of RFC 4180 the dataset formats need: comma separation, `"`-quoted
+//! fields, doubled quotes as escapes, and quoted fields that span newlines.
+//! Both `\n` and `\r\n` record terminators are accepted.
+
+use std::fmt;
+
+/// An error produced while parsing CSV text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number where the error was detected.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: CsvErrorKind,
+}
+
+/// The kinds of CSV parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvErrorKind {
+    /// A quoted field was still open when the input ended.
+    UnterminatedQuote,
+    /// A closing quote was followed by something other than a separator,
+    /// record end, or another quote.
+    InvalidQuoteEscape,
+    /// A record had a different number of fields than the header/first record.
+    FieldCountMismatch {
+        /// Number of fields expected (from the first record).
+        expected: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            CsvErrorKind::UnterminatedQuote => {
+                write!(f, "line {}: unterminated quoted field", self.line)
+            }
+            CsvErrorKind::InvalidQuoteEscape => {
+                write!(f, "line {}: invalid character after closing quote", self.line)
+            }
+            CsvErrorKind::FieldCountMismatch { expected, found } => write!(
+                f,
+                "line {}: expected {} fields, found {}",
+                self.line, expected, found
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text into records of fields. Empty input yields no records; a
+/// trailing newline does not produce a trailing empty record. Every record
+/// must have the same number of fields as the first one.
+pub fn parse(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut line = 1usize;
+    let mut in_quotes = false;
+    let mut field_started = false; // saw any content (or a quote) for this field
+    let mut expected: Option<usize> = None;
+
+    let mut chars = text.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                        // Only a separator, record end, or EOF may follow.
+                        match chars.peek() {
+                            None | Some(',') | Some('\n') | Some('\r') => {}
+                            Some(_) => {
+                                return Err(CsvError { line, kind: CsvErrorKind::InvalidQuoteEscape })
+                            }
+                        }
+                    }
+                }
+                '\n' => {
+                    field.push('\n');
+                    line += 1;
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match ch {
+            '"' if field.is_empty() && !field_started => {
+                in_quotes = true;
+                field_started = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                field_started = false;
+            }
+            '\r' => {
+                // Swallow; the following '\n' (if any) ends the record.
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                field_started = false;
+                finish_record(&mut records, &mut record, &mut expected, line)?;
+                line += 1;
+            }
+            other => {
+                field.push(other);
+                field_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError { line, kind: CsvErrorKind::UnterminatedQuote });
+    }
+    if field_started || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        finish_record(&mut records, &mut record, &mut expected, line)?;
+    }
+    Ok(records)
+}
+
+fn finish_record(
+    records: &mut Vec<Vec<String>>,
+    record: &mut Vec<String>,
+    expected: &mut Option<usize>,
+    line: usize,
+) -> Result<(), CsvError> {
+    // A completely empty line between records is ignored.
+    if record.len() == 1 && record[0].is_empty() {
+        record.clear();
+        return Ok(());
+    }
+    match expected {
+        None => *expected = Some(record.len()),
+        Some(n) if *n != record.len() => {
+            return Err(CsvError {
+                line,
+                kind: CsvErrorKind::FieldCountMismatch { expected: *n, found: record.len() },
+            })
+        }
+        Some(_) => {}
+    }
+    records.push(std::mem::take(record));
+    Ok(())
+}
+
+/// True when a field needs quoting on output.
+fn needs_quoting(field: &str) -> bool {
+    field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+}
+
+/// Serializes records to CSV text with a trailing newline after every record.
+/// Fields are quoted only when necessary.
+pub fn write(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for record in records {
+        for (i, field) in record.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if needs_quoting(field) {
+                out.push('"');
+                for ch in field.chars() {
+                    if ch == '"' {
+                        out.push('"');
+                    }
+                    out.push(ch);
+                }
+                out.push('"');
+            } else {
+                out.push_str(field);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_records() {
+        let records = parse("a,b,c\nd,e,f\n").unwrap();
+        assert_eq!(records, vec![vec!["a", "b", "c"], vec!["d", "e", "f"]]);
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_fine() {
+        let records = parse("a,b\nc,d").unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_quotes_and_newlines() {
+        let text = "name,note\n\"Lee, Mary\",\"said \"\"hi\"\"\"\n\"multi\nline\",x\n";
+        let records = parse(text).unwrap();
+        assert_eq!(records[1][0], "Lee, Mary");
+        assert_eq!(records[1][1], "said \"hi\"");
+        assert_eq!(records[2][0], "multi\nline");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let records = parse("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(records, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn empty_fields_and_blank_lines() {
+        let records = parse("a,,c\n\n,x,\n").unwrap();
+        assert_eq!(records, vec![vec!["a", "", "c"], vec!["", "x", ""]]);
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = parse("a,\"oops\n").unwrap_err();
+        assert_eq!(err.kind, CsvErrorKind::UnterminatedQuote);
+    }
+
+    #[test]
+    fn garbage_after_closing_quote_is_an_error() {
+        let err = parse("\"a\"b,c\n").unwrap_err();
+        assert_eq!(err.kind, CsvErrorKind::InvalidQuoteEscape);
+    }
+
+    #[test]
+    fn field_count_mismatch_reports_the_line() {
+        let err = parse("a,b\nc\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, CsvErrorKind::FieldCountMismatch { expected: 2, found: 1 });
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn write_round_trips_through_parse() {
+        let records = vec![
+            vec!["plain".to_string(), "with,comma".to_string()],
+            vec!["with \"quote\"".to_string(), "multi\nline".to_string()],
+            vec!["".to_string(), "x".to_string()],
+        ];
+        let text = write(&records);
+        assert_eq!(parse(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn write_quotes_only_when_needed() {
+        let text = write(&[vec!["plain".to_string(), "a,b".to_string()]]);
+        assert_eq!(text, "plain,\"a,b\"\n");
+    }
+}

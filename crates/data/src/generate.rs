@@ -1,0 +1,654 @@
+//! Synthetic dataset generators.
+//!
+//! Each generator draws latent entities, clusters them, and renders every
+//! record either as a *variant* of the cluster's entity (one of several
+//! formats, mirroring the transformation families of Table 4 and Figure 2) or
+//! as a *conflict* (a rendering of a different entity), with mixture rates
+//! tuned so that the variant/conflict pair fractions and cluster-size profiles
+//! approach the paper's Table 6. All generators are deterministic given the
+//! seed in [`GeneratorConfig`].
+
+use crate::model::{Cell, Cluster, Dataset, Row};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a dataset generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of clusters (entities) to generate.
+    pub num_clusters: usize,
+    /// RNG seed; the same seed always produces the same dataset.
+    pub seed: u64,
+    /// Number of distinct data sources records are attributed to.
+    pub num_sources: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            num_clusters: 100,
+            seed: 42,
+            num_sources: 8,
+        }
+    }
+}
+
+/// The three datasets of the paper's evaluation (Section 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperDataset {
+    /// Book author lists (AbeBooks), clustered by ISBN.
+    AuthorList,
+    /// NYC discretionary-funding organisation addresses, clustered by EIN.
+    Address,
+    /// Scientific journal titles, clustered by ISSN.
+    JournalTitle,
+}
+
+impl PaperDataset {
+    /// All three datasets, in the order the paper reports them.
+    pub const ALL: [PaperDataset; 3] = [
+        PaperDataset::AuthorList,
+        PaperDataset::Address,
+        PaperDataset::JournalTitle,
+    ];
+
+    /// The dataset's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperDataset::AuthorList => "AuthorList",
+            PaperDataset::Address => "Address",
+            PaperDataset::JournalTitle => "JournalTitle",
+        }
+    }
+
+    /// The number of groups the paper asks the human to confirm for this
+    /// dataset (the x-axis extent of Figures 6-8).
+    pub fn paper_budget(&self) -> usize {
+        match self {
+            PaperDataset::AuthorList => 200,
+            PaperDataset::Address => 100,
+            PaperDataset::JournalTitle => 100,
+        }
+    }
+
+    /// A default generator configuration scaled to run the full pipeline in
+    /// seconds rather than hours while preserving the cluster-size profile.
+    pub fn default_config(&self) -> GeneratorConfig {
+        match self {
+            PaperDataset::AuthorList => GeneratorConfig {
+                num_clusters: 80,
+                seed: 1,
+                num_sources: 10,
+            },
+            PaperDataset::Address => GeneratorConfig {
+                num_clusters: 250,
+                seed: 2,
+                num_sources: 6,
+            },
+            PaperDataset::JournalTitle => GeneratorConfig {
+                num_clusters: 600,
+                seed: 3,
+                num_sources: 12,
+            },
+        }
+    }
+
+    /// Generates the dataset with the given configuration.
+    pub fn generate(&self, config: &GeneratorConfig) -> Dataset {
+        match self {
+            PaperDataset::AuthorList => author_list(config),
+            PaperDataset::Address => address(config),
+            PaperDataset::JournalTitle => journal_title(config),
+        }
+    }
+}
+
+// --- vocabularies -----------------------------------------------------------
+
+const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Karen",
+    "Donald", "Nancy", "Steven", "Margaret", "Kenneth", "Lisa", "Andrew", "Betty", "Joshua",
+    "Sandra", "Kevin", "Ashley", "Brian", "Dorothy", "George", "Kimberly", "Edward", "Emily",
+    "Ronald", "Donna", "Timothy", "Michelle",
+];
+
+const NICKNAMES: &[(&str, &str)] = &[
+    ("Robert", "Bob"),
+    ("William", "Bill"),
+    ("Richard", "Rick"),
+    ("Steven", "Steve"),
+    ("Kenneth", "Ken"),
+    ("Joseph", "Joe"),
+    ("Thomas", "Tom"),
+    ("Michael", "Mike"),
+    ("Jennifer", "Jen"),
+    ("Timothy", "Tim"),
+    ("Kevin", "Kev"),
+    ("Joshua", "Josh"),
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores",
+];
+
+const STREET_NAMES: &[&str] = &[
+    "Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake", "Hill", "Park",
+    "River", "Spring", "Church", "Mill", "Union", "High", "Center", "Walnut", "Prospect",
+    "Franklin",
+];
+
+const STREET_TYPES: &[(&str, &str)] = &[
+    ("Street", "St"),
+    ("Avenue", "Ave"),
+    ("Road", "Rd"),
+    ("Boulevard", "Blvd"),
+    ("Drive", "Dr"),
+    ("Lane", "Ln"),
+];
+
+const STATES: &[(&str, &str)] = &[
+    ("New York", "NY"),
+    ("California", "CA"),
+    ("Wisconsin", "WI"),
+    ("Texas", "TX"),
+    ("Florida", "FL"),
+    ("Illinois", "IL"),
+    ("Massachusetts", "MA"),
+    ("Washington", "WA"),
+    ("Oregon", "OR"),
+    ("Colorado", "CO"),
+];
+
+const JOURNAL_SUBJECTS: &[(&str, &str)] = &[
+    ("Computer Science", "Comput. Sci."),
+    ("Applied Mathematics", "Appl. Math."),
+    ("Molecular Biology", "Mol. Biol."),
+    ("Chemical Physics", "Chem. Phys."),
+    ("Clinical Medicine", "Clin. Med."),
+    ("Environmental Research", "Environ. Res."),
+    ("Materials Science", "Mater. Sci."),
+    ("Theoretical Physics", "Theor. Phys."),
+    ("Data Engineering", "Data Eng."),
+    ("Machine Learning", "Mach. Learn."),
+    ("Social Psychology", "Soc. Psychol."),
+    ("Economic Policy", "Econ. Policy"),
+    ("Marine Ecology", "Mar. Ecol."),
+    ("Organic Chemistry", "Org. Chem."),
+    ("Neural Computation", "Neural Comput."),
+    ("Quantum Information", "Quantum Inf."),
+];
+
+const JOURNAL_PREFIXES: &[(&str, &str)] = &[
+    ("Journal of", "J."),
+    ("International Journal of", "Int. J."),
+    ("Annals of", "Ann."),
+    ("Transactions on", "Trans."),
+    ("Review of", "Rev."),
+    ("Advances in", "Adv."),
+    ("Proceedings of", "Proc."),
+    ("Bulletin of", "Bull."),
+];
+
+fn ordinal_suffix(n: u32) -> &'static str {
+    match (n % 10, n % 100) {
+        (_, 11..=13) => "th",
+        (1, _) => "st",
+        (2, _) => "nd",
+        (3, _) => "rd",
+        _ => "th",
+    }
+}
+
+// --- AuthorList --------------------------------------------------------------
+
+#[derive(Clone)]
+struct AuthorEntity {
+    authors: Vec<(String, String)>, // (first, last)
+}
+
+impl AuthorEntity {
+    fn random(rng: &mut StdRng) -> Self {
+        let n = *[1usize, 1, 2, 2, 2, 3].choose(rng).unwrap();
+        let authors = (0..n)
+            .map(|_| {
+                (
+                    FIRST_NAMES.choose(rng).unwrap().to_string(),
+                    LAST_NAMES.choose(rng).unwrap().to_string(),
+                )
+            })
+            .collect();
+        AuthorEntity { authors }
+    }
+
+    /// The canonical rendering: "First Last, First Last".
+    fn canonical(&self) -> String {
+        self.authors
+            .iter()
+            .map(|(f, l)| format!("{f} {l}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// One of the variant formats of Table 4.
+    fn render(&self, format: usize) -> String {
+        match format % 5 {
+            // Canonical.
+            0 => self.canonical(),
+            // "Last, First Last, First" (group A/C style).
+            1 => self
+                .authors
+                .iter()
+                .map(|(f, l)| format!("{l}, {f}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            // Initials: "F. Last, F. Last" (Figure 2 group 2).
+            2 => self
+                .authors
+                .iter()
+                .map(|(f, l)| format!("{}. {l}", f.chars().next().unwrap()))
+                .collect::<Vec<_>>()
+                .join(", "),
+            // Role annotation: "Last, First (edt)" (group E).
+            3 => self
+                .authors
+                .iter()
+                .map(|(f, l)| format!("{l}, {f} (edt)"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            // Nickname contraction of the first author (group B).
+            _ => {
+                let mut parts = Vec::new();
+                for (i, (f, l)) in self.authors.iter().enumerate() {
+                    let first = if i == 0 {
+                        NICKNAMES
+                            .iter()
+                            .find(|(full, _)| full == f)
+                            .map(|(_, nick)| nick.to_string())
+                            .unwrap_or_else(|| f.clone())
+                    } else {
+                        f.clone()
+                    };
+                    parts.push(format!("{first} {l}"));
+                }
+                parts.join(", ")
+            }
+        }
+    }
+}
+
+/// Generates the AuthorList dataset: large clusters (books clustered by ISBN)
+/// whose author-list values mix several rendering formats with conflicting
+/// author lists from mismatched records.
+pub fn author_list(config: &GeneratorConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dataset = Dataset::new("AuthorList", vec!["author_list".to_string()]);
+    for _ in 0..config.num_clusters {
+        let entity = AuthorEntity::random(&mut rng);
+        let canonical = entity.canonical();
+        // Cluster sizes: heavy-tailed, averaging in the twenties.
+        let size = 1 + rng.gen_range(0..8) * rng.gen_range(1..8);
+        // 3-4 conflicting author lists per cluster keeps the conflict share of
+        // distinct pairs near the paper's 73.5%.
+        let num_conflicts = if size >= 4 { rng.gen_range(3..=4) } else { 0 };
+        let conflicts: Vec<AuthorEntity> =
+            (0..num_conflicts).map(|_| AuthorEntity::random(&mut rng)).collect();
+        let mut rows = Vec::with_capacity(size);
+        for r in 0..size {
+            let source = rng.gen_range(0..config.num_sources);
+            let conflict_row = r > 0 && !conflicts.is_empty() && rng.gen_bool(0.35);
+            let cell = if conflict_row {
+                let other = conflicts.choose(&mut rng).unwrap();
+                Cell {
+                    observed: other.render(rng.gen_range(0..5)),
+                    truth: other.canonical(),
+                }
+            } else {
+                Cell {
+                    observed: entity.render(r % 5),
+                    truth: canonical.clone(),
+                }
+            };
+            rows.push(Row { source, cells: vec![cell] });
+        }
+        dataset.clusters.push(Cluster {
+            rows,
+            golden: vec![canonical],
+        });
+    }
+    dataset
+}
+
+// --- Address -----------------------------------------------------------------
+
+#[derive(Clone)]
+struct AddressEntity {
+    number: u32,
+    street: String,
+    street_type: usize,
+    zip: String,
+    state: usize,
+}
+
+impl AddressEntity {
+    fn random(rng: &mut StdRng) -> Self {
+        AddressEntity {
+            number: rng.gen_range(1..400),
+            street: STREET_NAMES.choose(rng).unwrap().to_string(),
+            street_type: rng.gen_range(0..STREET_TYPES.len()),
+            zip: format!("{:05}", rng.gen_range(501..99950)),
+            state: rng.gen_range(0..STATES.len()),
+        }
+    }
+
+    /// Canonical: ordinal number, full street type, state abbreviation — the
+    /// target format of Table 2.
+    fn canonical(&self) -> String {
+        format!(
+            "{}{} {} {}, {} {}",
+            self.number,
+            ordinal_suffix(self.number),
+            self.street,
+            STREET_TYPES[self.street_type].0,
+            self.zip,
+            STATES[self.state].1
+        )
+    }
+
+    fn render(&self, format: usize) -> String {
+        let ordinal = format % 2 == 0;
+        let abbrev_type = (format / 2) % 2 == 0;
+        let full_state = (format / 4) % 2 == 0;
+        let number = if ordinal {
+            format!("{}{}", self.number, ordinal_suffix(self.number))
+        } else {
+            self.number.to_string()
+        };
+        let st = if abbrev_type {
+            STREET_TYPES[self.street_type].1
+        } else {
+            STREET_TYPES[self.street_type].0
+        };
+        let state = if full_state {
+            STATES[self.state].0
+        } else {
+            STATES[self.state].1
+        };
+        format!("{number} {} {st}, {} {state}", self.street, self.zip)
+    }
+}
+
+/// Generates the Address dataset: mid-sized clusters (funding applications
+/// clustered by EIN) with ordinal/street-type/state formatting variants and a
+/// high share of genuinely different addresses (conflicts).
+pub fn address(config: &GeneratorConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dataset = Dataset::new("Address", vec!["address".to_string()]);
+    for _ in 0..config.num_clusters {
+        let entity = AddressEntity::random(&mut rng);
+        let canonical = entity.canonical();
+        let size = 1 + rng.gen_range(0..6) + rng.gen_range(0..5);
+        let num_conflicts = if size >= 3 { rng.gen_range(2..=4) } else { 0 };
+        let conflicts: Vec<AddressEntity> =
+            (0..num_conflicts).map(|_| AddressEntity::random(&mut rng)).collect();
+        let mut rows = Vec::with_capacity(size);
+        for r in 0..size {
+            let source = rng.gen_range(0..config.num_sources);
+            let conflict_row = r > 0 && !conflicts.is_empty() && rng.gen_bool(0.45);
+            let cell = if conflict_row {
+                let other = conflicts.choose(&mut rng).unwrap();
+                Cell {
+                    observed: other.render(rng.gen_range(0..8)),
+                    truth: other.canonical(),
+                }
+            } else {
+                Cell {
+                    observed: entity.render(r % 8),
+                    truth: canonical.clone(),
+                }
+            };
+            rows.push(Row { source, cells: vec![cell] });
+        }
+        dataset.clusters.push(Cluster {
+            rows,
+            golden: vec![canonical],
+        });
+    }
+    dataset
+}
+
+// --- JournalTitle --------------------------------------------------------------
+
+#[derive(Clone)]
+struct JournalEntity {
+    prefix: usize,
+    subject: usize,
+}
+
+impl JournalEntity {
+    fn random(rng: &mut StdRng) -> Self {
+        JournalEntity {
+            prefix: rng.gen_range(0..JOURNAL_PREFIXES.len()),
+            subject: rng.gen_range(0..JOURNAL_SUBJECTS.len()),
+        }
+    }
+
+    fn canonical(&self) -> String {
+        format!(
+            "{} {}",
+            JOURNAL_PREFIXES[self.prefix].0,
+            JOURNAL_SUBJECTS[self.subject].0
+        )
+    }
+
+    fn render(&self, format: usize) -> String {
+        match format % 4 {
+            0 => self.canonical(),
+            // Fully abbreviated title.
+            1 => format!(
+                "{} {}",
+                JOURNAL_PREFIXES[self.prefix].1,
+                JOURNAL_SUBJECTS[self.subject].1
+            ),
+            // Abbreviated prefix, full subject.
+            2 => format!(
+                "{} {}",
+                JOURNAL_PREFIXES[self.prefix].1,
+                JOURNAL_SUBJECTS[self.subject].0
+            ),
+            // Lower-cased canonical title.
+            _ => self.canonical().to_lowercase(),
+        }
+    }
+}
+
+/// Generates the JournalTitle dataset: many tiny clusters (journals clustered
+/// by ISSN) whose titles differ mostly by abbreviation and casing, so the
+/// variant share of pairs is high (the paper reports 74%).
+pub fn journal_title(config: &GeneratorConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dataset = Dataset::new("JournalTitle", vec!["title".to_string()]);
+    for _ in 0..config.num_clusters {
+        let entity = JournalEntity::random(&mut rng);
+        let canonical = entity.canonical();
+        // Mostly 1-2 records, occasionally more (average ≈ 1.8).
+        let size = match rng.gen_range(0..10) {
+            0..=3 => 1,
+            4..=7 => 2,
+            8 => 3,
+            _ => rng.gen_range(3..7),
+        };
+        let conflict_cluster = size >= 2 && rng.gen_bool(0.22);
+        let conflict_entity = JournalEntity::random(&mut rng);
+        let mut rows = Vec::with_capacity(size);
+        for r in 0..size {
+            let source = rng.gen_range(0..config.num_sources);
+            let is_conflict = conflict_cluster && r == size - 1;
+            let cell = if is_conflict {
+                Cell {
+                    observed: conflict_entity.render(rng.gen_range(0..4)),
+                    truth: conflict_entity.canonical(),
+                }
+            } else {
+                Cell {
+                    observed: entity.render(r % 4),
+                    truth: canonical.clone(),
+                }
+            };
+            rows.push(Row { source, cells: vec![cell] });
+        }
+        dataset.clusters.push(Cluster {
+            rows,
+            golden: vec![canonical],
+        });
+    }
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(dataset: PaperDataset) -> Dataset {
+        dataset.generate(&GeneratorConfig {
+            num_clusters: 40,
+            seed: 11,
+            num_sources: 5,
+        })
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for d in PaperDataset::ALL {
+            let a = d.generate(&GeneratorConfig { num_clusters: 10, seed: 99, num_sources: 3 });
+            let b = d.generate(&GeneratorConfig { num_clusters: 10, seed: 99, num_sources: 3 });
+            assert_eq!(a, b, "{} must be deterministic", d.name());
+            let c = d.generate(&GeneratorConfig { num_clusters: 10, seed: 100, num_sources: 3 });
+            assert_ne!(a, c, "different seeds must differ for {}", d.name());
+        }
+    }
+
+    #[test]
+    fn every_cell_has_a_truth_and_goldens_are_canonical() {
+        for d in PaperDataset::ALL {
+            let ds = small(d);
+            assert_eq!(ds.clusters.len(), 40);
+            for cluster in &ds.clusters {
+                assert!(!cluster.is_empty());
+                assert_eq!(cluster.golden.len(), ds.columns.len());
+                for row in &cluster.rows {
+                    for cell in &row.cells {
+                        assert!(!cell.observed.is_empty());
+                        assert!(!cell.truth.is_empty());
+                    }
+                }
+                // At least one row renders the cluster's own entity.
+                assert!(
+                    cluster.rows.iter().any(|r| r.cells[0].truth == cluster.golden[0]),
+                    "{}", d.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variant_conflict_mix_orders_like_table_6() {
+        // Table 6: JournalTitle has by far the highest variant share, Address
+        // the lowest; AuthorList and Address are both conflict-dominated.
+        let mut fractions = Vec::new();
+        for d in PaperDataset::ALL {
+            let ds = d.generate(&d.default_config());
+            let s = ds.stats(0);
+            assert!(s.distinct_value_pairs > 100, "{} too small: {s:?}", d.name());
+            fractions.push((d, s.variant_pair_fraction));
+        }
+        let author = fractions[0].1;
+        let address = fractions[1].1;
+        let journal = fractions[2].1;
+        assert!(journal > 0.55, "JournalTitle should be variant-dominated: {journal}");
+        assert!(author < 0.5, "AuthorList should be conflict-dominated: {author}");
+        assert!(address < 0.5, "Address should be conflict-dominated: {address}");
+        assert!(journal > author && journal > address);
+    }
+
+    #[test]
+    fn cluster_size_profiles_are_ordered_like_the_paper() {
+        let author = PaperDataset::AuthorList.generate(&PaperDataset::AuthorList.default_config());
+        let address = PaperDataset::Address.generate(&PaperDataset::Address.default_config());
+        let journal =
+            PaperDataset::JournalTitle.generate(&PaperDataset::JournalTitle.default_config());
+        let a = author.stats(0).avg_cluster_size;
+        let b = address.stats(0).avg_cluster_size;
+        let c = journal.stats(0).avg_cluster_size;
+        assert!(a > b && b > c, "cluster sizes should order AuthorList > Address > JournalTitle: {a} {b} {c}");
+        assert!(c < 3.0);
+        assert!(a > 8.0);
+    }
+
+    #[test]
+    fn address_variants_use_the_expected_formats() {
+        let ds = small(PaperDataset::Address);
+        let all: Vec<String> = ds
+            .clusters
+            .iter()
+            .flat_map(|c| c.rows.iter().map(|r| r.cells[0].observed.clone()))
+            .collect();
+        assert!(all.iter().any(|v| v.contains(" St,") || v.contains(" Ave,")), "abbreviated street types expected");
+        assert!(all.iter().any(|v| v.contains("Street") || v.contains("Avenue")), "full street types expected");
+        let has_full_state = all.iter().any(|v| STATES.iter().any(|(full, _)| v.ends_with(full)));
+        let has_abbrev_state = all.iter().any(|v| STATES.iter().any(|(_, ab)| v.ends_with(ab)));
+        assert!(has_full_state && has_abbrev_state);
+    }
+
+    #[test]
+    fn author_variants_include_transpositions_and_initials() {
+        let ds = small(PaperDataset::AuthorList);
+        let all: Vec<String> = ds
+            .clusters
+            .iter()
+            .flat_map(|c| c.rows.iter().map(|r| r.cells[0].observed.clone()))
+            .collect();
+        assert!(all.iter().any(|v| v.contains(". ")), "initials format expected");
+        assert!(all.iter().any(|v| v.contains("(edt)")), "role annotations expected");
+        assert!(all.iter().any(|v| v.contains(", ")), "comma formats expected");
+    }
+
+    #[test]
+    fn journal_variants_include_abbreviations_and_casing() {
+        let ds = small(PaperDataset::JournalTitle);
+        let all: Vec<String> = ds
+            .clusters
+            .iter()
+            .flat_map(|c| c.rows.iter().map(|r| r.cells[0].observed.clone()))
+            .collect();
+        assert!(all.iter().any(|v| v.contains("J.") || v.contains("Int.")), "abbreviated prefixes expected");
+        assert!(all.iter().any(|v| v.chars().next().is_some_and(|c| c.is_lowercase())), "lower-cased variants expected");
+    }
+
+    #[test]
+    fn ordinal_suffixes() {
+        assert_eq!(ordinal_suffix(1), "st");
+        assert_eq!(ordinal_suffix(2), "nd");
+        assert_eq!(ordinal_suffix(3), "rd");
+        assert_eq!(ordinal_suffix(4), "th");
+        assert_eq!(ordinal_suffix(11), "th");
+        assert_eq!(ordinal_suffix(12), "th");
+        assert_eq!(ordinal_suffix(13), "th");
+        assert_eq!(ordinal_suffix(21), "st");
+        assert_eq!(ordinal_suffix(102), "nd");
+        assert_eq!(ordinal_suffix(111), "th");
+    }
+
+    #[test]
+    fn paper_budgets() {
+        assert_eq!(PaperDataset::AuthorList.paper_budget(), 200);
+        assert_eq!(PaperDataset::Address.paper_budget(), 100);
+        assert_eq!(PaperDataset::JournalTitle.paper_budget(), 100);
+    }
+}

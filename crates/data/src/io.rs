@@ -1,0 +1,292 @@
+//! Loading and saving clustered datasets as delimited text.
+//!
+//! Two formats are supported:
+//!
+//! * **clustered CSV** — one row per record with a `cluster` id column, a
+//!   `source` column, then one observed-value column per attribute and
+//!   (optionally) one `<attribute>__truth` column per attribute. This is the
+//!   format [`dataset_to_csv`] writes and [`dataset_from_csv`] reads; it round
+//!   trips losslessly (ground-truth golden values are re-derived as the
+//!   majority truth of the cluster, which is how the generators define them).
+//! * **flat record CSV** — one row per unclustered record: a `source` column
+//!   followed by attribute columns. [`raw_records_from_csv`] reads it; the
+//!   `ec-resolution` crate turns such records into clusters.
+
+use crate::csv::{self, CsvError};
+use crate::model::{Cell, Cluster, Dataset, Row};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An error produced while reading a dataset from CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetIoError {
+    /// The underlying CSV text failed to parse.
+    Csv(CsvError),
+    /// The header was missing or lacked required columns.
+    BadHeader(String),
+    /// A cell failed to parse (e.g. a non-numeric cluster id).
+    BadCell {
+        /// 1-based data-row number (excluding the header).
+        row: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for DatasetIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetIoError::Csv(e) => write!(f, "csv error: {e}"),
+            DatasetIoError::BadHeader(msg) => write!(f, "bad header: {msg}"),
+            DatasetIoError::BadCell { row, message } => write!(f, "row {row}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetIoError {}
+
+impl From<CsvError> for DatasetIoError {
+    fn from(e: CsvError) -> Self {
+        DatasetIoError::Csv(e)
+    }
+}
+
+/// Serializes a dataset to clustered CSV, including the `__truth` columns so
+/// that evaluation-ready datasets round trip.
+pub fn dataset_to_csv(dataset: &Dataset) -> String {
+    let mut records: Vec<Vec<String>> = Vec::with_capacity(dataset.num_records() + 1);
+    let mut header = vec!["cluster".to_string(), "source".to_string()];
+    for col in &dataset.columns {
+        header.push(col.clone());
+    }
+    for col in &dataset.columns {
+        header.push(format!("{col}__truth"));
+    }
+    records.push(header);
+    for (cluster_id, cluster) in dataset.clusters.iter().enumerate() {
+        for row in &cluster.rows {
+            let mut record = vec![cluster_id.to_string(), row.source.to_string()];
+            record.extend(row.cells.iter().map(|c| c.observed.clone()));
+            record.extend(row.cells.iter().map(|c| c.truth.clone()));
+            records.push(record);
+        }
+    }
+    csv::write(&records)
+}
+
+/// Parses a clustered-CSV dataset produced by [`dataset_to_csv`] (or authored
+/// by hand). The `__truth` columns are optional; when absent each cell's truth
+/// is set to its observed value. Cluster golden records are the per-column
+/// majority of truths within the cluster.
+pub fn dataset_from_csv(name: &str, text: &str) -> Result<Dataset, DatasetIoError> {
+    let records = csv::parse(text)?;
+    let Some((header, data)) = records.split_first() else {
+        return Err(DatasetIoError::BadHeader("empty input".to_string()));
+    };
+    if header.len() < 3 || header[0] != "cluster" || header[1] != "source" {
+        return Err(DatasetIoError::BadHeader(
+            "expected columns: cluster, source, <attributes...>".to_string(),
+        ));
+    }
+    let attribute_headers = &header[2..];
+    // Observed columns come first, then any *__truth columns.
+    let observed: Vec<&String> = attribute_headers
+        .iter()
+        .filter(|h| !h.ends_with("__truth"))
+        .collect();
+    let truth_index: HashMap<&str, usize> = attribute_headers
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.ends_with("__truth"))
+        .map(|(i, h)| (h.trim_end_matches("__truth"), i + 2))
+        .collect();
+    let observed_index: Vec<usize> = attribute_headers
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| !h.ends_with("__truth"))
+        .map(|(i, _)| i + 2)
+        .collect();
+    let columns: Vec<String> = observed.iter().map(|s| s.to_string()).collect();
+
+    let mut clusters: BTreeMap<String, Vec<Row>> = BTreeMap::new();
+    for (row_num, record) in data.iter().enumerate() {
+        let source: usize = record[1].trim().parse().map_err(|_| DatasetIoError::BadCell {
+            row: row_num + 1,
+            message: format!("source '{}' is not an integer", record[1]),
+        })?;
+        let cells: Vec<Cell> = columns
+            .iter()
+            .zip(&observed_index)
+            .map(|(col, &obs_idx)| {
+                let observed = record[obs_idx].clone();
+                let truth = truth_index
+                    .get(col.as_str())
+                    .map(|&t| record[t].clone())
+                    .unwrap_or_else(|| observed.clone());
+                Cell { observed, truth }
+            })
+            .collect();
+        clusters
+            .entry(record[0].trim().to_string())
+            .or_default()
+            .push(Row { source, cells });
+    }
+
+    let mut dataset = Dataset::new(name, columns.clone());
+    for (_, rows) in clusters {
+        let golden: Vec<String> = (0..columns.len())
+            .map(|col| {
+                let mut counts: HashMap<&str, usize> = HashMap::new();
+                for row in &rows {
+                    *counts.entry(row.cells[col].truth.as_str()).or_insert(0) += 1;
+                }
+                counts
+                    .into_iter()
+                    .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
+                    .map(|(v, _)| v.to_string())
+                    .unwrap_or_default()
+            })
+            .collect();
+        dataset.clusters.push(Cluster { rows, golden });
+    }
+    Ok(dataset)
+}
+
+/// Parses flat, unclustered records: a header of `source,<attributes...>`
+/// followed by one row per record. Returns the attribute column names and
+/// `(source, fields)` per record — the shape `ec-resolution`'s `RawRecord`
+/// construction expects.
+pub fn raw_records_from_csv(
+    text: &str,
+) -> Result<(Vec<String>, Vec<(usize, Vec<String>)>), DatasetIoError> {
+    let records = csv::parse(text)?;
+    let Some((header, data)) = records.split_first() else {
+        return Err(DatasetIoError::BadHeader("empty input".to_string()));
+    };
+    if header.len() < 2 || header[0] != "source" {
+        return Err(DatasetIoError::BadHeader(
+            "expected columns: source, <attributes...>".to_string(),
+        ));
+    }
+    let columns = header[1..].to_vec();
+    let mut out = Vec::with_capacity(data.len());
+    for (row_num, record) in data.iter().enumerate() {
+        let source: usize = record[0].trim().parse().map_err(|_| DatasetIoError::BadCell {
+            row: row_num + 1,
+            message: format!("source '{}' is not an integer", record[0]),
+        })?;
+        out.push((source, record[1..].to_vec()));
+    }
+    Ok((columns, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{GeneratorConfig, PaperDataset};
+
+    fn small_dataset() -> Dataset {
+        PaperDataset::Address.generate(&GeneratorConfig {
+            num_clusters: 12,
+            seed: 3,
+            num_sources: 3,
+        })
+    }
+
+    #[test]
+    fn dataset_round_trips_through_csv() {
+        let original = small_dataset();
+        let text = dataset_to_csv(&original);
+        let parsed = dataset_from_csv(&original.name, &text).unwrap();
+        assert_eq!(parsed.columns, original.columns);
+        assert_eq!(parsed.num_records(), original.num_records());
+        // Every (observed, truth) multiset per cluster is preserved; cluster
+        // order may differ because ids are strings, so compare as sets.
+        let key = |d: &Dataset| {
+            let mut clusters: Vec<Vec<(String, String, usize)>> = d
+                .clusters
+                .iter()
+                .map(|c| {
+                    let mut rows: Vec<(String, String, usize)> = c
+                        .rows
+                        .iter()
+                        .map(|r| (r.cells[0].observed.clone(), r.cells[0].truth.clone(), r.source))
+                        .collect();
+                    rows.sort();
+                    rows
+                })
+                .collect();
+            clusters.sort();
+            clusters
+        };
+        assert_eq!(key(&parsed), key(&original));
+    }
+
+    #[test]
+    fn csv_without_truth_columns_defaults_truth_to_observed() {
+        let text = "cluster,source,Name\n0,0,Mary Lee\n0,1,\"Lee, Mary\"\n1,0,James Smith\n";
+        let dataset = dataset_from_csv("names", text).unwrap();
+        assert_eq!(dataset.columns, vec!["Name"]);
+        assert_eq!(dataset.clusters.len(), 2);
+        for cluster in &dataset.clusters {
+            for row in &cluster.rows {
+                assert_eq!(row.cells[0].observed, row.cells[0].truth);
+            }
+        }
+    }
+
+    #[test]
+    fn golden_records_are_majority_truths() {
+        let text = "cluster,source,Name,Name__truth\n\
+                    0,0,Mary Lee,Mary Lee\n\
+                    0,1,M. Lee,Mary Lee\n\
+                    0,2,Lee Mary,Lee Mary\n";
+        let dataset = dataset_from_csv("names", text).unwrap();
+        assert_eq!(dataset.clusters[0].golden[0], "Mary Lee");
+    }
+
+    #[test]
+    fn bad_headers_are_rejected() {
+        assert!(matches!(
+            dataset_from_csv("x", ""),
+            Err(DatasetIoError::BadHeader(_))
+        ));
+        assert!(matches!(
+            dataset_from_csv("x", "a,b,c\n1,2,3\n"),
+            Err(DatasetIoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn bad_source_reports_the_row() {
+        let text = "cluster,source,Name\n0,zero,Mary\n";
+        let err = dataset_from_csv("x", text).unwrap_err();
+        match err {
+            DatasetIoError::BadCell { row, .. } => assert_eq!(row, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_parse_errors_propagate() {
+        let text = "cluster,source,Name\n0,0,\"open\n";
+        assert!(matches!(dataset_from_csv("x", text), Err(DatasetIoError::Csv(_))));
+    }
+
+    #[test]
+    fn raw_records_parse() {
+        let text = "source,Name,Address\n0,Mary Lee,\"9 St, 02141 WI\"\n1,M. Lee,9th St\n";
+        let (columns, records) = raw_records_from_csv(text).unwrap();
+        assert_eq!(columns, vec!["Name", "Address"]);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].0, 0);
+        assert_eq!(records[0].1[1], "9 St, 02141 WI");
+    }
+
+    #[test]
+    fn raw_records_reject_bad_headers_and_sources() {
+        assert!(raw_records_from_csv("").is_err());
+        assert!(raw_records_from_csv("name\nx\n").is_err());
+        assert!(raw_records_from_csv("source,Name\nnotanumber,X\n").is_err());
+    }
+}

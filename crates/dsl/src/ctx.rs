@@ -1,0 +1,186 @@
+//! [`StrCtx`]: a prepared view of an input string.
+//!
+//! Every position function, string function and program in this crate is
+//! evaluated against an input string `s` (the paper's "global parameter").
+//! [`StrCtx`] decodes `s` into characters once and caches the matches of the
+//! four character-class terms so that repeated evaluation — the transformation
+//! graph builder evaluates thousands of candidate functions per replacement —
+//! does not rescan the string.
+
+use crate::terms::{Term, TermMatch};
+use crate::CLASS_TERMS;
+
+/// A prepared input string: the original text, its characters, and cached
+/// matches of the four character-class terms.
+#[derive(Debug, Clone)]
+pub struct StrCtx<'a> {
+    s: &'a str,
+    chars: Vec<char>,
+    class_matches: [Vec<TermMatch>; 4],
+}
+
+impl<'a> StrCtx<'a> {
+    /// Prepares `s` for evaluation.
+    pub fn new(s: &'a str) -> Self {
+        let chars: Vec<char> = s.chars().collect();
+        let class_matches = [
+            CLASS_TERMS[0].matches(&chars),
+            CLASS_TERMS[1].matches(&chars),
+            CLASS_TERMS[2].matches(&chars),
+            CLASS_TERMS[3].matches(&chars),
+        ];
+        StrCtx {
+            s,
+            chars,
+            class_matches,
+        }
+    }
+
+    /// The original string.
+    pub fn as_str(&self) -> &'a str {
+        self.s
+    }
+
+    /// The characters of the string.
+    pub fn chars(&self) -> &[char] {
+        &self.chars
+    }
+
+    /// Number of characters (`|s|`). Positions range over `0..=len()`.
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// True when the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chars.is_empty()
+    }
+
+    /// All matches of `term` in the string. Class-term matches are served from
+    /// the cache; literal terms are matched on demand.
+    pub fn matches(&self, term: &Term) -> Vec<TermMatch> {
+        match term {
+            Term::Upper => self.class_matches[0].clone(),
+            Term::Lower => self.class_matches[1].clone(),
+            Term::Digits => self.class_matches[2].clone(),
+            Term::Whitespace => self.class_matches[3].clone(),
+            Term::Literal(_) => term.matches(&self.chars),
+        }
+    }
+
+    /// Cached matches of a class term, by reference (panics on literals).
+    pub fn class_matches(&self, term: &Term) -> &[TermMatch] {
+        match term {
+            Term::Upper => &self.class_matches[0],
+            Term::Lower => &self.class_matches[1],
+            Term::Digits => &self.class_matches[2],
+            Term::Whitespace => &self.class_matches[3],
+            Term::Literal(_) => panic!("class_matches called with a literal term"),
+        }
+    }
+
+    /// The substring spanning character positions `[i, j)`, as an owned string.
+    ///
+    /// # Panics
+    /// Panics if `i > j` or `j > len()`.
+    pub fn slice(&self, i: usize, j: usize) -> String {
+        assert!(i <= j && j <= self.chars.len(), "slice out of bounds");
+        self.chars[i..j].iter().collect()
+    }
+
+    /// Resolves the `k`-th match (1-based; negative counts from the end as in
+    /// the paper: `-1` is the last match) of `term`.
+    pub fn kth_match(&self, term: &Term, k: i32) -> Option<TermMatch> {
+        let matches = self.matches(term);
+        resolve_kth(&matches, k)
+    }
+}
+
+/// Resolves a paper-style match ordinal: positive `k` is the `k`-th match from
+/// the left (1-based); negative `k` is resolved as `m + 1 + k` where `m` is the
+/// number of matches (so `-1` is the last). Returns `None` when out of range or
+/// `k == 0`.
+pub(crate) fn resolve_kth(matches: &[TermMatch], k: i32) -> Option<TermMatch> {
+    let m = matches.len() as i64;
+    let k = k as i64;
+    let idx = if k > 0 {
+        k
+    } else if k < 0 {
+        m + 1 + k
+    } else {
+        return None;
+    };
+    if idx >= 1 && idx <= m {
+        Some(matches[(idx - 1) as usize])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let ctx = StrCtx::new("Lee, Mary");
+        assert_eq!(ctx.len(), 9);
+        assert!(!ctx.is_empty());
+        assert_eq!(ctx.as_str(), "Lee, Mary");
+        assert_eq!(ctx.slice(0, 3), "Lee");
+        assert_eq!(ctx.slice(5, 9), "Mary");
+        assert_eq!(ctx.slice(4, 4), "");
+    }
+
+    #[test]
+    fn cached_class_matches_agree_with_direct_matching() {
+        let ctx = StrCtx::new("9th St, 02141 WI");
+        for term in CLASS_TERMS {
+            assert_eq!(ctx.matches(&term), term.matches(ctx.chars()));
+        }
+    }
+
+    #[test]
+    fn kth_match_positive_and_negative() {
+        let ctx = StrCtx::new("Lee, Mary");
+        // TC matches: [0,1) "L" and [5,6) "M".
+        assert_eq!(ctx.kth_match(&Term::Upper, 1), Some(TermMatch { start: 0, end: 1 }));
+        assert_eq!(ctx.kth_match(&Term::Upper, 2), Some(TermMatch { start: 5, end: 6 }));
+        assert_eq!(ctx.kth_match(&Term::Upper, -1), Some(TermMatch { start: 5, end: 6 }));
+        assert_eq!(ctx.kth_match(&Term::Upper, -2), Some(TermMatch { start: 0, end: 1 }));
+        assert_eq!(ctx.kth_match(&Term::Upper, 3), None);
+        assert_eq!(ctx.kth_match(&Term::Upper, -3), None);
+        assert_eq!(ctx.kth_match(&Term::Upper, 0), None);
+    }
+
+    #[test]
+    fn literal_matches_via_ctx() {
+        let ctx = StrCtx::new("Main Street and Wall Street");
+        let m = ctx.matches(&Term::literal("Street"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn empty_string_ctx() {
+        let ctx = StrCtx::new("");
+        assert_eq!(ctx.len(), 0);
+        assert!(ctx.is_empty());
+        assert!(ctx.matches(&Term::Upper).is_empty());
+        assert_eq!(ctx.slice(0, 0), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let ctx = StrCtx::new("ab");
+        let _ = ctx.slice(1, 5);
+    }
+
+    #[test]
+    fn unicode_positions_are_char_based() {
+        let ctx = StrCtx::new("café 9");
+        assert_eq!(ctx.len(), 6);
+        assert_eq!(ctx.slice(0, 4), "café");
+        assert_eq!(ctx.kth_match(&Term::Digits, 1), Some(TermMatch { start: 5, end: 6 }));
+    }
+}

@@ -1,0 +1,58 @@
+//! # ec-dsl — the string transformation DSL
+//!
+//! This crate implements the domain-specific language (DSL) used by the
+//! entity-consolidation reproduction of Deng et al., *Unsupervised String
+//! Transformation Learning for Entity Consolidation* (ICDE 2019). The DSL is
+//! the one designed by Gulwani for FlashFill (POPL 2011), summarised in
+//! Appendix B of the paper, extended with the affix string functions
+//! (`Prefix`, `Suffix`) introduced in Appendix D.
+//!
+//! A *transformation program* takes an input string `s` and produces an output
+//! string `t` by concatenating the outputs of a sequence of *string
+//! functions*. String functions either emit a constant string or a substring
+//! of `s` delimited by *position functions*, which locate positions in `s`
+//! using matches of *terms* (character-class "regexes" such as `[A-Z]+`, or
+//! constant strings).
+//!
+//! ```
+//! use ec_dsl::{Dir, PositionFn, Program, StrCtx, StringFn, Term};
+//!
+//! // The paper's running example (Figure 3): "Lee, Mary" -> "M. Lee".
+//! let f2 = StringFn::sub_str(
+//!     PositionFn::match_pos(Term::Upper, 1, Dir::Begin),
+//!     PositionFn::match_pos(Term::Lower, 1, Dir::End),
+//! ); // -> "Lee"
+//! let f3 = StringFn::constant(". ");
+//! let f1 = StringFn::sub_str(
+//!     PositionFn::match_pos(Term::Whitespace, 1, Dir::End),
+//!     PositionFn::match_pos(Term::Upper, -1, Dir::End),
+//! ); // -> "M"
+//! let program = Program::new(vec![f1, f3, f2]);
+//! let ctx = StrCtx::new("Lee, Mary");
+//! assert_eq!(program.eval(&ctx).as_deref(), Some("M. Lee"));
+//! assert!(program.consistent_with(&ctx, "M. Lee"));
+//! ```
+//!
+//! All positions exposed by this crate are **character indices** (not byte
+//! offsets): a string of `n` characters has `n + 1` positions `0..=n`, each
+//! denoting the gap before the character of the same index. The paper uses the
+//! equivalent 1-based convention; conversion is a constant offset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod position;
+pub mod program;
+pub mod strfn;
+pub mod terms;
+
+pub use ctx::StrCtx;
+pub use position::{Dir, PositionFn};
+pub use program::Program;
+pub use strfn::StringFn;
+pub use terms::{Term, TermMatch};
+
+/// The four regex-based character-class terms of the paper (`TC`, `Tl`, `Td`,
+/// `Tb`), in the static "wider class first" order used by Appendix E.
+pub const CLASS_TERMS: [Term; 4] = [Term::Upper, Term::Lower, Term::Digits, Term::Whitespace];

@@ -1,0 +1,196 @@
+//! Position functions: locating positions in the input string.
+//!
+//! A position function maps the input string `s` to a character position in
+//! `0..=|s|` (positions denote gaps between characters, so a string of `n`
+//! characters has `n + 1` positions). The paper defines two kinds:
+//!
+//! * [`PositionFn::ConstPos`] — an absolute position, counted from the front
+//!   for positive `k` and from the back for negative `k`;
+//! * [`PositionFn::MatchPos`] — the beginning or end of the `k`-th match of a
+//!   term, with negative `k` counting matches from the back.
+
+use crate::ctx::{resolve_kth, StrCtx};
+use crate::terms::Term;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a [`PositionFn::MatchPos`] refers to the beginning or the end of
+/// the selected match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dir {
+    /// The beginning position of the match (paper: `B`).
+    Begin,
+    /// The ending position of the match (paper: `E`).
+    End,
+}
+
+/// A position function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PositionFn {
+    /// `ConstPos(k)`: for `k > 0` the position `k - 1` (the paper is 1-based),
+    /// provided `k <= |s| + 1`; for `k < 0` the position `|s| + 1 + k`
+    /// (counting from the back, `-1` being the position after the last
+    /// character), provided `-(|s| + 1) <= k`.
+    ConstPos(i32),
+    /// `MatchPos(term, k, dir)`: the beginning or ending position of the
+    /// `k`-th match of `term` in `s` (negative `k` counts from the back).
+    MatchPos {
+        /// The term whose matches are counted.
+        term: Term,
+        /// The 1-based match ordinal; negative counts from the back.
+        k: i32,
+        /// Whether to return the beginning or the ending position.
+        dir: Dir,
+    },
+}
+
+impl PositionFn {
+    /// Convenience constructor for [`PositionFn::MatchPos`].
+    pub fn match_pos(term: Term, k: i32, dir: Dir) -> Self {
+        PositionFn::MatchPos { term, k, dir }
+    }
+
+    /// Convenience constructor for [`PositionFn::ConstPos`].
+    pub fn const_pos(k: i32) -> Self {
+        PositionFn::ConstPos(k)
+    }
+
+    /// Evaluates the position function on `ctx`, returning a character
+    /// position in `0..=ctx.len()`, or `None` when the function is undefined
+    /// on this input (ordinal out of range, `k == 0`, …).
+    pub fn eval(&self, ctx: &StrCtx<'_>) -> Option<usize> {
+        let n = ctx.len() as i64;
+        match self {
+            PositionFn::ConstPos(k) => {
+                let k = *k as i64;
+                if k > 0 && k <= n + 1 {
+                    Some((k - 1) as usize)
+                } else if k < 0 && -k <= n + 1 {
+                    // Paper: |s| + 2 + k in 1-based positions = |s| + 1 + k 0-based.
+                    Some((n + 1 + k) as usize)
+                } else {
+                    None
+                }
+            }
+            PositionFn::MatchPos { term, k, dir } => {
+                let matches = ctx.matches(term);
+                let m = resolve_kth(&matches, *k)?;
+                Some(match dir {
+                    Dir::Begin => m.start,
+                    Dir::End => m.end,
+                })
+            }
+        }
+    }
+
+    /// The width of the character class used by this function (0 for constant
+    /// positions and literal terms); used by the static preference order of
+    /// Appendix E.
+    pub fn class_width(&self) -> u32 {
+        match self {
+            PositionFn::ConstPos(_) => 1,
+            PositionFn::MatchPos { term, .. } => term.class_width(),
+        }
+    }
+}
+
+impl fmt::Display for PositionFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PositionFn::ConstPos(k) => write!(f, "ConstPos({k})"),
+            PositionFn::MatchPos { term, k, dir } => {
+                let d = match dir {
+                    Dir::Begin => "B",
+                    Dir::End => "E",
+                };
+                write!(f, "MatchPos({term}, {k}, {d})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Paper Example B.1: s = "Lee, Mary", |s| = 9.
+    #[test]
+    fn paper_example_b1_const_pos() {
+        let ctx = StrCtx::new("Lee, Mary");
+        // ConstPos(2) = 2 in the paper's 1-based positions = 1 here.
+        assert_eq!(PositionFn::const_pos(2).eval(&ctx), Some(1));
+        // ConstPos(-5) = 9 + 2 - 5 = 6 (1-based) = 5 here.
+        assert_eq!(PositionFn::const_pos(-5).eval(&ctx), Some(5));
+    }
+
+    #[test]
+    fn paper_example_b1_match_pos() {
+        let ctx = StrCtx::new("Lee, Mary");
+        // MatchPos(TC, 2, B): beginning of "M" = paper position 6 = 5 here.
+        assert_eq!(
+            PositionFn::match_pos(Term::Upper, 2, Dir::Begin).eval(&ctx),
+            Some(5)
+        );
+        // MatchPos(TC, 2, E): end of "M" = paper position 7 = 6 here.
+        assert_eq!(
+            PositionFn::match_pos(Term::Upper, 2, Dir::End).eval(&ctx),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn figure3_positions() {
+        // PA: beginning of the 1st match of TC -> paper 1 -> 0 here.
+        // PB: ending of the 1st match of Tl -> "ee" ends at paper 4 -> 3 here.
+        // PC: ending of the 1st match of Tb -> paper 6 -> 5 here.
+        // PD: ending of the last match of TC -> paper 7 -> 6 here.
+        let ctx = StrCtx::new("Lee, Mary");
+        assert_eq!(PositionFn::match_pos(Term::Upper, 1, Dir::Begin).eval(&ctx), Some(0));
+        assert_eq!(PositionFn::match_pos(Term::Lower, 1, Dir::End).eval(&ctx), Some(3));
+        assert_eq!(PositionFn::match_pos(Term::Whitespace, 1, Dir::End).eval(&ctx), Some(5));
+        assert_eq!(PositionFn::match_pos(Term::Upper, -1, Dir::End).eval(&ctx), Some(6));
+    }
+
+    #[test]
+    fn const_pos_bounds() {
+        let ctx = StrCtx::new("abc");
+        assert_eq!(PositionFn::const_pos(1).eval(&ctx), Some(0));
+        assert_eq!(PositionFn::const_pos(4).eval(&ctx), Some(3));
+        assert_eq!(PositionFn::const_pos(5).eval(&ctx), None);
+        assert_eq!(PositionFn::const_pos(-1).eval(&ctx), Some(3));
+        assert_eq!(PositionFn::const_pos(-4).eval(&ctx), Some(0));
+        assert_eq!(PositionFn::const_pos(-5).eval(&ctx), None);
+        assert_eq!(PositionFn::const_pos(0).eval(&ctx), None);
+    }
+
+    #[test]
+    fn match_pos_out_of_range() {
+        let ctx = StrCtx::new("abc");
+        assert_eq!(PositionFn::match_pos(Term::Digits, 1, Dir::Begin).eval(&ctx), None);
+        assert_eq!(PositionFn::match_pos(Term::Lower, 2, Dir::Begin).eval(&ctx), None);
+        assert_eq!(PositionFn::match_pos(Term::Lower, 0, Dir::Begin).eval(&ctx), None);
+    }
+
+    #[test]
+    fn match_pos_literal_term() {
+        let ctx = StrCtx::new("9th Street, Boston");
+        let f = PositionFn::match_pos(Term::literal("Street"), 1, Dir::Begin);
+        assert_eq!(f.eval(&ctx), Some(4));
+    }
+
+    #[test]
+    fn positions_on_empty_string() {
+        let ctx = StrCtx::new("");
+        assert_eq!(PositionFn::const_pos(1).eval(&ctx), Some(0));
+        assert_eq!(PositionFn::const_pos(-1).eval(&ctx), Some(0));
+        assert_eq!(PositionFn::const_pos(2).eval(&ctx), None);
+        assert_eq!(PositionFn::match_pos(Term::Upper, 1, Dir::Begin).eval(&ctx), None);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let f = PositionFn::match_pos(Term::Upper, -1, Dir::End);
+        assert_eq!(f.to_string(), "MatchPos(TC, -1, E)");
+        assert_eq!(PositionFn::const_pos(3).to_string(), "ConstPos(3)");
+    }
+}

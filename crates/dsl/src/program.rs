@@ -1,0 +1,265 @@
+//! Transformation programs: concatenations of string functions.
+//!
+//! A program `ρ := f1 ⊕ f2 ⊕ … ⊕ fn` (Definition 5 of the paper) takes an
+//! input string `s` and outputs the concatenation of the outputs of its string
+//! functions. A program is *consistent* with a replacement `s → t` iff it can
+//! produce `t` from `s`; with the affix extension a program may be able to
+//! produce several strings, so consistency is checked with a small dynamic
+//! program rather than by direct evaluation.
+
+use crate::ctx::StrCtx;
+use crate::strfn::StringFn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A transformation program: a non-empty sequence of string functions whose
+/// outputs are concatenated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Program {
+    fns: Vec<StringFn>,
+}
+
+impl Program {
+    /// Creates a program from its string functions (listed left to right).
+    pub fn new(fns: Vec<StringFn>) -> Self {
+        Program { fns }
+    }
+
+    /// An empty program (producing the empty string); mainly useful as the
+    /// starting point of a path search.
+    pub fn empty() -> Self {
+        Program { fns: Vec::new() }
+    }
+
+    /// The string functions of this program, in order.
+    pub fn fns(&self) -> &[StringFn] {
+        &self.fns
+    }
+
+    /// Number of string functions.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// True when the program has no string functions.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    /// Appends a string function, returning the extended program.
+    pub fn extended(&self, f: StringFn) -> Program {
+        let mut fns = self.fns.clone();
+        fns.push(f);
+        Program { fns }
+    }
+
+    /// True when every string function is deterministic (no affix functions).
+    pub fn is_deterministic(&self) -> bool {
+        self.fns.iter().all(StringFn::is_deterministic)
+    }
+
+    /// Evaluates the program when all of its string functions are
+    /// deterministic and defined on `ctx`; returns `None` otherwise.
+    pub fn eval(&self, ctx: &StrCtx<'_>) -> Option<String> {
+        let mut out = String::new();
+        for f in &self.fns {
+            out.push_str(&f.eval(ctx)?);
+        }
+        Some(out)
+    }
+
+    /// Is this program consistent with the replacement `ctx.as_str() → t`,
+    /// i.e. can it produce `t`?
+    ///
+    /// The check splits `t` into `self.len()` non-empty pieces (the paper's
+    /// graph edges never carry empty substrings) and asks each string function
+    /// whether it can produce its piece. The split search is a dynamic program
+    /// over (function index, position in `t`), so affix functions — which can
+    /// produce many strings — are handled without enumeration.
+    pub fn consistent_with(&self, ctx: &StrCtx<'_>, t: &str) -> bool {
+        let t_chars: Vec<char> = t.chars().collect();
+        let n = t_chars.len();
+        if self.fns.is_empty() {
+            return n == 0;
+        }
+        if n == 0 {
+            return false;
+        }
+        // reachable[i] = set of positions in t reachable after the first i functions.
+        let mut reachable = vec![false; n + 1];
+        reachable[0] = true;
+        for f in &self.fns {
+            let mut next = vec![false; n + 1];
+            // Deterministic functions produce exactly one string; compute it once.
+            let fixed = if f.is_deterministic() { f.eval(ctx) } else { None };
+            for i in 0..n {
+                if !reachable[i] {
+                    continue;
+                }
+                match &fixed {
+                    Some(out) => {
+                        let out_chars: Vec<char> = out.chars().collect();
+                        let j = i + out_chars.len();
+                        if !out_chars.is_empty() && j <= n && t_chars[i..j] == out_chars[..] {
+                            next[j] = true;
+                        }
+                    }
+                    None if f.is_deterministic() => {
+                        // Deterministic but undefined on this input: produces nothing.
+                    }
+                    None => {
+                        // Affix function: try every non-empty piece t[i..j).
+                        for j in (i + 1)..=n {
+                            if next[j] {
+                                continue;
+                            }
+                            let piece: String = t_chars[i..j].iter().collect();
+                            if f.can_produce(ctx, &piece) {
+                                next[j] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            reachable = next;
+            if !reachable.iter().any(|&b| b) {
+                return false;
+            }
+        }
+        reachable[n]
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fns.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, func) in self.fns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⊕ ")?;
+            }
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<StringFn>> for Program {
+    fn from(fns: Vec<StringFn>) -> Self {
+        Program::new(fns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::position::{Dir, PositionFn};
+    use crate::terms::Term;
+
+    fn f1() -> StringFn {
+        // Substring "Lee" of "Lee, Mary".
+        StringFn::sub_str(
+            PositionFn::match_pos(Term::Upper, 1, Dir::Begin),
+            PositionFn::match_pos(Term::Lower, 1, Dir::End),
+        )
+    }
+    fn f2() -> StringFn {
+        // Substring "M" of "Lee, Mary".
+        StringFn::sub_str(
+            PositionFn::match_pos(Term::Whitespace, 1, Dir::End),
+            PositionFn::match_pos(Term::Upper, -1, Dir::End),
+        )
+    }
+    fn f3() -> StringFn {
+        StringFn::constant(". ")
+    }
+
+    // Paper Example B.3 / Figure 3: ρ := f2 ⊕ f3 ⊕ f1 maps "Lee, Mary" to "M. Lee".
+    #[test]
+    fn paper_example_b3() {
+        let ctx = StrCtx::new("Lee, Mary");
+        let rho = Program::new(vec![f2(), f3(), f1()]);
+        assert_eq!(rho.eval(&ctx).as_deref(), Some("M. Lee"));
+        assert!(rho.consistent_with(&ctx, "M. Lee"));
+        assert!(!rho.consistent_with(&ctx, "M. Smith"));
+    }
+
+    #[test]
+    fn same_program_on_second_replacement() {
+        // The same program must be consistent with "Smith, James" -> "J. Smith"
+        // (that is what makes Group 2 of Figure 2 a group).
+        let ctx = StrCtx::new("Smith, James");
+        let rho = Program::new(vec![f2(), f3(), f1()]);
+        assert_eq!(rho.eval(&ctx).as_deref(), Some("J. Smith"));
+        assert!(rho.consistent_with(&ctx, "J. Smith"));
+    }
+
+    #[test]
+    fn empty_program() {
+        let ctx = StrCtx::new("abc");
+        let p = Program::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.eval(&ctx).as_deref(), Some(""));
+        assert!(p.consistent_with(&ctx, ""));
+        assert!(!p.consistent_with(&ctx, "a"));
+    }
+
+    #[test]
+    fn undefined_function_makes_eval_none() {
+        let ctx = StrCtx::new("no digits here");
+        let p = Program::new(vec![StringFn::sub_str(
+            PositionFn::match_pos(Term::Digits, 1, Dir::Begin),
+            PositionFn::match_pos(Term::Digits, 1, Dir::End),
+        )]);
+        assert_eq!(p.eval(&ctx), None);
+        assert!(!p.consistent_with(&ctx, "anything"));
+    }
+
+    #[test]
+    fn consistency_with_affix_functions() {
+        // Street -> St: SubStr(capital) ⊕ Prefix(Tl, 1).
+        let p = Program::new(vec![
+            StringFn::sub_str(
+                PositionFn::match_pos(Term::Upper, 1, Dir::Begin),
+                PositionFn::match_pos(Term::Upper, 1, Dir::End),
+            ),
+            StringFn::prefix(Term::Lower, 1),
+        ]);
+        assert!(p.consistent_with(&StrCtx::new("Street"), "St"));
+        assert!(p.consistent_with(&StrCtx::new("Avenue"), "Ave"));
+        assert!(!p.consistent_with(&StrCtx::new("Street"), "Sx"));
+        assert!(!p.is_deterministic());
+        assert_eq!(p.eval(&StrCtx::new("Street")), None);
+    }
+
+    #[test]
+    fn consistency_requires_full_cover() {
+        let ctx = StrCtx::new("Lee, Mary");
+        let p = Program::new(vec![f2()]);
+        // f2 produces "M", not "M." — partial covers do not count.
+        assert!(p.consistent_with(&ctx, "M"));
+        assert!(!p.consistent_with(&ctx, "M."));
+    }
+
+    #[test]
+    fn extended_builds_longer_program() {
+        let p = Program::empty().extended(f2()).extended(f3()).extended(f1());
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.eval(&StrCtx::new("Lee, Mary")).as_deref(), Some("M. Lee"));
+    }
+
+    #[test]
+    fn display_concatenation() {
+        let p = Program::new(vec![f3(), StringFn::constant("x")]);
+        assert_eq!(p.to_string(), "ConstantStr(\". \") ⊕ ConstantStr(\"x\")");
+        assert_eq!(Program::empty().to_string(), "ε");
+    }
+
+    #[test]
+    fn consistent_with_empty_target_is_false_for_nonempty_program() {
+        let ctx = StrCtx::new("abc");
+        let p = Program::new(vec![StringFn::constant("a")]);
+        assert!(!p.consistent_with(&ctx, ""));
+    }
+}

@@ -1,0 +1,264 @@
+//! String functions: the building blocks of transformation programs.
+//!
+//! The paper's original DSL (Appendix B) defines two string functions —
+//! [`StringFn::ConstantStr`] and [`StringFn::SubStr`] — each of which maps the
+//! input string to a single output string. Appendix D extends the DSL with two
+//! *affix* functions, [`StringFn::Prefix`] and [`StringFn::Suffix`], which are
+//! multi-valued: `Prefix(τ, k)` can produce *any* non-empty prefix of the
+//! `k`-th match of `τ` in the input. Multi-valued functions cannot be
+//! evaluated to a single string, so this module exposes two evaluation modes:
+//!
+//! * [`StringFn::eval`] — the unique output, `None` for affix functions;
+//! * [`StringFn::can_produce`] — whether the function can produce a specific
+//!   candidate output, which is what the transformation-graph machinery and
+//!   [`crate::Program::consistent_with`] need.
+
+use crate::ctx::StrCtx;
+use crate::position::PositionFn;
+use crate::terms::Term;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A string function of the (extended) DSL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StringFn {
+    /// `ConstantStr(x)`: outputs the constant string `x` regardless of input.
+    ConstantStr(Arc<str>),
+    /// `SubStr(l, r)`: outputs the substring of the input delimited by the two
+    /// position functions (`l < r` required at evaluation time).
+    SubStr(PositionFn, PositionFn),
+    /// `Prefix(τ, k)`: outputs any non-empty prefix of the `k`-th match of
+    /// `τ` in the input (Appendix D extension).
+    Prefix {
+        /// The class term whose match is taken.
+        term: Term,
+        /// 1-based match ordinal; negative counts from the back.
+        k: i32,
+    },
+    /// `Suffix(τ, k)`: outputs any non-empty suffix of the `k`-th match of
+    /// `τ` in the input (Appendix D extension).
+    Suffix {
+        /// The class term whose match is taken.
+        term: Term,
+        /// 1-based match ordinal; negative counts from the back.
+        k: i32,
+    },
+}
+
+impl StringFn {
+    /// Convenience constructor for [`StringFn::ConstantStr`].
+    pub fn constant(s: impl AsRef<str>) -> Self {
+        StringFn::ConstantStr(Arc::from(s.as_ref()))
+    }
+
+    /// Convenience constructor for [`StringFn::SubStr`].
+    pub fn sub_str(l: PositionFn, r: PositionFn) -> Self {
+        StringFn::SubStr(l, r)
+    }
+
+    /// Convenience constructor for [`StringFn::Prefix`].
+    pub fn prefix(term: Term, k: i32) -> Self {
+        StringFn::Prefix { term, k }
+    }
+
+    /// Convenience constructor for [`StringFn::Suffix`].
+    pub fn suffix(term: Term, k: i32) -> Self {
+        StringFn::Suffix { term, k }
+    }
+
+    /// True for the deterministic (single-valued) functions of the original
+    /// DSL; false for the multi-valued affix extension.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, StringFn::ConstantStr(_) | StringFn::SubStr(_, _))
+    }
+
+    /// True for the affix (Prefix/Suffix) functions.
+    pub fn is_affix(&self) -> bool {
+        !self.is_deterministic()
+    }
+
+    /// Evaluates the function to its unique output, when it has one.
+    ///
+    /// Returns `None` when the function is undefined on this input (e.g. a
+    /// position function out of range, or `l >= r`) and for the multi-valued
+    /// affix functions.
+    pub fn eval(&self, ctx: &StrCtx<'_>) -> Option<String> {
+        match self {
+            StringFn::ConstantStr(x) => Some(x.to_string()),
+            StringFn::SubStr(l, r) => {
+                let i = l.eval(ctx)?;
+                let j = r.eval(ctx)?;
+                if i < j {
+                    Some(ctx.slice(i, j))
+                } else {
+                    None
+                }
+            }
+            StringFn::Prefix { .. } | StringFn::Suffix { .. } => None,
+        }
+    }
+
+    /// Can this function produce `out` when applied to `ctx`?
+    ///
+    /// For deterministic functions this checks equality with [`StringFn::eval`];
+    /// for affix functions it checks that `out` is a non-empty prefix (resp.
+    /// suffix) of the selected term match.
+    pub fn can_produce(&self, ctx: &StrCtx<'_>, out: &str) -> bool {
+        if out.is_empty() {
+            return false;
+        }
+        match self {
+            StringFn::ConstantStr(_) | StringFn::SubStr(_, _) => {
+                self.eval(ctx).as_deref() == Some(out)
+            }
+            StringFn::Prefix { term, k } => match ctx.kth_match(term, *k) {
+                Some(m) => {
+                    let matched = ctx.slice(m.start, m.end);
+                    matched.starts_with(out)
+                }
+                None => false,
+            },
+            StringFn::Suffix { term, k } => match ctx.kth_match(term, *k) {
+                Some(m) => {
+                    let matched = ctx.slice(m.start, m.end);
+                    matched.ends_with(out)
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// The length of the constant, if this is a [`StringFn::ConstantStr`].
+    pub fn constant_len(&self) -> Option<usize> {
+        match self {
+            StringFn::ConstantStr(x) => Some(x.chars().count()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StringFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StringFn::ConstantStr(x) => write!(f, "ConstantStr({x:?})"),
+            StringFn::SubStr(l, r) => write!(f, "SubStr({l}, {r})"),
+            StringFn::Prefix { term, k } => write!(f, "Prefix({term}, {k})"),
+            StringFn::Suffix { term, k } => write!(f, "Suffix({term}, {k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::position::Dir;
+
+    fn ctx() -> StrCtx<'static> {
+        StrCtx::new("Lee, Mary")
+    }
+
+    // Paper Example B.2.
+    #[test]
+    fn paper_example_b2() {
+        let c = ctx();
+        assert_eq!(StringFn::constant("MIT").eval(&c).as_deref(), Some("MIT"));
+        let f = StringFn::sub_str(
+            PositionFn::match_pos(Term::Upper, 1, Dir::Begin),
+            PositionFn::match_pos(Term::Lower, 1, Dir::End),
+        );
+        assert_eq!(f.eval(&c).as_deref(), Some("Lee"));
+    }
+
+    #[test]
+    fn substr_undefined_when_positions_cross_or_missing() {
+        let c = ctx();
+        // l >= r.
+        let f = StringFn::sub_str(
+            PositionFn::match_pos(Term::Upper, 2, Dir::Begin),
+            PositionFn::match_pos(Term::Upper, 1, Dir::End),
+        );
+        assert_eq!(f.eval(&c), None);
+        // Missing match.
+        let g = StringFn::sub_str(
+            PositionFn::match_pos(Term::Digits, 1, Dir::Begin),
+            PositionFn::const_pos(-1),
+        );
+        assert_eq!(g.eval(&c), None);
+        // Equal positions produce the empty string, which is disallowed.
+        let h = StringFn::sub_str(PositionFn::const_pos(2), PositionFn::const_pos(2));
+        assert_eq!(h.eval(&c), None);
+    }
+
+    #[test]
+    fn can_produce_deterministic() {
+        let c = ctx();
+        let f = StringFn::sub_str(
+            PositionFn::match_pos(Term::Upper, 1, Dir::Begin),
+            PositionFn::match_pos(Term::Lower, 1, Dir::End),
+        );
+        assert!(f.can_produce(&c, "Lee"));
+        assert!(!f.can_produce(&c, "Le"));
+        assert!(!f.can_produce(&c, ""));
+        assert!(StringFn::constant("M. ").can_produce(&c, "M. "));
+        assert!(!StringFn::constant("M. ").can_produce(&c, "M."));
+    }
+
+    // Paper Example D.1: Street -> St via Prefix.
+    #[test]
+    fn paper_example_d1_prefix() {
+        let c = StrCtx::new("Street");
+        // 'treet' is the 1st lowercase match; 't' is a prefix of it.
+        let f = StringFn::prefix(Term::Lower, 1);
+        assert!(f.can_produce(&c, "t"));
+        assert!(f.can_produce(&c, "tree"));
+        assert!(!f.can_produce(&c, "reet"));
+        assert_eq!(f.eval(&c), None, "affix functions are multi-valued");
+
+        let c2 = StrCtx::new("Avenue");
+        // 've' is a prefix of 'venue'.
+        assert!(StringFn::prefix(Term::Lower, 1).can_produce(&c2, "ve"));
+    }
+
+    #[test]
+    fn suffix_semantics() {
+        let c = StrCtx::new("Wisconsin");
+        // Lowercase match is "isconsin"; "sin" is a suffix of it.
+        let f = StringFn::suffix(Term::Lower, 1);
+        assert!(f.can_produce(&c, "sin"));
+        assert!(f.can_produce(&c, "isconsin"));
+        assert!(!f.can_produce(&c, "Wis"));
+    }
+
+    #[test]
+    fn affix_out_of_range_match() {
+        let c = StrCtx::new("ABC");
+        assert!(!StringFn::prefix(Term::Lower, 1).can_produce(&c, "a"));
+        assert!(!StringFn::suffix(Term::Digits, -1).can_produce(&c, "1"));
+    }
+
+    #[test]
+    fn deterministic_flags() {
+        assert!(StringFn::constant("x").is_deterministic());
+        assert!(!StringFn::prefix(Term::Lower, 1).is_deterministic());
+        assert!(StringFn::suffix(Term::Lower, 1).is_affix());
+    }
+
+    #[test]
+    fn constant_len_counts_chars() {
+        assert_eq!(StringFn::constant("héllo").constant_len(), Some(5));
+        assert_eq!(
+            StringFn::sub_str(PositionFn::const_pos(1), PositionFn::const_pos(2)).constant_len(),
+            None
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(StringFn::constant("M. ").to_string(), "ConstantStr(\"M. \")");
+        assert_eq!(
+            StringFn::prefix(Term::Lower, 1).to_string(),
+            "Prefix(Tl, 1)"
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Terms: the character classes and constant strings that position functions
+//! match against.
+//!
+//! The paper (Section 4.1 / Appendix B) pre-defines four regex-based terms —
+//! capital letters `TC = [A-Z]+`, lowercase letters `Tl = [a-z]+`, digits
+//! `Td = [0-9]+` and whitespace `Tb = \s+` — and additionally allows constant
+//! string terms (a term `Tstr` that matches exactly the string `str`).
+//! Single-character terms used by the structure signatures of Section 7.2 are
+//! a special case of constant string terms.
+//!
+//! Matching is maximal-munch for the class terms: consecutive characters of the
+//! same class form a single match, exactly like the `+`-quantified regexes in
+//! the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A term: either one of the four character classes or a constant string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Term {
+    /// `TC = [A-Z]+` (ASCII uppercase letters).
+    Upper,
+    /// `Tl = [a-z]+` (ASCII lowercase letters).
+    Lower,
+    /// `Td = [0-9]+` (ASCII digits).
+    Digits,
+    /// `Tb = \s+` (Unicode whitespace).
+    Whitespace,
+    /// A constant string term `Tstr`; matches exactly `str` (non-empty).
+    Literal(Arc<str>),
+}
+
+impl Term {
+    /// Creates a constant-string term.
+    ///
+    /// # Panics
+    /// Panics if `s` is empty — a term must match a non-empty substring.
+    pub fn literal(s: impl AsRef<str>) -> Self {
+        let s = s.as_ref();
+        assert!(!s.is_empty(), "literal terms must be non-empty");
+        Term::Literal(Arc::from(s))
+    }
+
+    /// Returns true for the four regex-based character-class terms.
+    pub fn is_class(&self) -> bool {
+        !matches!(self, Term::Literal(_))
+    }
+
+    /// Does `c` belong to this character class? Always false for literals.
+    pub fn contains_char(&self, c: char) -> bool {
+        match self {
+            Term::Upper => c.is_ascii_uppercase(),
+            Term::Lower => c.is_ascii_lowercase(),
+            Term::Digits => c.is_ascii_digit(),
+            Term::Whitespace => c.is_whitespace(),
+            Term::Literal(_) => false,
+        }
+    }
+
+    /// The "width" of the character class, used for the static order of
+    /// position functions (Appendix E): wider classes are preferred. Literals
+    /// have width 0 (narrowest).
+    pub fn class_width(&self) -> u32 {
+        match self {
+            Term::Whitespace => 4,
+            Term::Upper => 3,
+            Term::Lower => 3,
+            Term::Digits => 2,
+            Term::Literal(_) => 0,
+        }
+    }
+
+    /// All non-overlapping matches of this term in `chars`, in left-to-right
+    /// order, as half-open character-index ranges.
+    ///
+    /// Class terms use maximal munch (a run of class characters is one match);
+    /// literal terms find every occurrence, scanning left to right and
+    /// restarting after each match end (non-overlapping).
+    pub fn matches(&self, chars: &[char]) -> Vec<TermMatch> {
+        match self {
+            Term::Literal(lit) => literal_matches(lit, chars),
+            _ => class_matches(self, chars),
+        }
+    }
+
+    /// Number of matches of this term in `chars`.
+    pub fn match_count(&self, chars: &[char]) -> usize {
+        self.matches(chars).len()
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Upper => write!(f, "TC"),
+            Term::Lower => write!(f, "Tl"),
+            Term::Digits => write!(f, "Td"),
+            Term::Whitespace => write!(f, "Tb"),
+            Term::Literal(s) => write!(f, "T{:?}", s),
+        }
+    }
+}
+
+/// A single match of a term: the half-open character range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TermMatch {
+    /// Character index of the first character of the match.
+    pub start: usize,
+    /// Character index one past the last character of the match.
+    pub end: usize,
+}
+
+impl TermMatch {
+    /// Length of the match in characters.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the match is empty (never produced by [`Term::matches`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+fn class_matches(term: &Term, chars: &[char]) -> Vec<TermMatch> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if term.contains_char(chars[i]) {
+            let start = i;
+            while i < chars.len() && term.contains_char(chars[i]) {
+                i += 1;
+            }
+            out.push(TermMatch { start, end: i });
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn literal_matches(lit: &str, chars: &[char]) -> Vec<TermMatch> {
+    let needle: Vec<char> = lit.chars().collect();
+    if needle.is_empty() || needle.len() > chars.len() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + needle.len() <= chars.len() {
+        if chars[i..i + needle.len()] == needle[..] {
+            out.push(TermMatch {
+                start: i,
+                end: i + needle.len(),
+            });
+            i += needle.len();
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn class_membership() {
+        assert!(Term::Upper.contains_char('A'));
+        assert!(!Term::Upper.contains_char('a'));
+        assert!(Term::Lower.contains_char('z'));
+        assert!(!Term::Lower.contains_char('Z'));
+        assert!(Term::Digits.contains_char('7'));
+        assert!(!Term::Digits.contains_char('x'));
+        assert!(Term::Whitespace.contains_char(' '));
+        assert!(Term::Whitespace.contains_char('\t'));
+        assert!(!Term::Whitespace.contains_char('-'));
+        assert!(!Term::literal("ab").contains_char('a'));
+    }
+
+    #[test]
+    fn upper_matches_maximal_munch() {
+        // "Lee, Mary": TC matches "L" at [0,1) and "M" at [5,6).
+        let s = chars("Lee, Mary");
+        let m = Term::Upper.matches(&s);
+        assert_eq!(
+            m,
+            vec![TermMatch { start: 0, end: 1 }, TermMatch { start: 5, end: 6 }]
+        );
+    }
+
+    #[test]
+    fn lower_matches() {
+        let s = chars("Lee, Mary");
+        let m = Term::Lower.matches(&s);
+        assert_eq!(
+            m,
+            vec![TermMatch { start: 1, end: 3 }, TermMatch { start: 6, end: 9 }]
+        );
+    }
+
+    #[test]
+    fn digit_and_whitespace_matches() {
+        let s = chars("9 St, 02141 WI");
+        assert_eq!(
+            Term::Digits.matches(&s),
+            vec![TermMatch { start: 0, end: 1 }, TermMatch { start: 6, end: 11 }]
+        );
+        assert_eq!(Term::Whitespace.matches(&s).len(), 3);
+    }
+
+    #[test]
+    fn consecutive_run_is_single_match() {
+        let s = chars("ABCdefGHI");
+        assert_eq!(
+            Term::Upper.matches(&s),
+            vec![TermMatch { start: 0, end: 3 }, TermMatch { start: 6, end: 9 }]
+        );
+    }
+
+    #[test]
+    fn literal_matches_non_overlapping() {
+        let s = chars("aaaa");
+        let m = Term::literal("aa").matches(&s);
+        assert_eq!(
+            m,
+            vec![TermMatch { start: 0, end: 2 }, TermMatch { start: 2, end: 4 }]
+        );
+    }
+
+    #[test]
+    fn literal_not_found() {
+        let s = chars("abc");
+        assert!(Term::literal("xyz").matches(&s).is_empty());
+        assert!(Term::literal("abcd").matches(&s).is_empty());
+    }
+
+    #[test]
+    fn literal_full_string() {
+        let s = chars("M. Lee");
+        assert_eq!(
+            Term::literal("M. Lee").matches(&s),
+            vec![TermMatch { start: 0, end: 6 }]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_literal_panics() {
+        let _ = Term::literal("");
+    }
+
+    #[test]
+    fn empty_input_has_no_matches() {
+        for t in [Term::Upper, Term::Lower, Term::Digits, Term::Whitespace, Term::literal("a")] {
+            assert!(t.matches(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn class_width_order() {
+        assert!(Term::Whitespace.class_width() > Term::Upper.class_width());
+        assert!(Term::Upper.class_width() > Term::Digits.class_width());
+        assert!(Term::Digits.class_width() > Term::literal("x").class_width());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Term::Upper.to_string(), "TC");
+        assert_eq!(Term::Lower.to_string(), "Tl");
+        assert_eq!(Term::Digits.to_string(), "Td");
+        assert_eq!(Term::Whitespace.to_string(), "Tb");
+        assert_eq!(Term::literal("St").to_string(), "T\"St\"");
+    }
+
+    #[test]
+    fn non_ascii_letters_are_not_class_members() {
+        // Non-ASCII alphabetic characters fall through to single-character
+        // literal terms, mirroring the paper's ASCII regexes.
+        assert!(!Term::Upper.contains_char('É'));
+        assert!(!Term::Lower.contains_char('é'));
+    }
+
+    #[test]
+    fn unicode_literal_matching_uses_char_indices() {
+        let s = chars("café bar");
+        let m = Term::literal("é").matches(&s);
+        assert_eq!(m, vec![TermMatch { start: 3, end: 4 }]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the DSL: invariants that must hold for arbitrary
+//! input strings and arbitrary (well-formed) functions.
+
+use ec_dsl::{Dir, PositionFn, Program, StrCtx, StringFn, Term, CLASS_TERMS};
+use proptest::prelude::*;
+
+fn arb_string() -> impl Strategy<Value = String> {
+    // A mix of the character classes the DSL knows about plus punctuation.
+    proptest::string::string_regex("[A-Za-z0-9 ,.\\-()]{0,24}").unwrap()
+}
+
+fn arb_class_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        Just(Term::Upper),
+        Just(Term::Lower),
+        Just(Term::Digits),
+        Just(Term::Whitespace),
+    ]
+}
+
+fn arb_position_fn() -> impl Strategy<Value = PositionFn> {
+    prop_oneof![
+        (-6i32..=6).prop_map(PositionFn::ConstPos),
+        (arb_class_term(), -3i32..=3, prop_oneof![Just(Dir::Begin), Just(Dir::End)])
+            .prop_map(|(term, k, dir)| PositionFn::MatchPos { term, k, dir }),
+    ]
+}
+
+fn arb_string_fn() -> impl Strategy<Value = StringFn> {
+    prop_oneof![
+        "[A-Za-z0-9 .,]{1,6}".prop_map(StringFn::constant),
+        (arb_position_fn(), arb_position_fn()).prop_map(|(l, r)| StringFn::sub_str(l, r)),
+        (arb_class_term(), -3i32..=3).prop_map(|(t, k)| StringFn::prefix(t, k)),
+        (arb_class_term(), -3i32..=3).prop_map(|(t, k)| StringFn::suffix(t, k)),
+    ]
+}
+
+proptest! {
+    /// Term matches are sorted, disjoint, non-empty and within bounds, and
+    /// every character of a class match belongs to the class.
+    #[test]
+    fn term_matches_are_well_formed(s in arb_string(), term in arb_class_term()) {
+        let chars: Vec<char> = s.chars().collect();
+        let matches = term.matches(&chars);
+        let mut prev_end = 0usize;
+        for m in &matches {
+            prop_assert!(m.start < m.end);
+            prop_assert!(m.end <= chars.len());
+            prop_assert!(m.start >= prev_end);
+            prev_end = m.end;
+            for &c in &chars[m.start..m.end] {
+                prop_assert!(term.contains_char(c));
+            }
+        }
+        // Maximal munch: the character just before/after a match is not in the class.
+        for m in &matches {
+            if m.start > 0 {
+                prop_assert!(!term.contains_char(chars[m.start - 1]));
+            }
+            if m.end < chars.len() {
+                prop_assert!(!term.contains_char(chars[m.end]));
+            }
+        }
+    }
+
+    /// Every character of the input is covered by exactly one class term or is
+    /// a "single character term" (covered by none) — the partition property the
+    /// structure signatures of Section 7.2 rely on.
+    #[test]
+    fn class_terms_partition_characters(s in arb_string()) {
+        for c in s.chars() {
+            let n = CLASS_TERMS.iter().filter(|t| t.contains_char(c)).count();
+            prop_assert!(n <= 1, "character {c:?} matched {n} classes");
+        }
+    }
+
+    /// Position functions always return a position within 0..=len.
+    #[test]
+    fn position_fn_in_bounds(s in arb_string(), f in arb_position_fn()) {
+        let ctx = StrCtx::new(&s);
+        if let Some(p) = f.eval(&ctx) {
+            prop_assert!(p <= ctx.len());
+        }
+    }
+
+    /// A deterministic string function can always produce what it evaluates to,
+    /// and can_produce never accepts the empty string.
+    #[test]
+    fn eval_implies_can_produce(s in arb_string(), f in arb_string_fn()) {
+        let ctx = StrCtx::new(&s);
+        if let Some(out) = f.eval(&ctx) {
+            if !out.is_empty() {
+                prop_assert!(f.can_produce(&ctx, &out));
+            }
+        }
+        prop_assert!(!f.can_produce(&ctx, ""));
+    }
+
+    /// A program built from deterministic functions is consistent with exactly
+    /// its own evaluation result.
+    #[test]
+    fn program_consistent_with_own_output(
+        s in arb_string(),
+        fns in proptest::collection::vec(arb_string_fn().prop_filter("det", |f| f.is_deterministic()), 1..4),
+    ) {
+        let ctx = StrCtx::new(&s);
+        let p = Program::new(fns);
+        if let Some(out) = p.eval(&ctx) {
+            if !out.is_empty() && p.fns().iter().all(|f| f.eval(&ctx).map(|o| !o.is_empty()).unwrap_or(false)) {
+                let longer = format!("{out}#");
+                prop_assert!(p.consistent_with(&ctx, &out));
+                prop_assert!(!p.consistent_with(&ctx, &longer));
+            }
+        }
+    }
+
+    /// Affix functions accept exactly the prefixes/suffixes of the selected match.
+    #[test]
+    fn affix_accepts_only_affixes(s in arb_string(), term in arb_class_term(), k in 1i32..=2) {
+        let ctx = StrCtx::new(&s);
+        if let Some(m) = ctx.kth_match(&term, k) {
+            let matched = ctx.slice(m.start, m.end);
+            let pre = StringFn::prefix(term.clone(), k);
+            let suf = StringFn::suffix(term.clone(), k);
+            for end in 1..=matched.chars().count() {
+                let p: String = matched.chars().take(end).collect();
+                prop_assert!(pre.can_produce(&ctx, &p));
+            }
+            for start in 0..matched.chars().count() {
+                let q: String = matched.chars().skip(start).collect();
+                prop_assert!(suf.can_produce(&ctx, &q));
+            }
+            let longer = format!("{matched}x");
+            prop_assert!(!pre.can_produce(&ctx, &longer));
+        }
+    }
+}

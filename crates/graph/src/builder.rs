@@ -1,0 +1,681 @@
+//! Transformation-graph construction (Appendix C, Algorithm 8).
+//!
+//! Given a replacement `s → t`, the transformation graph has `|t| + 1` nodes —
+//! one per character position of the output string `t` — and an edge `(i, j)`
+//! for every non-empty substring `t[i..j)`. Each edge carries the string
+//! functions that produce that substring when applied to `s`:
+//!
+//! * a `ConstantStr(t[i..j))` label (subject to the [`ConstantPolicy`]);
+//! * a `SubStr(l, r)` label for every occurrence `s[x..y) = t[i..j)` and every
+//!   pair of position functions `l ∈ P[x]`, `r ∈ P[y]`, where `P` is the
+//!   position-function table of Algorithm 8;
+//! * `Prefix(τ, k)` / `Suffix(τ, k)` affix labels (Appendix D) when `t[i..j)`
+//!   is the *longest* prefix/suffix of the `k`-th match of `τ` in `s` starting
+//!   (resp. ending) at that output position — the "longest affix only" static
+//!   order of Appendix E.
+//!
+//! The static order of position functions (Appendix E) is applied by
+//! preferring class-based `MatchPos` functions over `ConstPos`: constant
+//! positions are only generated when [`GraphConfig::enable_const_pos`] is set,
+//! since they have the narrowest "character class" and never generalise across
+//! values of different lengths.
+
+use crate::label::{LabelId, LabelInterner};
+use crate::replacement::Replacement;
+use ec_dsl::{Dir, PositionFn, StrCtx, StringFn, CLASS_TERMS};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which `ConstantStr` labels are added to the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstantPolicy {
+    /// A constant label on every edge (the paper's default graph definition).
+    All,
+    /// Constant labels only for substrings of at most this many characters;
+    /// the full-output constant (edge from the first to the last node) is
+    /// always kept so that every graph has at least one transformation path.
+    MaxLen(usize),
+    /// Only the full-output constant label.
+    FullOnly,
+}
+
+/// Configuration of the graph builder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphConfig {
+    /// Add the `Prefix`/`Suffix` affix labels of Appendix D (default `true`;
+    /// the `NoAffix` ablation of Figure 10 sets this to `false`).
+    pub enable_affix: bool,
+    /// Also generate `MatchPos`/affix functions with negative match ordinals
+    /// (counting matches from the back), as the paper's Algorithm 8 does.
+    pub enable_negative_ordinals: bool,
+    /// Generate `ConstPos` position functions. Disabled by default: the static
+    /// order of Appendix E prefers wider character classes and absolute
+    /// positions are the narrowest, so they only add noise to grouping.
+    pub enable_const_pos: bool,
+    /// Which constant labels to add.
+    pub constant_policy: ConstantPolicy,
+    /// Hard cap on the number of labels attached to a single edge (a safety
+    /// valve for pathological inputs; `usize::MAX` disables it).
+    pub max_labels_per_edge: usize,
+    /// Skip building graphs for replacements whose output string is longer
+    /// than this many characters (graphs are `O(|t|²)` edges). `None` means no
+    /// limit.
+    pub max_output_len: Option<usize>,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            enable_affix: true,
+            enable_negative_ordinals: true,
+            enable_const_pos: false,
+            constant_policy: ConstantPolicy::All,
+            max_labels_per_edge: 256,
+            max_output_len: Some(128),
+        }
+    }
+}
+
+impl GraphConfig {
+    /// The configuration used by the `NoAffix` ablation (Figure 10).
+    pub fn without_affix() -> Self {
+        GraphConfig {
+            enable_affix: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// An edge of the transformation graph: the substring `t[from..to)` of the
+/// output string together with the labels (string functions) that produce it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node (character position in the output string).
+    pub from: u32,
+    /// Target node (character position in the output string, `> from`).
+    pub to: u32,
+    /// Interned string-function labels, deduplicated, in insertion order.
+    pub labels: Vec<LabelId>,
+}
+
+/// The transformation graph of one candidate replacement.
+///
+/// Nodes are the character positions `0..=t_len` of the output string; edges
+/// are stored in CSR form grouped by source node. Only edges with at least one
+/// label are stored.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransformationGraph {
+    replacement: Replacement,
+    t_len: u32,
+    edges: Vec<Edge>,
+    /// `edges[out_start[i] .. out_start[i + 1]]` are the edges leaving node `i`.
+    out_start: Vec<u32>,
+}
+
+impl TransformationGraph {
+    /// The replacement this graph encodes.
+    pub fn replacement(&self) -> &Replacement {
+        &self.replacement
+    }
+
+    /// Number of characters of the output string `t`.
+    pub fn t_len(&self) -> usize {
+        self.t_len as usize
+    }
+
+    /// Number of nodes (`t_len + 1`).
+    pub fn num_nodes(&self) -> usize {
+        self.t_len as usize + 1
+    }
+
+    /// Index of the last node (`t_len`), the target of every transformation path.
+    pub fn last_node(&self) -> u32 {
+        self.t_len
+    }
+
+    /// All edges, grouped by source node and sorted by `(from, to)`.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edges leaving node `i`.
+    pub fn out_edges(&self, i: u32) -> &[Edge] {
+        let i = i as usize;
+        if i + 1 >= self.out_start.len() {
+            return &[];
+        }
+        &self.edges[self.out_start[i] as usize..self.out_start[i + 1] as usize]
+    }
+
+    /// The edge `(i, j)`, if it exists and has labels.
+    pub fn edge(&self, i: u32, j: u32) -> Option<&Edge> {
+        self.out_edges(i).iter().find(|e| e.to == j)
+    }
+
+    /// Total number of edges (with at least one label).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of labels across all edges.
+    pub fn num_labels(&self) -> usize {
+        self.edges.iter().map(|e| e.labels.len()).sum()
+    }
+
+    /// Iterates over all `(from, to, label)` triples, the payload of the
+    /// inverted index.
+    pub fn label_triples(&self) -> impl Iterator<Item = (u32, u32, LabelId)> + '_ {
+        self.edges
+            .iter()
+            .flat_map(|e| e.labels.iter().map(move |&l| (e.from, e.to, l)))
+    }
+
+    /// Does some edge of this graph carry `label`?
+    pub fn contains_label(&self, label: LabelId) -> bool {
+        self.edges.iter().any(|e| e.labels.contains(&label))
+    }
+
+    /// Rewrites every label id through `f`, deduplicating per edge afterwards.
+    ///
+    /// Used when graphs built against per-thread interners are merged into a
+    /// single shared interner.
+    pub fn remap_labels(&mut self, mut f: impl FnMut(LabelId) -> LabelId) {
+        for edge in &mut self.edges {
+            for label in &mut edge.labels {
+                *label = f(*label);
+            }
+            edge.labels.dedup();
+        }
+    }
+}
+
+/// Builds transformation graphs for candidate replacements, interning their
+/// edge labels into a shared [`LabelInterner`].
+#[derive(Debug)]
+pub struct GraphBuilder {
+    config: GraphConfig,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        GraphBuilder::new(GraphConfig::default())
+    }
+}
+
+impl GraphBuilder {
+    /// Creates a builder with the given configuration.
+    pub fn new(config: GraphConfig) -> Self {
+        GraphBuilder { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GraphConfig {
+        &self.config
+    }
+
+    /// Builds the transformation graph of `replacement` (Algorithm 8 plus the
+    /// Appendix D affix labels), interning labels in `interner`.
+    ///
+    /// Returns `None` when the output string exceeds
+    /// [`GraphConfig::max_output_len`].
+    pub fn build(
+        &self,
+        replacement: &Replacement,
+        interner: &mut LabelInterner,
+    ) -> Option<TransformationGraph> {
+        let s = replacement.lhs();
+        let t = replacement.rhs();
+        let t_chars: Vec<char> = t.chars().collect();
+        let t_len = t_chars.len();
+        if let Some(max) = self.config.max_output_len {
+            if t_len > max {
+                return None;
+            }
+        }
+        let ctx = StrCtx::new(s);
+        let s_chars = ctx.chars().to_vec();
+        let s_len = s_chars.len();
+
+        // --- Position-function table P (Lines 2-11 of Algorithm 8). ---
+        let positions = self.position_table(&ctx);
+
+        // --- Longest-common-extension table between s and t. ---
+        // lce[x][i] = length of the longest common prefix of s[x..] and t[i..].
+        let lce = lce_table(&s_chars, &t_chars);
+
+        // --- Collect labels per edge. ---
+        let mut edge_labels: BTreeMap<(u32, u32), Vec<LabelId>> = BTreeMap::new();
+        let mut push_label = |edge_labels: &mut BTreeMap<(u32, u32), Vec<LabelId>>,
+                              i: usize,
+                              j: usize,
+                              f: StringFn| {
+            let id = interner.intern(f);
+            let labels = edge_labels.entry((i as u32, j as u32)).or_default();
+            if labels.len() < self.config.max_labels_per_edge && !labels.contains(&id) {
+                labels.push(id);
+            }
+        };
+
+        for i in 0..t_len {
+            for j in (i + 1)..=t_len {
+                // Constant label (Line 15).
+                let keep_constant = match self.config.constant_policy {
+                    ConstantPolicy::All => true,
+                    ConstantPolicy::MaxLen(n) => j - i <= n || (i == 0 && j == t_len),
+                    ConstantPolicy::FullOnly => i == 0 && j == t_len,
+                };
+                if keep_constant {
+                    let piece: String = t_chars[i..j].iter().collect();
+                    push_label(&mut edge_labels, i, j, StringFn::constant(piece));
+                }
+                // SubStr labels for every occurrence s[x..y) = t[i..j) (Lines 16-18).
+                let len = j - i;
+                for x in 0..s_len {
+                    if lce[x][i] >= len {
+                        let y = x + len;
+                        for l in &positions[x] {
+                            for r in &positions[y] {
+                                push_label(
+                                    &mut edge_labels,
+                                    i,
+                                    j,
+                                    StringFn::sub_str(l.clone(), r.clone()),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Affix labels (Appendix D), longest-affix-only (Appendix E). ---
+        if self.config.enable_affix {
+            self.add_affix_labels(&ctx, &t_chars, &mut edge_labels, interner);
+        }
+
+        // --- Assemble CSR. ---
+        let mut edges: Vec<Edge> = edge_labels
+            .into_iter()
+            .filter(|(_, labels)| !labels.is_empty())
+            .map(|((from, to), labels)| Edge { from, to, labels })
+            .collect();
+        edges.sort_by_key(|e| (e.from, e.to));
+        let mut out_start = vec![0u32; t_len + 2];
+        for e in &edges {
+            out_start[e.from as usize + 1] += 1;
+        }
+        for i in 1..out_start.len() {
+            out_start[i] += out_start[i - 1];
+        }
+        Some(TransformationGraph {
+            replacement: replacement.clone(),
+            t_len: t_len as u32,
+            edges,
+            out_start,
+        })
+    }
+
+    /// Builds graphs for a batch of replacements, skipping those the
+    /// configuration rejects. The i-th returned graph corresponds to the i-th
+    /// retained replacement; the return value pairs them up explicitly.
+    pub fn build_all(
+        &self,
+        replacements: &[Replacement],
+        interner: &mut LabelInterner,
+    ) -> Vec<(Replacement, TransformationGraph)> {
+        replacements
+            .iter()
+            .filter_map(|r| self.build(r, interner).map(|g| (r.clone(), g)))
+            .collect()
+    }
+
+    /// The position-function table `P`: `P[x]` holds the position functions
+    /// that evaluate to position `x` in the input string.
+    fn position_table(&self, ctx: &StrCtx<'_>) -> Vec<Vec<PositionFn>> {
+        let s_len = ctx.len();
+        let mut positions: Vec<Vec<PositionFn>> = vec![Vec::new(); s_len + 1];
+        for term in CLASS_TERMS {
+            let matches = ctx.class_matches(&term);
+            let m_count = matches.len() as i32;
+            for (idx, m) in matches.iter().enumerate() {
+                let k = idx as i32 + 1;
+                positions[m.start].push(PositionFn::match_pos(term.clone(), k, Dir::Begin));
+                positions[m.end].push(PositionFn::match_pos(term.clone(), k, Dir::End));
+                if self.config.enable_negative_ordinals {
+                    let neg = k - m_count - 1;
+                    positions[m.start].push(PositionFn::match_pos(term.clone(), neg, Dir::Begin));
+                    positions[m.end].push(PositionFn::match_pos(term.clone(), neg, Dir::End));
+                }
+            }
+        }
+        if self.config.enable_const_pos {
+            for (x, slot) in positions.iter_mut().enumerate() {
+                slot.push(PositionFn::const_pos(x as i32 + 1));
+                if self.config.enable_negative_ordinals {
+                    slot.push(PositionFn::const_pos(x as i32 - s_len as i32 - 1));
+                }
+            }
+        }
+        positions
+    }
+
+    /// Adds the `Prefix`/`Suffix` labels: for each class-term match in `s` and
+    /// each output position, only the longest prefix (resp. suffix) of that
+    /// match occurring at the position is labelled.
+    fn add_affix_labels(
+        &self,
+        ctx: &StrCtx<'_>,
+        t_chars: &[char],
+        edge_labels: &mut BTreeMap<(u32, u32), Vec<LabelId>>,
+        interner: &mut LabelInterner,
+    ) {
+        let t_len = t_chars.len();
+        let mut push = |edge_labels: &mut BTreeMap<(u32, u32), Vec<LabelId>>,
+                        i: usize,
+                        j: usize,
+                        f: StringFn| {
+            let id = interner.intern(f);
+            let labels = edge_labels.entry((i as u32, j as u32)).or_default();
+            if labels.len() < self.config.max_labels_per_edge && !labels.contains(&id) {
+                labels.push(id);
+            }
+        };
+        for term in CLASS_TERMS {
+            let matches = ctx.class_matches(&term).to_vec();
+            let m_count = matches.len() as i32;
+            for (idx, m) in matches.iter().enumerate() {
+                let k = idx as i32 + 1;
+                let neg = k - m_count - 1;
+                let matched: Vec<char> = ctx.chars()[m.start..m.end].to_vec();
+                // Longest prefix of `matched` starting at each output position i.
+                for i in 0..t_len {
+                    let mut len = 0;
+                    while len < matched.len() && i + len < t_len && t_chars[i + len] == matched[len]
+                    {
+                        len += 1;
+                    }
+                    if len >= 1 {
+                        push(edge_labels, i, i + len, StringFn::prefix(term.clone(), k));
+                        if self.config.enable_negative_ordinals {
+                            push(edge_labels, i, i + len, StringFn::prefix(term.clone(), neg));
+                        }
+                    }
+                }
+                // Longest suffix of `matched` ending at each output position j.
+                for j in 1..=t_len {
+                    let mut len = 0;
+                    while len < matched.len()
+                        && len < j
+                        && t_chars[j - 1 - len] == matched[matched.len() - 1 - len]
+                    {
+                        len += 1;
+                    }
+                    if len >= 1 {
+                        push(edge_labels, j - len, j, StringFn::suffix(term.clone(), k));
+                        if self.config.enable_negative_ordinals {
+                            push(edge_labels, j - len, j, StringFn::suffix(term.clone(), neg));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `lce[x][i]` = length of the longest common prefix of `s[x..]` and `t[i..]`.
+fn lce_table(s: &[char], t: &[char]) -> Vec<Vec<usize>> {
+    let mut lce = vec![vec![0usize; t.len() + 1]; s.len() + 1];
+    for x in (0..s.len()).rev() {
+        for i in (0..t.len()).rev() {
+            if s[x] == t[i] {
+                lce[x][i] = lce[x + 1][i + 1] + 1;
+            }
+        }
+    }
+    lce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(lhs: &str, rhs: &str, config: GraphConfig) -> (TransformationGraph, LabelInterner) {
+        let mut interner = LabelInterner::new();
+        let g = GraphBuilder::new(config)
+            .build(&Replacement::new(lhs, rhs), &mut interner)
+            .expect("graph");
+        (g, interner)
+    }
+
+    /// Resolves the labels of edge (i, j) to their display strings.
+    fn edge_label_strings(
+        g: &TransformationGraph,
+        interner: &LabelInterner,
+        i: u32,
+        j: u32,
+    ) -> Vec<String> {
+        g.edge(i, j)
+            .map(|e| e.labels.iter().map(|&l| interner.resolve(l).to_string()).collect())
+            .unwrap_or_default()
+    }
+
+    // Paper Figure 5: the graph for "Lee, Mary" -> "M. Lee".
+    #[test]
+    fn figure5_graph_shape() {
+        let (g, interner) = build("Lee, Mary", "M. Lee", GraphConfig::default());
+        assert_eq!(g.t_len(), 6);
+        assert_eq!(g.num_nodes(), 7);
+        // Every non-empty substring of t is an edge: 6*7/2 = 21 edges (paper: "all the 21 edges").
+        assert_eq!(g.num_edges(), 21);
+        // e_{0,6} (paper e_{1,7}) carries the Constant("M. Lee") label.
+        let full = edge_label_strings(&g, &interner, 0, 6);
+        assert!(full.contains(&"ConstantStr(\"M. Lee\")".to_string()));
+        // e_{3,6} (paper e_{4,7}) carries the substring "Lee" via f1 = SubStr(TC1.B, Tl1.E).
+        let lee = edge_label_strings(&g, &interner, 3, 6);
+        assert!(lee.contains(&"SubStr(MatchPos(TC, 1, B), MatchPos(Tl, 1, E))".to_string()));
+        // e_{0,1} (paper e_{1,2}) produces "M" via f2-like substring functions.
+        let m = edge_label_strings(&g, &interner, 0, 1);
+        assert!(m.iter().any(|l| l.starts_with("SubStr(")), "edge for \"M\" must have a SubStr label: {m:?}");
+        // e_{1,3} (paper e_{2,4}) produces ". " — only as a constant (". " does not occur in s).
+        let dot = edge_label_strings(&g, &interner, 1, 3);
+        assert!(dot.contains(&"ConstantStr(\". \")".to_string()));
+        assert!(!dot.iter().any(|l| l.starts_with("SubStr(")));
+    }
+
+    #[test]
+    fn every_label_produces_its_edge_substring() {
+        // The defining invariant of the graph (Definition 2): every label on
+        // edge (i, j) can produce t[i..j) from s.
+        let cases = [
+            ("Lee, Mary", "M. Lee"),
+            ("Smith, James", "J. Smith"),
+            ("9 St, 02141 Wisconsin", "9th Street, 02141 WI"),
+            ("Street", "St"),
+        ];
+        for (lhs, rhs) in cases {
+            let (g, interner) = build(lhs, rhs, GraphConfig::default());
+            let ctx = StrCtx::new(lhs);
+            let t_chars: Vec<char> = rhs.chars().collect();
+            for e in g.edges() {
+                let piece: String = t_chars[e.from as usize..e.to as usize].iter().collect();
+                for &l in &e.labels {
+                    let f = interner.resolve(l);
+                    assert!(
+                        f.can_produce(&ctx, &piece),
+                        "{f} on edge ({}, {}) cannot produce {piece:?} from {lhs:?}",
+                        e.from,
+                        e.to
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affix_labels_present_for_street_st() {
+        // Paper Example D.1: the graph of Street -> St has Prefix(Tl, 1) on the
+        // edge producing "t".
+        let (g, interner) = build("Street", "St", GraphConfig::default());
+        let labels = edge_label_strings(&g, &interner, 1, 2);
+        assert!(labels.contains(&"Prefix(Tl, 1)".to_string()), "{labels:?}");
+        // And Avenue -> Ave has Prefix(Tl, 1) on the edge producing "ve".
+        let (g2, interner2) = build("Avenue", "Ave", GraphConfig::default());
+        let labels2 = edge_label_strings(&g2, &interner2, 1, 3);
+        assert!(labels2.contains(&"Prefix(Tl, 1)".to_string()), "{labels2:?}");
+    }
+
+    #[test]
+    fn no_affix_config_omits_affix_labels() {
+        let (g, interner) = build("Street", "St", GraphConfig::without_affix());
+        for e in g.edges() {
+            for &l in &e.labels {
+                assert!(!interner.resolve(l).is_affix());
+            }
+        }
+    }
+
+    #[test]
+    fn longest_affix_only() {
+        // In Street -> Stre, the lowercase match of s is "treet". Prefixes of it
+        // occurring at output position 1 are "t", "tr", "tre" — only the
+        // longest ("tre", edge (1,4)) gets the Prefix label.
+        let (g, interner) = build("Street", "Stre", GraphConfig::default());
+        assert!(edge_label_strings(&g, &interner, 1, 4).contains(&"Prefix(Tl, 1)".to_string()));
+        assert!(!edge_label_strings(&g, &interner, 1, 2).contains(&"Prefix(Tl, 1)".to_string()));
+        assert!(!edge_label_strings(&g, &interner, 1, 3).contains(&"Prefix(Tl, 1)".to_string()));
+    }
+
+    #[test]
+    fn constant_policy_full_only() {
+        let config = GraphConfig {
+            constant_policy: ConstantPolicy::FullOnly,
+            ..GraphConfig::default()
+        };
+        let (g, interner) = build("Lee, Mary", "M. Lee", config);
+        let mut constant_edges = 0;
+        for e in g.edges() {
+            for &l in &e.labels {
+                if matches!(interner.resolve(l), StringFn::ConstantStr(_)) {
+                    constant_edges += 1;
+                    assert_eq!((e.from, e.to), (0, 6));
+                }
+            }
+        }
+        assert_eq!(constant_edges, 1);
+    }
+
+    #[test]
+    fn constant_policy_max_len() {
+        let config = GraphConfig {
+            constant_policy: ConstantPolicy::MaxLen(2),
+            ..GraphConfig::default()
+        };
+        let (g, interner) = build("Lee, Mary", "M. Lee", config);
+        for e in g.edges() {
+            for &l in &e.labels {
+                if let StringFn::ConstantStr(c) = interner.resolve(l) {
+                    let len = c.chars().count();
+                    assert!(len <= 2 || len == 6, "unexpected constant {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_output_len_rejects_long_outputs() {
+        let config = GraphConfig {
+            max_output_len: Some(3),
+            ..GraphConfig::default()
+        };
+        let mut interner = LabelInterner::new();
+        let builder = GraphBuilder::new(config);
+        assert!(builder
+            .build(&Replacement::new("abcd", "abcde"), &mut interner)
+            .is_none());
+        assert!(builder
+            .build(&Replacement::new("abcd", "abc"), &mut interner)
+            .is_some());
+    }
+
+    #[test]
+    fn csr_adjacency_is_consistent() {
+        let (g, _) = build("Smith, James", "J. Smith", GraphConfig::default());
+        let mut total = 0;
+        for i in 0..=g.last_node() {
+            for e in g.out_edges(i) {
+                assert_eq!(e.from, i);
+                assert!(e.to > i);
+                assert!(e.to <= g.last_node());
+                total += 1;
+            }
+        }
+        assert_eq!(total, g.num_edges());
+        assert!(g.out_edges(g.last_node()).is_empty());
+        assert!(g.edge(0, 1).is_some());
+        assert!(g.edge(1, 0).is_none());
+    }
+
+    #[test]
+    fn shared_interner_shares_labels_across_graphs() {
+        let mut interner = LabelInterner::new();
+        let builder = GraphBuilder::default();
+        let g1 = builder
+            .build(&Replacement::new("Lee, Mary", "M. Lee"), &mut interner)
+            .unwrap();
+        let before = interner.len();
+        let g2 = builder
+            .build(&Replacement::new("Smith, James", "J. Smith"), &mut interner)
+            .unwrap();
+        // The shared transformation functions (e.g. SubStr(TC1.B, Tl1.E)) must
+        // have been reused rather than re-interned.
+        assert!(interner.len() < before + g2.num_labels());
+        let shared: Vec<LabelId> = g1
+            .label_triples()
+            .map(|(_, _, l)| l)
+            .filter(|&l| g2.contains_label(l))
+            .collect();
+        assert!(!shared.is_empty(), "the two name-flip graphs share labels");
+    }
+
+    #[test]
+    fn single_char_output() {
+        let (g, interner) = build("9th", "9", GraphConfig::default());
+        assert_eq!(g.num_edges(), 1);
+        let labels = edge_label_strings(&g, &interner, 0, 1);
+        assert!(labels.contains(&"ConstantStr(\"9\")".to_string()));
+        assert!(labels.iter().any(|l| l.starts_with("SubStr(")));
+        assert!(labels.iter().any(|l| l.starts_with("Prefix(Td")));
+    }
+
+    #[test]
+    fn build_all_skips_rejected() {
+        let mut interner = LabelInterner::new();
+        let builder = GraphBuilder::new(GraphConfig {
+            max_output_len: Some(4),
+            ..GraphConfig::default()
+        });
+        let reps = vec![
+            Replacement::new("a", "bb"),
+            Replacement::new("a", "bbbbbb"),
+            Replacement::new("c", "dd"),
+        ];
+        let graphs = builder.build_all(&reps, &mut interner);
+        assert_eq!(graphs.len(), 2);
+        assert_eq!(graphs[0].0, reps[0]);
+        assert_eq!(graphs[1].0, reps[2]);
+    }
+
+    #[test]
+    fn const_pos_config_adds_constant_positions() {
+        let config = GraphConfig {
+            enable_const_pos: true,
+            ..GraphConfig::default()
+        };
+        let (g, interner) = build("xabc", "abc", config);
+        let has_const_pos = g.label_triples().any(|(_, _, l)| {
+            matches!(interner.resolve(l), StringFn::SubStr(PositionFn::ConstPos(_), _))
+                || matches!(interner.resolve(l), StringFn::SubStr(_, PositionFn::ConstPos(_)))
+        });
+        assert!(has_const_pos);
+    }
+}

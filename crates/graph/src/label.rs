@@ -1,0 +1,131 @@
+//! Label interning.
+//!
+//! Edge labels of transformation graphs are string functions. The same
+//! function (e.g. `SubStr(MatchPos(TC,1,B), MatchPos(Tl,1,E))` or
+//! `ConstantStr("St")`) appears on edges of many graphs, and the pivot-path
+//! search compares paths and intersects inverted lists keyed by labels. To
+//! make those operations cheap, string functions are hash-consed into dense
+//! [`LabelId`]s by a [`LabelInterner`] that is shared by all graphs built for
+//! one collection of candidate replacements.
+
+use ec_dsl::StringFn;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A dense identifier for an interned string function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A hash-consing table mapping string functions to dense [`LabelId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    by_fn: HashMap<StringFn, LabelId>,
+    by_id: Vec<StringFn>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `f`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, f: StringFn) -> LabelId {
+        if let Some(&id) = self.by_fn.get(&f) {
+            return id;
+        }
+        let id = LabelId(self.by_id.len() as u32);
+        self.by_id.push(f.clone());
+        self.by_fn.insert(f, id);
+        id
+    }
+
+    /// Looks up an already-interned function without inserting.
+    pub fn get(&self, f: &StringFn) -> Option<LabelId> {
+        self.by_fn.get(f).copied()
+    }
+
+    /// Resolves an id back to its string function.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this interner.
+    pub fn resolve(&self, id: LabelId) -> &StringFn {
+        &self.by_id[id.index()]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over all interned `(id, function)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &StringFn)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (LabelId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_dsl::{Dir, PositionFn, Term};
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut interner = LabelInterner::new();
+        let f = StringFn::constant("St");
+        let a = interner.intern(f.clone());
+        let b = interner.intern(f.clone());
+        assert_eq!(a, b);
+        assert_eq!(interner.len(), 1);
+        assert_eq!(interner.resolve(a), &f);
+    }
+
+    #[test]
+    fn distinct_functions_get_distinct_ids() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern(StringFn::constant("a"));
+        let b = interner.intern(StringFn::constant("b"));
+        let c = interner.intern(StringFn::sub_str(
+            PositionFn::match_pos(Term::Upper, 1, Dir::Begin),
+            PositionFn::match_pos(Term::Upper, 1, Dir::End),
+        ));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(interner.len(), 3);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut interner = LabelInterner::new();
+        assert!(interner.get(&StringFn::constant("x")).is_none());
+        assert!(interner.is_empty());
+        let id = interner.intern(StringFn::constant("x"));
+        assert_eq!(interner.get(&StringFn::constant("x")), Some(id));
+    }
+
+    #[test]
+    fn iter_yields_all_labels_in_id_order() {
+        let mut interner = LabelInterner::new();
+        let ids: Vec<LabelId> = ["a", "b", "c"]
+            .iter()
+            .map(|s| interner.intern(StringFn::constant(*s)))
+            .collect();
+        let collected: Vec<LabelId> = interner.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, collected);
+    }
+}

@@ -1,0 +1,136 @@
+//! Candidate replacements.
+//!
+//! A replacement `lhs → rhs` (Section 3, Step 1) states that the string `lhs`
+//! may be replaced by the string `rhs` at the places it was generated from.
+//! Replacements are directional: `lhs → rhs` and `rhs → lhs` are distinct
+//! candidates (both are generated when two non-identical values co-occur in a
+//! cluster), and each has its own transformation graph.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A candidate replacement `lhs → rhs`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Replacement {
+    /// The left-hand side (the string that would be replaced).
+    pub lhs: Arc<str>,
+    /// The right-hand side (the string it would be replaced with).
+    pub rhs: Arc<str>,
+}
+
+impl Replacement {
+    /// Creates a replacement.
+    ///
+    /// # Panics
+    /// Panics if `lhs == rhs` (a replacement must relate two *different*
+    /// strings) or if `rhs` is empty (the transformation graph of an empty
+    /// output string has no edges and cannot be grouped).
+    pub fn new(lhs: impl AsRef<str>, rhs: impl AsRef<str>) -> Self {
+        let lhs = lhs.as_ref();
+        let rhs = rhs.as_ref();
+        assert!(lhs != rhs, "a replacement must relate two different strings");
+        assert!(!rhs.is_empty(), "the right-hand side of a replacement must be non-empty");
+        Replacement {
+            lhs: Arc::from(lhs),
+            rhs: Arc::from(rhs),
+        }
+    }
+
+    /// Fallible constructor: returns `None` when `lhs == rhs` or `rhs` is
+    /// empty instead of panicking.
+    pub fn try_new(lhs: impl AsRef<str>, rhs: impl AsRef<str>) -> Option<Self> {
+        let lhs = lhs.as_ref();
+        let rhs = rhs.as_ref();
+        if lhs == rhs || rhs.is_empty() {
+            None
+        } else {
+            Some(Replacement {
+                lhs: Arc::from(lhs),
+                rhs: Arc::from(rhs),
+            })
+        }
+    }
+
+    /// The reverse replacement `rhs → lhs`, when `lhs` is non-empty.
+    pub fn reversed(&self) -> Option<Replacement> {
+        if self.lhs.is_empty() {
+            None
+        } else {
+            Some(Replacement {
+                lhs: Arc::clone(&self.rhs),
+                rhs: Arc::clone(&self.lhs),
+            })
+        }
+    }
+
+    /// Left-hand side as `&str`.
+    pub fn lhs(&self) -> &str {
+        &self.lhs
+    }
+
+    /// Right-hand side as `&str`.
+    pub fn rhs(&self) -> &str {
+        &self.rhs
+    }
+}
+
+impl fmt::Display for Replacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} -> {:?}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let r = Replacement::new("Mary Lee", "Lee, Mary");
+        assert_eq!(r.lhs(), "Mary Lee");
+        assert_eq!(r.rhs(), "Lee, Mary");
+        assert_eq!(r.to_string(), "\"Mary Lee\" -> \"Lee, Mary\"");
+    }
+
+    #[test]
+    fn reversed() {
+        let r = Replacement::new("a", "b");
+        let rev = r.reversed().unwrap();
+        assert_eq!(rev.lhs(), "b");
+        assert_eq!(rev.rhs(), "a");
+        assert_eq!(rev.reversed().unwrap(), r);
+    }
+
+    #[test]
+    fn reversed_of_empty_lhs_is_none() {
+        let r = Replacement::new("", "b");
+        assert!(r.reversed().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different")]
+    fn identical_sides_panic() {
+        let _ = Replacement::new("x", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_rhs_panics() {
+        let _ = Replacement::new("x", "");
+    }
+
+    #[test]
+    fn try_new() {
+        assert!(Replacement::try_new("x", "x").is_none());
+        assert!(Replacement::try_new("x", "").is_none());
+        assert!(Replacement::try_new("x", "y").is_some());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Replacement::new("a", "b");
+        let b = Replacement::new("a", "c");
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,207 @@
+//! Structure signatures (Section 7.2).
+//!
+//! Some replacements that share a transformation program still look
+//! syntactically very different, which makes them hard for a human to judge as
+//! one group. The paper therefore refines groups by *structure*: each side of
+//! a replacement is mapped to a sequence of terms — the four character classes
+//! for runs of class characters, and single-character terms for everything
+//! else — and two replacements may only be grouped together when both sides
+//! have equal structures.
+//!
+//! For example `Struc("9") = [Td]` and `Struc("9th") = [Td, Tl]`, so the
+//! replacements `9 → 9th` and `3 → 3rd` are structurally equivalent, while
+//! `9 → 9th` and `Wisconsin → WI` are not.
+
+use ec_dsl::{Term, CLASS_TERMS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One token of a structure: a character-class run or a single character that
+/// belongs to no class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StructureToken {
+    /// A maximal run of characters of one of the four classes.
+    Class(Term),
+    /// A single character outside all classes (punctuation, symbols, …).
+    Single(char),
+}
+
+impl fmt::Display for StructureToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureToken::Class(t) => write!(f, "{t}"),
+            StructureToken::Single(c) => write!(f, "T{c:?}"),
+        }
+    }
+}
+
+/// The structure of a single string: its sequence of structure tokens.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Structure(pub Vec<StructureToken>);
+
+impl Structure {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the string was empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for tok in &self.0 {
+            write!(f, "{tok}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The structure of a replacement: the pair of structures of its two sides.
+/// Two replacements are *structurally equivalent* (Definition 4) iff their
+/// `ReplacementStructure`s are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ReplacementStructure {
+    /// Structure of the left-hand side.
+    pub lhs: Structure,
+    /// Structure of the right-hand side.
+    pub rhs: Structure,
+}
+
+impl fmt::Display for ReplacementStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs, self.rhs)
+    }
+}
+
+/// Computes the structure of a string: maximal class runs become
+/// [`StructureToken::Class`] tokens, every other character becomes a
+/// [`StructureToken::Single`] token.
+pub fn structure_of(s: &str) -> Structure {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    'outer: while i < chars.len() {
+        for term in CLASS_TERMS {
+            if term.contains_char(chars[i]) {
+                let mut j = i + 1;
+                while j < chars.len() && term.contains_char(chars[j]) {
+                    j += 1;
+                }
+                out.push(StructureToken::Class(term));
+                i = j;
+                continue 'outer;
+            }
+        }
+        out.push(StructureToken::Single(chars[i]));
+        i += 1;
+    }
+    Structure(out)
+}
+
+/// Computes the [`ReplacementStructure`] of a replacement given its two sides.
+pub fn replacement_structure(lhs: &str, rhs: &str) -> ReplacementStructure {
+    ReplacementStructure {
+        lhs: structure_of(lhs),
+        rhs: structure_of(rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_9_and_9th() {
+        // Struc("9") = Td and Struc("9th") = Td Tl (Section 7.2).
+        assert_eq!(structure_of("9"), Structure(vec![StructureToken::Class(Term::Digits)]));
+        assert_eq!(
+            structure_of("9th"),
+            Structure(vec![
+                StructureToken::Class(Term::Digits),
+                StructureToken::Class(Term::Lower)
+            ])
+        );
+    }
+
+    #[test]
+    fn paper_equivalence_9_9th_and_3_3rd() {
+        let a = replacement_structure("9", "9th");
+        let b = replacement_structure("3", "3rd");
+        assert_eq!(a, b, "9→9th and 3→3rd share the structure Td → TdTl");
+        let c = replacement_structure("Wisconsin", "WI");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn punctuation_becomes_single_tokens() {
+        let s = structure_of("Lee, Mary");
+        assert_eq!(
+            s,
+            Structure(vec![
+                StructureToken::Class(Term::Upper),
+                StructureToken::Class(Term::Lower),
+                StructureToken::Single(','),
+                StructureToken::Class(Term::Whitespace),
+                StructureToken::Class(Term::Upper),
+                StructureToken::Class(Term::Lower),
+            ])
+        );
+    }
+
+    #[test]
+    fn mixed_case_runs_split_at_class_boundaries() {
+        let s = structure_of("McDonald");
+        assert_eq!(
+            s,
+            Structure(vec![
+                StructureToken::Class(Term::Upper),
+                StructureToken::Class(Term::Lower),
+                StructureToken::Class(Term::Upper),
+                StructureToken::Class(Term::Lower),
+            ])
+        );
+    }
+
+    #[test]
+    fn empty_string_has_empty_structure() {
+        assert!(structure_of("").is_empty());
+        assert_eq!(structure_of("").len(), 0);
+    }
+
+    #[test]
+    fn every_character_is_covered_exactly_once() {
+        // Reconstruct the character count from the structure.
+        let s = "3rd E Avenue, 33990 CA";
+        let st = structure_of(s);
+        // Each Single covers 1 char; each Class covers >= 1. Just check the
+        // token count never exceeds the char count and the structure is stable.
+        assert!(st.len() <= s.chars().count());
+        assert_eq!(st, structure_of(s));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(structure_of("9th").to_string(), "TdTl");
+        assert_eq!(structure_of("A-1").to_string(), "TCT'-'Td");
+        assert_eq!(
+            replacement_structure("9", "9th").to_string(),
+            "Td -> TdTl"
+        );
+    }
+
+    #[test]
+    fn unicode_characters_are_single_tokens() {
+        let s = structure_of("é9");
+        assert_eq!(
+            s,
+            Structure(vec![
+                StructureToken::Single('é'),
+                StructureToken::Class(Term::Digits)
+            ])
+        );
+    }
+}

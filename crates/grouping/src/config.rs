@@ -1,0 +1,93 @@
+//! Grouping configuration.
+
+use ec_graph::GraphConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by all grouping drivers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupingConfig {
+    /// Graph-construction configuration (affix labels on/off, constant policy, …).
+    pub graph: GraphConfig,
+    /// Maximum number of string functions in a pivot path. The paper limits
+    /// the path length to 6 in all experiments (Section 8.2); longer paths are
+    /// never explored.
+    pub max_path_len: usize,
+    /// Enable the local/global threshold early-termination optimizations of
+    /// Section 5.2. Disabling this reproduces the `OneShot` baseline of
+    /// Figure 9; it never changes the produced groups, only the time taken.
+    pub early_termination: bool,
+    /// Pre-partition replacements by their structure signatures (Section 7.2)
+    /// before grouping. Only consulted by [`crate::StructuredGrouper`].
+    pub structure_refinement: bool,
+    /// Budget on the number of path extensions (inverted-list intersections)
+    /// one pivot-path search may perform. Appendix E notes that when the
+    /// search is too expensive one can cap the path length or sample; this cap
+    /// plays the same role for pathological graphs (very long outputs whose
+    /// pieces rarely occur in the input): when it is hit, the best complete
+    /// path found so far is used. Typical searches finish in a few hundred
+    /// extensions, orders of magnitude below the default.
+    pub max_search_steps: usize,
+    /// Build transformation graphs on multiple threads (per-thread label
+    /// interners merged afterwards). Deterministic regardless of the setting.
+    pub parallel_graph_build: bool,
+}
+
+impl Default for GroupingConfig {
+    fn default() -> Self {
+        GroupingConfig {
+            // Appendix E restricts which ConstantStr labels the pivot-path
+            // search considers (locally high-scoring constants only); the
+            // grouping default approximates that static order by keeping only
+            // short constants (plus the full-output constant every graph needs
+            // for a guaranteed transformation path). Long constants convey no
+            // transformation and blow up the path search combinatorially.
+            graph: GraphConfig {
+                constant_policy: ec_graph::ConstantPolicy::MaxLen(4),
+                ..GraphConfig::default()
+            },
+            max_path_len: 6,
+            early_termination: true,
+            structure_refinement: true,
+            max_search_steps: 50_000,
+            parallel_graph_build: true,
+        }
+    }
+}
+
+impl GroupingConfig {
+    /// The configuration of the paper's `OneShot` method (no early
+    /// termination).
+    pub fn one_shot() -> Self {
+        GroupingConfig {
+            early_termination: false,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration of the `NoAffix` ablation (Figure 10).
+    pub fn without_affix() -> Self {
+        let mut config = Self::default();
+        config.graph.enable_affix = false;
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = GroupingConfig::default();
+        assert_eq!(c.max_path_len, 6);
+        assert!(c.early_termination);
+        assert!(c.structure_refinement);
+        assert!(c.graph.enable_affix);
+    }
+
+    #[test]
+    fn presets() {
+        assert!(!GroupingConfig::one_shot().early_termination);
+        assert!(!GroupingConfig::without_affix().graph.enable_affix);
+    }
+}

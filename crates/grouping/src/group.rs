@@ -1,0 +1,99 @@
+//! Replacement groups: the unit presented to a human for verification.
+
+use ec_dsl::Program;
+use ec_graph::Replacement;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A group of candidate replacements that share a transformation program.
+///
+/// Groups are what the framework presents to the human expert: approving a
+/// group applies all of its member replacements (in a direction chosen by the
+/// expert), rejecting it applies none.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Group {
+    /// The shared transformation program (the pivot path), when the group was
+    /// formed by pivot-path search. Singleton fallback groups (e.g. for
+    /// replacements whose graphs were not built) have `None`.
+    pub program: Option<Program>,
+    /// The member replacements, in deterministic order.
+    pub members: Vec<Replacement>,
+}
+
+impl Group {
+    /// Creates a group from a shared program and its members.
+    pub fn new(program: Option<Program>, mut members: Vec<Replacement>) -> Self {
+        members.sort();
+        members.dedup();
+        Group { program, members }
+    }
+
+    /// Creates a singleton group holding one replacement with no shared program.
+    pub fn singleton(replacement: Replacement) -> Self {
+        Group {
+            program: None,
+            members: vec![replacement],
+        }
+    }
+
+    /// Number of member replacements — the ranking key of Section 3, Step 3.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The member replacements.
+    pub fn members(&self) -> &[Replacement] {
+        &self.members
+    }
+
+    /// The shared program, if any.
+    pub fn program(&self) -> Option<&Program> {
+        self.program.as_ref()
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.program {
+            Some(p) => writeln!(f, "group of {} replacements sharing {p}", self.members.len())?,
+            None => writeln!(f, "singleton group")?,
+        }
+        for m in &self.members {
+            writeln!(f, "  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_are_sorted_and_deduplicated() {
+        let g = Group::new(
+            None,
+            vec![
+                Replacement::new("b", "c"),
+                Replacement::new("a", "b"),
+                Replacement::new("b", "c"),
+            ],
+        );
+        assert_eq!(g.size(), 2);
+        assert_eq!(g.members()[0], Replacement::new("a", "b"));
+    }
+
+    #[test]
+    fn singleton() {
+        let g = Group::singleton(Replacement::new("x", "y"));
+        assert_eq!(g.size(), 1);
+        assert!(g.program().is_none());
+    }
+
+    #[test]
+    fn display_mentions_size() {
+        let g = Group::new(None, vec![Replacement::new("a", "b")]);
+        let s = g.to_string();
+        assert!(s.contains("\"a\" -> \"b\""));
+    }
+}

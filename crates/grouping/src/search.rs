@@ -1,0 +1,589 @@
+//! Pivot-path search (Algorithm 3 `SearchPivot`, with the early-termination
+//! optimizations of Algorithm 4).
+//!
+//! For a graph `G`, the *pivot path* is the transformation path of `G` (a path
+//! from the first to the last node, one label per edge) shared by the largest
+//! number of graphs in the collection. The search is a depth-first enumeration
+//! of paths starting at the first node, maintaining the list `ℓ` of graphs
+//! containing the current prefix via the inverted index; two optimizations
+//! prune the enumeration:
+//!
+//! * **local threshold** — extending a path can only shrink `ℓ`, so branches
+//!   whose list is not strictly larger than the best complete path found so
+//!   far (or the caller-provided threshold) are cut;
+//! * **global threshold** — every time a complete transformation path shared
+//!   by `n` graphs is found, those graphs' pivot paths are known to be shared
+//!   by at least `n` graphs, so their own searches can start from that bound.
+
+//! Ties between equally-shared paths are broken by the static function order
+//! of Appendix E: paths using fewer `ConstantStr` labels are preferred, since
+//! constants are the least general functions (two replacements with identical
+//! right-hand sides trivially share an all-constants path that conveys no
+//! transformation at all).
+
+use crate::config::GroupingConfig;
+use crate::prepared::PreparedGraphs;
+use ec_dsl::StringFn;
+use ec_graph::LabelId;
+use ec_index::{GraphId, InvertedIndex, PathList};
+
+/// The result of a pivot-path search.
+#[derive(Debug, Clone)]
+pub struct PivotResult {
+    /// The pivot path (sequence of labels).
+    pub path: Vec<LabelId>,
+    /// Graphs containing the path anchored at their first node.
+    pub list: PathList,
+    /// Graphs for which the path is a *complete* transformation path (reaches
+    /// their last node) and which are still active; these are the graphs that
+    /// may join the group keyed by this path.
+    pub complete: Vec<GraphId>,
+    /// The number of active graphs containing the path (the score the search
+    /// maximises, the paper's `|ℓ|`).
+    pub share_count: usize,
+}
+
+/// Searches pivot paths over one [`PreparedGraphs`] collection.
+pub struct PivotSearcher<'a> {
+    prepared: &'a PreparedGraphs,
+    config: &'a GroupingConfig,
+}
+
+struct SearchState<'a> {
+    index: &'a InvertedIndex,
+    active: &'a [bool],
+    last_nodes: Vec<u32>,
+    max_path_len: usize,
+    early_termination: bool,
+    /// `dist_to_end[i]` — minimum number of edges needed to reach the last
+    /// node of the searched graph from node `i` (`u32::MAX` if unreachable).
+    /// Branches that cannot complete within the path-length cap are pruned.
+    dist_to_end: Vec<u32>,
+    /// Remaining budget of path extensions (list intersections); when it runs
+    /// out the search keeps whatever best complete path it has found so far.
+    steps_left: usize,
+    /// `constant_chars[label]` — number of output characters the label emits
+    /// as a constant (0 for non-constant labels), used for the static-order
+    /// tie-break: among equally shared paths the one whose output depends the
+    /// least on constants (and then the shorter one) is preferred.
+    constant_chars: &'a [usize],
+    /// Per-graph global lower bounds (the paper's `G_lo`), shared across the
+    /// searches of one driver invocation.
+    lower_bounds: &'a mut [u32],
+    /// Best complete path so far: `(path, list, share count, quality)`.
+    best: Option<(Vec<LabelId>, PathList, usize, Quality)>,
+    threshold: usize,
+}
+
+/// Tie-break quality of a path: total characters produced by constant labels,
+/// then path length. Smaller is better; both components only grow as a path is
+/// extended, so a partial path's quality is a valid lower bound on the quality
+/// of any of its completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Quality {
+    constant_chars: usize,
+    len: usize,
+}
+
+impl<'a> PivotSearcher<'a> {
+    /// Creates a searcher over `prepared` using `config`'s path-length cap and
+    /// early-termination setting.
+    pub fn new(prepared: &'a PreparedGraphs, config: &'a GroupingConfig) -> Self {
+        PivotSearcher { prepared, config }
+    }
+
+    /// Searches the pivot path of graph `g`.
+    ///
+    /// * `threshold` — only paths shared by **more than** `threshold` active
+    ///   graphs are acceptable (the incremental algorithm passes `τ - 1`; the
+    ///   one-shot algorithm passes 0).
+    /// * `active` — graphs still participating (inactive graphs are invisible
+    ///   to share counts and group membership).
+    /// * `lower_bounds` — the per-graph global thresholds, updated in place
+    ///   whenever a complete path is found (only when early termination is
+    ///   enabled, mirroring Algorithm 4).
+    ///
+    /// Returns `None` when no transformation path of `g` is shared by more
+    /// than `threshold` active graphs (within the path-length cap).
+    pub fn search(
+        &self,
+        g: GraphId,
+        threshold: usize,
+        active: &[bool],
+        lower_bounds: &mut [u32],
+    ) -> Option<PivotResult> {
+        let graph = self.prepared.graph(g);
+        let last_nodes: Vec<u32> = self
+            .prepared
+            .graphs()
+            .iter()
+            .map(|gr| gr.last_node())
+            .collect();
+        let constant_chars: Vec<usize> = self
+            .prepared
+            .interner()
+            .iter()
+            .map(|(_, f)| match f {
+                StringFn::ConstantStr(c) => c.chars().count(),
+                _ => 0,
+            })
+            .collect();
+        // Minimum number of edges from each node of `graph` to its last node;
+        // paths that cannot complete within the length cap are never explored.
+        let dist_to_end = distance_to_end(graph);
+        let mut state = SearchState {
+            index: self.prepared.index(),
+            active,
+            last_nodes,
+            max_path_len: self.config.max_path_len,
+            early_termination: self.config.early_termination,
+            dist_to_end,
+            steps_left: self.config.max_search_steps.max(1),
+            constant_chars: &constant_chars,
+            lower_bounds,
+            best: None,
+            threshold,
+        };
+        let universe = PathList::universe(self.prepared.len());
+
+        // Seed the best path with the single-edge paths over the full-output
+        // edge (which always includes the `ConstantStr(t)` label): this both
+        // guarantees that a complete path is known before the search budget
+        // can run out and gives the local threshold an immediate baseline.
+        if let Some(full_edge) = graph.edge(0, graph.last_node()) {
+            for &label in &full_edge.labels {
+                let list = state.index.extend(&universe, label);
+                let count = active_count(&list, state.active);
+                if count <= state.threshold {
+                    continue;
+                }
+                let quality = Quality {
+                    constant_chars: state.constant_chars[label.index()],
+                    len: 1,
+                };
+                let better = match &state.best {
+                    None => true,
+                    Some((_, _, best_count, best_quality)) => {
+                        count > *best_count || (count == *best_count && quality < *best_quality)
+                    }
+                };
+                if better {
+                    state.best = Some((vec![label], list, count, quality));
+                }
+            }
+        }
+
+        let mut path = Vec::new();
+        if state.dist_to_end.first().copied().unwrap_or(u32::MAX) as usize <= state.max_path_len {
+            dfs(graph, g, 0, &mut path, &universe, 0, &mut state);
+        }
+        let (path, list, count, _) = state.best?;
+        let complete: Vec<GraphId> = list
+            .occurrences()
+            .iter()
+            .filter(|occ| {
+                active[occ.graph.index()] && occ.end == state.last_nodes[occ.graph.index()]
+            })
+            .map(|occ| occ.graph)
+            .collect();
+        let mut complete_dedup = complete;
+        complete_dedup.dedup();
+        Some(PivotResult {
+            path,
+            list,
+            complete: complete_dedup,
+            share_count: count,
+        })
+    }
+}
+
+/// `dist[i]` — the minimum number of edges needed to go from node `i` to the
+/// last node of `graph`, or `u32::MAX` when the last node is unreachable from
+/// `i`. Computed by a reverse DP over the DAG (edges always point forward).
+fn distance_to_end(graph: &ec_graph::TransformationGraph) -> Vec<u32> {
+    let last = graph.last_node();
+    let mut dist = vec![u32::MAX; last as usize + 1];
+    dist[last as usize] = 0;
+    for i in (0..last).rev() {
+        let mut best = u32::MAX;
+        for edge in graph.out_edges(i) {
+            let d = dist[edge.to as usize];
+            if d != u32::MAX {
+                best = best.min(d + 1);
+            }
+        }
+        dist[i as usize] = best;
+    }
+    dist
+}
+
+/// Number of distinct *active* graphs in a path list.
+fn active_count(list: &PathList, active: &[bool]) -> usize {
+    let mut count = 0;
+    let mut last = None;
+    for occ in list.occurrences() {
+        if active[occ.graph.index()] && last != Some(occ.graph) {
+            count += 1;
+            last = Some(occ.graph);
+        }
+    }
+    count
+}
+
+fn dfs(
+    graph: &ec_graph::TransformationGraph,
+    g: GraphId,
+    node: u32,
+    path: &mut Vec<LabelId>,
+    list: &PathList,
+    const_chars: usize,
+    state: &mut SearchState<'_>,
+) {
+    if node == graph.last_node() {
+        // The maintained path is a transformation path of `graph`.
+        let count = active_count(list, state.active);
+        let quality = Quality {
+            constant_chars: const_chars,
+            len: path.len(),
+        };
+        let accept = if count <= state.threshold {
+            false
+        } else {
+            match &state.best {
+                None => true,
+                Some((_, _, best_count, best_quality)) => {
+                    count > *best_count || (count == *best_count && quality < *best_quality)
+                }
+            }
+        };
+        if accept {
+            state.best = Some((path.clone(), list.clone(), count, quality));
+        }
+        if state.early_termination {
+            // Global threshold update (Algorithm 4): every graph for which this
+            // path is complete has a pivot path shared by at least `count` graphs.
+            for occ in list.occurrences() {
+                let gi = occ.graph.index();
+                if state.active[gi]
+                    && occ.end == state.last_nodes[gi]
+                    && state.lower_bounds[gi] < count as u32
+                {
+                    state.lower_bounds[gi] = count as u32;
+                }
+            }
+        }
+        return;
+    }
+    if path.len() >= state.max_path_len {
+        return;
+    }
+    // Only one more label fits: the next edge must reach the last node.
+    let last_step = path.len() + 1 == state.max_path_len;
+    // Remaining length budget for the rest of the path.
+    let remaining = state.max_path_len - path.len();
+    // Collect the viable extensions of this node first, then explore them in
+    // decreasing share-count order (ties: longer edges, then fewer constant
+    // characters). Finding a high-share complete path early makes the local
+    // threshold bite on all remaining branches, which is where essentially all
+    // of the search time goes on real data.
+    let mut candidates: Vec<(LabelId, u32, PathList, usize, usize)> = Vec::new();
+    for edge in graph.out_edges(node) {
+        if last_step && edge.to != graph.last_node() {
+            continue;
+        }
+        // Feasibility: after taking this edge there must still be enough path
+        // length left to reach the last node.
+        let to_end = state.dist_to_end[edge.to as usize];
+        if to_end == u32::MAX || 1 + to_end as usize > remaining {
+            continue;
+        }
+        for &label in &edge.labels {
+            // Cheap upper bound: a label occurring in at most `threshold`
+            // graphs can never lead to an acceptable path.
+            if state.index.list_graph_count(label) <= state.threshold {
+                continue;
+            }
+            if state.steps_left == 0 {
+                return;
+            }
+            state.steps_left -= 1;
+            let extended = state.index.extend(list, label);
+            if extended.is_empty() {
+                continue;
+            }
+            let count = active_count(&extended, state.active);
+            if count == 0 {
+                continue;
+            }
+            let next_chars = const_chars + state.constant_chars[label.index()];
+            if state.early_termination {
+                // Local threshold: the extension must still be able to beat the
+                // best complete path found so far — a strictly larger share
+                // count, or an equal count with strictly better quality (the
+                // partial quality only degrades as the path grows, so it lower
+                // bounds any completion) — and it must not fall below the
+                // graph's own global lower bound (Algorithm 4, line 5).
+                if count <= state.threshold || (count as u32) < state.lower_bounds[g.index()] {
+                    continue;
+                }
+                if let Some((_, _, best_count, best_quality)) = &state.best {
+                    let partial = Quality {
+                        constant_chars: next_chars,
+                        len: path.len() + 1,
+                    };
+                    if count < *best_count || (count == *best_count && partial >= *best_quality) {
+                        continue;
+                    }
+                }
+            }
+            candidates.push((label, edge.to, extended, count, next_chars));
+        }
+    }
+    candidates.sort_by(|a, b| {
+        b.3.cmp(&a.3) // larger share count first
+            .then_with(|| b.1.cmp(&a.1)) // longer jumps first (completes sooner)
+            .then_with(|| a.4.cmp(&b.4)) // fewer constant characters first
+    });
+    for (label, to, extended, count, next_chars) in candidates {
+        if state.steps_left == 0 {
+            return;
+        }
+        if state.early_termination {
+            // Re-check against the (possibly improved) best before descending.
+            if count <= state.threshold || (count as u32) < state.lower_bounds[g.index()] {
+                continue;
+            }
+            if let Some((_, _, best_count, best_quality)) = &state.best {
+                let partial = Quality {
+                    constant_chars: next_chars,
+                    len: path.len() + 1,
+                };
+                if count < *best_count || (count == *best_count && partial >= *best_quality) {
+                    continue;
+                }
+            }
+        }
+        path.push(label);
+        dfs(graph, g, to, path, &extended, next_chars, state);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_dsl::{Dir, PositionFn, StringFn, Term};
+    use ec_graph::Replacement;
+
+    fn prepared(reps: &[Replacement], config: &GroupingConfig) -> PreparedGraphs {
+        PreparedGraphs::build(reps, config)
+    }
+
+    fn example_5_1() -> Vec<Replacement> {
+        vec![
+            Replacement::new("Lee, Mary", "M. Lee"),
+            Replacement::new("Smith, James", "J. Smith"),
+            Replacement::new("Lee, Mary", "Mary Lee"),
+        ]
+    }
+
+    // Paper Example 5.2 / Table 5: the pivot path of G1 is f2 ⊕ f3 ⊕ f1,
+    // shared by G1 and G2.
+    #[test]
+    fn paper_example_5_2_pivot_of_g1() {
+        let config = GroupingConfig::default();
+        let prep = prepared(&example_5_1(), &config);
+        let searcher = PivotSearcher::new(&prep, &config);
+        let mut lower = vec![1u32; prep.len()];
+        let active = vec![true; prep.len()];
+        let result = searcher
+            .search(GraphId(0), 0, &active, &mut lower)
+            .expect("pivot path exists");
+        assert_eq!(result.share_count, 2, "pivot of G1 is shared by G1 and G2");
+        assert_eq!(result.complete, vec![GraphId(0), GraphId(1)]);
+        // The shared program must actually transform both replacements.
+        let program = prep.resolve_program(&result.path);
+        for gid in &result.complete {
+            let r = prep.replacement(*gid);
+            let ctx = ec_dsl::StrCtx::new(r.lhs());
+            assert!(
+                program.consistent_with(&ctx, r.rhs()),
+                "{program} must be consistent with {r}"
+            );
+        }
+    }
+
+    // Paper Example 5.3: after searching G1, the global threshold of G2 is 2,
+    // so G2's own search can prune aggressively and still finds a pivot shared
+    // by 2 graphs.
+    #[test]
+    fn paper_example_5_3_global_threshold_propagates() {
+        let config = GroupingConfig::default();
+        let prep = prepared(&example_5_1(), &config);
+        let searcher = PivotSearcher::new(&prep, &config);
+        let mut lower = vec![1u32; prep.len()];
+        let active = vec![true; prep.len()];
+        let _ = searcher.search(GraphId(0), 0, &active, &mut lower).unwrap();
+        assert_eq!(lower[1], 2, "G2's lower bound is raised to 2");
+        let result = searcher.search(GraphId(1), 0, &active, &mut lower).unwrap();
+        assert_eq!(result.share_count, 2);
+    }
+
+    #[test]
+    fn pivot_of_g3_is_the_name_transposition() {
+        // G3 = "Lee, Mary" -> "Mary Lee" shares its transposition program with
+        // no other graph in this tiny example, so its pivot is shared by 1.
+        let config = GroupingConfig::default();
+        let prep = prepared(&example_5_1(), &config);
+        let searcher = PivotSearcher::new(&prep, &config);
+        let mut lower = vec![1u32; prep.len()];
+        let active = vec![true; prep.len()];
+        let result = searcher.search(GraphId(2), 0, &active, &mut lower).unwrap();
+        assert_eq!(result.share_count, 1);
+        assert_eq!(result.complete, vec![GraphId(2)]);
+    }
+
+    #[test]
+    fn adding_the_fourth_replacement_grows_the_transposition_group() {
+        let mut reps = example_5_1();
+        reps.push(Replacement::new("Smith, James", "James Smith"));
+        let config = GroupingConfig::default();
+        let prep = prepared(&reps, &config);
+        let searcher = PivotSearcher::new(&prep, &config);
+        let mut lower = vec![1u32; prep.len()];
+        let active = vec![true; prep.len()];
+        let result = searcher.search(GraphId(2), 0, &active, &mut lower).unwrap();
+        assert_eq!(result.share_count, 2, "Lee/Mary and Smith/James transpositions share a program");
+        assert!(result.complete.contains(&GraphId(2)));
+        assert!(result.complete.contains(&GraphId(3)));
+    }
+
+    #[test]
+    fn early_termination_does_not_change_the_result() {
+        let mut reps = example_5_1();
+        reps.push(Replacement::new("Smith, James", "James Smith"));
+        reps.push(Replacement::new("Doe, John", "J. Doe"));
+        reps.push(Replacement::new("Roe, Jane", "Jane Roe"));
+        let with = GroupingConfig::default();
+        let without = GroupingConfig::one_shot();
+        let prep_with = prepared(&reps, &with);
+        let prep_without = prepared(&reps, &without);
+        for g in 0..reps.len() {
+            let mut lower_a = vec![1u32; reps.len()];
+            let mut lower_b = vec![1u32; reps.len()];
+            let active = vec![true; reps.len()];
+            let a = PivotSearcher::new(&prep_with, &with)
+                .search(GraphId(g as u32), 0, &active, &mut lower_a)
+                .unwrap();
+            let b = PivotSearcher::new(&prep_without, &without)
+                .search(GraphId(g as u32), 0, &active, &mut lower_b)
+                .unwrap();
+            assert_eq!(a.share_count, b.share_count, "graph {g}");
+            assert_eq!(a.complete.len(), b.complete.len(), "graph {g}");
+        }
+    }
+
+    #[test]
+    fn threshold_filters_small_pivots() {
+        let config = GroupingConfig::default();
+        let prep = prepared(&example_5_1(), &config);
+        let searcher = PivotSearcher::new(&prep, &config);
+        let mut lower = vec![1u32; prep.len()];
+        let active = vec![true; prep.len()];
+        // G3's pivot is shared by only 1 graph, so a threshold of 1 rejects it.
+        assert!(searcher.search(GraphId(2), 1, &active, &mut lower).is_none());
+        // G1's pivot is shared by 2 graphs, so a threshold of 1 accepts it…
+        assert!(searcher.search(GraphId(0), 1, &active, &mut lower).is_some());
+        // …and a threshold of 2 rejects it.
+        let mut lower = vec![1u32; prep.len()];
+        assert!(searcher.search(GraphId(0), 2, &active, &mut lower).is_none());
+    }
+
+    #[test]
+    fn inactive_graphs_are_not_counted_or_grouped() {
+        let config = GroupingConfig::default();
+        let prep = prepared(&example_5_1(), &config);
+        let searcher = PivotSearcher::new(&prep, &config);
+        let mut lower = vec![1u32; prep.len()];
+        let mut active = vec![true; prep.len()];
+        active[1] = false; // deactivate "Smith, James" -> "J. Smith"
+        let result = searcher.search(GraphId(0), 0, &active, &mut lower).unwrap();
+        assert_eq!(result.share_count, 1);
+        assert_eq!(result.complete, vec![GraphId(0)]);
+    }
+
+    #[test]
+    fn max_path_len_limits_the_search() {
+        // With a path cap of 1 the only complete paths are single labels such
+        // as the full-string constant, so the pivot is shared by 1 graph.
+        let config = GroupingConfig {
+            max_path_len: 1,
+            ..GroupingConfig::default()
+        };
+        let prep = prepared(&example_5_1(), &config);
+        let searcher = PivotSearcher::new(&prep, &config);
+        let mut lower = vec![1u32; prep.len()];
+        let active = vec![true; prep.len()];
+        let result = searcher.search(GraphId(0), 0, &active, &mut lower).unwrap();
+        assert_eq!(result.share_count, 1);
+        assert_eq!(result.path.len(), 1);
+    }
+
+    #[test]
+    fn affix_pivot_groups_street_and_avenue() {
+        // Street->St and Avenue->Ave share a pivot only thanks to the affix
+        // extension (Appendix D / Example D.1).
+        let reps = vec![
+            Replacement::new("Street", "St"),
+            Replacement::new("Avenue", "Ave"),
+        ];
+        let with_affix = GroupingConfig::default();
+        let prep = prepared(&reps, &with_affix);
+        let searcher = PivotSearcher::new(&prep, &with_affix);
+        let mut lower = vec![1u32; 2];
+        let active = vec![true; 2];
+        let result = searcher.search(GraphId(0), 0, &active, &mut lower).unwrap();
+        assert_eq!(result.share_count, 2);
+        let program = prep.resolve_program(&result.path);
+        assert!(program.fns().iter().any(StringFn::is_affix));
+
+        let without = GroupingConfig::without_affix();
+        let prep2 = prepared(&reps, &without);
+        let searcher2 = PivotSearcher::new(&prep2, &without);
+        let mut lower2 = vec![1u32; 2];
+        let result2 = searcher2.search(GraphId(0), 0, &active, &mut lower2).unwrap();
+        assert_eq!(result2.share_count, 1, "without affix labels the two graphs share no program");
+    }
+
+    #[test]
+    fn pivot_program_reproduces_figure_3() {
+        // The pivot program of the initials transformation must contain the
+        // f2/f3/f1 shape of Figure 3 (a substring, a constant ". ", a substring).
+        let reps = vec![
+            Replacement::new("Lee, Mary", "M. Lee"),
+            Replacement::new("Smith, James", "J. Smith"),
+            Replacement::new("Brown, Anna", "A. Brown"),
+        ];
+        let config = GroupingConfig::default();
+        let prep = prepared(&reps, &config);
+        let searcher = PivotSearcher::new(&prep, &config);
+        let mut lower = vec![1u32; 3];
+        let active = vec![true; 3];
+        let result = searcher.search(GraphId(0), 0, &active, &mut lower).unwrap();
+        assert_eq!(result.share_count, 3);
+        let program = prep.resolve_program(&result.path);
+        // The program must be consistent with a fresh, unseen name pair too —
+        // that is what "learning a transformation" means.
+        let ctx = ec_dsl::StrCtx::new("Stone, Olivia");
+        assert!(program.consistent_with(&ctx, "O. Stone"), "{program}");
+        // And it must include the constant ". " somewhere (or an equivalent),
+        // since ". " never appears in the inputs.
+        assert!(program
+            .fns()
+            .iter()
+            .any(|f| matches!(f, StringFn::ConstantStr(c) if c.contains('.'))));
+        let _ = PositionFn::const_pos(1);
+        let _ = Dir::Begin;
+        let _ = Term::Upper;
+    }
+}

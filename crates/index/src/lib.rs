@@ -1,0 +1,412 @@
+//! # ec-index — the edge-label inverted index
+//!
+//! Pivot-path search (Section 5.1 of the paper) needs to answer one question
+//! very quickly: *given a path — a sequence of string-function labels — which
+//! transformation graphs contain it, starting at their first node?* The paper
+//! answers it with an inverted index keyed by edge labels whose postings carry
+//! the edge endpoints, so that intersecting two lists can require the edges to
+//! be **adjacent** (the end node of one is the start node of the next).
+//!
+//! This crate provides that index ([`InvertedIndex`]) and the path-occurrence
+//! lists it produces ([`PathList`]). A [`PathList`] tracks, for every graph
+//! that contains the current path anchored at its first node, the node the
+//! path has reached; extending the path by a label is a single
+//! [`InvertedIndex::extend`] call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ec_graph::{LabelId, TransformationGraph};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a transformation graph inside one grouping problem: the index
+/// of the graph in the slice the [`InvertedIndex`] was built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GraphId(pub u32);
+
+impl GraphId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One posting of the inverted index: graph `graph` has an edge `(from, to)`
+/// carrying the label the posting is filed under (the paper's `⟨G, i, j⟩`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Posting {
+    /// The graph containing the edge.
+    pub graph: GraphId,
+    /// Source node of the edge.
+    pub from: u32,
+    /// Target node of the edge.
+    pub to: u32,
+}
+
+/// An occurrence of the current path in one graph: the path starts at the
+/// graph's first node and has reached node `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PathOccurrence {
+    /// The graph containing the occurrence.
+    pub graph: GraphId,
+    /// The node reached by the path (the `j` of the last edge).
+    pub end: u32,
+}
+
+/// The list of graphs containing the current path (the paper's `ℓ`).
+///
+/// Occurrences are kept sorted by `(graph, end)` and deduplicated. A graph may
+/// appear with several `end` nodes when multi-valued (affix) labels allow the
+/// same label sequence to cover different spans of the output string; the
+/// *graph count* [`PathList::graph_count`] — what the paper calls `|ℓ|` — is
+/// the number of distinct graphs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PathList {
+    occurrences: Vec<PathOccurrence>,
+}
+
+impl PathList {
+    /// The list for the empty path over `num_graphs` graphs: every graph
+    /// contains the empty path, anchored at its first node (node 0).
+    pub fn universe(num_graphs: usize) -> Self {
+        PathList {
+            occurrences: (0..num_graphs)
+                .map(|g| PathOccurrence {
+                    graph: GraphId(g as u32),
+                    end: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds a list from raw occurrences (sorted and deduplicated).
+    pub fn from_occurrences(mut occurrences: Vec<PathOccurrence>) -> Self {
+        occurrences.sort();
+        occurrences.dedup();
+        PathList { occurrences }
+    }
+
+    /// The occurrences, sorted by `(graph, end)`.
+    pub fn occurrences(&self) -> &[PathOccurrence] {
+        &self.occurrences
+    }
+
+    /// Number of distinct graphs containing the path — the paper's `|ℓ|`.
+    pub fn graph_count(&self) -> usize {
+        let mut count = 0;
+        let mut last: Option<GraphId> = None;
+        for occ in &self.occurrences {
+            if last != Some(occ.graph) {
+                count += 1;
+                last = Some(occ.graph);
+            }
+        }
+        count
+    }
+
+    /// Iterates over the distinct graphs in the list.
+    pub fn graphs(&self) -> impl Iterator<Item = GraphId> + '_ {
+        let mut last: Option<GraphId> = None;
+        self.occurrences.iter().filter_map(move |occ| {
+            if last == Some(occ.graph) {
+                None
+            } else {
+                last = Some(occ.graph);
+                Some(occ.graph)
+            }
+        })
+    }
+
+    /// The distinct graphs whose occurrence ends exactly at `last_node(graph)`
+    /// — i.e. the graphs for which the current path is a complete
+    /// transformation path.
+    pub fn complete_graphs(&self, last_node: impl Fn(GraphId) -> u32) -> Vec<GraphId> {
+        let mut out: Vec<GraphId> = self
+            .occurrences
+            .iter()
+            .filter(|occ| occ.end == last_node(occ.graph))
+            .map(|occ| occ.graph)
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// True when no graph contains the path.
+    pub fn is_empty(&self) -> bool {
+        self.occurrences.is_empty()
+    }
+}
+
+/// The inverted index over edge labels of a set of transformation graphs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    /// `lists[label.index()]` = postings of that label, sorted by `(graph, from, to)`.
+    lists: Vec<Vec<Posting>>,
+}
+
+impl InvertedIndex {
+    /// Builds the index for `graphs`. `num_labels` must be at least the number
+    /// of labels in the interner the graphs were built with (label ids index
+    /// directly into the posting-list table).
+    pub fn build(graphs: &[TransformationGraph], num_labels: usize) -> Self {
+        let mut lists: Vec<Vec<Posting>> = vec![Vec::new(); num_labels];
+        for (gid, graph) in graphs.iter().enumerate() {
+            for (from, to, label) in graph.label_triples() {
+                let idx = label.index();
+                if idx >= lists.len() {
+                    lists.resize(idx + 1, Vec::new());
+                }
+                lists[idx].push(Posting {
+                    graph: GraphId(gid as u32),
+                    from,
+                    to,
+                });
+            }
+        }
+        for list in &mut lists {
+            list.sort();
+        }
+        InvertedIndex { lists }
+    }
+
+    /// The posting list of a label (empty when the label never occurs).
+    pub fn list(&self, label: LabelId) -> &[Posting] {
+        self.lists
+            .get(label.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Length of the posting list of a label.
+    pub fn list_len(&self, label: LabelId) -> usize {
+        self.list(label).len()
+    }
+
+    /// Number of *distinct graphs* in the posting list of a label (an upper
+    /// bound on how many graphs can share any path through that label).
+    pub fn list_graph_count(&self, label: LabelId) -> usize {
+        let list = self.list(label);
+        let mut count = 0;
+        let mut last = None;
+        for p in list {
+            if last != Some(p.graph) {
+                count += 1;
+                last = Some(p.graph);
+            }
+        }
+        count
+    }
+
+    /// Number of labels the index knows about.
+    pub fn num_labels(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Extends a path list by one label: the adjacency-aware intersection
+    /// `ℓ ∩ I[label]` of Section 5.1. An occurrence `⟨G, end⟩` joins with a
+    /// posting `⟨G, from, to⟩` iff `from == end`, producing `⟨G, to⟩`.
+    pub fn extend(&self, current: &PathList, label: LabelId) -> PathList {
+        let postings = self.list(label);
+        if postings.is_empty() || current.is_empty() {
+            return PathList::default();
+        }
+        let occs = current.occurrences();
+        let mut out = Vec::new();
+        // Both inputs are sorted by graph; walk them like a merge join.
+        let mut pi = 0usize;
+        for occ in occs {
+            // Advance postings to this graph.
+            while pi < postings.len() && postings[pi].graph < occ.graph {
+                pi += 1;
+            }
+            let mut j = pi;
+            while j < postings.len() && postings[j].graph == occ.graph {
+                if postings[j].from == occ.end {
+                    out.push(PathOccurrence {
+                        graph: occ.graph,
+                        end: postings[j].to,
+                    });
+                }
+                j += 1;
+            }
+        }
+        PathList::from_occurrences(out)
+    }
+
+    /// Convenience: the list of graphs containing a whole path (sequence of
+    /// labels) anchored at the first node, computed by repeated [`extend`].
+    ///
+    /// [`extend`]: InvertedIndex::extend
+    pub fn path_list(&self, num_graphs: usize, path: &[LabelId]) -> PathList {
+        let mut list = PathList::universe(num_graphs);
+        for &label in path {
+            list = self.extend(&list, label);
+            if list.is_empty() {
+                break;
+            }
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_dsl::{Dir, PositionFn, StringFn, Term};
+    use ec_graph::{GraphBuilder, GraphConfig, LabelInterner, Replacement};
+
+    /// Builds the three-replacement example of Example 5.1.
+    fn example_5_1() -> (Vec<TransformationGraph>, LabelInterner, InvertedIndex) {
+        let mut interner = LabelInterner::new();
+        let builder = GraphBuilder::new(GraphConfig::default());
+        let reps = vec![
+            Replacement::new("Lee, Mary", "M. Lee"),
+            Replacement::new("Smith, James", "J. Smith"),
+            Replacement::new("Lee, Mary", "Mary Lee"),
+        ];
+        let graphs: Vec<TransformationGraph> = reps
+            .iter()
+            .map(|r| builder.build(r, &mut interner).unwrap())
+            .collect();
+        let index = InvertedIndex::build(&graphs, interner.len());
+        (graphs, interner, index)
+    }
+
+    fn f1() -> StringFn {
+        StringFn::sub_str(
+            PositionFn::match_pos(Term::Upper, 1, Dir::Begin),
+            PositionFn::match_pos(Term::Lower, 1, Dir::End),
+        )
+    }
+    fn f2() -> StringFn {
+        StringFn::sub_str(
+            PositionFn::match_pos(Term::Whitespace, 1, Dir::End),
+            PositionFn::match_pos(Term::Upper, -1, Dir::End),
+        )
+    }
+    fn f3() -> StringFn {
+        StringFn::constant(". ")
+    }
+
+    // Paper Example 5.1: the inverted lists of f1, f2, f3 and the intersection
+    // of the path f2 ⊕ f3 ⊕ f1.
+    #[test]
+    fn paper_example_5_1_inverted_lists() {
+        let (_, interner, index) = example_5_1();
+        let id1 = interner.get(&f1()).expect("f1 interned");
+        let id2 = interner.get(&f2()).expect("f2 interned");
+        let id3 = interner.get(&f3()).expect("f3 interned");
+
+        // I[f1] = (⟨G1,4,7⟩, ⟨G2,4,9⟩, ⟨G3,6,9⟩) in the paper's 1-based node
+        // numbering = (⟨0,3,6⟩, ⟨1,3,8⟩, ⟨2,5,8⟩) here.
+        let l1 = index.list(id1);
+        assert!(l1.contains(&Posting { graph: GraphId(0), from: 3, to: 6 }));
+        assert!(l1.contains(&Posting { graph: GraphId(1), from: 3, to: 8 }));
+        assert!(l1.contains(&Posting { graph: GraphId(2), from: 5, to: 8 }));
+
+        // I[f2] = (⟨G1,1,2⟩, ⟨G2,1,2⟩, ⟨G3,1,2⟩) -> (⟨·,0,1⟩) here.
+        let l2 = index.list(id2);
+        for g in 0..3 {
+            assert!(l2.contains(&Posting { graph: GraphId(g), from: 0, to: 1 }), "graph {g}");
+        }
+
+        // I[f3] = (⟨G1,2,4⟩, ⟨G2,2,4⟩) -> (⟨·,1,3⟩); G3 ("Mary Lee") has no ". ".
+        let l3 = index.list(id3);
+        assert!(l3.contains(&Posting { graph: GraphId(0), from: 1, to: 3 }));
+        assert!(l3.contains(&Posting { graph: GraphId(1), from: 1, to: 3 }));
+        assert!(!l3.iter().any(|p| p.graph == GraphId(2)));
+    }
+
+    #[test]
+    fn paper_example_5_1_path_intersection() {
+        let (graphs, interner, index) = example_5_1();
+        let path = vec![
+            interner.get(&f2()).unwrap(),
+            interner.get(&f3()).unwrap(),
+            interner.get(&f1()).unwrap(),
+        ];
+        let list = index.path_list(graphs.len(), &path);
+        // I[f2] ∩ I[f3] ∩ I[f1] = (⟨G1,1,7⟩, ⟨G2,1,9⟩): graphs 0 and 1, both
+        // reaching their last node.
+        assert_eq!(list.graph_count(), 2);
+        let complete = list.complete_graphs(|g| graphs[g.index()].last_node());
+        assert_eq!(complete, vec![GraphId(0), GraphId(1)]);
+        assert_eq!(
+            list.occurrences(),
+            &[
+                PathOccurrence { graph: GraphId(0), end: 6 },
+                PathOccurrence { graph: GraphId(1), end: 8 }
+            ]
+        );
+    }
+
+    #[test]
+    fn adjacency_is_enforced() {
+        let (graphs, interner, index) = example_5_1();
+        // f1 directly after f2 is NOT adjacent (f2 ends at node 1, f1 starts at 3).
+        let path = vec![interner.get(&f2()).unwrap(), interner.get(&f1()).unwrap()];
+        let list = index.path_list(graphs.len(), &path);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn universe_and_empty_path() {
+        let (graphs, _, index) = example_5_1();
+        let list = index.path_list(graphs.len(), &[]);
+        assert_eq!(list.graph_count(), 3);
+        assert_eq!(list, PathList::universe(3));
+        assert_eq!(list.graphs().collect::<Vec<_>>(), vec![GraphId(0), GraphId(1), GraphId(2)]);
+        // Unknown label -> empty.
+        let unknown = LabelId(u32::MAX - 1);
+        assert!(index.extend(&list, unknown).is_empty());
+    }
+
+    #[test]
+    fn graph_count_counts_distinct_graphs() {
+        let list = PathList::from_occurrences(vec![
+            PathOccurrence { graph: GraphId(1), end: 3 },
+            PathOccurrence { graph: GraphId(1), end: 5 },
+            PathOccurrence { graph: GraphId(0), end: 2 },
+        ]);
+        assert_eq!(list.graph_count(), 2);
+        assert_eq!(list.occurrences().len(), 3);
+    }
+
+    #[test]
+    fn list_graph_count_vs_list_len() {
+        let (_, interner, index) = example_5_1();
+        // The constant label "e" occurs on several edges of the same graph.
+        if let Some(id) = interner.get(&StringFn::constant("e")) {
+            assert!(index.list_len(id) >= index.list_graph_count(id));
+        }
+        let id1 = interner.get(&f1()).unwrap();
+        assert_eq!(index.list_graph_count(id1), 3);
+    }
+
+    #[test]
+    fn constant_full_string_is_singleton_list() {
+        let (graphs, interner, index) = example_5_1();
+        let id = interner.get(&StringFn::constant("M. Lee")).unwrap();
+        let list = index.path_list(graphs.len(), &[id]);
+        assert_eq!(list.graph_count(), 1);
+        let complete = list.complete_graphs(|g| graphs[g.index()].last_node());
+        assert_eq!(complete, vec![GraphId(0)]);
+    }
+
+    #[test]
+    fn extend_from_manual_list_respects_start_nodes() {
+        let (_, interner, index) = example_5_1();
+        let id1 = interner.get(&f1()).unwrap();
+        // Start "mid-path" at node 3 of graph 0 and node 0 of graph 1: only the
+        // graph-0 occurrence can extend through f1 (which starts at 3 there).
+        let current = PathList::from_occurrences(vec![
+            PathOccurrence { graph: GraphId(0), end: 3 },
+            PathOccurrence { graph: GraphId(1), end: 0 },
+        ]);
+        let next = index.extend(&current, id1);
+        assert_eq!(
+            next.occurrences(),
+            &[PathOccurrence { graph: GraphId(0), end: 6 }]
+        );
+    }
+}

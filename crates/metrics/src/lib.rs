@@ -1,0 +1,210 @@
+//! # ec-metrics — evaluation metrics
+//!
+//! The paper measures standardization quality on a sample of labelled value
+//! pairs (Table 7): a *variant* pair that becomes identical after updating the
+//! clusters is a true positive, a variant pair that stays different is a false
+//! negative, a *conflict* pair that becomes identical is a false positive, and
+//! a conflict pair that stays different is a true negative. From these counts
+//! it reports precision, recall and the Matthews correlation coefficient
+//! (MCC), the latter because the two classes are heavily imbalanced.
+//!
+//! This crate computes those counts against a column's before/after values and
+//! also provides the golden-record precision used by Table 8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ec_data::LabeledPair;
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts for the standardization task (Table 7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionCounts {
+    /// Variant pairs that became identical.
+    pub tp: usize,
+    /// Conflict pairs that became identical.
+    pub fp: usize,
+    /// Variant pairs that remained non-identical.
+    pub fn_: usize,
+    /// Conflict pairs that remained non-identical.
+    pub tn: usize,
+}
+
+impl ConfusionCounts {
+    /// Precision `TP / (TP + FP)`; defined as 1.0 when no pair became
+    /// identical (no positive prediction was made, so none was wrong).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `TP / (TP + FN)`; 0.0 when there are no variant pairs.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// The Matthews correlation coefficient, in `[-1, 1]`; 0.0 when any
+    /// marginal is empty (the usual convention).
+    pub fn mcc(&self) -> f64 {
+        let tp = self.tp as f64;
+        let fp = self.fp as f64;
+        let fn_ = self.fn_ as f64;
+        let tn = self.tn as f64;
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
+    }
+
+    /// Total number of evaluated pairs.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Merges two confusion counts.
+    pub fn merge(&self, other: &ConfusionCounts) -> ConfusionCounts {
+        ConfusionCounts {
+            tp: self.tp + other.tp,
+            fp: self.fp + other.fp,
+            fn_: self.fn_ + other.fn_,
+            tn: self.tn + other.tn,
+        }
+    }
+}
+
+/// Evaluates a standardization run: for every sampled labelled pair, checks
+/// whether the two cells hold identical values in `updated` (the column values
+/// after applying approved groups, grouped by cluster as returned by
+/// `Dataset::column_values`).
+pub fn evaluate_standardization(
+    sample: &[LabeledPair],
+    updated: &[Vec<String>],
+) -> ConfusionCounts {
+    let mut counts = ConfusionCounts::default();
+    for pair in sample {
+        let cluster = &updated[pair.cluster];
+        let identical = cluster[pair.row_a] == cluster[pair.row_b];
+        match (pair.is_variant, identical) {
+            (true, true) => counts.tp += 1,
+            (true, false) => counts.fn_ += 1,
+            (false, true) => counts.fp += 1,
+            (false, false) => counts.tn += 1,
+        }
+    }
+    counts
+}
+
+/// Golden-record precision (Table 8): the fraction of clusters whose produced
+/// golden value matches the ground-truth golden value. `None` produced values
+/// (e.g. majority-consensus ties) count as misses, mirroring the paper's
+/// treatment of clusters where MC "could not produce a golden value".
+pub fn golden_record_precision(produced: &[Option<String>], truth: &[String]) -> f64 {
+    assert_eq!(produced.len(), truth.len(), "cluster count mismatch");
+    if produced.is_empty() {
+        return 0.0;
+    }
+    let correct = produced
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| p.as_deref() == Some(t.as_str()))
+        .count();
+    correct as f64 / produced.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_recall_mcc_basics() {
+        let c = ConfusionCounts { tp: 8, fp: 2, fn_: 2, tn: 88 };
+        assert!((c.precision() - 0.8).abs() < 1e-9);
+        assert!((c.recall() - 0.8).abs() < 1e-9);
+        assert!(c.mcc() > 0.7 && c.mcc() < 0.85);
+        assert_eq!(c.total(), 100);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let nothing = ConfusionCounts::default();
+        assert_eq!(nothing.precision(), 1.0);
+        assert_eq!(nothing.recall(), 0.0);
+        assert_eq!(nothing.mcc(), 0.0);
+
+        let perfect = ConfusionCounts { tp: 10, fp: 0, fn_: 0, tn: 10 };
+        assert_eq!(perfect.precision(), 1.0);
+        assert_eq!(perfect.recall(), 1.0);
+        assert!((perfect.mcc() - 1.0).abs() < 1e-9);
+
+        let inverted = ConfusionCounts { tp: 0, fp: 10, fn_: 10, tn: 0 };
+        assert!((inverted.mcc() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let a = ConfusionCounts { tp: 1, fp: 2, fn_: 3, tn: 4 };
+        let b = ConfusionCounts { tp: 10, fp: 20, fn_: 30, tn: 40 };
+        assert_eq!(a.merge(&b), ConfusionCounts { tp: 11, fp: 22, fn_: 33, tn: 44 });
+    }
+
+    #[test]
+    fn evaluation_against_updated_column() {
+        // Cluster 0: a variant pair that gets standardized, cluster 1: a
+        // conflict pair that stays apart, cluster 2: a variant pair missed.
+        let sample = vec![
+            LabeledPair { cluster: 0, row_a: 0, row_b: 1, is_variant: true },
+            LabeledPair { cluster: 1, row_a: 0, row_b: 1, is_variant: false },
+            LabeledPair { cluster: 2, row_a: 0, row_b: 1, is_variant: true },
+        ];
+        let updated = vec![
+            vec!["Mary Lee".to_string(), "Mary Lee".to_string()],
+            vec!["5th St".to_string(), "3rd Ave".to_string()],
+            vec!["J. Smith".to_string(), "James Smith".to_string()],
+        ];
+        let c = evaluate_standardization(&sample, &updated);
+        assert_eq!(c, ConfusionCounts { tp: 1, fp: 0, fn_: 1, tn: 1 });
+        assert!((c.recall() - 0.5).abs() < 1e-9);
+        assert_eq!(c.precision(), 1.0);
+    }
+
+    #[test]
+    fn false_positives_lower_precision() {
+        let sample = vec![
+            LabeledPair { cluster: 0, row_a: 0, row_b: 1, is_variant: false },
+            LabeledPair { cluster: 0, row_a: 0, row_b: 2, is_variant: true },
+        ];
+        let updated = vec![vec!["x".to_string(), "x".to_string(), "x".to_string()]];
+        let c = evaluate_standardization(&sample, &updated);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.tp, 1);
+        assert!((c.precision() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_record_precision_counts_matches_and_treats_none_as_miss() {
+        let produced = vec![
+            Some("a".to_string()),
+            None,
+            Some("wrong".to_string()),
+            Some("d".to_string()),
+        ];
+        let truth = vec!["a".to_string(), "b".to_string(), "c".to_string(), "d".to_string()];
+        assert!((golden_record_precision(&produced, &truth) - 0.5).abs() < 1e-9);
+        assert_eq!(golden_record_precision(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster count mismatch")]
+    fn golden_record_precision_shape_mismatch_panics() {
+        let _ = golden_record_precision(&[None], &[]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Per-column profiles.
+
+use ec_data::Dataset;
+use ec_graph::structure_of;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// Minimum / maximum / mean length of the values of a column, in characters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LengthStats {
+    /// Shortest value length.
+    pub min: usize,
+    /// Longest value length.
+    pub max: usize,
+    /// Mean value length.
+    pub mean: f64,
+}
+
+/// One entry of the structure histogram: a structure signature (rendered with
+/// the paper's `Td`/`Tl`/`TC`/`Tb` notation) and how many values have it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructureCount {
+    /// The rendered structure signature, e.g. `TdTl` for `"9th"`.
+    pub structure: String,
+    /// Number of values with this structure.
+    pub count: usize,
+}
+
+/// A profile of one column of a clustered dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Column index in the dataset.
+    pub index: usize,
+    /// Total number of cell values (= number of records).
+    pub num_values: usize,
+    /// Number of distinct observed values.
+    pub num_distinct: usize,
+    /// Number of empty (zero-length) values.
+    pub num_empty: usize,
+    /// Length statistics over the values.
+    pub length: LengthStats,
+    /// Number of distinct structure signatures among the values.
+    pub num_structures: usize,
+    /// The most frequent structure signatures, largest first (up to 10).
+    pub top_structures: Vec<StructureCount>,
+    /// Number of clusters with at least two records.
+    pub multi_record_clusters: usize,
+    /// Number of multi-record clusters whose values for this column are not
+    /// all identical — the clusters a standardization pass could change.
+    pub divergent_clusters: usize,
+    /// Number of distinct non-identical value pairs within clusters (the size
+    /// of the candidate-replacement universe for this column).
+    pub distinct_value_pairs: usize,
+}
+
+impl ColumnProfile {
+    /// Profiles one column of a dataset.
+    ///
+    /// # Panics
+    /// Panics if `col` is out of range.
+    pub fn profile(dataset: &Dataset, col: usize) -> Self {
+        assert!(col < dataset.columns.len(), "column index out of range");
+        let mut num_values = 0usize;
+        let mut num_empty = 0usize;
+        let mut total_len = 0usize;
+        let mut min_len = usize::MAX;
+        let mut max_len = 0usize;
+        let mut distinct: HashSet<&str> = HashSet::new();
+        let mut structures: BTreeMap<String, usize> = BTreeMap::new();
+        let mut multi_record_clusters = 0usize;
+        let mut divergent_clusters = 0usize;
+        let mut pairs: HashSet<(String, String)> = HashSet::new();
+
+        for cluster in &dataset.clusters {
+            let values: Vec<&str> = cluster
+                .rows
+                .iter()
+                .map(|r| r.cells[col].observed.as_str())
+                .collect();
+            if values.len() >= 2 {
+                multi_record_clusters += 1;
+                let first = values[0];
+                if values.iter().any(|v| *v != first) {
+                    divergent_clusters += 1;
+                }
+            }
+            for (i, &a) in values.iter().enumerate() {
+                num_values += 1;
+                let len = a.chars().count();
+                if len == 0 {
+                    num_empty += 1;
+                }
+                total_len += len;
+                min_len = min_len.min(len);
+                max_len = max_len.max(len);
+                distinct.insert(a);
+                *structures.entry(structure_of(a).to_string()).or_insert(0) += 1;
+                for &b in values.iter().skip(i + 1) {
+                    if a != b {
+                        let key = if a < b {
+                            (a.to_string(), b.to_string())
+                        } else {
+                            (b.to_string(), a.to_string())
+                        };
+                        pairs.insert(key);
+                    }
+                }
+            }
+        }
+
+        let mut top: Vec<StructureCount> = structures
+            .iter()
+            .map(|(structure, &count)| StructureCount { structure: structure.clone(), count })
+            .collect();
+        top.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.structure.cmp(&b.structure)));
+        let num_structures = top.len();
+        top.truncate(10);
+
+        ColumnProfile {
+            name: dataset.columns[col].clone(),
+            index: col,
+            num_values,
+            num_distinct: distinct.len(),
+            num_empty,
+            length: LengthStats {
+                min: if num_values == 0 { 0 } else { min_len },
+                max: max_len,
+                mean: if num_values == 0 {
+                    0.0
+                } else {
+                    total_len as f64 / num_values as f64
+                },
+            },
+            num_structures,
+            top_structures: top,
+            multi_record_clusters,
+            divergent_clusters,
+            distinct_value_pairs: pairs.len(),
+        }
+    }
+
+    /// Fraction of multi-record clusters whose values diverge — a quick proxy
+    /// for "how dirty is this column".
+    pub fn divergence(&self) -> f64 {
+        if self.multi_record_clusters == 0 {
+            0.0
+        } else {
+            self.divergent_clusters as f64 / self.multi_record_clusters as f64
+        }
+    }
+
+    /// Fraction of values that are empty.
+    pub fn empty_fraction(&self) -> f64 {
+        if self.num_values == 0 {
+            0.0
+        } else {
+            self.num_empty as f64 / self.num_values as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::table1;
+    use ec_data::{Cell, Cluster, Dataset, Row};
+
+    #[test]
+    fn name_column_profile() {
+        let d = table1();
+        let p = ColumnProfile::profile(&d, 0);
+        assert_eq!(p.name, "Name");
+        assert_eq!(p.num_values, 5);
+        // "Mary Lee", "M. Lee", "Lee, Mary", "James Smith" (x2 identical).
+        assert_eq!(p.num_distinct, 4);
+        assert_eq!(p.num_empty, 0);
+        assert_eq!(p.length.min, "M. Lee".chars().count());
+        assert_eq!(p.length.max, "James Smith".chars().count());
+        assert!(p.length.mean > 6.0 && p.length.mean < 11.0);
+        assert_eq!(p.multi_record_clusters, 2);
+        // Cluster 0 diverges (three renderings of Mary Lee), cluster 1 does not.
+        assert_eq!(p.divergent_clusters, 1);
+        assert!((p.divergence() - 0.5).abs() < 1e-9);
+        // Pairs: the three mutual pairs within cluster 0.
+        assert_eq!(p.distinct_value_pairs, 3);
+    }
+
+    #[test]
+    fn structure_histogram_groups_same_shapes() {
+        let d = table1();
+        let p = ColumnProfile::profile(&d, 0);
+        // "Mary Lee" and "James Smith" share the structure TC Tl Tb TC Tl.
+        let top = &p.top_structures[0];
+        assert!(top.count >= 3, "the dominant name shape covers at least 3 values: {top:?}");
+        assert_eq!(
+            p.top_structures.iter().map(|s| s.count).sum::<usize>(),
+            p.num_values,
+            "every value belongs to exactly one structure"
+        );
+        assert!(p.num_structures >= 2);
+    }
+
+    #[test]
+    fn empty_values_are_counted() {
+        let mk = |s: &str| Cell { observed: s.to_string(), truth: s.to_string() };
+        let mut d = Dataset::new("d", vec!["A".to_string()]);
+        d.clusters.push(Cluster {
+            rows: vec![
+                Row { source: 0, cells: vec![mk("")] },
+                Row { source: 1, cells: vec![mk("x")] },
+            ],
+            golden: vec!["x".to_string()],
+        });
+        let p = ColumnProfile::profile(&d, 0);
+        assert_eq!(p.num_empty, 1);
+        assert!((p.empty_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(p.length.min, 0);
+        assert_eq!(p.length.max, 1);
+    }
+
+    #[test]
+    fn identical_values_make_no_pairs_and_no_divergence() {
+        let mk = |s: &str| Cell { observed: s.to_string(), truth: s.to_string() };
+        let mut d = Dataset::new("d", vec!["A".to_string()]);
+        d.clusters.push(Cluster {
+            rows: vec![
+                Row { source: 0, cells: vec![mk("same")] },
+                Row { source: 1, cells: vec![mk("same")] },
+            ],
+            golden: vec!["same".to_string()],
+        });
+        let p = ColumnProfile::profile(&d, 0);
+        assert_eq!(p.distinct_value_pairs, 0);
+        assert_eq!(p.divergent_clusters, 0);
+        assert_eq!(p.divergence(), 0.0);
+        assert_eq!(p.num_distinct, 1);
+    }
+
+    #[test]
+    fn top_structures_are_capped_at_ten() {
+        let mk = |s: &str| Cell { observed: s.to_string(), truth: s.to_string() };
+        let mut d = Dataset::new("d", vec!["A".to_string()]);
+        // 15 values with 15 different punctuation-heavy structures.
+        let punct = ['!', '?', ';', ':', '(', ')', '[', ']', '{', '}', '<', '>', '/', '%', '&'];
+        for (i, p) in punct.iter().enumerate() {
+            d.clusters.push(Cluster {
+                rows: vec![Row { source: 0, cells: vec![mk(&format!("a{}{}", p, "b".repeat(i + 1)))] }],
+                golden: vec![String::new()],
+            });
+        }
+        let p = ColumnProfile::profile(&d, 0);
+        assert!(p.num_structures >= 15);
+        assert_eq!(p.top_structures.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of range")]
+    fn out_of_range_column_panics() {
+        let d = table1();
+        let _ = ColumnProfile::profile(&d, 99);
+    }
+
+    #[test]
+    fn address_column_is_dirtier_than_name_column() {
+        let d = table1();
+        let name = ColumnProfile::profile(&d, 0);
+        let address = ColumnProfile::profile(&d, 1);
+        assert!(address.num_structures >= name.num_structures);
+        assert!(address.length.mean > name.length.mean);
+    }
+}

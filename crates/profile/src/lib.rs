@@ -1,0 +1,176 @@
+//! # ec-profile — dataset and column profiling
+//!
+//! Before spending a human budget on a column, a practitioner wants to know
+//! *which* columns are worth standardizing and what shape their values have.
+//! This crate profiles a clustered [`Dataset`]:
+//!
+//! * [`ColumnProfile`] — per-column value statistics, the histogram of
+//!   structure signatures (Section 7.2's `Struc(·)`), and the intra-cluster
+//!   divergence (how many clusters disagree on the column).
+//! * [`DatasetProfile`] — all column profiles plus the cluster-size
+//!   distribution of the dataset (the shape reported in the paper's Table 6).
+//! * [`prioritize_columns`] — a ranking of the columns by how much a
+//!   standardization pass is likely to help, so a bounded human budget is
+//!   spent where it pays off.
+//!
+//! Profiles only read the *observed* values — never the ground truth — so
+//! they work on real data exactly as on the synthetic datasets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod priority;
+pub mod render;
+
+pub use column::{ColumnProfile, LengthStats, StructureCount};
+pub use priority::{prioritize_columns, ColumnPriority};
+pub use render::{render_dataset_profile, render_priorities};
+
+use ec_data::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A profile of a whole clustered dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Dataset name.
+    pub name: String,
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// Total number of records.
+    pub num_records: usize,
+    /// Histogram of cluster sizes: `size -> number of clusters of that size`.
+    pub cluster_size_histogram: BTreeMap<usize, usize>,
+    /// Average cluster size.
+    pub avg_cluster_size: f64,
+    /// Largest cluster size.
+    pub max_cluster_size: usize,
+    /// One profile per column, in column order.
+    pub columns: Vec<ColumnProfile>,
+}
+
+impl DatasetProfile {
+    /// Profiles a dataset: cluster-size distribution plus one
+    /// [`ColumnProfile`] per column.
+    pub fn profile(dataset: &Dataset) -> Self {
+        let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        for cluster in &dataset.clusters {
+            *histogram.entry(cluster.len()).or_insert(0) += 1;
+        }
+        let num_records = dataset.num_records();
+        let num_clusters = dataset.clusters.len();
+        let columns = (0..dataset.columns.len())
+            .map(|col| ColumnProfile::profile(dataset, col))
+            .collect();
+        DatasetProfile {
+            name: dataset.name.clone(),
+            num_clusters,
+            num_records,
+            avg_cluster_size: if num_clusters == 0 {
+                0.0
+            } else {
+                num_records as f64 / num_clusters as f64
+            },
+            max_cluster_size: histogram.keys().copied().max().unwrap_or(0),
+            cluster_size_histogram: histogram,
+            columns,
+        }
+    }
+
+    /// The profile of a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnProfile> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Fraction of clusters that are singletons (no consolidation work to do).
+    pub fn singleton_cluster_fraction(&self) -> f64 {
+        if self.num_clusters == 0 {
+            return 0.0;
+        }
+        let singletons = self.cluster_size_histogram.get(&1).copied().unwrap_or(0)
+            + self.cluster_size_histogram.get(&0).copied().unwrap_or(0);
+        singletons as f64 / self.num_clusters as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_data::{Cell, Cluster, Dataset, Row};
+
+    pub(crate) fn table1() -> Dataset {
+        let mk = |observed: &str| Cell {
+            observed: observed.to_string(),
+            truth: observed.to_string(),
+        };
+        let mut d = Dataset::new("table1", vec!["Name".to_string(), "Address".to_string()]);
+        d.clusters.push(Cluster {
+            rows: vec![
+                Row { source: 0, cells: vec![mk("Mary Lee"), mk("9 St, 02141 Wisconsin")] },
+                Row { source: 1, cells: vec![mk("M. Lee"), mk("9th St, 02141 WI")] },
+                Row { source: 2, cells: vec![mk("Lee, Mary"), mk("9 Street, 02141 WI")] },
+            ],
+            golden: vec!["Mary Lee".to_string(), "9th Street, 02141 WI".to_string()],
+        });
+        d.clusters.push(Cluster {
+            rows: vec![
+                Row { source: 0, cells: vec![mk("James Smith"), mk("3 E Avenue, 33990 CA")] },
+                Row { source: 1, cells: vec![mk("James Smith"), mk("3 E Avenue, 33990 CA")] },
+            ],
+            golden: vec!["James Smith".to_string(), "3rd E Avenue, 33990 CA".to_string()],
+        });
+        d
+    }
+
+    #[test]
+    fn dataset_profile_counts_clusters_and_records() {
+        let p = DatasetProfile::profile(&table1());
+        assert_eq!(p.num_clusters, 2);
+        assert_eq!(p.num_records, 5);
+        assert!((p.avg_cluster_size - 2.5).abs() < 1e-9);
+        assert_eq!(p.max_cluster_size, 3);
+        assert_eq!(p.cluster_size_histogram.get(&3), Some(&1));
+        assert_eq!(p.cluster_size_histogram.get(&2), Some(&1));
+        assert_eq!(p.columns.len(), 2);
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let p = DatasetProfile::profile(&table1());
+        assert!(p.column("Name").is_some());
+        assert!(p.column("Address").is_some());
+        assert!(p.column("Phone").is_none());
+    }
+
+    #[test]
+    fn singleton_fraction() {
+        let mut d = table1();
+        let p = DatasetProfile::profile(&d);
+        assert_eq!(p.singleton_cluster_fraction(), 0.0);
+        d.clusters.push(Cluster {
+            rows: vec![Row {
+                source: 0,
+                cells: vec![
+                    Cell { observed: "X".into(), truth: "X".into() },
+                    Cell { observed: "Y".into(), truth: "Y".into() },
+                ],
+            }],
+            golden: vec!["X".to_string(), "Y".to_string()],
+        });
+        let p = DatasetProfile::profile(&d);
+        assert!((p.singleton_cluster_fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_profile_is_well_defined() {
+        let d = Dataset::new("empty", vec!["A".to_string()]);
+        let p = DatasetProfile::profile(&d);
+        assert_eq!(p.num_clusters, 0);
+        assert_eq!(p.num_records, 0);
+        assert_eq!(p.avg_cluster_size, 0.0);
+        assert_eq!(p.singleton_cluster_fraction(), 0.0);
+        assert_eq!(p.columns.len(), 1);
+        assert_eq!(p.columns[0].num_values, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Column prioritization.
+//!
+//! The framework processes one column at a time under a human budget
+//! (Algorithm 1 iterates over columns). When the budget is shared across
+//! columns, it should go to the columns where standardization can change the
+//! most clusters — columns that diverge a lot inside clusters and whose
+//! values exhibit many different shapes (a sign of formatting variants rather
+//! than genuinely different values).
+
+use crate::{ColumnProfile, DatasetProfile};
+use serde::{Deserialize, Serialize};
+
+/// How promising one column is for a standardization pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnPriority {
+    /// Column name.
+    pub name: String,
+    /// Column index.
+    pub index: usize,
+    /// The priority score (higher = standardize first).
+    pub score: f64,
+    /// Number of clusters that disagree on this column.
+    pub divergent_clusters: usize,
+    /// Number of candidate replacement pairs the column would generate.
+    pub distinct_value_pairs: usize,
+}
+
+/// Scores one column: the number of divergent clusters scaled by how much of
+/// the divergence looks like formatting (many structures per distinct value)
+/// rather than genuinely conflicting content, and penalized for emptiness.
+fn score(profile: &ColumnProfile) -> f64 {
+    if profile.num_values == 0 || profile.divergent_clusters == 0 {
+        return 0.0;
+    }
+    // Structure diversity per distinct value: a column whose distinct values
+    // fall into only a few shapes (e.g. all names) scores lower than one whose
+    // values are rendered in many shapes (dates, addresses, abbreviations)
+    // because shared transformations are what the grouping step exploits.
+    let structure_diversity =
+        (profile.num_structures as f64 / profile.num_distinct.max(1) as f64).min(1.0);
+    let divergence = profile.divergence();
+    let coverage = 1.0 - profile.empty_fraction();
+    profile.divergent_clusters as f64 * (0.5 + structure_diversity) * divergence * coverage
+}
+
+/// Ranks all columns of a profiled dataset, most promising first. Ties are
+/// broken by column index so the ranking is deterministic.
+pub fn prioritize_columns(profile: &DatasetProfile) -> Vec<ColumnPriority> {
+    let mut ranked: Vec<ColumnPriority> = profile
+        .columns
+        .iter()
+        .map(|c| ColumnPriority {
+            name: c.name.clone(),
+            index: c.index,
+            score: score(c),
+            divergent_clusters: c.divergent_clusters,
+            distinct_value_pairs: c.distinct_value_pairs,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_data::{Cell, Cluster, Dataset, Row};
+
+    /// A dataset with one clean column, one dirty (variant-heavy) column and
+    /// one empty column.
+    fn three_column_dataset() -> Dataset {
+        let mk = |s: &str| Cell { observed: s.to_string(), truth: s.to_string() };
+        let mut d = Dataset::new(
+            "d",
+            vec!["Clean".to_string(), "Dirty".to_string(), "Empty".to_string()],
+        );
+        let rows = [
+            [("Alice", "9 St", ""), ("Alice", "9th Street", ""), ("Alice", "9 Street", "")],
+            [("Bob", "5 Ave", ""), ("Bob", "5th Avenue", ""), ("Bob", "5 Avenue", "")],
+            [("Carol", "1 Rd", ""), ("Carol", "1st Road", ""), ("Carol", "1 Road", "")],
+        ];
+        for cluster_rows in rows {
+            d.clusters.push(Cluster {
+                rows: cluster_rows
+                    .iter()
+                    .map(|(a, b, c)| Row { source: 0, cells: vec![mk(a), mk(b), mk(c)] })
+                    .collect(),
+                golden: vec![String::new(), String::new(), String::new()],
+            });
+        }
+        d
+    }
+
+    #[test]
+    fn dirty_column_outranks_clean_and_empty_columns() {
+        let profile = DatasetProfile::profile(&three_column_dataset());
+        let ranking = prioritize_columns(&profile);
+        assert_eq!(ranking.len(), 3);
+        assert_eq!(ranking[0].name, "Dirty");
+        assert!(ranking[0].score > 0.0);
+        // Clean and Empty columns never diverge, so their score is zero.
+        assert_eq!(ranking[1].score, 0.0);
+        assert_eq!(ranking[2].score, 0.0);
+        // Zero-score ties are broken by column index.
+        assert!(ranking[1].index < ranking[2].index);
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let profile = DatasetProfile::profile(&three_column_dataset());
+        assert_eq!(prioritize_columns(&profile), prioritize_columns(&profile));
+    }
+
+    #[test]
+    fn priorities_carry_the_pair_counts() {
+        let profile = DatasetProfile::profile(&three_column_dataset());
+        let ranking = prioritize_columns(&profile);
+        let dirty = ranking.iter().find(|c| c.name == "Dirty").unwrap();
+        assert_eq!(dirty.divergent_clusters, 3);
+        assert!(dirty.distinct_value_pairs >= 9);
+    }
+
+    #[test]
+    fn empty_dataset_yields_zero_scores() {
+        let d = Dataset::new("empty", vec!["A".to_string(), "B".to_string()]);
+        let ranking = prioritize_columns(&DatasetProfile::profile(&d));
+        assert_eq!(ranking.len(), 2);
+        assert!(ranking.iter().all(|c| c.score == 0.0));
+    }
+}

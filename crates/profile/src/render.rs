@@ -1,0 +1,119 @@
+//! Plain-text rendering of profiles (used by the `ec` CLI and examples).
+
+use crate::{ColumnPriority, DatasetProfile};
+use ec_report::table::fmt_f64;
+use ec_report::TextTable;
+
+/// Renders a dataset profile as aligned plain text: a dataset summary line,
+/// the cluster-size distribution, and one row per column.
+pub fn render_dataset_profile(profile: &DatasetProfile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "dataset '{}': {} clusters, {} records, avg cluster size {}, max {}\n",
+        profile.name,
+        profile.num_clusters,
+        profile.num_records,
+        fmt_f64(profile.avg_cluster_size, 1),
+        profile.max_cluster_size,
+    ));
+    out.push_str(&format!(
+        "singleton clusters: {}%\n\n",
+        fmt_f64(profile.singleton_cluster_fraction() * 100.0, 1)
+    ));
+
+    let mut table = TextTable::new([
+        "column",
+        "values",
+        "distinct",
+        "empty",
+        "len(min/avg/max)",
+        "structures",
+        "divergent clusters",
+        "value pairs",
+    ]);
+    for col in &profile.columns {
+        table.push_row([
+            col.name.clone(),
+            col.num_values.to_string(),
+            col.num_distinct.to_string(),
+            col.num_empty.to_string(),
+            format!("{}/{}/{}", col.length.min, fmt_f64(col.length.mean, 1), col.length.max),
+            col.num_structures.to_string(),
+            format!("{} ({}%)", col.divergent_clusters, fmt_f64(col.divergence() * 100.0, 1)),
+            col.distinct_value_pairs.to_string(),
+        ]);
+    }
+    out.push_str(&table.to_plain_text());
+
+    for col in &profile.columns {
+        if col.top_structures.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("\ntop structures of '{}':\n", col.name));
+        for s in &col.top_structures {
+            out.push_str(&format!("  {:>7}  {}\n", s.count, s.structure));
+        }
+    }
+    out
+}
+
+/// Renders a column ranking as a small table, most promising column first.
+pub fn render_priorities(priorities: &[ColumnPriority]) -> String {
+    let mut table = TextTable::new(["rank", "column", "score", "divergent clusters", "value pairs"]);
+    for (rank, p) in priorities.iter().enumerate() {
+        table.push_row([
+            (rank + 1).to_string(),
+            p.name.clone(),
+            fmt_f64(p.score, 2),
+            p.divergent_clusters.to_string(),
+            p.distinct_value_pairs.to_string(),
+        ]);
+    }
+    table.to_plain_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prioritize_columns, DatasetProfile};
+    use ec_data::{GeneratorConfig, PaperDataset};
+
+    #[test]
+    fn profile_rendering_mentions_every_column() {
+        let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+            num_clusters: 10,
+            seed: 1,
+            num_sources: 3,
+        });
+        let profile = DatasetProfile::profile(&dataset);
+        let text = render_dataset_profile(&profile);
+        for col in &dataset.columns {
+            assert!(text.contains(col.as_str()), "missing column {col} in:\n{text}");
+        }
+        assert!(text.contains("clusters"));
+        assert!(text.contains("top structures"));
+    }
+
+    #[test]
+    fn priority_rendering_is_ranked() {
+        let dataset = PaperDataset::JournalTitle.generate(&GeneratorConfig {
+            num_clusters: 20,
+            seed: 2,
+            num_sources: 3,
+        });
+        let profile = DatasetProfile::profile(&dataset);
+        let ranking = prioritize_columns(&profile);
+        let text = render_priorities(&ranking);
+        assert!(text.lines().count() >= 2 + ranking.len());
+        assert!(text.starts_with("rank"));
+    }
+
+    #[test]
+    fn empty_profile_renders_without_panicking() {
+        let d = ec_data::Dataset::new("empty", vec!["A".to_string()]);
+        let profile = DatasetProfile::profile(&d);
+        let text = render_dataset_profile(&profile);
+        assert!(text.contains("0 clusters"));
+        assert!(render_priorities(&prioritize_columns(&profile)).contains("A"));
+    }
+}

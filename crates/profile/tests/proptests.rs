@@ -1,0 +1,108 @@
+//! Property-based tests of the profiling invariants, run against randomly
+//! shaped clustered datasets.
+
+use ec_data::{Cell, Cluster, Dataset, Row};
+use ec_profile::{prioritize_columns, DatasetProfile};
+use proptest::prelude::*;
+
+/// A random clustered dataset with 1-3 columns of short, messy strings.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    let value = prop_oneof![
+        Just(String::new()),
+        "[A-Za-z0-9 ,.]{1,12}".prop_map(|s| s),
+    ];
+    (1usize..=3).prop_flat_map(move |num_cols| {
+        let row = proptest::collection::vec(value.clone(), num_cols..=num_cols);
+        let cluster = proptest::collection::vec(row, 1..6);
+        proptest::collection::vec(cluster, 0..8).prop_map(move |clusters| {
+            let columns = (0..num_cols).map(|i| format!("col{i}")).collect();
+            let mut dataset = Dataset::new("prop", columns);
+            for rows in clusters {
+                dataset.clusters.push(Cluster {
+                    golden: rows[0].clone(),
+                    rows: rows
+                        .into_iter()
+                        .map(|cells| Row {
+                            source: 0,
+                            cells: cells
+                                .into_iter()
+                                .map(|v| Cell { truth: v.clone(), observed: v })
+                                .collect(),
+                        })
+                        .collect(),
+                });
+            }
+            dataset
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn column_profiles_are_internally_consistent(dataset in arb_dataset()) {
+        let profile = DatasetProfile::profile(&dataset);
+        prop_assert_eq!(profile.num_clusters, dataset.clusters.len());
+        prop_assert_eq!(profile.num_records, dataset.num_records());
+        prop_assert_eq!(
+            profile.cluster_size_histogram.values().sum::<usize>(),
+            dataset.clusters.len()
+        );
+        for col in &profile.columns {
+            prop_assert_eq!(col.num_values, dataset.num_records());
+            prop_assert!(col.num_distinct <= col.num_values.max(1));
+            prop_assert!(col.num_empty <= col.num_values);
+            prop_assert!(col.divergent_clusters <= col.multi_record_clusters);
+            prop_assert!(col.divergence() >= 0.0 && col.divergence() <= 1.0);
+            prop_assert!(col.empty_fraction() >= 0.0 && col.empty_fraction() <= 1.0);
+            prop_assert!(col.length.min <= col.length.max);
+            if col.num_values > 0 {
+                prop_assert!(col.length.mean >= col.length.min as f64 - 1e-9);
+                prop_assert!(col.length.mean <= col.length.max as f64 + 1e-9);
+                // The structure histogram covers every value exactly once (the
+                // top list is truncated to 10, so only check when it is not).
+                if col.num_structures <= 10 {
+                    prop_assert_eq!(
+                        col.top_structures.iter().map(|s| s.count).sum::<usize>(),
+                        col.num_values
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prioritization_is_a_permutation_with_monotone_scores(dataset in arb_dataset()) {
+        let profile = DatasetProfile::profile(&dataset);
+        let ranking = prioritize_columns(&profile);
+        prop_assert_eq!(ranking.len(), dataset.columns.len());
+        let mut indices: Vec<usize> = ranking.iter().map(|p| p.index).collect();
+        indices.sort_unstable();
+        prop_assert_eq!(indices, (0..dataset.columns.len()).collect::<Vec<_>>());
+        for pair in ranking.windows(2) {
+            prop_assert!(pair[0].score >= pair[1].score);
+        }
+        for p in &ranking {
+            prop_assert!(p.score.is_finite());
+            prop_assert!(p.score >= 0.0);
+        }
+    }
+
+    #[test]
+    fn profiling_ignores_ground_truth(dataset in arb_dataset()) {
+        // Profiles read only observed values: scrambling the truths changes nothing.
+        let mut scrambled = dataset.clone();
+        for cluster in &mut scrambled.clusters {
+            for row in &mut cluster.rows {
+                for cell in &mut row.cells {
+                    cell.truth = format!("{}-scrambled", cell.truth);
+                }
+            }
+        }
+        prop_assert_eq!(
+            DatasetProfile::profile(&dataset),
+            DatasetProfile::profile(&scrambled)
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Value alignment: the fine-grained candidate generation of Appendix A.
+//!
+//! Two non-identical values in the same cluster often differ only in a few
+//! segments (`"9 St, 02141 Wisconsin"` vs `"9th St, 02141 WI"`). Splitting
+//! both into whitespace tokens and aligning them with their longest common
+//! subsequence isolates the differing segments, each of which becomes a pair
+//! of token-level candidate replacements. A character-level
+//! Damerau–Levenshtein distance is also provided, both because the paper
+//! cites it as an alternative alignment driver and because the dataset
+//! generators use it in tests as an independent similarity check.
+
+/// Splits a value into whitespace-separated tokens.
+pub fn tokens(s: &str) -> Vec<&str> {
+    s.split_whitespace().collect()
+}
+
+/// The longest common subsequence of two token sequences, returned as index
+/// pairs `(i, j)` meaning `a[i] == b[j]`, in increasing order.
+fn lcs_indices(a: &[&str], b: &[&str]) -> Vec<(usize, usize)> {
+    let n = a.len();
+    let m = b.len();
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if a[i] == b[j] {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Aligns two values token-wise via their LCS and returns the pairs of
+/// non-identical aligned segments (Appendix A). Each returned pair
+/// `(left, right)` is a maximal run of tokens of `a` (joined by single spaces)
+/// paired with the corresponding run of tokens of `b`; one side may be empty.
+///
+/// For `"9 St, 02141 Wisconsin"` vs `"9th St, 02141 WI"` this yields
+/// `("9", "9th")` and `("Wisconsin", "WI")`.
+pub fn lcs_token_pairs(a: &str, b: &str) -> Vec<(String, String)> {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    let lcs = lcs_indices(&ta, &tb);
+    let mut out = Vec::new();
+    let mut prev = (0usize, 0usize);
+    let push_gap = |out: &mut Vec<(String, String)>, ra: std::ops::Range<usize>, rb: std::ops::Range<usize>| {
+        if ra.is_empty() && rb.is_empty() {
+            return;
+        }
+        let left = ta[ra].join(" ");
+        let right = tb[rb].join(" ");
+        if left != right {
+            out.push((left, right));
+        }
+    };
+    for &(i, j) in &lcs {
+        push_gap(&mut out, prev.0..i, prev.1..j);
+        prev = (i + 1, j + 1);
+    }
+    push_gap(&mut out, prev.0..ta.len(), prev.1..tb.len());
+    out
+}
+
+/// The Damerau–Levenshtein distance (optimal string alignment variant:
+/// insertions, deletions, substitutions and adjacent transpositions) between
+/// two strings, over characters.
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let n = a.len();
+    let m = b.len();
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in dp.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for j in 0..=m {
+        dp[0][j] = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (dp[i - 1][j] + 1).min(dp[i][j - 1] + 1).min(dp[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(dp[i - 2][j - 2] + 1);
+            }
+            dp[i][j] = best;
+        }
+    }
+    dp[n][m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Paper Example A.1.
+    #[test]
+    fn paper_example_a1() {
+        let pairs = lcs_token_pairs("9 St, 02141 Wisconsin", "9th St, 02141 WI");
+        assert_eq!(
+            pairs,
+            vec![
+                ("9".to_string(), "9th".to_string()),
+                ("Wisconsin".to_string(), "WI".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn identical_values_produce_no_pairs() {
+        assert!(lcs_token_pairs("a b c", "a b c").is_empty());
+    }
+
+    #[test]
+    fn completely_different_values_produce_one_pair() {
+        let pairs = lcs_token_pairs("alpha beta", "gamma delta");
+        assert_eq!(pairs, vec![("alpha beta".to_string(), "gamma delta".to_string())]);
+    }
+
+    #[test]
+    fn insertion_only_gap_has_empty_side() {
+        let pairs = lcs_token_pairs("5 Main St", "5 E Main St");
+        assert_eq!(pairs, vec![("".to_string(), "E".to_string())]);
+    }
+
+    #[test]
+    fn multi_token_segments_are_joined() {
+        let pairs = lcs_token_pairs("3 E Avenue, 33990 CA", "3rd E Ave, 33990 CA");
+        assert_eq!(
+            pairs,
+            vec![
+                ("3".to_string(), "3rd".to_string()),
+                ("Avenue,".to_string(), "Ave,".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn whitespace_normalisation_in_tokens() {
+        assert_eq!(tokens("  a   b  "), vec!["a", "b"]);
+        assert!(lcs_token_pairs("a  b", "a b").is_empty());
+    }
+
+    #[test]
+    fn damerau_levenshtein_basic() {
+        assert_eq!(damerau_levenshtein("", ""), 0);
+        assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+        assert_eq!(damerau_levenshtein("abc", ""), 3);
+        assert_eq!(damerau_levenshtein("", "ab"), 2);
+        assert_eq!(damerau_levenshtein("kitten", "sitting"), 3);
+        // Adjacent transposition counts as one edit.
+        assert_eq!(damerau_levenshtein("ab", "ba"), 1);
+        assert_eq!(damerau_levenshtein("Street", "Stret"), 1);
+    }
+
+    #[test]
+    fn damerau_levenshtein_symmetry() {
+        for (a, b) in [("Mary Lee", "Lee, Mary"), ("9th", "9"), ("WI", "Wisconsin")] {
+            assert_eq!(damerau_levenshtein(a, b), damerau_levenshtein(b, a));
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Applying approved replacement groups (Section 7.1).
+//!
+//! Once a group is approved (in one direction), every place the approved
+//! replacements were generated from is rewritten. The engine keeps the
+//! *replacement sets* `L[lhs → rhs]` — the cells each candidate was generated
+//! from — and maintains them as cell values change, exactly as described in
+//! Section 7.1: replacing `v₁` by `v₂` turns the candidate `v₁ → v₃` into
+//! `v₂ → v₃` and removes `v₂ → v₁`, and candidates whose sets become empty
+//! disappear.
+
+use crate::generate::{generate_candidates, CandidateConfig, CandidateSet};
+use ec_graph::Replacement;
+use serde::{Deserialize, Serialize};
+
+/// A cell of the column being standardized: cluster index and row index
+/// within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellRef {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Row index within the cluster.
+    pub row: usize,
+}
+
+/// The direction in which an approved group is applied (Section 3 Step 3: the
+/// expert specifies the replacement direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Replace `lhs` with `rhs` (as written in the group's members).
+    Forward,
+    /// Replace `rhs` with `lhs`.
+    Backward,
+}
+
+/// The application engine for one column.
+#[derive(Debug, Clone)]
+pub struct ReplacementEngine {
+    clusters: Vec<Vec<String>>,
+    candidates: CandidateSet,
+    updates: usize,
+}
+
+impl ReplacementEngine {
+    /// Builds the engine for one column: generates the candidate replacements
+    /// and their replacement sets from the given cluster values.
+    pub fn new(clusters: Vec<Vec<String>>, config: &CandidateConfig) -> Self {
+        let candidates = generate_candidates(&clusters, config);
+        ReplacementEngine {
+            clusters,
+            candidates,
+            updates: 0,
+        }
+    }
+
+    /// The current cell values, grouped by cluster.
+    pub fn values(&self) -> &[Vec<String>] {
+        &self.clusters
+    }
+
+    /// Consumes the engine and returns the (updated) cell values.
+    pub fn into_values(self) -> Vec<Vec<String>> {
+        self.clusters
+    }
+
+    /// The current candidate replacements (candidates whose replacement sets
+    /// became empty are excluded).
+    pub fn candidates(&self) -> Vec<Replacement> {
+        self.candidates
+            .replacements
+            .iter()
+            .filter(|r| !self.candidates.set(r).is_empty())
+            .cloned()
+            .collect()
+    }
+
+    /// The replacement set of one candidate.
+    pub fn replacement_set(&self, r: &Replacement) -> &[CellRef] {
+        self.candidates.set(r)
+    }
+
+    /// Total number of cell rewrites performed so far.
+    pub fn cells_updated(&self) -> usize {
+        self.updates
+    }
+
+    /// Applies an approved group: every member replacement is applied in the
+    /// given direction. Returns the number of cells rewritten.
+    pub fn apply_group(&mut self, members: &[Replacement], direction: Direction) -> usize {
+        let before = self.updates;
+        for member in members {
+            let (from, to) = match direction {
+                Direction::Forward => (member.lhs().to_string(), member.rhs().to_string()),
+                Direction::Backward => (member.rhs().to_string(), member.lhs().to_string()),
+            };
+            if from.is_empty() || from == to {
+                continue;
+            }
+            self.apply_replacement(&from, &to);
+        }
+        self.updates - before
+    }
+
+    /// Applies a single oriented replacement `from → to` to every cell in its
+    /// replacement set.
+    fn apply_replacement(&mut self, from: &str, to: &str) {
+        let key = match Replacement::try_new(from, to) {
+            Some(k) => k,
+            None => return,
+        };
+        let cells = match self.candidates.sets.remove(&key) {
+            Some(cells) => cells,
+            None => return,
+        };
+        for cell in cells {
+            let value = self.clusters[cell.cluster][cell.row].clone();
+            if value == from {
+                // Full-value replacement (with replacement-set maintenance).
+                self.rewrite_cell(cell, from, to);
+            } else if let Some(new_value) = replace_token_run(&value, from, to) {
+                // Token-level replacement: rewrite the aligned segment inside
+                // the cell.
+                self.clusters[cell.cluster][cell.row] = new_value;
+                self.updates += 1;
+            }
+        }
+    }
+
+    /// Rewrites one cell from `from` to `to` and maintains the replacement
+    /// sets of the candidates generated from that cluster (Section 7.1).
+    fn rewrite_cell(&mut self, cell: CellRef, from: &str, to: &str) {
+        self.clusters[cell.cluster][cell.row] = to.to_string();
+        self.updates += 1;
+        let cluster_values = self.clusters[cell.cluster].clone();
+        for (k, other) in cluster_values.iter().enumerate() {
+            if k == cell.row {
+                continue;
+            }
+            // Remove the candidates that involved the old value at this cell.
+            if other != from {
+                remove_entry(&mut self.candidates, from, other, cell);
+                remove_entry(
+                    &mut self.candidates,
+                    other,
+                    from,
+                    CellRef {
+                        cluster: cell.cluster,
+                        row: k,
+                    },
+                );
+            }
+            // Add the candidates that involve the new value at this cell.
+            if other != to {
+                add_entry(&mut self.candidates, to, other, cell);
+                add_entry(
+                    &mut self.candidates,
+                    other,
+                    to,
+                    CellRef {
+                        cluster: cell.cluster,
+                        row: k,
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn remove_entry(candidates: &mut CandidateSet, lhs: &str, rhs: &str, cell: CellRef) {
+    if let Some(key) = Replacement::try_new(lhs, rhs) {
+        if let Some(set) = candidates.sets.get_mut(&key) {
+            set.retain(|c| *c != cell);
+            if set.is_empty() {
+                candidates.sets.remove(&key);
+            }
+        }
+    }
+}
+
+fn add_entry(candidates: &mut CandidateSet, lhs: &str, rhs: &str, cell: CellRef) {
+    if let Some(key) = Replacement::try_new(lhs, rhs) {
+        let entry = candidates.sets.entry(key.clone()).or_insert_with(|| {
+            candidates.replacements.push(key);
+            Vec::new()
+        });
+        if !entry.contains(&cell) {
+            entry.push(cell);
+        }
+    }
+}
+
+/// Replaces the first whole-token occurrence of `from` (a space-joined run of
+/// tokens) in `value` with `to`. Returns `None` when `from` does not occur as
+/// a token run.
+fn replace_token_run(value: &str, from: &str, to: &str) -> Option<String> {
+    let value_tokens: Vec<&str> = value.split_whitespace().collect();
+    let from_tokens: Vec<&str> = from.split_whitespace().collect();
+    if from_tokens.is_empty() || from_tokens.len() > value_tokens.len() {
+        return None;
+    }
+    for start in 0..=(value_tokens.len() - from_tokens.len()) {
+        if value_tokens[start..start + from_tokens.len()] == from_tokens[..] {
+            let mut out: Vec<&str> = Vec::new();
+            out.extend_from_slice(&value_tokens[..start]);
+            if !to.is_empty() {
+                out.push(to);
+            }
+            out.extend_from_slice(&value_tokens[start + from_tokens.len()..]);
+            return Some(out.join(" "));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name_column() -> Vec<Vec<String>> {
+        vec![
+            vec!["Mary Lee".into(), "M. Lee".into(), "Lee, Mary".into()],
+            vec!["Smith, James".into(), "James Smith".into(), "J. Smith".into()],
+        ]
+    }
+
+    #[test]
+    fn applying_a_full_value_group_rewrites_the_generating_cells() {
+        let mut engine = ReplacementEngine::new(name_column(), &CandidateConfig::full_value_only());
+        let members = vec![
+            Replacement::new("Lee, Mary", "Mary Lee"),
+            Replacement::new("Smith, James", "James Smith"),
+        ];
+        let updated = engine.apply_group(&members, Direction::Forward);
+        assert_eq!(updated, 2);
+        assert_eq!(engine.values()[0][2], "Mary Lee");
+        assert_eq!(engine.values()[1][0], "James Smith");
+        // Untouched cells stay.
+        assert_eq!(engine.values()[0][1], "M. Lee");
+    }
+
+    #[test]
+    fn backward_direction_swaps_the_rewrite() {
+        let mut engine = ReplacementEngine::new(name_column(), &CandidateConfig::full_value_only());
+        let members = vec![Replacement::new("Mary Lee", "Lee, Mary")];
+        engine.apply_group(&members, Direction::Backward);
+        // Backward means replace rhs ("Lee, Mary") with lhs ("Mary Lee").
+        assert_eq!(engine.values()[0][2], "Mary Lee");
+        assert_eq!(engine.values()[0][0], "Mary Lee");
+    }
+
+    // Paper Section 7.1 worked example: after approving v1 → v2 (replace
+    // "Mary Lee" with "M. Lee"), the candidate v1 → v3 becomes v2 → v3 and
+    // v2 → v1 no longer exists.
+    #[test]
+    fn replacement_sets_are_maintained_as_in_section_7_1() {
+        let mut engine = ReplacementEngine::new(name_column(), &CandidateConfig::full_value_only());
+        let v1 = "Mary Lee";
+        let v2 = "M. Lee";
+        let v3 = "Lee, Mary";
+        engine.apply_group(&[Replacement::new(v1, v2)], Direction::Forward);
+        assert_eq!(engine.values()[0][0], v2);
+        let remaining = engine.candidates();
+        // v1 -> v3 is gone (v1 no longer occurs in the cluster)…
+        assert!(!remaining.contains(&Replacement::new(v1, v3)));
+        assert!(!remaining.contains(&Replacement::new(v3, v1)));
+        // …and v2 -> v1 no longer exists either.
+        assert!(!remaining.contains(&Replacement::new(v2, v1)));
+        assert!(!remaining.contains(&Replacement::new(v1, v2)));
+        // The surviving relation between row 0 and row 2 is v2 <-> v3, and the
+        // set of v2 -> v3 now contains both row 0 and row 1 (both hold v2).
+        assert!(remaining.contains(&Replacement::new(v2, v3)));
+        assert!(remaining.contains(&Replacement::new(v3, v2)));
+        let set = engine.replacement_set(&Replacement::new(v2, v3));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn token_level_replacement_rewrites_inside_the_cell() {
+        let clusters = vec![vec![
+            "9 St, 02141 Wisconsin".to_string(),
+            "9th St, 02141 WI".to_string(),
+        ]];
+        let config = CandidateConfig {
+            full_value_pairs: false,
+            token_level_pairs: true,
+            max_distinct_values_per_cluster: None,
+        };
+        let mut engine = ReplacementEngine::new(clusters, &config);
+        let n = engine.apply_group(
+            &[Replacement::new("9", "9th"), Replacement::new("Wisconsin", "WI")],
+            Direction::Forward,
+        );
+        assert_eq!(n, 2);
+        assert_eq!(engine.values()[0][0], "9th St, 02141 WI");
+        assert_eq!(engine.values()[0][1], "9th St, 02141 WI");
+    }
+
+    #[test]
+    fn applying_an_unknown_replacement_is_a_no_op() {
+        let mut engine = ReplacementEngine::new(name_column(), &CandidateConfig::full_value_only());
+        let n = engine.apply_group(&[Replacement::new("nope", "still nope")], Direction::Forward);
+        assert_eq!(n, 0);
+        assert_eq!(engine.values(), &name_column()[..]);
+    }
+
+    #[test]
+    fn applying_the_same_group_twice_is_idempotent() {
+        let mut engine = ReplacementEngine::new(name_column(), &CandidateConfig::full_value_only());
+        let members = vec![Replacement::new("Lee, Mary", "Mary Lee")];
+        let first = engine.apply_group(&members, Direction::Forward);
+        let second = engine.apply_group(&members, Direction::Forward);
+        assert_eq!(first, 1);
+        assert_eq!(second, 0, "the replacement set was consumed by the first application");
+    }
+
+    #[test]
+    fn replace_token_run_helper() {
+        assert_eq!(
+            replace_token_run("9 St, 02141 Wisconsin", "Wisconsin", "WI").as_deref(),
+            Some("9 St, 02141 WI")
+        );
+        assert_eq!(
+            replace_token_run("a b c d", "b c", "X").as_deref(),
+            Some("a X d")
+        );
+        assert_eq!(replace_token_run("a b", "c", "X"), None);
+        assert_eq!(replace_token_run("a b c", "b", "").as_deref(), Some("a c"));
+    }
+
+    #[test]
+    fn cells_updated_accumulates() {
+        let mut engine = ReplacementEngine::new(name_column(), &CandidateConfig::full_value_only());
+        engine.apply_group(&[Replacement::new("Lee, Mary", "Mary Lee")], Direction::Forward);
+        engine.apply_group(&[Replacement::new("Smith, James", "James Smith")], Direction::Forward);
+        assert_eq!(engine.cells_updated(), 2);
+        let values = engine.into_values();
+        assert_eq!(values[0][2], "Mary Lee");
+        assert_eq!(values[1][0], "James Smith");
+    }
+}

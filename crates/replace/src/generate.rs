@@ -1,0 +1,238 @@
+//! Candidate-replacement generation (Section 3 Step 1, Appendix A).
+
+use crate::align::lcs_token_pairs;
+use crate::engine::CellRef;
+use ec_graph::Replacement;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of candidate generation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateConfig {
+    /// Generate the full-value pairs `v_j → v_k` / `v_k → v_j` for every pair
+    /// of non-identical values in a cluster (Section 3 Step 1).
+    pub full_value_pairs: bool,
+    /// Additionally generate token-level pairs from the LCS alignment of each
+    /// value pair (Appendix A).
+    pub token_level_pairs: bool,
+    /// Skip clusters with more than this many *distinct* values in the column
+    /// (quadratic pair blow-up guard). `None` disables the guard.
+    pub max_distinct_values_per_cluster: Option<usize>,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        CandidateConfig {
+            full_value_pairs: true,
+            token_level_pairs: true,
+            max_distinct_values_per_cluster: Some(64),
+        }
+    }
+}
+
+impl CandidateConfig {
+    /// Only the coarse full-value pairs (the configuration used when
+    /// reproducing the paper's examples on the Name attribute of Table 1).
+    pub fn full_value_only() -> Self {
+        CandidateConfig {
+            token_level_pairs: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The candidate replacements of one column together with their replacement
+/// sets (the cells each candidate was generated from — the paper's
+/// `L[lhs → rhs]`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CandidateSet {
+    /// Distinct candidate replacements, in first-seen order.
+    pub replacements: Vec<Replacement>,
+    /// `sets[r]` = cells whose value is `r.lhs()` and which co-occur with
+    /// `r.rhs()` in their cluster (full-value candidates), or cells whose value
+    /// *contains* the `r.lhs()` segment aligned against `r.rhs()` (token-level
+    /// candidates).
+    pub sets: HashMap<Replacement, Vec<CellRef>>,
+}
+
+impl CandidateSet {
+    /// Number of distinct candidate replacements.
+    pub fn len(&self) -> usize {
+        self.replacements.len()
+    }
+
+    /// True when no candidate was generated.
+    pub fn is_empty(&self) -> bool {
+        self.replacements.is_empty()
+    }
+
+    /// The replacement set of a candidate (empty if unknown).
+    pub fn set(&self, r: &Replacement) -> &[CellRef] {
+        self.sets.get(r).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    fn push(&mut self, r: Replacement, cell: CellRef) {
+        let entry = self.sets.entry(r.clone()).or_insert_with(|| {
+            self.replacements.push(r);
+            Vec::new()
+        });
+        if !entry.contains(&cell) {
+            entry.push(cell);
+        }
+    }
+}
+
+/// Generates the candidate replacements for one column, given the cell values
+/// of that column grouped by cluster (`clusters[c][r]` is the value of row `r`
+/// of cluster `c`).
+pub fn generate_candidates(clusters: &[Vec<String>], config: &CandidateConfig) -> CandidateSet {
+    let mut out = CandidateSet::default();
+    for (c, values) in clusters.iter().enumerate() {
+        let mut distinct: Vec<&String> = Vec::new();
+        for v in values {
+            if !distinct.contains(&v) {
+                distinct.push(v);
+            }
+        }
+        if let Some(max) = config.max_distinct_values_per_cluster {
+            if distinct.len() > max {
+                continue;
+            }
+        }
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                if i == j || a == b {
+                    continue;
+                }
+                if config.full_value_pairs {
+                    if let Some(r) = Replacement::try_new(a.as_str(), b.as_str()) {
+                        out.push(r, CellRef { cluster: c, row: i });
+                    }
+                }
+                if config.token_level_pairs && i < j {
+                    for (left, right) in lcs_token_pairs(a, b) {
+                        if let Some(r) = Replacement::try_new(left.as_str(), right.as_str()) {
+                            out.push(r, CellRef { cluster: c, row: i });
+                        }
+                        if let Some(r) = Replacement::try_new(right.as_str(), left.as_str()) {
+                            out.push(r, CellRef { cluster: c, row: j });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Name column of Table 1: two clusters of three records each.
+    fn table1_name_column() -> Vec<Vec<String>> {
+        vec![
+            vec!["Mary Lee".into(), "M. Lee".into(), "Lee, Mary".into()],
+            vec!["Smith, James".into(), "James Smith".into(), "J. Smith".into()],
+        ]
+    }
+
+    // Section 3 Step 1: "We will generate 12 candidate replacements from the
+    // two clusters" (full-value pairs of the Name attribute).
+    #[test]
+    fn table1_name_column_generates_12_full_value_candidates() {
+        let set = generate_candidates(&table1_name_column(), &CandidateConfig::full_value_only());
+        assert_eq!(set.len(), 12);
+        assert!(set
+            .replacements
+            .contains(&Replacement::new("Mary Lee", "M. Lee")));
+        assert!(set
+            .replacements
+            .contains(&Replacement::new("Lee, Mary", "Mary Lee")));
+        assert!(set
+            .replacements
+            .contains(&Replacement::new("Smith, James", "J. Smith")));
+    }
+
+    #[test]
+    fn replacement_sets_point_at_the_generating_cells() {
+        let set = generate_candidates(&table1_name_column(), &CandidateConfig::full_value_only());
+        let r = Replacement::new("Mary Lee", "M. Lee");
+        assert_eq!(set.set(&r), &[CellRef { cluster: 0, row: 0 }]);
+        let r2 = Replacement::new("J. Smith", "Smith, James");
+        assert_eq!(set.set(&r2), &[CellRef { cluster: 1, row: 2 }]);
+        // A replacement that was never generated has an empty set.
+        assert!(set.set(&Replacement::new("x", "y")).is_empty());
+    }
+
+    // Appendix A: the Address attribute produces the four token-level
+    // candidates 9→9th, 9th→9, Wisconsin→WI, WI→Wisconsin.
+    #[test]
+    fn token_level_candidates_from_address_example() {
+        let clusters = vec![vec![
+            "9 St, 02141 Wisconsin".to_string(),
+            "9th St, 02141 WI".to_string(),
+        ]];
+        let set = generate_candidates(
+            &clusters,
+            &CandidateConfig {
+                full_value_pairs: false,
+                token_level_pairs: true,
+                max_distinct_values_per_cluster: None,
+            },
+        );
+        for (lhs, rhs) in [("9", "9th"), ("9th", "9"), ("Wisconsin", "WI"), ("WI", "Wisconsin")] {
+            assert!(
+                set.replacements.contains(&Replacement::new(lhs, rhs)),
+                "missing {lhs} -> {rhs}: {:?}",
+                set.replacements
+            );
+        }
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_values_in_a_cluster_do_not_pair_with_themselves() {
+        let clusters = vec![vec!["a".to_string(), "a".to_string(), "b".to_string()]];
+        let set = generate_candidates(&clusters, &CandidateConfig::full_value_only());
+        assert_eq!(set.len(), 2); // a->b and b->a only
+        let ab = Replacement::new("a", "b");
+        // Both copies of "a" are recorded as generating cells.
+        assert_eq!(set.set(&ab).len(), 2);
+    }
+
+    #[test]
+    fn oversized_clusters_are_skipped() {
+        let big: Vec<String> = (0..40).map(|i| format!("value {i}")).collect();
+        let clusters = vec![big, vec!["a".to_string(), "b".to_string()]];
+        let config = CandidateConfig {
+            max_distinct_values_per_cluster: Some(10),
+            ..CandidateConfig::default()
+        };
+        let set = generate_candidates(&clusters, &config);
+        assert!(set
+            .replacements
+            .iter()
+            .all(|r| !r.lhs().starts_with("value")));
+        assert!(set.replacements.contains(&Replacement::new("a", "b")));
+    }
+
+    #[test]
+    fn singleton_and_empty_clusters_generate_nothing() {
+        let clusters = vec![vec![], vec!["only".to_string()]];
+        let set = generate_candidates(&clusters, &CandidateConfig::default());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn candidates_are_deduplicated_across_clusters() {
+        let clusters = vec![
+            vec!["Street".to_string(), "St".to_string()],
+            vec!["Street".to_string(), "St".to_string()],
+        ];
+        let set = generate_candidates(&clusters, &CandidateConfig::full_value_only());
+        assert_eq!(set.len(), 2);
+        let r = Replacement::new("Street", "St");
+        assert_eq!(set.set(&r).len(), 2, "one generating cell per cluster");
+    }
+}

@@ -1,0 +1,30 @@
+//! # ec-replace — candidate replacements and their application
+//!
+//! This crate covers the two ends of the paper's pipeline that sit around the
+//! unsupervised grouping:
+//!
+//! * **Generating candidate replacements** (Section 3 Step 1 and Appendix A):
+//!   every pair of non-identical values within a cluster yields two
+//!   directional full-value replacements, and — optionally — finer-grained
+//!   token-level replacements obtained by aligning the two values with a
+//!   longest-common-subsequence over their whitespace tokens.
+//! * **Applying approved replacement groups** (Section 7.1): every candidate
+//!   replacement remembers the cells it was generated from (its *replacement
+//!   set* `L[lhs → rhs]`), and applying an approved group rewrites exactly
+//!   those cells, maintaining the replacement sets of the remaining candidates
+//!   as values change.
+//!
+//! The crate is deliberately independent of any dataset representation: it
+//! works on a single column given as `&[Vec<String>]` — one `Vec<String>` of
+//! cell values per cluster.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod engine;
+pub mod generate;
+
+pub use align::{damerau_levenshtein, lcs_token_pairs};
+pub use engine::{CellRef, Direction, ReplacementEngine};
+pub use generate::{generate_candidates, CandidateConfig, CandidateSet};

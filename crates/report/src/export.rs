@@ -1,0 +1,140 @@
+//! Machine-readable exports of figures.
+//!
+//! The paper's plots were produced with gnuplot; [`gnuplot_dat`] writes the
+//! classic whitespace-separated block-per-series `.dat` format so the
+//! reproduced curves can be re-plotted with the same tooling, and
+//! [`csv_export`] writes one wide CSV with a column per series for
+//! spreadsheet users.
+
+use crate::Figure;
+use std::collections::BTreeSet;
+
+/// Serializes a figure as a gnuplot-friendly `.dat` text: one block per
+/// series (`# name` comment, `x y` rows, blank line between blocks).
+pub fn gnuplot_dat(figure: &Figure) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", figure.title));
+    out.push_str(&format!("# x: {}  y: {}\n", figure.x_label, figure.y_label));
+    for (i, series) in figure.series.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push('\n');
+        }
+        out.push_str(&format!("# series: {}\n", series.name));
+        for &(x, y) in &series.points {
+            out.push_str(&format!("{x} {y}\n"));
+        }
+    }
+    out
+}
+
+/// Serializes a figure as a wide CSV: the first column is `x`, then one
+/// column per series. Series sampled at different x values are merged on the
+/// union of x values; missing samples are left empty.
+pub fn csv_export(figure: &Figure) -> String {
+    let mut out = String::new();
+    out.push_str("x");
+    for series in &figure.series {
+        out.push(',');
+        // Quote names containing commas.
+        if series.name.contains(',') || series.name.contains('"') {
+            out.push('"');
+            out.push_str(&series.name.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(&series.name);
+        }
+    }
+    out.push('\n');
+
+    // The union of x values across series, in ascending order. Using the bit
+    // pattern keeps f64 usable as a BTreeSet key; points are finite in
+    // practice (experiment budgets and runtimes).
+    let mut xs: BTreeSet<u64> = BTreeSet::new();
+    for series in &figure.series {
+        for &(x, _) in &series.points {
+            if x.is_finite() {
+                xs.insert(x.to_bits());
+            }
+        }
+    }
+    let xs: Vec<f64> = {
+        let mut v: Vec<f64> = xs.into_iter().map(f64::from_bits).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    };
+    for x in xs {
+        out.push_str(&format!("{x}"));
+        for series in &figure.series {
+            out.push(',');
+            if let Some(&(_, y)) = series
+                .points
+                .iter()
+                .find(|&&(px, _)| (px - x).abs() < f64::EPSILON)
+            {
+                out.push_str(&format!("{y}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Series;
+
+    fn figure() -> Figure {
+        Figure::new("Figure 7(b)", "# of groups confirmed", "recall")
+            .with_series(Series::new("Group", vec![(0.0, 0.0), (50.0, 0.6), (100.0, 0.75)]))
+            .with_series(Series::new("Trifacta", vec![(0.0, 0.55), (100.0, 0.55)]))
+    }
+
+    #[test]
+    fn gnuplot_blocks_per_series() {
+        let dat = gnuplot_dat(&figure());
+        assert!(dat.starts_with("# Figure 7(b)\n"));
+        assert!(dat.contains("# series: Group\n0 0\n50 0.6\n100 0.75\n"));
+        assert!(dat.contains("\n\n# series: Trifacta\n"));
+        // Exactly one blank-line separator between the two blocks.
+        assert_eq!(dat.matches("\n\n").count(), 1);
+    }
+
+    #[test]
+    fn csv_merges_x_values_across_series() {
+        let csv = csv_export(&figure());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,Group,Trifacta");
+        assert_eq!(lines[1], "0,0,0.55");
+        // x=50 only exists in the Group series: the Trifacta cell is empty.
+        assert_eq!(lines[2], "50,0.6,");
+        assert_eq!(lines[3], "100,0.75,0.55");
+    }
+
+    #[test]
+    fn csv_quotes_series_names_with_commas() {
+        let fig = Figure::new("t", "x", "y")
+            .with_series(Series::new("a,b", vec![(1.0, 2.0)]))
+            .with_series(Series::new("say \"hi\"", vec![(1.0, 3.0)]));
+        let csv = csv_export(&fig);
+        assert!(csv.lines().next().unwrap().contains("\"a,b\""));
+        assert!(csv.lines().next().unwrap().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn empty_figure_exports_are_header_only() {
+        let fig = Figure::new("empty", "x", "y");
+        assert_eq!(csv_export(&fig), "x\n");
+        let dat = gnuplot_dat(&fig);
+        assert_eq!(dat.lines().count(), 2);
+    }
+
+    #[test]
+    fn non_finite_x_values_are_skipped_in_csv() {
+        let fig = Figure::new("t", "x", "y")
+            .with_series(Series::new("s", vec![(f64::NAN, 1.0), (1.0, 2.0)]));
+        let csv = csv_export(&fig);
+        assert_eq!(csv.lines().count(), 2, "header plus the single finite point");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the reporting primitives: rendering must never
+//! panic, must be deterministic, and the exports must stay structurally
+//! consistent with the figure for arbitrary (finite) data.
+
+use ec_report::{ascii_chart, csv_export, gnuplot_dat, ChartConfig, Figure, Series, TextTable};
+use proptest::prelude::*;
+
+fn finite_point() -> impl Strategy<Value = (f64, f64)> {
+    (
+        prop_oneof![Just(0.0), -1000.0..1000.0f64],
+        prop_oneof![Just(0.0), -1000.0..1000.0f64],
+    )
+}
+
+fn arb_series() -> impl Strategy<Value = Series> {
+    ("[a-zA-Z ]{1,12}", proptest::collection::vec(finite_point(), 0..20))
+        .prop_map(|(name, points)| Series::new(name, points))
+}
+
+fn arb_figure() -> impl Strategy<Value = Figure> {
+    proptest::collection::vec(arb_series(), 0..5).prop_map(|series| {
+        let mut fig = Figure::new("prop figure", "x", "y");
+        for s in series {
+            fig.push(s);
+        }
+        fig
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ascii_chart_is_total_and_deterministic(fig in arb_figure()) {
+        let a = ascii_chart(&fig, &ChartConfig::default());
+        let b = ascii_chart(&fig, &ChartConfig::default());
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.contains("prop figure"));
+        // Every plot row has the configured width.
+        for line in a.lines().filter(|l| l.contains('|')) {
+            let body = line.split('|').nth(1).unwrap();
+            prop_assert_eq!(body.chars().count(), ChartConfig::default().width);
+        }
+    }
+
+    #[test]
+    fn metric_and_runtime_configs_never_panic(fig in arb_figure()) {
+        let _ = ascii_chart(&fig, &ChartConfig::metric());
+        let _ = ascii_chart(&fig, &ChartConfig::runtime());
+    }
+
+    #[test]
+    fn csv_export_has_one_row_per_distinct_x(fig in arb_figure()) {
+        let csv = csv_export(&fig);
+        let mut xs: Vec<u64> = fig
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x.to_bits()))
+            .collect();
+        xs.sort_unstable();
+        xs.dedup();
+        prop_assert_eq!(csv.lines().count(), 1 + xs.len());
+        // Every data line has exactly one cell per series plus the x cell.
+        for line in csv.lines().skip(1) {
+            prop_assert_eq!(line.split(',').count(), 1 + fig.series.len());
+        }
+    }
+
+    #[test]
+    fn gnuplot_export_preserves_every_point(fig in arb_figure()) {
+        let dat = gnuplot_dat(&fig);
+        let data_lines = dat.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count();
+        prop_assert_eq!(data_lines, fig.num_points());
+    }
+
+    #[test]
+    fn interpolation_stays_within_the_y_range(
+        points in proptest::collection::vec((0.0..100.0f64, -5.0..5.0f64), 2..12),
+        x in -10.0..110.0f64,
+    ) {
+        let series = Series::new("s", points);
+        let (lo, hi) = series.y_range().unwrap();
+        let y = series.y_at(x).unwrap();
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "{y} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn tables_render_for_arbitrary_cell_text(
+        header in proptest::collection::vec("[^|\r\n]{0,12}", 1..5),
+        rows in proptest::collection::vec(proptest::collection::vec("[^\r\n]{0,16}", 1..5), 0..6),
+    ) {
+        let width = header.len();
+        let mut table = TextTable::new(header);
+        for row in rows {
+            let mut row = row;
+            row.resize(width, String::new());
+            table.push_row(row);
+        }
+        let text = table.to_plain_text();
+        prop_assert!(text.lines().count() >= 2);
+        let md = table.to_markdown();
+        prop_assert_eq!(md.lines().count(), 2 + table.num_rows());
+        // Markdown rows never contain unescaped cell pipes beyond the column
+        // separators: every line has exactly width + 1 unescaped pipes.
+        for line in md.lines() {
+            let unescaped = line.replace("\\|", "");
+            prop_assert_eq!(unescaped.matches('|').count(), width + 1);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Candidate-pair generation (blocking).
+//!
+//! Comparing every pair of records is quadratic and dominates resolution cost
+//! on anything beyond toy inputs. Blocking cheaply produces a superset of the
+//! truly matching pairs; only those candidates are scored by the matcher.
+//! Two standard schemes are provided:
+//!
+//! * **token blocking** — records sharing at least one word token in the
+//!   blocking column(s) become a candidate pair;
+//! * **sorted neighborhood** — records are sorted by a blocking key and every
+//!   pair within a sliding window becomes a candidate.
+
+use crate::tokenize::{normalize, words};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of candidate-pair generation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingConfig {
+    /// Which columns contribute blocking tokens / keys. Empty means all.
+    pub columns: Vec<usize>,
+    /// Blocks larger than this are skipped by token blocking (they would
+    /// generate a quadratic number of mostly-useless candidates; very frequent
+    /// tokens such as "the" carry little signal).
+    pub max_block_size: usize,
+    /// Window size for sorted-neighborhood blocking.
+    pub window: usize,
+}
+
+impl Default for BlockingConfig {
+    fn default() -> Self {
+        BlockingConfig {
+            columns: Vec::new(),
+            max_block_size: 200,
+            window: 8,
+        }
+    }
+}
+
+fn blocking_columns(config: &BlockingConfig, num_columns: usize) -> Vec<usize> {
+    if config.columns.is_empty() {
+        (0..num_columns).collect()
+    } else {
+        config.columns.iter().copied().filter(|&c| c < num_columns).collect()
+    }
+}
+
+/// Token blocking: every pair of records that share at least one word token in
+/// a blocking column becomes a candidate. Pairs are returned deduplicated,
+/// ordered, and with `a < b`.
+///
+/// `records[i]` is the field vector of record `i`.
+pub fn token_blocking_pairs(records: &[Vec<String>], config: &BlockingConfig) -> Vec<(usize, usize)> {
+    if records.is_empty() {
+        return Vec::new();
+    }
+    let cols = blocking_columns(config, records[0].len());
+    let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    for (id, record) in records.iter().enumerate() {
+        let mut seen: HashSet<String> = HashSet::new();
+        for &col in &cols {
+            for token in words(&record[col]) {
+                if seen.insert(token.clone()) {
+                    blocks.entry(token).or_default().push(id);
+                }
+            }
+        }
+    }
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    for ids in blocks.values() {
+        if ids.len() < 2 || ids.len() > config.max_block_size {
+            continue;
+        }
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in ids.iter().skip(i + 1) {
+                pairs.insert((a.min(b), a.max(b)));
+            }
+        }
+    }
+    let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Sorted-neighborhood blocking: records are sorted by the concatenation of
+/// their normalized blocking-column values, and every pair within a sliding
+/// window of size `config.window` becomes a candidate. Pairs are returned
+/// deduplicated, ordered, and with `a < b`.
+pub fn sorted_neighborhood_pairs(
+    records: &[Vec<String>],
+    config: &BlockingConfig,
+) -> Vec<(usize, usize)> {
+    if records.len() < 2 || config.window < 2 {
+        return Vec::new();
+    }
+    let cols = blocking_columns(config, records[0].len());
+    let mut keyed: Vec<(String, usize)> = records
+        .iter()
+        .enumerate()
+        .map(|(id, record)| {
+            let key = cols
+                .iter()
+                .map(|&c| normalize(&record[c]))
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            (key, id)
+        })
+        .collect();
+    keyed.sort();
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    for (i, (_, a)) in keyed.iter().enumerate() {
+        for (_, b) in keyed.iter().skip(i + 1).take(config.window - 1) {
+            pairs.insert((*a.min(b), *a.max(b)));
+        }
+    }
+    let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<Vec<String>> {
+        vec![
+            vec!["Mary Lee".into(), "9 St, 02141 Wisconsin".into()],
+            vec!["M. Lee".into(), "9th St, 02141 WI".into()],
+            vec!["Lee, Mary".into(), "9 Street, 02141 WI".into()],
+            vec!["James Smith".into(), "3rd E Ave, 33990 California".into()],
+            vec!["Smith, James".into(), "5th St, 22701 California".into()],
+            vec!["Unrelated Person".into(), "1 Nowhere Rd".into()],
+        ]
+    }
+
+    #[test]
+    fn token_blocking_links_records_sharing_tokens() {
+        let pairs = token_blocking_pairs(&records(), &BlockingConfig::default());
+        // The three Lee records all share the "lee" token.
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(0, 2)));
+        assert!(pairs.contains(&(1, 2)));
+        // The Smith records share "smith" and "california".
+        assert!(pairs.contains(&(3, 4)));
+        // The unrelated record shares no token with the Lees.
+        assert!(!pairs.contains(&(0, 5)));
+        // Output is sorted and deduplicated.
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(pairs, sorted);
+    }
+
+    #[test]
+    fn token_blocking_respects_column_selection() {
+        let config = BlockingConfig { columns: vec![0], ..BlockingConfig::default() };
+        let pairs = token_blocking_pairs(&records(), &config);
+        // Columns restricted to the name: the Lee/Smith cross pairs that only
+        // share address tokens ("st", "02141") disappear for record 4 vs 0.
+        assert!(pairs.contains(&(0, 2)));
+        assert!(!pairs.contains(&(1, 4)), "only shares 'st' in the address column");
+    }
+
+    #[test]
+    fn oversized_blocks_are_skipped() {
+        let many: Vec<Vec<String>> = (0..50).map(|i| vec![format!("common token {i}")]).collect();
+        let config = BlockingConfig { max_block_size: 10, ..BlockingConfig::default() };
+        let pairs = token_blocking_pairs(&many, &config);
+        // "common" and "token" appear in all 50 records and are skipped; the
+        // only remaining shared tokens are the unique numbers, so no pairs.
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn token_blocking_empty_input() {
+        assert!(token_blocking_pairs(&[], &BlockingConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn sorted_neighborhood_links_nearby_keys() {
+        let pairs = sorted_neighborhood_pairs(&records(), &BlockingConfig::default());
+        assert!(!pairs.is_empty());
+        for &(a, b) in &pairs {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn sorted_neighborhood_window_bounds_candidates() {
+        let recs = records();
+        let narrow = sorted_neighborhood_pairs(&recs, &BlockingConfig { window: 2, ..Default::default() });
+        let wide = sorted_neighborhood_pairs(&recs, &BlockingConfig { window: 6, ..Default::default() });
+        assert!(narrow.len() <= wide.len());
+        // With a window covering all records every pair is a candidate.
+        assert_eq!(wide.len(), recs.len() * (recs.len() - 1) / 2);
+    }
+
+    #[test]
+    fn sorted_neighborhood_degenerate_inputs() {
+        assert!(sorted_neighborhood_pairs(&[], &BlockingConfig::default()).is_empty());
+        let one = vec![vec!["a".to_string()]];
+        assert!(sorted_neighborhood_pairs(&one, &BlockingConfig::default()).is_empty());
+        let cfg = BlockingConfig { window: 1, ..Default::default() };
+        assert!(sorted_neighborhood_pairs(&records(), &cfg).is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! # ec-resolution — entity resolution substrate
+//!
+//! The paper's pipeline *consumes* the output of entity resolution: "Entity
+//! consolidation takes as input a collection of clusters, where each cluster
+//! contains a set of duplicate records" (Section 1). The authors point to
+//! systems such as Tamr, Magellan and DataCivilizer for producing those
+//! clusters. So that this repository is usable end-to-end on raw (unclustered)
+//! records, this crate implements that substrate from scratch:
+//!
+//! * [`tokenize`] — normalization, word and q-gram tokenizers;
+//! * [`similarity`] — edit distance, Damerau–Levenshtein, Jaro / Jaro–Winkler,
+//!   Jaccard and q-gram cosine similarity;
+//! * [`blocking`] — token blocking and sorted-neighborhood candidate
+//!   generation so that resolution does not need to compare all `O(n²)` pairs;
+//! * [`unionfind`] — a disjoint-set forest used to turn matching pairs into
+//!   clusters;
+//! * [`matcher`] — the record-pair matcher (per-column similarity measures,
+//!   weights, and a match threshold) and the [`matcher::Resolver`] that ties
+//!   everything together and emits an [`ec_data::Dataset`] ready for the
+//!   consolidation pipeline.
+//!
+//! The design mirrors the classical match–cluster architecture surveyed by
+//! Elmagarmid et al. (cited as [18] in the paper): candidate generation via
+//! blocking, pairwise similarity scoring, thresholding, and transitive
+//! closure.
+//!
+//! ```
+//! use ec_resolution::prelude::*;
+//!
+//! let records = vec![
+//!     RawRecord::new(0, ["Mary Lee", "9 St, 02141 Wisconsin"]),
+//!     RawRecord::new(1, ["M. Lee", "9th St, 02141 WI"]),
+//!     RawRecord::new(2, ["James Smith", "3rd E Ave, 33990 California"]),
+//!     RawRecord::new(0, ["Smith, James", "5th St, 22701 California"]),
+//! ];
+//! let resolver = Resolver::new(ResolverConfig::default());
+//! let clusters = resolver.resolve(&records);
+//! assert!(!clusters.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocking;
+pub mod matcher;
+pub mod similarity;
+pub mod tokenize;
+pub mod unionfind;
+
+pub use blocking::{sorted_neighborhood_pairs, token_blocking_pairs, BlockingConfig};
+pub use matcher::{BlockingScheme, ColumnRule, MatchDecision, RawRecord, Resolver, ResolverConfig};
+pub use similarity::{
+    damerau_levenshtein, jaccard, jaro, jaro_winkler, levenshtein, normalized_levenshtein,
+    qgram_cosine, SimilarityMeasure,
+};
+pub use tokenize::{normalize, qgrams, words};
+pub use unionfind::UnionFind;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use crate::blocking::BlockingConfig;
+    pub use crate::matcher::{ColumnRule, RawRecord, Resolver, ResolverConfig};
+    pub use crate::similarity::SimilarityMeasure;
+}

@@ -1,0 +1,435 @@
+//! Record-pair matching and the end-to-end resolver.
+//!
+//! A [`Resolver`] turns a flat collection of [`RawRecord`]s into clusters of
+//! duplicates: blocking proposes candidate pairs, each pair is scored by a
+//! weighted combination of per-column similarity measures, pairs at or above
+//! the match threshold are unioned, and the connected components become the
+//! clusters. [`Resolver::resolve_to_dataset`] additionally packages the result
+//! as an [`ec_data::Dataset`] so the consolidation pipeline can run directly
+//! on resolver output.
+
+use crate::blocking::{sorted_neighborhood_pairs, token_blocking_pairs, BlockingConfig};
+use crate::similarity::SimilarityMeasure;
+use crate::unionfind::UnionFind;
+use ec_data::{Cell, Cluster, Dataset, Row};
+use serde::{Deserialize, Serialize};
+
+/// An unclustered input record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawRecord {
+    /// The data source the record came from (kept through to the dataset so
+    /// that source-reliability truth discovery can use it).
+    pub source: usize,
+    /// One value per column.
+    pub fields: Vec<String>,
+}
+
+impl RawRecord {
+    /// Creates a record from anything iterable over string-likes.
+    pub fn new<I, S>(source: usize, fields: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        RawRecord {
+            source,
+            fields: fields.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// How one column contributes to the pairwise match score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnRule {
+    /// The column index the rule applies to.
+    pub column: usize,
+    /// The similarity measure to evaluate.
+    pub measure: SimilarityMeasure,
+    /// The weight of this column in the overall score. Weights are normalized
+    /// over the rules of a config, so only their ratios matter.
+    pub weight: f64,
+}
+
+/// Which blocking scheme proposes candidate pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockingScheme {
+    /// Token blocking (records sharing a word token become candidates).
+    Token,
+    /// Sorted-neighborhood blocking (sliding window over sorted keys).
+    SortedNeighborhood,
+    /// The union of both schemes' candidates.
+    Both,
+}
+
+/// Configuration of the resolver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolverConfig {
+    /// Per-column scoring rules. When empty, every column is scored with
+    /// Jaro–Winkler at equal weight.
+    pub rules: Vec<ColumnRule>,
+    /// A candidate pair whose weighted score reaches this threshold is
+    /// declared a match.
+    pub threshold: f64,
+    /// Candidate generation scheme.
+    pub scheme: BlockingScheme,
+    /// Blocking parameters.
+    pub blocking: BlockingConfig,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            rules: Vec::new(),
+            threshold: 0.75,
+            scheme: BlockingScheme::Both,
+            blocking: BlockingConfig::default(),
+        }
+    }
+}
+
+/// The outcome of scoring one candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchDecision {
+    /// First record index (always less than `b`).
+    pub a: usize,
+    /// Second record index.
+    pub b: usize,
+    /// The weighted similarity score in `[0, 1]`.
+    pub score: f64,
+    /// Whether the score reached the threshold.
+    pub is_match: bool,
+}
+
+/// The entity resolver.
+#[derive(Debug, Clone)]
+pub struct Resolver {
+    config: ResolverConfig,
+}
+
+impl Resolver {
+    /// Creates a resolver with the given configuration.
+    pub fn new(config: ResolverConfig) -> Self {
+        Resolver { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    fn effective_rules(&self, num_columns: usize) -> Vec<ColumnRule> {
+        if self.config.rules.is_empty() {
+            (0..num_columns)
+                .map(|column| ColumnRule {
+                    column,
+                    measure: SimilarityMeasure::JaroWinkler,
+                    weight: 1.0,
+                })
+                .collect()
+        } else {
+            self.config
+                .rules
+                .iter()
+                .copied()
+                .filter(|r| r.column < num_columns && r.weight > 0.0)
+                .collect()
+        }
+    }
+
+    /// Scores one record pair with the configured rules.
+    pub fn score_pair(&self, a: &RawRecord, b: &RawRecord) -> f64 {
+        let rules = self.effective_rules(a.fields.len().min(b.fields.len()));
+        let total_weight: f64 = rules.iter().map(|r| r.weight).sum();
+        if total_weight == 0.0 {
+            return 0.0;
+        }
+        rules
+            .iter()
+            .map(|rule| {
+                rule.weight * rule.measure.score(&a.fields[rule.column], &b.fields[rule.column])
+            })
+            .sum::<f64>()
+            / total_weight
+    }
+
+    /// Generates candidate pairs and scores each one. Decisions are returned
+    /// in candidate order (sorted by record indices).
+    pub fn match_pairs(&self, records: &[RawRecord]) -> Vec<MatchDecision> {
+        if records.len() < 2 {
+            return Vec::new();
+        }
+        let fields: Vec<Vec<String>> = records.iter().map(|r| r.fields.clone()).collect();
+        let mut candidates = match self.config.scheme {
+            BlockingScheme::Token => token_blocking_pairs(&fields, &self.config.blocking),
+            BlockingScheme::SortedNeighborhood => {
+                sorted_neighborhood_pairs(&fields, &self.config.blocking)
+            }
+            BlockingScheme::Both => {
+                let mut pairs = token_blocking_pairs(&fields, &self.config.blocking);
+                pairs.extend(sorted_neighborhood_pairs(&fields, &self.config.blocking));
+                pairs.sort_unstable();
+                pairs.dedup();
+                pairs
+            }
+        };
+        candidates.sort_unstable();
+        candidates
+            .into_iter()
+            .map(|(a, b)| {
+                let score = self.score_pair(&records[a], &records[b]);
+                MatchDecision {
+                    a,
+                    b,
+                    score,
+                    is_match: score >= self.config.threshold,
+                }
+            })
+            .collect()
+    }
+
+    /// Resolves the records into clusters of record indices (the transitive
+    /// closure of the pairwise match decisions). Singleton clusters are kept:
+    /// a record that matches nothing is still an entity.
+    pub fn resolve(&self, records: &[RawRecord]) -> Vec<Vec<usize>> {
+        let mut uf = UnionFind::new(records.len());
+        for decision in self.match_pairs(records) {
+            if decision.is_match {
+                uf.union(decision.a, decision.b);
+            }
+        }
+        uf.into_groups()
+    }
+
+    /// Resolves the records and packages the clusters as an
+    /// [`ec_data::Dataset`]. `truths`, when provided, supplies the latent true
+    /// value of each record's columns (used only for evaluation); otherwise
+    /// each cell's truth is set to its observed value.
+    ///
+    /// # Panics
+    /// Panics when `truths` is provided with a length different from
+    /// `records`.
+    pub fn resolve_to_dataset(
+        &self,
+        name: &str,
+        columns: Vec<String>,
+        records: &[RawRecord],
+        truths: Option<&[Vec<String>]>,
+    ) -> Dataset {
+        if let Some(t) = truths {
+            assert_eq!(t.len(), records.len(), "one truth row per record required");
+        }
+        let clusters = self.resolve(records);
+        let mut dataset = Dataset::new(name, columns);
+        for member_ids in clusters {
+            let rows: Vec<Row> = member_ids
+                .iter()
+                .map(|&id| {
+                    let record = &records[id];
+                    let cells: Vec<Cell> = record
+                        .fields
+                        .iter()
+                        .enumerate()
+                        .map(|(col, observed)| Cell {
+                            observed: observed.clone(),
+                            truth: truths
+                                .map(|t| t[id][col].clone())
+                                .unwrap_or_else(|| observed.clone()),
+                        })
+                        .collect();
+                    Row {
+                        source: record.source,
+                        cells,
+                    }
+                })
+                .collect();
+            // The golden record of a cluster is unknown at resolution time; use
+            // the per-column majority of truths as the best available label.
+            let num_cols = rows.first().map(|r| r.cells.len()).unwrap_or(0);
+            let golden: Vec<String> = (0..num_cols)
+                .map(|col| {
+                    let mut counts: std::collections::HashMap<&str, usize> =
+                        std::collections::HashMap::new();
+                    for row in &rows {
+                        *counts.entry(row.cells[col].truth.as_str()).or_insert(0) += 1;
+                    }
+                    counts
+                        .into_iter()
+                        .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
+                        .map(|(v, _)| v.to_string())
+                        .unwrap_or_default()
+                })
+                .collect();
+            dataset.clusters.push(Cluster { rows, golden });
+        }
+        dataset
+    }
+}
+
+impl Default for Resolver {
+    fn default() -> Self {
+        Resolver::new(ResolverConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lee_smith_records() -> Vec<RawRecord> {
+        vec![
+            RawRecord::new(0, ["Mary Lee", "9 St, 02141 Wisconsin"]),
+            RawRecord::new(1, ["M. Lee", "9th St, 02141 WI"]),
+            RawRecord::new(2, ["Lee, Mary", "9 Street, 02141 WI"]),
+            RawRecord::new(0, ["Smith, James", "5th St, 22701 California"]),
+            RawRecord::new(1, ["James Smith", "3rd E Ave, 33990 California"]),
+            RawRecord::new(2, ["J. Smith", "3 E Avenue, 33990 CA"]),
+            RawRecord::new(0, ["Alice Wonder", "42 Rabbit Hole Ln"]),
+        ]
+    }
+
+    #[test]
+    fn resolver_reconstructs_the_paper_table1_clusters() {
+        let config = ResolverConfig {
+            rules: vec![
+                ColumnRule { column: 0, measure: SimilarityMeasure::Jaccard, weight: 1.0 },
+                ColumnRule { column: 1, measure: SimilarityMeasure::QgramCosine(2), weight: 1.0 },
+            ],
+            threshold: 0.5,
+            ..ResolverConfig::default()
+        };
+        let clusters = Resolver::new(config).resolve(&lee_smith_records());
+        // The Lee records (0,1,2) and Smith records (3,4,5) cluster; Alice is a singleton.
+        let lee = clusters.iter().find(|c| c.contains(&0)).unwrap();
+        assert!(lee.contains(&2), "Lee, Mary should join Mary Lee: {clusters:?}");
+        let smith = clusters.iter().find(|c| c.contains(&4)).unwrap();
+        assert!(smith.contains(&3), "Smith, James should join James Smith: {clusters:?}");
+        assert!(clusters.iter().any(|c| c == &vec![6]), "Alice must stay a singleton");
+        assert!(!lee.contains(&4), "Lees and Smiths must not merge");
+    }
+
+    #[test]
+    fn score_pair_is_symmetric_and_bounded() {
+        let resolver = Resolver::default();
+        let records = lee_smith_records();
+        for a in &records {
+            for b in &records {
+                let s1 = resolver.score_pair(a, b);
+                let s2 = resolver.score_pair(b, a);
+                assert!((s1 - s2).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&s1));
+            }
+        }
+        assert!((resolver.score_pair(&records[0], &records[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_one_keeps_everything_apart() {
+        let config = ResolverConfig { threshold: 1.01, ..ResolverConfig::default() };
+        let clusters = Resolver::new(config).resolve(&lee_smith_records());
+        assert_eq!(clusters.len(), lee_smith_records().len());
+    }
+
+    #[test]
+    fn empty_and_single_record_inputs() {
+        let resolver = Resolver::default();
+        assert!(resolver.resolve(&[]).is_empty());
+        assert!(resolver.match_pairs(&[]).is_empty());
+        let one = vec![RawRecord::new(0, ["only"])];
+        assert_eq!(resolver.resolve(&one), vec![vec![0]]);
+    }
+
+    #[test]
+    fn match_decisions_report_scores_and_candidates_only() {
+        let resolver = Resolver::default();
+        let decisions = resolver.match_pairs(&lee_smith_records());
+        assert!(!decisions.is_empty());
+        for d in &decisions {
+            assert!(d.a < d.b);
+            assert!((0.0..=1.0).contains(&d.score));
+            assert_eq!(d.is_match, d.score >= resolver.config().threshold);
+        }
+    }
+
+    #[test]
+    fn resolve_to_dataset_round_trips_sources_and_truths() {
+        let records = lee_smith_records();
+        let truths: Vec<Vec<String>> = records
+            .iter()
+            .map(|r| {
+                let name = if r.fields[0].contains("Lee") {
+                    "Mary Lee"
+                } else if r.fields[0].contains("Smith") {
+                    "James Smith"
+                } else {
+                    "Alice Wonder"
+                };
+                vec![name.to_string(), r.fields[1].clone()]
+            })
+            .collect();
+        let config = ResolverConfig {
+            rules: vec![ColumnRule { column: 0, measure: SimilarityMeasure::Jaccard, weight: 1.0 }],
+            threshold: 0.45,
+            ..ResolverConfig::default()
+        };
+        let dataset = Resolver::new(config).resolve_to_dataset(
+            "resolved",
+            vec!["Name".to_string(), "Address".to_string()],
+            &records,
+            Some(&truths),
+        );
+        assert_eq!(dataset.num_records(), records.len());
+        assert_eq!(dataset.columns.len(), 2);
+        // Ground truth flows through to the cells and the cluster goldens.
+        let lee_cluster = dataset
+            .clusters
+            .iter()
+            .find(|c| c.rows.iter().any(|r| r.cells[0].observed == "Mary Lee"))
+            .unwrap();
+        assert!(lee_cluster.rows.iter().all(|r| r.cells[0].truth == "Mary Lee"));
+        assert_eq!(lee_cluster.golden[0], "Mary Lee");
+    }
+
+    #[test]
+    fn resolve_to_dataset_without_truths_uses_observed_values() {
+        let records = vec![RawRecord::new(3, ["a"]), RawRecord::new(4, ["b"])];
+        let dataset = Resolver::default().resolve_to_dataset(
+            "plain",
+            vec!["x".to_string()],
+            &records,
+            None,
+        );
+        for cluster in &dataset.clusters {
+            for row in &cluster.rows {
+                assert_eq!(row.cells[0].observed, row.cells[0].truth);
+            }
+        }
+        let sources: Vec<usize> = dataset
+            .clusters
+            .iter()
+            .flat_map(|c| c.rows.iter().map(|r| r.source))
+            .collect();
+        assert!(sources.contains(&3) && sources.contains(&4));
+    }
+
+    #[test]
+    #[should_panic(expected = "one truth row per record")]
+    fn mismatched_truths_panic() {
+        let records = vec![RawRecord::new(0, ["a"])];
+        Resolver::default().resolve_to_dataset("bad", vec!["x".to_string()], &records, Some(&[]));
+    }
+
+    #[test]
+    fn blocking_scheme_variants_all_work() {
+        let records = lee_smith_records();
+        for scheme in [
+            BlockingScheme::Token,
+            BlockingScheme::SortedNeighborhood,
+            BlockingScheme::Both,
+        ] {
+            let config = ResolverConfig { scheme, ..ResolverConfig::default() };
+            let clusters = Resolver::new(config).resolve(&records);
+            let total: usize = clusters.iter().map(Vec::len).sum();
+            assert_eq!(total, records.len(), "{scheme:?} must cover every record");
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! String similarity measures used for record matching.
+//!
+//! Every measure is normalized to `[0, 1]` where `1.0` means identical. The
+//! edit-distance family additionally exposes the raw distances, which the
+//! candidate-replacement alignment in `ec-replace` and the tests reuse.
+
+use crate::tokenize::{qgrams, words};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The Levenshtein (insert/delete/substitute) edit distance between two
+/// strings, computed over Unicode scalar values with the classic two-row
+/// dynamic program (`O(|a|·|b|)` time, `O(min)` space).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Keep the shorter string in the inner dimension.
+    let (outer, inner) = if a.len() >= b.len() { (&a, &b) } else { (&b, &a) };
+    let mut prev: Vec<usize> = (0..=inner.len()).collect();
+    let mut cur = vec![0usize; inner.len() + 1];
+    for (i, &oc) in outer.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &ic) in inner.iter().enumerate() {
+            let cost = usize::from(oc != ic);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[inner.len()]
+}
+
+/// The restricted Damerau–Levenshtein distance (optimal string alignment):
+/// Levenshtein plus transposition of two adjacent characters counted as one
+/// edit. This is the distance the paper's Appendix A cites ([11]) as an
+/// alternative alignment for fine-grained candidate generation.
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let cols = b.len() + 1;
+    let mut dist = vec![0usize; (a.len() + 1) * cols];
+    let idx = |i: usize, j: usize| i * cols + j;
+    for i in 0..=a.len() {
+        dist[idx(i, 0)] = i;
+    }
+    for j in 0..=b.len() {
+        dist[idx(0, j)] = j;
+    }
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut d = (dist[idx(i - 1, j)] + 1)
+                .min(dist[idx(i, j - 1)] + 1)
+                .min(dist[idx(i - 1, j - 1)] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                d = d.min(dist[idx(i - 2, j - 2)] + 1);
+            }
+            dist[idx(i, j)] = d;
+        }
+    }
+    dist[idx(a.len(), b.len())]
+}
+
+/// Levenshtein similarity normalized by the longer string length:
+/// `1 - dist / max(|a|, |b|)`. Two empty strings are identical (`1.0`).
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// The Jaro similarity between two strings, in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter(|(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// The Jaro–Winkler similarity: Jaro boosted by a shared prefix of up to four
+/// characters with the standard scaling factor 0.1.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity of the word-token sets of the two strings. Empty token
+/// sets on both sides are treated as identical.
+pub fn jaccard(a: &str, b: &str) -> f64 {
+    let ta = words(a);
+    let tb = words(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::HashSet<&str> = ta.iter().map(String::as_str).collect();
+    let sb: std::collections::HashSet<&str> = tb.iter().map(String::as_str).collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Cosine similarity of q-gram frequency vectors (default construction for
+/// string similarity joins). Empty q-gram sets on both sides are identical.
+pub fn qgram_cosine(a: &str, b: &str, q: usize) -> f64 {
+    let ga = qgrams(a, q);
+    let gb = qgrams(b, q);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    fn count(grams: &[String]) -> HashMap<&str, f64> {
+        let mut m: HashMap<&str, f64> = HashMap::new();
+        for g in grams {
+            *m.entry(g.as_str()).or_insert(0.0) += 1.0;
+        }
+        m
+    }
+    let ca = count(&ga);
+    let cb = count(&gb);
+    let dot: f64 = ca
+        .iter()
+        .filter_map(|(g, x)| cb.get(g).map(|y| x * y))
+        .sum();
+    let norm = |m: &HashMap<&str, f64>| m.values().map(|x| x * x).sum::<f64>().sqrt();
+    let denom = norm(&ca) * norm(&cb);
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+/// A choice of similarity measure, selectable per column in a
+/// [`crate::matcher::ColumnRule`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimilarityMeasure {
+    /// [`normalized_levenshtein`].
+    Levenshtein,
+    /// Normalized restricted Damerau–Levenshtein.
+    DamerauLevenshtein,
+    /// [`jaro`].
+    Jaro,
+    /// [`jaro_winkler`].
+    JaroWinkler,
+    /// [`jaccard`] over word tokens.
+    Jaccard,
+    /// [`qgram_cosine`] with the given `q`.
+    QgramCosine(usize),
+}
+
+impl SimilarityMeasure {
+    /// Evaluates the measure on two strings, returning a score in `[0, 1]`.
+    pub fn score(&self, a: &str, b: &str) -> f64 {
+        match *self {
+            SimilarityMeasure::Levenshtein => normalized_levenshtein(a, b),
+            SimilarityMeasure::DamerauLevenshtein => {
+                let max_len = a.chars().count().max(b.chars().count());
+                if max_len == 0 {
+                    1.0
+                } else {
+                    1.0 - damerau_levenshtein(a, b) as f64 / max_len as f64
+                }
+            }
+            SimilarityMeasure::Jaro => jaro(a, b),
+            SimilarityMeasure::JaroWinkler => jaro_winkler(a, b),
+            SimilarityMeasure::Jaccard => jaccard(a, b),
+            SimilarityMeasure::QgramCosine(q) => qgram_cosine(a, b, q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_matches_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn damerau_counts_transpositions_as_one_edit() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(damerau_levenshtein("Street", "Stret"), 1);
+        assert_eq!(damerau_levenshtein("", "ab"), 2);
+        assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn damerau_is_never_larger_than_levenshtein() {
+        let cases = [("kitten", "sitting"), ("Mary Lee", "Lee, Mary"), ("9th", "9")];
+        for (a, b) in cases {
+            assert!(damerau_levenshtein(a, b) <= levenshtein(a, b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn normalized_levenshtein_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        let s = normalized_levenshtein("Mary Lee", "M. Lee");
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("MARTHA", "MARHTA") - 0.944444).abs() < 1e-4);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766667).abs() < 1e-4);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_shared_prefixes() {
+        let j = jaro("MARTHA", "MARHTA");
+        let jw = jaro_winkler("MARTHA", "MARHTA");
+        assert!(jw > j);
+        assert!((jw - 0.961111).abs() < 1e-4);
+        // No shared prefix: no boost.
+        assert_eq!(jaro_winkler("abc", "xbc"), jaro("abc", "xbc"));
+    }
+
+    #[test]
+    fn jaccard_over_word_tokens_ignores_order_and_punctuation() {
+        assert_eq!(jaccard("Mary Lee", "Lee, Mary"), 1.0);
+        assert_eq!(jaccard("", ""), 1.0);
+        assert_eq!(jaccard("a b", "c d"), 0.0);
+        let s = jaccard("9th Street, 02141 WI", "9th St, 02141 WI");
+        assert!(s > 0.4 && s < 1.0);
+    }
+
+    #[test]
+    fn qgram_cosine_behaves() {
+        assert_eq!(qgram_cosine("", "", 3), 1.0);
+        assert_eq!(qgram_cosine("abc", "", 3), 0.0);
+        assert!((qgram_cosine("abc", "abc", 2) - 1.0).abs() < 1e-12);
+        let close = qgram_cosine("Avenue", "Avenu", 2);
+        let far = qgram_cosine("Avenue", "Street", 2);
+        assert!(close > far);
+    }
+
+    #[test]
+    fn measure_enum_dispatches() {
+        for m in [
+            SimilarityMeasure::Levenshtein,
+            SimilarityMeasure::DamerauLevenshtein,
+            SimilarityMeasure::Jaro,
+            SimilarityMeasure::JaroWinkler,
+            SimilarityMeasure::Jaccard,
+            SimilarityMeasure::QgramCosine(2),
+        ] {
+            assert!((m.score("Mary Lee", "Mary Lee") - 1.0).abs() < 1e-12, "{m:?}");
+            let s = m.score("Mary Lee", "totally different");
+            assert!((0.0..1.0).contains(&s), "{m:?} gave {s}");
+        }
+    }
+}

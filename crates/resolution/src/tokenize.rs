@@ -1,0 +1,133 @@
+//! String normalization and tokenization used by blocking and similarity.
+//!
+//! Entity resolution compares records that come from different sources with
+//! different casing and punctuation conventions. A light normalization pass
+//! (lowercasing, collapsing whitespace, stripping punctuation at token
+//! boundaries) makes the similarity measures in [`crate::similarity`] behave
+//! the way users expect without hiding the variant formats that entity
+//! consolidation later learns to standardize — consolidation always works on
+//! the *original* observed values, only resolution looks at normalized ones.
+
+/// Normalizes a string for matching: lowercases ASCII letters, maps every
+/// whitespace run to a single space, and trims leading/trailing whitespace.
+/// Punctuation is preserved (it is often a meaningful part of a value, e.g.
+/// "J. Smith"), but callers that want it gone can use [`words`], which splits
+/// on non-alphanumeric characters.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_space = true; // swallow leading whitespace
+    for ch in s.chars() {
+        if ch.is_whitespace() {
+            if !in_space {
+                out.push(' ');
+                in_space = true;
+            }
+        } else {
+            out.push(ch.to_ascii_lowercase());
+            in_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Splits a string into lowercase alphanumeric word tokens. Every maximal run
+/// of alphanumeric characters becomes one token; everything else is a
+/// separator. An empty input yields an empty vector.
+pub fn words(s: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            current.push(ch.to_ascii_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Character q-grams of the normalized string, padded with `q - 1` leading and
+/// trailing `#` markers so that prefixes and suffixes contribute q-grams too
+/// (the standard construction for q-gram similarity joins). `q` is clamped to
+/// at least 1; a `q` of 1 yields the characters themselves without padding.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    let q = q.max(1);
+    let normalized = normalize(s);
+    if normalized.is_empty() {
+        return Vec::new();
+    }
+    let chars: Vec<char> = if q == 1 {
+        normalized.chars().collect()
+    } else {
+        let pad = std::iter::repeat('#').take(q - 1);
+        pad.clone()
+            .chain(normalized.chars())
+            .chain(pad)
+            .collect()
+    };
+    if chars.len() < q {
+        return Vec::new();
+    }
+    chars
+        .windows(q)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_lowercases_and_collapses_whitespace() {
+        assert_eq!(normalize("  Mary\t Lee  "), "mary lee");
+        assert_eq!(normalize("J.  Smith"), "j. smith");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("   "), "");
+    }
+
+    #[test]
+    fn normalize_preserves_punctuation_and_digits() {
+        assert_eq!(normalize("9th St, 02141 WI"), "9th st, 02141 wi");
+    }
+
+    #[test]
+    fn words_split_on_non_alphanumerics() {
+        assert_eq!(words("Lee, Mary"), vec!["lee", "mary"]);
+        assert_eq!(words("3rd E Avenue, 33990 CA"), vec!["3rd", "e", "avenue", "33990", "ca"]);
+        assert_eq!(words("---"), Vec::<String>::new());
+        assert_eq!(words(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn qgrams_are_padded() {
+        let grams = qgrams("ab", 2);
+        assert_eq!(grams, vec!["#a", "ab", "b#"]);
+    }
+
+    #[test]
+    fn qgrams_of_one_are_characters() {
+        assert_eq!(qgrams("Lee", 1), vec!["l", "e", "e"]);
+    }
+
+    #[test]
+    fn qgrams_of_empty_string() {
+        assert_eq!(qgrams("", 3), Vec::<String>::new());
+    }
+
+    #[test]
+    fn qgram_zero_is_clamped() {
+        assert_eq!(qgrams("ab", 0), qgrams("ab", 1));
+    }
+
+    #[test]
+    fn qgrams_normalize_first() {
+        assert_eq!(qgrams("AB", 2), qgrams("ab", 2));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the similarity measures and tokenizers: metric
+//! axioms (where they hold), bounds, and symmetry for arbitrary inputs.
+
+use ec_resolution::{
+    damerau_levenshtein, jaccard, jaro, jaro_winkler, levenshtein, normalized_levenshtein,
+    qgram_cosine, qgrams, words, SimilarityMeasure,
+};
+use proptest::prelude::*;
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9 ,.()\\-']{0,20}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn levenshtein_is_a_metric(a in arb_string(), b in arb_string(), c in arb_string()) {
+        // Identity of indiscernibles.
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
+        // Symmetry.
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // Bounded by the longer length.
+        prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
+    }
+
+    #[test]
+    fn damerau_is_symmetric_and_bounded_by_levenshtein(a in arb_string(), b in arb_string()) {
+        prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+    }
+
+    #[test]
+    fn similarity_scores_are_bounded_and_symmetric(a in arb_string(), b in arb_string()) {
+        for measure in [
+            SimilarityMeasure::Levenshtein,
+            SimilarityMeasure::DamerauLevenshtein,
+            SimilarityMeasure::Jaro,
+            SimilarityMeasure::JaroWinkler,
+            SimilarityMeasure::Jaccard,
+            SimilarityMeasure::QgramCosine(2),
+            SimilarityMeasure::QgramCosine(3),
+        ] {
+            let ab = measure.score(&a, &b);
+            let ba = measure.score(&b, &a);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&ab), "{measure:?} out of range: {ab}");
+            prop_assert!((ab - ba).abs() < 1e-9, "{measure:?} not symmetric: {ab} vs {ba}");
+            let aa = measure.score(&a, &a);
+            prop_assert!((aa - 1.0).abs() < 1e-9, "{measure:?} self-similarity {aa}");
+        }
+    }
+
+    #[test]
+    fn normalized_levenshtein_agrees_with_raw_distance(a in arb_string(), b in arb_string()) {
+        let max_len = a.chars().count().max(b.chars().count());
+        let expected = if max_len == 0 {
+            1.0
+        } else {
+            1.0 - levenshtein(&a, &b) as f64 / max_len as f64
+        };
+        prop_assert!((normalized_levenshtein(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_family_bounds(a in arb_string(), b in arb_string()) {
+        let j = jaro(&a, &b);
+        let jw = jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&j));
+        prop_assert!(jw + 1e-12 >= j, "winkler must never decrease jaro");
+        prop_assert!(jw <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn jaccard_and_cosine_token_invariance(a in arb_string()) {
+        // A string is fully similar to itself with extra surrounding spaces.
+        let padded = format!("  {a}  ");
+        prop_assert!((jaccard(&a, &padded) - 1.0).abs() < 1e-9);
+        prop_assert!((qgram_cosine(&a, &padded, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn words_are_lowercase_alphanumeric(s in arb_string()) {
+        for token in words(&s) {
+            prop_assert!(!token.is_empty());
+            prop_assert!(token.chars().all(|c| c.is_alphanumeric()));
+            prop_assert!(!token.chars().any(|c| c.is_ascii_uppercase()));
+        }
+    }
+
+    #[test]
+    fn qgram_count_matches_padded_length(s in arb_string(), q in 1usize..5) {
+        let grams = qgrams(&s, q);
+        let norm_len = ec_resolution::normalize(&s).chars().count();
+        if norm_len == 0 {
+            prop_assert!(grams.is_empty());
+        } else if q == 1 {
+            prop_assert_eq!(grams.len(), norm_len);
+        } else {
+            prop_assert_eq!(grams.len(), norm_len + q - 1);
+        }
+        for g in &grams {
+            prop_assert_eq!(g.chars().count(), q);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end golden-record construction on the Address dataset.
+//!
+//! Reproduces the headline workflow of the paper: generate an Address-style
+//! clustered dataset, let the pipeline learn replacement groups, have a
+//! simulated expert confirm the 100 largest, apply them, and compare precision
+//! / recall / MCC of the standardization plus the golden-record precision of
+//! majority consensus before and after.
+//!
+//! Run with `cargo run --release --example address_standardization`.
+
+use entity_consolidation::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset_kind = PaperDataset::Address;
+    let mut dataset = dataset_kind.generate(&dataset_kind.default_config());
+    let stats = dataset.stats(0);
+    println!(
+        "{}: {} clusters, {} records, {} distinct value pairs ({:.1}% variants)",
+        dataset_kind.name(),
+        stats.num_clusters,
+        stats.num_records,
+        stats.distinct_value_pairs,
+        100.0 * stats.variant_pair_fraction
+    );
+
+    // The evaluation sample (the paper labels 1000 pairs by hand; we label
+    // them from ground truth).
+    let mut rng = StdRng::seed_from_u64(1);
+    let sample = dataset.sample_labeled_pairs(0, 1000, &mut rng);
+
+    // Ground-truth goldens for Table-8-style evaluation.
+    let truth: Vec<String> = dataset.clusters.iter().map(|c| c.golden[0].clone()).collect();
+
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget: 100,
+        ..ConsolidationConfig::default()
+    });
+
+    // Golden-record precision before standardization.
+    let before_goldens = pipeline.discover_golden_records(&dataset, TruthMethod::MajorityConsensus);
+    let before: Vec<Option<String>> = before_goldens.iter().map(|g| g[0].clone()).collect();
+    let mc_before = golden_record_precision(&before, &truth);
+
+    // Standardize with a simulated expert confirming up to 100 groups.
+    let mut oracle = SimulatedOracle::for_column(&dataset, 0, 99);
+    let report = pipeline.standardize_column(&mut dataset, 0, &mut oracle);
+    println!(
+        "reviewed {} groups, approved {}, rewrote {} cells",
+        report.groups_reviewed, report.groups_approved, report.cells_updated
+    );
+
+    let counts = evaluate_standardization(&sample, &dataset.column_values(0));
+    println!(
+        "standardization quality on {} sampled pairs: precision {:.3}, recall {:.3}, MCC {:.3}",
+        counts.total(),
+        counts.precision(),
+        counts.recall(),
+        counts.mcc()
+    );
+
+    let after_goldens = pipeline.discover_golden_records(&dataset, TruthMethod::MajorityConsensus);
+    let after: Vec<Option<String>> = after_goldens.iter().map(|g| g[0].clone()).collect();
+    let mc_after = golden_record_precision(&after, &truth);
+    println!(
+        "majority-consensus golden-record precision: before {:.3} -> after {:.3}",
+        mc_before, mc_after
+    );
+
+    println!("\nthree example golden records:");
+    for (cluster, golden) in dataset.clusters.iter().zip(&after).take(3) {
+        println!("  observed: {:?}", cluster.rows.iter().map(|r| &r.cells[0].observed).collect::<Vec<_>>());
+        println!("  golden:   {:?}", golden);
+    }
+}

@@ -1,0 +1,69 @@
+//! Interactive group review on stdin: the closest thing to the paper's actual
+//! human-in-the-loop workflow.
+//!
+//! The example generates a small Address dataset, produces groups one at a
+//! time with the incremental grouper, and asks *you* to approve or reject each
+//! one (`y` = apply lhs→rhs, `r` = apply rhs→lhs, anything else = reject,
+//! `q` = stop). At the end it prints the standardization quality against the
+//! generator's ground truth. Piping input works too:
+//! `yes y | cargo run --example interactive_review`.
+
+use entity_consolidation::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut dataset = PaperDataset::Address.generate(&GeneratorConfig {
+        num_clusters: 40,
+        seed: 21,
+        num_sources: 4,
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let sample = dataset.sample_labeled_pairs(0, 500, &mut rng);
+
+    let candidates = generate_candidates(&dataset.column_values(0), &CandidateConfig::default());
+    let mut grouper = StructuredGrouper::new(&candidates.replacements, GroupingConfig::default());
+    let mut engine = ReplacementEngine::new(dataset.column_values(0), &CandidateConfig::default());
+
+    let stdin = io::stdin();
+    let mut lines = stdin.lock().lines();
+    let budget = 15;
+    for i in 1..=budget {
+        let group = match grouper.next_group() {
+            Some(g) => g,
+            None => break,
+        };
+        println!("\n--- group {i}/{budget} ({} member pairs) ---", group.size());
+        if let Some(p) = group.program() {
+            println!("shared transformation: {p}");
+        }
+        for member in group.members().iter().take(6) {
+            println!("  {member}");
+        }
+        print!("approve? [y = lhs->rhs, r = rhs->lhs, n = reject, q = quit] ");
+        io::stdout().flush().ok();
+        let answer = lines.next().and_then(Result::ok).unwrap_or_else(|| "q".to_string());
+        match answer.trim() {
+            "y" => {
+                let n = engine.apply_group(group.members(), Direction::Forward);
+                println!("applied forward: {n} cells updated");
+            }
+            "r" => {
+                let n = engine.apply_group(group.members(), Direction::Backward);
+                println!("applied backward: {n} cells updated");
+            }
+            "q" => break,
+            _ => println!("rejected"),
+        }
+    }
+
+    dataset.set_column_values(0, engine.into_values());
+    let counts = evaluate_standardization(&sample, &dataset.column_values(0));
+    println!(
+        "\nfinal standardization quality: precision {:.3}, recall {:.3}, MCC {:.3}",
+        counts.precision(),
+        counts.recall(),
+        counts.mcc()
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: learn string transformations from a handful of clustered
+//! records and standardize them.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use entity_consolidation::prelude::*;
+
+fn main() {
+    // Table 1 of the paper: two clusters of duplicate person records whose
+    // Name values are rendered in different formats.
+    let clusters: Vec<Vec<String>> = vec![
+        vec!["Mary Lee".into(), "M. Lee".into(), "Lee, Mary".into()],
+        vec!["Smith, James".into(), "James Smith".into(), "J. Smith".into()],
+    ];
+
+    // Step 1: candidate replacements — every pair of non-identical values in a
+    // cluster, in both directions.
+    let candidates = generate_candidates(&clusters, &CandidateConfig::full_value_only());
+    println!("generated {} candidate replacements:", candidates.len());
+    for r in &candidates.replacements {
+        println!("  {r}");
+    }
+
+    // Step 2: unsupervised grouping — candidates that share a transformation
+    // program are grouped, largest groups first.
+    let mut grouper = StructuredGrouper::new(&candidates.replacements, GroupingConfig::default());
+    let groups = grouper.all_groups();
+    println!("\nlearned {} groups:", groups.len());
+    for (i, group) in groups.iter().enumerate() {
+        println!("group #{} ({} members)", i + 1, group.size());
+        if let Some(p) = group.program() {
+            println!("  shared program: {p}");
+        }
+        for member in group.members() {
+            println!("  {member}");
+        }
+    }
+
+    // Step 3: a human (here: hard-coded approvals) confirms the good groups and
+    // they are applied to the clusters.
+    let mut engine = ReplacementEngine::new(clusters, &CandidateConfig::full_value_only());
+    for group in &groups {
+        // Approve groups whose right-hand sides look like the canonical
+        // "First Last" format.
+        let canonical = group
+            .members()
+            .iter()
+            .all(|r| !r.rhs().contains(',') && !r.rhs().contains('.'));
+        if canonical && group.size() >= 2 {
+            let updated = engine.apply_group(group.members(), Direction::Forward);
+            println!("\napproved group ({} members) -> {updated} cells updated", group.size());
+        }
+    }
+
+    println!("\nstandardized clusters:");
+    for (i, cluster) in engine.values().iter().enumerate() {
+        println!("  cluster {i}: {cluster:?}");
+    }
+}

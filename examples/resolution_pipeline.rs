@@ -1,0 +1,76 @@
+//! End-to-end pipeline starting from *unclustered* records: entity resolution
+//! (blocking + similarity matching + transitive closure) produces the clusters
+//! of duplicates, then entity consolidation standardizes the variant values
+//! and builds one golden record per entity.
+//!
+//! Run with `cargo run --example resolution_pipeline`.
+
+use entity_consolidation::prelude::*;
+use entity_consolidation::resolution::{BlockingConfig, ColumnRule};
+
+fn main() {
+    // Raw records from three "sources" describing two people plus a loner —
+    // no cluster information anywhere.
+    let records = vec![
+        RawRecord::new(0, ["Mary Lee", "9 St, 02141 Wisconsin"]),
+        RawRecord::new(1, ["M. Lee", "9th St, 02141 WI"]),
+        RawRecord::new(2, ["Lee, Mary", "9 Street, 02141 WI"]),
+        RawRecord::new(0, ["Smith, James", "5th St, 22701 California"]),
+        RawRecord::new(1, ["James Smith", "3rd E Ave, 33990 California"]),
+        RawRecord::new(2, ["J. Smith", "3 E Avenue, 33990 CA"]),
+        RawRecord::new(1, ["Alice Wonder", "42 Rabbit Hole Ln, 10001 NY"]),
+    ];
+
+    // Step 1: entity resolution. Names are compared as token sets (order
+    // independent, so "Lee, Mary" matches "Mary Lee"), addresses with q-gram
+    // cosine similarity, and the two scores are averaged.
+    let resolver = Resolver::new(ResolverConfig {
+        rules: vec![
+            ColumnRule { column: 0, measure: SimilarityMeasure::Jaccard, weight: 1.0 },
+            ColumnRule { column: 1, measure: SimilarityMeasure::QgramCosine(2), weight: 1.0 },
+        ],
+        threshold: 0.5,
+        blocking: BlockingConfig::default(),
+        ..ResolverConfig::default()
+    });
+    let mut dataset = resolver.resolve_to_dataset(
+        "resolved-people",
+        vec!["Name".to_string(), "Address".to_string()],
+        &records,
+        None,
+    );
+    println!("entity resolution produced {} clusters:", dataset.clusters.len());
+    for (i, cluster) in dataset.clusters.iter().enumerate() {
+        println!("  cluster {i}:");
+        for row in &cluster.rows {
+            println!("    [source {}] {} | {}", row.source, row.cells[0].observed, row.cells[1].observed);
+        }
+    }
+
+    // Step 2: entity consolidation. A simulated reviewer approves the learned
+    // transformation groups (here ground truth equals the observed values, so
+    // we approve everything — on real data a human reviews each group).
+    let pipeline = Pipeline::new(ConsolidationConfig { budget: 30, ..Default::default() });
+    let mut oracle = ApproveAllOracle;
+    let report = pipeline.golden_records(&mut dataset, &mut oracle, TruthMethod::MajorityConsensus);
+
+    println!("\nafter consolidation:");
+    for (column_report, column) in report.columns.iter().zip(&dataset.columns) {
+        println!(
+            "  column {column}: {} candidates, {} groups reviewed, {} approved, {} cells updated",
+            column_report.candidates,
+            column_report.groups_reviewed,
+            column_report.groups_approved,
+            column_report.cells_updated
+        );
+    }
+
+    println!("\ngolden records:");
+    for (i, golden) in report.golden_records.iter().enumerate() {
+        let rendered: Vec<String> = golden
+            .iter()
+            .map(|g| g.clone().unwrap_or_else(|| "<unresolved>".to_string()))
+            .collect();
+        println!("  entity {i}: {}", rendered.join(" | "));
+    }
+}

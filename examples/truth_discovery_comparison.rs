@@ -1,0 +1,76 @@
+//! Comparing truth-discovery methods before and after variant-value
+//! standardization (the Table 8 effect, extended beyond majority consensus).
+//!
+//! The paper's point is that standardization is *orthogonal* to the choice of
+//! truth-discovery method: whatever resolves the remaining conflicts does
+//! better once variant renderings of the same value have been merged. This
+//! example measures golden-record precision for majority consensus, iterative
+//! source-reliability weighting, and an Accu-style model, each before and
+//! after standardization.
+//!
+//! Run with `cargo run --release --example truth_discovery_comparison`.
+
+use entity_consolidation::prelude::*;
+use entity_consolidation::truth::{accu_truth_discovery, AccuConfig, Claim};
+
+fn golden_precision_with<F>(dataset: &entity_consolidation::data::Dataset, resolve: F) -> f64
+where
+    F: Fn(&[Claim]) -> Option<String>,
+{
+    let truth: Vec<String> = dataset.clusters.iter().map(|c| c.golden[0].clone()).collect();
+    let produced: Vec<Option<String>> = dataset
+        .clusters
+        .iter()
+        .map(|cluster| {
+            let claims: Vec<Claim> = cluster
+                .rows
+                .iter()
+                .map(|r| Claim { value: r.cells[0].observed.clone(), source: r.source })
+                .collect();
+            resolve(&claims)
+        })
+        .collect();
+    golden_record_precision(&produced, &truth)
+}
+
+fn main() {
+    let dataset = PaperDataset::JournalTitle.generate(&GeneratorConfig {
+        num_clusters: 250,
+        seed: 31,
+        num_sources: 6,
+    });
+
+    // Standardize a copy with a 100-group budget.
+    let mut standardized = dataset.clone();
+    let pipeline = Pipeline::new(ConsolidationConfig { budget: 100, ..Default::default() });
+    let mut oracle = SimulatedOracle::for_column(&standardized, 0, 13);
+    pipeline.standardize_column(&mut standardized, 0, &mut oracle);
+
+    let majority = |claims: &[Claim]| {
+        let values: Vec<&str> = claims.iter().map(|c| c.value.as_str()).collect();
+        majority_consensus(&values).value
+    };
+    let reliability = |claims: &[Claim]| {
+        reliability_truth_discovery(&[claims.to_vec()], &Default::default())
+            .pop()
+            .and_then(|r| r.value)
+    };
+    let accu = |claims: &[Claim]| {
+        accu_truth_discovery(&[claims.to_vec()], &AccuConfig::default())
+            .pop()
+            .and_then(|r| r.value)
+    };
+
+    println!("golden-record precision (JournalTitle-style, 250 clusters)\n");
+    println!("{:<24} {:>10} {:>10}", "method", "before", "after");
+    for (name, f) in [
+        ("majority consensus", &majority as &dyn Fn(&[Claim]) -> Option<String>),
+        ("source reliability", &reliability),
+        ("Accu-style", &accu),
+    ] {
+        let before = golden_precision_with(&dataset, f);
+        let after = golden_precision_with(&standardized, f);
+        println!("{name:<24} {before:>10.3} {after:>10.3}");
+    }
+    println!("\nstandardization lifts every method — the contribution is orthogonal to the resolver.");
+}

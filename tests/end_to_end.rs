@@ -1,0 +1,206 @@
+//! Workspace-level integration tests: the whole pipeline, spanning every crate.
+
+use entity_consolidation::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's running example (Table 1 → Table 2): after learning and
+/// approving groups, every cluster's Name values agree.
+#[test]
+fn table1_to_table2_standardization() {
+    let clusters: Vec<Vec<String>> = vec![
+        vec!["Mary Lee".into(), "M. Lee".into(), "Lee, Mary".into()],
+        vec!["Smith, James".into(), "James Smith".into(), "J. Smith".into()],
+    ];
+    let candidates = generate_candidates(&clusters, &CandidateConfig::full_value_only());
+    assert_eq!(candidates.len(), 12, "Section 3: 12 candidate replacements");
+
+    let mut grouper = StructuredGrouper::new(&candidates.replacements, GroupingConfig::default());
+    let groups = grouper.all_groups();
+    assert_eq!(groups.iter().map(|g| g.size()).sum::<usize>(), 12);
+
+    // Approve every group whose right-hand sides are in canonical "First Last"
+    // form, as the paper's expert would.
+    let mut engine = ReplacementEngine::new(clusters, &CandidateConfig::full_value_only());
+    for group in &groups {
+        let canonical = group
+            .members()
+            .iter()
+            .all(|r| !r.rhs().contains(',') && !r.rhs().contains('.'));
+        if canonical {
+            engine.apply_group(group.members(), Direction::Forward);
+        }
+    }
+    let values = engine.into_values();
+    assert!(values[0].iter().all(|v| v == "Mary Lee"), "{values:?}");
+    assert!(values[1].iter().all(|v| v == "James Smith"), "{values:?}");
+}
+
+/// Every learned group's program really maps each member's lhs to its rhs —
+/// the core soundness invariant across DSL, graphs, index and grouping.
+#[test]
+fn learned_programs_are_sound_on_generated_data() {
+    let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+        num_clusters: 30,
+        seed: 13,
+        num_sources: 4,
+    });
+    let candidates = generate_candidates(&dataset.column_values(0), &CandidateConfig::default());
+    let mut grouper = StructuredGrouper::new(&candidates.replacements, GroupingConfig::default());
+    let groups = grouper.top_groups(25);
+    assert!(!groups.is_empty());
+    for group in &groups {
+        if let Some(program) = group.program() {
+            for member in group.members() {
+                let ctx = StrCtx::new(member.lhs());
+                assert!(
+                    program.consistent_with(&ctx, member.rhs()),
+                    "group program {program} is inconsistent with member {member}"
+                );
+            }
+        }
+    }
+    // Groups come out largest-first.
+    for w in groups.windows(2) {
+        assert!(w[0].size() >= w[1].size());
+    }
+}
+
+/// The full pipeline on all three paper datasets: precision stays high, recall
+/// becomes non-trivial, and majority-consensus golden records improve.
+#[test]
+fn full_pipeline_improves_all_three_datasets() {
+    for kind in PaperDataset::ALL {
+        let config = GeneratorConfig {
+            num_clusters: match kind {
+                PaperDataset::AuthorList => 25,
+                PaperDataset::Address => 60,
+                PaperDataset::JournalTitle => 120,
+            },
+            seed: 31,
+            num_sources: 5,
+        };
+        let mut dataset = kind.generate(&config);
+        let truth: Vec<String> = dataset.clusters.iter().map(|c| c.golden[0].clone()).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let sample = dataset.sample_labeled_pairs(0, 500, &mut rng);
+
+        let pipeline = Pipeline::new(ConsolidationConfig { budget: 50, ..Default::default() });
+        let before_goldens =
+            pipeline.discover_golden_records(&dataset, TruthMethod::MajorityConsensus);
+        let before_mc = golden_record_precision(
+            &before_goldens.iter().map(|g| g[0].clone()).collect::<Vec<_>>(),
+            &truth,
+        );
+
+        let mut oracle = SimulatedOracle::for_column(&dataset, 0, 17);
+        let report = pipeline.standardize_column(&mut dataset, 0, &mut oracle);
+        assert!(report.groups_approved > 0, "{}: nothing approved", kind.name());
+
+        let counts = evaluate_standardization(&sample, &dataset.column_values(0));
+        assert!(
+            counts.precision() > 0.9,
+            "{}: precision too low: {counts:?}",
+            kind.name()
+        );
+        assert!(
+            counts.recall() > 0.2,
+            "{}: recall too low: {counts:?}",
+            kind.name()
+        );
+
+        let after_goldens =
+            pipeline.discover_golden_records(&dataset, TruthMethod::MajorityConsensus);
+        let after_mc = golden_record_precision(
+            &after_goldens.iter().map(|g| g[0].clone()).collect::<Vec<_>>(),
+            &truth,
+        );
+        assert!(
+            after_mc >= before_mc,
+            "{}: MC precision regressed: {before_mc} -> {after_mc}",
+            kind.name()
+        );
+    }
+}
+
+/// The affix ablation (Figure 10): with affix labels enabled, recall at a fixed
+/// budget is at least as high as without them.
+#[test]
+fn affix_functions_do_not_hurt_recall() {
+    let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+        num_clusters: 50,
+        seed: 23,
+        num_sources: 4,
+    });
+    let mut rng = StdRng::seed_from_u64(5);
+    let sample = dataset.sample_labeled_pairs(0, 400, &mut rng);
+    let budget = 40;
+
+    let mut recalls = Vec::new();
+    for grouping in [GroupingConfig::default(), GroupingConfig::without_affix()] {
+        let mut ds = dataset.clone();
+        let pipeline = Pipeline::new(ConsolidationConfig {
+            budget,
+            grouping,
+            ..Default::default()
+        });
+        let mut oracle = SimulatedOracle::for_column(&ds, 0, 3);
+        pipeline.standardize_column(&mut ds, 0, &mut oracle);
+        recalls.push(evaluate_standardization(&sample, &ds.column_values(0)).recall());
+    }
+    assert!(
+        recalls[0] >= recalls[1],
+        "affix recall {} must be >= no-affix recall {}",
+        recalls[0],
+        recalls[1]
+    );
+}
+
+/// Incremental and one-shot grouping agree on the group-size profile for a
+/// realistic workload (Theorem 6.4 at system level).
+#[test]
+fn incremental_and_one_shot_agree_on_generated_data() {
+    let dataset = PaperDataset::JournalTitle.generate(&GeneratorConfig {
+        num_clusters: 120,
+        seed: 37,
+        num_sources: 4,
+    });
+    let candidates = generate_candidates(&dataset.column_values(0), &CandidateConfig::default());
+    let incremental: usize = StructuredGrouper::new(&candidates.replacements, GroupingConfig::default())
+        .all_groups()
+        .iter()
+        .map(|g| g.size())
+        .sum();
+    let one_shot: usize =
+        StructuredGrouper::one_shot_all(&candidates.replacements, GroupingConfig::default())
+            .iter()
+            .map(|g| g.size())
+            .sum();
+    assert_eq!(incremental, one_shot, "both cover every replacement exactly once");
+
+    let incr_first = StructuredGrouper::new(&candidates.replacements, GroupingConfig::default())
+        .next_group()
+        .unwrap()
+        .size();
+    let oneshot_first = StructuredGrouper::one_shot_all(&candidates.replacements, GroupingConfig::default())[0].size();
+    assert_eq!(incr_first, oneshot_first, "the largest group has the same size either way");
+}
+
+/// The simulated oracle is robust to small error rates: a noisy oracle still
+/// yields usable precision (the paper's "robust to small numbers of errors").
+#[test]
+fn pipeline_is_robust_to_oracle_noise() {
+    let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+        num_clusters: 40,
+        seed: 41,
+        num_sources: 4,
+    });
+    let mut rng = StdRng::seed_from_u64(11);
+    let sample = dataset.sample_labeled_pairs(0, 300, &mut rng);
+    let mut ds = dataset.clone();
+    let pipeline = Pipeline::new(ConsolidationConfig { budget: 40, ..Default::default() });
+    let mut noisy = SimulatedOracle::for_column(&ds, 0, 19).with_error_rate(0.05);
+    pipeline.standardize_column(&mut ds, 0, &mut noisy);
+    let counts = evaluate_standardization(&sample, &ds.column_values(0));
+    assert!(counts.precision() > 0.8, "noisy oracle precision too low: {counts:?}");
+}

@@ -1,0 +1,148 @@
+//! Integration tests spanning entity resolution (ec-resolution) and the
+//! consolidation pipeline: raw records in, golden records out.
+
+use entity_consolidation::prelude::*;
+use entity_consolidation::resolution::{BlockingConfig, BlockingScheme, ColumnRule};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Flattens a generated (clustered) dataset into raw records, shuffles them,
+/// and returns the records together with their ground-truth values.
+fn flatten_and_shuffle(
+    dataset: &entity_consolidation::data::Dataset,
+    seed: u64,
+) -> (Vec<RawRecord>, Vec<Vec<String>>) {
+    let mut rows: Vec<(RawRecord, Vec<String>)> = dataset
+        .clusters
+        .iter()
+        .flat_map(|cluster| {
+            cluster.rows.iter().map(|row| {
+                (
+                    RawRecord {
+                        source: row.source,
+                        fields: row.cells.iter().map(|c| c.observed.clone()).collect(),
+                    },
+                    row.cells.iter().map(|c| c.truth.clone()).collect::<Vec<_>>(),
+                )
+            })
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    rows.shuffle(&mut rng);
+    rows.into_iter().unzip()
+}
+
+#[test]
+fn resolver_rebuilds_clusters_for_table1_style_records() {
+    let records = vec![
+        RawRecord::new(0, ["Mary Lee", "9 St, 02141 Wisconsin"]),
+        RawRecord::new(1, ["M. Lee", "9th St, 02141 WI"]),
+        RawRecord::new(2, ["Lee, Mary", "9 Street, 02141 WI"]),
+        RawRecord::new(0, ["Smith, James", "5th St, 22701 California"]),
+        RawRecord::new(1, ["James Smith", "3rd E Ave, 33990 California"]),
+        RawRecord::new(2, ["J. Smith", "3 E Avenue, 33990 CA"]),
+    ];
+    let resolver = Resolver::new(ResolverConfig {
+        rules: vec![
+            ColumnRule { column: 0, measure: SimilarityMeasure::Jaccard, weight: 1.0 },
+            ColumnRule { column: 1, measure: SimilarityMeasure::QgramCosine(2), weight: 1.0 },
+        ],
+        threshold: 0.5,
+        ..ResolverConfig::default()
+    });
+    let clusters = resolver.resolve(&records);
+    assert_eq!(clusters.len(), 2, "exactly the Lee and Smith entities: {clusters:?}");
+    assert!(clusters.iter().any(|c| c.contains(&0) && c.contains(&1) && c.contains(&2)));
+    assert!(clusters.iter().any(|c| c.contains(&3) && c.contains(&4) && c.contains(&5)));
+}
+
+#[test]
+fn raw_records_to_golden_records_end_to_end() {
+    // Start from a generated Address dataset but throw the clustering away.
+    let reference = PaperDataset::Address.generate(&GeneratorConfig {
+        num_clusters: 25,
+        seed: 41,
+        num_sources: 4,
+    });
+    let (records, truths) = flatten_and_shuffle(&reference, 9);
+
+    // Addresses of the same entity share street/zip tokens; match on q-grams.
+    let resolver = Resolver::new(ResolverConfig {
+        rules: vec![ColumnRule { column: 0, measure: SimilarityMeasure::QgramCosine(2), weight: 1.0 }],
+        threshold: 0.62,
+        scheme: BlockingScheme::Both,
+        blocking: BlockingConfig::default(),
+    });
+    let mut dataset =
+        resolver.resolve_to_dataset("resolved-address", vec!["Address".to_string()], &records, Some(&truths));
+    assert_eq!(dataset.num_records(), records.len(), "resolution must not drop records");
+
+    // Consolidate whatever clustering resolution produced.
+    let pipeline = Pipeline::new(ConsolidationConfig { budget: 40, ..Default::default() });
+    let mut oracle = SimulatedOracle::for_column(&dataset, 0, 3);
+    let report = pipeline.golden_records(&mut dataset, &mut oracle, TruthMethod::MajorityConsensus);
+    assert_eq!(report.golden_records.len(), dataset.clusters.len());
+    // Standardization must have done something on a dataset full of variants.
+    assert!(report.columns[0].cells_updated > 0);
+}
+
+#[test]
+fn resolution_quality_pair_level() {
+    // Pairwise precision/recall of the resolver against the generator's
+    // entity assignment, using the Name-free Address dataset.
+    let reference = PaperDataset::AuthorList.generate(&GeneratorConfig {
+        num_clusters: 20,
+        seed: 17,
+        num_sources: 3,
+    });
+    // Record the true entity of each flattened record.
+    let mut records = Vec::new();
+    let mut entity_of = Vec::new();
+    for (entity, cluster) in reference.clusters.iter().enumerate() {
+        for row in &cluster.rows {
+            records.push(RawRecord {
+                source: row.source,
+                fields: vec![row.cells[0].observed.clone()],
+            });
+            entity_of.push(entity);
+        }
+    }
+    let resolver = Resolver::new(ResolverConfig {
+        rules: vec![ColumnRule { column: 0, measure: SimilarityMeasure::Jaccard, weight: 1.0 }],
+        threshold: 0.55,
+        ..ResolverConfig::default()
+    });
+    let clusters = resolver.resolve(&records);
+    // Compute pairwise true/false positives over all intra-cluster pairs.
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for cluster in &clusters {
+        for (i, &a) in cluster.iter().enumerate() {
+            for &b in cluster.iter().skip(i + 1) {
+                if entity_of[a] == entity_of[b] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+    }
+    if tp + fp > 0 {
+        let precision = tp as f64 / (tp + fp) as f64;
+        assert!(precision > 0.8, "pairwise precision too low: {precision}");
+    }
+    assert!(tp > 0, "the resolver must link at least some true duplicates");
+}
+
+#[test]
+fn resolver_is_deterministic() {
+    let reference = PaperDataset::JournalTitle.generate(&GeneratorConfig {
+        num_clusters: 15,
+        seed: 5,
+        num_sources: 3,
+    });
+    let (records, _) = flatten_and_shuffle(&reference, 1);
+    let resolver = Resolver::default();
+    assert_eq!(resolver.resolve(&records), resolver.resolve(&records));
+}

@@ -1,0 +1,175 @@
+//! Robustness and failure-injection tests: noisy oracles, degenerate inputs,
+//! unicode values, and pathological configurations must not panic and must
+//! degrade gracefully.
+
+use entity_consolidation::prelude::*;
+use entity_consolidation::data::{Cell, Cluster, Dataset, Row};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cell(observed: &str, truth: &str) -> Cell {
+    Cell { observed: observed.to_string(), truth: truth.to_string() }
+}
+
+fn dataset_with_clusters(clusters: Vec<Vec<(&str, &str)>>) -> Dataset {
+    let mut d = Dataset::new("adhoc", vec!["v".to_string()]);
+    for rows in clusters {
+        let golden = rows.first().map(|(_, t)| t.to_string()).unwrap_or_default();
+        d.clusters.push(Cluster {
+            rows: rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, (o, t))| Row { source: i, cells: vec![cell(o, t)] })
+                .collect(),
+            golden: vec![golden],
+        });
+    }
+    d
+}
+
+#[test]
+fn empty_dataset_and_empty_clusters_do_not_panic() {
+    let mut empty = Dataset::new("empty", vec!["v".to_string()]);
+    let pipeline = Pipeline::default();
+    let report = pipeline.golden_records(&mut empty, &mut ApproveAllOracle, TruthMethod::MajorityConsensus);
+    assert!(report.golden_records.is_empty());
+
+    let mut degenerate = dataset_with_clusters(vec![vec![], vec![("only", "only")]]);
+    let report =
+        pipeline.golden_records(&mut degenerate, &mut ApproveAllOracle, TruthMethod::MajorityConsensus);
+    assert_eq!(report.golden_records.len(), 2);
+    assert_eq!(report.golden_records[1][0].as_deref(), Some("only"));
+}
+
+#[test]
+fn clusters_with_identical_values_generate_no_candidates() {
+    let mut d = dataset_with_clusters(vec![
+        vec![("same", "same"), ("same", "same"), ("same", "same")],
+        vec![("also same", "also same"), ("also same", "also same")],
+    ]);
+    let pipeline = Pipeline::default();
+    let report = pipeline.standardize_column(&mut d, 0, &mut ApproveAllOracle);
+    assert_eq!(report.candidates, 0);
+    assert_eq!(report.groups_reviewed, 0);
+    assert_eq!(report.cells_updated, 0);
+}
+
+#[test]
+fn unicode_values_are_handled() {
+    let mut d = dataset_with_clusters(vec![
+        vec![("Müller, Jürgen", "Jürgen Müller"), ("Jürgen Müller", "Jürgen Müller")],
+        vec![("東京 大学", "東京大学"), ("東京大学", "東京大学")],
+        vec![("naïve café", "naïve café"), ("naive cafe", "naïve café")],
+    ]);
+    let pipeline = Pipeline::new(ConsolidationConfig { budget: 20, ..Default::default() });
+    // Must not panic on multi-byte characters anywhere in the DSL/graph stack.
+    let report = pipeline.standardize_column(&mut d, 0, &mut ApproveAllOracle);
+    assert!(report.candidates > 0);
+}
+
+#[test]
+fn zero_budget_changes_nothing() {
+    let mut d = PaperDataset::Address.generate(&GeneratorConfig {
+        num_clusters: 10,
+        seed: 2,
+        num_sources: 3,
+    });
+    let before = d.clone();
+    let pipeline = Pipeline::new(ConsolidationConfig { budget: 0, ..Default::default() });
+    let report = pipeline.standardize_column(&mut d, 0, &mut ApproveAllOracle);
+    assert_eq!(report.groups_reviewed, 0);
+    assert_eq!(d, before);
+}
+
+#[test]
+fn noisy_oracle_degrades_gracefully() {
+    // The paper: "our method is robust to small numbers of errors". With a 10%
+    // verdict-flip rate the precision must stay high and recall must stay well
+    // above the do-nothing baseline.
+    let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+        num_clusters: 40,
+        seed: 8,
+        num_sources: 4,
+    });
+    let mut rng = StdRng::seed_from_u64(4);
+    let sample = dataset.sample_labeled_pairs(0, 400, &mut rng);
+    let pipeline = Pipeline::new(ConsolidationConfig { budget: 40, ..Default::default() });
+
+    let mut clean = dataset.clone();
+    let mut clean_oracle = SimulatedOracle::for_column(&clean, 0, 5);
+    pipeline.standardize_column(&mut clean, 0, &mut clean_oracle);
+    let clean_counts = evaluate_standardization(&sample, &clean.column_values(0));
+
+    let mut noisy = dataset.clone();
+    let mut noisy_oracle = SimulatedOracle::for_column(&noisy, 0, 5).with_error_rate(0.1);
+    pipeline.standardize_column(&mut noisy, 0, &mut noisy_oracle);
+    let noisy_counts = evaluate_standardization(&sample, &noisy.column_values(0));
+
+    assert!(noisy_counts.recall() >= clean_counts.recall() * 0.5,
+        "10% oracle noise should not halve recall: clean {clean_counts:?}, noisy {noisy_counts:?}");
+    assert!(noisy_counts.precision() >= 0.8,
+        "precision should stay high under noise: {noisy_counts:?}");
+}
+
+#[test]
+fn hostile_oracle_cannot_corrupt_more_than_it_approves() {
+    // With full-value replacements, even an approve-everything oracle can only
+    // rewrite cells to values that already exist in the same cluster
+    // (Section 7.1), so the set of values per cluster never grows. (Token-level
+    // replacements legitimately synthesize new renderings, so they are not part
+    // of this closure property.)
+    let dataset = PaperDataset::JournalTitle.generate(&GeneratorConfig {
+        num_clusters: 20,
+        seed: 77,
+        num_sources: 4,
+    });
+    let mut standardized = dataset.clone();
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget: 30,
+        candidates: CandidateConfig::full_value_only(),
+        ..Default::default()
+    });
+    pipeline.standardize_column(&mut standardized, 0, &mut ApproveAllOracle);
+    for (before, after) in dataset.clusters.iter().zip(&standardized.clusters) {
+        let before_values: std::collections::HashSet<&str> =
+            before.rows.iter().map(|r| r.cells[0].observed.as_str()).collect();
+        for row in &after.rows {
+            assert!(
+                before_values.contains(row.cells[0].observed.as_str()),
+                "cell was rewritten to a value that never existed in its cluster: {}",
+                row.cells[0].observed
+            );
+        }
+    }
+}
+
+#[test]
+fn approval_threshold_and_direction_are_respected() {
+    // An oracle with threshold 1.0 only approves groups whose every member is
+    // a variant pair; precision must then be essentially perfect.
+    let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+        num_clusters: 30,
+        seed: 55,
+        num_sources: 4,
+    });
+    let mut rng = StdRng::seed_from_u64(6);
+    let sample = dataset.sample_labeled_pairs(0, 300, &mut rng);
+    let mut working = dataset.clone();
+    let pipeline = Pipeline::new(ConsolidationConfig { budget: 40, ..Default::default() });
+    let mut strict = SimulatedOracle::for_column(&working, 0, 9).with_approval_threshold(1.0);
+    pipeline.standardize_column(&mut working, 0, &mut strict);
+    let counts = evaluate_standardization(&sample, &working.column_values(0));
+    assert!(counts.precision() > 0.97, "{counts:?}");
+}
+
+#[test]
+fn single_record_clusters_are_inert() {
+    let mut d = dataset_with_clusters(vec![
+        vec![("lonely", "lonely")],
+        vec![("also lonely", "also lonely")],
+    ]);
+    let pipeline = Pipeline::default();
+    let report = pipeline.golden_records(&mut d, &mut ApproveAllOracle, TruthMethod::MajorityConsensus);
+    assert_eq!(report.columns[0].candidates, 0);
+    assert_eq!(report.golden_records[0][0].as_deref(), Some("lonely"));
+}
