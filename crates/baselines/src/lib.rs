@@ -52,7 +52,10 @@ mod tests {
         // Street<->St replacements are supported by two cells, Avenue<->Ave by one.
         assert!(groups[0].members()[0].lhs().contains("St"));
         assert_eq!(candidates.set(&groups[0].members()[0]).len(), 2);
-        assert_eq!(candidates.set(&groups.last().unwrap().members()[0]).len(), 1);
+        assert_eq!(
+            candidates.set(&groups.last().unwrap().members()[0]).len(),
+            1
+        );
     }
 
     #[test]

@@ -135,7 +135,8 @@ fn transpose_comma_names(value: &str) -> String {
 fn looks_like_name(s: &str) -> bool {
     !s.is_empty()
         && s.split_whitespace().count() <= 2
-        && s.chars().all(|c| c.is_alphabetic() || c.is_whitespace() || c == '.')
+        && s.chars()
+            .all(|c| c.is_alphabetic() || c.is_whitespace() || c == '.')
 }
 
 /// An ordered list of rules applied left to right to every cell value.
@@ -211,7 +212,10 @@ pub mod rule_sets {
             ("Michael", "Mike"),
             ("Thomas", "Tom"),
         ] {
-            rules.push(Rule::ReplaceToken { from: nick.to_string(), to: full.to_string() });
+            rules.push(Rule::ReplaceToken {
+                from: nick.to_string(),
+                to: full.to_string(),
+            });
         }
         rules.push(Rule::NormalizeWhitespace);
         RuleSet::new(rules)
@@ -229,7 +233,10 @@ pub mod rule_sets {
             ("Drive", "Dr"),
             ("Lane", "Ln"),
         ] {
-            rules.push(Rule::ReplaceToken { from: abbrev.to_string(), to: full.to_string() });
+            rules.push(Rule::ReplaceToken {
+                from: abbrev.to_string(),
+                to: full.to_string(),
+            });
         }
         for (full, abbrev) in [
             ("California", "CA"),
@@ -238,7 +245,10 @@ pub mod rule_sets {
             ("Florida", "FL"),
             ("Illinois", "IL"),
         ] {
-            rules.push(Rule::ReplaceToken { from: full.to_string(), to: abbrev.to_string() });
+            rules.push(Rule::ReplaceToken {
+                from: full.to_string(),
+                to: abbrev.to_string(),
+            });
         }
         rules.push(Rule::NormalizeWhitespace);
         RuleSet::new(rules)
@@ -259,7 +269,10 @@ pub mod rule_sets {
             ("Annals", "Ann."),
             ("Bulletin", "Bull."),
         ] {
-            rules.push(Rule::ReplaceToken { from: abbrev.to_string(), to: full.to_string() });
+            rules.push(Rule::ReplaceToken {
+                from: abbrev.to_string(),
+                to: full.to_string(),
+            });
         }
         rules.push(Rule::Lowercase);
         rules.push(Rule::NormalizeWhitespace);
@@ -273,7 +286,10 @@ mod tests {
 
     #[test]
     fn replace_token_respects_token_boundaries_and_punctuation() {
-        let r = Rule::ReplaceToken { from: "St".into(), to: "Street".into() };
+        let r = Rule::ReplaceToken {
+            from: "St".into(),
+            to: "Street".into(),
+        };
         assert_eq!(r.apply("9th St, 02141 WI"), "9th Street, 02141 WI");
         // "Stone" is not the token "St".
         assert_eq!(r.apply("Stone St"), "Stone Street");
@@ -311,14 +327,20 @@ mod tests {
 
     #[test]
     fn lowercase_and_whitespace() {
-        assert_eq!(Rule::Lowercase.apply("Journal OF Things"), "journal of things");
+        assert_eq!(
+            Rule::Lowercase.apply("Journal OF Things"),
+            "journal of things"
+        );
         assert_eq!(Rule::NormalizeWhitespace.apply("  a   b  "), "a b");
     }
 
     #[test]
     fn rule_set_applies_in_order_and_counts_changes() {
         let rs = rule_sets::address();
-        assert!(rs.len() >= 10, "a realistic wrangler script has a dozen-plus rules");
+        assert!(
+            rs.len() >= 10,
+            "a realistic wrangler script has a dozen-plus rules"
+        );
         let (updated, changed) = rs.apply_column(&[vec![
             "9 Main St, 02141 Wisconsin".to_string(),
             "9th Main Street, 02141 WI".to_string(),
@@ -340,7 +362,10 @@ mod tests {
     fn journal_rule_set_normalises_abbreviations_and_case() {
         let rs = rule_sets::journal_title();
         assert_eq!(rs.apply("J. Computer Science"), "journal computer science");
-        assert_eq!(rs.apply("Journal of Computer Science"), "journal of computer science");
+        assert_eq!(
+            rs.apply("Journal of Computer Science"),
+            "journal of computer science"
+        );
     }
 
     #[test]

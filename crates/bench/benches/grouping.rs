@@ -3,10 +3,10 @@
 //! incremental next-largest-group call.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use ec_data::{GeneratorConfig, PaperDataset};
 use ec_grouping::{GroupingConfig, StructuredGrouper};
 use ec_replace::{generate_candidates, CandidateConfig};
+use std::time::Duration;
 
 fn candidate_replacements(num_clusters: usize) -> Vec<ec_graph::Replacement> {
     let dataset = PaperDataset::Address.generate(&GeneratorConfig {

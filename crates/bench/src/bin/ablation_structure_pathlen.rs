@@ -37,12 +37,18 @@ fn main() {
     run("default (structure, path<=6)", GroupingConfig::default());
     run(
         "no structure refinement",
-        GroupingConfig { structure_refinement: false, ..GroupingConfig::default() },
+        GroupingConfig {
+            structure_refinement: false,
+            ..GroupingConfig::default()
+        },
     );
     for len in [3usize, 4, 6, 8] {
         run(
             &format!("max path length = {len}"),
-            GroupingConfig { max_path_len: len, ..GroupingConfig::default() },
+            GroupingConfig {
+                max_path_len: len,
+                ..GroupingConfig::default()
+            },
         );
     }
     run("no affix labels", GroupingConfig::without_affix());

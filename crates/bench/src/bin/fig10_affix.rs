@@ -14,7 +14,8 @@ fn main() {
         println!("=== {} ===", kind.name());
         let affix = group_method_series(&dataset, GroupingConfig::default(), &cps, &sample, 7);
         print_series("Affix", &affix);
-        let noaffix = group_method_series(&dataset, GroupingConfig::without_affix(), &cps, &sample, 7);
+        let noaffix =
+            group_method_series(&dataset, GroupingConfig::without_affix(), &cps, &sample, 7);
         print_series("NoAffix", &noaffix);
         let last_affix = affix.last().unwrap();
         let last_noaffix = noaffix.last().unwrap();

@@ -32,6 +32,8 @@ fn main() {
         );
         println!();
     }
-    println!("paper reference points: Address @100 groups -> Group recall ≈ 0.75, precision ≈ 0.995;");
+    println!(
+        "paper reference points: Address @100 groups -> Group recall ≈ 0.75, precision ≈ 0.995;"
+    );
     println!("JournalTitle @100 groups -> recall Group ≈ 0.66, Trifacta ≈ 0.38, Single ≈ 0.12.");
 }

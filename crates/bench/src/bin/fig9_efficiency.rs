@@ -16,9 +16,33 @@ fn main() {
     // Scaled-down configurations so the (intentionally slow) OneShot variant
     // finishes in reasonable time.
     let configs = [
-        (PaperDataset::AuthorList, GeneratorConfig { num_clusters: 30, seed: 1, num_sources: 6 }, 50usize),
-        (PaperDataset::Address, GeneratorConfig { num_clusters: 120, seed: 2, num_sources: 6 }, 50),
-        (PaperDataset::JournalTitle, GeneratorConfig { num_clusters: 250, seed: 3, num_sources: 6 }, 50),
+        (
+            PaperDataset::AuthorList,
+            GeneratorConfig {
+                num_clusters: 30,
+                seed: 1,
+                num_sources: 6,
+            },
+            50usize,
+        ),
+        (
+            PaperDataset::Address,
+            GeneratorConfig {
+                num_clusters: 120,
+                seed: 2,
+                num_sources: 6,
+            },
+            50,
+        ),
+        (
+            PaperDataset::JournalTitle,
+            GeneratorConfig {
+                num_clusters: 250,
+                seed: 3,
+                num_sources: 6,
+            },
+            50,
+        ),
     ];
     for (kind, gen_config, k) in configs {
         let dataset = kind.generate(&gen_config);
@@ -76,7 +100,10 @@ fn main() {
             incremental_total
         );
         let speedup = oneshot_upfront.as_secs_f64()
-            / first_group_time.unwrap_or(incremental_total).as_secs_f64().max(1e-9);
+            / first_group_time
+                .unwrap_or(incremental_total)
+                .as_secs_f64()
+                .max(1e-9);
         println!(
             "=> upfront-cost ratio OneShot / Incremental-first-group: {speedup:.0}x (EarlyTerm / OneShot: {:.2}x faster)\n",
             oneshot_upfront.as_secs_f64() / earlyterm_upfront.as_secs_f64().max(1e-9)

@@ -8,7 +8,13 @@ fn main() {
     println!("Table 6 — dataset details (generated datasets vs. paper)");
     println!(
         "{:<14} {:>9} {:>9} {:>22} {:>16} {:>12} {:>12}",
-        "dataset", "clusters", "records", "cluster size avg/min/max", "distinct pairs", "variant %", "conflict %"
+        "dataset",
+        "clusters",
+        "records",
+        "cluster size avg/min/max",
+        "distinct pairs",
+        "variant %",
+        "conflict %"
     );
     let paper = [
         ("AuthorList", 26.9, 51_538, 26.5, 73.5),

@@ -6,7 +6,10 @@ use ec_data::PaperDataset;
 
 fn main() {
     println!("Table 8 — majority-consensus golden-record precision");
-    println!("{:<14} {:>10} {:>10} {:>22}", "dataset", "before", "after", "paper (before -> after)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>22}",
+        "dataset", "before", "after", "paper (before -> after)"
+    );
     let paper = [(0.51, 0.65), (0.32, 0.47), (0.335, 0.84)];
     for (kind, (p_before, p_after)) in PaperDataset::ALL.into_iter().zip(paper) {
         let dataset = kind.generate(&kind.default_config());

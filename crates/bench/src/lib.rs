@@ -141,11 +141,21 @@ pub fn trifacta_point(
 /// Majority-consensus golden-record precision before/after standardization
 /// (Table 8) on column 0.
 pub fn table8_point(dataset: &Dataset, budget: usize, oracle_seed: u64) -> (f64, f64) {
-    let truth: Vec<String> = dataset.clusters.iter().map(|c| c.golden[0].clone()).collect();
-    let pipeline = Pipeline::new(ConsolidationConfig { budget, ..Default::default() });
+    let truth: Vec<String> = dataset
+        .clusters
+        .iter()
+        .map(|c| c.golden[0].clone())
+        .collect();
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget,
+        ..Default::default()
+    });
     let before_goldens = pipeline.discover_golden_records(dataset, TruthMethod::MajorityConsensus);
     let before = golden_record_precision(
-        &before_goldens.iter().map(|g| g[0].clone()).collect::<Vec<_>>(),
+        &before_goldens
+            .iter()
+            .map(|g| g[0].clone())
+            .collect::<Vec<_>>(),
         &truth,
     );
     let mut standardized = dataset.clone();
@@ -154,7 +164,10 @@ pub fn table8_point(dataset: &Dataset, budget: usize, oracle_seed: u64) -> (f64,
     let after_goldens =
         pipeline.discover_golden_records(&standardized, TruthMethod::MajorityConsensus);
     let after = golden_record_precision(
-        &after_goldens.iter().map(|g| g[0].clone()).collect::<Vec<_>>(),
+        &after_goldens
+            .iter()
+            .map(|g| g[0].clone())
+            .collect::<Vec<_>>(),
         &truth,
     );
     (before, after)
@@ -247,8 +260,16 @@ mod probe {
         });
         let t0 = Instant::now();
         let candidates = generate_candidates(&ds.column_values(0), &CandidateConfig::default());
-        println!("candidates: {} in {:?}", candidates.replacements.len(), t0.elapsed());
-        let lens: Vec<usize> = candidates.replacements.iter().map(|r| r.lhs().len().max(r.rhs().len())).collect();
+        println!(
+            "candidates: {} in {:?}",
+            candidates.replacements.len(),
+            t0.elapsed()
+        );
+        let lens: Vec<usize> = candidates
+            .replacements
+            .iter()
+            .map(|r| r.lhs().len().max(r.rhs().len()))
+            .collect();
         println!(
             "max len {} avg len {:.1}",
             lens.iter().max().unwrap(),
@@ -264,26 +285,44 @@ mod probe {
         }
         let mut sizes: Vec<usize> = by_struct.values().copied().collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
-        println!("structure partitions: {} largest: {:?}", sizes.len(), &sizes[..sizes.len().min(8)]);
+        println!(
+            "structure partitions: {} largest: {:?}",
+            sizes.len(),
+            &sizes[..sizes.len().min(8)]
+        );
         // Time graph preparation on the largest partition alone.
         let largest_struct = by_struct.iter().max_by_key(|(_, &c)| c).unwrap().0.clone();
         let largest: Vec<_> = candidates
             .replacements
             .iter()
             .filter(|r| {
-                ec_graph::structure::replacement_structure(r.lhs(), r.rhs()).to_string() == largest_struct
+                ec_graph::structure::replacement_structure(r.lhs(), r.rhs()).to_string()
+                    == largest_struct
             })
             .cloned()
             .collect();
-        println!("largest partition lhs/rhs example: {} -> {}", largest[0].lhs(), largest[0].rhs());
+        println!(
+            "largest partition lhs/rhs example: {} -> {}",
+            largest[0].lhs(),
+            largest[0].rhs()
+        );
         let tprep = Instant::now();
         let mut inc = ec_grouping::IncrementalGrouper::new(&largest, GroupingConfig::default());
-        println!("prepared largest partition ({} graphs) in {:?}", largest.len(), tprep.elapsed());
+        println!(
+            "prepared largest partition ({} graphs) in {:?}",
+            largest.len(),
+            tprep.elapsed()
+        );
         let tg = Instant::now();
         let g = inc.next_group();
-        println!("largest partition first group: {:?} in {:?}", g.map(|g| g.size()), tg.elapsed());
+        println!(
+            "largest partition first group: {:?} in {:?}",
+            g.map(|g| g.size()),
+            tg.elapsed()
+        );
         let t1 = Instant::now();
-        let mut grouper = StructuredGrouper::new(&candidates.replacements, GroupingConfig::default());
+        let mut grouper =
+            StructuredGrouper::new(&candidates.replacements, GroupingConfig::default());
         println!("grouper constructed in {:?}", t1.elapsed());
         for i in 0..5 {
             let t = Instant::now();

@@ -70,17 +70,22 @@ impl ParsedArgs {
 /// The flags each subcommand accepts: (value options, boolean switches).
 fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
     match command {
-        "generate" => Some((
-            &["dataset", "clusters", "seed", "sources", "output"],
-            &[],
-        )),
+        "generate" => Some((&["dataset", "clusters", "seed", "sources", "output"], &[])),
         "profile" => Some((&["input", "name"], &[])),
         "groups" => Some((
             &["input", "column", "top", "max-path-len"],
             &["no-affix", "no-structure"],
         )),
         "consolidate" => Some((
-            &["input", "column", "budget", "mode", "output", "golden", "truth-method"],
+            &[
+                "input",
+                "column",
+                "budget",
+                "mode",
+                "output",
+                "golden",
+                "truth-method",
+            ],
             &[],
         )),
         "resolve" => Some((&["input", "threshold", "output", "name"], &[])),
@@ -113,7 +118,9 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, CliError> {
     };
     while let Some(arg) = iter.next() {
         let Some(name) = arg.strip_prefix("--") else {
-            return Err(CliError::Usage(format!("unexpected positional argument '{arg}'")));
+            return Err(CliError::Usage(format!(
+                "unexpected positional argument '{arg}'"
+            )));
         };
         if switch_opts.contains(&name) {
             parsed.switches.insert(name.to_string());
@@ -176,7 +183,14 @@ mod tests {
     #[test]
     fn parses_subcommand_options_and_switches() {
         let p = parse(&args(&[
-            "groups", "--input", "data.csv", "--column", "Address", "--top", "5", "--no-affix",
+            "groups",
+            "--input",
+            "data.csv",
+            "--column",
+            "Address",
+            "--top",
+            "5",
+            "--no-affix",
         ]))
         .unwrap();
         assert_eq!(p.command, "groups");
@@ -220,7 +234,11 @@ mod tests {
     fn numeric_accessors_validate() {
         let p = parse(&args(&["generate", "--clusters", "abc"])).unwrap();
         assert!(p.get_usize("clusters", 10).is_err());
-        assert_eq!(p.get_usize("seed", 7).unwrap(), 7, "missing option falls back to default");
+        assert_eq!(
+            p.get_usize("seed", 7).unwrap(),
+            7,
+            "missing option falls back to default"
+        );
         let p = parse(&args(&["resolve", "--threshold", "0.8"])).unwrap();
         assert!((p.get_f64("threshold", 0.5).unwrap() - 0.8).abs() < 1e-9);
         assert!(parse(&args(&["resolve", "--threshold", "x"]))

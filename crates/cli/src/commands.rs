@@ -11,7 +11,9 @@ use crate::{CliError, CommandOutput};
 use ec_core::{
     ApproveAllOracle, ColumnReport, ConsolidationConfig, Pipeline, SimulatedOracle, TruthMethod,
 };
-use ec_data::{dataset_from_csv, dataset_to_csv, raw_records_from_csv, Dataset, GeneratorConfig, PaperDataset};
+use ec_data::{
+    dataset_from_csv, dataset_to_csv, raw_records_from_csv, Dataset, GeneratorConfig, PaperDataset,
+};
 use ec_grouping::{GroupingConfig, StructuredGrouper};
 use ec_profile::{prioritize_columns, render_dataset_profile, render_priorities, DatasetProfile};
 use ec_replace::{generate_candidates, CandidateConfig};
@@ -23,7 +25,12 @@ use std::io::{BufRead, Write};
 /// `ec generate`: produce one of the paper's synthetic datasets as clustered
 /// CSV (to a file with `--output`, otherwise to stdout).
 pub fn generate(parsed: &ParsedArgs) -> Result<CommandOutput, CliError> {
-    let which = match parsed.get("dataset").unwrap_or("address").to_ascii_lowercase().as_str() {
+    let which = match parsed
+        .get("dataset")
+        .unwrap_or("address")
+        .to_ascii_lowercase()
+        .as_str()
+    {
         "authorlist" | "author-list" | "authors" => PaperDataset::AuthorList,
         "address" | "addresses" => PaperDataset::Address,
         "journaltitle" | "journal-title" | "journals" => PaperDataset::JournalTitle,
@@ -152,14 +159,16 @@ pub fn consolidate(
     for &col in &columns {
         let report = match mode {
             "interactive" => {
-                writeln!(prompt_out, "== reviewing groups of column '{}' ==", dataset.columns[col])
-                    .map_err(|e| CliError::Io(e.to_string()))?;
+                writeln!(
+                    prompt_out,
+                    "== reviewing groups of column '{}' ==",
+                    dataset.columns[col]
+                )
+                .map_err(|e| CliError::Io(e.to_string()))?;
                 let mut oracle = InteractiveOracle::new(stdin, prompt_out);
                 pipeline.standardize_column(&mut dataset, col, &mut oracle)
             }
-            "approve-all" => {
-                pipeline.standardize_column(&mut dataset, col, &mut ApproveAllOracle)
-            }
+            "approve-all" => pipeline.standardize_column(&mut dataset, col, &mut ApproveAllOracle),
             "auto" => {
                 if has_truth {
                     let mut oracle = SimulatedOracle::for_column(&dataset, col, 7 + col as u64);
@@ -180,8 +189,13 @@ pub fn consolidate(
     let golden = pipeline.discover_golden_records(&dataset, truth_method);
 
     // Summary of the standardization work.
-    let mut summary_table =
-        TextTable::new(["column", "candidates", "groups reviewed", "approved", "cells updated"]);
+    let mut summary_table = TextTable::new([
+        "column",
+        "candidates",
+        "groups reviewed",
+        "approved",
+        "cells updated",
+    ]);
     for report in &reports {
         summary_table.push_row([
             dataset.columns[report.column].clone(),
@@ -218,8 +232,11 @@ pub fn consolidate(
     );
     for (i, record) in golden.iter().enumerate().take(10) {
         preview.push_row(
-            std::iter::once(i.to_string())
-                .chain(record.iter().map(|v| v.clone().unwrap_or_else(|| "(undecided)".into()))),
+            std::iter::once(i.to_string()).chain(
+                record
+                    .iter()
+                    .map(|v| v.clone().unwrap_or_else(|| "(undecided)".into())),
+            ),
         );
     }
     out.push_str(&preview.to_plain_text());
@@ -324,13 +341,25 @@ mod tests {
 
     #[test]
     fn generate_to_stdout_and_to_file() {
-        let out = generate(&parsed(&["generate", "--dataset", "journaltitle", "--clusters", "8"]))
-            .unwrap();
+        let out = generate(&parsed(&[
+            "generate",
+            "--dataset",
+            "journaltitle",
+            "--clusters",
+            "8",
+        ]))
+        .unwrap();
         assert!(out.stdout.starts_with("cluster,source,"));
         assert!(out.files.is_empty());
 
         let out = generate(&parsed(&[
-            "generate", "--dataset", "authorlist", "--clusters", "5", "--output", "a.csv",
+            "generate",
+            "--dataset",
+            "authorlist",
+            "--clusters",
+            "5",
+            "--output",
+            "a.csv",
         ]))
         .unwrap();
         assert!(out.stdout.contains("AuthorList"));
@@ -348,13 +377,20 @@ mod tests {
         let csv = address_csv(10);
         let out = profile(&parsed(&["profile", "--input", "x.csv"]), &csv).unwrap();
         assert!(out.stdout.contains("standardization priority"));
-        assert!(out.stdout.contains("address"), "the Address dataset's column is named 'address': {}", out.stdout);
+        assert!(
+            out.stdout.contains("address"),
+            "the Address dataset's column is named 'address': {}",
+            out.stdout
+        );
     }
 
     #[test]
     fn profile_rejects_malformed_input() {
-        let err = profile(&parsed(&["profile", "--input", "x.csv"]), "not,a,clustered\n1,2,3\n")
-            .unwrap_err();
+        let err = profile(
+            &parsed(&["profile", "--input", "x.csv"]),
+            "not,a,clustered\n1,2,3\n",
+        )
+        .unwrap_err();
         assert!(matches!(err, CliError::Data(_)));
     }
 
@@ -379,14 +415,20 @@ mod tests {
             })
             .collect();
         assert!(!sizes.is_empty());
-        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "groups are size-ordered: {sizes:?}");
+        assert!(
+            sizes.windows(2).all(|w| w[0] >= w[1]),
+            "groups are size-ordered: {sizes:?}"
+        );
     }
 
     #[test]
     fn groups_rejects_unknown_columns() {
         let csv = address_csv(5);
-        let err = groups(&parsed(&["groups", "--input", "x.csv", "--column", "Phone"]), &csv)
-            .unwrap_err();
+        let err = groups(
+            &parsed(&["groups", "--input", "x.csv", "--column", "Phone"]),
+            &csv,
+        )
+        .unwrap_err();
         assert!(matches!(err, CliError::Usage(msg) if msg.contains("Phone")));
     }
 
@@ -397,8 +439,15 @@ mod tests {
         let mut prompts = Vec::new();
         let out = consolidate(
             &parsed(&[
-                "consolidate", "--input", "x.csv", "--budget", "12", "--output", "std.csv",
-                "--golden", "g.csv",
+                "consolidate",
+                "--input",
+                "x.csv",
+                "--budget",
+                "12",
+                "--output",
+                "std.csv",
+                "--golden",
+                "g.csv",
             ]),
             &csv,
             &mut stdin,
@@ -420,7 +469,14 @@ mod tests {
         let mut prompts = Vec::new();
         let out = consolidate(
             &parsed(&[
-                "consolidate", "--input", "x.csv", "--column", "0", "--budget", "5", "--mode",
+                "consolidate",
+                "--input",
+                "x.csv",
+                "--column",
+                "0",
+                "--budget",
+                "5",
+                "--mode",
                 "interactive",
             ]),
             &csv,
@@ -479,19 +535,34 @@ mod tests {
                     0,Robert Brown,\"77 Mass Ave, 02139 MA\"\n\
                     1,Bob Brown,\"77 Massachusetts Ave, 02139 MA\"\n";
         let out = resolve(
-            &parsed(&["resolve", "--input", "x.csv", "--threshold", "0.5", "--output", "c.csv"]),
+            &parsed(&[
+                "resolve",
+                "--input",
+                "x.csv",
+                "--threshold",
+                "0.5",
+                "--output",
+                "c.csv",
+            ]),
             flat,
         )
         .unwrap();
         assert!(out.stdout.contains("resolved 5 records"));
         let csv = &out.files[0].1;
         let clustered = dataset_from_csv("r", csv).unwrap();
-        assert!(clustered.clusters.len() < 5, "similar records were merged: {csv}");
+        assert!(
+            clustered.clusters.len() < 5,
+            "similar records were merged: {csv}"
+        );
     }
 
     #[test]
     fn resolve_validates_threshold_and_input() {
-        assert!(resolve(&parsed(&["resolve", "--input", "x", "--threshold", "3"]), "source,A\n0,x\n").is_err());
+        assert!(resolve(
+            &parsed(&["resolve", "--input", "x", "--threshold", "3"]),
+            "source,A\n0,x\n"
+        )
+        .is_err());
         assert!(resolve(&parsed(&["resolve", "--input", "x"]), "bogus\n1\n").is_err());
     }
 
@@ -503,10 +574,7 @@ mod tests {
             num_sources: 2,
         });
         assert_eq!(resolve_column(&dataset, "0").unwrap(), 0);
-        assert_eq!(
-            resolve_column(&dataset, &dataset.columns[0]).unwrap(),
-            0
-        );
+        assert_eq!(resolve_column(&dataset, &dataset.columns[0]).unwrap(), 0);
         assert!(resolve_column(&dataset, "999").is_err());
     }
 }

@@ -79,7 +79,10 @@ impl<'a> InteractiveOracle<'a> {
                 "b" | "backward" => return Ok(Verdict::Approve(Direction::Backward)),
                 "r" | "reject" | "n" | "no" => return Ok(Verdict::Reject),
                 other => {
-                    writeln!(self.output, "unrecognized answer '{other}', please type f, b or r")?;
+                    writeln!(
+                        self.output,
+                        "unrecognized answer '{other}', please type f, b or r"
+                    )?;
                 }
             }
         }
@@ -120,7 +123,12 @@ mod tests {
         let verdict = oracle.review(&group());
         let reviewed = oracle.reviewed();
         let approved = oracle.approved();
-        (verdict, String::from_utf8(output).unwrap(), reviewed, approved)
+        (
+            verdict,
+            String::from_utf8(output).unwrap(),
+            reviewed,
+            approved,
+        )
     }
 
     #[test]

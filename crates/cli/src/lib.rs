@@ -112,8 +112,10 @@ mod tests {
     fn run_cli(argv: &[&str], inputs: &[(&str, &str)]) -> Result<CommandOutput, CliError> {
         let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
         let parsed = parse(&args)?;
-        let inputs: Vec<(String, String)> =
-            inputs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+        let inputs: Vec<(String, String)> = inputs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
         let read = move |path: &str| -> Result<String, CliError> {
             inputs
                 .iter()
@@ -146,8 +148,15 @@ mod tests {
         // Generate a small Address dataset to a file...
         let generated = run_cli(
             &[
-                "generate", "--dataset", "address", "--clusters", "12", "--seed", "9",
-                "--output", "addr.csv",
+                "generate",
+                "--dataset",
+                "address",
+                "--clusters",
+                "12",
+                "--seed",
+                "9",
+                "--output",
+                "addr.csv",
             ],
             &[],
         )
@@ -164,22 +173,40 @@ mod tests {
         // ...and consolidate it with the simulated oracle.
         let consolidated = run_cli(
             &[
-                "consolidate", "--input", "addr.csv", "--budget", "15", "--mode", "auto",
-                "--output", "out.csv", "--golden", "golden.csv",
+                "consolidate",
+                "--input",
+                "addr.csv",
+                "--budget",
+                "15",
+                "--mode",
+                "auto",
+                "--output",
+                "out.csv",
+                "--golden",
+                "golden.csv",
             ],
             &[("addr.csv", csv)],
         )
         .unwrap();
         assert!(consolidated.stdout.contains("golden records"));
         assert_eq!(consolidated.files.len(), 2);
-        let golden = &consolidated.files.iter().find(|(p, _)| p == "golden.csv").unwrap().1;
+        let golden = &consolidated
+            .files
+            .iter()
+            .find(|(p, _)| p == "golden.csv")
+            .unwrap()
+            .1;
         assert!(golden.lines().count() > 1);
     }
 
     #[test]
     fn error_display_prefixes_the_kind() {
-        assert!(CliError::Usage("x".into()).to_string().starts_with("usage error"));
+        assert!(CliError::Usage("x".into())
+            .to_string()
+            .starts_with("usage error"));
         assert!(CliError::Io("x".into()).to_string().starts_with("io error"));
-        assert!(CliError::Data("x".into()).to_string().starts_with("data error"));
+        assert!(CliError::Data("x".into())
+            .to_string()
+            .starts_with("data error"));
     }
 }

@@ -1,0 +1,230 @@
+//! Integration tests for the `ec` command-line tool, at two levels:
+//!
+//! 1. the public library API (`ec_cli::parse` + `ec_cli::run`) that the
+//!    binary is a thin wrapper over, and
+//! 2. the compiled `ec` binary itself (via `CARGO_BIN_EXE_ec`), asserting the
+//!    process exit codes and the files it writes to disk.
+
+use ec_cli::{parse, run, CliError, CommandOutput};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Drives `parse` + `run` with an in-memory filesystem, like the binary does
+/// with the real one.
+fn run_library(argv: &[&str], inputs: &[(&str, &str)]) -> Result<CommandOutput, CliError> {
+    let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let parsed = parse(&args)?;
+    let inputs: Vec<(String, String)> = inputs
+        .iter()
+        .map(|(p, t)| (p.to_string(), t.to_string()))
+        .collect();
+    let read = move |path: &str| -> Result<String, CliError> {
+        inputs
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, text)| text.clone())
+            .ok_or_else(|| CliError::Io(format!("no such file: {path}")))
+    };
+    let mut stdin = std::io::Cursor::new(Vec::new());
+    let mut prompts = Vec::new();
+    run(&parsed, &read, &mut stdin, &mut prompts)
+}
+
+#[test]
+fn library_help_succeeds_and_writes_nothing() {
+    let out = run_library(&["help"], &[]).expect("help must succeed");
+    assert!(
+        out.stdout.contains("SUBCOMMANDS"),
+        "usage text lists subcommands"
+    );
+    assert!(
+        out.stdout.contains("consolidate"),
+        "usage text mentions consolidate"
+    );
+    assert!(out.files.is_empty(), "help writes no files");
+}
+
+#[test]
+fn library_rejects_unknown_subcommand_and_flag() {
+    let args: Vec<String> = vec!["frobnicate".into()];
+    let parsed = parse(&args).expect("bare subcommand parses");
+    let read = |_: &str| -> Result<String, CliError> { unreachable!("no input read") };
+    let mut stdin = std::io::Cursor::new(Vec::new());
+    let mut prompts = Vec::new();
+    let err = run(&parsed, &read, &mut stdin, &mut prompts).unwrap_err();
+    assert!(
+        matches!(err, CliError::Usage(_)),
+        "unknown subcommand is a usage error"
+    );
+
+    let bad: Vec<String> = vec!["generate".into(), "--no-such-flag".into(), "1".into()];
+    assert!(
+        matches!(parse(&bad), Err(CliError::Usage(_))),
+        "unknown flag is rejected"
+    );
+}
+
+#[test]
+fn library_end_to_end_generate_consolidate_produces_files() {
+    let generated = run_library(
+        &[
+            "generate",
+            "--dataset",
+            "journals",
+            "--clusters",
+            "10",
+            "--seed",
+            "4",
+            "--output",
+            "j.csv",
+        ],
+        &[],
+    )
+    .expect("generate must succeed");
+    assert_eq!(
+        generated.files.len(),
+        1,
+        "generate writes exactly the requested file"
+    );
+    let (path, csv) = &generated.files[0];
+    assert_eq!(path, "j.csv");
+    assert!(csv.starts_with("cluster,source,"), "clustered CSV header");
+
+    let consolidated = run_library(
+        &[
+            "consolidate",
+            "--input",
+            "j.csv",
+            "--budget",
+            "10",
+            "--mode",
+            "auto",
+            "--output",
+            "std.csv",
+            "--golden",
+            "gold.csv",
+        ],
+        &[("j.csv", csv)],
+    )
+    .expect("consolidate must succeed");
+    let written: Vec<&str> = consolidated.files.iter().map(|(p, _)| p.as_str()).collect();
+    assert!(
+        written.contains(&"std.csv") && written.contains(&"gold.csv"),
+        "both outputs written"
+    );
+    for (_, contents) in &consolidated.files {
+        assert!(
+            contents.lines().count() > 1,
+            "output files are non-empty CSV"
+        );
+    }
+}
+
+/// A scratch directory under the target-controlled temp dir, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("ec-cli-it-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn ec() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ec"))
+}
+
+#[test]
+fn binary_help_exits_zero_with_usage() {
+    let out = ec().arg("help").output().expect("spawn ec");
+    assert!(out.status.success(), "`ec help` exits 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SUBCOMMANDS"), "usage text on stdout");
+}
+
+#[test]
+fn binary_usage_error_exits_two() {
+    let out = ec()
+        .args(["generate", "--no-such-flag", "1"])
+        .output()
+        .expect("spawn ec");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage error"), "diagnostic on stderr");
+}
+
+#[test]
+fn binary_missing_input_exits_one() {
+    let out = ec()
+        .args(["profile", "--input", "definitely-not-here.csv"])
+        .output()
+        .expect("spawn ec");
+    assert_eq!(out.status.code(), Some(1), "io errors exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("io error"), "diagnostic on stderr");
+}
+
+#[test]
+fn binary_end_to_end_writes_output_files() {
+    let scratch = ScratchDir::new("e2e");
+    let input = scratch.path("addr.csv");
+    let golden = scratch.path("golden.csv");
+    let standardized = scratch.path("std.csv");
+
+    let out = ec()
+        .args([
+            "generate",
+            "--dataset",
+            "address",
+            "--clusters",
+            "8",
+            "--seed",
+            "3",
+            "--output",
+        ])
+        .arg(&input)
+        .output()
+        .expect("spawn ec");
+    assert!(
+        out.status.success(),
+        "generate exits 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(input.is_file(), "generate wrote the dataset file");
+
+    let out = ec()
+        .args(["consolidate", "--budget", "10", "--mode", "auto", "--input"])
+        .arg(&input)
+        .arg("--output")
+        .arg(&standardized)
+        .arg("--golden")
+        .arg(&golden)
+        .output()
+        .expect("spawn ec");
+    assert!(
+        out.status.success(),
+        "consolidate exits 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote"), "binary reports written files");
+    for path in [&standardized, &golden] {
+        let contents = std::fs::read_to_string(path).expect("output file exists");
+        assert!(
+            contents.lines().count() > 1,
+            "{} is non-empty CSV",
+            path.display()
+        );
+    }
+}

@@ -34,10 +34,10 @@
 pub mod oracle;
 pub mod pipeline;
 
-pub use oracle::{ApproveAllOracle, Oracle, RejectAllOracle, ScriptedOracle, SimulatedOracle, Verdict};
-pub use pipeline::{
-    ColumnReport, ConsolidationConfig, GoldenRecordReport, Pipeline, TruthMethod,
+pub use oracle::{
+    ApproveAllOracle, Oracle, RejectAllOracle, ScriptedOracle, SimulatedOracle, Verdict,
 };
+pub use pipeline::{ColumnReport, ConsolidationConfig, GoldenRecordReport, Pipeline, TruthMethod};
 
 pub use ec_data as data;
 pub use ec_grouping::{Group, GroupingConfig, StructuredGrouper};

@@ -195,9 +195,18 @@ mod tests {
         let mut d = Dataset::new("tiny", vec!["name".to_string()]);
         d.clusters.push(Cluster {
             rows: vec![
-                Row { source: 0, cells: vec![mk("Mary Lee", "Mary Lee")] },
-                Row { source: 1, cells: vec![mk("Lee, Mary", "Mary Lee")] },
-                Row { source: 2, cells: vec![mk("Bob Jones", "Bob Jones")] },
+                Row {
+                    source: 0,
+                    cells: vec![mk("Mary Lee", "Mary Lee")],
+                },
+                Row {
+                    source: 1,
+                    cells: vec![mk("Lee, Mary", "Mary Lee")],
+                },
+                Row {
+                    source: 2,
+                    cells: vec![mk("Bob Jones", "Bob Jones")],
+                },
             ],
             golden: vec!["Mary Lee".to_string()],
         });
@@ -249,20 +258,27 @@ mod tests {
                 flipped += 1;
             }
         }
-        assert!(flipped > 20 && flipped < 120, "≈30% of verdicts should flip, saw {flipped}/200");
+        assert!(
+            flipped > 20 && flipped < 120,
+            "≈30% of verdicts should flip, saw {flipped}/200"
+        );
     }
 
     #[test]
     fn scripted_and_constant_oracles() {
         let group = Group::new(None, vec![Replacement::new("a", "b")]);
-        let mut scripted = ScriptedOracle::new([
-            Verdict::Approve(Direction::Forward),
-            Verdict::Reject,
-        ]);
-        assert_eq!(scripted.review(&group), Verdict::Approve(Direction::Forward));
+        let mut scripted =
+            ScriptedOracle::new([Verdict::Approve(Direction::Forward), Verdict::Reject]);
+        assert_eq!(
+            scripted.review(&group),
+            Verdict::Approve(Direction::Forward)
+        );
         assert_eq!(scripted.review(&group), Verdict::Reject);
         assert_eq!(scripted.review(&group), Verdict::Reject, "script exhausted");
-        assert_eq!(ApproveAllOracle.review(&group), Verdict::Approve(Direction::Forward));
+        assert_eq!(
+            ApproveAllOracle.review(&group),
+            Verdict::Approve(Direction::Forward)
+        );
         assert_eq!(RejectAllOracle.review(&group), Verdict::Reject);
     }
 }

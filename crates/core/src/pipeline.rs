@@ -141,30 +141,33 @@ impl Pipeline {
                 })
                 .collect(),
             TruthMethod::SourceReliability => {
-                let mut out: Vec<Vec<Option<String>>> =
-                    vec![vec![None; dataset.columns.len()]; dataset.clusters.len()];
-                for col in 0..dataset.columns.len() {
-                    let claims: Vec<Vec<Claim>> = dataset
-                        .clusters
-                        .iter()
-                        .map(|cluster| {
-                            cluster
-                                .rows
-                                .iter()
-                                .map(|r| Claim {
-                                    value: r.cells[col].observed.clone(),
-                                    source: r.source,
-                                })
-                                .collect()
-                        })
-                        .collect();
-                    let resolutions =
-                        reliability_truth_discovery(&claims, &ReliabilityConfig::default());
-                    for (c, res) in resolutions.into_iter().enumerate() {
-                        out[c][col] = res.value;
-                    }
-                }
-                out
+                // Reliability estimation works one column at a time; transpose
+                // the per-column resolutions back into per-cluster rows.
+                let per_column: Vec<Vec<Option<String>>> = (0..dataset.columns.len())
+                    .map(|col| {
+                        let claims: Vec<Vec<Claim>> = dataset
+                            .clusters
+                            .iter()
+                            .map(|cluster| {
+                                cluster
+                                    .rows
+                                    .iter()
+                                    .map(|r| Claim {
+                                        value: r.cells[col].observed.clone(),
+                                        source: r.source,
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        reliability_truth_discovery(&claims, &ReliabilityConfig::default())
+                            .into_iter()
+                            .map(|res| res.value)
+                            .collect()
+                    })
+                    .collect();
+                (0..dataset.clusters.len())
+                    .map(|c| per_column.iter().map(|column| column[c].clone()).collect())
+                    .collect()
             }
         }
     }
@@ -212,17 +215,35 @@ mod tests {
         let mut d = Dataset::new("table1", vec!["Name".to_string()]);
         d.clusters.push(Cluster {
             rows: vec![
-                Row { source: 0, cells: vec![mk("Mary Lee", "Mary Lee")] },
-                Row { source: 1, cells: vec![mk("M. Lee", "Mary Lee")] },
-                Row { source: 2, cells: vec![mk("Lee, Mary", "Mary Lee")] },
+                Row {
+                    source: 0,
+                    cells: vec![mk("Mary Lee", "Mary Lee")],
+                },
+                Row {
+                    source: 1,
+                    cells: vec![mk("M. Lee", "Mary Lee")],
+                },
+                Row {
+                    source: 2,
+                    cells: vec![mk("Lee, Mary", "Mary Lee")],
+                },
             ],
             golden: vec!["Mary Lee".to_string()],
         });
         d.clusters.push(Cluster {
             rows: vec![
-                Row { source: 0, cells: vec![mk("Smith, James", "James Smith")] },
-                Row { source: 1, cells: vec![mk("James Smith", "James Smith")] },
-                Row { source: 2, cells: vec![mk("J. Smith", "James Smith")] },
+                Row {
+                    source: 0,
+                    cells: vec![mk("Smith, James", "James Smith")],
+                },
+                Row {
+                    source: 1,
+                    cells: vec![mk("James Smith", "James Smith")],
+                },
+                Row {
+                    source: 2,
+                    cells: vec![mk("J. Smith", "James Smith")],
+                },
             ],
             golden: vec!["James Smith".to_string()],
         });
@@ -288,12 +309,21 @@ mod tests {
         let before = evaluate_standardization(&sample, &dataset.column_values(0));
         assert_eq!(before.tp, 0, "nothing is standardized yet");
 
-        let pipeline = Pipeline::new(ConsolidationConfig { budget: 60, ..Default::default() });
+        let pipeline = Pipeline::new(ConsolidationConfig {
+            budget: 60,
+            ..Default::default()
+        });
         let mut oracle = SimulatedOracle::for_column(&dataset, 0, 3);
         pipeline.standardize_column(&mut dataset, 0, &mut oracle);
         let after = evaluate_standardization(&sample, &dataset.column_values(0));
-        assert!(after.recall() > 0.3, "recall should improve substantially: {after:?}");
-        assert!(after.precision() > 0.9, "precision should stay high: {after:?}");
+        assert!(
+            after.recall() > 0.3,
+            "recall should improve substantially: {after:?}"
+        );
+        assert!(
+            after.precision() > 0.9,
+            "precision should stay high: {after:?}"
+        );
         assert!(after.mcc() > before.mcc());
     }
 
@@ -306,10 +336,18 @@ mod tests {
             seed: 8,
             num_sources: 6,
         });
-        let truth: Vec<String> = dataset.clusters.iter().map(|c| c.golden[0].clone()).collect();
-        let pipeline = Pipeline::new(ConsolidationConfig { budget: 80, ..Default::default() });
+        let truth: Vec<String> = dataset
+            .clusters
+            .iter()
+            .map(|c| c.golden[0].clone())
+            .collect();
+        let pipeline = Pipeline::new(ConsolidationConfig {
+            budget: 80,
+            ..Default::default()
+        });
 
-        let before_goldens = pipeline.discover_golden_records(&dataset, TruthMethod::MajorityConsensus);
+        let before_goldens =
+            pipeline.discover_golden_records(&dataset, TruthMethod::MajorityConsensus);
         let before: Vec<Option<String>> = before_goldens.iter().map(|g| g[0].clone()).collect();
         let before_precision = golden_record_precision(&before, &truth);
 
@@ -335,7 +373,8 @@ mod tests {
             ..ConsolidationConfig::default()
         });
         let mut oracle = SimulatedOracle::for_column(&dataset, 0, 2);
-        let report = pipeline.golden_records(&mut dataset, &mut oracle, TruthMethod::SourceReliability);
+        let report =
+            pipeline.golden_records(&mut dataset, &mut oracle, TruthMethod::SourceReliability);
         assert_eq!(report.columns.len(), 1);
         assert_eq!(report.golden_records.len(), 2);
         assert!(report.golden_records.iter().all(|g| g[0].is_some()));
@@ -348,7 +387,10 @@ mod tests {
             seed: 7,
             num_sources: 4,
         });
-        let config = ConsolidationConfig { budget: 20, ..ConsolidationConfig::default() };
+        let config = ConsolidationConfig {
+            budget: 20,
+            ..ConsolidationConfig::default()
+        };
         let mut oracle = SimulatedOracle::for_column(&dataset, 0, 1234);
         let report = Pipeline::new(config).golden_records(
             &mut dataset,

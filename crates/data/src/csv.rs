@@ -42,7 +42,11 @@ impl fmt::Display for CsvError {
                 write!(f, "line {}: unterminated quoted field", self.line)
             }
             CsvErrorKind::InvalidQuoteEscape => {
-                write!(f, "line {}: invalid character after closing quote", self.line)
+                write!(
+                    f,
+                    "line {}: invalid character after closing quote",
+                    self.line
+                )
             }
             CsvErrorKind::FieldCountMismatch { expected, found } => write!(
                 f,
@@ -81,7 +85,10 @@ pub fn parse(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
                         match chars.peek() {
                             None | Some(',') | Some('\n') | Some('\r') => {}
                             Some(_) => {
-                                return Err(CsvError { line, kind: CsvErrorKind::InvalidQuoteEscape })
+                                return Err(CsvError {
+                                    line,
+                                    kind: CsvErrorKind::InvalidQuoteEscape,
+                                })
                             }
                         }
                     }
@@ -119,7 +126,10 @@ pub fn parse(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
         }
     }
     if in_quotes {
-        return Err(CsvError { line, kind: CsvErrorKind::UnterminatedQuote });
+        return Err(CsvError {
+            line,
+            kind: CsvErrorKind::UnterminatedQuote,
+        });
     }
     if field_started || !field.is_empty() || !record.is_empty() {
         record.push(field);
@@ -144,7 +154,10 @@ fn finish_record(
         Some(n) if *n != record.len() => {
             return Err(CsvError {
                 line,
-                kind: CsvErrorKind::FieldCountMismatch { expected: *n, found: record.len() },
+                kind: CsvErrorKind::FieldCountMismatch {
+                    expected: *n,
+                    found: record.len(),
+                },
             })
         }
         Some(_) => {}
@@ -241,7 +254,13 @@ mod tests {
     fn field_count_mismatch_reports_the_line() {
         let err = parse("a,b\nc\n").unwrap_err();
         assert_eq!(err.line, 2);
-        assert_eq!(err.kind, CsvErrorKind::FieldCountMismatch { expected: 2, found: 1 });
+        assert_eq!(
+            err.kind,
+            CsvErrorKind::FieldCountMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
         assert!(err.to_string().contains("line 2"));
     }
 

@@ -108,11 +108,46 @@ impl PaperDataset {
 // --- vocabularies -----------------------------------------------------------
 
 const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Karen",
-    "Donald", "Nancy", "Steven", "Margaret", "Kenneth", "Lisa", "Andrew", "Betty", "Joshua",
-    "Sandra", "Kevin", "Ashley", "Brian", "Dorothy", "George", "Kimberly", "Edward", "Emily",
-    "Ronald", "Donna", "Timothy", "Michelle",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Karen",
+    "Donald",
+    "Nancy",
+    "Steven",
+    "Margaret",
+    "Kenneth",
+    "Lisa",
+    "Andrew",
+    "Betty",
+    "Joshua",
+    "Sandra",
+    "Kevin",
+    "Ashley",
+    "Brian",
+    "Dorothy",
+    "George",
+    "Kimberly",
+    "Edward",
+    "Emily",
+    "Ronald",
+    "Donna",
+    "Timothy",
+    "Michelle",
 ];
 
 const NICKNAMES: &[(&str, &str)] = &[
@@ -131,16 +166,68 @@ const NICKNAMES: &[(&str, &str)] = &[
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
 ];
 
 const STREET_NAMES: &[&str] = &[
-    "Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake", "Hill", "Park",
-    "River", "Spring", "Church", "Mill", "Union", "High", "Center", "Walnut", "Prospect",
+    "Main",
+    "Oak",
+    "Pine",
+    "Maple",
+    "Cedar",
+    "Elm",
+    "Washington",
+    "Lake",
+    "Hill",
+    "Park",
+    "River",
+    "Spring",
+    "Church",
+    "Mill",
+    "Union",
+    "High",
+    "Center",
+    "Walnut",
+    "Prospect",
     "Franklin",
 ];
 
@@ -293,12 +380,13 @@ pub fn author_list(config: &GeneratorConfig) -> Dataset {
         let entity = AuthorEntity::random(&mut rng);
         let canonical = entity.canonical();
         // Cluster sizes: heavy-tailed, averaging in the twenties.
-        let size = 1 + rng.gen_range(0..8) * rng.gen_range(1..8);
+        let size = 1 + rng.gen_range(0..8usize) * rng.gen_range(1..8usize);
         // 3-4 conflicting author lists per cluster keeps the conflict share of
         // distinct pairs near the paper's 73.5%.
         let num_conflicts = if size >= 4 { rng.gen_range(3..=4) } else { 0 };
-        let conflicts: Vec<AuthorEntity> =
-            (0..num_conflicts).map(|_| AuthorEntity::random(&mut rng)).collect();
+        let conflicts: Vec<AuthorEntity> = (0..num_conflicts)
+            .map(|_| AuthorEntity::random(&mut rng))
+            .collect();
         let mut rows = Vec::with_capacity(size);
         for r in 0..size {
             let source = rng.gen_range(0..config.num_sources);
@@ -315,7 +403,10 @@ pub fn author_list(config: &GeneratorConfig) -> Dataset {
                     truth: canonical.clone(),
                 }
             };
-            rows.push(Row { source, cells: vec![cell] });
+            rows.push(Row {
+                source,
+                cells: vec![cell],
+            });
         }
         dataset.clusters.push(Cluster {
             rows,
@@ -393,10 +484,11 @@ pub fn address(config: &GeneratorConfig) -> Dataset {
     for _ in 0..config.num_clusters {
         let entity = AddressEntity::random(&mut rng);
         let canonical = entity.canonical();
-        let size = 1 + rng.gen_range(0..6) + rng.gen_range(0..5);
+        let size = 1 + rng.gen_range(0..6usize) + rng.gen_range(0..5usize);
         let num_conflicts = if size >= 3 { rng.gen_range(2..=4) } else { 0 };
-        let conflicts: Vec<AddressEntity> =
-            (0..num_conflicts).map(|_| AddressEntity::random(&mut rng)).collect();
+        let conflicts: Vec<AddressEntity> = (0..num_conflicts)
+            .map(|_| AddressEntity::random(&mut rng))
+            .collect();
         let mut rows = Vec::with_capacity(size);
         for r in 0..size {
             let source = rng.gen_range(0..config.num_sources);
@@ -413,7 +505,10 @@ pub fn address(config: &GeneratorConfig) -> Dataset {
                     truth: canonical.clone(),
                 }
             };
-            rows.push(Row { source, cells: vec![cell] });
+            rows.push(Row {
+                source,
+                cells: vec![cell],
+            });
         }
         dataset.clusters.push(Cluster {
             rows,
@@ -442,8 +537,7 @@ impl JournalEntity {
     fn canonical(&self) -> String {
         format!(
             "{} {}",
-            JOURNAL_PREFIXES[self.prefix].0,
-            JOURNAL_SUBJECTS[self.subject].0
+            JOURNAL_PREFIXES[self.prefix].0, JOURNAL_SUBJECTS[self.subject].0
         )
     }
 
@@ -453,14 +547,12 @@ impl JournalEntity {
             // Fully abbreviated title.
             1 => format!(
                 "{} {}",
-                JOURNAL_PREFIXES[self.prefix].1,
-                JOURNAL_SUBJECTS[self.subject].1
+                JOURNAL_PREFIXES[self.prefix].1, JOURNAL_SUBJECTS[self.subject].1
             ),
             // Abbreviated prefix, full subject.
             2 => format!(
                 "{} {}",
-                JOURNAL_PREFIXES[self.prefix].1,
-                JOURNAL_SUBJECTS[self.subject].0
+                JOURNAL_PREFIXES[self.prefix].1, JOURNAL_SUBJECTS[self.subject].0
             ),
             // Lower-cased canonical title.
             _ => self.canonical().to_lowercase(),
@@ -501,7 +593,10 @@ pub fn journal_title(config: &GeneratorConfig) -> Dataset {
                     truth: canonical.clone(),
                 }
             };
-            rows.push(Row { source, cells: vec![cell] });
+            rows.push(Row {
+                source,
+                cells: vec![cell],
+            });
         }
         dataset.clusters.push(Cluster {
             rows,
@@ -526,10 +621,22 @@ mod tests {
     #[test]
     fn generators_are_deterministic() {
         for d in PaperDataset::ALL {
-            let a = d.generate(&GeneratorConfig { num_clusters: 10, seed: 99, num_sources: 3 });
-            let b = d.generate(&GeneratorConfig { num_clusters: 10, seed: 99, num_sources: 3 });
+            let a = d.generate(&GeneratorConfig {
+                num_clusters: 10,
+                seed: 99,
+                num_sources: 3,
+            });
+            let b = d.generate(&GeneratorConfig {
+                num_clusters: 10,
+                seed: 99,
+                num_sources: 3,
+            });
             assert_eq!(a, b, "{} must be deterministic", d.name());
-            let c = d.generate(&GeneratorConfig { num_clusters: 10, seed: 100, num_sources: 3 });
+            let c = d.generate(&GeneratorConfig {
+                num_clusters: 10,
+                seed: 100,
+                num_sources: 3,
+            });
             assert_ne!(a, c, "different seeds must differ for {}", d.name());
         }
     }
@@ -550,8 +657,12 @@ mod tests {
                 }
                 // At least one row renders the cluster's own entity.
                 assert!(
-                    cluster.rows.iter().any(|r| r.cells[0].truth == cluster.golden[0]),
-                    "{}", d.name()
+                    cluster
+                        .rows
+                        .iter()
+                        .any(|r| r.cells[0].truth == cluster.golden[0]),
+                    "{}",
+                    d.name()
                 );
             }
         }
@@ -565,15 +676,28 @@ mod tests {
         for d in PaperDataset::ALL {
             let ds = d.generate(&d.default_config());
             let s = ds.stats(0);
-            assert!(s.distinct_value_pairs > 100, "{} too small: {s:?}", d.name());
+            assert!(
+                s.distinct_value_pairs > 100,
+                "{} too small: {s:?}",
+                d.name()
+            );
             fractions.push((d, s.variant_pair_fraction));
         }
         let author = fractions[0].1;
         let address = fractions[1].1;
         let journal = fractions[2].1;
-        assert!(journal > 0.55, "JournalTitle should be variant-dominated: {journal}");
-        assert!(author < 0.5, "AuthorList should be conflict-dominated: {author}");
-        assert!(address < 0.5, "Address should be conflict-dominated: {address}");
+        assert!(
+            journal > 0.55,
+            "JournalTitle should be variant-dominated: {journal}"
+        );
+        assert!(
+            author < 0.5,
+            "AuthorList should be conflict-dominated: {author}"
+        );
+        assert!(
+            address < 0.5,
+            "Address should be conflict-dominated: {address}"
+        );
         assert!(journal > author && journal > address);
     }
 
@@ -586,7 +710,10 @@ mod tests {
         let a = author.stats(0).avg_cluster_size;
         let b = address.stats(0).avg_cluster_size;
         let c = journal.stats(0).avg_cluster_size;
-        assert!(a > b && b > c, "cluster sizes should order AuthorList > Address > JournalTitle: {a} {b} {c}");
+        assert!(
+            a > b && b > c,
+            "cluster sizes should order AuthorList > Address > JournalTitle: {a} {b} {c}"
+        );
         assert!(c < 3.0);
         assert!(a > 8.0);
     }
@@ -599,10 +726,22 @@ mod tests {
             .iter()
             .flat_map(|c| c.rows.iter().map(|r| r.cells[0].observed.clone()))
             .collect();
-        assert!(all.iter().any(|v| v.contains(" St,") || v.contains(" Ave,")), "abbreviated street types expected");
-        assert!(all.iter().any(|v| v.contains("Street") || v.contains("Avenue")), "full street types expected");
-        let has_full_state = all.iter().any(|v| STATES.iter().any(|(full, _)| v.ends_with(full)));
-        let has_abbrev_state = all.iter().any(|v| STATES.iter().any(|(_, ab)| v.ends_with(ab)));
+        assert!(
+            all.iter()
+                .any(|v| v.contains(" St,") || v.contains(" Ave,")),
+            "abbreviated street types expected"
+        );
+        assert!(
+            all.iter()
+                .any(|v| v.contains("Street") || v.contains("Avenue")),
+            "full street types expected"
+        );
+        let has_full_state = all
+            .iter()
+            .any(|v| STATES.iter().any(|(full, _)| v.ends_with(full)));
+        let has_abbrev_state = all
+            .iter()
+            .any(|v| STATES.iter().any(|(_, ab)| v.ends_with(ab)));
         assert!(has_full_state && has_abbrev_state);
     }
 
@@ -614,9 +753,18 @@ mod tests {
             .iter()
             .flat_map(|c| c.rows.iter().map(|r| r.cells[0].observed.clone()))
             .collect();
-        assert!(all.iter().any(|v| v.contains(". ")), "initials format expected");
-        assert!(all.iter().any(|v| v.contains("(edt)")), "role annotations expected");
-        assert!(all.iter().any(|v| v.contains(", ")), "comma formats expected");
+        assert!(
+            all.iter().any(|v| v.contains(". ")),
+            "initials format expected"
+        );
+        assert!(
+            all.iter().any(|v| v.contains("(edt)")),
+            "role annotations expected"
+        );
+        assert!(
+            all.iter().any(|v| v.contains(", ")),
+            "comma formats expected"
+        );
     }
 
     #[test]
@@ -627,8 +775,15 @@ mod tests {
             .iter()
             .flat_map(|c| c.rows.iter().map(|r| r.cells[0].observed.clone()))
             .collect();
-        assert!(all.iter().any(|v| v.contains("J.") || v.contains("Int.")), "abbreviated prefixes expected");
-        assert!(all.iter().any(|v| v.chars().next().is_some_and(|c| c.is_lowercase())), "lower-cased variants expected");
+        assert!(
+            all.iter().any(|v| v.contains("J.") || v.contains("Int.")),
+            "abbreviated prefixes expected"
+        );
+        assert!(
+            all.iter()
+                .any(|v| v.chars().next().is_some_and(|c| c.is_lowercase())),
+            "lower-cased variants expected"
+        );
     }
 
     #[test]

@@ -110,10 +110,13 @@ pub fn dataset_from_csv(name: &str, text: &str) -> Result<Dataset, DatasetIoErro
 
     let mut clusters: BTreeMap<String, Vec<Row>> = BTreeMap::new();
     for (row_num, record) in data.iter().enumerate() {
-        let source: usize = record[1].trim().parse().map_err(|_| DatasetIoError::BadCell {
-            row: row_num + 1,
-            message: format!("source '{}' is not an integer", record[1]),
-        })?;
+        let source: usize = record[1]
+            .trim()
+            .parse()
+            .map_err(|_| DatasetIoError::BadCell {
+                row: row_num + 1,
+                message: format!("source '{}' is not an integer", record[1]),
+            })?;
         let cells: Vec<Cell> = columns
             .iter()
             .zip(&observed_index)
@@ -152,13 +155,13 @@ pub fn dataset_from_csv(name: &str, text: &str) -> Result<Dataset, DatasetIoErro
     Ok(dataset)
 }
 
+/// Attribute column names plus one `(source, fields)` entry per flat record —
+/// the shape `ec-resolution`'s `RawRecord` construction expects.
+pub type RawRecords = (Vec<String>, Vec<(usize, Vec<String>)>);
+
 /// Parses flat, unclustered records: a header of `source,<attributes...>`
-/// followed by one row per record. Returns the attribute column names and
-/// `(source, fields)` per record — the shape `ec-resolution`'s `RawRecord`
-/// construction expects.
-pub fn raw_records_from_csv(
-    text: &str,
-) -> Result<(Vec<String>, Vec<(usize, Vec<String>)>), DatasetIoError> {
+/// followed by one row per record.
+pub fn raw_records_from_csv(text: &str) -> Result<RawRecords, DatasetIoError> {
     let records = csv::parse(text)?;
     let Some((header, data)) = records.split_first() else {
         return Err(DatasetIoError::BadHeader("empty input".to_string()));
@@ -171,10 +174,13 @@ pub fn raw_records_from_csv(
     let columns = header[1..].to_vec();
     let mut out = Vec::with_capacity(data.len());
     for (row_num, record) in data.iter().enumerate() {
-        let source: usize = record[0].trim().parse().map_err(|_| DatasetIoError::BadCell {
-            row: row_num + 1,
-            message: format!("source '{}' is not an integer", record[0]),
-        })?;
+        let source: usize = record[0]
+            .trim()
+            .parse()
+            .map_err(|_| DatasetIoError::BadCell {
+                row: row_num + 1,
+                message: format!("source '{}' is not an integer", record[0]),
+            })?;
         out.push((source, record[1..].to_vec()));
     }
     Ok((columns, out))
@@ -210,7 +216,13 @@ mod tests {
                     let mut rows: Vec<(String, String, usize)> = c
                         .rows
                         .iter()
-                        .map(|r| (r.cells[0].observed.clone(), r.cells[0].truth.clone(), r.source))
+                        .map(|r| {
+                            (
+                                r.cells[0].observed.clone(),
+                                r.cells[0].truth.clone(),
+                                r.source,
+                            )
+                        })
                         .collect();
                     rows.sort();
                     rows
@@ -270,7 +282,10 @@ mod tests {
     #[test]
     fn csv_parse_errors_propagate() {
         let text = "cluster,source,Name\n0,0,\"open\n";
-        assert!(matches!(dataset_from_csv("x", text), Err(DatasetIoError::Csv(_))));
+        assert!(matches!(
+            dataset_from_csv("x", text),
+            Err(DatasetIoError::Csv(_))
+        ));
     }
 
     #[test]

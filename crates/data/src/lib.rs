@@ -21,5 +21,5 @@ pub mod io;
 pub mod model;
 
 pub use generate::{address, author_list, journal_title, GeneratorConfig, PaperDataset};
-pub use io::{dataset_from_csv, dataset_to_csv, raw_records_from_csv, DatasetIoError};
+pub use io::{dataset_from_csv, dataset_to_csv, raw_records_from_csv, DatasetIoError, RawRecords};
 pub use model::{Cell, Cluster, Dataset, DatasetStats, LabeledPair, Row};

@@ -126,7 +126,12 @@ impl Dataset {
     pub fn column_values(&self, col: usize) -> Vec<Vec<String>> {
         self.clusters
             .iter()
-            .map(|c| c.rows.iter().map(|r| r.cells[col].observed.clone()).collect())
+            .map(|c| {
+                c.rows
+                    .iter()
+                    .map(|r| r.cells[col].observed.clone())
+                    .collect()
+            })
             .collect()
     }
 
@@ -227,7 +232,11 @@ impl Dataset {
             num_records,
             num_clusters: self.clusters.len(),
             distinct_value_pairs: total,
-            variant_pair_fraction: if total == 0 { 0.0 } else { variant as f64 / total as f64 },
+            variant_pair_fraction: if total == 0 {
+                0.0
+            } else {
+                variant as f64 / total as f64
+            },
             conflict_pair_fraction: if total == 0 {
                 0.0
             } else {
@@ -239,7 +248,12 @@ impl Dataset {
     /// Samples up to `n` labelled cell pairs with non-identical observed
     /// values (the evaluation sample of Section 8, which the paper draws with
     /// size 1000 and labels by hand).
-    pub fn sample_labeled_pairs<R: Rng>(&self, col: usize, n: usize, rng: &mut R) -> Vec<LabeledPair> {
+    pub fn sample_labeled_pairs<R: Rng>(
+        &self,
+        col: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<LabeledPair> {
         let mut all: Vec<LabeledPair> = Vec::new();
         for (c, cluster) in self.clusters.iter().enumerate() {
             for i in 0..cluster.rows.len() {
@@ -278,19 +292,58 @@ mod tests {
         };
         d.clusters.push(Cluster {
             rows: vec![
-                Row { source: 0, cells: vec![mk("Mary Lee", "Mary Lee"), mk("9 St, 02141 Wisconsin", "9th Street, 02141 WI")] },
-                Row { source: 1, cells: vec![mk("M. Lee", "Mary Lee"), mk("9th St, 02141 WI", "9th Street, 02141 WI")] },
-                Row { source: 2, cells: vec![mk("Lee, Mary", "Mary Lee"), mk("9 Street, 02141 WI", "9th Street, 02141 WI")] },
+                Row {
+                    source: 0,
+                    cells: vec![
+                        mk("Mary Lee", "Mary Lee"),
+                        mk("9 St, 02141 Wisconsin", "9th Street, 02141 WI"),
+                    ],
+                },
+                Row {
+                    source: 1,
+                    cells: vec![
+                        mk("M. Lee", "Mary Lee"),
+                        mk("9th St, 02141 WI", "9th Street, 02141 WI"),
+                    ],
+                },
+                Row {
+                    source: 2,
+                    cells: vec![
+                        mk("Lee, Mary", "Mary Lee"),
+                        mk("9 Street, 02141 WI", "9th Street, 02141 WI"),
+                    ],
+                },
             ],
             golden: vec!["Mary Lee".to_string(), "9th Street, 02141 WI".to_string()],
         });
         d.clusters.push(Cluster {
             rows: vec![
-                Row { source: 0, cells: vec![mk("Smith, James", "James Smith"), mk("5th St, 22701 California", "5th St, 22701 California")] },
-                Row { source: 1, cells: vec![mk("James Smith", "James Smith"), mk("3rd E Ave, 33990 California", "3rd E Avenue, 33990 CA")] },
-                Row { source: 2, cells: vec![mk("J. Smith", "James Smith"), mk("3 E Avenue, 33990 CA", "3rd E Avenue, 33990 CA")] },
+                Row {
+                    source: 0,
+                    cells: vec![
+                        mk("Smith, James", "James Smith"),
+                        mk("5th St, 22701 California", "5th St, 22701 California"),
+                    ],
+                },
+                Row {
+                    source: 1,
+                    cells: vec![
+                        mk("James Smith", "James Smith"),
+                        mk("3rd E Ave, 33990 California", "3rd E Avenue, 33990 CA"),
+                    ],
+                },
+                Row {
+                    source: 2,
+                    cells: vec![
+                        mk("J. Smith", "James Smith"),
+                        mk("3 E Avenue, 33990 CA", "3rd E Avenue, 33990 CA"),
+                    ],
+                },
             ],
-            golden: vec!["James Smith".to_string(), "3rd E Avenue, 33990 CA".to_string()],
+            golden: vec![
+                "James Smith".to_string(),
+                "3rd E Avenue, 33990 CA".to_string(),
+            ],
         });
         d
     }
@@ -328,7 +381,10 @@ mod tests {
         let d = table1();
         let col = d.column_index("Address").unwrap();
         let s = d.stats(col);
-        assert!(s.conflict_pair_fraction > 0.0, "the Smith cluster has two different addresses");
+        assert!(
+            s.conflict_pair_fraction > 0.0,
+            "the Smith cluster has two different addresses"
+        );
         assert!(s.variant_pair_fraction > 0.0);
     }
 
@@ -336,14 +392,21 @@ mod tests {
     fn pair_labels_are_symmetric_and_consistent() {
         let d = table1();
         let labels = d.pair_labels(0);
-        let ab = labels.get(&("Mary Lee".to_string(), "M. Lee".to_string())).unwrap();
-        let ba = labels.get(&("M. Lee".to_string(), "Mary Lee".to_string())).unwrap();
+        let ab = labels
+            .get(&("Mary Lee".to_string(), "M. Lee".to_string()))
+            .unwrap();
+        let ba = labels
+            .get(&("M. Lee".to_string(), "Mary Lee".to_string()))
+            .unwrap();
         assert_eq!(ab, ba);
         assert_eq!(*ab, (1, 0));
         let col = d.column_index("Address").unwrap();
         let labels = d.pair_labels(col);
         let conflict = labels
-            .get(&("5th St, 22701 California".to_string(), "3rd E Ave, 33990 California".to_string()))
+            .get(&(
+                "5th St, 22701 California".to_string(),
+                "3rd E Ave, 33990 California".to_string(),
+            ))
             .unwrap();
         assert_eq!(*conflict, (0, 1));
     }

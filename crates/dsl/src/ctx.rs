@@ -144,10 +144,22 @@ mod tests {
     fn kth_match_positive_and_negative() {
         let ctx = StrCtx::new("Lee, Mary");
         // TC matches: [0,1) "L" and [5,6) "M".
-        assert_eq!(ctx.kth_match(&Term::Upper, 1), Some(TermMatch { start: 0, end: 1 }));
-        assert_eq!(ctx.kth_match(&Term::Upper, 2), Some(TermMatch { start: 5, end: 6 }));
-        assert_eq!(ctx.kth_match(&Term::Upper, -1), Some(TermMatch { start: 5, end: 6 }));
-        assert_eq!(ctx.kth_match(&Term::Upper, -2), Some(TermMatch { start: 0, end: 1 }));
+        assert_eq!(
+            ctx.kth_match(&Term::Upper, 1),
+            Some(TermMatch { start: 0, end: 1 })
+        );
+        assert_eq!(
+            ctx.kth_match(&Term::Upper, 2),
+            Some(TermMatch { start: 5, end: 6 })
+        );
+        assert_eq!(
+            ctx.kth_match(&Term::Upper, -1),
+            Some(TermMatch { start: 5, end: 6 })
+        );
+        assert_eq!(
+            ctx.kth_match(&Term::Upper, -2),
+            Some(TermMatch { start: 0, end: 1 })
+        );
         assert_eq!(ctx.kth_match(&Term::Upper, 3), None);
         assert_eq!(ctx.kth_match(&Term::Upper, -3), None);
         assert_eq!(ctx.kth_match(&Term::Upper, 0), None);
@@ -181,6 +193,9 @@ mod tests {
         let ctx = StrCtx::new("café 9");
         assert_eq!(ctx.len(), 6);
         assert_eq!(ctx.slice(0, 4), "café");
-        assert_eq!(ctx.kth_match(&Term::Digits, 1), Some(TermMatch { start: 5, end: 6 }));
+        assert_eq!(
+            ctx.kth_match(&Term::Digits, 1),
+            Some(TermMatch { start: 5, end: 6 })
+        );
     }
 }

@@ -145,10 +145,22 @@ mod tests {
         // PC: ending of the 1st match of Tb -> paper 6 -> 5 here.
         // PD: ending of the last match of TC -> paper 7 -> 6 here.
         let ctx = StrCtx::new("Lee, Mary");
-        assert_eq!(PositionFn::match_pos(Term::Upper, 1, Dir::Begin).eval(&ctx), Some(0));
-        assert_eq!(PositionFn::match_pos(Term::Lower, 1, Dir::End).eval(&ctx), Some(3));
-        assert_eq!(PositionFn::match_pos(Term::Whitespace, 1, Dir::End).eval(&ctx), Some(5));
-        assert_eq!(PositionFn::match_pos(Term::Upper, -1, Dir::End).eval(&ctx), Some(6));
+        assert_eq!(
+            PositionFn::match_pos(Term::Upper, 1, Dir::Begin).eval(&ctx),
+            Some(0)
+        );
+        assert_eq!(
+            PositionFn::match_pos(Term::Lower, 1, Dir::End).eval(&ctx),
+            Some(3)
+        );
+        assert_eq!(
+            PositionFn::match_pos(Term::Whitespace, 1, Dir::End).eval(&ctx),
+            Some(5)
+        );
+        assert_eq!(
+            PositionFn::match_pos(Term::Upper, -1, Dir::End).eval(&ctx),
+            Some(6)
+        );
     }
 
     #[test]
@@ -166,9 +178,18 @@ mod tests {
     #[test]
     fn match_pos_out_of_range() {
         let ctx = StrCtx::new("abc");
-        assert_eq!(PositionFn::match_pos(Term::Digits, 1, Dir::Begin).eval(&ctx), None);
-        assert_eq!(PositionFn::match_pos(Term::Lower, 2, Dir::Begin).eval(&ctx), None);
-        assert_eq!(PositionFn::match_pos(Term::Lower, 0, Dir::Begin).eval(&ctx), None);
+        assert_eq!(
+            PositionFn::match_pos(Term::Digits, 1, Dir::Begin).eval(&ctx),
+            None
+        );
+        assert_eq!(
+            PositionFn::match_pos(Term::Lower, 2, Dir::Begin).eval(&ctx),
+            None
+        );
+        assert_eq!(
+            PositionFn::match_pos(Term::Lower, 0, Dir::Begin).eval(&ctx),
+            None
+        );
     }
 
     #[test]
@@ -184,7 +205,10 @@ mod tests {
         assert_eq!(PositionFn::const_pos(1).eval(&ctx), Some(0));
         assert_eq!(PositionFn::const_pos(-1).eval(&ctx), Some(0));
         assert_eq!(PositionFn::const_pos(2).eval(&ctx), None);
-        assert_eq!(PositionFn::match_pos(Term::Upper, 1, Dir::Begin).eval(&ctx), None);
+        assert_eq!(
+            PositionFn::match_pos(Term::Upper, 1, Dir::Begin).eval(&ctx),
+            None
+        );
     }
 
     #[test]

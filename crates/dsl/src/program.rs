@@ -91,7 +91,11 @@ impl Program {
         for f in &self.fns {
             let mut next = vec![false; n + 1];
             // Deterministic functions produce exactly one string; compute it once.
-            let fixed = if f.is_deterministic() { f.eval(ctx) } else { None };
+            let fixed = if f.is_deterministic() {
+                f.eval(ctx)
+            } else {
+                None
+            };
             for i in 0..n {
                 if !reachable[i] {
                     continue;
@@ -244,7 +248,10 @@ mod tests {
 
     #[test]
     fn extended_builds_longer_program() {
-        let p = Program::empty().extended(f2()).extended(f3()).extended(f1());
+        let p = Program::empty()
+            .extended(f2())
+            .extended(f3())
+            .extended(f1());
         assert_eq!(p.len(), 3);
         assert_eq!(p.eval(&StrCtx::new("Lee, Mary")).as_deref(), Some("M. Lee"));
     }

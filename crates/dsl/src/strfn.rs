@@ -255,7 +255,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(StringFn::constant("M. ").to_string(), "ConstantStr(\"M. \")");
+        assert_eq!(
+            StringFn::constant("M. ").to_string(),
+            "ConstantStr(\"M. \")"
+        );
         assert_eq!(
             StringFn::prefix(Term::Lower, 1).to_string(),
             "Prefix(Tl, 1)"

@@ -190,7 +190,10 @@ mod tests {
         let m = Term::Upper.matches(&s);
         assert_eq!(
             m,
-            vec![TermMatch { start: 0, end: 1 }, TermMatch { start: 5, end: 6 }]
+            vec![
+                TermMatch { start: 0, end: 1 },
+                TermMatch { start: 5, end: 6 }
+            ]
         );
     }
 
@@ -200,7 +203,10 @@ mod tests {
         let m = Term::Lower.matches(&s);
         assert_eq!(
             m,
-            vec![TermMatch { start: 1, end: 3 }, TermMatch { start: 6, end: 9 }]
+            vec![
+                TermMatch { start: 1, end: 3 },
+                TermMatch { start: 6, end: 9 }
+            ]
         );
     }
 
@@ -209,7 +215,10 @@ mod tests {
         let s = chars("9 St, 02141 WI");
         assert_eq!(
             Term::Digits.matches(&s),
-            vec![TermMatch { start: 0, end: 1 }, TermMatch { start: 6, end: 11 }]
+            vec![
+                TermMatch { start: 0, end: 1 },
+                TermMatch { start: 6, end: 11 }
+            ]
         );
         assert_eq!(Term::Whitespace.matches(&s).len(), 3);
     }
@@ -219,7 +228,10 @@ mod tests {
         let s = chars("ABCdefGHI");
         assert_eq!(
             Term::Upper.matches(&s),
-            vec![TermMatch { start: 0, end: 3 }, TermMatch { start: 6, end: 9 }]
+            vec![
+                TermMatch { start: 0, end: 3 },
+                TermMatch { start: 6, end: 9 }
+            ]
         );
     }
 
@@ -229,7 +241,10 @@ mod tests {
         let m = Term::literal("aa").matches(&s);
         assert_eq!(
             m,
-            vec![TermMatch { start: 0, end: 2 }, TermMatch { start: 2, end: 4 }]
+            vec![
+                TermMatch { start: 0, end: 2 },
+                TermMatch { start: 2, end: 4 }
+            ]
         );
     }
 
@@ -257,7 +272,13 @@ mod tests {
 
     #[test]
     fn empty_input_has_no_matches() {
-        for t in [Term::Upper, Term::Lower, Term::Digits, Term::Whitespace, Term::literal("a")] {
+        for t in [
+            Term::Upper,
+            Term::Lower,
+            Term::Digits,
+            Term::Whitespace,
+            Term::literal("a"),
+        ] {
             assert!(t.matches(&[]).is_empty());
         }
     }

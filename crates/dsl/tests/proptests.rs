@@ -21,7 +21,11 @@ fn arb_class_term() -> impl Strategy<Value = Term> {
 fn arb_position_fn() -> impl Strategy<Value = PositionFn> {
     prop_oneof![
         (-6i32..=6).prop_map(PositionFn::ConstPos),
-        (arb_class_term(), -3i32..=3, prop_oneof![Just(Dir::Begin), Just(Dir::End)])
+        (
+            arb_class_term(),
+            -3i32..=3,
+            prop_oneof![Just(Dir::Begin), Just(Dir::End)]
+        )
             .prop_map(|(term, k, dir)| PositionFn::MatchPos { term, k, dir }),
     ]
 }

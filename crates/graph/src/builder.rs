@@ -455,7 +455,12 @@ mod tests {
         j: u32,
     ) -> Vec<String> {
         g.edge(i, j)
-            .map(|e| e.labels.iter().map(|&l| interner.resolve(l).to_string()).collect())
+            .map(|e| {
+                e.labels
+                    .iter()
+                    .map(|&l| interner.resolve(l).to_string())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -475,7 +480,10 @@ mod tests {
         assert!(lee.contains(&"SubStr(MatchPos(TC, 1, B), MatchPos(Tl, 1, E))".to_string()));
         // e_{0,1} (paper e_{1,2}) produces "M" via f2-like substring functions.
         let m = edge_label_strings(&g, &interner, 0, 1);
-        assert!(m.iter().any(|l| l.starts_with("SubStr(")), "edge for \"M\" must have a SubStr label: {m:?}");
+        assert!(
+            m.iter().any(|l| l.starts_with("SubStr(")),
+            "edge for \"M\" must have a SubStr label: {m:?}"
+        );
         // e_{1,3} (paper e_{2,4}) produces ". " — only as a constant (". " does not occur in s).
         let dot = edge_label_strings(&g, &interner, 1, 3);
         assert!(dot.contains(&"ConstantStr(\". \")".to_string()));
@@ -521,7 +529,10 @@ mod tests {
         // And Avenue -> Ave has Prefix(Tl, 1) on the edge producing "ve".
         let (g2, interner2) = build("Avenue", "Ave", GraphConfig::default());
         let labels2 = edge_label_strings(&g2, &interner2, 1, 3);
-        assert!(labels2.contains(&"Prefix(Tl, 1)".to_string()), "{labels2:?}");
+        assert!(
+            labels2.contains(&"Prefix(Tl, 1)".to_string()),
+            "{labels2:?}"
+        );
     }
 
     #[test]
@@ -673,8 +684,13 @@ mod tests {
         };
         let (g, interner) = build("xabc", "abc", config);
         let has_const_pos = g.label_triples().any(|(_, _, l)| {
-            matches!(interner.resolve(l), StringFn::SubStr(PositionFn::ConstPos(_), _))
-                || matches!(interner.resolve(l), StringFn::SubStr(_, PositionFn::ConstPos(_)))
+            matches!(
+                interner.resolve(l),
+                StringFn::SubStr(PositionFn::ConstPos(_), _)
+            ) || matches!(
+                interner.resolve(l),
+                StringFn::SubStr(_, PositionFn::ConstPos(_))
+            )
         });
         assert!(has_const_pos);
     }

@@ -29,7 +29,7 @@ pub mod label;
 pub mod replacement;
 pub mod structure;
 
-pub use builder::{GraphBuilder, GraphConfig, ConstantPolicy, TransformationGraph, Edge};
+pub use builder::{ConstantPolicy, Edge, GraphBuilder, GraphConfig, TransformationGraph};
 pub use label::{LabelId, LabelInterner};
 pub use replacement::Replacement;
 pub use structure::{structure_of, ReplacementStructure, Structure, StructureToken};

@@ -29,8 +29,14 @@ impl Replacement {
     pub fn new(lhs: impl AsRef<str>, rhs: impl AsRef<str>) -> Self {
         let lhs = lhs.as_ref();
         let rhs = rhs.as_ref();
-        assert!(lhs != rhs, "a replacement must relate two different strings");
-        assert!(!rhs.is_empty(), "the right-hand side of a replacement must be non-empty");
+        assert!(
+            lhs != rhs,
+            "a replacement must relate two different strings"
+        );
+        assert!(
+            !rhs.is_empty(),
+            "the right-hand side of a replacement must be non-empty"
+        );
         Replacement {
             lhs: Arc::from(lhs),
             rhs: Arc::from(rhs),

@@ -117,7 +117,10 @@ mod tests {
     #[test]
     fn paper_example_9_and_9th() {
         // Struc("9") = Td and Struc("9th") = Td Tl (Section 7.2).
-        assert_eq!(structure_of("9"), Structure(vec![StructureToken::Class(Term::Digits)]));
+        assert_eq!(
+            structure_of("9"),
+            Structure(vec![StructureToken::Class(Term::Digits)])
+        );
         assert_eq!(
             structure_of("9th"),
             Structure(vec![
@@ -187,10 +190,7 @@ mod tests {
     fn display_is_readable() {
         assert_eq!(structure_of("9th").to_string(), "TdTl");
         assert_eq!(structure_of("A-1").to_string(), "TCT'-'Td");
-        assert_eq!(
-            replacement_structure("9", "9th").to_string(),
-            "Td -> TdTl"
-        );
+        assert_eq!(replacement_structure("9", "9th").to_string(), "Td -> TdTl");
     }
 
     #[test]

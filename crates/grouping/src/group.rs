@@ -55,7 +55,11 @@ impl Group {
 impl fmt::Display for Group {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.program {
-            Some(p) => writeln!(f, "group of {} replacements sharing {p}", self.members.len())?,
+            Some(p) => writeln!(
+                f,
+                "group of {} replacements sharing {p}",
+                self.members.len()
+            )?,
             None => writeln!(f, "singleton group")?,
         }
         for m in &self.members {

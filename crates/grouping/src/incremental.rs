@@ -81,7 +81,9 @@ impl IncrementalGrouper {
         }
         let searcher = PivotSearcher::new(&self.prepared, &self.config);
         // Visit active graphs in decreasing upper-bound order.
-        let mut order: Vec<usize> = (0..self.prepared.len()).filter(|&g| self.active[g]).collect();
+        let mut order: Vec<usize> = (0..self.prepared.len())
+            .filter(|&g| self.active[g])
+            .collect();
         order.sort_by_key(|&g| std::cmp::Reverse(self.upper_bounds[g]));
 
         let mut lower_bounds = vec![1u32; self.prepared.len()];
@@ -119,7 +121,9 @@ impl IncrementalGrouper {
             let g = order[0];
             self.active[g] = false;
             self.remaining -= 1;
-            return Some(Group::singleton(self.prepared.replacement(GraphId(g as u32)).clone()));
+            return Some(Group::singleton(
+                self.prepared.replacement(GraphId(g as u32)).clone(),
+            ));
         };
         let members: Vec<Replacement> = best
             .complete
@@ -164,12 +168,19 @@ mod tests {
         assert_eq!(grouper.remaining_graphs(), 3);
         let first = grouper.next_group().unwrap();
         assert_eq!(first.size(), 2);
-        assert!(first.members().contains(&Replacement::new("Lee, Mary", "M. Lee")));
-        assert!(first.members().contains(&Replacement::new("Smith, James", "J. Smith")));
+        assert!(first
+            .members()
+            .contains(&Replacement::new("Lee, Mary", "M. Lee")));
+        assert!(first
+            .members()
+            .contains(&Replacement::new("Smith, James", "J. Smith")));
         assert_eq!(grouper.remaining_graphs(), 1);
         let second = grouper.next_group().unwrap();
         assert_eq!(second.size(), 1);
-        assert_eq!(second.members()[0], Replacement::new("Lee, Mary", "Mary Lee"));
+        assert_eq!(
+            second.members()[0],
+            Replacement::new("Lee, Mary", "Mary Lee")
+        );
         assert!(grouper.next_group().is_none());
     }
 
@@ -185,11 +196,17 @@ mod tests {
             ("Davis", "Emma"),
         ];
         for (last, first) in names {
-            reps.push(Replacement::new(format!("{last}, {first}"), format!("{first} {last}")));
+            reps.push(Replacement::new(
+                format!("{last}, {first}"),
+                format!("{first} {last}"),
+            ));
         }
         for (last, first) in &names[..3] {
             let initial = first.chars().next().unwrap();
-            reps.push(Replacement::new(format!("{last}, {first}"), format!("{initial}. {last}")));
+            reps.push(Replacement::new(
+                format!("{last}, {first}"),
+                format!("{initial}. {last}"),
+            ));
         }
         reps.push(Replacement::new("Wisconsin", "WI"));
         let mut grouper = IncrementalGrouper::new(&reps, GroupingConfig::default());
@@ -198,7 +215,10 @@ mod tests {
         for w in sizes.windows(2) {
             assert!(w[0] >= w[1], "sizes must be non-increasing: {sizes:?}");
         }
-        assert_eq!(sizes[0], 5, "the transposition family is the largest group: {sizes:?}");
+        assert_eq!(
+            sizes[0], 5,
+            "the transposition family is the largest group: {sizes:?}"
+        );
         assert_eq!(sizes.iter().sum::<usize>(), reps.len());
     }
 
@@ -226,12 +246,11 @@ mod tests {
             .iter()
             .map(Group::size)
             .collect();
-        let incremental: Vec<usize> =
-            IncrementalGrouper::new(&reps, GroupingConfig::default())
-                .all_groups()
-                .iter()
-                .map(Group::size)
-                .collect();
+        let incremental: Vec<usize> = IncrementalGrouper::new(&reps, GroupingConfig::default())
+            .all_groups()
+            .iter()
+            .map(Group::size)
+            .collect();
         assert_eq!(
             one_shot.iter().sum::<usize>(),
             incremental.iter().sum::<usize>(),

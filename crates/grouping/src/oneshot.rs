@@ -115,12 +115,18 @@ mod tests {
         // Size-2 groups must mix the two clusters (that is the whole point of
         // learning transformations that repeat across clusters).
         for g in groups.iter().filter(|g| g.size() == 2) {
-            let mentions_lee = g.members().iter().any(|r| r.lhs().contains("Lee") || r.rhs().contains("Lee"));
+            let mentions_lee = g
+                .members()
+                .iter()
+                .any(|r| r.lhs().contains("Lee") || r.rhs().contains("Lee"));
             let mentions_smith = g
                 .members()
                 .iter()
                 .any(|r| r.lhs().contains("Smith") || r.rhs().contains("Smith"));
-            assert!(mentions_lee && mentions_smith, "cross-cluster group expected: {g}");
+            assert!(
+                mentions_lee && mentions_smith,
+                "cross-cluster group expected: {g}"
+            );
         }
         // Sizes are non-increasing.
         for w in groups.windows(2) {
@@ -151,12 +157,18 @@ mod tests {
             .iter()
             .find(|g| g.members().iter().any(|r| r.lhs() == "9th"))
             .unwrap();
-        assert!(digit_group.members().iter().any(|r| r.lhs() == "3rd"), "{groups:#?}");
+        assert!(
+            digit_group.members().iter().any(|r| r.lhs() == "3rd"),
+            "{groups:#?}"
+        );
         let street_group = groups
             .iter()
             .find(|g| g.members().iter().any(|r| r.lhs() == "Street"))
             .unwrap();
-        assert!(street_group.members().iter().any(|r| r.lhs() == "Avenue"), "{groups:#?}");
+        assert!(
+            street_group.members().iter().any(|r| r.lhs() == "Avenue"),
+            "{groups:#?}"
+        );
     }
 
     #[test]
@@ -187,7 +199,9 @@ mod tests {
         ];
         let groups = OneShotGrouper::new(&reps, config).group_all();
         assert_eq!(groups.len(), 2);
-        assert!(groups.iter().any(|g| g.program().is_none() && g.size() == 1));
+        assert!(groups
+            .iter()
+            .any(|g| g.program().is_none() && g.size() == 1));
     }
 
     #[test]

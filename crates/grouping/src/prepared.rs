@@ -9,6 +9,10 @@ use crate::config::GroupingConfig;
 use ec_graph::{GraphBuilder, LabelId, LabelInterner, Replacement, TransformationGraph};
 use ec_index::{GraphId, InvertedIndex};
 
+/// One worker's output: each replacement with its graph and private interner
+/// (`None` when the graph configuration rejected the replacement).
+type BuiltChunk = Vec<(Replacement, Option<(TransformationGraph, LabelInterner)>)>;
+
 /// The preprocessed state of one grouping problem.
 #[derive(Debug)]
 pub struct PreparedGraphs {
@@ -48,31 +52,31 @@ impl PreparedGraphs {
             let threads = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-                .min(8)
-                .max(1);
+                .clamp(1, 8);
             let chunk_size = unique.len().div_ceil(threads);
             let chunks: Vec<&[Replacement]> = unique.chunks(chunk_size).collect();
-            let results: Vec<Vec<(Replacement, Option<(TransformationGraph, LabelInterner)>)>> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = chunks
-                        .iter()
-                        .map(|chunk| {
-                            let builder = GraphBuilder::new(config.graph.clone());
-                            scope.spawn(move |_| {
-                                chunk
-                                    .iter()
-                                    .map(|r| {
-                                        let mut local = LabelInterner::new();
-                                        let g = builder.build(r, &mut local);
-                                        (r.clone(), g.map(|g| (g, local)))
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
+            let results: Vec<BuiltChunk> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| {
+                        let builder = GraphBuilder::new(config.graph.clone());
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|r| {
+                                    let mut local = LabelInterner::new();
+                                    let g = builder.build(r, &mut local);
+                                    (r.clone(), g.map(|g| (g, local)))
+                                })
+                                .collect::<Vec<_>>()
                         })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("graph build thread")).collect()
-                })
-                .expect("crossbeam scope");
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("graph build thread"))
+                    .collect()
+            });
             for chunk in results {
                 for (r, built) in chunk {
                     match built {
@@ -189,7 +193,11 @@ impl PreparedGraphs {
     /// Resolves a path of label ids into the corresponding transformation
     /// program.
     pub fn resolve_program(&self, path: &[LabelId]) -> ec_dsl::Program {
-        ec_dsl::Program::new(path.iter().map(|&l| self.interner.resolve(l).clone()).collect())
+        ec_dsl::Program::new(
+            path.iter()
+                .map(|&l| self.interner.resolve(l).clone())
+                .collect(),
+        )
     }
 }
 

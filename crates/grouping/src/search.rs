@@ -14,7 +14,7 @@
 //! * **global threshold** — every time a complete transformation path shared
 //!   by `n` graphs is found, those graphs' pivot paths are known to be shared
 //!   by at least `n` graphs, so their own searches can start from that bound.
-
+//!
 //! Ties between equally-shared paths are broken by the static function order
 //! of Appendix E: paths using fewer `ConstantStr` labels are preferred, since
 //! constants are the least general functions (two replacements with identical
@@ -453,7 +453,10 @@ mod tests {
         let mut lower = vec![1u32; prep.len()];
         let active = vec![true; prep.len()];
         let result = searcher.search(GraphId(2), 0, &active, &mut lower).unwrap();
-        assert_eq!(result.share_count, 2, "Lee/Mary and Smith/James transpositions share a program");
+        assert_eq!(
+            result.share_count, 2,
+            "Lee/Mary and Smith/James transpositions share a program"
+        );
         assert!(result.complete.contains(&GraphId(2)));
         assert!(result.complete.contains(&GraphId(3)));
     }
@@ -491,12 +494,18 @@ mod tests {
         let mut lower = vec![1u32; prep.len()];
         let active = vec![true; prep.len()];
         // G3's pivot is shared by only 1 graph, so a threshold of 1 rejects it.
-        assert!(searcher.search(GraphId(2), 1, &active, &mut lower).is_none());
+        assert!(searcher
+            .search(GraphId(2), 1, &active, &mut lower)
+            .is_none());
         // G1's pivot is shared by 2 graphs, so a threshold of 1 accepts it…
-        assert!(searcher.search(GraphId(0), 1, &active, &mut lower).is_some());
+        assert!(searcher
+            .search(GraphId(0), 1, &active, &mut lower)
+            .is_some());
         // …and a threshold of 2 rejects it.
         let mut lower = vec![1u32; prep.len()];
-        assert!(searcher.search(GraphId(0), 2, &active, &mut lower).is_none());
+        assert!(searcher
+            .search(GraphId(0), 2, &active, &mut lower)
+            .is_none());
     }
 
     #[test]
@@ -551,8 +560,13 @@ mod tests {
         let prep2 = prepared(&reps, &without);
         let searcher2 = PivotSearcher::new(&prep2, &without);
         let mut lower2 = vec![1u32; 2];
-        let result2 = searcher2.search(GraphId(0), 0, &active, &mut lower2).unwrap();
-        assert_eq!(result2.share_count, 1, "without affix labels the two graphs share no program");
+        let result2 = searcher2
+            .search(GraphId(0), 0, &active, &mut lower2)
+            .unwrap();
+        assert_eq!(
+            result2.share_count, 1,
+            "without affix labels the two graphs share no program"
+        );
     }
 
     #[test]

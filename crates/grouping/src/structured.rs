@@ -80,7 +80,11 @@ impl StructuredGrouper {
             }
             let mut parts: Vec<Vec<Replacement>> = by_structure.into_values().collect();
             // Deterministic order: biggest partitions first, ties by first member.
-            parts.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.first().cmp(&b.first())));
+            parts.sort_by(|a, b| {
+                b.len()
+                    .cmp(&a.len())
+                    .then_with(|| a.first().cmp(&b.first()))
+            });
             parts
         } else {
             vec![replacements.to_vec()]
@@ -170,7 +174,11 @@ impl StructuredGrouper {
                     .push(r.clone());
             }
             let mut parts: Vec<Vec<Replacement>> = by_structure.into_values().collect();
-            parts.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.first().cmp(&b.first())));
+            parts.sort_by(|a, b| {
+                b.len()
+                    .cmp(&a.len())
+                    .then_with(|| a.first().cmp(&b.first()))
+            });
             for part in parts {
                 groups.extend(OneShotGrouper::new(&part, config.clone()).group_all());
             }
@@ -213,9 +221,17 @@ mod tests {
         let total: usize = groups.iter().map(Group::size).sum();
         assert_eq!(total, reps.len());
         for w in groups.windows(2) {
-            assert!(w[0].size() >= w[1].size(), "{:?}", groups.iter().map(Group::size).collect::<Vec<_>>());
+            assert!(
+                w[0].size() >= w[1].size(),
+                "{:?}",
+                groups.iter().map(Group::size).collect::<Vec<_>>()
+            );
         }
-        assert_eq!(groups[0].size(), 3, "the transposition family is the largest group");
+        assert_eq!(
+            groups[0].size(),
+            3,
+            "the transposition family is the largest group"
+        );
     }
 
     #[test]
@@ -232,9 +248,18 @@ mod tests {
         let mut grouper = StructuredGrouper::new(&reps, GroupingConfig::default());
         let groups = grouper.all_groups();
         for g in &groups {
-            let has_digit = g.members().iter().any(|r| r.lhs().chars().any(|c| c.is_ascii_digit()));
-            let has_state = g.members().iter().any(|r| r.lhs() == "Wisconsin" || r.lhs() == "California");
-            assert!(!(has_digit && has_state), "structurally different pairs must not mix: {g}");
+            let has_digit = g
+                .members()
+                .iter()
+                .any(|r| r.lhs().chars().any(|c| c.is_ascii_digit()));
+            let has_state = g
+                .members()
+                .iter()
+                .any(|r| r.lhs() == "Wisconsin" || r.lhs() == "California");
+            assert!(
+                !(has_digit && has_state),
+                "structurally different pairs must not mix: {g}"
+            );
         }
     }
 

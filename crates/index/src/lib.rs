@@ -259,7 +259,7 @@ mod tests {
     fn example_5_1() -> (Vec<TransformationGraph>, LabelInterner, InvertedIndex) {
         let mut interner = LabelInterner::new();
         let builder = GraphBuilder::new(GraphConfig::default());
-        let reps = vec![
+        let reps = [
             Replacement::new("Lee, Mary", "M. Lee"),
             Replacement::new("Smith, James", "J. Smith"),
             Replacement::new("Lee, Mary", "Mary Lee"),
@@ -300,20 +300,47 @@ mod tests {
         // I[f1] = (⟨G1,4,7⟩, ⟨G2,4,9⟩, ⟨G3,6,9⟩) in the paper's 1-based node
         // numbering = (⟨0,3,6⟩, ⟨1,3,8⟩, ⟨2,5,8⟩) here.
         let l1 = index.list(id1);
-        assert!(l1.contains(&Posting { graph: GraphId(0), from: 3, to: 6 }));
-        assert!(l1.contains(&Posting { graph: GraphId(1), from: 3, to: 8 }));
-        assert!(l1.contains(&Posting { graph: GraphId(2), from: 5, to: 8 }));
+        assert!(l1.contains(&Posting {
+            graph: GraphId(0),
+            from: 3,
+            to: 6
+        }));
+        assert!(l1.contains(&Posting {
+            graph: GraphId(1),
+            from: 3,
+            to: 8
+        }));
+        assert!(l1.contains(&Posting {
+            graph: GraphId(2),
+            from: 5,
+            to: 8
+        }));
 
         // I[f2] = (⟨G1,1,2⟩, ⟨G2,1,2⟩, ⟨G3,1,2⟩) -> (⟨·,0,1⟩) here.
         let l2 = index.list(id2);
         for g in 0..3 {
-            assert!(l2.contains(&Posting { graph: GraphId(g), from: 0, to: 1 }), "graph {g}");
+            assert!(
+                l2.contains(&Posting {
+                    graph: GraphId(g),
+                    from: 0,
+                    to: 1
+                }),
+                "graph {g}"
+            );
         }
 
         // I[f3] = (⟨G1,2,4⟩, ⟨G2,2,4⟩) -> (⟨·,1,3⟩); G3 ("Mary Lee") has no ". ".
         let l3 = index.list(id3);
-        assert!(l3.contains(&Posting { graph: GraphId(0), from: 1, to: 3 }));
-        assert!(l3.contains(&Posting { graph: GraphId(1), from: 1, to: 3 }));
+        assert!(l3.contains(&Posting {
+            graph: GraphId(0),
+            from: 1,
+            to: 3
+        }));
+        assert!(l3.contains(&Posting {
+            graph: GraphId(1),
+            from: 1,
+            to: 3
+        }));
         assert!(!l3.iter().any(|p| p.graph == GraphId(2)));
     }
 
@@ -334,8 +361,14 @@ mod tests {
         assert_eq!(
             list.occurrences(),
             &[
-                PathOccurrence { graph: GraphId(0), end: 6 },
-                PathOccurrence { graph: GraphId(1), end: 8 }
+                PathOccurrence {
+                    graph: GraphId(0),
+                    end: 6
+                },
+                PathOccurrence {
+                    graph: GraphId(1),
+                    end: 8
+                }
             ]
         );
     }
@@ -355,7 +388,10 @@ mod tests {
         let list = index.path_list(graphs.len(), &[]);
         assert_eq!(list.graph_count(), 3);
         assert_eq!(list, PathList::universe(3));
-        assert_eq!(list.graphs().collect::<Vec<_>>(), vec![GraphId(0), GraphId(1), GraphId(2)]);
+        assert_eq!(
+            list.graphs().collect::<Vec<_>>(),
+            vec![GraphId(0), GraphId(1), GraphId(2)]
+        );
         // Unknown label -> empty.
         let unknown = LabelId(u32::MAX - 1);
         assert!(index.extend(&list, unknown).is_empty());
@@ -364,9 +400,18 @@ mod tests {
     #[test]
     fn graph_count_counts_distinct_graphs() {
         let list = PathList::from_occurrences(vec![
-            PathOccurrence { graph: GraphId(1), end: 3 },
-            PathOccurrence { graph: GraphId(1), end: 5 },
-            PathOccurrence { graph: GraphId(0), end: 2 },
+            PathOccurrence {
+                graph: GraphId(1),
+                end: 3,
+            },
+            PathOccurrence {
+                graph: GraphId(1),
+                end: 5,
+            },
+            PathOccurrence {
+                graph: GraphId(0),
+                end: 2,
+            },
         ]);
         assert_eq!(list.graph_count(), 2);
         assert_eq!(list.occurrences().len(), 3);
@@ -400,13 +445,22 @@ mod tests {
         // Start "mid-path" at node 3 of graph 0 and node 0 of graph 1: only the
         // graph-0 occurrence can extend through f1 (which starts at 3 there).
         let current = PathList::from_occurrences(vec![
-            PathOccurrence { graph: GraphId(0), end: 3 },
-            PathOccurrence { graph: GraphId(1), end: 0 },
+            PathOccurrence {
+                graph: GraphId(0),
+                end: 3,
+            },
+            PathOccurrence {
+                graph: GraphId(1),
+                end: 0,
+            },
         ]);
         let next = index.extend(&current, id1);
         assert_eq!(
             next.occurrences(),
-            &[PathOccurrence { graph: GraphId(0), end: 6 }]
+            &[PathOccurrence {
+                graph: GraphId(0),
+                end: 6
+            }]
         );
     }
 }

@@ -126,7 +126,12 @@ mod tests {
 
     #[test]
     fn precision_recall_mcc_basics() {
-        let c = ConfusionCounts { tp: 8, fp: 2, fn_: 2, tn: 88 };
+        let c = ConfusionCounts {
+            tp: 8,
+            fp: 2,
+            fn_: 2,
+            tn: 88,
+        };
         assert!((c.precision() - 0.8).abs() < 1e-9);
         assert!((c.recall() - 0.8).abs() < 1e-9);
         assert!(c.mcc() > 0.7 && c.mcc() < 0.85);
@@ -140,20 +145,48 @@ mod tests {
         assert_eq!(nothing.recall(), 0.0);
         assert_eq!(nothing.mcc(), 0.0);
 
-        let perfect = ConfusionCounts { tp: 10, fp: 0, fn_: 0, tn: 10 };
+        let perfect = ConfusionCounts {
+            tp: 10,
+            fp: 0,
+            fn_: 0,
+            tn: 10,
+        };
         assert_eq!(perfect.precision(), 1.0);
         assert_eq!(perfect.recall(), 1.0);
         assert!((perfect.mcc() - 1.0).abs() < 1e-9);
 
-        let inverted = ConfusionCounts { tp: 0, fp: 10, fn_: 10, tn: 0 };
+        let inverted = ConfusionCounts {
+            tp: 0,
+            fp: 10,
+            fn_: 10,
+            tn: 0,
+        };
         assert!((inverted.mcc() + 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn merge_adds_componentwise() {
-        let a = ConfusionCounts { tp: 1, fp: 2, fn_: 3, tn: 4 };
-        let b = ConfusionCounts { tp: 10, fp: 20, fn_: 30, tn: 40 };
-        assert_eq!(a.merge(&b), ConfusionCounts { tp: 11, fp: 22, fn_: 33, tn: 44 });
+        let a = ConfusionCounts {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+            tn: 4,
+        };
+        let b = ConfusionCounts {
+            tp: 10,
+            fp: 20,
+            fn_: 30,
+            tn: 40,
+        };
+        assert_eq!(
+            a.merge(&b),
+            ConfusionCounts {
+                tp: 11,
+                fp: 22,
+                fn_: 33,
+                tn: 44
+            }
+        );
     }
 
     #[test]
@@ -161,9 +194,24 @@ mod tests {
         // Cluster 0: a variant pair that gets standardized, cluster 1: a
         // conflict pair that stays apart, cluster 2: a variant pair missed.
         let sample = vec![
-            LabeledPair { cluster: 0, row_a: 0, row_b: 1, is_variant: true },
-            LabeledPair { cluster: 1, row_a: 0, row_b: 1, is_variant: false },
-            LabeledPair { cluster: 2, row_a: 0, row_b: 1, is_variant: true },
+            LabeledPair {
+                cluster: 0,
+                row_a: 0,
+                row_b: 1,
+                is_variant: true,
+            },
+            LabeledPair {
+                cluster: 1,
+                row_a: 0,
+                row_b: 1,
+                is_variant: false,
+            },
+            LabeledPair {
+                cluster: 2,
+                row_a: 0,
+                row_b: 1,
+                is_variant: true,
+            },
         ];
         let updated = vec![
             vec!["Mary Lee".to_string(), "Mary Lee".to_string()],
@@ -171,7 +219,15 @@ mod tests {
             vec!["J. Smith".to_string(), "James Smith".to_string()],
         ];
         let c = evaluate_standardization(&sample, &updated);
-        assert_eq!(c, ConfusionCounts { tp: 1, fp: 0, fn_: 1, tn: 1 });
+        assert_eq!(
+            c,
+            ConfusionCounts {
+                tp: 1,
+                fp: 0,
+                fn_: 1,
+                tn: 1
+            }
+        );
         assert!((c.recall() - 0.5).abs() < 1e-9);
         assert_eq!(c.precision(), 1.0);
     }
@@ -179,8 +235,18 @@ mod tests {
     #[test]
     fn false_positives_lower_precision() {
         let sample = vec![
-            LabeledPair { cluster: 0, row_a: 0, row_b: 1, is_variant: false },
-            LabeledPair { cluster: 0, row_a: 0, row_b: 2, is_variant: true },
+            LabeledPair {
+                cluster: 0,
+                row_a: 0,
+                row_b: 1,
+                is_variant: false,
+            },
+            LabeledPair {
+                cluster: 0,
+                row_a: 0,
+                row_b: 2,
+                is_variant: true,
+            },
         ];
         let updated = vec![vec!["x".to_string(), "x".to_string(), "x".to_string()]];
         let c = evaluate_standardization(&sample, &updated);
@@ -197,7 +263,12 @@ mod tests {
             Some("wrong".to_string()),
             Some("d".to_string()),
         ];
-        let truth = vec!["a".to_string(), "b".to_string(), "c".to_string(), "d".to_string()];
+        let truth = vec![
+            "a".to_string(),
+            "b".to_string(),
+            "c".to_string(),
+            "d".to_string(),
+        ];
         assert!((golden_record_precision(&produced, &truth) - 0.5).abs() < 1e-9);
         assert_eq!(golden_record_precision(&[], &[]), 0.0);
     }

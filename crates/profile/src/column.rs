@@ -112,9 +112,16 @@ impl ColumnProfile {
 
         let mut top: Vec<StructureCount> = structures
             .iter()
-            .map(|(structure, &count)| StructureCount { structure: structure.clone(), count })
+            .map(|(structure, &count)| StructureCount {
+                structure: structure.clone(),
+                count,
+            })
             .collect();
-        top.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.structure.cmp(&b.structure)));
+        top.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.structure.cmp(&b.structure))
+        });
         let num_structures = top.len();
         top.truncate(10);
 
@@ -193,7 +200,10 @@ mod tests {
         let p = ColumnProfile::profile(&d, 0);
         // "Mary Lee" and "James Smith" share the structure TC Tl Tb TC Tl.
         let top = &p.top_structures[0];
-        assert!(top.count >= 3, "the dominant name shape covers at least 3 values: {top:?}");
+        assert!(
+            top.count >= 3,
+            "the dominant name shape covers at least 3 values: {top:?}"
+        );
         assert_eq!(
             p.top_structures.iter().map(|s| s.count).sum::<usize>(),
             p.num_values,
@@ -204,12 +214,21 @@ mod tests {
 
     #[test]
     fn empty_values_are_counted() {
-        let mk = |s: &str| Cell { observed: s.to_string(), truth: s.to_string() };
+        let mk = |s: &str| Cell {
+            observed: s.to_string(),
+            truth: s.to_string(),
+        };
         let mut d = Dataset::new("d", vec!["A".to_string()]);
         d.clusters.push(Cluster {
             rows: vec![
-                Row { source: 0, cells: vec![mk("")] },
-                Row { source: 1, cells: vec![mk("x")] },
+                Row {
+                    source: 0,
+                    cells: vec![mk("")],
+                },
+                Row {
+                    source: 1,
+                    cells: vec![mk("x")],
+                },
             ],
             golden: vec!["x".to_string()],
         });
@@ -222,12 +241,21 @@ mod tests {
 
     #[test]
     fn identical_values_make_no_pairs_and_no_divergence() {
-        let mk = |s: &str| Cell { observed: s.to_string(), truth: s.to_string() };
+        let mk = |s: &str| Cell {
+            observed: s.to_string(),
+            truth: s.to_string(),
+        };
         let mut d = Dataset::new("d", vec!["A".to_string()]);
         d.clusters.push(Cluster {
             rows: vec![
-                Row { source: 0, cells: vec![mk("same")] },
-                Row { source: 1, cells: vec![mk("same")] },
+                Row {
+                    source: 0,
+                    cells: vec![mk("same")],
+                },
+                Row {
+                    source: 1,
+                    cells: vec![mk("same")],
+                },
             ],
             golden: vec!["same".to_string()],
         });
@@ -240,13 +268,21 @@ mod tests {
 
     #[test]
     fn top_structures_are_capped_at_ten() {
-        let mk = |s: &str| Cell { observed: s.to_string(), truth: s.to_string() };
+        let mk = |s: &str| Cell {
+            observed: s.to_string(),
+            truth: s.to_string(),
+        };
         let mut d = Dataset::new("d", vec!["A".to_string()]);
         // 15 values with 15 different punctuation-heavy structures.
-        let punct = ['!', '?', ';', ':', '(', ')', '[', ']', '{', '}', '<', '>', '/', '%', '&'];
+        let punct = [
+            '!', '?', ';', ':', '(', ')', '[', ']', '{', '}', '<', '>', '/', '%', '&',
+        ];
         for (i, p) in punct.iter().enumerate() {
             d.clusters.push(Cluster {
-                rows: vec![Row { source: 0, cells: vec![mk(&format!("a{}{}", p, "b".repeat(i + 1)))] }],
+                rows: vec![Row {
+                    source: 0,
+                    cells: vec![mk(&format!("a{}{}", p, "b".repeat(i + 1)))],
+                }],
                 golden: vec![String::new()],
             });
         }

@@ -107,18 +107,36 @@ mod tests {
         let mut d = Dataset::new("table1", vec!["Name".to_string(), "Address".to_string()]);
         d.clusters.push(Cluster {
             rows: vec![
-                Row { source: 0, cells: vec![mk("Mary Lee"), mk("9 St, 02141 Wisconsin")] },
-                Row { source: 1, cells: vec![mk("M. Lee"), mk("9th St, 02141 WI")] },
-                Row { source: 2, cells: vec![mk("Lee, Mary"), mk("9 Street, 02141 WI")] },
+                Row {
+                    source: 0,
+                    cells: vec![mk("Mary Lee"), mk("9 St, 02141 Wisconsin")],
+                },
+                Row {
+                    source: 1,
+                    cells: vec![mk("M. Lee"), mk("9th St, 02141 WI")],
+                },
+                Row {
+                    source: 2,
+                    cells: vec![mk("Lee, Mary"), mk("9 Street, 02141 WI")],
+                },
             ],
             golden: vec!["Mary Lee".to_string(), "9th Street, 02141 WI".to_string()],
         });
         d.clusters.push(Cluster {
             rows: vec![
-                Row { source: 0, cells: vec![mk("James Smith"), mk("3 E Avenue, 33990 CA")] },
-                Row { source: 1, cells: vec![mk("James Smith"), mk("3 E Avenue, 33990 CA")] },
+                Row {
+                    source: 0,
+                    cells: vec![mk("James Smith"), mk("3 E Avenue, 33990 CA")],
+                },
+                Row {
+                    source: 1,
+                    cells: vec![mk("James Smith"), mk("3 E Avenue, 33990 CA")],
+                },
             ],
-            golden: vec!["James Smith".to_string(), "3rd E Avenue, 33990 CA".to_string()],
+            golden: vec![
+                "James Smith".to_string(),
+                "3rd E Avenue, 33990 CA".to_string(),
+            ],
         });
         d
     }
@@ -152,8 +170,14 @@ mod tests {
             rows: vec![Row {
                 source: 0,
                 cells: vec![
-                    Cell { observed: "X".into(), truth: "X".into() },
-                    Cell { observed: "Y".into(), truth: "Y".into() },
+                    Cell {
+                        observed: "X".into(),
+                        truth: "X".into(),
+                    },
+                    Cell {
+                        observed: "Y".into(),
+                        truth: "Y".into(),
+                    },
                 ],
             }],
             golden: vec!["X".to_string(), "Y".to_string()],

@@ -74,21 +74,43 @@ mod tests {
     /// A dataset with one clean column, one dirty (variant-heavy) column and
     /// one empty column.
     fn three_column_dataset() -> Dataset {
-        let mk = |s: &str| Cell { observed: s.to_string(), truth: s.to_string() };
+        let mk = |s: &str| Cell {
+            observed: s.to_string(),
+            truth: s.to_string(),
+        };
         let mut d = Dataset::new(
             "d",
-            vec!["Clean".to_string(), "Dirty".to_string(), "Empty".to_string()],
+            vec![
+                "Clean".to_string(),
+                "Dirty".to_string(),
+                "Empty".to_string(),
+            ],
         );
         let rows = [
-            [("Alice", "9 St", ""), ("Alice", "9th Street", ""), ("Alice", "9 Street", "")],
-            [("Bob", "5 Ave", ""), ("Bob", "5th Avenue", ""), ("Bob", "5 Avenue", "")],
-            [("Carol", "1 Rd", ""), ("Carol", "1st Road", ""), ("Carol", "1 Road", "")],
+            [
+                ("Alice", "9 St", ""),
+                ("Alice", "9th Street", ""),
+                ("Alice", "9 Street", ""),
+            ],
+            [
+                ("Bob", "5 Ave", ""),
+                ("Bob", "5th Avenue", ""),
+                ("Bob", "5 Avenue", ""),
+            ],
+            [
+                ("Carol", "1 Rd", ""),
+                ("Carol", "1st Road", ""),
+                ("Carol", "1 Road", ""),
+            ],
         ];
         for cluster_rows in rows {
             d.clusters.push(Cluster {
                 rows: cluster_rows
                     .iter()
-                    .map(|(a, b, c)| Row { source: 0, cells: vec![mk(a), mk(b), mk(c)] })
+                    .map(|(a, b, c)| Row {
+                        source: 0,
+                        cells: vec![mk(a), mk(b), mk(c)],
+                    })
                     .collect(),
                 golden: vec![String::new(), String::new(), String::new()],
             });

@@ -37,9 +37,18 @@ pub fn render_dataset_profile(profile: &DatasetProfile) -> String {
             col.num_values.to_string(),
             col.num_distinct.to_string(),
             col.num_empty.to_string(),
-            format!("{}/{}/{}", col.length.min, fmt_f64(col.length.mean, 1), col.length.max),
+            format!(
+                "{}/{}/{}",
+                col.length.min,
+                fmt_f64(col.length.mean, 1),
+                col.length.max
+            ),
             col.num_structures.to_string(),
-            format!("{} ({}%)", col.divergent_clusters, fmt_f64(col.divergence() * 100.0, 1)),
+            format!(
+                "{} ({}%)",
+                col.divergent_clusters,
+                fmt_f64(col.divergence() * 100.0, 1)
+            ),
             col.distinct_value_pairs.to_string(),
         ]);
     }
@@ -59,7 +68,13 @@ pub fn render_dataset_profile(profile: &DatasetProfile) -> String {
 
 /// Renders a column ranking as a small table, most promising column first.
 pub fn render_priorities(priorities: &[ColumnPriority]) -> String {
-    let mut table = TextTable::new(["rank", "column", "score", "divergent clusters", "value pairs"]);
+    let mut table = TextTable::new([
+        "rank",
+        "column",
+        "score",
+        "divergent clusters",
+        "value pairs",
+    ]);
     for (rank, p) in priorities.iter().enumerate() {
         table.push_row([
             (rank + 1).to_string(),
@@ -88,7 +103,10 @@ mod tests {
         let profile = DatasetProfile::profile(&dataset);
         let text = render_dataset_profile(&profile);
         for col in &dataset.columns {
-            assert!(text.contains(col.as_str()), "missing column {col} in:\n{text}");
+            assert!(
+                text.contains(col.as_str()),
+                "missing column {col} in:\n{text}"
+            );
         }
         assert!(text.contains("clusters"));
         assert!(text.contains("top structures"));

@@ -7,10 +7,7 @@ use proptest::prelude::*;
 
 /// A random clustered dataset with 1-3 columns of short, messy strings.
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    let value = prop_oneof![
-        Just(String::new()),
-        "[A-Za-z0-9 ,.]{1,12}".prop_map(|s| s),
-    ];
+    let value = prop_oneof![Just(String::new()), "[A-Za-z0-9 ,.]{1,12}".prop_map(|s| s),];
     (1usize..=3).prop_flat_map(move |num_cols| {
         let row = proptest::collection::vec(value.clone(), num_cols..=num_cols);
         let cluster = proptest::collection::vec(row, 1..6);
@@ -26,7 +23,10 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
                             source: 0,
                             cells: cells
                                 .into_iter()
-                                .map(|v| Cell { truth: v.clone(), observed: v })
+                                .map(|v| Cell {
+                                    truth: v.clone(),
+                                    observed: v,
+                                })
                                 .collect(),
                         })
                         .collect(),

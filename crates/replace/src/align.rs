@@ -58,7 +58,9 @@ pub fn lcs_token_pairs(a: &str, b: &str) -> Vec<(String, String)> {
     let lcs = lcs_indices(&ta, &tb);
     let mut out = Vec::new();
     let mut prev = (0usize, 0usize);
-    let push_gap = |out: &mut Vec<(String, String)>, ra: std::ops::Range<usize>, rb: std::ops::Range<usize>| {
+    let push_gap = |out: &mut Vec<(String, String)>,
+                    ra: std::ops::Range<usize>,
+                    rb: std::ops::Range<usize>| {
         if ra.is_empty() && rb.is_empty() {
             return;
         }
@@ -94,13 +96,15 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     for (i, row) in dp.iter_mut().enumerate() {
         row[0] = i;
     }
-    for j in 0..=m {
-        dp[0][j] = j;
+    for (j, cell) in dp[0].iter_mut().enumerate() {
+        *cell = j;
     }
     for i in 1..=n {
         for j in 1..=m {
             let cost = usize::from(a[i - 1] != b[j - 1]);
-            let mut best = (dp[i - 1][j] + 1).min(dp[i][j - 1] + 1).min(dp[i - 1][j - 1] + cost);
+            let mut best = (dp[i - 1][j] + 1)
+                .min(dp[i][j - 1] + 1)
+                .min(dp[i - 1][j - 1] + cost);
             if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
                 best = best.min(dp[i - 2][j - 2] + 1);
             }
@@ -135,7 +139,10 @@ mod tests {
     #[test]
     fn completely_different_values_produce_one_pair() {
         let pairs = lcs_token_pairs("alpha beta", "gamma delta");
-        assert_eq!(pairs, vec![("alpha beta".to_string(), "gamma delta".to_string())]);
+        assert_eq!(
+            pairs,
+            vec![("alpha beta".to_string(), "gamma delta".to_string())]
+        );
     }
 
     #[test]

@@ -218,7 +218,11 @@ mod tests {
     fn name_column() -> Vec<Vec<String>> {
         vec![
             vec!["Mary Lee".into(), "M. Lee".into(), "Lee, Mary".into()],
-            vec!["Smith, James".into(), "James Smith".into(), "J. Smith".into()],
+            vec![
+                "Smith, James".into(),
+                "James Smith".into(),
+                "J. Smith".into(),
+            ],
         ]
     }
 
@@ -286,7 +290,10 @@ mod tests {
         };
         let mut engine = ReplacementEngine::new(clusters, &config);
         let n = engine.apply_group(
-            &[Replacement::new("9", "9th"), Replacement::new("Wisconsin", "WI")],
+            &[
+                Replacement::new("9", "9th"),
+                Replacement::new("Wisconsin", "WI"),
+            ],
             Direction::Forward,
         );
         assert_eq!(n, 2);
@@ -297,7 +304,10 @@ mod tests {
     #[test]
     fn applying_an_unknown_replacement_is_a_no_op() {
         let mut engine = ReplacementEngine::new(name_column(), &CandidateConfig::full_value_only());
-        let n = engine.apply_group(&[Replacement::new("nope", "still nope")], Direction::Forward);
+        let n = engine.apply_group(
+            &[Replacement::new("nope", "still nope")],
+            Direction::Forward,
+        );
         assert_eq!(n, 0);
         assert_eq!(engine.values(), &name_column()[..]);
     }
@@ -309,7 +319,10 @@ mod tests {
         let first = engine.apply_group(&members, Direction::Forward);
         let second = engine.apply_group(&members, Direction::Forward);
         assert_eq!(first, 1);
-        assert_eq!(second, 0, "the replacement set was consumed by the first application");
+        assert_eq!(
+            second, 0,
+            "the replacement set was consumed by the first application"
+        );
     }
 
     #[test]
@@ -329,8 +342,14 @@ mod tests {
     #[test]
     fn cells_updated_accumulates() {
         let mut engine = ReplacementEngine::new(name_column(), &CandidateConfig::full_value_only());
-        engine.apply_group(&[Replacement::new("Lee, Mary", "Mary Lee")], Direction::Forward);
-        engine.apply_group(&[Replacement::new("Smith, James", "James Smith")], Direction::Forward);
+        engine.apply_group(
+            &[Replacement::new("Lee, Mary", "Mary Lee")],
+            Direction::Forward,
+        );
+        engine.apply_group(
+            &[Replacement::new("Smith, James", "James Smith")],
+            Direction::Forward,
+        );
         assert_eq!(engine.cells_updated(), 2);
         let values = engine.into_values();
         assert_eq!(values[0][2], "Mary Lee");

@@ -133,7 +133,11 @@ mod tests {
     fn table1_name_column() -> Vec<Vec<String>> {
         vec![
             vec!["Mary Lee".into(), "M. Lee".into(), "Lee, Mary".into()],
-            vec!["Smith, James".into(), "James Smith".into(), "J. Smith".into()],
+            vec![
+                "Smith, James".into(),
+                "James Smith".into(),
+                "J. Smith".into(),
+            ],
         ]
     }
 
@@ -181,7 +185,12 @@ mod tests {
                 max_distinct_values_per_cluster: None,
             },
         );
-        for (lhs, rhs) in [("9", "9th"), ("9th", "9"), ("Wisconsin", "WI"), ("WI", "Wisconsin")] {
+        for (lhs, rhs) in [
+            ("9", "9th"),
+            ("9th", "9"),
+            ("Wisconsin", "WI"),
+            ("WI", "Wisconsin"),
+        ] {
             assert!(
                 set.replacements.contains(&Replacement::new(lhs, rhs)),
                 "missing {lhs} -> {rhs}: {:?}",

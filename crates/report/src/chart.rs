@@ -175,7 +175,10 @@ pub fn ascii_chart(figure: &Figure, config: &ChartConfig) -> String {
         x_max,
         width = width.saturating_sub(x_max.to_string().len()).max(1)
     ));
-    out.push_str(&format!("{:>9}  x: {}   y: {}\n", "", figure.x_label, figure.y_label));
+    out.push_str(&format!(
+        "{:>9}  x: {}   y: {}\n",
+        "", figure.x_label, figure.y_label
+    ));
 
     // Legend.
     out.push_str(&format!("{:>9}  ", ""));
@@ -197,13 +200,17 @@ mod tests {
     use crate::Series;
 
     fn recall_figure() -> Figure {
-        Figure::new("Figure 7(b): recall on Address", "# of groups confirmed", "recall")
-            .with_series(Series::new(
-                "Group",
-                vec![(0.0, 0.0), (25.0, 0.4), (50.0, 0.6), (100.0, 0.75)],
-            ))
-            .with_series(Series::new("Single", vec![(0.0, 0.0), (100.0, 0.1)]))
-            .with_series(Series::new("Trifacta", vec![(0.0, 0.55), (100.0, 0.55)]))
+        Figure::new(
+            "Figure 7(b): recall on Address",
+            "# of groups confirmed",
+            "recall",
+        )
+        .with_series(Series::new(
+            "Group",
+            vec![(0.0, 0.0), (25.0, 0.4), (50.0, 0.6), (100.0, 0.75)],
+        ))
+        .with_series(Series::new("Single", vec![(0.0, 0.0), (100.0, 0.1)]))
+        .with_series(Series::new("Trifacta", vec![(0.0, 0.55), (100.0, 0.55)]))
     }
 
     #[test]
@@ -226,7 +233,11 @@ mod tests {
 
     #[test]
     fn chart_has_requested_dimensions() {
-        let config = ChartConfig { width: 40, height: 10, ..ChartConfig::metric() };
+        let config = ChartConfig {
+            width: 40,
+            height: 10,
+            ..ChartConfig::metric()
+        };
         let chart = ascii_chart(&recall_figure(), &config);
         let plot_rows: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
         assert_eq!(plot_rows.len(), 10);
@@ -238,8 +249,8 @@ mod tests {
 
     #[test]
     fn higher_values_are_drawn_on_higher_rows() {
-        let fig = Figure::new("t", "x", "y")
-            .with_series(Series::new("s", vec![(0.0, 0.0), (10.0, 1.0)]));
+        let fig =
+            Figure::new("t", "x", "y").with_series(Series::new("s", vec![(0.0, 0.0), (10.0, 1.0)]));
         let chart = ascii_chart(&fig, &ChartConfig::metric());
         let rows: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
         let top_marker = rows.first().unwrap().rfind('*');
@@ -263,7 +274,10 @@ mod tests {
         let fig = Figure::new("Figure 9(a)", "# of groups", "runtime in sec")
             .with_series(Series::new("Incremental", vec![(1.0, 1.6), (200.0, 40.0)]))
             .with_series(Series::new("OneShot", vec![(1.0, 4900.0), (200.0, 4900.0)]))
-            .with_series(Series::new("EarlyTerm", vec![(1.0, 1800.0), (200.0, 1800.0)]));
+            .with_series(Series::new(
+                "EarlyTerm",
+                vec![(1.0, 1800.0), (200.0, 1800.0)],
+            ));
         let chart = ascii_chart(&fig, &ChartConfig::runtime());
         assert!(chart.contains("Incremental"));
         // The log axis keeps both extremes on the canvas: the top label is at
@@ -298,8 +312,15 @@ mod tests {
 
     #[test]
     fn tiny_dimensions_are_clamped() {
-        let config = ChartConfig { width: 1, height: 1, ..ChartConfig::default() };
+        let config = ChartConfig {
+            width: 1,
+            height: 1,
+            ..ChartConfig::default()
+        };
         let chart = ascii_chart(&recall_figure(), &config);
-        assert!(chart.lines().count() >= 4, "clamped to a usable minimum size");
+        assert!(
+            chart.lines().count() >= 4,
+            "clamped to a usable minimum size"
+        );
     }
 }

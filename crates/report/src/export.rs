@@ -33,7 +33,7 @@ pub fn gnuplot_dat(figure: &Figure) -> String {
 /// union of x values; missing samples are left empty.
 pub fn csv_export(figure: &Figure) -> String {
     let mut out = String::new();
-    out.push_str("x");
+    out.push('x');
     for series in &figure.series {
         out.push(',');
         // Quote names containing commas.
@@ -87,7 +87,10 @@ mod tests {
 
     fn figure() -> Figure {
         Figure::new("Figure 7(b)", "# of groups confirmed", "recall")
-            .with_series(Series::new("Group", vec![(0.0, 0.0), (50.0, 0.6), (100.0, 0.75)]))
+            .with_series(Series::new(
+                "Group",
+                vec![(0.0, 0.0), (50.0, 0.6), (100.0, 0.75)],
+            ))
             .with_series(Series::new("Trifacta", vec![(0.0, 0.55), (100.0, 0.55)]))
     }
 
@@ -135,6 +138,10 @@ mod tests {
         let fig = Figure::new("t", "x", "y")
             .with_series(Series::new("s", vec![(f64::NAN, 1.0), (1.0, 2.0)]));
         let csv = csv_export(&fig);
-        assert_eq!(csv.lines().count(), 2, "header plus the single finite point");
+        assert_eq!(
+            csv.lines().count(),
+            2,
+            "header plus the single finite point"
+        );
     }
 }

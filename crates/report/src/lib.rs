@@ -51,7 +51,10 @@ impl Series {
 
     /// Creates a series from integer x values (the usual "number of groups
     /// confirmed" axis).
-    pub fn from_indexed(name: impl Into<String>, values: impl IntoIterator<Item = (usize, f64)>) -> Self {
+    pub fn from_indexed(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = (usize, f64)>,
+    ) -> Self {
         Series {
             name: name.into(),
             points: values.into_iter().map(|(x, y)| (x as f64, y)).collect(),
@@ -144,12 +147,20 @@ impl Figure {
 
     /// The combined x range over all series.
     pub fn x_range(&self) -> Option<(f64, f64)> {
-        range(self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)))
+        range(
+            self.series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|&(x, _)| x)),
+        )
     }
 
     /// The combined y range over all series.
     pub fn y_range(&self) -> Option<(f64, f64)> {
-        range(self.series.iter().flat_map(|s| s.points.iter().map(|&(_, y)| y)))
+        range(
+            self.series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|&(_, y)| y)),
+        )
     }
 
     /// Total number of points across all series.

@@ -113,13 +113,32 @@ impl TextTable {
         let escape = |s: &str| s.replace('|', "\\|");
         let mut out = String::new();
         out.push_str("| ");
-        out.push_str(&self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(" | "));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
         out.push_str(" |\n|");
-        out.push_str(&self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|"),
+        );
         out.push_str("|\n");
         for row in &self.rows {
             out.push_str("| ");
-            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(
+                &row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(" | "),
+            );
             out.push_str(" |\n");
         }
         out

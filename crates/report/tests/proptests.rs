@@ -13,7 +13,10 @@ fn finite_point() -> impl Strategy<Value = (f64, f64)> {
 }
 
 fn arb_series() -> impl Strategy<Value = Series> {
-    ("[a-zA-Z ]{1,12}", proptest::collection::vec(finite_point(), 0..20))
+    (
+        "[a-zA-Z ]{1,12}",
+        proptest::collection::vec(finite_point(), 0..20),
+    )
         .prop_map(|(name, points)| Series::new(name, points))
 }
 

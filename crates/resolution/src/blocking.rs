@@ -41,7 +41,12 @@ fn blocking_columns(config: &BlockingConfig, num_columns: usize) -> Vec<usize> {
     if config.columns.is_empty() {
         (0..num_columns).collect()
     } else {
-        config.columns.iter().copied().filter(|&c| c < num_columns).collect()
+        config
+            .columns
+            .iter()
+            .copied()
+            .filter(|&c| c < num_columns)
+            .collect()
     }
 }
 
@@ -50,7 +55,10 @@ fn blocking_columns(config: &BlockingConfig, num_columns: usize) -> Vec<usize> {
 /// ordered, and with `a < b`.
 ///
 /// `records[i]` is the field vector of record `i`.
-pub fn token_blocking_pairs(records: &[Vec<String>], config: &BlockingConfig) -> Vec<(usize, usize)> {
+pub fn token_blocking_pairs(
+    records: &[Vec<String>],
+    config: &BlockingConfig,
+) -> Vec<(usize, usize)> {
     if records.is_empty() {
         return Vec::new();
     }
@@ -153,18 +161,27 @@ mod tests {
 
     #[test]
     fn token_blocking_respects_column_selection() {
-        let config = BlockingConfig { columns: vec![0], ..BlockingConfig::default() };
+        let config = BlockingConfig {
+            columns: vec![0],
+            ..BlockingConfig::default()
+        };
         let pairs = token_blocking_pairs(&records(), &config);
         // Columns restricted to the name: the Lee/Smith cross pairs that only
         // share address tokens ("st", "02141") disappear for record 4 vs 0.
         assert!(pairs.contains(&(0, 2)));
-        assert!(!pairs.contains(&(1, 4)), "only shares 'st' in the address column");
+        assert!(
+            !pairs.contains(&(1, 4)),
+            "only shares 'st' in the address column"
+        );
     }
 
     #[test]
     fn oversized_blocks_are_skipped() {
         let many: Vec<Vec<String>> = (0..50).map(|i| vec![format!("common token {i}")]).collect();
-        let config = BlockingConfig { max_block_size: 10, ..BlockingConfig::default() };
+        let config = BlockingConfig {
+            max_block_size: 10,
+            ..BlockingConfig::default()
+        };
         let pairs = token_blocking_pairs(&many, &config);
         // "common" and "token" appear in all 50 records and are skipped; the
         // only remaining shared tokens are the unique numbers, so no pairs.
@@ -188,8 +205,20 @@ mod tests {
     #[test]
     fn sorted_neighborhood_window_bounds_candidates() {
         let recs = records();
-        let narrow = sorted_neighborhood_pairs(&recs, &BlockingConfig { window: 2, ..Default::default() });
-        let wide = sorted_neighborhood_pairs(&recs, &BlockingConfig { window: 6, ..Default::default() });
+        let narrow = sorted_neighborhood_pairs(
+            &recs,
+            &BlockingConfig {
+                window: 2,
+                ..Default::default()
+            },
+        );
+        let wide = sorted_neighborhood_pairs(
+            &recs,
+            &BlockingConfig {
+                window: 6,
+                ..Default::default()
+            },
+        );
         assert!(narrow.len() <= wide.len());
         // With a window covering all records every pair is a candidate.
         assert_eq!(wide.len(), recs.len() * (recs.len() - 1) / 2);
@@ -200,7 +229,10 @@ mod tests {
         assert!(sorted_neighborhood_pairs(&[], &BlockingConfig::default()).is_empty());
         let one = vec![vec!["a".to_string()]];
         assert!(sorted_neighborhood_pairs(&one, &BlockingConfig::default()).is_empty());
-        let cfg = BlockingConfig { window: 1, ..Default::default() };
+        let cfg = BlockingConfig {
+            window: 1,
+            ..Default::default()
+        };
         assert!(sorted_neighborhood_pairs(&records(), &cfg).is_empty());
     }
 }

@@ -146,7 +146,10 @@ impl Resolver {
         rules
             .iter()
             .map(|rule| {
-                rule.weight * rule.measure.score(&a.fields[rule.column], &b.fields[rule.column])
+                rule.weight
+                    * rule
+                        .measure
+                        .score(&a.fields[rule.column], &b.fields[rule.column])
             })
             .sum::<f64>()
             / total_weight
@@ -291,8 +294,16 @@ mod tests {
     fn resolver_reconstructs_the_paper_table1_clusters() {
         let config = ResolverConfig {
             rules: vec![
-                ColumnRule { column: 0, measure: SimilarityMeasure::Jaccard, weight: 1.0 },
-                ColumnRule { column: 1, measure: SimilarityMeasure::QgramCosine(2), weight: 1.0 },
+                ColumnRule {
+                    column: 0,
+                    measure: SimilarityMeasure::Jaccard,
+                    weight: 1.0,
+                },
+                ColumnRule {
+                    column: 1,
+                    measure: SimilarityMeasure::QgramCosine(2),
+                    weight: 1.0,
+                },
             ],
             threshold: 0.5,
             ..ResolverConfig::default()
@@ -300,10 +311,19 @@ mod tests {
         let clusters = Resolver::new(config).resolve(&lee_smith_records());
         // The Lee records (0,1,2) and Smith records (3,4,5) cluster; Alice is a singleton.
         let lee = clusters.iter().find(|c| c.contains(&0)).unwrap();
-        assert!(lee.contains(&2), "Lee, Mary should join Mary Lee: {clusters:?}");
+        assert!(
+            lee.contains(&2),
+            "Lee, Mary should join Mary Lee: {clusters:?}"
+        );
         let smith = clusters.iter().find(|c| c.contains(&4)).unwrap();
-        assert!(smith.contains(&3), "Smith, James should join James Smith: {clusters:?}");
-        assert!(clusters.iter().any(|c| c == &vec![6]), "Alice must stay a singleton");
+        assert!(
+            smith.contains(&3),
+            "Smith, James should join James Smith: {clusters:?}"
+        );
+        assert!(
+            clusters.iter().any(|c| c == &vec![6]),
+            "Alice must stay a singleton"
+        );
         assert!(!lee.contains(&4), "Lees and Smiths must not merge");
     }
 
@@ -324,7 +344,10 @@ mod tests {
 
     #[test]
     fn threshold_one_keeps_everything_apart() {
-        let config = ResolverConfig { threshold: 1.01, ..ResolverConfig::default() };
+        let config = ResolverConfig {
+            threshold: 1.01,
+            ..ResolverConfig::default()
+        };
         let clusters = Resolver::new(config).resolve(&lee_smith_records());
         assert_eq!(clusters.len(), lee_smith_records().len());
     }
@@ -367,7 +390,11 @@ mod tests {
             })
             .collect();
         let config = ResolverConfig {
-            rules: vec![ColumnRule { column: 0, measure: SimilarityMeasure::Jaccard, weight: 1.0 }],
+            rules: vec![ColumnRule {
+                column: 0,
+                measure: SimilarityMeasure::Jaccard,
+                weight: 1.0,
+            }],
             threshold: 0.45,
             ..ResolverConfig::default()
         };
@@ -385,19 +412,18 @@ mod tests {
             .iter()
             .find(|c| c.rows.iter().any(|r| r.cells[0].observed == "Mary Lee"))
             .unwrap();
-        assert!(lee_cluster.rows.iter().all(|r| r.cells[0].truth == "Mary Lee"));
+        assert!(lee_cluster
+            .rows
+            .iter()
+            .all(|r| r.cells[0].truth == "Mary Lee"));
         assert_eq!(lee_cluster.golden[0], "Mary Lee");
     }
 
     #[test]
     fn resolve_to_dataset_without_truths_uses_observed_values() {
         let records = vec![RawRecord::new(3, ["a"]), RawRecord::new(4, ["b"])];
-        let dataset = Resolver::default().resolve_to_dataset(
-            "plain",
-            vec!["x".to_string()],
-            &records,
-            None,
-        );
+        let dataset =
+            Resolver::default().resolve_to_dataset("plain", vec!["x".to_string()], &records, None);
         for cluster in &dataset.clusters {
             for row in &cluster.rows {
                 assert_eq!(row.cells[0].observed, row.cells[0].truth);
@@ -426,7 +452,10 @@ mod tests {
             BlockingScheme::SortedNeighborhood,
             BlockingScheme::Both,
         ] {
-            let config = ResolverConfig { scheme, ..ResolverConfig::default() };
+            let config = ResolverConfig {
+                scheme,
+                ..ResolverConfig::default()
+            };
             let clusters = Resolver::new(config).resolve(&records);
             let total: usize = clusters.iter().map(Vec::len).sum();
             assert_eq!(total, records.len(), "{scheme:?} must cover every record");

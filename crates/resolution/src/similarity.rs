@@ -21,7 +21,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         return a.len();
     }
     // Keep the shorter string in the inner dimension.
-    let (outer, inner) = if a.len() >= b.len() { (&a, &b) } else { (&b, &a) };
+    let (outer, inner) = if a.len() >= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     let mut prev: Vec<usize> = (0..=inner.len()).collect();
     let mut cur = vec![0usize; inner.len() + 1];
     for (i, &oc) in outer.iter().enumerate() {
@@ -255,7 +259,11 @@ mod tests {
 
     #[test]
     fn damerau_is_never_larger_than_levenshtein() {
-        let cases = [("kitten", "sitting"), ("Mary Lee", "Lee, Mary"), ("9th", "9")];
+        let cases = [
+            ("kitten", "sitting"),
+            ("Mary Lee", "Lee, Mary"),
+            ("9th", "9"),
+        ];
         for (a, b) in cases {
             assert!(damerau_levenshtein(a, b) <= levenshtein(a, b), "{a} vs {b}");
         }
@@ -319,7 +327,10 @@ mod tests {
             SimilarityMeasure::Jaccard,
             SimilarityMeasure::QgramCosine(2),
         ] {
-            assert!((m.score("Mary Lee", "Mary Lee") - 1.0).abs() < 1e-12, "{m:?}");
+            assert!(
+                (m.score("Mary Lee", "Mary Lee") - 1.0).abs() < 1e-12,
+                "{m:?}"
+            );
             let s = m.score("Mary Lee", "totally different");
             assert!((0.0..1.0).contains(&s), "{m:?} gave {s}");
         }

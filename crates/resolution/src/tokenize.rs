@@ -66,10 +66,7 @@ pub fn qgrams(s: &str, q: usize) -> Vec<String> {
         normalized.chars().collect()
     } else {
         let pad = std::iter::repeat('#').take(q - 1);
-        pad.clone()
-            .chain(normalized.chars())
-            .chain(pad)
-            .collect()
+        pad.clone().chain(normalized.chars()).chain(pad).collect()
     };
     if chars.len() < q {
         return Vec::new();
@@ -100,7 +97,10 @@ mod tests {
     #[test]
     fn words_split_on_non_alphanumerics() {
         assert_eq!(words("Lee, Mary"), vec!["lee", "mary"]);
-        assert_eq!(words("3rd E Avenue, 33990 CA"), vec!["3rd", "e", "avenue", "33990", "ca"]);
+        assert_eq!(
+            words("3rd E Avenue, 33990 CA"),
+            vec!["3rd", "e", "avenue", "33990", "ca"]
+        );
         assert_eq!(words("---"), Vec::<String>::new());
         assert_eq!(words(""), Vec::<String>::new());
     }

@@ -26,7 +26,10 @@ use std::collections::HashMap;
 /// always required). Missing sources default to weight 1.
 pub fn weighted_voting(claims: &[Claim], weights: &HashMap<usize, f64>) -> Resolution {
     if claims.is_empty() {
-        return Resolution { value: None, confidence: 0.0 };
+        return Resolution {
+            value: None,
+            confidence: 0.0,
+        };
     }
     let mut scores: HashMap<&str, f64> = HashMap::new();
     let mut total = 0.0;
@@ -42,7 +45,10 @@ pub fn weighted_voting(claims: &[Claim], weights: &HashMap<usize, f64>) -> Resol
             value: Some(value.to_string()),
             confidence: score / total,
         },
-        _ => Resolution { value: None, confidence: 0.0 },
+        _ => Resolution {
+            value: None,
+            confidence: 0.0,
+        },
     }
 }
 
@@ -123,7 +129,10 @@ pub fn accu_truth_discovery(claims: &[Vec<Claim>], config: &AccuConfig) -> Vec<R
         for (e, entity_claims) in claims.iter().enumerate() {
             for claim in entity_claims {
                 let idx = source_index[&claim.source];
-                sums[idx] += probabilities[e].get(claim.value.as_str()).copied().unwrap_or(0.0);
+                sums[idx] += probabilities[e]
+                    .get(claim.value.as_str())
+                    .copied()
+                    .unwrap_or(0.0);
                 counts[idx] += 1;
             }
         }
@@ -147,14 +156,23 @@ pub fn accu_truth_discovery(claims: &[Vec<Claim>], config: &AccuConfig) -> Vec<R
         .enumerate()
         .map(|(e, entity_claims)| {
             if entity_claims.is_empty() {
-                return Resolution { value: None, confidence: 0.0 };
+                return Resolution {
+                    value: None,
+                    confidence: 0.0,
+                };
             }
             let mut entries: Vec<(&str, f64)> =
                 probabilities[e].iter().map(|(&v, &p)| (v, p)).collect();
             entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(b.0)));
             match entries.first() {
-                Some(&(v, p)) => Resolution { value: Some(v.to_string()), confidence: p },
-                None => Resolution { value: None, confidence: 0.0 },
+                Some(&(v, p)) => Resolution {
+                    value: Some(v.to_string()),
+                    confidence: p,
+                },
+                None => Resolution {
+                    value: None,
+                    confidence: 0.0,
+                },
             }
         })
         .collect()
@@ -193,7 +211,11 @@ pub fn accu_source_accuracies(claims: &[Vec<Claim>], config: &AccuConfig) -> Vec
                     }
                 }
             }
-            let acc = if total == 0 { 0.0 } else { agree as f64 / total as f64 };
+            let acc = if total == 0 {
+                0.0
+            } else {
+                agree as f64 / total as f64
+            };
             (s, acc)
         })
         .collect()
@@ -204,7 +226,10 @@ mod tests {
     use super::*;
 
     fn claim(value: &str, source: usize) -> Claim {
-        Claim { value: value.to_string(), source }
+        Claim {
+            value: value.to_string(),
+            source,
+        }
     }
 
     #[test]
@@ -273,7 +298,11 @@ mod tests {
         let r1 = accu_truth_discovery(&claims, &AccuConfig::default());
         let r2 = accu_truth_discovery(&claims, &AccuConfig::default());
         assert_eq!(r1, r2);
-        assert_eq!(r1[0].value.as_deref(), Some("a"), "exact ties break lexicographically");
+        assert_eq!(
+            r1[0].value.as_deref(),
+            Some("a"),
+            "exact ties break lexicographically"
+        );
     }
 
     #[test]
@@ -295,7 +324,10 @@ mod tests {
     #[test]
     fn degenerate_accuracy_configuration_is_clamped() {
         let claims = vec![vec![claim("a", 0), claim("b", 1)]];
-        let config = AccuConfig { initial_accuracy: 1.5, ..AccuConfig::default() };
+        let config = AccuConfig {
+            initial_accuracy: 1.5,
+            ..AccuConfig::default()
+        };
         // Must not panic or produce NaN.
         let res = accu_truth_discovery(&claims, &config);
         assert!(res[0].confidence.is_finite());

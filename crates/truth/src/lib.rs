@@ -242,23 +242,56 @@ mod tests {
         // claim must win even though the raw vote is tied.
         let claims = vec![
             vec![
-                Claim { value: "x".into(), source: 0 },
-                Claim { value: "x".into(), source: 1 },
-                Claim { value: "y".into(), source: 9 },
+                Claim {
+                    value: "x".into(),
+                    source: 0,
+                },
+                Claim {
+                    value: "x".into(),
+                    source: 1,
+                },
+                Claim {
+                    value: "y".into(),
+                    source: 9,
+                },
             ],
             vec![
-                Claim { value: "u".into(), source: 0 },
-                Claim { value: "u".into(), source: 2 },
-                Claim { value: "w".into(), source: 9 },
+                Claim {
+                    value: "u".into(),
+                    source: 0,
+                },
+                Claim {
+                    value: "u".into(),
+                    source: 2,
+                },
+                Claim {
+                    value: "w".into(),
+                    source: 9,
+                },
             ],
             vec![
-                Claim { value: "p".into(), source: 0 },
-                Claim { value: "p".into(), source: 3 },
-                Claim { value: "q".into(), source: 9 },
+                Claim {
+                    value: "p".into(),
+                    source: 0,
+                },
+                Claim {
+                    value: "p".into(),
+                    source: 3,
+                },
+                Claim {
+                    value: "q".into(),
+                    source: 9,
+                },
             ],
             vec![
-                Claim { value: "good".into(), source: 0 },
-                Claim { value: "bad".into(), source: 9 },
+                Claim {
+                    value: "good".into(),
+                    source: 0,
+                },
+                Claim {
+                    value: "bad".into(),
+                    source: 9,
+                },
             ],
         ];
         let res = reliability_truth_discovery(&claims, &ReliabilityConfig::default());
@@ -269,7 +302,13 @@ mod tests {
 
     #[test]
     fn reliability_discovery_handles_empty_entities() {
-        let claims = vec![vec![], vec![Claim { value: "a".into(), source: 1 }]];
+        let claims = vec![
+            vec![],
+            vec![Claim {
+                value: "a".into(),
+                source: 1,
+            }],
+        ];
         let res = reliability_truth_discovery(&claims, &ReliabilityConfig::default());
         assert_eq!(res[0].value, None);
         assert_eq!(res[1].value.as_deref(), Some("a"));
@@ -278,8 +317,14 @@ mod tests {
     #[test]
     fn reliability_discovery_is_deterministic_on_exact_ties() {
         let claims = vec![vec![
-            Claim { value: "b".into(), source: 1 },
-            Claim { value: "a".into(), source: 2 },
+            Claim {
+                value: "b".into(),
+                source: 1,
+            },
+            Claim {
+                value: "a".into(),
+                source: 2,
+            },
         ]];
         let a = reliability_truth_discovery(&claims, &ReliabilityConfig::default());
         let b = reliability_truth_discovery(&claims, &ReliabilityConfig::default());
@@ -290,7 +335,10 @@ mod tests {
 
     #[test]
     fn zero_iterations_is_clamped_to_one() {
-        let claims = vec![vec![Claim { value: "v".into(), source: 0 }]];
+        let claims = vec![vec![Claim {
+            value: "v".into(),
+            source: 0,
+        }]];
         let config = ReliabilityConfig {
             max_iterations: 0,
             ..ReliabilityConfig::default()

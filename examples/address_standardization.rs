@@ -31,7 +31,11 @@ fn main() {
     let sample = dataset.sample_labeled_pairs(0, 1000, &mut rng);
 
     // Ground-truth goldens for Table-8-style evaluation.
-    let truth: Vec<String> = dataset.clusters.iter().map(|c| c.golden[0].clone()).collect();
+    let truth: Vec<String> = dataset
+        .clusters
+        .iter()
+        .map(|c| c.golden[0].clone())
+        .collect();
 
     let pipeline = Pipeline::new(ConsolidationConfig {
         budget: 100,
@@ -70,7 +74,14 @@ fn main() {
 
     println!("\nthree example golden records:");
     for (cluster, golden) in dataset.clusters.iter().zip(&after).take(3) {
-        println!("  observed: {:?}", cluster.rows.iter().map(|r| &r.cells[0].observed).collect::<Vec<_>>());
+        println!(
+            "  observed: {:?}",
+            cluster
+                .rows
+                .iter()
+                .map(|r| &r.cells[0].observed)
+                .collect::<Vec<_>>()
+        );
         println!("  golden:   {:?}", golden);
     }
 }

@@ -21,16 +21,23 @@ fn main() {
 
     // --- Group: the paper's method --------------------------------------------
     let mut group_dataset = dataset.clone();
-    let pipeline = Pipeline::new(ConsolidationConfig { budget, ..Default::default() });
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget,
+        ..Default::default()
+    });
     let mut oracle = SimulatedOracle::for_column(&group_dataset, 0, 11);
     pipeline.standardize_column(&mut group_dataset, 0, &mut oracle);
     let group_counts = evaluate_standardization(&sample, &group_dataset.column_values(0));
 
     // --- Single: confirm individual replacements one at a time ----------------
     let mut single_dataset = dataset.clone();
-    let candidates = generate_candidates(&single_dataset.column_values(0), &CandidateConfig::default());
+    let candidates = generate_candidates(
+        &single_dataset.column_values(0),
+        &CandidateConfig::default(),
+    );
     let singles = single_groups(&candidates);
-    let mut engine = ReplacementEngine::new(single_dataset.column_values(0), &CandidateConfig::default());
+    let mut engine =
+        ReplacementEngine::new(single_dataset.column_values(0), &CandidateConfig::default());
     let mut single_oracle = SimulatedOracle::for_column(&single_dataset, 0, 12);
     for group in singles.iter().take(budget) {
         if let Verdict::Approve(direction) = single_oracle.review(group) {
@@ -47,8 +54,14 @@ fn main() {
     wrangler_dataset.set_column_values(0, updated);
     let wrangler_counts = evaluate_standardization(&sample, &wrangler_dataset.column_values(0));
 
-    println!("JournalTitle, budget = {budget} confirmations, {} sampled pairs", sample.len());
-    println!("{:<10} {:>10} {:>10} {:>10}", "method", "precision", "recall", "MCC");
+    println!(
+        "JournalTitle, budget = {budget} confirmations, {} sampled pairs",
+        sample.len()
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "method", "precision", "recall", "MCC"
+    );
     for (name, counts) in [
         ("Group", group_counts),
         ("Single", single_counts),
@@ -62,5 +75,8 @@ fn main() {
             counts.mcc()
         );
     }
-    println!("(the wrangler rewrote {changed} cells with {} rules)", rules.len());
+    println!(
+        "(the wrangler rewrote {changed} cells with {} rules)",
+        rules.len()
+    );
 }

@@ -33,7 +33,10 @@ fn main() {
     assert_eq!(dataset.num_records(), original.num_records());
 
     // Consolidate the loaded dataset.
-    let pipeline = Pipeline::new(ConsolidationConfig { budget: 50, ..Default::default() });
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget: 50,
+        ..Default::default()
+    });
     let mut oracle = SimulatedOracle::for_column(&dataset, 0, 5);
     let report = pipeline.golden_records(&mut dataset, &mut oracle, TruthMethod::MajorityConsensus);
     let resolved = report

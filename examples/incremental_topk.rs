@@ -35,8 +35,18 @@ fn main() {
     for k in 1..=10 {
         match grouper.next_group() {
             Some(group) => {
-                let member = group.members().first().map(ToString::to_string).unwrap_or_default();
-                println!("{:>5} {:>8} {:>12?}  {}", k, group.size(), start.elapsed(), member);
+                let member = group
+                    .members()
+                    .first()
+                    .map(ToString::to_string)
+                    .unwrap_or_default();
+                println!(
+                    "{:>5} {:>8} {:>12?}  {}",
+                    k,
+                    group.size(),
+                    start.elapsed(),
+                    member
+                );
             }
             None => break,
         }

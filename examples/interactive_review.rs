@@ -34,7 +34,10 @@ fn main() {
             Some(g) => g,
             None => break,
         };
-        println!("\n--- group {i}/{budget} ({} member pairs) ---", group.size());
+        println!(
+            "\n--- group {i}/{budget} ({} member pairs) ---",
+            group.size()
+        );
         if let Some(p) = group.program() {
             println!("shared transformation: {p}");
         }
@@ -43,7 +46,10 @@ fn main() {
         }
         print!("approve? [y = lhs->rhs, r = rhs->lhs, n = reject, q = quit] ");
         io::stdout().flush().ok();
-        let answer = lines.next().and_then(Result::ok).unwrap_or_else(|| "q".to_string());
+        let answer = lines
+            .next()
+            .and_then(Result::ok)
+            .unwrap_or_else(|| "q".to_string());
         match answer.trim() {
             "y" => {
                 let n = engine.apply_group(group.members(), Direction::Forward);

@@ -29,10 +29,16 @@ fn main() {
 
     // Review groups at increasing budgets and watch precision/recall/MCC move.
     let oracle = SimulatedOracle::for_column(&dataset, 0, 99);
-    println!("\n{:>8} {:>10} {:>10} {:>10}", "budget", "precision", "recall", "MCC");
+    println!(
+        "\n{:>8} {:>10} {:>10} {:>10}",
+        "budget", "precision", "recall", "MCC"
+    );
     for budget in [10usize, 25, 50, 100] {
         let mut working = dataset.clone();
-        let pipeline = Pipeline::new(ConsolidationConfig { budget, ..Default::default() });
+        let pipeline = Pipeline::new(ConsolidationConfig {
+            budget,
+            ..Default::default()
+        });
         pipeline.standardize_column(&mut working, 0, &mut oracle.clone());
         let counts = evaluate_standardization(&sample, &working.column_values(0));
         println!(
@@ -48,7 +54,11 @@ fn main() {
     }
 
     // Golden records before/after (the Table 8 effect).
-    let truth: Vec<String> = dataset.clusters.iter().map(|c| c.golden[0].clone()).collect();
+    let truth: Vec<String> = dataset
+        .clusters
+        .iter()
+        .map(|c| c.golden[0].clone())
+        .collect();
     let pipeline = Pipeline::default();
     let goldens = pipeline.discover_golden_records(&dataset, TruthMethod::MajorityConsensus);
     let produced: Vec<Option<String>> = goldens.iter().map(|g| g[0].clone()).collect();

@@ -10,7 +10,11 @@ fn main() {
     // Name values are rendered in different formats.
     let clusters: Vec<Vec<String>> = vec![
         vec!["Mary Lee".into(), "M. Lee".into(), "Lee, Mary".into()],
-        vec!["Smith, James".into(), "James Smith".into(), "J. Smith".into()],
+        vec![
+            "Smith, James".into(),
+            "James Smith".into(),
+            "J. Smith".into(),
+        ],
     ];
 
     // Step 1: candidate replacements — every pair of non-identical values in a
@@ -48,7 +52,10 @@ fn main() {
             .all(|r| !r.rhs().contains(',') && !r.rhs().contains('.'));
         if canonical && group.size() >= 2 {
             let updated = engine.apply_group(group.members(), Direction::Forward);
-            println!("\napproved group ({} members) -> {updated} cells updated", group.size());
+            println!(
+                "\napproved group ({} members) -> {updated} cells updated",
+                group.size()
+            );
         }
     }
 

@@ -26,8 +26,16 @@ fn main() {
     // cosine similarity, and the two scores are averaged.
     let resolver = Resolver::new(ResolverConfig {
         rules: vec![
-            ColumnRule { column: 0, measure: SimilarityMeasure::Jaccard, weight: 1.0 },
-            ColumnRule { column: 1, measure: SimilarityMeasure::QgramCosine(2), weight: 1.0 },
+            ColumnRule {
+                column: 0,
+                measure: SimilarityMeasure::Jaccard,
+                weight: 1.0,
+            },
+            ColumnRule {
+                column: 1,
+                measure: SimilarityMeasure::QgramCosine(2),
+                weight: 1.0,
+            },
         ],
         threshold: 0.5,
         blocking: BlockingConfig::default(),
@@ -39,18 +47,27 @@ fn main() {
         &records,
         None,
     );
-    println!("entity resolution produced {} clusters:", dataset.clusters.len());
+    println!(
+        "entity resolution produced {} clusters:",
+        dataset.clusters.len()
+    );
     for (i, cluster) in dataset.clusters.iter().enumerate() {
         println!("  cluster {i}:");
         for row in &cluster.rows {
-            println!("    [source {}] {} | {}", row.source, row.cells[0].observed, row.cells[1].observed);
+            println!(
+                "    [source {}] {} | {}",
+                row.source, row.cells[0].observed, row.cells[1].observed
+            );
         }
     }
 
     // Step 2: entity consolidation. A simulated reviewer approves the learned
     // transformation groups (here ground truth equals the observed values, so
     // we approve everything — on real data a human reviews each group).
-    let pipeline = Pipeline::new(ConsolidationConfig { budget: 30, ..Default::default() });
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget: 30,
+        ..Default::default()
+    });
     let mut oracle = ApproveAllOracle;
     let report = pipeline.golden_records(&mut dataset, &mut oracle, TruthMethod::MajorityConsensus);
 

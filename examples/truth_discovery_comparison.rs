@@ -17,7 +17,11 @@ fn golden_precision_with<F>(dataset: &entity_consolidation::data::Dataset, resol
 where
     F: Fn(&[Claim]) -> Option<String>,
 {
-    let truth: Vec<String> = dataset.clusters.iter().map(|c| c.golden[0].clone()).collect();
+    let truth: Vec<String> = dataset
+        .clusters
+        .iter()
+        .map(|c| c.golden[0].clone())
+        .collect();
     let produced: Vec<Option<String>> = dataset
         .clusters
         .iter()
@@ -25,7 +29,10 @@ where
             let claims: Vec<Claim> = cluster
                 .rows
                 .iter()
-                .map(|r| Claim { value: r.cells[0].observed.clone(), source: r.source })
+                .map(|r| Claim {
+                    value: r.cells[0].observed.clone(),
+                    source: r.source,
+                })
                 .collect();
             resolve(&claims)
         })
@@ -42,7 +49,10 @@ fn main() {
 
     // Standardize a copy with a 100-group budget.
     let mut standardized = dataset.clone();
-    let pipeline = Pipeline::new(ConsolidationConfig { budget: 100, ..Default::default() });
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget: 100,
+        ..Default::default()
+    });
     let mut oracle = SimulatedOracle::for_column(&standardized, 0, 13);
     pipeline.standardize_column(&mut standardized, 0, &mut oracle);
 
@@ -64,7 +74,10 @@ fn main() {
     println!("golden-record precision (JournalTitle-style, 250 clusters)\n");
     println!("{:<24} {:>10} {:>10}", "method", "before", "after");
     for (name, f) in [
-        ("majority consensus", &majority as &dyn Fn(&[Claim]) -> Option<String>),
+        (
+            "majority consensus",
+            &majority as &dyn Fn(&[Claim]) -> Option<String>,
+        ),
         ("source reliability", &reliability),
         ("Accu-style", &accu),
     ] {
@@ -72,5 +85,7 @@ fn main() {
         let after = golden_precision_with(&standardized, f);
         println!("{name:<24} {before:>10.3} {after:>10.3}");
     }
-    println!("\nstandardization lifts every method — the contribution is orthogonal to the resolver.");
+    println!(
+        "\nstandardization lifts every method — the contribution is orthogonal to the resolver."
+    );
 }

@@ -8,8 +8,16 @@ use entity_consolidation::prelude::*;
 
 #[test]
 fn every_paper_dataset_round_trips() {
-    for paper in [PaperDataset::AuthorList, PaperDataset::Address, PaperDataset::JournalTitle] {
-        let original = paper.generate(&GeneratorConfig { num_clusters: 15, seed: 23, num_sources: 3 });
+    for paper in [
+        PaperDataset::AuthorList,
+        PaperDataset::Address,
+        PaperDataset::JournalTitle,
+    ] {
+        let original = paper.generate(&GeneratorConfig {
+            num_clusters: 15,
+            seed: 23,
+            num_sources: 3,
+        });
         let text = dataset_to_csv(&original);
         let parsed = dataset_from_csv(&original.name, &text).unwrap();
         assert_eq!(parsed.columns, original.columns, "{paper:?}");
@@ -49,7 +57,10 @@ fn consolidating_the_loaded_copy_matches_the_original() {
     let loaded = dataset_from_csv(&original.name, &text).unwrap();
 
     let run = |mut dataset: entity_consolidation::data::Dataset| {
-        let pipeline = Pipeline::new(ConsolidationConfig { budget: 30, ..Default::default() });
+        let pipeline = Pipeline::new(ConsolidationConfig {
+            budget: 30,
+            ..Default::default()
+        });
         let mut oracle = SimulatedOracle::for_column(&dataset, 0, 12);
         let report = pipeline.standardize_column(&mut dataset, 0, &mut oracle);
         (report.groups_approved, report.cells_updated)

@@ -10,7 +10,11 @@ use rand::SeedableRng;
 fn table1_to_table2_standardization() {
     let clusters: Vec<Vec<String>> = vec![
         vec!["Mary Lee".into(), "M. Lee".into(), "Lee, Mary".into()],
-        vec!["Smith, James".into(), "James Smith".into(), "J. Smith".into()],
+        vec![
+            "Smith, James".into(),
+            "James Smith".into(),
+            "J. Smith".into(),
+        ],
     ];
     let candidates = generate_candidates(&clusters, &CandidateConfig::full_value_only());
     assert_eq!(candidates.len(), 12, "Section 3: 12 candidate replacements");
@@ -81,21 +85,35 @@ fn full_pipeline_improves_all_three_datasets() {
             num_sources: 5,
         };
         let mut dataset = kind.generate(&config);
-        let truth: Vec<String> = dataset.clusters.iter().map(|c| c.golden[0].clone()).collect();
+        let truth: Vec<String> = dataset
+            .clusters
+            .iter()
+            .map(|c| c.golden[0].clone())
+            .collect();
         let mut rng = StdRng::seed_from_u64(7);
         let sample = dataset.sample_labeled_pairs(0, 500, &mut rng);
 
-        let pipeline = Pipeline::new(ConsolidationConfig { budget: 50, ..Default::default() });
+        let pipeline = Pipeline::new(ConsolidationConfig {
+            budget: 50,
+            ..Default::default()
+        });
         let before_goldens =
             pipeline.discover_golden_records(&dataset, TruthMethod::MajorityConsensus);
         let before_mc = golden_record_precision(
-            &before_goldens.iter().map(|g| g[0].clone()).collect::<Vec<_>>(),
+            &before_goldens
+                .iter()
+                .map(|g| g[0].clone())
+                .collect::<Vec<_>>(),
             &truth,
         );
 
         let mut oracle = SimulatedOracle::for_column(&dataset, 0, 17);
         let report = pipeline.standardize_column(&mut dataset, 0, &mut oracle);
-        assert!(report.groups_approved > 0, "{}: nothing approved", kind.name());
+        assert!(
+            report.groups_approved > 0,
+            "{}: nothing approved",
+            kind.name()
+        );
 
         let counts = evaluate_standardization(&sample, &dataset.column_values(0));
         assert!(
@@ -112,7 +130,10 @@ fn full_pipeline_improves_all_three_datasets() {
         let after_goldens =
             pipeline.discover_golden_records(&dataset, TruthMethod::MajorityConsensus);
         let after_mc = golden_record_precision(
-            &after_goldens.iter().map(|g| g[0].clone()).collect::<Vec<_>>(),
+            &after_goldens
+                .iter()
+                .map(|g| g[0].clone())
+                .collect::<Vec<_>>(),
             &truth,
         );
         assert!(
@@ -166,24 +187,33 @@ fn incremental_and_one_shot_agree_on_generated_data() {
         num_sources: 4,
     });
     let candidates = generate_candidates(&dataset.column_values(0), &CandidateConfig::default());
-    let incremental: usize = StructuredGrouper::new(&candidates.replacements, GroupingConfig::default())
-        .all_groups()
-        .iter()
-        .map(|g| g.size())
-        .sum();
+    let incremental: usize =
+        StructuredGrouper::new(&candidates.replacements, GroupingConfig::default())
+            .all_groups()
+            .iter()
+            .map(|g| g.size())
+            .sum();
     let one_shot: usize =
         StructuredGrouper::one_shot_all(&candidates.replacements, GroupingConfig::default())
             .iter()
             .map(|g| g.size())
             .sum();
-    assert_eq!(incremental, one_shot, "both cover every replacement exactly once");
+    assert_eq!(
+        incremental, one_shot,
+        "both cover every replacement exactly once"
+    );
 
     let incr_first = StructuredGrouper::new(&candidates.replacements, GroupingConfig::default())
         .next_group()
         .unwrap()
         .size();
-    let oneshot_first = StructuredGrouper::one_shot_all(&candidates.replacements, GroupingConfig::default())[0].size();
-    assert_eq!(incr_first, oneshot_first, "the largest group has the same size either way");
+    let oneshot_first =
+        StructuredGrouper::one_shot_all(&candidates.replacements, GroupingConfig::default())[0]
+            .size();
+    assert_eq!(
+        incr_first, oneshot_first,
+        "the largest group has the same size either way"
+    );
 }
 
 /// The simulated oracle is robust to small error rates: a noisy oracle still
@@ -198,9 +228,15 @@ fn pipeline_is_robust_to_oracle_noise() {
     let mut rng = StdRng::seed_from_u64(11);
     let sample = dataset.sample_labeled_pairs(0, 300, &mut rng);
     let mut ds = dataset.clone();
-    let pipeline = Pipeline::new(ConsolidationConfig { budget: 40, ..Default::default() });
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget: 40,
+        ..Default::default()
+    });
     let mut noisy = SimulatedOracle::for_column(&ds, 0, 19).with_error_rate(0.05);
     pipeline.standardize_column(&mut ds, 0, &mut noisy);
     let counts = evaluate_standardization(&sample, &ds.column_values(0));
-    assert!(counts.precision() > 0.8, "noisy oracle precision too low: {counts:?}");
+    assert!(
+        counts.precision() > 0.8,
+        "noisy oracle precision too low: {counts:?}"
+    );
 }

@@ -23,7 +23,10 @@ fn flatten_and_shuffle(
                         source: row.source,
                         fields: row.cells.iter().map(|c| c.observed.clone()).collect(),
                     },
-                    row.cells.iter().map(|c| c.truth.clone()).collect::<Vec<_>>(),
+                    row.cells
+                        .iter()
+                        .map(|c| c.truth.clone())
+                        .collect::<Vec<_>>(),
                 )
             })
         })
@@ -45,16 +48,32 @@ fn resolver_rebuilds_clusters_for_table1_style_records() {
     ];
     let resolver = Resolver::new(ResolverConfig {
         rules: vec![
-            ColumnRule { column: 0, measure: SimilarityMeasure::Jaccard, weight: 1.0 },
-            ColumnRule { column: 1, measure: SimilarityMeasure::QgramCosine(2), weight: 1.0 },
+            ColumnRule {
+                column: 0,
+                measure: SimilarityMeasure::Jaccard,
+                weight: 1.0,
+            },
+            ColumnRule {
+                column: 1,
+                measure: SimilarityMeasure::QgramCosine(2),
+                weight: 1.0,
+            },
         ],
         threshold: 0.5,
         ..ResolverConfig::default()
     });
     let clusters = resolver.resolve(&records);
-    assert_eq!(clusters.len(), 2, "exactly the Lee and Smith entities: {clusters:?}");
-    assert!(clusters.iter().any(|c| c.contains(&0) && c.contains(&1) && c.contains(&2)));
-    assert!(clusters.iter().any(|c| c.contains(&3) && c.contains(&4) && c.contains(&5)));
+    assert_eq!(
+        clusters.len(),
+        2,
+        "exactly the Lee and Smith entities: {clusters:?}"
+    );
+    assert!(clusters
+        .iter()
+        .any(|c| c.contains(&0) && c.contains(&1) && c.contains(&2)));
+    assert!(clusters
+        .iter()
+        .any(|c| c.contains(&3) && c.contains(&4) && c.contains(&5)));
 }
 
 #[test]
@@ -69,17 +88,32 @@ fn raw_records_to_golden_records_end_to_end() {
 
     // Addresses of the same entity share street/zip tokens; match on q-grams.
     let resolver = Resolver::new(ResolverConfig {
-        rules: vec![ColumnRule { column: 0, measure: SimilarityMeasure::QgramCosine(2), weight: 1.0 }],
+        rules: vec![ColumnRule {
+            column: 0,
+            measure: SimilarityMeasure::QgramCosine(2),
+            weight: 1.0,
+        }],
         threshold: 0.62,
         scheme: BlockingScheme::Both,
         blocking: BlockingConfig::default(),
     });
-    let mut dataset =
-        resolver.resolve_to_dataset("resolved-address", vec!["Address".to_string()], &records, Some(&truths));
-    assert_eq!(dataset.num_records(), records.len(), "resolution must not drop records");
+    let mut dataset = resolver.resolve_to_dataset(
+        "resolved-address",
+        vec!["Address".to_string()],
+        &records,
+        Some(&truths),
+    );
+    assert_eq!(
+        dataset.num_records(),
+        records.len(),
+        "resolution must not drop records"
+    );
 
     // Consolidate whatever clustering resolution produced.
-    let pipeline = Pipeline::new(ConsolidationConfig { budget: 40, ..Default::default() });
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget: 40,
+        ..Default::default()
+    });
     let mut oracle = SimulatedOracle::for_column(&dataset, 0, 3);
     let report = pipeline.golden_records(&mut dataset, &mut oracle, TruthMethod::MajorityConsensus);
     assert_eq!(report.golden_records.len(), dataset.clusters.len());
@@ -109,7 +143,11 @@ fn resolution_quality_pair_level() {
         }
     }
     let resolver = Resolver::new(ResolverConfig {
-        rules: vec![ColumnRule { column: 0, measure: SimilarityMeasure::Jaccard, weight: 1.0 }],
+        rules: vec![ColumnRule {
+            column: 0,
+            measure: SimilarityMeasure::Jaccard,
+            weight: 1.0,
+        }],
         threshold: 0.55,
         ..ResolverConfig::default()
     });
@@ -132,7 +170,10 @@ fn resolution_quality_pair_level() {
         let precision = tp as f64 / (tp + fp) as f64;
         assert!(precision > 0.8, "pairwise precision too low: {precision}");
     }
-    assert!(tp > 0, "the resolver must link at least some true duplicates");
+    assert!(
+        tp > 0,
+        "the resolver must link at least some true duplicates"
+    );
 }
 
 #[test]

@@ -2,13 +2,16 @@
 //! unicode values, and pathological configurations must not panic and must
 //! degrade gracefully.
 
-use entity_consolidation::prelude::*;
 use entity_consolidation::data::{Cell, Cluster, Dataset, Row};
+use entity_consolidation::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn cell(observed: &str, truth: &str) -> Cell {
-    Cell { observed: observed.to_string(), truth: truth.to_string() }
+    Cell {
+        observed: observed.to_string(),
+        truth: truth.to_string(),
+    }
 }
 
 fn dataset_with_clusters(clusters: Vec<Vec<(&str, &str)>>) -> Dataset {
@@ -19,7 +22,10 @@ fn dataset_with_clusters(clusters: Vec<Vec<(&str, &str)>>) -> Dataset {
             rows: rows
                 .into_iter()
                 .enumerate()
-                .map(|(i, (o, t))| Row { source: i, cells: vec![cell(o, t)] })
+                .map(|(i, (o, t))| Row {
+                    source: i,
+                    cells: vec![cell(o, t)],
+                })
                 .collect(),
             golden: vec![golden],
         });
@@ -31,12 +37,19 @@ fn dataset_with_clusters(clusters: Vec<Vec<(&str, &str)>>) -> Dataset {
 fn empty_dataset_and_empty_clusters_do_not_panic() {
     let mut empty = Dataset::new("empty", vec!["v".to_string()]);
     let pipeline = Pipeline::default();
-    let report = pipeline.golden_records(&mut empty, &mut ApproveAllOracle, TruthMethod::MajorityConsensus);
+    let report = pipeline.golden_records(
+        &mut empty,
+        &mut ApproveAllOracle,
+        TruthMethod::MajorityConsensus,
+    );
     assert!(report.golden_records.is_empty());
 
     let mut degenerate = dataset_with_clusters(vec![vec![], vec![("only", "only")]]);
-    let report =
-        pipeline.golden_records(&mut degenerate, &mut ApproveAllOracle, TruthMethod::MajorityConsensus);
+    let report = pipeline.golden_records(
+        &mut degenerate,
+        &mut ApproveAllOracle,
+        TruthMethod::MajorityConsensus,
+    );
     assert_eq!(report.golden_records.len(), 2);
     assert_eq!(report.golden_records[1][0].as_deref(), Some("only"));
 }
@@ -57,11 +70,17 @@ fn clusters_with_identical_values_generate_no_candidates() {
 #[test]
 fn unicode_values_are_handled() {
     let mut d = dataset_with_clusters(vec![
-        vec![("Müller, Jürgen", "Jürgen Müller"), ("Jürgen Müller", "Jürgen Müller")],
+        vec![
+            ("Müller, Jürgen", "Jürgen Müller"),
+            ("Jürgen Müller", "Jürgen Müller"),
+        ],
         vec![("東京 大学", "東京大学"), ("東京大学", "東京大学")],
         vec![("naïve café", "naïve café"), ("naive cafe", "naïve café")],
     ]);
-    let pipeline = Pipeline::new(ConsolidationConfig { budget: 20, ..Default::default() });
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget: 20,
+        ..Default::default()
+    });
     // Must not panic on multi-byte characters anywhere in the DSL/graph stack.
     let report = pipeline.standardize_column(&mut d, 0, &mut ApproveAllOracle);
     assert!(report.candidates > 0);
@@ -75,7 +94,10 @@ fn zero_budget_changes_nothing() {
         num_sources: 3,
     });
     let before = d.clone();
-    let pipeline = Pipeline::new(ConsolidationConfig { budget: 0, ..Default::default() });
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget: 0,
+        ..Default::default()
+    });
     let report = pipeline.standardize_column(&mut d, 0, &mut ApproveAllOracle);
     assert_eq!(report.groups_reviewed, 0);
     assert_eq!(d, before);
@@ -93,7 +115,10 @@ fn noisy_oracle_degrades_gracefully() {
     });
     let mut rng = StdRng::seed_from_u64(4);
     let sample = dataset.sample_labeled_pairs(0, 400, &mut rng);
-    let pipeline = Pipeline::new(ConsolidationConfig { budget: 40, ..Default::default() });
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget: 40,
+        ..Default::default()
+    });
 
     let mut clean = dataset.clone();
     let mut clean_oracle = SimulatedOracle::for_column(&clean, 0, 5);
@@ -105,10 +130,14 @@ fn noisy_oracle_degrades_gracefully() {
     pipeline.standardize_column(&mut noisy, 0, &mut noisy_oracle);
     let noisy_counts = evaluate_standardization(&sample, &noisy.column_values(0));
 
-    assert!(noisy_counts.recall() >= clean_counts.recall() * 0.5,
-        "10% oracle noise should not halve recall: clean {clean_counts:?}, noisy {noisy_counts:?}");
-    assert!(noisy_counts.precision() >= 0.8,
-        "precision should stay high under noise: {noisy_counts:?}");
+    assert!(
+        noisy_counts.recall() >= clean_counts.recall() * 0.5,
+        "10% oracle noise should not halve recall: clean {clean_counts:?}, noisy {noisy_counts:?}"
+    );
+    assert!(
+        noisy_counts.precision() >= 0.8,
+        "precision should stay high under noise: {noisy_counts:?}"
+    );
 }
 
 #[test]
@@ -131,8 +160,11 @@ fn hostile_oracle_cannot_corrupt_more_than_it_approves() {
     });
     pipeline.standardize_column(&mut standardized, 0, &mut ApproveAllOracle);
     for (before, after) in dataset.clusters.iter().zip(&standardized.clusters) {
-        let before_values: std::collections::HashSet<&str> =
-            before.rows.iter().map(|r| r.cells[0].observed.as_str()).collect();
+        let before_values: std::collections::HashSet<&str> = before
+            .rows
+            .iter()
+            .map(|r| r.cells[0].observed.as_str())
+            .collect();
         for row in &after.rows {
             assert!(
                 before_values.contains(row.cells[0].observed.as_str()),
@@ -155,7 +187,10 @@ fn approval_threshold_and_direction_are_respected() {
     let mut rng = StdRng::seed_from_u64(6);
     let sample = dataset.sample_labeled_pairs(0, 300, &mut rng);
     let mut working = dataset.clone();
-    let pipeline = Pipeline::new(ConsolidationConfig { budget: 40, ..Default::default() });
+    let pipeline = Pipeline::new(ConsolidationConfig {
+        budget: 40,
+        ..Default::default()
+    });
     let mut strict = SimulatedOracle::for_column(&working, 0, 9).with_approval_threshold(1.0);
     pipeline.standardize_column(&mut working, 0, &mut strict);
     let counts = evaluate_standardization(&sample, &working.column_values(0));
@@ -169,7 +204,11 @@ fn single_record_clusters_are_inert() {
         vec![("also lonely", "also lonely")],
     ]);
     let pipeline = Pipeline::default();
-    let report = pipeline.golden_records(&mut d, &mut ApproveAllOracle, TruthMethod::MajorityConsensus);
+    let report = pipeline.golden_records(
+        &mut d,
+        &mut ApproveAllOracle,
+        TruthMethod::MajorityConsensus,
+    );
     assert_eq!(report.columns[0].candidates, 0);
     assert_eq!(report.golden_records[0][0].as_deref(), Some("lonely"));
 }

@@ -1,0 +1,315 @@
+//! Offline shim for `criterion`: the API subset the workspace's benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `criterion_group!`, `criterion_main!`),
+//! implemented as a plain wall-clock harness. It honors `sample_size`,
+//! `warm_up_time` and `measurement_time`, and prints mean/min/max per
+//! benchmark. No statistics, plots, or baselines — see `vendor/README.md`.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A benchmark group with its own sampling settings, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set how long to warm up before timing.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the timing budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(
+            &id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(
+            &id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group (a no-op beyond matching the upstream API).
+    pub fn finish(self) {}
+}
+
+/// A function-plus-parameter benchmark name, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name by the `bench_*` methods.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// The timing callback handed to benchmark closures, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one sample per batch of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed / u32::try_from(self.iters_per_sample).unwrap_or(1));
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    f: &mut F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run the routine until the warm-up budget is spent, and use the
+    // observed speed to pick an iteration count that fits the timing budget.
+    let mut probe = Bencher {
+        samples: Vec::new(),
+        target_samples: 1,
+        iters_per_sample: 1,
+    };
+    let warm_up_start = Instant::now();
+    let mut warm_up_iters = 0u64;
+    let mut one_iter = Duration::from_nanos(1);
+    while warm_up_start.elapsed() < warm_up_time || warm_up_iters == 0 {
+        probe.samples.clear();
+        f(&mut probe);
+        one_iter = (*probe.samples.first().unwrap_or(&one_iter)).max(Duration::from_nanos(1));
+        warm_up_iters += 1;
+    }
+
+    let budget_per_sample = measurement_time / u32::try_from(sample_size.max(1)).unwrap_or(1);
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / one_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        target_samples: sample_size,
+        iters_per_sample,
+    };
+    f(&mut bencher);
+
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<50} (no samples: Bencher::iter never called)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / u32::try_from(samples.len()).unwrap_or(1);
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{id:<50} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples x {} iters)",
+        samples.len(),
+        iters_per_sample
+    );
+}
+
+/// Collect benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_honor_settings_and_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(4));
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("w", 7), &7u64, |b, &x| {
+            b.iter(|| {
+                seen = x;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 7);
+    }
+}

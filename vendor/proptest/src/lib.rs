@@ -1,0 +1,127 @@
+//! Offline shim for `proptest`: deterministic random-case generation with the
+//! combinator surface this workspace's property tests use, but **no
+//! shrinking** — a failing case panics with the case's seed so it can be
+//! replayed, rather than being minimised. See `vendor/README.md`.
+//!
+//! Supported: the [`Strategy`] trait (`prop_map`, `prop_flat_map`,
+//! `prop_filter`, `boxed`), [`strategy::Just`], integer/float ranges and
+//! tuples as strategies, `&str` regex-literal strategies,
+//! [`collection::vec`], [`string::string_regex`] (a pragmatic regex subset),
+//! [`test_runner::ProptestConfig`], and the [`proptest!`], [`prop_assert!`],
+//! [`prop_assert_eq!`] and [`prop_oneof!`] macros.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// Re-exports so `proptest::collection::vec(...)` and
+// `proptest::string::string_regex(...)` resolve as they do upstream.
+pub use strategy::Strategy;
+
+/// Runs a strategy-driven test body over many generated cases.
+///
+/// Mirrors upstream `proptest!`: an optional
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` header followed by
+/// `#[test]` functions whose arguments are `pattern in strategy` bindings.
+/// Cases are seeded deterministically from the test name and case index; a
+/// failure reports the offending case number.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr)
+     $( $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let base = $crate::test_runner::fnv1a(stringify!($name).as_bytes());
+                for case in 0..config.cases {
+                    let seed = base.wrapping_add(u64::from(case));
+                    let mut rng = $crate::test_runner::case_rng(seed);
+                    $(let $pat = $crate::Strategy::new_value(&($strat), &mut rng);)*
+                    let run = || -> ::core::result::Result<(), ::std::string::String> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if let Err(message) = run() {
+                        panic!(
+                            "proptest case {case} (seed {seed:#x}) of {} failed: {message}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// `assert!` for property-test bodies: fails the current case (with the
+/// case's seed in the panic message) instead of unwinding bare.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// `assert_eq!` for property-test bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// `assert_ne!` for property-test bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Picks one of several strategies (uniformly) per generated case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

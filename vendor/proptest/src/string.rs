@@ -1,0 +1,254 @@
+//! String strategies from regex-like patterns, mirroring
+//! `proptest::string::string_regex` for the pattern subset the workspace's
+//! tests use: sequences of literal characters and (optionally negated)
+//! character classes, each with an optional `{m}`, `{m,n}`, `?`, `*` or `+`
+//! quantifier. Unbounded quantifiers are capped at 8 repetitions.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Cap for `*` / `+` so generated strings stay small.
+const UNBOUNDED_CAP: usize = 8;
+
+/// Printable ASCII, the alphabet negated classes draw from.
+fn printable_ascii() -> impl Iterator<Item = char> {
+    (0x20u8..=0x7e).map(char::from)
+}
+
+/// A parse failure; `string_regex` mirrors upstream by returning `Result`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+#[derive(Clone, Debug)]
+struct Element {
+    /// The characters this element may produce (already expanded/negated).
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A strategy producing strings matching the given pattern subset.
+#[derive(Clone, Debug)]
+pub struct RegexGeneratorStrategy {
+    elements: Vec<Element>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for element in &self.elements {
+            let reps = rng.gen_range(element.min..=element.max);
+            for _ in 0..reps {
+                out.push(*element.alphabet.choose(rng).expect("non-empty alphabet"));
+            }
+        }
+        out
+    }
+}
+
+/// Parse `pattern` into a generator strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elements = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1)?;
+                i = next;
+                set
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .ok_or_else(|| Error("dangling escape at end of pattern".into()))?;
+                i += 2;
+                vec![unescape(c)]
+            }
+            '.' => {
+                i += 1;
+                printable_ascii().collect()
+            }
+            c if "(){}*+?|^$".contains(c) => {
+                return Err(Error(format!(
+                    "unsupported regex syntax {c:?} in {pattern:?}"
+                )));
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i)?;
+        i = next;
+        if alphabet.is_empty() {
+            return Err(Error(format!("empty character class in {pattern:?}")));
+        }
+        elements.push(Element { alphabet, min, max });
+    }
+    Ok(RegexGeneratorStrategy { elements })
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parse a `[...]` class body starting just past the `[`. Returns the
+/// (expanded, possibly negated) alphabet and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), Error> {
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut members: Vec<char> = Vec::new();
+    let mut closed = false;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == ']' {
+            i += 1;
+            closed = true;
+            break;
+        }
+        let literal = if c == '\\' {
+            let e = *chars
+                .get(i + 1)
+                .ok_or_else(|| Error("dangling escape in character class".into()))?;
+            i += 2;
+            unescape(e)
+        } else {
+            i += 1;
+            c
+        };
+        // A `-` between two members is a range; first or last it is literal.
+        if literal == '-'
+            && !members.is_empty()
+            && i < chars.len()
+            && chars[i] != ']'
+            && chars[i] != '\\'
+        {
+            let start = *members.last().expect("checked non-empty");
+            let end = chars[i];
+            i += 1;
+            if start > end {
+                return Err(Error(format!("invalid class range {start}-{end}")));
+            }
+            members.extend(((start as u32 + 1)..=(end as u32)).filter_map(char::from_u32));
+        } else {
+            members.push(literal);
+        }
+    }
+    if !closed {
+        return Err(Error("unterminated character class".into()));
+    }
+    if negated {
+        let set: Vec<char> = printable_ascii().filter(|c| !members.contains(c)).collect();
+        Ok((set, i))
+    } else {
+        Ok((members, i))
+    }
+}
+
+/// Parse an optional quantifier at `i`; returns `(min, max, next_index)`.
+fn parse_quantifier(chars: &[char], i: usize) -> Result<(usize, usize, usize), Error> {
+    match chars.get(i) {
+        Some('?') => Ok((0, 1, i + 1)),
+        Some('*') => Ok((0, UNBOUNDED_CAP, i + 1)),
+        Some('+') => Ok((1, UNBOUNDED_CAP, i + 1)),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or_else(|| Error("unterminated {..} quantifier".into()))?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|e| Error(format!("{body:?}: {e}")))
+            };
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = parse(&body)?;
+                    (n, n)
+                }
+                Some((lo, hi)) if hi.trim().is_empty() => {
+                    (parse(lo)?, UNBOUNDED_CAP.max(parse(lo)?))
+                }
+                Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+            };
+            if min > max {
+                return Err(Error(format!("quantifier min {min} exceeds max {max}")));
+            }
+            Ok((min, max, close + 1))
+        }
+        _ => Ok((1, 1, i)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draw(pattern: &str, seed: u64) -> String {
+        string_regex(pattern)
+            .unwrap()
+            .new_value(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn class_with_quantifier_respects_bounds_and_alphabet() {
+        for seed in 0..50 {
+            let s = draw("[A-Za-z0-9 ,.\\-()]{0,24}", seed);
+            assert!(s.chars().count() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ,.-()".contains(c)));
+        }
+    }
+
+    #[test]
+    fn negated_class_excludes_members() {
+        for seed in 0..50 {
+            let s = draw("[^|\r\n]{0,12}", seed);
+            assert!(!s.contains(['|', '\r', '\n']));
+            assert!(s.chars().count() <= 12);
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes_round_trip() {
+        assert_eq!(draw("abc", 1), "abc");
+        assert_eq!(draw("a\\.b", 2), "a.b");
+        let s = draw("x[0-9]{2}y", 3);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+
+    #[test]
+    fn exact_and_open_quantifiers() {
+        assert_eq!(draw("[ab]{3}", 4).len(), 3);
+        for seed in 0..20 {
+            let s = draw("[ab]+", seed);
+            assert!(!s.is_empty() && s.len() <= UNBOUNDED_CAP);
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(string_regex("(ab)+").is_err());
+        assert!(string_regex("[ab").is_err());
+        assert!(string_regex("a{2").is_err());
+    }
+}

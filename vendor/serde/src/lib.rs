@@ -1,0 +1,17 @@
+//! Offline shim for `serde`: provides the `Serialize` / `Deserialize` trait
+//! names and (behind the `derive` feature) the no-op derive macros, so the
+//! workspace's `use serde::{Deserialize, Serialize}` imports and
+//! `#[derive(...)]` attributes compile without crates.io access.
+//!
+//! Nothing in the workspace performs serialization yet; when it does, restore
+//! the real crate by editing the one `[workspace.dependencies]` entry in the
+//! root manifest. See `vendor/README.md` for the full caveats.
+
+/// Marker stand-in for `serde::Serialize`. The shim derives emit no impls.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`. The shim derives emit no impls.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the derive macros are accepted (so
+//! `#[derive(Serialize, Deserialize)]` attributes across the workspace keep
+//! compiling) but expand to nothing. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
