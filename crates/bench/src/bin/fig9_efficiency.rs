@@ -8,9 +8,9 @@
 //! and the shape of the gap are what this harness checks.
 
 use ec_data::{GeneratorConfig, PaperDataset};
-use ec_grouping::{GroupingConfig, StructuredGrouper};
+use ec_grouping::{GroupingConfig, Parallelism, StructuredGrouper};
 use ec_replace::{generate_candidates, CandidateConfig};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     // Scaled-down configurations so the (intentionally slow) OneShot variant
@@ -109,4 +109,65 @@ fn main() {
             oneshot_upfront.as_secs_f64() / earlyterm_upfront.as_secs_f64().max(1e-9)
         );
     }
+    threads_axis();
+}
+
+/// The threads axis of Figure 9: the two sharded stages — candidate
+/// generation and upfront grouping — at 1, 2 and 4 worker threads on the
+/// largest synthetic workload. Output is bit-identical across rows (asserted
+/// below); only the wall-clock time changes, and the attainable speedup is
+/// bounded by the machine's available cores.
+fn threads_axis() {
+    let dataset = PaperDataset::JournalTitle.generate(&GeneratorConfig {
+        num_clusters: 250,
+        seed: 3,
+        num_sources: 6,
+    });
+    let values = dataset.column_values(0);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("=== threads axis — JournalTitle, {cores} core(s) available ===");
+    println!("threads | candidate gen | grouping (EarlyTerm upfront) | total | speedup vs 1");
+    let mut baseline: Option<Duration> = None;
+    let mut reference: Option<(ec_replace::CandidateSet, Vec<ec_grouping::Group>)> = None;
+    for threads in [1usize, 2, 4] {
+        let start = Instant::now();
+        let candidates = generate_candidates(
+            &values,
+            &CandidateConfig {
+                parallelism: Parallelism::fixed(threads),
+                ..CandidateConfig::default()
+            },
+        );
+        let gen_time = start.elapsed();
+        let start = Instant::now();
+        let groups = StructuredGrouper::one_shot_all(
+            &candidates.replacements,
+            GroupingConfig::with_threads(threads),
+        );
+        let group_time = start.elapsed();
+        let total = gen_time + group_time;
+        let baseline = *baseline.get_or_insert(total);
+        match &reference {
+            None => reference = Some((candidates, groups)),
+            Some((ref_candidates, ref_groups)) => {
+                assert_eq!(
+                    ref_candidates, &candidates,
+                    "sharded candidate generation must be deterministic across thread counts"
+                );
+                assert_eq!(
+                    ref_groups, &groups,
+                    "sharded grouping must be deterministic across thread counts"
+                );
+            }
+        }
+        println!(
+            "{threads:>7} | {gen_time:>13.3?} | {group_time:>28.3?} | {total:>5.3?} | {:>10.2}x",
+            baseline.as_secs_f64() / total.as_secs_f64().max(1e-9)
+        );
+    }
+    println!(
+        "(speedup saturates at the machine's core count; ≥1.5x at 4 threads expects ≥4 cores)"
+    );
 }

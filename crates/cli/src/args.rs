@@ -73,7 +73,7 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
         "generate" => Some((&["dataset", "clusters", "seed", "sources", "output"], &[])),
         "profile" => Some((&["input", "name"], &[])),
         "groups" => Some((
-            &["input", "column", "top", "max-path-len"],
+            &["input", "column", "top", "max-path-len", "threads"],
             &["no-affix", "no-structure"],
         )),
         "consolidate" => Some((
@@ -85,6 +85,7 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
                 "output",
                 "golden",
                 "truth-method",
+                "threads",
             ],
             &[],
         )),
@@ -157,17 +158,22 @@ SUBCOMMANDS:
   groups       show the largest replacement groups of one column
                  --input FILE  --column NAME|INDEX  [--top K]
                  [--max-path-len N]  [--no-affix]  [--no-structure]
+                 [--threads N]
   consolidate  standardize columns and emit golden records
                  --input FILE  [--column NAME|INDEX]  [--budget N]
                  [--mode auto|approve-all|interactive]
                  [--truth-method majority|reliability]
-                 [--output FILE]  [--golden FILE]
+                 [--output FILE]  [--golden FILE]  [--threads N]
   resolve      cluster flat (unresolved) records into a clustered CSV
                  --input FILE  [--threshold T]  [--name NAME]  [--output FILE]
   help         show this message
 
 Clustered CSV has columns: cluster, source, <attr>..., [<attr>__truth]...
 Flat CSV has columns: source, <attr>...
+
+--threads N sets the worker threads for candidate generation and grouping
+(0 = auto: the EC_THREADS environment variable, else the machine). Results
+are bit-identical for every thread count.
 "
     .to_string()
 }

@@ -14,7 +14,7 @@ use ec_core::{
 use ec_data::{
     dataset_from_csv, dataset_to_csv, raw_records_from_csv, Dataset, GeneratorConfig, PaperDataset,
 };
-use ec_grouping::{GroupingConfig, StructuredGrouper};
+use ec_grouping::{GroupingConfig, Parallelism, StructuredGrouper};
 use ec_profile::{prioritize_columns, render_dataset_profile, render_priorities, DatasetProfile};
 use ec_replace::{generate_candidates, CandidateConfig};
 use ec_report::table::fmt_f64;
@@ -82,8 +82,10 @@ pub fn groups(parsed: &ParsedArgs, input: &str) -> Result<CommandOutput, CliErro
     let col = resolve_column(&dataset, parsed.require("column")?)?;
     let top = parsed.get_usize("top", 10)?;
 
+    let parallelism = Parallelism::from(parsed.get_usize("threads", 0)?);
     let mut config = GroupingConfig::default();
     config.max_path_len = parsed.get_usize("max-path-len", config.max_path_len)?;
+    config.parallelism = parallelism;
     if parsed.has("no-affix") {
         config.graph.enable_affix = false;
     }
@@ -91,7 +93,11 @@ pub fn groups(parsed: &ParsedArgs, input: &str) -> Result<CommandOutput, CliErro
         config.structure_refinement = false;
     }
 
-    let candidates = generate_candidates(&dataset.column_values(col), &CandidateConfig::default());
+    let candidate_config = CandidateConfig {
+        parallelism,
+        ..CandidateConfig::default()
+    };
+    let candidates = generate_candidates(&dataset.column_values(col), &candidate_config);
     let mut grouper = StructuredGrouper::new(&candidates.replacements, config);
     let mut out = format!(
         "column '{}': {} candidate replacements\n",
@@ -151,10 +157,13 @@ pub fn consolidate(
     // (an upper bound a user can then restrict interactively).
     let has_truth = input.lines().next().is_some_and(|h| h.contains("__truth"));
 
-    let pipeline = Pipeline::new(ConsolidationConfig {
-        budget,
-        ..ConsolidationConfig::default()
-    });
+    let pipeline = Pipeline::new(
+        ConsolidationConfig {
+            budget,
+            ..ConsolidationConfig::default()
+        }
+        .with_threads(parsed.get_usize("threads", 0)?),
+    );
     let mut reports: Vec<ColumnReport> = Vec::new();
     for &col in &columns {
         let report = match mode {

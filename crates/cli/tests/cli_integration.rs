@@ -46,14 +46,11 @@ fn library_help_succeeds_and_writes_nothing() {
 
 #[test]
 fn library_rejects_unknown_subcommand_and_flag() {
+    // Unknown subcommands and unknown flags are both rejected at parse time,
+    // so typos fail loudly before any input is read.
     let args: Vec<String> = vec!["frobnicate".into()];
-    let parsed = parse(&args).expect("bare subcommand parses");
-    let read = |_: &str| -> Result<String, CliError> { unreachable!("no input read") };
-    let mut stdin = std::io::Cursor::new(Vec::new());
-    let mut prompts = Vec::new();
-    let err = run(&parsed, &read, &mut stdin, &mut prompts).unwrap_err();
     assert!(
-        matches!(err, CliError::Usage(_)),
+        matches!(parse(&args), Err(CliError::Usage(msg)) if msg.contains("frobnicate")),
         "unknown subcommand is a usage error"
     );
 
@@ -118,6 +115,77 @@ fn library_end_to_end_generate_consolidate_produces_files() {
             "output files are non-empty CSV"
         );
     }
+}
+
+#[test]
+fn library_threads_flag_does_not_change_results() {
+    let generated = run_library(
+        &[
+            "generate",
+            "--dataset",
+            "address",
+            "--clusters",
+            "12",
+            "--seed",
+            "9",
+            "--output",
+            "a.csv",
+        ],
+        &[],
+    )
+    .expect("generate must succeed");
+    let (_, csv) = &generated.files[0];
+    let outputs: Vec<CommandOutput> = ["1", "4"]
+        .iter()
+        .map(|threads| {
+            run_library(
+                &[
+                    "consolidate",
+                    "--input",
+                    "a.csv",
+                    "--budget",
+                    "8",
+                    "--mode",
+                    "auto",
+                    "--threads",
+                    threads,
+                    "--output",
+                    "std.csv",
+                ],
+                &[("a.csv", csv)],
+            )
+            .expect("consolidate with --threads must succeed")
+        })
+        .collect();
+    assert_eq!(
+        outputs[0].files, outputs[1].files,
+        "--threads must not change the standardized output"
+    );
+    assert_eq!(outputs[0].stdout, outputs[1].stdout);
+
+    // `groups` accepts the flag too and is equally thread-count independent.
+    let groups: Vec<String> = ["1", "3"]
+        .iter()
+        .map(|threads| {
+            run_library(
+                &[
+                    "groups",
+                    "--input",
+                    "a.csv",
+                    "--column",
+                    "0",
+                    "--top",
+                    "5",
+                    "--threads",
+                    threads,
+                ],
+                &[("a.csv", csv)],
+            )
+            .expect("groups with --threads must succeed")
+            .stdout
+        })
+        .collect();
+    assert_eq!(groups[0], groups[1]);
 }
 
 /// A scratch directory under the target-controlled temp dir, removed on drop.

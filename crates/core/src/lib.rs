@@ -40,5 +40,5 @@ pub use oracle::{
 pub use pipeline::{ColumnReport, ConsolidationConfig, GoldenRecordReport, Pipeline, TruthMethod};
 
 pub use ec_data as data;
-pub use ec_grouping::{Group, GroupingConfig, StructuredGrouper};
+pub use ec_grouping::{Group, GroupingConfig, Parallelism, StructuredGrouper};
 pub use ec_replace::Direction;

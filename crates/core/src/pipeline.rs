@@ -37,6 +37,23 @@ impl Default for ConsolidationConfig {
     }
 }
 
+impl ConsolidationConfig {
+    /// Sets one [`Parallelism`] on both sharded stages — candidate generation
+    /// and pivot-path grouping. The pipeline's output is bit-identical for
+    /// every setting; only the wall-clock time changes.
+    pub fn with_parallelism(mut self, parallelism: ec_grouping::Parallelism) -> Self {
+        self.grouping.parallelism = parallelism;
+        self.candidates.parallelism = parallelism;
+        self
+    }
+
+    /// [`ConsolidationConfig::with_parallelism`] with a raw thread count
+    /// (`0` means auto — `EC_THREADS` or the machine).
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_parallelism(ec_grouping::Parallelism::from(threads))
+    }
+}
+
 /// What happened while standardizing one column.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ColumnReport {
@@ -361,6 +378,33 @@ mod tests {
         assert!(
             after_precision > before_precision,
             "standardization must help MC: before {before_precision:.3}, after {after_precision:.3}"
+        );
+    }
+
+    #[test]
+    fn parallelism_does_not_change_pipeline_output() {
+        let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+            num_clusters: 25,
+            seed: 3,
+            num_sources: 4,
+        });
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 4] {
+            let mut ds = dataset.clone();
+            let pipeline = Pipeline::new(
+                ConsolidationConfig {
+                    budget: 25,
+                    ..ConsolidationConfig::default()
+                }
+                .with_threads(threads),
+            );
+            let mut oracle = SimulatedOracle::for_column(&ds, 0, 7);
+            let report = pipeline.standardize_column(&mut ds, 0, &mut oracle);
+            outcomes.push((ds, report));
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "thread count must not change the standardized dataset or report"
         );
     }
 

@@ -26,10 +26,12 @@
 
 pub mod builder;
 pub mod label;
+pub mod parallel;
 pub mod replacement;
 pub mod structure;
 
 pub use builder::{ConstantPolicy, Edge, GraphBuilder, GraphConfig, TransformationGraph};
 pub use label::{LabelId, LabelInterner};
+pub use parallel::Parallelism;
 pub use replacement::Replacement;
 pub use structure::{structure_of, ReplacementStructure, Structure, StructureToken};

@@ -1,0 +1,116 @@
+//! The parallelism knob shared by the pipeline's sharded stages.
+//!
+//! Candidate generation (`ec-replace`), graph preparation and pivot-path
+//! search (`ec-grouping`) all shard their work across scoped worker threads.
+//! [`Parallelism`] is the single configuration value they consult: a fixed
+//! thread count, or *auto* — resolve from the `EC_THREADS` environment
+//! variable when set, otherwise from [`std::thread::available_parallelism`].
+//!
+//! Every sharded stage is required to produce **bit-identical output** for
+//! every `Parallelism` value; the knob only trades wall-clock time for cores.
+
+use serde::{Deserialize, Serialize};
+
+/// Environment variable consulted by [`Parallelism::AUTO`].
+pub const EC_THREADS_ENV: &str = "EC_THREADS";
+
+/// Upper clamp for auto-resolved thread counts; explicit settings may exceed
+/// it.
+const MAX_AUTO_THREADS: usize = 8;
+
+/// Number of worker threads a sharded stage may use.
+///
+/// The inner value is the configured thread count, with `0` meaning *auto*
+/// (resolve at use time from `EC_THREADS` or the machine). Constructed via
+/// [`Parallelism::AUTO`], [`Parallelism::SEQUENTIAL`] or
+/// [`Parallelism::fixed`]; `From<usize>` maps `0` to auto, which is what the
+/// CLI's `--threads 0` default relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Parallelism(usize);
+
+impl Parallelism {
+    /// Resolve the thread count at use time: `EC_THREADS` when set and valid,
+    /// otherwise the machine's available parallelism (clamped to 8).
+    pub const AUTO: Parallelism = Parallelism(0);
+
+    /// Exactly one thread: the sharded stages run their plain sequential
+    /// code paths with no worker threads spawned.
+    pub const SEQUENTIAL: Parallelism = Parallelism(1);
+
+    /// Exactly `n` threads (`n` is clamped to at least 1).
+    pub fn fixed(n: usize) -> Self {
+        Parallelism(n.max(1))
+    }
+
+    /// The resolved thread count (always at least 1).
+    pub fn threads(self) -> usize {
+        if self.0 > 0 {
+            return self.0;
+        }
+        if let Ok(v) = std::env::var(EC_THREADS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, MAX_AUTO_THREADS)
+    }
+
+    /// The number of shards to split `items` units of work into: the resolved
+    /// thread count, but never more shards than items and never zero.
+    pub fn shards(self, items: usize) -> usize {
+        self.threads().min(items).max(1)
+    }
+
+    /// True when [`Parallelism::shards`] would be 1 for any workload — i.e.
+    /// the stage runs on the calling thread.
+    pub fn is_sequential(self) -> bool {
+        self.threads() == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::AUTO
+    }
+}
+
+impl From<usize> for Parallelism {
+    /// `0` means auto; anything else is a fixed thread count.
+    fn from(n: usize) -> Self {
+        Parallelism(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_counts_resolve_to_themselves() {
+        assert_eq!(Parallelism::fixed(4).threads(), 4);
+        assert_eq!(Parallelism::fixed(0).threads(), 1, "fixed clamps to 1");
+        assert_eq!(Parallelism::SEQUENTIAL.threads(), 1);
+        assert!(Parallelism::SEQUENTIAL.is_sequential());
+    }
+
+    #[test]
+    fn shards_never_exceed_items_and_never_vanish() {
+        let p = Parallelism::fixed(8);
+        assert_eq!(p.shards(3), 3);
+        assert_eq!(p.shards(100), 8);
+        assert_eq!(p.shards(0), 1);
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one_thread() {
+        assert!(Parallelism::AUTO.threads() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::AUTO);
+        assert_eq!(Parallelism::from(0), Parallelism::AUTO);
+        assert_eq!(Parallelism::from(3), Parallelism::fixed(3));
+    }
+}

@@ -1,6 +1,6 @@
 //! Grouping configuration.
 
-use ec_graph::GraphConfig;
+use ec_graph::{GraphConfig, Parallelism};
 use serde::{Deserialize, Serialize};
 
 /// Configuration shared by all grouping drivers.
@@ -26,10 +26,24 @@ pub struct GroupingConfig {
     /// pieces rarely occur in the input): when it is hit, the best complete
     /// path found so far is used. Typical searches finish in a few hundred
     /// extensions, orders of magnitude below the default.
+    ///
+    /// **Determinism:** results are bit-identical for every
+    /// [`GroupingConfig::parallelism`] even when this budget truncates a
+    /// search — the drivers use thread-count-independent batch schedules and
+    /// snapshot bound semantics, so step consumption never depends on the
+    /// thread count. Changing *this cap itself* (or toggling
+    /// [`GroupingConfig::early_termination`]) can change the groups on
+    /// workloads where the budget binds, since pruning strength then decides
+    /// where a search is cut off.
     pub max_search_steps: usize,
     /// Build transformation graphs on multiple threads (per-thread label
     /// interners merged afterwards). Deterministic regardless of the setting.
     pub parallel_graph_build: bool,
+    /// Worker threads for the sharded stages: graph preparation and the
+    /// per-graph pivot-path searches of the one-shot and incremental
+    /// groupers. Every setting produces bit-identical groups; only the
+    /// wall-clock time changes (see `ec_graph::Parallelism`).
+    pub parallelism: Parallelism,
 }
 
 impl Default for GroupingConfig {
@@ -50,6 +64,7 @@ impl Default for GroupingConfig {
             structure_refinement: true,
             max_search_steps: 50_000,
             parallel_graph_build: true,
+            parallelism: Parallelism::AUTO,
         }
     }
 }
@@ -70,6 +85,15 @@ impl GroupingConfig {
         config.graph.enable_affix = false;
         config
     }
+
+    /// The default configuration with a fixed worker-thread count for the
+    /// sharded stages (`0` means auto).
+    pub fn with_threads(threads: usize) -> Self {
+        GroupingConfig {
+            parallelism: Parallelism::from(threads),
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -89,5 +113,13 @@ mod tests {
     fn presets() {
         assert!(!GroupingConfig::one_shot().early_termination);
         assert!(!GroupingConfig::without_affix().graph.enable_affix);
+        assert_eq!(
+            GroupingConfig::with_threads(3).parallelism,
+            Parallelism::fixed(3)
+        );
+        assert_eq!(
+            GroupingConfig::with_threads(0).parallelism,
+            Parallelism::AUTO
+        );
     }
 }

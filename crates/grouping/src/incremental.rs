@@ -75,6 +75,21 @@ impl IncrementalGrouper {
     /// Groups are produced in non-increasing size order (Theorem 6.4); after
     /// all graphs are exhausted, replacements whose graphs could not be built
     /// are emitted one per call as singleton groups.
+    ///
+    /// The scan runs pivot-path searches **speculatively in batches** and
+    /// then replays the sequential visiting protocol over the batch's
+    /// results: a search's outcome only depends on the graph, the active set
+    /// and whether its true share count clears the threshold — not on the
+    /// threshold's exact value — so a result computed at the batch-entry
+    /// threshold can stand in for the sequential search at the (possibly
+    /// higher) replay threshold. Batch sizes follow a fixed exponential ramp
+    /// (1, 2, 4, … capped), *independent of the thread count*: together with
+    /// [`PivotSearcher::search_many`]'s snapshot semantics this makes the
+    /// emitted groups and stored upper bounds bit-identical for every
+    /// [`GroupingConfig::parallelism`] — even when the step budget truncates
+    /// a search — while the ramp bounds the speculation wasted when the stop
+    /// condition halts mid-batch (at most one round's worth, ≤ the work
+    /// already done).
     pub fn next_group(&mut self) -> Option<Group> {
         if self.remaining == 0 {
             return self.skipped.pop().map(Group::singleton);
@@ -88,29 +103,53 @@ impl IncrementalGrouper {
 
         let mut lower_bounds = vec![1u32; self.prepared.len()];
         let mut best: Option<PivotResult> = None;
-        for &g in &order {
-            let gid = GraphId(g as u32);
-            if let Some(b) = &best {
-                // Stop condition: no unvisited graph can beat the best group.
-                if b.share_count >= self.upper_bounds[g] as usize {
-                    break;
-                }
-            }
+        /// Upper limit of the speculative batch ramp.
+        const MAX_SEARCH_BATCH: usize = 64;
+        let mut batch_size = 1usize;
+        let mut start = 0usize;
+        'scan: while start < order.len() {
+            let batch = &order[start..(start + batch_size).min(order.len())];
+            start += batch.len();
+            batch_size = (batch_size * 2).min(MAX_SEARCH_BATCH);
             // A pivot path shared by a single graph yields a singleton group
             // no matter which path it is, so the search only needs paths
             // shared by at least two graphs (threshold ≥ 1); graphs whose
             // every path is unshared fall through to the singleton fallback
             // below. This prunes conflict-heavy partitions (where most labels
             // occur in one graph only) by orders of magnitude.
-            let threshold = best.as_ref().map(|b| b.share_count).unwrap_or(0).max(1);
-            match searcher.search(gid, threshold, &self.active, &mut lower_bounds) {
-                Some(result) => {
-                    self.upper_bounds[g] = result.share_count as u32;
-                    best = Some(result);
+            let batch_threshold = best.as_ref().map(|b| b.share_count).unwrap_or(0).max(1);
+            let gids: Vec<GraphId> = batch.iter().map(|&g| GraphId(g as u32)).collect();
+            let results = searcher.search_many(
+                &gids,
+                batch_threshold,
+                &self.active,
+                &mut lower_bounds,
+                self.config.parallelism,
+            );
+            // Replay the sequential protocol over the speculative results.
+            for (result, &g) in results.into_iter().zip(batch) {
+                if let Some(b) = &best {
+                    // Stop condition: no unvisited graph can beat the best
+                    // group. Later batch results are discarded, exactly as the
+                    // sequential scan would never have computed them.
+                    if b.share_count >= self.upper_bounds[g] as usize {
+                        break 'scan;
+                    }
                 }
-                None => {
-                    // The pivot of g is shared by at most `threshold` graphs.
-                    self.upper_bounds[g] = self.upper_bounds[g].min(threshold.max(1) as u32);
+                let threshold = best.as_ref().map(|b| b.share_count).unwrap_or(0).max(1);
+                match result {
+                    // `search` accepts only paths shared by strictly more than
+                    // its threshold, so a speculative result that does not
+                    // clear the replay threshold is exactly what the
+                    // sequential search would have rejected as `None`.
+                    Some(result) if result.share_count > threshold => {
+                        self.upper_bounds[g] = result.share_count as u32;
+                        best = Some(result);
+                    }
+                    _ => {
+                        // The pivot of g is shared by at most `threshold` graphs.
+                        self.upper_bounds[g] = self.upper_bounds[g].min(threshold as u32);
+                    }
                 }
             }
         }
@@ -280,6 +319,26 @@ mod tests {
                     assert!(p.consistent_with(&ctx, r.rhs()), "{p} vs {r}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn all_groups_is_thread_independent_even_when_the_step_budget_binds() {
+        let mut reps = example_5_1();
+        reps.push(Replacement::new("Smith, James", "James Smith"));
+        reps.push(Replacement::new("Doe, John", "J. Doe"));
+        reps.push(Replacement::new("Roe, Jane", "Jane Roe"));
+        let drain = |threads: usize| {
+            let config = GroupingConfig {
+                max_search_steps: 20,
+                parallelism: ec_graph::Parallelism::fixed(threads),
+                ..GroupingConfig::default()
+            };
+            IncrementalGrouper::new(&reps, config).all_groups()
+        };
+        let base = drain(1);
+        for threads in [2usize, 4, 7] {
+            assert_eq!(base, drain(threads), "threads={threads}");
         }
     }
 

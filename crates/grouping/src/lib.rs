@@ -46,6 +46,7 @@ mod search;
 mod structured;
 
 pub use config::GroupingConfig;
+pub use ec_graph::Parallelism;
 pub use group::Group;
 pub use incremental::IncrementalGrouper;
 pub use oneshot::OneShotGrouper;

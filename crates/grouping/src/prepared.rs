@@ -48,11 +48,8 @@ impl PreparedGraphs {
         let mut retained = Vec::with_capacity(unique.len());
         let mut skipped = Vec::new();
 
-        if config.parallel_graph_build && unique.len() >= 64 {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .clamp(1, 8);
+        let threads = config.parallelism.threads();
+        if config.parallel_graph_build && threads > 1 && unique.len() >= 64 {
             let chunk_size = unique.len().div_ceil(threads);
             let chunks: Vec<&[Replacement]> = unique.chunks(chunk_size).collect();
             let results: Vec<BuiltChunk> = std::thread::scope(|scope| {

@@ -44,15 +44,25 @@ pub struct PivotResult {
 }
 
 /// Searches pivot paths over one [`PreparedGraphs`] collection.
+///
+/// The searcher is cheap to construct (two passes over the graphs and the
+/// interner) and immutable afterwards, so one instance can serve the searches
+/// of many graphs — including concurrently via [`PivotSearcher::search_many`].
 pub struct PivotSearcher<'a> {
     prepared: &'a PreparedGraphs,
     config: &'a GroupingConfig,
+    /// `last_nodes[g]` — the last node of graph `g`, precomputed once instead
+    /// of per search.
+    last_nodes: Vec<u32>,
+    /// `constant_chars[label]` — constant output characters per label,
+    /// precomputed once instead of per search.
+    constant_chars: Vec<usize>,
 }
 
 struct SearchState<'a> {
     index: &'a InvertedIndex,
     active: &'a [bool],
-    last_nodes: Vec<u32>,
+    last_nodes: &'a [u32],
     max_path_len: usize,
     early_termination: bool,
     /// `dist_to_end[i]` — minimum number of edges needed to reach the last
@@ -67,9 +77,16 @@ struct SearchState<'a> {
     /// tie-break: among equally shared paths the one whose output depends the
     /// least on constants (and then the shorter one) is preferred.
     constant_chars: &'a [usize],
-    /// Per-graph global lower bounds (the paper's `G_lo`), shared across the
-    /// searches of one driver invocation.
-    lower_bounds: &'a mut [u32],
+    /// The searched graph's own global lower bound (the paper's `G_lo[g]`) —
+    /// the only bound the DFS ever *reads*. Starts from the caller-provided
+    /// value and is raised when a complete path of the graph itself is found,
+    /// so a search's pruning inputs never depend on the bounds raised by
+    /// sibling searches running in the same [`PivotSearcher::search_many`]
+    /// call.
+    own_bound: u32,
+    /// Write-only accumulation of bound raises for all graphs (element-wise
+    /// maximum); the caller merges it into the shared bounds afterwards.
+    raised: &'a mut [u32],
     /// Best complete path so far: `(path, list, share count, quality)`.
     best: Option<(Vec<LabelId>, PathList, usize, Quality)>,
     threshold: usize,
@@ -89,7 +106,21 @@ impl<'a> PivotSearcher<'a> {
     /// Creates a searcher over `prepared` using `config`'s path-length cap and
     /// early-termination setting.
     pub fn new(prepared: &'a PreparedGraphs, config: &'a GroupingConfig) -> Self {
-        PivotSearcher { prepared, config }
+        let last_nodes: Vec<u32> = prepared.graphs().iter().map(|g| g.last_node()).collect();
+        let constant_chars: Vec<usize> = prepared
+            .interner()
+            .iter()
+            .map(|(_, f)| match f {
+                StringFn::ConstantStr(c) => c.chars().count(),
+                _ => 0,
+            })
+            .collect();
+        PivotSearcher {
+            prepared,
+            config,
+            last_nodes,
+            constant_chars,
+        }
     }
 
     /// Searches the pivot path of graph `g`.
@@ -112,35 +143,38 @@ impl<'a> PivotSearcher<'a> {
         active: &[bool],
         lower_bounds: &mut [u32],
     ) -> Option<PivotResult> {
+        // Raises land directly in `lower_bounds`, so a lone `search` call
+        // keeps the cumulative-bounds behavior of Algorithm 4.
+        let own_bound = lower_bounds[g.index()];
+        self.search_with_bounds(g, threshold, active, own_bound, lower_bounds)
+    }
+
+    /// The core search: reads only `own_bound` (the searched graph's own
+    /// global threshold) and records every bound raise into `raised` by
+    /// element-wise maximum, without ever reading other graphs' entries.
+    fn search_with_bounds(
+        &self,
+        g: GraphId,
+        threshold: usize,
+        active: &[bool],
+        own_bound: u32,
+        raised: &mut [u32],
+    ) -> Option<PivotResult> {
         let graph = self.prepared.graph(g);
-        let last_nodes: Vec<u32> = self
-            .prepared
-            .graphs()
-            .iter()
-            .map(|gr| gr.last_node())
-            .collect();
-        let constant_chars: Vec<usize> = self
-            .prepared
-            .interner()
-            .iter()
-            .map(|(_, f)| match f {
-                StringFn::ConstantStr(c) => c.chars().count(),
-                _ => 0,
-            })
-            .collect();
         // Minimum number of edges from each node of `graph` to its last node;
         // paths that cannot complete within the length cap are never explored.
         let dist_to_end = distance_to_end(graph);
         let mut state = SearchState {
             index: self.prepared.index(),
             active,
-            last_nodes,
+            last_nodes: &self.last_nodes,
             max_path_len: self.config.max_path_len,
             early_termination: self.config.early_termination,
             dist_to_end,
             steps_left: self.config.max_search_steps.max(1),
-            constant_chars: &constant_chars,
-            lower_bounds,
+            constant_chars: &self.constant_chars,
+            own_bound,
+            raised,
             best: None,
             threshold,
         };
@@ -194,6 +228,69 @@ impl<'a> PivotSearcher<'a> {
             complete: complete_dedup,
             share_count: count,
         })
+    }
+
+    /// Searches the pivot paths of `gids`, sharded across scoped worker
+    /// threads, and returns the results in `gids` order.
+    ///
+    /// The output is **bit-identical for every thread count, by
+    /// construction**: every search in the call reads only the snapshot of
+    /// `lower_bounds` taken at entry (plus the raises produced by its own
+    /// complete paths), and all raises are collected write-only and merged
+    /// into `lower_bounds` by element-wise maximum after the searches finish.
+    /// A search's pruning inputs therefore never depend on how the graphs are
+    /// chunked across workers — which also keeps results identical when
+    /// [`GroupingConfig::max_search_steps`] truncates a search, since the
+    /// number of steps a search consumes depends only on chunk-independent
+    /// state. (Every raise is a sound lower bound, so deferring the merge
+    /// only weakens pruning within one call, never correctness.)
+    pub fn search_many(
+        &self,
+        gids: &[GraphId],
+        threshold: usize,
+        active: &[bool],
+        lower_bounds: &mut [u32],
+        parallelism: ec_graph::Parallelism,
+    ) -> Vec<Option<PivotResult>> {
+        let shards = parallelism.shards(gids.len());
+        let snapshot = lower_bounds.to_vec();
+        type ShardOutput = (Vec<Option<PivotResult>>, Vec<u32>);
+        let run_chunk = |chunk: &[GraphId]| -> ShardOutput {
+            let mut raised = vec![0u32; snapshot.len()];
+            let results = chunk
+                .iter()
+                .map(|&g| {
+                    self.search_with_bounds(g, threshold, active, snapshot[g.index()], &mut raised)
+                })
+                .collect();
+            (results, raised)
+        };
+        let shard_outputs: Vec<ShardOutput> = if shards <= 1 {
+            vec![run_chunk(gids)]
+        } else {
+            let chunk_size = gids.len().div_ceil(shards);
+            let run_chunk = &run_chunk;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = gids
+                    .chunks(chunk_size)
+                    .map(|chunk| scope.spawn(move || run_chunk(chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pivot search worker panicked"))
+                    .collect()
+            })
+        };
+        let mut out = Vec::with_capacity(gids.len());
+        for (results, raised) in shard_outputs {
+            out.extend(results);
+            for (merged, raise) in lower_bounds.iter_mut().zip(raised) {
+                if *merged < raise {
+                    *merged = raise;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -264,11 +361,13 @@ fn dfs(
             // path is complete has a pivot path shared by at least `count` graphs.
             for occ in list.occurrences() {
                 let gi = occ.graph.index();
-                if state.active[gi]
-                    && occ.end == state.last_nodes[gi]
-                    && state.lower_bounds[gi] < count as u32
-                {
-                    state.lower_bounds[gi] = count as u32;
+                if state.active[gi] && occ.end == state.last_nodes[gi] {
+                    if state.raised[gi] < count as u32 {
+                        state.raised[gi] = count as u32;
+                    }
+                    if gi == g.index() && state.own_bound < count as u32 {
+                        state.own_bound = count as u32;
+                    }
                 }
             }
         }
@@ -323,7 +422,7 @@ fn dfs(
                 // partial quality only degrades as the path grows, so it lower
                 // bounds any completion) — and it must not fall below the
                 // graph's own global lower bound (Algorithm 4, line 5).
-                if count <= state.threshold || (count as u32) < state.lower_bounds[g.index()] {
+                if count <= state.threshold || (count as u32) < state.own_bound {
                     continue;
                 }
                 if let Some((_, _, best_count, best_quality)) = &state.best {
@@ -350,7 +449,7 @@ fn dfs(
         }
         if state.early_termination {
             // Re-check against the (possibly improved) best before descending.
-            if count <= state.threshold || (count as u32) < state.lower_bounds[g.index()] {
+            if count <= state.threshold || (count as u32) < state.own_bound {
                 continue;
             }
             if let Some((_, _, best_count, best_quality)) = &state.best {
@@ -536,6 +635,70 @@ mod tests {
         let result = searcher.search(GraphId(0), 0, &active, &mut lower).unwrap();
         assert_eq!(result.share_count, 1);
         assert_eq!(result.path.len(), 1);
+    }
+
+    #[test]
+    fn search_many_is_bit_identical_to_sequential_searches() {
+        // A workload with several transformation families so the searches
+        // interact through the shared lower bounds.
+        let mut reps = Vec::new();
+        for (last, first) in [
+            ("Lee", "Mary"),
+            ("Smith", "James"),
+            ("Brown", "Anna"),
+            ("Jones", "Paul"),
+            ("Davis", "Emma"),
+            ("Moore", "Lucy"),
+        ] {
+            reps.push(Replacement::new(
+                format!("{last}, {first}"),
+                format!("{first} {last}"),
+            ));
+            let initial = first.chars().next().unwrap();
+            reps.push(Replacement::new(
+                format!("{last}, {first}"),
+                format!("{initial}. {last}"),
+            ));
+        }
+        let config = GroupingConfig::default();
+        let prep = prepared(&reps, &config);
+        let searcher = PivotSearcher::new(&prep, &config);
+        let active = vec![true; prep.len()];
+        let gids: Vec<GraphId> = (0..prep.len()).map(|g| GraphId(g as u32)).collect();
+
+        let mut seq_bounds = vec![1u32; prep.len()];
+        let sequential: Vec<Option<PivotResult>> = gids
+            .iter()
+            .map(|&g| searcher.search(g, 0, &active, &mut seq_bounds))
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            let mut par_bounds = vec![1u32; prep.len()];
+            let parallel = searcher.search_many(
+                &gids,
+                0,
+                &active,
+                &mut par_bounds,
+                ec_graph::Parallelism::fixed(threads),
+            );
+            assert_eq!(parallel.len(), sequential.len());
+            for (a, b) in sequential.iter().zip(&parallel) {
+                let a = a.as_ref().unwrap();
+                let b = b.as_ref().unwrap();
+                assert_eq!(a.path, b.path, "threads={threads}");
+                assert_eq!(a.share_count, b.share_count, "threads={threads}");
+                assert_eq!(a.complete, b.complete, "threads={threads}");
+            }
+            // The merged bounds are sound: never above the sequential bounds'
+            // final values' own soundness limit — each graph's bound must not
+            // exceed its true pivot share count.
+            for (g, bound) in par_bounds.iter().enumerate() {
+                let share = sequential[g].as_ref().unwrap().share_count;
+                assert!(
+                    *bound as usize <= share,
+                    "threads={threads}: bound {bound} exceeds true share {share} of graph {g}"
+                );
+            }
+        }
     }
 
     #[test]

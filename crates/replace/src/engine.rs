@@ -287,6 +287,7 @@ mod tests {
             full_value_pairs: false,
             token_level_pairs: true,
             max_distinct_values_per_cluster: None,
+            ..CandidateConfig::default()
         };
         let mut engine = ReplacementEngine::new(clusters, &config);
         let n = engine.apply_group(

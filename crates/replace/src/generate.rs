@@ -2,7 +2,7 @@
 
 use crate::align::lcs_token_pairs;
 use crate::engine::CellRef;
-use ec_graph::Replacement;
+use ec_graph::{Parallelism, Replacement};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -18,6 +18,11 @@ pub struct CandidateConfig {
     /// Skip clusters with more than this many *distinct* values in the column
     /// (quadratic pair blow-up guard). `None` disables the guard.
     pub max_distinct_values_per_cluster: Option<usize>,
+    /// Worker threads for sharding the per-cluster generation work. The
+    /// produced [`CandidateSet`] is bit-identical for every setting (clusters
+    /// are chunked in order and the chunks merged back in order), only the
+    /// wall-clock time changes.
+    pub parallelism: Parallelism,
 }
 
 impl Default for CandidateConfig {
@@ -26,6 +31,7 @@ impl Default for CandidateConfig {
             full_value_pairs: true,
             token_level_pairs: true,
             max_distinct_values_per_cluster: Some(64),
+            parallelism: Parallelism::AUTO,
         }
     }
 }
@@ -85,9 +91,64 @@ impl CandidateSet {
 /// Generates the candidate replacements for one column, given the cell values
 /// of that column grouped by cluster (`clusters[c][r]` is the value of row `r`
 /// of cluster `c`).
+///
+/// Clusters are independent, so the work is sharded across
+/// [`CandidateConfig::parallelism`] worker threads: each worker generates the
+/// candidates of one contiguous cluster chunk, and the chunks are merged back
+/// in cluster order. First-seen candidate order over the in-order merge equals
+/// first-seen order of the sequential scan, so the result is bit-identical for
+/// every thread count.
 pub fn generate_candidates(clusters: &[Vec<String>], config: &CandidateConfig) -> CandidateSet {
+    let shards = config.parallelism.shards(clusters.len());
+    if shards <= 1 {
+        return generate_cluster_range(clusters, 0, config);
+    }
+    let chunk_size = clusters.len().div_ceil(shards);
+    let parts: Vec<CandidateSet> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clusters
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                scope.spawn(move || generate_cluster_range(chunk, chunk_idx * chunk_size, config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("candidate generation worker panicked"))
+            .collect()
+    });
     let mut out = CandidateSet::default();
-    for (c, values) in clusters.iter().enumerate() {
+    for part in parts {
+        let mut sets = part.sets;
+        for r in part.replacements {
+            // Chunks cover disjoint cluster ranges, so every (candidate, cell)
+            // pair is new to `out` and the per-cell dedup scan of `push` can
+            // be skipped; appending in chunk order reproduces the sequential
+            // first-seen candidate and cell order exactly.
+            let cells = sets.remove(&r).unwrap_or_default();
+            out.sets
+                .entry(r.clone())
+                .or_insert_with(|| {
+                    out.replacements.push(r);
+                    Vec::new()
+                })
+                .extend(cells);
+        }
+    }
+    out
+}
+
+/// Sequential candidate generation over `clusters`, whose first element has
+/// the global cluster index `first_cluster` (used so sharded chunks emit
+/// correct [`CellRef`]s).
+fn generate_cluster_range(
+    clusters: &[Vec<String>],
+    first_cluster: usize,
+    config: &CandidateConfig,
+) -> CandidateSet {
+    let mut out = CandidateSet::default();
+    for (offset, values) in clusters.iter().enumerate() {
+        let c = first_cluster + offset;
         let mut distinct: Vec<&String> = Vec::new();
         for v in values {
             if !distinct.contains(&v) {
@@ -110,12 +171,34 @@ pub fn generate_candidates(clusters: &[Vec<String>], config: &CandidateConfig) -
                     }
                 }
                 if config.token_level_pairs && i < j {
-                    for (left, right) in lcs_token_pairs(a, b) {
+                    // Canonical orientation: align the lexicographically
+                    // smaller value against the larger one. LCS tie-breaking
+                    // is not symmetric in its arguments, so without this the
+                    // generated candidate set could depend on the order the
+                    // two records appear in the cluster.
+                    let ((x, xi), (y, yj)) = if a <= b {
+                        ((a, i), (b, j))
+                    } else {
+                        ((b, j), (a, i))
+                    };
+                    for (left, right) in lcs_token_pairs(x, y) {
                         if let Some(r) = Replacement::try_new(left.as_str(), right.as_str()) {
-                            out.push(r, CellRef { cluster: c, row: i });
+                            out.push(
+                                r,
+                                CellRef {
+                                    cluster: c,
+                                    row: xi,
+                                },
+                            );
                         }
                         if let Some(r) = Replacement::try_new(right.as_str(), left.as_str()) {
-                            out.push(r, CellRef { cluster: c, row: j });
+                            out.push(
+                                r,
+                                CellRef {
+                                    cluster: c,
+                                    row: yj,
+                                },
+                            );
                         }
                     }
                 }
@@ -183,6 +266,7 @@ mod tests {
                 full_value_pairs: false,
                 token_level_pairs: true,
                 max_distinct_values_per_cluster: None,
+                ..CandidateConfig::default()
             },
         );
         for (lhs, rhs) in [
@@ -231,6 +315,45 @@ mod tests {
         let clusters = vec![vec![], vec!["only".to_string()]];
         let set = generate_candidates(&clusters, &CandidateConfig::default());
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn sharded_generation_is_bit_identical_to_sequential() {
+        // Enough clusters that every thread count below actually shards, with
+        // duplicated values across clusters so the merge has to dedup.
+        let clusters: Vec<Vec<String>> = (0..23)
+            .map(|c| {
+                vec![
+                    format!("{} Main Street", c % 7),
+                    format!("{} Main St", c % 7),
+                    format!("{} Main Street, Apt 1", c % 5),
+                ]
+            })
+            .collect();
+        let sequential = generate_candidates(
+            &clusters,
+            &CandidateConfig {
+                parallelism: Parallelism::SEQUENTIAL,
+                ..CandidateConfig::default()
+            },
+        );
+        for threads in [2, 3, 4, 9] {
+            let sharded = generate_candidates(
+                &clusters,
+                &CandidateConfig {
+                    parallelism: Parallelism::fixed(threads),
+                    ..CandidateConfig::default()
+                },
+            );
+            assert_eq!(
+                sequential.replacements, sharded.replacements,
+                "candidate order must not depend on thread count ({threads})"
+            );
+            assert_eq!(
+                sequential, sharded,
+                "replacement sets must not depend on thread count ({threads})"
+            );
+        }
     }
 
     #[test]

@@ -26,5 +26,6 @@ pub mod engine;
 pub mod generate;
 
 pub use align::{damerau_levenshtein, lcs_token_pairs};
+pub use ec_graph::Parallelism;
 pub use engine::{CellRef, Direction, ReplacementEngine};
 pub use generate::{generate_candidates, CandidateConfig, CandidateSet};

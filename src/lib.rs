@@ -75,7 +75,7 @@ pub mod prelude {
     pub use ec_dsl::{Dir, PositionFn, Program, StrCtx, StringFn, Term};
     pub use ec_graph::{GraphBuilder, GraphConfig, Replacement};
     pub use ec_grouping::{
-        Group, GroupingConfig, IncrementalGrouper, OneShotGrouper, StructuredGrouper,
+        Group, GroupingConfig, IncrementalGrouper, OneShotGrouper, Parallelism, StructuredGrouper,
     };
     pub use ec_metrics::{evaluate_standardization, golden_record_precision, ConfusionCounts};
     pub use ec_replace::{generate_candidates, CandidateConfig, Direction, ReplacementEngine};

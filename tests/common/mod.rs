@@ -1,0 +1,17 @@
+//! Shared helpers for the root integration suites.
+
+/// Scales an integration-suite workload size (cluster counts, mostly) by the
+/// `EC_TEST_SCALE` environment variable.
+///
+/// The suites default to workloads small enough that tier-1 (`cargo test`)
+/// finishes in seconds; `EC_TEST_SCALE` is a float multiplier restoring
+/// heavier soak workloads, e.g. `EC_TEST_SCALE=4 cargo test --release`.
+/// Invalid or non-positive values fall back to 1.
+pub fn scaled(base: usize) -> usize {
+    let factor = std::env::var("EC_TEST_SCALE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|f| f.is_finite() && *f > 0.0)
+        .unwrap_or(1.0);
+    ((base as f64 * factor).round() as usize).max(2)
+}

@@ -1,5 +1,12 @@
 //! Workspace-level integration tests: the whole pipeline, spanning every crate.
+//!
+//! Workload sizes respect the `EC_TEST_SCALE` multiplier (see
+//! [`common::scaled`]): the defaults keep tier-1 fast, larger factors restore
+//! soak-sized runs.
 
+mod common;
+
+use common::scaled;
 use entity_consolidation::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,7 +52,7 @@ fn table1_to_table2_standardization() {
 #[test]
 fn learned_programs_are_sound_on_generated_data() {
     let dataset = PaperDataset::Address.generate(&GeneratorConfig {
-        num_clusters: 30,
+        num_clusters: scaled(20),
         seed: 13,
         num_sources: 4,
     });
@@ -77,9 +84,9 @@ fn full_pipeline_improves_all_three_datasets() {
     for kind in PaperDataset::ALL {
         let config = GeneratorConfig {
             num_clusters: match kind {
-                PaperDataset::AuthorList => 25,
-                PaperDataset::Address => 60,
-                PaperDataset::JournalTitle => 120,
+                PaperDataset::AuthorList => scaled(15),
+                PaperDataset::Address => scaled(40),
+                PaperDataset::JournalTitle => scaled(80),
             },
             seed: 31,
             num_sources: 5,
@@ -149,7 +156,7 @@ fn full_pipeline_improves_all_three_datasets() {
 #[test]
 fn affix_functions_do_not_hurt_recall() {
     let dataset = PaperDataset::Address.generate(&GeneratorConfig {
-        num_clusters: 50,
+        num_clusters: scaled(30),
         seed: 23,
         num_sources: 4,
     });
@@ -182,7 +189,7 @@ fn affix_functions_do_not_hurt_recall() {
 #[test]
 fn incremental_and_one_shot_agree_on_generated_data() {
     let dataset = PaperDataset::JournalTitle.generate(&GeneratorConfig {
-        num_clusters: 120,
+        num_clusters: scaled(60),
         seed: 37,
         num_sources: 4,
     });
@@ -221,7 +228,7 @@ fn incremental_and_one_shot_agree_on_generated_data() {
 #[test]
 fn pipeline_is_robust_to_oracle_noise() {
     let dataset = PaperDataset::Address.generate(&GeneratorConfig {
-        num_clusters: 40,
+        num_clusters: scaled(25),
         seed: 41,
         num_sources: 4,
     });

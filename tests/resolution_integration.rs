@@ -1,6 +1,9 @@
 //! Integration tests spanning entity resolution (ec-resolution) and the
 //! consolidation pipeline: raw records in, golden records out.
 
+mod common;
+
+use common::scaled;
 use entity_consolidation::prelude::*;
 use entity_consolidation::resolution::{BlockingConfig, BlockingScheme, ColumnRule};
 use rand::rngs::StdRng;
@@ -80,7 +83,7 @@ fn resolver_rebuilds_clusters_for_table1_style_records() {
 fn raw_records_to_golden_records_end_to_end() {
     // Start from a generated Address dataset but throw the clustering away.
     let reference = PaperDataset::Address.generate(&GeneratorConfig {
-        num_clusters: 25,
+        num_clusters: scaled(18),
         seed: 41,
         num_sources: 4,
     });
@@ -126,7 +129,7 @@ fn resolution_quality_pair_level() {
     // Pairwise precision/recall of the resolver against the generator's
     // entity assignment, using the Name-free Address dataset.
     let reference = PaperDataset::AuthorList.generate(&GeneratorConfig {
-        num_clusters: 20,
+        num_clusters: scaled(14),
         seed: 17,
         num_sources: 3,
     });
@@ -179,7 +182,7 @@ fn resolution_quality_pair_level() {
 #[test]
 fn resolver_is_deterministic() {
     let reference = PaperDataset::JournalTitle.generate(&GeneratorConfig {
-        num_clusters: 15,
+        num_clusters: scaled(10),
         seed: 5,
         num_sources: 3,
     });

@@ -2,6 +2,9 @@
 //! unicode values, and pathological configurations must not panic and must
 //! degrade gracefully.
 
+mod common;
+
+use common::scaled;
 use entity_consolidation::data::{Cell, Cluster, Dataset, Row};
 use entity_consolidation::prelude::*;
 use rand::rngs::StdRng;
@@ -109,7 +112,7 @@ fn noisy_oracle_degrades_gracefully() {
     // verdict-flip rate the precision must stay high and recall must stay well
     // above the do-nothing baseline.
     let dataset = PaperDataset::Address.generate(&GeneratorConfig {
-        num_clusters: 40,
+        num_clusters: scaled(25),
         seed: 8,
         num_sources: 4,
     });
@@ -148,7 +151,7 @@ fn hostile_oracle_cannot_corrupt_more_than_it_approves() {
     // replacements legitimately synthesize new renderings, so they are not part
     // of this closure property.)
     let dataset = PaperDataset::JournalTitle.generate(&GeneratorConfig {
-        num_clusters: 20,
+        num_clusters: scaled(15),
         seed: 77,
         num_sources: 4,
     });
@@ -180,7 +183,7 @@ fn approval_threshold_and_direction_are_respected() {
     // An oracle with threshold 1.0 only approves groups whose every member is
     // a variant pair; precision must then be essentially perfect.
     let dataset = PaperDataset::Address.generate(&GeneratorConfig {
-        num_clusters: 30,
+        num_clusters: scaled(20),
         seed: 55,
         num_sources: 4,
     });

@@ -120,18 +120,20 @@ fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), Error
             closed = true;
             break;
         }
-        let literal = if c == '\\' {
+        let (literal, escaped) = if c == '\\' {
             let e = *chars
                 .get(i + 1)
                 .ok_or_else(|| Error("dangling escape in character class".into()))?;
             i += 2;
-            unescape(e)
+            (unescape(e), true)
         } else {
             i += 1;
-            c
+            (c, false)
         };
-        // A `-` between two members is a range; first or last it is literal.
-        if literal == '-'
+        // A bare `-` between two members is a range; escaped, first or last
+        // it is literal.
+        if !escaped
+            && literal == '-'
             && !members.is_empty()
             && i < chars.len()
             && chars[i] != ']'
