@@ -7,9 +7,11 @@
 //! differ (different hardware, Rust vs. C++, generated data) but the ordering
 //! and the shape of the gap are what this harness checks.
 
+use ec_bench::export_figure_csv;
 use ec_data::{GeneratorConfig, PaperDataset};
 use ec_grouping::{GroupingConfig, Parallelism, StructuredGrouper};
 use ec_replace::{generate_candidates, CandidateConfig};
+use ec_report::{Figure, Series};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -131,6 +133,9 @@ fn threads_axis() {
     println!("threads | candidate gen | grouping (EarlyTerm upfront) | total | speedup vs 1");
     let mut baseline: Option<Duration> = None;
     let mut reference: Option<(ec_replace::CandidateSet, Vec<ec_grouping::Group>)> = None;
+    let mut gen_series = Vec::new();
+    let mut group_series = Vec::new();
+    let mut total_series = Vec::new();
     for threads in [1usize, 2, 4] {
         let start = Instant::now();
         let candidates = generate_candidates(
@@ -166,8 +171,20 @@ fn threads_axis() {
             "{threads:>7} | {gen_time:>13.3?} | {group_time:>28.3?} | {total:>5.3?} | {:>10.2}x",
             baseline.as_secs_f64() / total.as_secs_f64().max(1e-9)
         );
+        gen_series.push((threads as f64, gen_time.as_secs_f64()));
+        group_series.push((threads as f64, group_time.as_secs_f64()));
+        total_series.push((threads as f64, total.as_secs_f64()));
     }
     println!(
         "(speedup saturates at the machine's core count; ≥1.5x at 4 threads expects ≥4 cores)"
     );
+    let figure = Figure::new(
+        "Figure 9 — threads axis (JournalTitle)",
+        "threads",
+        "seconds",
+    )
+    .with_series(Series::new("candidate generation", gen_series))
+    .with_series(Series::new("grouping (EarlyTerm upfront)", group_series))
+    .with_series(Series::new("total", total_series));
+    export_figure_csv("fig9_threads_axis", &figure);
 }

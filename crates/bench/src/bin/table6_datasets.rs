@@ -1,50 +1,56 @@
 //! Table 6: dataset details (cluster sizes, distinct value pairs, variant and
 //! conflict pair fractions) for the three generated datasets, printed next to
-//! the paper's reported numbers.
+//! the paper's reported numbers. With `EC_BENCH_EXPORT_DIR` set, the table is
+//! also exported as CSV (for the CI artifact) via `ec-report`.
 
+use ec_bench::export_table_csv;
 use ec_data::PaperDataset;
+use ec_report::table::fmt_f64;
+use ec_report::TextTable;
 
 fn main() {
     println!("Table 6 — dataset details (generated datasets vs. paper)");
-    println!(
-        "{:<14} {:>9} {:>9} {:>22} {:>16} {:>12} {:>12}",
+    let mut table = TextTable::new([
         "dataset",
         "clusters",
         "records",
         "cluster size avg/min/max",
         "distinct pairs",
         "variant %",
-        "conflict %"
-    );
+        "conflict %",
+    ]);
     let paper = [
-        ("AuthorList", 26.9, 51_538, 26.5, 73.5),
-        ("Address", 5.8, 80_451, 18.0, 82.0),
-        ("JournalTitle", 1.8, 81_350, 74.0, 26.0),
+        ("AuthorList (paper)", 26.9, 51_538, 26.5, 73.5),
+        ("Address (paper)", 5.8, 80_451, 18.0, 82.0),
+        ("JournalTitle (paper)", 1.8, 81_350, 74.0, 26.0),
     ];
     for (kind, (name, p_avg, p_pairs, p_var, p_conf)) in PaperDataset::ALL.into_iter().zip(paper) {
         let dataset = kind.generate(&kind.default_config());
         let s = dataset.stats(0);
-        println!(
-            "{:<14} {:>9} {:>9} {:>14.1}/{}/{} {:>16} {:>11.1}% {:>11.1}%",
-            kind.name(),
-            s.num_clusters,
-            s.num_records,
-            s.avg_cluster_size,
-            s.min_cluster_size,
-            s.max_cluster_size,
-            s.distinct_value_pairs,
-            100.0 * s.variant_pair_fraction,
-            100.0 * s.conflict_pair_fraction,
-        );
-        println!(
-            "{:<14} {:>9} {:>9} {:>14.1}/-/- {:>16} {:>11.1}% {:>11.1}%   (paper)",
-            format!("  {name}"),
-            "-",
-            "-",
-            p_avg,
-            p_pairs,
-            p_var,
-            p_conf
-        );
+        table.push_row([
+            kind.name().to_string(),
+            s.num_clusters.to_string(),
+            s.num_records.to_string(),
+            format!(
+                "{}/{}/{}",
+                fmt_f64(s.avg_cluster_size, 1),
+                s.min_cluster_size,
+                s.max_cluster_size
+            ),
+            s.distinct_value_pairs.to_string(),
+            format!("{}%", fmt_f64(100.0 * s.variant_pair_fraction, 1)),
+            format!("{}%", fmt_f64(100.0 * s.conflict_pair_fraction, 1)),
+        ]);
+        table.push_row([
+            name.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            format!("{}/-/-", fmt_f64(p_avg, 1)),
+            p_pairs.to_string(),
+            format!("{}%", fmt_f64(p_var, 1)),
+            format!("{}%", fmt_f64(p_conf, 1)),
+        ]);
     }
+    print!("{}", table.to_plain_text());
+    export_table_csv("table6_datasets", &table);
 }

@@ -1,27 +1,30 @@
 //! Table 8: precision of majority-consensus golden records before and after
-//! standardizing variant values with the paper's method.
+//! standardizing variant values with the paper's method. With
+//! `EC_BENCH_EXPORT_DIR` set, the table is also exported as CSV via
+//! `ec-report`. (CI archives only the fast `table6_datasets` export; this
+//! bin runs full standardization and takes minutes, so run it locally.)
 
-use ec_bench::table8_point;
+use ec_bench::{export_table_csv, table8_point};
 use ec_data::PaperDataset;
+use ec_report::table::fmt_f64;
+use ec_report::TextTable;
 
 fn main() {
     println!("Table 8 — majority-consensus golden-record precision");
-    println!(
-        "{:<14} {:>10} {:>10} {:>22}",
-        "dataset", "before", "after", "paper (before -> after)"
-    );
+    let mut table = TextTable::new(["dataset", "before", "after", "paper before", "paper after"]);
     let paper = [(0.51, 0.65), (0.32, 0.47), (0.335, 0.84)];
     for (kind, (p_before, p_after)) in PaperDataset::ALL.into_iter().zip(paper) {
         let dataset = kind.generate(&kind.default_config());
         let budget = kind.paper_budget();
         let (before, after) = table8_point(&dataset, budget, 7);
-        println!(
-            "{:<14} {:>10.3} {:>10.3} {:>14.3} -> {:.3}",
-            kind.name(),
-            before,
-            after,
-            p_before,
-            p_after
-        );
+        table.push_row([
+            kind.name().to_string(),
+            fmt_f64(before, 3),
+            fmt_f64(after, 3),
+            fmt_f64(p_before, 3),
+            fmt_f64(p_after, 3),
+        ]);
     }
+    print!("{}", table.to_plain_text());
+    export_table_csv("table8_truth_discovery", &table);
 }

@@ -193,6 +193,41 @@ pub fn print_series(method: &str, points: &[EffectivenessPoint]) {
     }
 }
 
+/// Where the bench binaries export machine-readable copies of their tables:
+/// the `EC_BENCH_EXPORT_DIR` environment variable, or `None` (no export) when
+/// it is unset or empty. CI sets it and archives the directory as a workflow
+/// artifact.
+pub fn export_dir() -> Option<std::path::PathBuf> {
+    match std::env::var("EC_BENCH_EXPORT_DIR") {
+        Ok(dir) if !dir.trim().is_empty() => Some(std::path::PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// Writes `contents` as `<EC_BENCH_EXPORT_DIR>/<name>.csv` when the export
+/// directory is configured; a no-op otherwise. Returns the written path,
+/// printing it so terminal users see where the artifact went.
+fn export_csv(name: &str, contents: &str) -> Option<std::path::PathBuf> {
+    let dir = export_dir()?;
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create export dir {}: {e}", dir.display()));
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, contents)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("exported {}", path.display());
+    Some(path)
+}
+
+/// Exports `table` via [`ec_report::TextTable::to_csv`]; see [`export_dir`].
+pub fn export_table_csv(name: &str, table: &ec_report::TextTable) -> Option<std::path::PathBuf> {
+    export_csv(name, &table.to_csv())
+}
+
+/// Exports `figure` via [`ec_report::csv_export`]; see [`export_dir`].
+pub fn export_figure_csv(name: &str, figure: &ec_report::Figure) -> Option<std::path::PathBuf> {
+    export_csv(name, &ec_report::csv_export(figure))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,7 +70,10 @@ impl ParsedArgs {
 /// The flags each subcommand accepts: (value options, boolean switches).
 fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
     match command {
-        "generate" => Some((&["dataset", "clusters", "seed", "sources", "output"], &[])),
+        "generate" => Some((
+            &["dataset", "clusters", "seed", "sources", "output"],
+            &["flat"],
+        )),
         "profile" => Some((&["input", "name"], &[])),
         "groups" => Some((
             &["input", "column", "top", "max-path-len", "threads"],
@@ -90,6 +93,21 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
             &[],
         )),
         "resolve" => Some((&["input", "threshold", "output", "name"], &[])),
+        "pipeline" => Some((
+            &[
+                "input",
+                "threshold",
+                "name",
+                "column",
+                "budget",
+                "mode",
+                "output",
+                "golden",
+                "truth-method",
+                "threads",
+            ],
+            &[],
+        )),
         "help" | "" => Some((&[], &[])),
         _ => None,
     }
@@ -150,8 +168,9 @@ USAGE:
 
 SUBCOMMANDS:
   generate     generate one of the paper's synthetic datasets as clustered CSV
+               (or as flat record CSV with --flat)
                  --dataset authorlist|address|journaltitle  --clusters N
-                 --seed N  --sources N  --output FILE
+                 --seed N  --sources N  [--flat]  --output FILE
   profile      profile a clustered CSV: per-column statistics, structure
                histograms and a standardization priority ranking
                  --input FILE  [--name NAME]
@@ -164,16 +183,28 @@ SUBCOMMANDS:
                  [--mode auto|approve-all|interactive]
                  [--truth-method majority|reliability]
                  [--output FILE]  [--golden FILE]  [--threads N]
-  resolve      cluster flat (unresolved) records into a clustered CSV
+  resolve      cluster flat (unresolved) records into a clustered CSV,
+               streaming the input record by record
                  --input FILE  [--threshold T]  [--name NAME]  [--output FILE]
+  pipeline     fused resolve + consolidate: flat record CSV in, golden-record
+               CSV out, with no intermediate clustered file; output is
+               bit-identical to running resolve then consolidate
+                 --input FILE  [--threshold T]  [--name NAME]
+                 [--column NAME|INDEX]  [--budget N]
+                 [--mode auto|approve-all|interactive]
+                 [--truth-method majority|reliability]
+                 [--output FILE]  [--golden FILE]  [--threads N]
   help         show this message
 
 Clustered CSV has columns: cluster, source, <attr>..., [<attr>__truth]...
 Flat CSV has columns: source, <attr>...
 
---threads N sets the worker threads for candidate generation and grouping
-(0 = auto: the EC_THREADS environment variable, else the machine). Results
-are bit-identical for every thread count.
+Inputs are consumed through streaming, buffered readers: the CSV document is
+parsed record by record and never buffered whole (only the parsed records /
+clusters a command works on are held in memory). --threads N sets the worker
+threads for candidate generation and grouping (0 = auto: the EC_THREADS
+environment variable, else the machine). Results are bit-identical for every
+thread count.
 "
     .to_string()
 }
@@ -263,7 +294,14 @@ mod tests {
     #[test]
     fn usage_mentions_every_subcommand() {
         let text = usage();
-        for cmd in ["generate", "profile", "groups", "consolidate", "resolve"] {
+        for cmd in [
+            "generate",
+            "profile",
+            "groups",
+            "consolidate",
+            "resolve",
+            "pipeline",
+        ] {
             assert!(text.contains(cmd));
         }
     }

@@ -1,26 +1,30 @@
 //! The `ec` subcommands.
 //!
-//! Every function takes the already-parsed arguments plus any input text and
-//! returns a [`CommandOutput`]; nothing here touches the file system or the
-//! terminal directly (interactive review writes prompts through the writer
-//! handed in by the caller).
+//! Every function takes the already-parsed arguments plus a reader over the
+//! input (commands parse it incrementally through the `ec-data` streaming
+//! readers, never materializing the document) and returns a
+//! [`CommandOutput`]; nothing here touches the file system or the terminal
+//! directly (interactive review writes prompts through the writer handed in
+//! by the caller).
 
 use crate::args::ParsedArgs;
 use crate::interactive::InteractiveOracle;
 use crate::{CliError, CommandOutput};
 use ec_core::{
-    ApproveAllOracle, ColumnReport, ConsolidationConfig, Pipeline, SimulatedOracle, TruthMethod,
+    ApproveAllOracle, ColumnReport, ConsolidationConfig, FusedPipeline, Pipeline, SimulatedOracle,
+    TruthMethod,
 };
+use ec_data::csv::CsvWriter;
 use ec_data::{
-    dataset_from_csv, dataset_to_csv, raw_records_from_csv, Dataset, GeneratorConfig, PaperDataset,
+    dataset_to_csv, ClusteredCsvReader, Dataset, FlatCsvReader, GeneratorConfig, PaperDataset,
 };
 use ec_grouping::{GroupingConfig, Parallelism, StructuredGrouper};
 use ec_profile::{prioritize_columns, render_dataset_profile, render_priorities, DatasetProfile};
 use ec_replace::{generate_candidates, CandidateConfig};
 use ec_report::table::fmt_f64;
 use ec_report::TextTable;
-use ec_resolution::{RawRecord, Resolver, ResolverConfig};
-use std::io::{BufRead, Write};
+use ec_resolution::{Resolver, ResolverConfig};
+use std::io::{BufRead, Read, Write};
 
 /// `ec generate`: produce one of the paper's synthetic datasets as clustered
 /// CSV (to a file with `--output`, otherwise to stdout).
@@ -47,11 +51,17 @@ pub fn generate(parsed: &ParsedArgs) -> Result<CommandOutput, CliError> {
         num_sources: parsed.get_usize("sources", defaults.num_sources)?,
     };
     let dataset = which.generate(&config);
-    let csv = dataset_to_csv(&dataset);
+    let flat = parsed.has("flat");
+    let csv = if flat {
+        flat_records_csv(&dataset)
+    } else {
+        dataset_to_csv(&dataset)
+    };
     let stats = dataset.stats(0);
     let summary = format!(
-        "generated {} ({} clusters, {} records, {} distinct value pairs on column 0, seed {})\n",
+        "generated {} as {} ({} clusters, {} records, {} distinct value pairs on column 0, seed {})\n",
         which.name(),
+        if flat { "flat records" } else { "clustered CSV" },
         stats.num_clusters,
         stats.num_records,
         stats.distinct_value_pairs,
@@ -63,11 +73,44 @@ pub fn generate(parsed: &ParsedArgs) -> Result<CommandOutput, CliError> {
     }
 }
 
+/// Serializes a dataset's rows as flat record CSV (`source,<attributes...>`,
+/// cluster structure and ground truth dropped) — the input format of
+/// `ec resolve` and `ec pipeline`.
+fn flat_records_csv(dataset: &Dataset) -> String {
+    let mut writer = CsvWriter::new(Vec::new());
+    let header = std::iter::once("source").chain(dataset.columns.iter().map(String::as_str));
+    writer
+        .write_record(header)
+        .expect("writing to a Vec cannot fail");
+    for cluster in &dataset.clusters {
+        for row in &cluster.rows {
+            let fields = std::iter::once(row.source.to_string())
+                .chain(row.cells.iter().map(|c| c.observed.clone()));
+            writer
+                .write_record(fields)
+                .expect("writing to a Vec cannot fail");
+        }
+    }
+    String::from_utf8(writer.into_inner()).expect("CSV output is valid UTF-8")
+}
+
+/// Parses a clustered CSV from a reader, returning the dataset plus whether
+/// the header declared `__truth` columns (which decides whether the `auto`
+/// consolidation mode can use the simulated expert).
+fn read_clustered(name: &str, input: impl Read) -> Result<(Dataset, bool), CliError> {
+    let reader = ClusteredCsvReader::new(input).map_err(|e| CliError::Data(e.to_string()))?;
+    let has_truth = reader.has_truth_columns();
+    let dataset = reader
+        .into_dataset(name)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    Ok((dataset, has_truth))
+}
+
 /// `ec profile`: per-column statistics plus the standardization priority
 /// ranking of a clustered CSV.
-pub fn profile(parsed: &ParsedArgs, input: &str) -> Result<CommandOutput, CliError> {
+pub fn profile(parsed: &ParsedArgs, input: impl Read) -> Result<CommandOutput, CliError> {
     let name = parsed.get("name").unwrap_or("input");
-    let dataset = parse_dataset(name, input)?;
+    let (dataset, _) = read_clustered(name, input)?;
     let profile = DatasetProfile::profile(&dataset);
     let mut out = render_dataset_profile(&profile);
     out.push_str("\nstandardization priority:\n");
@@ -77,8 +120,8 @@ pub fn profile(parsed: &ParsedArgs, input: &str) -> Result<CommandOutput, CliErr
 
 /// `ec groups`: print the largest replacement groups of one column — a dry
 /// run of what the human would be asked to confirm.
-pub fn groups(parsed: &ParsedArgs, input: &str) -> Result<CommandOutput, CliError> {
-    let dataset = parse_dataset("input", input)?;
+pub fn groups(parsed: &ParsedArgs, input: impl Read) -> Result<CommandOutput, CliError> {
+    let (dataset, _) = read_clustered("input", input)?;
     let col = resolve_column(&dataset, parsed.require("column")?)?;
     let top = parsed.get_usize("top", 10)?;
 
@@ -132,16 +175,48 @@ pub fn groups(parsed: &ParsedArgs, input: &str) -> Result<CommandOutput, CliErro
 /// the standardized dataset and its golden records.
 pub fn consolidate(
     parsed: &ParsedArgs,
-    input: &str,
+    input: impl Read,
     stdin: &mut dyn BufRead,
     prompt_out: &mut dyn Write,
 ) -> Result<CommandOutput, CliError> {
-    let mut dataset = parse_dataset("input", input)?;
+    // The `__truth` columns are what the simulated expert judges against; when
+    // they are absent the automatic mode falls back to approving everything
+    // (an upper bound a user can then restrict interactively).
+    let (mut dataset, has_truth) = read_clustered("input", input)?;
+    let pipeline = Pipeline::new(
+        ConsolidationConfig {
+            budget: parsed.get_usize("budget", 100)?,
+            ..ConsolidationConfig::default()
+        }
+        .with_threads(parsed.get_usize("threads", 0)?),
+    );
+    consolidate_dataset(
+        parsed,
+        &mut dataset,
+        has_truth,
+        &pipeline,
+        stdin,
+        prompt_out,
+    )
+}
+
+/// The shared consolidation driver behind `ec consolidate` and the
+/// consolidation half of `ec pipeline`: standardizes the requested columns
+/// with the mode's oracle, runs truth discovery, and renders the summary plus
+/// the `--output` / `--golden` files.
+fn consolidate_dataset(
+    parsed: &ParsedArgs,
+    dataset: &mut Dataset,
+    has_truth: bool,
+    pipeline: &Pipeline,
+    stdin: &mut dyn BufRead,
+    prompt_out: &mut dyn Write,
+) -> Result<CommandOutput, CliError> {
     let columns: Vec<usize> = match parsed.get("column") {
-        Some(spec) => vec![resolve_column(&dataset, spec)?],
+        Some(spec) => vec![resolve_column(dataset, spec)?],
         None => (0..dataset.columns.len()).collect(),
     };
-    let budget = parsed.get_usize("budget", 100)?;
+    let budget = pipeline.config().budget;
     let mode = parsed.get("mode").unwrap_or("auto");
     let truth_method = match parsed.get("truth-method").unwrap_or("majority") {
         "majority" | "mc" => TruthMethod::MajorityConsensus,
@@ -152,18 +227,6 @@ pub fn consolidate(
             )))
         }
     };
-    // The `__truth` columns are what the simulated expert judges against; when
-    // they are absent the automatic mode falls back to approving everything
-    // (an upper bound a user can then restrict interactively).
-    let has_truth = input.lines().next().is_some_and(|h| h.contains("__truth"));
-
-    let pipeline = Pipeline::new(
-        ConsolidationConfig {
-            budget,
-            ..ConsolidationConfig::default()
-        }
-        .with_threads(parsed.get_usize("threads", 0)?),
-    );
     let mut reports: Vec<ColumnReport> = Vec::new();
     for &col in &columns {
         let report = match mode {
@@ -175,15 +238,15 @@ pub fn consolidate(
                 )
                 .map_err(|e| CliError::Io(e.to_string()))?;
                 let mut oracle = InteractiveOracle::new(stdin, prompt_out);
-                pipeline.standardize_column(&mut dataset, col, &mut oracle)
+                pipeline.standardize_column(dataset, col, &mut oracle)
             }
-            "approve-all" => pipeline.standardize_column(&mut dataset, col, &mut ApproveAllOracle),
+            "approve-all" => pipeline.standardize_column(dataset, col, &mut ApproveAllOracle),
             "auto" => {
                 if has_truth {
-                    let mut oracle = SimulatedOracle::for_column(&dataset, col, 7 + col as u64);
-                    pipeline.standardize_column(&mut dataset, col, &mut oracle)
+                    let mut oracle = SimulatedOracle::for_column(dataset, col, 7 + col as u64);
+                    pipeline.standardize_column(dataset, col, &mut oracle)
                 } else {
-                    pipeline.standardize_column(&mut dataset, col, &mut ApproveAllOracle)
+                    pipeline.standardize_column(dataset, col, &mut ApproveAllOracle)
                 }
             }
             other => {
@@ -195,7 +258,7 @@ pub fn consolidate(
         reports.push(report);
     }
 
-    let golden = pipeline.discover_golden_records(&dataset, truth_method);
+    let golden = pipeline.discover_golden_records(dataset, truth_method);
 
     // Summary of the standardization work.
     let mut summary_table = TextTable::new([
@@ -252,37 +315,44 @@ pub fn consolidate(
 
     let mut output = CommandOutput::text(out);
     if let Some(path) = parsed.get("output") {
-        output = output.with_file(path, dataset_to_csv(&dataset));
+        output = output.with_file(path, dataset_to_csv(dataset));
     }
     if let Some(path) = parsed.get("golden") {
-        output = output.with_file(path, golden_records_csv(&dataset, &golden));
+        output = output.with_file(path, golden_records_csv(dataset, &golden));
     }
     Ok(output)
 }
 
-/// `ec resolve`: cluster flat records into a clustered CSV.
-pub fn resolve(parsed: &ParsedArgs, input: &str) -> Result<CommandOutput, CliError> {
-    let (columns, raw) = raw_records_from_csv(input).map_err(|e| CliError::Data(e.to_string()))?;
-    let records: Vec<RawRecord> = raw
-        .into_iter()
-        .map(|(source, fields)| RawRecord { source, fields })
-        .collect();
+/// Parses and validates the `--threshold` flag shared by `resolve` and
+/// `pipeline`.
+fn match_threshold(parsed: &ParsedArgs) -> Result<f64, CliError> {
     let threshold = parsed.get_f64("threshold", 0.75)?;
     if !(0.0..=1.0).contains(&threshold) {
         return Err(CliError::Usage(format!(
             "--threshold must be between 0 and 1, got {threshold}"
         )));
     }
+    Ok(threshold)
+}
+
+/// `ec resolve`: cluster flat records into a clustered CSV. The input is
+/// consumed record by record through the streaming resolver, so it never has
+/// to fit in memory.
+pub fn resolve(parsed: &ParsedArgs, input: impl Read) -> Result<CommandOutput, CliError> {
+    let threshold = match_threshold(parsed)?;
+    let mut stream = FlatCsvReader::new(input).map_err(|e| CliError::Data(e.to_string()))?;
     let name = parsed.get("name").unwrap_or("resolved");
     let resolver = Resolver::new(ResolverConfig {
         threshold,
         ..ResolverConfig::default()
     });
-    let dataset = resolver.resolve_to_dataset(name, columns, &records, None);
+    let dataset = resolver
+        .resolve_stream(name, &mut stream)
+        .map_err(|e| CliError::Data(e.to_string()))?;
     let csv = dataset_to_csv(&dataset);
     let summary = format!(
         "resolved {} records into {} clusters (threshold {})\n",
-        records.len(),
+        dataset.num_records(),
         dataset.clusters.len(),
         threshold
     );
@@ -292,9 +362,56 @@ pub fn resolve(parsed: &ParsedArgs, input: &str) -> Result<CommandOutput, CliErr
     }
 }
 
-/// Parses a clustered CSV, mapping errors to [`CliError::Data`].
-fn parse_dataset(name: &str, input: &str) -> Result<Dataset, CliError> {
-    dataset_from_csv(name, input).map_err(|e| CliError::Data(e.to_string()))
+/// `ec pipeline`: the fused resolve → standardize → truth-discovery run.
+/// Flat record CSV streams in, golden-record CSV comes out, and no
+/// intermediate clustered file ever exists; the output files are
+/// bit-identical to running `ec resolve` and then `ec consolidate` on its
+/// output with the same flags.
+pub fn pipeline(
+    parsed: &ParsedArgs,
+    input: impl Read,
+    stdin: &mut dyn BufRead,
+    prompt_out: &mut dyn Write,
+) -> Result<CommandOutput, CliError> {
+    let threshold = match_threshold(parsed)?;
+    let mut stream = FlatCsvReader::new(input).map_err(|e| CliError::Data(e.to_string()))?;
+    let name = parsed.get("name").unwrap_or("resolved");
+    let fused = FusedPipeline::new(
+        ResolverConfig {
+            threshold,
+            ..ResolverConfig::default()
+        },
+        ConsolidationConfig {
+            budget: parsed.get_usize("budget", 100)?,
+            ..ConsolidationConfig::default()
+        }
+        .with_threads(parsed.get_usize("threads", 0)?),
+    );
+    let mut dataset = fused
+        .resolve_stream(name, &mut stream)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    let summary = format!(
+        "resolved {} records into {} clusters (threshold {})\n",
+        dataset.num_records(),
+        dataset.clusters.len(),
+        threshold
+    );
+    // Resolver output always carries per-cell truth (set to the observed
+    // value), exactly as the clustered CSV written by `ec resolve` declares
+    // `__truth` columns — so `auto` mode uses the simulated expert, matching
+    // the two-pass flow.
+    let consolidated = consolidate_dataset(
+        parsed,
+        &mut dataset,
+        true,
+        fused.pipeline(),
+        stdin,
+        prompt_out,
+    )?;
+    Ok(CommandOutput {
+        stdout: summary + &consolidated.stdout,
+        files: consolidated.files,
+    })
 }
 
 /// Resolves a `--column` argument given either a column name or an index.
@@ -332,6 +449,7 @@ fn golden_records_csv(dataset: &Dataset, golden: &[Vec<Option<String>>]) -> Stri
 mod tests {
     use super::*;
     use crate::args::parse;
+    use ec_data::{dataset_from_csv, RecordStream};
     use std::io::Cursor;
 
     fn parsed(argv: &[&str]) -> ParsedArgs {
@@ -384,7 +502,7 @@ mod tests {
     #[test]
     fn profile_renders_columns_and_priorities() {
         let csv = address_csv(10);
-        let out = profile(&parsed(&["profile", "--input", "x.csv"]), &csv).unwrap();
+        let out = profile(&parsed(&["profile", "--input", "x.csv"]), csv.as_bytes()).unwrap();
         assert!(out.stdout.contains("standardization priority"));
         assert!(
             out.stdout.contains("address"),
@@ -397,7 +515,7 @@ mod tests {
     fn profile_rejects_malformed_input() {
         let err = profile(
             &parsed(&["profile", "--input", "x.csv"]),
-            "not,a,clustered\n1,2,3\n",
+            "not,a,clustered\n1,2,3\n".as_bytes(),
         )
         .unwrap_err();
         assert!(matches!(err, CliError::Data(_)));
@@ -408,7 +526,7 @@ mod tests {
         let csv = address_csv(20);
         let out = groups(
             &parsed(&["groups", "--input", "x.csv", "--column", "0", "--top", "3"]),
-            &csv,
+            csv.as_bytes(),
         )
         .unwrap();
         assert!(out.stdout.contains("#1"));
@@ -435,7 +553,7 @@ mod tests {
         let csv = address_csv(5);
         let err = groups(
             &parsed(&["groups", "--input", "x.csv", "--column", "Phone"]),
-            &csv,
+            csv.as_bytes(),
         )
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(msg) if msg.contains("Phone")));
@@ -458,7 +576,7 @@ mod tests {
                 "--golden",
                 "g.csv",
             ]),
-            &csv,
+            csv.as_bytes(),
             &mut stdin,
             &mut prompts,
         )
@@ -488,7 +606,7 @@ mod tests {
                 "--mode",
                 "interactive",
             ]),
-            &csv,
+            csv.as_bytes(),
             &mut stdin,
             &mut prompts,
         )
@@ -506,7 +624,7 @@ mod tests {
         let mut prompts = Vec::new();
         let out = consolidate(
             &parsed(&["consolidate", "--input", "x.csv", "--budget", "10"]),
-            csv,
+            csv.as_bytes(),
             &mut stdin,
             &mut prompts,
         )
@@ -521,14 +639,14 @@ mod tests {
         let mut prompts = Vec::new();
         assert!(consolidate(
             &parsed(&["consolidate", "--input", "x", "--mode", "psychic"]),
-            &csv,
+            csv.as_bytes(),
             &mut stdin,
             &mut prompts
         )
         .is_err());
         assert!(consolidate(
             &parsed(&["consolidate", "--input", "x", "--truth-method", "magic"]),
-            &csv,
+            csv.as_bytes(),
             &mut stdin,
             &mut prompts
         )
@@ -553,7 +671,7 @@ mod tests {
                 "--output",
                 "c.csv",
             ]),
-            flat,
+            flat.as_bytes(),
         )
         .unwrap();
         assert!(out.stdout.contains("resolved 5 records"));
@@ -569,10 +687,136 @@ mod tests {
     fn resolve_validates_threshold_and_input() {
         assert!(resolve(
             &parsed(&["resolve", "--input", "x", "--threshold", "3"]),
-            "source,A\n0,x\n"
+            "source,A\n0,x\n".as_bytes()
         )
         .is_err());
-        assert!(resolve(&parsed(&["resolve", "--input", "x"]), "bogus\n1\n").is_err());
+        assert!(resolve(
+            &parsed(&["resolve", "--input", "x"]),
+            "bogus\n1\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn generate_flat_emits_flat_record_csv() {
+        let out = generate(&parsed(&[
+            "generate",
+            "--dataset",
+            "address",
+            "--clusters",
+            "6",
+            "--seed",
+            "2",
+            "--flat",
+        ]))
+        .unwrap();
+        assert!(out.stdout.starts_with("source,"));
+        assert!(!out.stdout.contains("__truth"));
+        // The flat output feeds straight back into the resolver.
+        let stream = FlatCsvReader::new(out.stdout.as_bytes()).unwrap();
+        assert!(!stream.columns().is_empty());
+    }
+
+    #[test]
+    fn pipeline_output_is_bit_identical_to_resolve_then_consolidate() {
+        let flat = generate(&parsed(&[
+            "generate",
+            "--dataset",
+            "address",
+            "--clusters",
+            "10",
+            "--seed",
+            "5",
+            "--flat",
+        ]))
+        .unwrap()
+        .stdout;
+
+        // Two passes through an intermediate clustered CSV...
+        let resolved = resolve(
+            &parsed(&[
+                "resolve",
+                "--input",
+                "f.csv",
+                "--threshold",
+                "0.6",
+                "--output",
+                "c.csv",
+            ]),
+            flat.as_bytes(),
+        )
+        .unwrap();
+        let clustered = &resolved.files[0].1;
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        let two_pass = consolidate(
+            &parsed(&[
+                "consolidate",
+                "--input",
+                "c.csv",
+                "--budget",
+                "15",
+                "--output",
+                "std.csv",
+                "--golden",
+                "g.csv",
+            ]),
+            clustered.as_bytes(),
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap();
+
+        // ...versus the fused pipeline with the same flags.
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        let fused = pipeline(
+            &parsed(&[
+                "pipeline",
+                "--input",
+                "f.csv",
+                "--threshold",
+                "0.6",
+                "--budget",
+                "15",
+                "--output",
+                "std.csv",
+                "--golden",
+                "g.csv",
+            ]),
+            flat.as_bytes(),
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap();
+
+        assert_eq!(
+            fused.files, two_pass.files,
+            "output files are bit-identical"
+        );
+        assert!(fused.stdout.contains("resolved"));
+        assert!(fused.stdout.contains("golden records"));
+        assert!(fused.stdout.ends_with(&two_pass.stdout));
+    }
+
+    #[test]
+    fn pipeline_validates_threshold_and_input() {
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        assert!(pipeline(
+            &parsed(&["pipeline", "--input", "x", "--threshold", "7"]),
+            "source,A\n0,x\n".as_bytes(),
+            &mut stdin,
+            &mut prompts,
+        )
+        .is_err());
+        assert!(pipeline(
+            &parsed(&["pipeline", "--input", "x"]),
+            "bogus\n1\n".as_bytes(),
+            &mut stdin,
+            &mut prompts,
+        )
+        .is_err());
     }
 
     #[test]

@@ -6,10 +6,13 @@
 //! golden-record CSV files back out.
 //!
 //! All command logic lives in this library crate and is pure with respect to
-//! the file system: commands receive input text and return a [`CommandOutput`]
-//! holding the text to print and the files to write, so every subcommand is
-//! unit-testable without touching disk. The `ec` binary in `main.rs` is only
-//! argument collection, file reading, and file writing.
+//! the file system: commands receive a reader over their input (consumed
+//! incrementally through the `ec-data` streaming CSV readers, so the raw
+//! document is never buffered whole — only the parsed records live in
+//! memory) and return a [`CommandOutput`] holding the text to print and the
+//! files to write, so every subcommand is unit-testable without touching
+//! disk. The `ec` binary in `main.rs` is only argument collection, buffered
+//! file reading, and buffered file writing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -72,13 +75,19 @@ impl CommandOutput {
     }
 }
 
-/// Runs one parsed subcommand. `read_input` maps an `--input` path to its
-/// contents (the binary passes a closure over `std::fs`, tests pass in-memory
-/// text); `stdin` provides the answers and `prompt_out` receives the prompts
-/// of `--mode interactive`.
+/// The reader a command consumes its `--input` through. Commands parse it
+/// incrementally (via the `ec-data` streaming CSV readers), so the opener
+/// should hand back a *buffered* reader — the binary wraps `File` in a
+/// `BufReader`, tests pass in-memory bytes — and the input never has to fit
+/// in memory.
+pub type InputReader = Box<dyn std::io::Read>;
+
+/// Runs one parsed subcommand. `open_input` maps an `--input` path to a
+/// reader over its contents; `stdin` provides the answers and `prompt_out`
+/// receives the prompts of `--mode interactive`.
 pub fn run(
     parsed: &ParsedArgs,
-    read_input: &dyn Fn(&str) -> Result<String, CliError>,
+    open_input: &dyn Fn(&str) -> Result<InputReader, CliError>,
     stdin: &mut dyn std::io::BufRead,
     prompt_out: &mut dyn std::io::Write,
 ) -> Result<CommandOutput, CliError> {
@@ -86,20 +95,24 @@ pub fn run(
         "help" => Ok(CommandOutput::text(usage())),
         "generate" => commands::generate(parsed),
         "profile" => {
-            let text = read_input(parsed.require("input")?)?;
-            commands::profile(parsed, &text)
+            let input = open_input(parsed.require("input")?)?;
+            commands::profile(parsed, input)
         }
         "groups" => {
-            let text = read_input(parsed.require("input")?)?;
-            commands::groups(parsed, &text)
+            let input = open_input(parsed.require("input")?)?;
+            commands::groups(parsed, input)
         }
         "consolidate" => {
-            let text = read_input(parsed.require("input")?)?;
-            commands::consolidate(parsed, &text, stdin, prompt_out)
+            let input = open_input(parsed.require("input")?)?;
+            commands::consolidate(parsed, input, stdin, prompt_out)
         }
         "resolve" => {
-            let text = read_input(parsed.require("input")?)?;
-            commands::resolve(parsed, &text)
+            let input = open_input(parsed.require("input")?)?;
+            commands::resolve(parsed, input)
+        }
+        "pipeline" => {
+            let input = open_input(parsed.require("input")?)?;
+            commands::pipeline(parsed, input, stdin, prompt_out)
         }
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
@@ -116,16 +129,18 @@ mod tests {
             .iter()
             .map(|(a, b)| (a.to_string(), b.to_string()))
             .collect();
-        let read = move |path: &str| -> Result<String, CliError> {
+        let open = move |path: &str| -> Result<InputReader, CliError> {
             inputs
                 .iter()
                 .find(|(p, _)| p == path)
-                .map(|(_, text)| text.clone())
+                .map(|(_, text)| {
+                    Box::new(std::io::Cursor::new(text.clone().into_bytes())) as InputReader
+                })
                 .ok_or_else(|| CliError::Io(format!("no such file: {path}")))
         };
         let mut empty = std::io::Cursor::new(Vec::new());
         let mut prompts = Vec::new();
-        run(&parsed, &read, &mut empty, &mut prompts)
+        run(&parsed, &open, &mut empty, &mut prompts)
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The `ec` binary: argument collection, file I/O, and exit codes. All command
 //! logic lives in the `ec-cli` library so it can be unit tested.
 
-use ec_cli::{parse, run, CliError};
-use std::io::Write;
+use ec_cli::{parse, run, CliError, InputReader};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -16,8 +17,12 @@ fn main() -> ExitCode {
         }
     };
 
-    let read_input = |path: &str| -> Result<String, CliError> {
-        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))
+    // Inputs are consumed through streaming CSV readers, so a buffered file
+    // handle is all a command needs — the file is never slurped into memory.
+    let open_input = |path: &str| -> Result<InputReader, CliError> {
+        File::open(path)
+            .map(|file| Box::new(BufReader::new(file)) as InputReader)
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))
     };
 
     let stdin = std::io::stdin();
@@ -25,11 +30,11 @@ fn main() -> ExitCode {
     let stdout = std::io::stdout();
     let mut stdout_lock = stdout.lock();
 
-    match run(&parsed, &read_input, &mut stdin_lock, &mut stdout_lock) {
+    match run(&parsed, &open_input, &mut stdin_lock, &mut stdout_lock) {
         Ok(output) => {
             for (path, contents) in &output.files {
-                if let Err(e) = std::fs::write(path, contents) {
-                    eprintln!("io error: failed to write {path}: {e}");
+                if let Err(e) = write_file(path, contents) {
+                    eprintln!("io error: {e}");
                     return ExitCode::from(1);
                 }
                 let _ = writeln!(stdout_lock, "wrote {path}");
@@ -45,4 +50,17 @@ fn main() -> ExitCode {
             })
         }
     }
+}
+
+/// Writes one `--output` file through a [`BufWriter`], naming the attempted
+/// path in every failure (create, write, and final flush alike).
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("failed to create {path}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    writer
+        .write_all(contents.as_bytes())
+        .map_err(|e| format!("failed to write {path}: {e}"))?;
+    writer
+        .flush()
+        .map_err(|e| format!("failed to write {path}: {e}"))
 }

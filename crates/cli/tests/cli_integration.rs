@@ -5,7 +5,7 @@
 //! 2. the compiled `ec` binary itself (via `CARGO_BIN_EXE_ec`), asserting the
 //!    process exit codes and the files it writes to disk.
 
-use ec_cli::{parse, run, CliError, CommandOutput};
+use ec_cli::{parse, run, CliError, CommandOutput, InputReader};
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -18,16 +18,18 @@ fn run_library(argv: &[&str], inputs: &[(&str, &str)]) -> Result<CommandOutput, 
         .iter()
         .map(|(p, t)| (p.to_string(), t.to_string()))
         .collect();
-    let read = move |path: &str| -> Result<String, CliError> {
+    let open = move |path: &str| -> Result<InputReader, CliError> {
         inputs
             .iter()
             .find(|(p, _)| p == path)
-            .map(|(_, text)| text.clone())
+            .map(|(_, text)| {
+                Box::new(std::io::Cursor::new(text.clone().into_bytes())) as InputReader
+            })
             .ok_or_else(|| CliError::Io(format!("no such file: {path}")))
     };
     let mut stdin = std::io::Cursor::new(Vec::new());
     let mut prompts = Vec::new();
-    run(&parsed, &read, &mut stdin, &mut prompts)
+    run(&parsed, &open, &mut stdin, &mut prompts)
 }
 
 #[test]
@@ -188,6 +190,78 @@ fn library_threads_flag_does_not_change_results() {
     assert_eq!(groups[0], groups[1]);
 }
 
+#[test]
+fn library_pipeline_matches_resolve_then_consolidate() {
+    let flat = run_library(
+        &[
+            "generate",
+            "--dataset",
+            "address",
+            "--clusters",
+            "10",
+            "--seed",
+            "6",
+            "--flat",
+        ],
+        &[],
+    )
+    .expect("generate --flat must succeed")
+    .stdout;
+    assert!(flat.starts_with("source,"), "flat record CSV header");
+
+    let resolved = run_library(
+        &[
+            "resolve",
+            "--input",
+            "flat.csv",
+            "--threshold",
+            "0.6",
+            "--output",
+            "clustered.csv",
+        ],
+        &[("flat.csv", &flat)],
+    )
+    .expect("resolve must succeed");
+    let clustered = &resolved.files[0].1;
+    let two_pass = run_library(
+        &[
+            "consolidate",
+            "--input",
+            "clustered.csv",
+            "--budget",
+            "12",
+            "--output",
+            "std.csv",
+            "--golden",
+            "gold.csv",
+        ],
+        &[("clustered.csv", clustered)],
+    )
+    .expect("consolidate must succeed");
+
+    let fused = run_library(
+        &[
+            "pipeline",
+            "--input",
+            "flat.csv",
+            "--threshold",
+            "0.6",
+            "--budget",
+            "12",
+            "--output",
+            "std.csv",
+            "--golden",
+            "gold.csv",
+        ],
+        &[("flat.csv", &flat)],
+    )
+    .expect("pipeline must succeed");
+    assert_eq!(
+        fused.files, two_pass.files,
+        "fused output files are bit-identical to the two-pass flow"
+    );
+}
+
 /// A scratch directory under the target-controlled temp dir, removed on drop.
 struct ScratchDir(PathBuf);
 
@@ -241,6 +315,53 @@ fn binary_missing_input_exits_one() {
     assert_eq!(out.status.code(), Some(1), "io errors exit 1");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("io error"), "diagnostic on stderr");
+}
+
+#[test]
+fn binary_pipeline_runs_flat_csv_to_golden_records() {
+    let scratch = ScratchDir::new("pipeline");
+    let flat = scratch.path("flat.csv");
+    let golden = scratch.path("golden.csv");
+
+    let out = ec()
+        .args([
+            "generate",
+            "--dataset",
+            "address",
+            "--clusters",
+            "8",
+            "--seed",
+            "4",
+            "--flat",
+            "--output",
+        ])
+        .arg(&flat)
+        .output()
+        .expect("spawn ec");
+    assert!(
+        out.status.success(),
+        "generate --flat exits 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = ec()
+        .args(["pipeline", "--budget", "10", "--input"])
+        .arg(&flat)
+        .arg("--golden")
+        .arg(&golden)
+        .output()
+        .expect("spawn ec");
+    assert!(
+        out.status.success(),
+        "pipeline exits 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resolved"), "resolution summary printed");
+    assert!(stdout.contains("golden records"), "golden summary printed");
+    let contents = std::fs::read_to_string(&golden).expect("golden file exists");
+    assert!(contents.starts_with("cluster,"), "golden-record CSV header");
+    assert!(contents.lines().count() > 1);
 }
 
 #[test]

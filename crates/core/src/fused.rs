@@ -1,0 +1,242 @@
+//! The fused resolve → standardize → truth-discovery stage.
+//!
+//! `ec resolve` and `ec consolidate` historically ran as two passes that
+//! round-tripped through a full clustered CSV on disk. [`FusedPipeline`]
+//! removes the intermediate file: it wires an [`ec_data::RecordStream`]
+//! straight through the streaming resolver
+//! ([`ec_resolution::Resolver::resolve_stream`]) into
+//! [`Pipeline::golden_records`], so flat records go in one end and golden
+//! records come out the other while only the resolved dataset (never the
+//! input document) is held in memory.
+//!
+//! The output is bit-identical to the two-pass flow on the same input: the
+//! streaming resolver reproduces the batch resolver exactly, and the
+//! clustered-CSV round trip between the passes is order-preserving.
+
+use crate::oracle::Oracle;
+use crate::pipeline::{GoldenRecordReport, Pipeline, TruthMethod};
+use ec_data::{Dataset, DatasetIoError, RecordStream};
+use ec_resolution::{Resolver, ResolverConfig};
+
+use crate::pipeline::ConsolidationConfig;
+
+/// The outcome of a fused run: the resolved-and-standardized dataset plus the
+/// golden-record report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedRun {
+    /// The resolved clusters after standardization.
+    pub dataset: Dataset,
+    /// Per-column standardization reports and the golden records.
+    pub report: GoldenRecordReport,
+}
+
+/// The fused pipeline: entity resolution feeding entity consolidation
+/// without an intermediate file.
+#[derive(Debug, Clone)]
+pub struct FusedPipeline {
+    resolver: Resolver,
+    pipeline: Pipeline,
+}
+
+impl FusedPipeline {
+    /// Creates a fused pipeline from the two stages' configurations.
+    pub fn new(resolver: ResolverConfig, consolidation: ConsolidationConfig) -> Self {
+        FusedPipeline {
+            resolver: Resolver::new(resolver),
+            pipeline: Pipeline::new(consolidation),
+        }
+    }
+
+    /// The resolution stage.
+    pub fn resolver(&self) -> &Resolver {
+        &self.resolver
+    }
+
+    /// The consolidation stage.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Resolves the stream into clusters (streaming; the input document is
+    /// never materialized).
+    pub fn resolve_stream<S: RecordStream + ?Sized>(
+        &self,
+        name: &str,
+        stream: &mut S,
+    ) -> Result<Dataset, DatasetIoError> {
+        self.resolver.resolve_stream(name, stream)
+    }
+
+    /// The full fused run with one oracle for every column: resolve the
+    /// stream, then wire the result straight into
+    /// [`Pipeline::golden_records`].
+    pub fn run<S: RecordStream + ?Sized>(
+        &self,
+        name: &str,
+        stream: &mut S,
+        oracle: &mut dyn Oracle,
+        method: TruthMethod,
+    ) -> Result<FusedRun, DatasetIoError> {
+        let mut dataset = self.resolve_stream(name, stream)?;
+        let report = self.pipeline.golden_records(&mut dataset, oracle, method);
+        Ok(FusedRun { dataset, report })
+    }
+
+    /// The full fused run with a fresh oracle per column, built by
+    /// `make_oracle` from the dataset *as standardized so far* — the shape
+    /// the CLI needs, where the simulated expert for column `c` is seeded
+    /// from the dataset state after columns `0..c` were standardized.
+    pub fn run_with<S, F>(
+        &self,
+        name: &str,
+        stream: &mut S,
+        mut make_oracle: F,
+        method: TruthMethod,
+    ) -> Result<FusedRun, DatasetIoError>
+    where
+        S: RecordStream + ?Sized,
+        F: FnMut(&Dataset, usize) -> Box<dyn Oracle>,
+    {
+        let mut dataset = self.resolve_stream(name, stream)?;
+        let columns = (0..dataset.columns.len())
+            .map(|col| {
+                let mut oracle = make_oracle(&dataset, col);
+                self.pipeline
+                    .standardize_column(&mut dataset, col, oracle.as_mut())
+            })
+            .collect();
+        let golden_records = self.pipeline.discover_golden_records(&dataset, method);
+        Ok(FusedRun {
+            dataset,
+            report: GoldenRecordReport {
+                columns,
+                golden_records,
+            },
+        })
+    }
+}
+
+impl Default for FusedPipeline {
+    fn default() -> Self {
+        FusedPipeline::new(ResolverConfig::default(), ConsolidationConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{ApproveAllOracle, SimulatedOracle};
+    use ec_data::{dataset_from_csv, dataset_to_csv, FlatCsvReader, FlatRecord, VecRecordStream};
+
+    /// Flat records with name variants that resolve into two clusters.
+    fn flat_records() -> (Vec<String>, Vec<FlatRecord>) {
+        let columns = vec!["Name".to_string(), "Address".to_string()];
+        let rows = [
+            (0, ["Mary Lee", "9 St, 02141 Wisconsin"]),
+            (1, ["M. Lee", "9th St, 02141 WI"]),
+            (2, ["Lee, Mary", "9 Street, 02141 WI"]),
+            (0, ["Smith, James", "5th St, 22701 California"]),
+            (1, ["James Smith", "3rd E Ave, 33990 California"]),
+            (2, ["J. Smith", "3 E Avenue, 33990 CA"]),
+        ];
+        let records = rows
+            .into_iter()
+            .map(|(source, fields)| FlatRecord {
+                source,
+                fields: fields.into_iter().map(str::to_string).collect(),
+            })
+            .collect();
+        (columns, records)
+    }
+
+    #[test]
+    fn fused_run_produces_golden_records_without_an_intermediate_file() {
+        let (columns, records) = flat_records();
+        let fused = FusedPipeline::new(
+            ec_resolution::ResolverConfig {
+                threshold: 0.5,
+                ..Default::default()
+            },
+            ConsolidationConfig {
+                budget: 20,
+                ..Default::default()
+            },
+        );
+        let mut stream = VecRecordStream::new(columns, records);
+        let run = fused
+            .run(
+                "fused",
+                &mut stream,
+                &mut ApproveAllOracle,
+                TruthMethod::MajorityConsensus,
+            )
+            .unwrap();
+        assert_eq!(run.report.columns.len(), 2);
+        assert_eq!(run.report.golden_records.len(), run.dataset.clusters.len());
+        assert!(run.dataset.clusters.len() < 6, "similar records merged");
+    }
+
+    #[test]
+    fn fused_run_matches_the_two_pass_flow() {
+        // Two-pass: resolve → clustered CSV → parse → standardize per column.
+        let (columns, records) = flat_records();
+        let resolver_config = ec_resolution::ResolverConfig {
+            threshold: 0.5,
+            ..Default::default()
+        };
+        let consolidation = ConsolidationConfig {
+            budget: 15,
+            ..Default::default()
+        };
+
+        let resolver = ec_resolution::Resolver::new(resolver_config.clone());
+        let raw: Vec<ec_resolution::RawRecord> = records
+            .iter()
+            .map(|r| ec_resolution::RawRecord {
+                source: r.source,
+                fields: r.fields.clone(),
+            })
+            .collect();
+        let resolved = resolver.resolve_to_dataset("resolved", columns.clone(), &raw, None);
+        let csv = dataset_to_csv(&resolved);
+        let mut two_pass = dataset_from_csv("input", &csv).unwrap();
+        let pipeline = Pipeline::new(consolidation.clone());
+        let mut reports = Vec::new();
+        for col in 0..two_pass.columns.len() {
+            let mut oracle = SimulatedOracle::for_column(&two_pass, col, 7 + col as u64);
+            reports.push(pipeline.standardize_column(&mut two_pass, col, &mut oracle));
+        }
+        let two_pass_golden =
+            pipeline.discover_golden_records(&two_pass, TruthMethod::MajorityConsensus);
+
+        // Fused: same records, no intermediate CSV.
+        let fused = FusedPipeline::new(resolver_config, consolidation);
+        let mut stream = VecRecordStream::new(columns, records);
+        let run = fused
+            .run_with(
+                "input",
+                &mut stream,
+                |dataset, col| Box::new(SimulatedOracle::for_column(dataset, col, 7 + col as u64)),
+                TruthMethod::MajorityConsensus,
+            )
+            .unwrap();
+
+        assert_eq!(run.dataset.clusters, two_pass.clusters);
+        assert_eq!(run.report.columns, reports);
+        assert_eq!(run.report.golden_records, two_pass_golden);
+        assert_eq!(dataset_to_csv(&run.dataset), dataset_to_csv(&two_pass));
+    }
+
+    #[test]
+    fn stream_errors_abort_the_run() {
+        let text = "source,Name\n0,ok\nnope,bad\n";
+        let mut stream = FlatCsvReader::new(text.as_bytes()).unwrap();
+        let result = FusedPipeline::default().run(
+            "x",
+            &mut stream,
+            &mut ApproveAllOracle,
+            TruthMethod::MajorityConsensus,
+        );
+        assert!(result.is_err());
+    }
+}

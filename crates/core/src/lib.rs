@@ -31,9 +31,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fused;
 pub mod oracle;
 pub mod pipeline;
 
+pub use fused::{FusedPipeline, FusedRun};
 pub use oracle::{
     ApproveAllOracle, Oracle, RejectAllOracle, ScriptedOracle, SimulatedOracle, Verdict,
 };

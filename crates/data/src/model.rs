@@ -101,6 +101,26 @@ pub struct DatasetStats {
     pub conflict_pair_fraction: f64,
 }
 
+/// The per-column majority of the rows' truth values — how both the synthetic
+/// generators and the CSV/resolution loaders define a cluster's golden record
+/// when only row-level truth is known. Ties break towards the
+/// lexicographically smallest value so the result is deterministic.
+pub fn majority_golden(rows: &[Row], num_columns: usize) -> Vec<String> {
+    (0..num_columns)
+        .map(|col| {
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for row in rows {
+                *counts.entry(row.cells[col].truth.as_str()).or_insert(0) += 1;
+            }
+            counts
+                .into_iter()
+                .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
+                .map(|(v, _)| v.to_string())
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
 impl Dataset {
     /// Creates an empty dataset with the given name and columns.
     pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {

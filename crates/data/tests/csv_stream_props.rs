@@ -1,0 +1,242 @@
+//! Property tests for the incremental CSV reader: quoted, multiline and CRLF
+//! fields must round-trip through `CsvReader` at every refill-chunk size, and
+//! the incremental parser must agree byte-for-byte — records *and* errors —
+//! with the original whole-document parser, which is kept here verbatim as
+//! the reference model.
+
+use ec_data::csv::{parse, write, CsvError, CsvErrorKind, CsvReader, CsvWriter};
+use proptest::prelude::*;
+use std::io::Read;
+
+// ---------------------------------------------------------------------------
+// Reference model: the pre-streaming, char-based whole-document parser,
+// copied verbatim from `ec_data::csv::parse` before it became an adapter
+// over `CsvReader`.
+// ---------------------------------------------------------------------------
+
+fn reference_parse(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut line = 1usize;
+    let mut in_quotes = false;
+    let mut field_started = false;
+    let mut expected: Option<usize> = None;
+
+    let mut chars = text.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                        match chars.peek() {
+                            None | Some(',') | Some('\n') | Some('\r') => {}
+                            Some(_) => {
+                                return Err(CsvError {
+                                    line,
+                                    kind: CsvErrorKind::InvalidQuoteEscape,
+                                })
+                            }
+                        }
+                    }
+                }
+                '\n' => {
+                    field.push('\n');
+                    line += 1;
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match ch {
+            '"' if field.is_empty() && !field_started => {
+                in_quotes = true;
+                field_started = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                field_started = false;
+            }
+            '\r' => {}
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                field_started = false;
+                reference_finish(&mut records, &mut record, &mut expected, line)?;
+                line += 1;
+            }
+            other => {
+                field.push(other);
+                field_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError {
+            line,
+            kind: CsvErrorKind::UnterminatedQuote,
+        });
+    }
+    if field_started || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        reference_finish(&mut records, &mut record, &mut expected, line)?;
+    }
+    Ok(records)
+}
+
+fn reference_finish(
+    records: &mut Vec<Vec<String>>,
+    record: &mut Vec<String>,
+    expected: &mut Option<usize>,
+    line: usize,
+) -> Result<(), CsvError> {
+    if record.len() == 1 && record[0].is_empty() {
+        record.clear();
+        return Ok(());
+    }
+    match expected {
+        None => *expected = Some(record.len()),
+        Some(n) if *n != record.len() => {
+            return Err(CsvError {
+                line,
+                kind: CsvErrorKind::FieldCountMismatch {
+                    expected: *n,
+                    found: record.len(),
+                },
+            })
+        }
+        Some(_) => {}
+    }
+    records.push(std::mem::take(record));
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Harness: drive CsvReader across arbitrary refill boundaries.
+// ---------------------------------------------------------------------------
+
+/// Hands out at most `chunk` bytes per `read` call.
+struct Throttled<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for Throttled<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.bytes.len() - self.pos);
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn parse_chunked(text: &str, chunk: usize) -> Result<Vec<Vec<String>>, CsvError> {
+    CsvReader::new(Throttled {
+        bytes: text.as_bytes(),
+        pos: 0,
+        chunk,
+    })
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Strategies: fields deliberately heavy on the RFC-4180 special characters
+// (quotes, commas, LF, CR) so quoted, multiline and CRLF handling is
+// exercised constantly.
+// ---------------------------------------------------------------------------
+
+fn arb_field() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('B'),
+            Just('7'),
+            Just(' '),
+            Just('é'),
+            Just('"'),
+            Just(','),
+            Just('\n'),
+            Just('\r'),
+        ],
+        0..8usize,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Equal-width records; a lone empty field is padded so the written record is
+/// not a blank line (which the parser skips by design).
+fn arb_records() -> impl Strategy<Value = Vec<Vec<String>>> {
+    (1usize..4).prop_flat_map(|width| {
+        proptest::collection::vec(
+            proptest::collection::vec(arb_field(), width).prop_map(move |mut record| {
+                if width == 1 && record[0].is_empty() {
+                    record[0].push('x');
+                }
+                record
+            }),
+            0..7usize,
+        )
+    })
+}
+
+/// Arbitrary CSV-ish text, malformed inputs very much included.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('b'),
+            Just('"'),
+            Just(','),
+            Just('\n'),
+            Just('\r'),
+            Just(' '),
+        ],
+        0..40usize,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+proptest! {
+    /// Quoted / multiline / CRLF fields round-trip through the incremental
+    /// reader at every chunk size, and the incremental reader agrees with
+    /// the reference whole-document parser on the written text.
+    #[test]
+    fn written_records_round_trip_through_the_incremental_reader(
+        records in arb_records(),
+        chunk in 1usize..9,
+    ) {
+        let text = write(&records);
+        prop_assert_eq!(reference_parse(&text).unwrap(), records.clone());
+        prop_assert_eq!(parse_chunked(&text, chunk).unwrap(), records.clone());
+        prop_assert_eq!(parse(&text).unwrap(), records);
+    }
+
+    /// On arbitrary (often malformed) text the incremental reader and the
+    /// reference parser agree exactly: same records or the same error, at
+    /// every refill-chunk size.
+    #[test]
+    fn incremental_reader_matches_the_reference_parser(
+        text in arb_text(),
+        chunk in 1usize..9,
+    ) {
+        let expected = reference_parse(&text);
+        prop_assert_eq!(parse_chunked(&text, chunk), expected.clone());
+        prop_assert_eq!(parse(&text), expected);
+    }
+
+    /// The record-at-a-time writer produces byte-identical output to the
+    /// whole-document `write` adapter.
+    #[test]
+    fn csv_writer_matches_the_whole_document_writer(records in arb_records()) {
+        let mut writer = CsvWriter::new(Vec::new());
+        for record in &records {
+            writer.write_record(record).unwrap();
+        }
+        let streamed = String::from_utf8(writer.into_inner()).unwrap();
+        prop_assert_eq!(streamed, write(&records));
+    }
+}

@@ -84,9 +84,9 @@ struct SearchState<'a> {
     /// sibling searches running in the same [`PivotSearcher::search_many`]
     /// call.
     own_bound: u32,
-    /// Write-only accumulation of bound raises for all graphs (element-wise
-    /// maximum); the caller merges it into the shared bounds afterwards.
-    raised: &'a mut [u32],
+    /// Write-only update list of bound raises; the caller merges it into the
+    /// shared bounds afterwards by element-wise maximum.
+    raised: &'a mut BoundRaises,
     /// Best complete path so far: `(path, list, share count, quality)`.
     best: Option<(Vec<LabelId>, PathList, usize, Quality)>,
     threshold: usize,
@@ -100,6 +100,60 @@ struct SearchState<'a> {
 struct Quality {
     constant_chars: usize,
     len: usize,
+}
+
+/// A sparse, write-only accumulator of global-threshold raises
+/// (`graph → bound`, merged by maximum).
+///
+/// Workers used to carry a dense `vec![0u32; graphs]` each — O(threads ×
+/// graphs) allocation and merge traffic per batch even when a batch raises a
+/// handful of bounds. The update list stores only the raises that actually
+/// happened; duplicates are compacted away (keeping the maximum per graph)
+/// whenever the list doubles past its watermark, so its memory is
+/// proportional to the number of *distinct* graphs raised, not to the
+/// collection size.
+#[derive(Debug, Default)]
+pub struct BoundRaises {
+    entries: Vec<(u32, u32)>,
+    /// Compact when the list grows past this length.
+    watermark: usize,
+}
+
+impl BoundRaises {
+    /// Records `bound` as a lower bound for `graph`.
+    fn push(&mut self, graph: usize, bound: u32) {
+        self.entries.push((graph as u32, bound));
+        if self.entries.len() > self.watermark.max(64) {
+            self.compact();
+            // Keep amortized-O(1) pushes: only re-compact after the list
+            // doubles past the distinct-entry count.
+            self.watermark = self.entries.len() * 2;
+        }
+    }
+
+    /// Sorts and deduplicates the list, keeping the maximum bound per graph.
+    fn compact(&mut self) {
+        self.entries.sort_unstable();
+        self.entries.dedup_by(|next, kept| {
+            if kept.0 == next.0 {
+                kept.1 = kept.1.max(next.1);
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    /// Merges the recorded raises into `lower_bounds` by element-wise
+    /// maximum.
+    fn merge_into(&self, lower_bounds: &mut [u32]) {
+        for &(graph, bound) in &self.entries {
+            let slot = &mut lower_bounds[graph as usize];
+            if *slot < bound {
+                *slot = bound;
+            }
+        }
+    }
 }
 
 impl<'a> PivotSearcher<'a> {
@@ -143,22 +197,27 @@ impl<'a> PivotSearcher<'a> {
         active: &[bool],
         lower_bounds: &mut [u32],
     ) -> Option<PivotResult> {
-        // Raises land directly in `lower_bounds`, so a lone `search` call
-        // keeps the cumulative-bounds behavior of Algorithm 4.
+        // Raises are merged into `lower_bounds` after the search, which keeps
+        // the cumulative-bounds behavior of Algorithm 4 for a lone `search`
+        // call (the DFS itself only ever reads the searched graph's own
+        // bound, tracked separately).
         let own_bound = lower_bounds[g.index()];
-        self.search_with_bounds(g, threshold, active, own_bound, lower_bounds)
+        let mut raised = BoundRaises::default();
+        let result = self.search_with_bounds(g, threshold, active, own_bound, &mut raised);
+        raised.merge_into(lower_bounds);
+        result
     }
 
     /// The core search: reads only `own_bound` (the searched graph's own
-    /// global threshold) and records every bound raise into `raised` by
-    /// element-wise maximum, without ever reading other graphs' entries.
+    /// global threshold) and records every bound raise into the write-only
+    /// `raised` list, without ever reading other graphs' entries.
     fn search_with_bounds(
         &self,
         g: GraphId,
         threshold: usize,
         active: &[bool],
         own_bound: u32,
-        raised: &mut [u32],
+        raised: &mut BoundRaises,
     ) -> Option<PivotResult> {
         let graph = self.prepared.graph(g);
         // Minimum number of edges from each node of `graph` to its last node;
@@ -234,16 +293,22 @@ impl<'a> PivotSearcher<'a> {
     /// threads, and returns the results in `gids` order.
     ///
     /// The output is **bit-identical for every thread count, by
-    /// construction**: every search in the call reads only the snapshot of
-    /// `lower_bounds` taken at entry (plus the raises produced by its own
-    /// complete paths), and all raises are collected write-only and merged
-    /// into `lower_bounds` by element-wise maximum after the searches finish.
-    /// A search's pruning inputs therefore never depend on how the graphs are
-    /// chunked across workers — which also keeps results identical when
+    /// construction**: every search in the call reads only its searched
+    /// graph's bound as snapshotted at entry (plus the raises produced by its
+    /// own complete paths), and all raises are collected into write-only
+    /// [`BoundRaises`] update lists merged into `lower_bounds` by
+    /// element-wise maximum after the searches finish. A search's pruning
+    /// inputs therefore never depend on how the graphs are chunked across
+    /// workers — which also keeps results identical when
     /// [`GroupingConfig::max_search_steps`] truncates a search, since the
     /// number of steps a search consumes depends only on chunk-independent
     /// state. (Every raise is a sound lower bound, so deferring the merge
     /// only weakens pruning within one call, never correctness.)
+    ///
+    /// Each worker is handed only its own chunk's graph bounds plus a sparse
+    /// update list, so the per-batch memory traffic is O(graphs searched +
+    /// raises recorded) instead of the former O(threads × graphs) full-vector
+    /// copies.
     pub fn search_many(
         &self,
         gids: &[GraphId],
@@ -253,27 +318,40 @@ impl<'a> PivotSearcher<'a> {
         parallelism: ec_graph::Parallelism,
     ) -> Vec<Option<PivotResult>> {
         let shards = parallelism.shards(gids.len());
-        let snapshot = lower_bounds.to_vec();
-        type ShardOutput = (Vec<Option<PivotResult>>, Vec<u32>);
-        let run_chunk = |chunk: &[GraphId]| -> ShardOutput {
-            let mut raised = vec![0u32; snapshot.len()];
+        let chunk_size = gids.len().div_ceil(shards.max(1)).max(1);
+        // Snapshot only the searched graphs' own bounds, chunk by chunk,
+        // before any search runs — the values every search reads are fixed at
+        // entry no matter how chunks are scheduled.
+        let chunks: Vec<(&[GraphId], Vec<u32>)> = gids
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let bounds = chunk.iter().map(|&g| lower_bounds[g.index()]).collect();
+                (chunk, bounds)
+            })
+            .collect();
+        type ShardOutput = (Vec<Option<PivotResult>>, BoundRaises);
+        let run_chunk = |chunk: &[GraphId], bounds: &[u32]| -> ShardOutput {
+            let mut raised = BoundRaises::default();
             let results = chunk
                 .iter()
-                .map(|&g| {
-                    self.search_with_bounds(g, threshold, active, snapshot[g.index()], &mut raised)
+                .zip(bounds)
+                .map(|(&g, &own_bound)| {
+                    self.search_with_bounds(g, threshold, active, own_bound, &mut raised)
                 })
                 .collect();
             (results, raised)
         };
         let shard_outputs: Vec<ShardOutput> = if shards <= 1 {
-            vec![run_chunk(gids)]
+            chunks
+                .iter()
+                .map(|(chunk, bounds)| run_chunk(chunk, bounds))
+                .collect()
         } else {
-            let chunk_size = gids.len().div_ceil(shards);
             let run_chunk = &run_chunk;
             std::thread::scope(|scope| {
-                let handles: Vec<_> = gids
-                    .chunks(chunk_size)
-                    .map(|chunk| scope.spawn(move || run_chunk(chunk)))
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|(chunk, bounds)| scope.spawn(move || run_chunk(chunk, bounds)))
                     .collect();
                 handles
                     .into_iter()
@@ -284,11 +362,7 @@ impl<'a> PivotSearcher<'a> {
         let mut out = Vec::with_capacity(gids.len());
         for (results, raised) in shard_outputs {
             out.extend(results);
-            for (merged, raise) in lower_bounds.iter_mut().zip(raised) {
-                if *merged < raise {
-                    *merged = raise;
-                }
-            }
+            raised.merge_into(lower_bounds);
         }
         out
     }
@@ -362,9 +436,7 @@ fn dfs(
             for occ in list.occurrences() {
                 let gi = occ.graph.index();
                 if state.active[gi] && occ.end == state.last_nodes[gi] {
-                    if state.raised[gi] < count as u32 {
-                        state.raised[gi] = count as u32;
-                    }
+                    state.raised.push(gi, count as u32);
                     if gi == g.index() && state.own_bound < count as u32 {
                         state.own_bound = count as u32;
                     }

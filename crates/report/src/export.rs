@@ -9,6 +9,24 @@
 use crate::Figure;
 use std::collections::BTreeSet;
 
+/// Appends one CSV field to `out`, quoting (with doubled-quote escapes) only
+/// when the field contains a comma, quote, or line break — the single quoting
+/// rule shared by every CSV export in this crate.
+pub(crate) fn push_csv_field(out: &mut String, field: &str) {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
 /// Serializes a figure as a gnuplot-friendly `.dat` text: one block per
 /// series (`# name` comment, `x y` rows, blank line between blocks).
 pub fn gnuplot_dat(figure: &Figure) -> String {
@@ -36,14 +54,7 @@ pub fn csv_export(figure: &Figure) -> String {
     out.push('x');
     for series in &figure.series {
         out.push(',');
-        // Quote names containing commas.
-        if series.name.contains(',') || series.name.contains('"') {
-            out.push('"');
-            out.push_str(&series.name.replace('"', "\"\""));
-            out.push('"');
-        } else {
-            out.push_str(&series.name);
-        }
+        push_csv_field(&mut out, &series.name);
     }
     out.push('\n');
 

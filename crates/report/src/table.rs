@@ -143,6 +143,28 @@ impl TextTable {
         }
         out
     }
+
+    /// Renders the table as RFC-4180 CSV (header row first, `\n` record
+    /// terminators, fields quoted only when they contain a comma, quote, or
+    /// line break) — the machine-readable export CI archives next to the
+    /// plain-text rendering.
+    pub fn to_csv(&self) -> String {
+        fn push_record(out: &mut String, cells: &[String]) {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                crate::export::push_csv_field(out, cell);
+            }
+            out.push('\n');
+        }
+        let mut out = String::new();
+        push_record(&mut out, &self.header);
+        for row in &self.rows {
+            push_record(&mut out, row);
+        }
+        out
+    }
 }
 
 /// Formats a float with the given number of decimals, trimming `-0.000` to
@@ -194,6 +216,19 @@ mod tests {
     fn markdown_escapes_pipes() {
         let t = TextTable::new(["expr"]).with_row(["a | b"]);
         assert!(t.to_markdown().contains("a \\| b"));
+    }
+
+    #[test]
+    fn csv_export_quotes_only_when_needed() {
+        let csv = table6_like().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], ",AuthorList,Address,JournalTitle");
+        assert_eq!(
+            lines[2],
+            "# of distinct value pairs,\"51,538\",\"80,451\",\"81,350\""
+        );
+        let tricky = TextTable::new(["a", "b"]).with_row(["say \"hi\"", "x\ny"]);
+        assert_eq!(tricky.to_csv(), "a,b\n\"say \"\"hi\"\"\",\"x\ny\"\n");
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl Default for BlockingConfig {
     }
 }
 
-fn blocking_columns(config: &BlockingConfig, num_columns: usize) -> Vec<usize> {
+pub(crate) fn blocking_columns(config: &BlockingConfig, num_columns: usize) -> Vec<usize> {
     if config.columns.is_empty() {
         (0..num_columns).collect()
     } else {

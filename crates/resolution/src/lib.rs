@@ -17,7 +17,12 @@
 //! * [`matcher`] — the record-pair matcher (per-column similarity measures,
 //!   weights, and a match threshold) and the [`matcher::Resolver`] that ties
 //!   everything together and emits an [`ec_data::Dataset`] ready for the
-//!   consolidation pipeline.
+//!   consolidation pipeline;
+//! * [`streaming`] — the record-at-a-time ingestion path:
+//!   [`matcher::Resolver::resolve_stream`] consumes an
+//!   [`ec_data::RecordStream`] and builds blocks and the union-find
+//!   incrementally with bounded per-block memory, producing output
+//!   bit-identical to the batch path.
 //!
 //! The design mirrors the classical match–cluster architecture surveyed by
 //! Elmagarmid et al. (cited as [18] in the paper): candidate generation via
@@ -44,6 +49,7 @@
 pub mod blocking;
 pub mod matcher;
 pub mod similarity;
+pub mod streaming;
 pub mod tokenize;
 pub mod unionfind;
 
@@ -53,6 +59,7 @@ pub use similarity::{
     damerau_levenshtein, jaccard, jaro, jaro_winkler, levenshtein, normalized_levenshtein,
     qgram_cosine, SimilarityMeasure,
 };
+pub use streaming::StreamingResolver;
 pub use tokenize::{normalize, qgrams, words};
 pub use unionfind::UnionFind;
 
@@ -61,4 +68,5 @@ pub mod prelude {
     pub use crate::blocking::BlockingConfig;
     pub use crate::matcher::{ColumnRule, RawRecord, Resolver, ResolverConfig};
     pub use crate::similarity::SimilarityMeasure;
+    pub use crate::streaming::StreamingResolver;
 }

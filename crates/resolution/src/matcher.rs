@@ -222,50 +222,75 @@ impl Resolver {
             assert_eq!(t.len(), records.len(), "one truth row per record required");
         }
         let clusters = self.resolve(records);
-        let mut dataset = Dataset::new(name, columns);
-        for member_ids in clusters {
-            let rows: Vec<Row> = member_ids
-                .iter()
-                .map(|&id| {
-                    let record = &records[id];
-                    let cells: Vec<Cell> = record
-                        .fields
-                        .iter()
-                        .enumerate()
-                        .map(|(col, observed)| Cell {
-                            observed: observed.clone(),
-                            truth: truths
-                                .map(|t| t[id][col].clone())
-                                .unwrap_or_else(|| observed.clone()),
-                        })
-                        .collect();
-                    Row {
-                        source: record.source,
-                        cells,
-                    }
-                })
-                .collect();
-            // The golden record of a cluster is unknown at resolution time; use
-            // the per-column majority of truths as the best available label.
-            let num_cols = rows.first().map(|r| r.cells.len()).unwrap_or(0);
-            let golden: Vec<String> = (0..num_cols)
-                .map(|col| {
-                    let mut counts: std::collections::HashMap<&str, usize> =
-                        std::collections::HashMap::new();
-                    for row in &rows {
-                        *counts.entry(row.cells[col].truth.as_str()).or_insert(0) += 1;
-                    }
-                    counts
-                        .into_iter()
-                        .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
-                        .map(|(v, _)| v.to_string())
-                        .unwrap_or_default()
-                })
-                .collect();
-            dataset.clusters.push(Cluster { rows, golden });
-        }
-        dataset
+        clusters_to_dataset(name, columns, records, clusters, truths)
     }
+
+    /// Streaming entry point: consumes a [`RecordStream`] record-at-a-time,
+    /// building blocks and the union-find incrementally (see
+    /// [`crate::streaming::StreamingResolver`]), and packages the clusters as
+    /// a [`Dataset`] exactly as [`Resolver::resolve_to_dataset`] (with each
+    /// cell's truth set to its observed value) would. The produced dataset is
+    /// bit-identical to collecting the stream and calling the batch entry
+    /// point; only the peak memory differs — the input document is never
+    /// materialized and per-block state is bounded by the blocking
+    /// configuration's `max_block_size`.
+    pub fn resolve_stream<S: ec_data::RecordStream + ?Sized>(
+        &self,
+        name: &str,
+        stream: &mut S,
+    ) -> Result<Dataset, ec_data::DatasetIoError> {
+        let columns = stream.columns().to_vec();
+        let mut builder = crate::streaming::StreamingResolver::new(self);
+        while let Some(record) = stream.next_record() {
+            let record = record?;
+            builder.push(RawRecord {
+                source: record.source,
+                fields: record.fields,
+            });
+        }
+        Ok(builder.finish(name, columns))
+    }
+}
+
+/// Packages resolved clusters of record indices as a [`Dataset`] — shared by
+/// the batch and streaming entry points so both produce identical output. The
+/// golden record of a cluster is unknown at resolution time; the per-column
+/// majority of truths serves as the best available label.
+pub(crate) fn clusters_to_dataset(
+    name: &str,
+    columns: Vec<String>,
+    records: &[RawRecord],
+    clusters: Vec<Vec<usize>>,
+    truths: Option<&[Vec<String>]>,
+) -> Dataset {
+    let mut dataset = Dataset::new(name, columns);
+    for member_ids in clusters {
+        let rows: Vec<Row> = member_ids
+            .iter()
+            .map(|&id| {
+                let record = &records[id];
+                let cells: Vec<Cell> = record
+                    .fields
+                    .iter()
+                    .enumerate()
+                    .map(|(col, observed)| Cell {
+                        observed: observed.clone(),
+                        truth: truths
+                            .map(|t| t[id][col].clone())
+                            .unwrap_or_else(|| observed.clone()),
+                    })
+                    .collect();
+                Row {
+                    source: record.source,
+                    cells,
+                }
+            })
+            .collect();
+        let num_cols = rows.first().map(|r| r.cells.len()).unwrap_or(0);
+        let golden = ec_data::majority_golden(&rows, num_cols);
+        dataset.clusters.push(Cluster { rows, golden });
+    }
+    dataset
 }
 
 impl Default for Resolver {

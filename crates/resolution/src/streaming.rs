@@ -1,0 +1,332 @@
+//! Incremental (record-at-a-time) resolution state.
+//!
+//! The batch entry points ([`Resolver::resolve`],
+//! [`Resolver::resolve_to_dataset`]) need the whole record collection in hand
+//! before blocking can even start. [`StreamingResolver`] is the ingestion
+//! half of resolution turned inside out: records are [`StreamingResolver::push`]ed
+//! one at a time — as a CSV reader produces them — and every per-record
+//! structure grows incrementally:
+//!
+//! * **token blocks** are updated with the new record's tokens, with *bounded
+//!   per-block memory*: a block that exceeds the configured `max_block_size`
+//!   is replaced by an `Oversized` tombstone and its id list is dropped (the
+//!   batch path would skip such a block anyway, but only after buffering all
+//!   of its ids);
+//! * **sorted-neighborhood keys** are appended (one small key per record);
+//! * the **union-find** forest grows by one singleton per record.
+//!
+//! [`StreamingResolver::finish`] then scores exactly the candidate pairs the
+//! batch path would have produced and returns a bit-identical
+//! [`ec_data::Dataset`]. (Scoring must wait for the end of the stream: whether
+//! a token block survives the size cap is only known once every record has
+//! arrived, so emitting pairs eagerly could union records the batch path
+//! never compares.)
+
+use crate::blocking::blocking_columns;
+use crate::matcher::{clusters_to_dataset, BlockingScheme, RawRecord, Resolver};
+use crate::tokenize::{normalize, words};
+use crate::unionfind::UnionFind;
+use ec_data::Dataset;
+use std::collections::{HashMap, HashSet};
+
+/// One token block: the ids of the records containing the token, or a
+/// tombstone once the block outgrew the configured cap.
+enum TokenBlock {
+    Ids(Vec<u32>),
+    Oversized,
+}
+
+/// Incremental resolution state; see the module docs.
+pub struct StreamingResolver<'a> {
+    resolver: &'a Resolver,
+    records: Vec<RawRecord>,
+    uf: UnionFind,
+    /// Which columns contribute blocking tokens/keys; locked in by the first
+    /// record's column count (as in the batch path).
+    cols: Vec<usize>,
+    token_blocks: HashMap<String, TokenBlock>,
+    sn_keys: Vec<(String, u32)>,
+}
+
+impl<'a> StreamingResolver<'a> {
+    /// Creates empty state for `resolver`'s configuration.
+    pub fn new(resolver: &'a Resolver) -> Self {
+        StreamingResolver {
+            resolver,
+            records: Vec::new(),
+            uf: UnionFind::new(0),
+            cols: Vec::new(),
+            token_blocks: HashMap::new(),
+            sn_keys: Vec::new(),
+        }
+    }
+
+    /// Number of records ingested so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no record has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Ingests one record, updating blocks and the union-find incrementally.
+    pub fn push(&mut self, record: RawRecord) {
+        let config = self.resolver.config();
+        let id = self.uf.push() as u32;
+        if self.records.is_empty() {
+            self.cols = blocking_columns(&config.blocking, record.fields.len());
+        }
+        let scheme = config.scheme;
+        if matches!(scheme, BlockingScheme::Token | BlockingScheme::Both) {
+            let mut seen: HashSet<String> = HashSet::new();
+            for &col in &self.cols {
+                for token in words(&record.fields[col]) {
+                    if !seen.insert(token.clone()) {
+                        continue;
+                    }
+                    let block = self
+                        .token_blocks
+                        .entry(token)
+                        .or_insert_with(|| TokenBlock::Ids(Vec::new()));
+                    if let TokenBlock::Ids(ids) = block {
+                        ids.push(id);
+                        if ids.len() > config.blocking.max_block_size {
+                            // Bounded per-block memory: drop the id list.
+                            *block = TokenBlock::Oversized;
+                        }
+                    }
+                }
+            }
+        }
+        if matches!(
+            scheme,
+            BlockingScheme::SortedNeighborhood | BlockingScheme::Both
+        ) {
+            let key = self
+                .cols
+                .iter()
+                .map(|&c| normalize(&record.fields[c]))
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            self.sn_keys.push((key, id));
+        }
+        self.records.push(record);
+    }
+
+    /// The candidate pairs of the ingested records — exactly the set the
+    /// batch blocking functions would produce, deduplicated, ordered, and
+    /// with `a < b`. Sorts `sn_keys` in place (sound: the keys are only ever
+    /// consumed here, at the end of the stream) so no O(records) copy is made
+    /// at the peak-memory moment.
+    fn candidate_pairs(&mut self) -> Vec<(usize, usize)> {
+        if self.records.len() < 2 {
+            return Vec::new();
+        }
+        let config = self.resolver.config();
+        let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+        if matches!(config.scheme, BlockingScheme::Token | BlockingScheme::Both) {
+            for block in self.token_blocks.values() {
+                let TokenBlock::Ids(ids) = block else {
+                    continue;
+                };
+                if ids.len() < 2 {
+                    continue;
+                }
+                for (i, &a) in ids.iter().enumerate() {
+                    for &b in ids.iter().skip(i + 1) {
+                        let (a, b) = (a as usize, b as usize);
+                        pairs.insert((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+        if matches!(
+            config.scheme,
+            BlockingScheme::SortedNeighborhood | BlockingScheme::Both
+        ) && config.blocking.window >= 2
+        {
+            self.sn_keys.sort();
+            for (i, (_, a)) in self.sn_keys.iter().enumerate() {
+                for (_, b) in self
+                    .sn_keys
+                    .iter()
+                    .skip(i + 1)
+                    .take(config.blocking.window - 1)
+                {
+                    let (a, b) = (*a as usize, *b as usize);
+                    pairs.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+        let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Scores the candidate pairs, closes the clustering transitively, and
+    /// packages the result as a [`Dataset`] (each cell's truth is its
+    /// observed value, as in [`Resolver::resolve_to_dataset`] without
+    /// truths). Bit-identical to the batch path on the same records.
+    pub fn finish(mut self, name: &str, columns: Vec<String>) -> Dataset {
+        let pairs = self.candidate_pairs();
+        let threshold = self.resolver.config().threshold;
+        let mut uf = self.uf;
+        for (a, b) in pairs {
+            if self.resolver.score_pair(&self.records[a], &self.records[b]) >= threshold {
+                uf.union(a, b);
+            }
+        }
+        let clusters = uf.into_groups();
+        clusters_to_dataset(name, columns, &self.records, clusters, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::BlockingConfig;
+    use crate::matcher::ResolverConfig;
+    use ec_data::{FlatRecord, RecordStream, VecRecordStream};
+
+    fn sample_records() -> Vec<RawRecord> {
+        vec![
+            RawRecord::new(0, ["Mary Lee", "9 St, 02141 Wisconsin"]),
+            RawRecord::new(1, ["M. Lee", "9th St, 02141 WI"]),
+            RawRecord::new(2, ["Lee, Mary", "9 Street, 02141 WI"]),
+            RawRecord::new(0, ["Smith, James", "5th St, 22701 California"]),
+            RawRecord::new(1, ["James Smith", "3rd E Ave, 33990 California"]),
+            RawRecord::new(2, ["J. Smith", "3 E Avenue, 33990 CA"]),
+            RawRecord::new(0, ["Alice Wonder", "42 Rabbit Hole Ln"]),
+        ]
+    }
+
+    fn stream_of(records: &[RawRecord]) -> VecRecordStream {
+        VecRecordStream::new(
+            vec!["Name".to_string(), "Address".to_string()],
+            records
+                .iter()
+                .map(|r| FlatRecord {
+                    source: r.source,
+                    fields: r.fields.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_every_scheme() {
+        let records = sample_records();
+        for scheme in [
+            BlockingScheme::Token,
+            BlockingScheme::SortedNeighborhood,
+            BlockingScheme::Both,
+        ] {
+            let resolver = Resolver::new(ResolverConfig {
+                scheme,
+                threshold: 0.5,
+                ..ResolverConfig::default()
+            });
+            let batch = resolver.resolve_to_dataset(
+                "r",
+                vec!["Name".to_string(), "Address".to_string()],
+                &records,
+                None,
+            );
+            let streamed = resolver
+                .resolve_stream("r", &mut stream_of(&records))
+                .unwrap();
+            assert_eq!(batch, streamed, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_when_blocks_overflow() {
+        // Every record shares the "common" token; with a tiny cap that block
+        // is dropped in both paths, leaving only the distinctive tokens.
+        let records: Vec<RawRecord> = (0..12)
+            .map(|i| RawRecord::new(i % 3, [format!("common name{}", i / 2)]))
+            .collect();
+        let resolver = Resolver::new(ResolverConfig {
+            scheme: BlockingScheme::Token,
+            blocking: BlockingConfig {
+                max_block_size: 4,
+                ..BlockingConfig::default()
+            },
+            ..ResolverConfig::default()
+        });
+        let mut stream = VecRecordStream::new(
+            vec!["Name".to_string()],
+            records
+                .iter()
+                .map(|r| FlatRecord {
+                    source: r.source,
+                    fields: r.fields.clone(),
+                })
+                .collect(),
+        );
+        let streamed = resolver.resolve_stream("r", &mut stream).unwrap();
+        let batch = resolver.resolve_to_dataset("r", vec!["Name".to_string()], &records, None);
+        assert_eq!(batch, streamed);
+        assert!(streamed.clusters.len() > 1, "the common token was dropped");
+    }
+
+    #[test]
+    fn oversized_blocks_hold_bounded_state() {
+        let resolver = Resolver::new(ResolverConfig {
+            scheme: BlockingScheme::Token,
+            blocking: BlockingConfig {
+                max_block_size: 3,
+                ..BlockingConfig::default()
+            },
+            ..ResolverConfig::default()
+        });
+        let mut builder = StreamingResolver::new(&resolver);
+        for i in 0..100 {
+            builder.push(RawRecord::new(0, [format!("shared unique{i}")]));
+        }
+        let oversized = builder
+            .token_blocks
+            .values()
+            .filter(|b| matches!(b, TokenBlock::Oversized))
+            .count();
+        assert_eq!(oversized, 1, "the 'shared' block was tombstoned");
+        for block in builder.token_blocks.values() {
+            if let TokenBlock::Ids(ids) = block {
+                assert!(ids.len() <= 3);
+            }
+        }
+        assert_eq!(builder.len(), 100);
+    }
+
+    #[test]
+    fn empty_and_singleton_streams() {
+        let resolver = Resolver::default();
+        let mut empty = VecRecordStream::new(vec!["x".to_string()], Vec::new());
+        let dataset = resolver.resolve_stream("e", &mut empty).unwrap();
+        assert!(dataset.clusters.is_empty());
+        assert_eq!(dataset.columns, vec!["x"]);
+
+        let mut one = VecRecordStream::new(
+            vec!["x".to_string()],
+            vec![FlatRecord {
+                source: 3,
+                fields: vec!["only".to_string()],
+            }],
+        );
+        let dataset = resolver.resolve_stream("s", &mut one).unwrap();
+        assert_eq!(dataset.clusters.len(), 1);
+        assert_eq!(dataset.clusters[0].rows[0].source, 3);
+    }
+
+    #[test]
+    fn stream_errors_propagate() {
+        // A flat CSV with a bad source value: the error reaches the caller.
+        let text = "source,Name\n0,ok\nbogus,nope\n";
+        let mut stream = ec_data::FlatCsvReader::new(text.as_bytes()).unwrap();
+        let err = Resolver::default().resolve_stream("r", &mut stream);
+        assert!(err.is_err());
+        let _ = stream.next_record(); // stream is exhausted after the error
+    }
+}

@@ -68,10 +68,14 @@ pub use ec_truth as truth;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use ec_core::{
-        ApproveAllOracle, ColumnReport, ConsolidationConfig, GoldenRecordReport, Oracle, Pipeline,
-        RejectAllOracle, ScriptedOracle, SimulatedOracle, TruthMethod, Verdict,
+        ApproveAllOracle, ColumnReport, ConsolidationConfig, FusedPipeline, FusedRun,
+        GoldenRecordReport, Oracle, Pipeline, RejectAllOracle, ScriptedOracle, SimulatedOracle,
+        TruthMethod, Verdict,
     };
-    pub use ec_data::{Dataset, DatasetStats, GeneratorConfig, LabeledPair, PaperDataset};
+    pub use ec_data::{
+        Dataset, DatasetStats, FlatCsvReader, FlatRecord, GeneratorConfig, LabeledPair,
+        PaperDataset, RecordStream, VecRecordStream,
+    };
     pub use ec_dsl::{Dir, PositionFn, Program, StrCtx, StringFn, Term};
     pub use ec_graph::{GraphBuilder, GraphConfig, Replacement};
     pub use ec_grouping::{
@@ -79,6 +83,8 @@ pub mod prelude {
     };
     pub use ec_metrics::{evaluate_standardization, golden_record_precision, ConfusionCounts};
     pub use ec_replace::{generate_candidates, CandidateConfig, Direction, ReplacementEngine};
-    pub use ec_resolution::{RawRecord, Resolver, ResolverConfig, SimilarityMeasure};
+    pub use ec_resolution::{
+        RawRecord, Resolver, ResolverConfig, SimilarityMeasure, StreamingResolver,
+    };
     pub use ec_truth::{majority_consensus, reliability_truth_discovery};
 }

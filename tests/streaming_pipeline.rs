@@ -1,0 +1,272 @@
+//! Integration tests for the streaming ingestion architecture:
+//!
+//! 1. `ec pipeline` on a generated ~100k-row flat CSV produces output files
+//!    **bit-identical** to running `ec resolve` followed by `ec consolidate`
+//!    through an intermediate clustered CSV;
+//! 2. the streaming flat-CSV reader never materializes its input: a metering
+//!    wrapper shows the bytes buffered ahead of the consumed records stay
+//!    below a fixed cap that does not grow with the row count.
+
+mod common;
+
+use ec_cli::{parse, run, CliError, CommandOutput, InputReader};
+use entity_consolidation::data::{FlatCsvReader, RecordStream};
+use std::io::Read;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Deterministic flat-record workload.
+//
+// Rows come in clusters of three: most clusters repeat one exact record (they
+// exercise resolution plumbing only), every `VARIANT_EVERY`-th cluster holds
+// three spelling variants of one street name (they exercise transformation
+// learning). Each cluster gets two independent pseudo-random tags so
+// sorted-neighborhood blocking does not chain unrelated clusters together.
+// The variant-cluster rate is deliberately sparse: pivot-path grouping over
+// one structure partition is quadratic in the candidate count, and this suite
+// measures streaming bit-identity, not grouping throughput.
+// ---------------------------------------------------------------------------
+
+/// One cluster in this many holds spelling variants instead of exact
+/// duplicates.
+const VARIANT_EVERY: u64 = 5000;
+
+/// splitmix64, hex-encoded: a cheap deterministic tag generator.
+fn tag(x: u64) -> String {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    format!("{:08x}", (z ^ (z >> 31)) as u32)
+}
+
+/// The CSV line (with trailing newline) of flat record `i`.
+fn row_line(i: usize) -> String {
+    let base = (i / 3) as u64;
+    let which = i % 3;
+    let t1 = tag(base * 2 + 1);
+    let t2 = tag(base * 2 + 2);
+    let name = if base % VARIANT_EVERY == 0 {
+        match which {
+            0 => format!("{t1} Street"),
+            1 => format!("{t1} St"),
+            _ => format!("{t1} Str"),
+        }
+    } else {
+        format!("{t1} Entity")
+    };
+    format!("{which},{name},{t2} Town\n")
+}
+
+const HEADER: &str = "source,Name,City\n";
+
+fn flat_csv(rows: usize) -> String {
+    let mut out = String::with_capacity(rows * 32 + HEADER.len());
+    out.push_str(HEADER);
+    for i in 0..rows {
+        out.push_str(&row_line(i));
+    }
+    out
+}
+
+/// Drives `parse` + `run` with an in-memory filesystem.
+fn run_cli(argv: &[&str], inputs: &[(&str, &str)]) -> Result<CommandOutput, CliError> {
+    let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let parsed = parse(&args)?;
+    let inputs: Vec<(String, String)> = inputs
+        .iter()
+        .map(|(p, t)| (p.to_string(), t.to_string()))
+        .collect();
+    let open = move |path: &str| -> Result<InputReader, CliError> {
+        inputs
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, text)| {
+                Box::new(std::io::Cursor::new(text.clone().into_bytes())) as InputReader
+            })
+            .ok_or_else(|| CliError::Io(format!("no such file: {path}")))
+    };
+    let mut stdin = std::io::Cursor::new(Vec::new());
+    let mut prompts = Vec::new();
+    run(&parsed, &open, &mut stdin, &mut prompts)
+}
+
+#[test]
+fn pipeline_is_bit_identical_to_two_pass_on_a_100k_row_flat_csv() {
+    let rows = common::scaled(100_000);
+    let flat = flat_csv(rows);
+
+    // Pass 1: resolve to an intermediate clustered CSV.
+    let resolved = run_cli(
+        &[
+            "resolve",
+            "--input",
+            "flat.csv",
+            "--threshold",
+            "0.95",
+            "--output",
+            "clustered.csv",
+        ],
+        &[("flat.csv", &flat)],
+    )
+    .expect("resolve succeeds");
+    let clustered = &resolved.files[0].1;
+
+    // Pass 2: consolidate the intermediate file.
+    let two_pass = run_cli(
+        &[
+            "consolidate",
+            "--input",
+            "clustered.csv",
+            "--budget",
+            "20",
+            "--mode",
+            "approve-all",
+            "--output",
+            "std.csv",
+            "--golden",
+            "golden.csv",
+        ],
+        &[("clustered.csv", clustered)],
+    )
+    .expect("consolidate succeeds");
+
+    // Fused: same flags, no intermediate file.
+    let fused = run_cli(
+        &[
+            "pipeline",
+            "--input",
+            "flat.csv",
+            "--threshold",
+            "0.95",
+            "--budget",
+            "20",
+            "--mode",
+            "approve-all",
+            "--output",
+            "std.csv",
+            "--golden",
+            "golden.csv",
+        ],
+        &[("flat.csv", &flat)],
+    )
+    .expect("pipeline succeeds");
+
+    assert_eq!(
+        fused.files, two_pass.files,
+        "fused standardized + golden CSVs must be bit-identical to the two-pass flow"
+    );
+
+    // The workload actually exercised both stages: triplet clusters merged,
+    // and the street-variant clusters produced approved transformation work.
+    let clusters = clustered
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').next().unwrap().to_string())
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    assert!(
+        clusters <= rows / 2,
+        "resolution must merge the record triplets: {clusters} clusters from {rows} rows"
+    );
+    assert!(
+        fused.stdout.contains("golden records"),
+        "pipeline printed the consolidation summary"
+    );
+    let std_csv = &fused.files.iter().find(|(p, _)| p == "std.csv").unwrap().1;
+    assert!(
+        std_csv.contains(" Street") || std_csv.contains(" St"),
+        "the street-variant families survived into the standardized output"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-memory proof.
+// ---------------------------------------------------------------------------
+
+/// Generates the flat CSV on the fly (so the test itself never holds the
+/// whole document either) while counting every byte handed downstream.
+struct MeteredRowSource {
+    rows: usize,
+    next_row: usize,
+    pending: Vec<u8>,
+    offset: usize,
+    delivered: Arc<AtomicUsize>,
+}
+
+impl MeteredRowSource {
+    fn new(rows: usize, delivered: Arc<AtomicUsize>) -> Self {
+        MeteredRowSource {
+            rows,
+            next_row: 0,
+            pending: HEADER.as_bytes().to_vec(),
+            offset: 0,
+            delivered,
+        }
+    }
+}
+
+impl Read for MeteredRowSource {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.offset == self.pending.len() {
+            if self.next_row == self.rows {
+                return Ok(0);
+            }
+            self.pending = row_line(self.next_row).into_bytes();
+            self.offset = 0;
+            self.next_row += 1;
+        }
+        let n = buf.len().min(self.pending.len() - self.offset);
+        buf[..n].copy_from_slice(&self.pending[self.offset..self.offset + n]);
+        self.offset += n;
+        self.delivered.fetch_add(n, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+/// The reader's lookahead — bytes pulled from the source beyond the records
+/// already handed to the caller — must stay under a fixed cap, independent of
+/// the total row count. A whole-document reader would fail immediately: it
+/// pulls all N rows before yielding the first record.
+const LOOKAHEAD_CAP: usize = 64 * 1024;
+
+fn max_lookahead(rows: usize) -> usize {
+    let delivered = Arc::new(AtomicUsize::new(0));
+    let source = MeteredRowSource::new(rows, Arc::clone(&delivered));
+    let mut stream = FlatCsvReader::new(source).expect("header parses");
+    let mut consumed = HEADER.len();
+    let mut worst = delivered.load(Ordering::Relaxed) - consumed;
+    let mut count = 0usize;
+    while let Some(record) = stream.next_record() {
+        let record = record.expect("rows parse");
+        assert_eq!(record.fields.len(), 2);
+        consumed += row_line(count).len();
+        count += 1;
+        let lookahead = delivered.load(Ordering::Relaxed).saturating_sub(consumed);
+        worst = worst.max(lookahead);
+    }
+    assert_eq!(count, rows, "every row was streamed");
+    worst
+}
+
+#[test]
+fn streaming_reader_never_materializes_the_whole_input() {
+    let small = common::scaled(10_000);
+    let large = common::scaled(100_000);
+    let worst_small = max_lookahead(small);
+    let worst_large = max_lookahead(large);
+    assert!(
+        worst_small < LOOKAHEAD_CAP,
+        "lookahead {worst_small} bytes at {small} rows exceeds the {LOOKAHEAD_CAP}-byte cap"
+    );
+    assert!(
+        worst_large < LOOKAHEAD_CAP,
+        "lookahead {worst_large} bytes at {large} rows exceeds the {LOOKAHEAD_CAP}-byte cap"
+    );
+    // The cap is independent of the input size: ten times the rows must not
+    // buy even double the buffered bytes.
+    assert!(
+        worst_large < 2 * worst_small.max(8 * 1024),
+        "lookahead grew with the row count: {worst_small} -> {worst_large}"
+    );
+}
