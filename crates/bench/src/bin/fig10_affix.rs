@@ -1,9 +1,24 @@
 //! Figure 10: recall of standardizing variant values with and without the
 //! affix string functions (Appendix D / F).
+//!
+//! With `EC_BENCH_EXPORT_DIR` set, each dataset's recall curves are also
+//! exported as `fig10_affix_<dataset>.csv`.
 
-use ec_bench::{checkpoints, evaluation_sample, group_method_series, print_series};
+use ec_bench::{
+    checkpoints, evaluation_sample, export_figure_csv, group_method_series, print_series,
+    EffectivenessPoint,
+};
 use ec_data::PaperDataset;
 use ec_grouping::GroupingConfig;
+use ec_report::{Figure, Series};
+
+/// The recall curve of one variant, as an export series.
+fn recall_series(name: &str, points: &[EffectivenessPoint]) -> Series {
+    Series::new(
+        name,
+        points.iter().map(|p| (p.budget as f64, p.recall)).collect(),
+    )
+}
 
 fn main() {
     for kind in PaperDataset::ALL {
@@ -22,6 +37,17 @@ fn main() {
         println!(
             "=> final recall: Affix {:.3} vs NoAffix {:.3} (paper: Affix always >= NoAffix)\n",
             last_affix.recall, last_noaffix.recall
+        );
+        let figure = Figure::new(
+            format!("Figure 10 — {}", kind.name()),
+            "confirmed groups",
+            "recall",
+        )
+        .with_series(recall_series("Affix", &affix))
+        .with_series(recall_series("NoAffix", &noaffix));
+        export_figure_csv(
+            &format!("fig10_affix_{}", kind.name().to_ascii_lowercase()),
+            &figure,
         );
     }
 }

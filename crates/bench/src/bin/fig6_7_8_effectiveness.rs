@@ -1,13 +1,29 @@
 //! Figures 6, 7 and 8: precision, recall and MCC of standardizing variant
 //! values as a function of the number of groups confirmed, for the paper's
 //! `Group` method, the `Single` baseline and the Trifacta-style wrangler.
+//!
+//! With `EC_BENCH_EXPORT_DIR` set, each dataset's curves are also exported
+//! as `fig6_7_8_<dataset>.csv` (one series per method × metric).
 
 use ec_bench::{
-    checkpoints, evaluation_sample, group_method_series, print_series, single_method_series,
-    trifacta_point,
+    checkpoints, evaluation_sample, export_figure_csv, group_method_series, print_series,
+    single_method_series, trifacta_point, EffectivenessPoint,
 };
 use ec_data::PaperDataset;
 use ec_grouping::GroupingConfig;
+use ec_report::{Figure, Series};
+
+/// The three metric curves of one method, as export series.
+fn metric_series(method: &str, points: &[EffectivenessPoint]) -> Vec<Series> {
+    let curve = |pick: fn(&EffectivenessPoint) -> f64| -> Vec<(f64, f64)> {
+        points.iter().map(|p| (p.budget as f64, pick(p))).collect()
+    };
+    vec![
+        Series::new(format!("{method} precision"), curve(|p| p.precision)),
+        Series::new(format!("{method} recall"), curve(|p| p.recall)),
+        Series::new(format!("{method} mcc"), curve(|p| p.mcc)),
+    ]
+}
 
 fn main() {
     for kind in PaperDataset::ALL {
@@ -31,6 +47,22 @@ fn main() {
             "Trifacta", trifacta.precision, trifacta.recall, trifacta.mcc
         );
         println!();
+        let mut figure = Figure::new(
+            format!("Figures 6-8 — {}", kind.name()),
+            "confirmed groups",
+            "metric",
+        );
+        for series in metric_series("Group", &group)
+            .into_iter()
+            .chain(metric_series("Single", &single))
+            .chain(metric_series("Trifacta (global)", &[trifacta]))
+        {
+            figure = figure.with_series(series);
+        }
+        export_figure_csv(
+            &format!("fig6_7_8_{}", kind.name().to_ascii_lowercase()),
+            &figure,
+        );
     }
     println!(
         "paper reference points: Address @100 groups -> Group recall ≈ 0.75, precision ≈ 0.995;"

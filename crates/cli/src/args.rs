@@ -89,6 +89,7 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
                 "golden",
                 "truth-method",
                 "threads",
+                "save-library",
             ],
             &[],
         )),
@@ -105,9 +106,12 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
                 "golden",
                 "truth-method",
                 "threads",
+                "save-library",
             ],
             &[],
         )),
+        "apply" => Some((&["input", "library", "output"], &[])),
+        "serve" => Some((&["addr", "threads", "library"], &[])),
         "help" | "" => Some((&[], &[])),
         _ => None,
     }
@@ -183,6 +187,7 @@ SUBCOMMANDS:
                  [--mode auto|approve-all|interactive]
                  [--truth-method majority|reliability]
                  [--output FILE]  [--golden FILE]  [--threads N]
+                 [--save-library FILE]
   resolve      cluster flat (unresolved) records into a clustered CSV,
                streaming the input record by record
                  --input FILE  [--threshold T]  [--name NAME]  [--output FILE]
@@ -194,17 +199,30 @@ SUBCOMMANDS:
                  [--mode auto|approve-all|interactive]
                  [--truth-method majority|reliability]
                  [--output FILE]  [--golden FILE]  [--threads N]
+                 [--save-library FILE]
+  apply        standardize flat records through a saved program library —
+               learn once, apply forever, no re-learning
+                 --input FILE  --library FILE  [--output FILE]
+  serve        run the consolidation HTTP service on the shared worker pool
+               (endpoints: /healthz /library /pipeline /apply /shutdown)
+                 [--addr HOST:PORT]  [--threads N]  [--library FILE]
   help         show this message
 
 Clustered CSV has columns: cluster, source, <attr>..., [<attr>__truth]...
 Flat CSV has columns: source, <attr>...
 
-Inputs are consumed through streaming, buffered readers: the CSV document is
-parsed record by record and never buffered whole (only the parsed records /
-clusters a command works on are held in memory). --threads N sets the worker
-threads for candidate generation and grouping (0 = auto: the EC_THREADS
-environment variable, else the machine). Results are bit-identical for every
-thread count.
+Inputs are consumed through streaming, buffered readers, and --output files
+are streamed cluster-at-a-time: neither the CSV document nor the produced
+file is ever buffered whole (only the parsed records / clusters a command
+works on are held in memory). --threads N sets the worker shards for
+candidate generation and grouping (0 = auto: the EC_THREADS environment
+variable, else the machine); the work runs on one process-wide
+work-stealing pool. Results are bit-identical for every thread count.
+
+The program-library workflow is learn -> save -> apply: a consolidate or
+pipeline run with --save-library FILE stores every group the oracle
+approved as a text snapshot; `ec apply` (or a running `ec serve`)
+standardizes new records through that snapshot without re-learning.
 "
     .to_string()
 }
@@ -301,6 +319,8 @@ mod tests {
             "consolidate",
             "resolve",
             "pipeline",
+            "apply",
+            "serve",
         ] {
             assert!(text.contains(cmd));
         }

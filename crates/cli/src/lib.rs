@@ -3,16 +3,18 @@
 //! A thin, file-oriented front end over the `entity-consolidation` workspace:
 //! it reads clustered (or flat) CSV files, runs the profiling / grouping /
 //! consolidation / resolution machinery, and writes standardized CSV and
-//! golden-record CSV files back out.
+//! golden-record CSV files back out — plus `ec serve`, which turns the same
+//! machinery into a long-lived HTTP service.
 //!
 //! All command logic lives in this library crate and is pure with respect to
 //! the file system: commands receive a reader over their input (consumed
 //! incrementally through the `ec-data` streaming CSV readers, so the raw
-//! document is never buffered whole — only the parsed records live in
-//! memory) and return a [`CommandOutput`] holding the text to print and the
-//! files to write, so every subcommand is unit-testable without touching
-//! disk. The `ec` binary in `main.rs` is only argument collection, buffered
-//! file reading, and buffered file writing.
+//! document is never buffered whole) and an *output opener* mapping an
+//! `--output` path to a writer, through which they stream their results
+//! cluster-at-a-time — no output file is ever materialized in memory either.
+//! Every subcommand is therefore unit-testable without touching disk (see
+//! [`memio`]); the `ec` binary in `main.rs` is only argument collection and
+//! buffered file opening.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +22,7 @@
 pub mod args;
 pub mod commands;
 pub mod interactive;
+pub mod memio;
 
 pub use args::{parse, usage, ParsedArgs};
 pub use interactive::InteractiveOracle;
@@ -49,14 +52,16 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-/// What a subcommand produced: text for stdout plus files to write.
+/// What a subcommand produced: text for stdout plus the paths it streamed
+/// output files to (already written through the output opener by the time
+/// the command returns — nothing is buffered for the caller to write).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CommandOutput {
     /// Text to print to standard output.
     pub stdout: String,
-    /// `(path, contents)` pairs to write to disk. Paths are taken verbatim
-    /// from the command line.
-    pub files: Vec<(String, String)>,
+    /// Paths of the files the command wrote, in write order. The binary
+    /// echoes one `wrote <path>` line per entry.
+    pub written: Vec<String>,
 }
 
 impl CommandOutput {
@@ -64,13 +69,13 @@ impl CommandOutput {
     pub fn text(stdout: impl Into<String>) -> Self {
         CommandOutput {
             stdout: stdout.into(),
-            files: Vec::new(),
+            written: Vec::new(),
         }
     }
 
-    /// Adds a file to write.
-    pub fn with_file(mut self, path: impl Into<String>, contents: impl Into<String>) -> Self {
-        self.files.push((path.into(), contents.into()));
+    /// Records a path as written.
+    pub fn note_written(mut self, path: impl Into<String>) -> Self {
+        self.written.push(path.into());
         self
     }
 }
@@ -78,22 +83,37 @@ impl CommandOutput {
 /// The reader a command consumes its `--input` through. Commands parse it
 /// incrementally (via the `ec-data` streaming CSV readers), so the opener
 /// should hand back a *buffered* reader — the binary wraps `File` in a
-/// `BufReader`, tests pass in-memory bytes — and the input never has to fit
-/// in memory.
+/// `BufReader`, tests use [`memio`] — and the input never has to fit in
+/// memory.
 pub type InputReader = Box<dyn std::io::Read>;
 
-/// Runs one parsed subcommand. `open_input` maps an `--input` path to a
-/// reader over its contents; `stdin` provides the answers and `prompt_out`
-/// receives the prompts of `--mode interactive`.
+/// The writer a command streams an `--output` file through. The binary hands
+/// back a `BufWriter<File>`; tests use [`memio`]. Commands write
+/// cluster-at-a-time (or record-at-a-time) and flush before returning, so
+/// the produced file never has to fit in memory.
+pub type OutputSink = Box<dyn std::io::Write>;
+
+/// Maps an `--input` path to a reader.
+pub type OpenInput<'a> = &'a dyn Fn(&str) -> Result<InputReader, CliError>;
+
+/// Maps an `--output` path to a writer.
+pub type OpenOutput<'a> = &'a dyn Fn(&str) -> Result<OutputSink, CliError>;
+
+/// Runs one parsed subcommand. `open_input` maps an `--input` (or
+/// `--library`) path to a reader over its contents; `open_output` maps an
+/// `--output` path to a writer the command streams into; `stdin` provides
+/// the answers and `prompt_out` receives the prompts of
+/// `--mode interactive` (and `ec serve`'s startup line).
 pub fn run(
     parsed: &ParsedArgs,
-    open_input: &dyn Fn(&str) -> Result<InputReader, CliError>,
+    open_input: OpenInput<'_>,
+    open_output: OpenOutput<'_>,
     stdin: &mut dyn std::io::BufRead,
     prompt_out: &mut dyn std::io::Write,
 ) -> Result<CommandOutput, CliError> {
     match parsed.command.as_str() {
         "help" => Ok(CommandOutput::text(usage())),
-        "generate" => commands::generate(parsed),
+        "generate" => commands::generate(parsed, open_output),
         "profile" => {
             let input = open_input(parsed.require("input")?)?;
             commands::profile(parsed, input)
@@ -104,16 +124,18 @@ pub fn run(
         }
         "consolidate" => {
             let input = open_input(parsed.require("input")?)?;
-            commands::consolidate(parsed, input, stdin, prompt_out)
+            commands::consolidate(parsed, input, open_output, stdin, prompt_out)
         }
         "resolve" => {
             let input = open_input(parsed.require("input")?)?;
-            commands::resolve(parsed, input)
+            commands::resolve(parsed, input, open_output)
         }
         "pipeline" => {
             let input = open_input(parsed.require("input")?)?;
-            commands::pipeline(parsed, input, stdin, prompt_out)
+            commands::pipeline(parsed, input, open_output, stdin, prompt_out)
         }
+        "apply" => commands::apply(parsed, open_input, open_output),
+        "serve" => commands::serve(parsed, open_input, prompt_out),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -121,34 +143,36 @@ pub fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use memio::MemFiles;
 
-    fn run_cli(argv: &[&str], inputs: &[(&str, &str)]) -> Result<CommandOutput, CliError> {
+    fn run_cli(
+        argv: &[&str],
+        inputs: &[(&str, &str)],
+    ) -> Result<(CommandOutput, MemFiles), CliError> {
         let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
         let parsed = parse(&args)?;
-        let inputs: Vec<(String, String)> = inputs
-            .iter()
-            .map(|(a, b)| (a.to_string(), b.to_string()))
-            .collect();
-        let open = move |path: &str| -> Result<InputReader, CliError> {
-            inputs
-                .iter()
-                .find(|(p, _)| p == path)
-                .map(|(_, text)| {
-                    Box::new(std::io::Cursor::new(text.clone().into_bytes())) as InputReader
-                })
-                .ok_or_else(|| CliError::Io(format!("no such file: {path}")))
-        };
+        let fs = MemFiles::new();
+        for (path, text) in inputs {
+            fs.insert(path, text);
+        }
         let mut empty = std::io::Cursor::new(Vec::new());
         let mut prompts = Vec::new();
-        run(&parsed, &open, &mut empty, &mut prompts)
+        let output = run(
+            &parsed,
+            &fs.input_opener(),
+            &fs.output_opener(),
+            &mut empty,
+            &mut prompts,
+        )?;
+        Ok((output, fs))
     }
 
     #[test]
     fn help_prints_usage() {
-        let out = run_cli(&["help"], &[]).unwrap();
+        let (out, _) = run_cli(&["help"], &[]).unwrap();
         assert!(out.stdout.contains("SUBCOMMANDS"));
-        assert!(out.files.is_empty());
-        let out = run_cli(&[], &[]).unwrap();
+        assert!(out.written.is_empty());
+        let (out, _) = run_cli(&[], &[]).unwrap();
         assert!(out.stdout.contains("SUBCOMMANDS"));
     }
 
@@ -161,7 +185,7 @@ mod tests {
     #[test]
     fn end_to_end_generate_then_profile_then_consolidate() {
         // Generate a small Address dataset to a file...
-        let generated = run_cli(
+        let (generated, fs) = run_cli(
             &[
                 "generate",
                 "--dataset",
@@ -176,17 +200,17 @@ mod tests {
             &[],
         )
         .unwrap();
-        assert_eq!(generated.files.len(), 1);
-        let (path, csv) = &generated.files[0];
-        assert_eq!(path, "addr.csv");
+        assert_eq!(generated.written, vec!["addr.csv".to_string()]);
+        let csv = fs.get("addr.csv").expect("generate wrote the file");
         assert!(csv.starts_with("cluster,source,"));
 
         // ...profile it...
-        let profiled = run_cli(&["profile", "--input", "addr.csv"], &[("addr.csv", csv)]).unwrap();
+        let (profiled, _) =
+            run_cli(&["profile", "--input", "addr.csv"], &[("addr.csv", &csv)]).unwrap();
         assert!(profiled.stdout.contains("standardization priority"));
 
         // ...and consolidate it with the simulated oracle.
-        let consolidated = run_cli(
+        let (consolidated, fs) = run_cli(
             &[
                 "consolidate",
                 "--input",
@@ -200,17 +224,12 @@ mod tests {
                 "--golden",
                 "golden.csv",
             ],
-            &[("addr.csv", csv)],
+            &[("addr.csv", &csv)],
         )
         .unwrap();
         assert!(consolidated.stdout.contains("golden records"));
-        assert_eq!(consolidated.files.len(), 2);
-        let golden = &consolidated
-            .files
-            .iter()
-            .find(|(p, _)| p == "golden.csv")
-            .unwrap()
-            .1;
+        assert_eq!(consolidated.written.len(), 2);
+        let golden = fs.get("golden.csv").expect("golden file written");
         assert!(golden.lines().count() > 1);
     }
 

@@ -1,7 +1,7 @@
 //! The `ec` binary: argument collection, file I/O, and exit codes. All command
 //! logic lives in the `ec-cli` library so it can be unit tested.
 
-use ec_cli::{parse, run, CliError, InputReader};
+use ec_cli::{parse, run, CliError, InputReader, OutputSink};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
@@ -24,19 +24,28 @@ fn main() -> ExitCode {
             .map(|file| Box::new(BufReader::new(file)) as InputReader)
             .map_err(|e| CliError::Io(format!("{path}: {e}")))
     };
+    // Outputs are streamed cluster-at-a-time through a buffered writer; the
+    // commands flush before returning, so errors surface with the path.
+    let open_output = |path: &str| -> Result<OutputSink, CliError> {
+        File::create(path)
+            .map(|file| Box::new(BufWriter::new(file)) as OutputSink)
+            .map_err(|e| CliError::Io(format!("failed to create {path}: {e}")))
+    };
 
     let stdin = std::io::stdin();
     let mut stdin_lock = stdin.lock();
     let stdout = std::io::stdout();
     let mut stdout_lock = stdout.lock();
 
-    match run(&parsed, &open_input, &mut stdin_lock, &mut stdout_lock) {
+    match run(
+        &parsed,
+        &open_input,
+        &open_output,
+        &mut stdin_lock,
+        &mut stdout_lock,
+    ) {
         Ok(output) => {
-            for (path, contents) in &output.files {
-                if let Err(e) = write_file(path, contents) {
-                    eprintln!("io error: {e}");
-                    return ExitCode::from(1);
-                }
+            for path in &output.written {
                 let _ = writeln!(stdout_lock, "wrote {path}");
             }
             let _ = write!(stdout_lock, "{}", output.stdout);
@@ -50,17 +59,4 @@ fn main() -> ExitCode {
             })
         }
     }
-}
-
-/// Writes one `--output` file through a [`BufWriter`], naming the attempted
-/// path in every failure (create, write, and final flush alike).
-fn write_file(path: &str, contents: &str) -> Result<(), String> {
-    let file = File::create(path).map_err(|e| format!("failed to create {path}: {e}"))?;
-    let mut writer = BufWriter::new(file);
-    writer
-        .write_all(contents.as_bytes())
-        .map_err(|e| format!("failed to write {path}: {e}"))?;
-    writer
-        .flush()
-        .map_err(|e| format!("failed to write {path}: {e}"))
 }

@@ -1,0 +1,114 @@
+//! An in-memory file namespace implementing the CLI's input/output openers.
+//!
+//! Commands never touch the file system directly — they go through the
+//! [`crate::OpenInput`] / [`crate::OpenOutput`] callbacks — so a map of
+//! path → bytes is a complete test double for it. The unit tests, the
+//! integration suites and the root serve tests all drive `ec` subcommands
+//! in-process through [`MemFiles`]; embedders can use it to run commands
+//! against in-memory data too.
+
+use crate::{CliError, InputReader, OutputSink};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+type Shared = Arc<Mutex<BTreeMap<String, Arc<Mutex<Vec<u8>>>>>>;
+
+/// A shared, clonable in-memory path → contents map.
+#[derive(Debug, Clone, Default)]
+pub struct MemFiles {
+    files: Shared,
+}
+
+/// A sink that appends into one [`MemFiles`] entry.
+struct MemSink {
+    buffer: Arc<Mutex<Vec<u8>>>,
+}
+
+impl Write for MemSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.buffer.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl MemFiles {
+    /// An empty namespace.
+    pub fn new() -> Self {
+        MemFiles::default()
+    }
+
+    /// Creates (or replaces) a file.
+    pub fn insert(&self, path: &str, contents: &str) {
+        self.files.lock().unwrap().insert(
+            path.to_string(),
+            Arc::new(Mutex::new(contents.as_bytes().to_vec())),
+        );
+    }
+
+    /// The UTF-8 contents of a file, if present.
+    pub fn get(&self, path: &str) -> Option<String> {
+        let files = self.files.lock().unwrap();
+        let buffer = files.get(path)?;
+        let bytes = buffer.lock().unwrap().clone();
+        Some(String::from_utf8(bytes).expect("command output is UTF-8"))
+    }
+
+    /// All paths present, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        self.files.lock().unwrap().keys().cloned().collect()
+    }
+
+    /// An opener for `--input`-style reads; unknown paths are IO errors,
+    /// matching the binary's behavior on a missing file.
+    pub fn input_opener(&self) -> impl Fn(&str) -> Result<InputReader, CliError> + 'static {
+        let files = Arc::clone(&self.files);
+        move |path: &str| {
+            let files = files.lock().unwrap();
+            let buffer = files
+                .get(path)
+                .ok_or_else(|| CliError::Io(format!("no such file: {path}")))?;
+            let bytes = buffer.lock().unwrap().clone();
+            Ok(Box::new(std::io::Cursor::new(bytes)) as InputReader)
+        }
+    }
+
+    /// An opener for `--output`-style writes; the file appears (empty) as
+    /// soon as the command opens it and fills as the command streams.
+    pub fn output_opener(&self) -> impl Fn(&str) -> Result<OutputSink, CliError> + 'static {
+        let files = Arc::clone(&self.files);
+        move |path: &str| {
+            let buffer = Arc::new(Mutex::new(Vec::new()));
+            files
+                .lock()
+                .unwrap()
+                .insert(path.to_string(), Arc::clone(&buffer));
+            Ok(Box::new(MemSink { buffer }) as OutputSink)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_reports_missing_files() {
+        let fs = MemFiles::new();
+        fs.insert("a.csv", "x,y\n");
+        assert_eq!(fs.get("a.csv").as_deref(), Some("x,y\n"));
+        assert!(fs.get("b.csv").is_none());
+        assert!((fs.input_opener())("missing").is_err());
+        let mut sink = (fs.output_opener())("out.txt").unwrap();
+        sink.write_all(b"hello ").unwrap();
+        sink.write_all(b"world").unwrap();
+        sink.flush().unwrap();
+        drop(sink);
+        assert_eq!(fs.get("out.txt").as_deref(), Some("hello world"));
+        assert_eq!(fs.paths(), vec!["a.csv".to_string(), "out.txt".to_string()]);
+    }
+}

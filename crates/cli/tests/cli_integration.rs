@@ -5,36 +5,39 @@
 //! 2. the compiled `ec` binary itself (via `CARGO_BIN_EXE_ec`), asserting the
 //!    process exit codes and the files it writes to disk.
 
-use ec_cli::{parse, run, CliError, CommandOutput, InputReader};
+use ec_cli::memio::MemFiles;
+use ec_cli::{parse, run, CliError, CommandOutput};
 use std::path::PathBuf;
 use std::process::Command;
 
 /// Drives `parse` + `run` with an in-memory filesystem, like the binary does
-/// with the real one.
-fn run_library(argv: &[&str], inputs: &[(&str, &str)]) -> Result<CommandOutput, CliError> {
+/// with the real one; returns the output plus the namespace holding any
+/// files the command streamed out.
+fn run_library(
+    argv: &[&str],
+    inputs: &[(&str, &str)],
+) -> Result<(CommandOutput, MemFiles), CliError> {
     let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
     let parsed = parse(&args)?;
-    let inputs: Vec<(String, String)> = inputs
-        .iter()
-        .map(|(p, t)| (p.to_string(), t.to_string()))
-        .collect();
-    let open = move |path: &str| -> Result<InputReader, CliError> {
-        inputs
-            .iter()
-            .find(|(p, _)| p == path)
-            .map(|(_, text)| {
-                Box::new(std::io::Cursor::new(text.clone().into_bytes())) as InputReader
-            })
-            .ok_or_else(|| CliError::Io(format!("no such file: {path}")))
-    };
+    let fs = MemFiles::new();
+    for (path, text) in inputs {
+        fs.insert(path, text);
+    }
     let mut stdin = std::io::Cursor::new(Vec::new());
     let mut prompts = Vec::new();
-    run(&parsed, &open, &mut stdin, &mut prompts)
+    let output = run(
+        &parsed,
+        &fs.input_opener(),
+        &fs.output_opener(),
+        &mut stdin,
+        &mut prompts,
+    )?;
+    Ok((output, fs))
 }
 
 #[test]
 fn library_help_succeeds_and_writes_nothing() {
-    let out = run_library(&["help"], &[]).expect("help must succeed");
+    let (out, fs) = run_library(&["help"], &[]).expect("help must succeed");
     assert!(
         out.stdout.contains("SUBCOMMANDS"),
         "usage text lists subcommands"
@@ -43,7 +46,8 @@ fn library_help_succeeds_and_writes_nothing() {
         out.stdout.contains("consolidate"),
         "usage text mentions consolidate"
     );
-    assert!(out.files.is_empty(), "help writes no files");
+    assert!(out.written.is_empty(), "help writes no files");
+    assert!(fs.paths().is_empty());
 }
 
 #[test]
@@ -65,7 +69,7 @@ fn library_rejects_unknown_subcommand_and_flag() {
 
 #[test]
 fn library_end_to_end_generate_consolidate_produces_files() {
-    let generated = run_library(
+    let (generated, gen_fs) = run_library(
         &[
             "generate",
             "--dataset",
@@ -81,15 +85,14 @@ fn library_end_to_end_generate_consolidate_produces_files() {
     )
     .expect("generate must succeed");
     assert_eq!(
-        generated.files.len(),
-        1,
+        generated.written,
+        vec!["j.csv".to_string()],
         "generate writes exactly the requested file"
     );
-    let (path, csv) = &generated.files[0];
-    assert_eq!(path, "j.csv");
+    let csv = gen_fs.get("j.csv").expect("generate streamed the file");
     assert!(csv.starts_with("cluster,source,"), "clustered CSV header");
 
-    let consolidated = run_library(
+    let (consolidated, fs) = run_library(
         &[
             "consolidate",
             "--input",
@@ -103,25 +106,25 @@ fn library_end_to_end_generate_consolidate_produces_files() {
             "--golden",
             "gold.csv",
         ],
-        &[("j.csv", csv)],
+        &[("j.csv", &csv)],
     )
     .expect("consolidate must succeed");
-    let written: Vec<&str> = consolidated.files.iter().map(|(p, _)| p.as_str()).collect();
     assert!(
-        written.contains(&"std.csv") && written.contains(&"gold.csv"),
+        consolidated.written.contains(&"std.csv".to_string())
+            && consolidated.written.contains(&"gold.csv".to_string()),
         "both outputs written"
     );
-    for (_, contents) in &consolidated.files {
+    for path in ["std.csv", "gold.csv"] {
         assert!(
-            contents.lines().count() > 1,
-            "output files are non-empty CSV"
+            fs.get(path).expect("output written").lines().count() > 1,
+            "{path} is non-empty CSV"
         );
     }
 }
 
 #[test]
 fn library_threads_flag_does_not_change_results() {
-    let generated = run_library(
+    let (_, gen_fs) = run_library(
         &[
             "generate",
             "--dataset",
@@ -136,8 +139,8 @@ fn library_threads_flag_does_not_change_results() {
         &[],
     )
     .expect("generate must succeed");
-    let (_, csv) = &generated.files[0];
-    let outputs: Vec<CommandOutput> = ["1", "4"]
+    let csv = gen_fs.get("a.csv").unwrap();
+    let outputs: Vec<(CommandOutput, MemFiles)> = ["1", "4"]
         .iter()
         .map(|threads| {
             run_library(
@@ -154,16 +157,17 @@ fn library_threads_flag_does_not_change_results() {
                     "--output",
                     "std.csv",
                 ],
-                &[("a.csv", csv)],
+                &[("a.csv", &csv)],
             )
             .expect("consolidate with --threads must succeed")
         })
         .collect();
     assert_eq!(
-        outputs[0].files, outputs[1].files,
+        outputs[0].1.get("std.csv"),
+        outputs[1].1.get("std.csv"),
         "--threads must not change the standardized output"
     );
-    assert_eq!(outputs[0].stdout, outputs[1].stdout);
+    assert_eq!(outputs[0].0.stdout, outputs[1].0.stdout);
 
     // `groups` accepts the flag too and is equally thread-count independent.
     let groups: Vec<String> = ["1", "3"]
@@ -181,9 +185,10 @@ fn library_threads_flag_does_not_change_results() {
                     "--threads",
                     threads,
                 ],
-                &[("a.csv", csv)],
+                &[("a.csv", &csv)],
             )
             .expect("groups with --threads must succeed")
+            .0
             .stdout
         })
         .collect();
@@ -206,10 +211,11 @@ fn library_pipeline_matches_resolve_then_consolidate() {
         &[],
     )
     .expect("generate --flat must succeed")
+    .0
     .stdout;
     assert!(flat.starts_with("source,"), "flat record CSV header");
 
-    let resolved = run_library(
+    let (_, resolve_fs) = run_library(
         &[
             "resolve",
             "--input",
@@ -222,8 +228,8 @@ fn library_pipeline_matches_resolve_then_consolidate() {
         &[("flat.csv", &flat)],
     )
     .expect("resolve must succeed");
-    let clustered = &resolved.files[0].1;
-    let two_pass = run_library(
+    let clustered = resolve_fs.get("clustered.csv").unwrap();
+    let (_, two_pass_fs) = run_library(
         &[
             "consolidate",
             "--input",
@@ -235,11 +241,11 @@ fn library_pipeline_matches_resolve_then_consolidate() {
             "--golden",
             "gold.csv",
         ],
-        &[("clustered.csv", clustered)],
+        &[("clustered.csv", &clustered)],
     )
     .expect("consolidate must succeed");
 
-    let fused = run_library(
+    let (_, fused_fs) = run_library(
         &[
             "pipeline",
             "--input",
@@ -256,10 +262,13 @@ fn library_pipeline_matches_resolve_then_consolidate() {
         &[("flat.csv", &flat)],
     )
     .expect("pipeline must succeed");
-    assert_eq!(
-        fused.files, two_pass.files,
-        "fused output files are bit-identical to the two-pass flow"
-    );
+    for file in ["std.csv", "gold.csv"] {
+        assert_eq!(
+            fused_fs.get(file),
+            two_pass_fs.get(file),
+            "fused {file} is bit-identical to the two-pass flow"
+        );
+    }
 }
 
 /// A scratch directory under the target-controlled temp dir, removed on drop.
@@ -362,6 +371,78 @@ fn binary_pipeline_runs_flat_csv_to_golden_records() {
     let contents = std::fs::read_to_string(&golden).expect("golden file exists");
     assert!(contents.starts_with("cluster,"), "golden-record CSV header");
     assert!(contents.lines().count() > 1);
+}
+
+#[test]
+fn binary_learn_save_apply_round_trip() {
+    // The program-library workflow end to end through real files: learn
+    // programs from a clustered dataset (consolidate --save-library), then
+    // standardize the matching flat records through the snapshot (apply).
+    let scratch = ScratchDir::new("library");
+    let clustered = scratch.path("clustered.csv");
+    let flat = scratch.path("flat.csv");
+    let library = scratch.path("library.txt");
+    let applied = scratch.path("applied.csv");
+
+    for extra in [&["--output"][..], &["--flat", "--output"][..]] {
+        let mut cmd = ec();
+        cmd.args([
+            "generate",
+            "--dataset",
+            "address",
+            "--clusters",
+            "12",
+            "--seed",
+            "9",
+        ]);
+        cmd.args(extra);
+        cmd.arg(if extra.len() == 1 { &clustered } else { &flat });
+        let out = cmd.output().expect("spawn ec");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let out = ec()
+        .args(["consolidate", "--budget", "15", "--input"])
+        .arg(&clustered)
+        .arg("--save-library")
+        .arg(&library)
+        .output()
+        .expect("spawn ec");
+    assert!(
+        out.status.success(),
+        "consolidate --save-library exits 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let snapshot = std::fs::read_to_string(&library).expect("library written");
+    assert!(snapshot.starts_with("ec-program-library v1"), "{snapshot}");
+
+    let out = ec()
+        .args(["apply", "--library"])
+        .arg(&library)
+        .arg("--input")
+        .arg(&flat)
+        .arg("--output")
+        .arg(&applied)
+        .output()
+        .expect("spawn ec");
+    assert!(
+        out.status.success(),
+        "apply exits 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("applied library"), "{stdout}");
+    let applied_csv = std::fs::read_to_string(&applied).expect("applied file exists");
+    assert!(applied_csv.starts_with("source,"));
+    assert_eq!(
+        applied_csv.lines().count(),
+        std::fs::read_to_string(&flat).unwrap().lines().count(),
+        "apply preserves every record"
+    );
 }
 
 #[test]

@@ -31,11 +31,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod consolidate;
 pub mod fused;
+pub mod library;
 pub mod oracle;
 pub mod pipeline;
 
+pub use consolidate::{
+    resolve_column_spec, standardize_columns, write_golden_records_csv, AutoMode,
+};
 pub use fused::{FusedPipeline, FusedRun};
+pub use library::{
+    ApplyReport, ApprovedGroup, LearnedProgram, LibraryApplier, LibraryError, ProgramLibrary,
+    ValueOutcome,
+};
 pub use oracle::{
     ApproveAllOracle, Oracle, RejectAllOracle, ScriptedOracle, SimulatedOracle, Verdict,
 };

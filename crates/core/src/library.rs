@@ -1,0 +1,637 @@
+//! The learned-program store: *learn once, apply forever*.
+//!
+//! The paper's deployment story is that transformation programs verified by a
+//! human are an asset: once an expert has confirmed that `SubStr(…) ⊕
+//! ConstantStr(". ") ⊕ SubStr(…)` turns `"Lee, Mary"` into `"M. Lee"`, that
+//! knowledge should standardize *new* records as they arrive instead of being
+//! re-learned (and re-reviewed) per batch. [`ProgramLibrary`] is that asset:
+//!
+//! * it stores, per column, the [`ApprovedGroup`]s a human (or simulated)
+//!   oracle confirmed — the shared [`Program`], the approved [`Direction`]
+//!   and the exact member pairs;
+//! * it serializes to a versioned, line-oriented **text snapshot**
+//!   ([`ProgramLibrary::to_snapshot`] / [`ProgramLibrary::from_snapshot`])
+//!   using the DSL's display syntax, so a library survives process restarts
+//!   and can be inspected (and edited) with a text editor;
+//! * its **apply path** ([`ProgramLibrary::applier`]) standardizes incoming
+//!   records without re-learning: exact approved pairs first, then known
+//!   canonical forms, then deterministic forward programs as generalizers —
+//!   and values nothing in the library covers are *reported as unmatched*
+//!   rather than silently passed through.
+//!
+//! The `ec serve` service loads a snapshot at startup, applies it on
+//! `POST /apply`, and exposes it on `GET /library`; the CLI writes snapshots
+//! via `--save-library` and applies them via `ec apply`.
+
+use ec_dsl::parse::{quote, unquote};
+use ec_dsl::{Program, StrCtx};
+use ec_grouping::Group;
+use ec_replace::Direction;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Magic first line of the snapshot format (the trailing integer is the
+/// format version, bumped on incompatible changes).
+const SNAPSHOT_HEADER: &str = "ec-program-library v1";
+
+/// A group the oracle approved, with the direction it chose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApprovedGroup {
+    /// The approved group (shared program + member replacements).
+    pub group: Group,
+    /// The direction the oracle chose.
+    pub direction: Direction,
+}
+
+/// One human-verified transformation stored in the library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedProgram {
+    /// The shared transformation program, when the group had one. The program
+    /// maps `lhs`-shaped strings to `rhs`-shaped strings, so it generalizes
+    /// to unseen values only in the [`Direction::Forward`] orientation.
+    pub program: Option<Program>,
+    /// The approved replacement direction.
+    pub direction: Direction,
+    /// The exact approved pairs, oriented `from → to` (already flipped for
+    /// backward approvals).
+    pub rewrites: Vec<(String, String)>,
+}
+
+/// What happened to one value on the apply path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueOutcome {
+    /// An entry rewrote the value.
+    Rewritten(String),
+    /// The value is already a known canonical form (or a program maps it to
+    /// itself); nothing to do.
+    Unchanged,
+    /// No library entry covers the value.
+    Unmatched,
+}
+
+/// Counters (plus a capped sample of unmatched values) from one apply run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Records processed.
+    pub records: usize,
+    /// Cells rewritten to a canonical form.
+    pub cells_rewritten: usize,
+    /// Cells already canonical (matched, no rewrite needed).
+    pub cells_unchanged: usize,
+    /// Cells no library entry covered.
+    pub cells_unmatched: usize,
+    /// Up to [`ApplyReport::SAMPLE_CAP`] distinct `(column, value)` pairs
+    /// that went unmatched, in first-seen order.
+    pub unmatched_sample: Vec<(String, String)>,
+}
+
+impl ApplyReport {
+    /// Maximum number of distinct unmatched `(column, value)` pairs sampled.
+    pub const SAMPLE_CAP: usize = 10;
+
+    fn note_unmatched(&mut self, column: &str, value: &str) {
+        self.cells_unmatched += 1;
+        if self.unmatched_sample.len() < Self::SAMPLE_CAP
+            && !self
+                .unmatched_sample
+                .iter()
+                .any(|(c, v)| c == column && v == value)
+        {
+            self.unmatched_sample
+                .push((column.to_string(), value.to_string()));
+        }
+    }
+}
+
+impl fmt::Display for ApplyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} records: {} cells rewritten, {} already canonical, {} unmatched",
+            self.records, self.cells_rewritten, self.cells_unchanged, self.cells_unmatched
+        )
+    }
+}
+
+/// A failure while parsing a library snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibraryError {
+    /// 1-based line number of the offending line (0 for whole-document
+    /// problems such as a missing header).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "library snapshot line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LibraryError {}
+
+/// The store of human-verified transformation programs, keyed by column
+/// name. See the module docs for the role it plays.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProgramLibrary {
+    /// Bumped on every mutation; persisted in snapshots so consumers can tell
+    /// libraries apart.
+    version: u64,
+    columns: BTreeMap<String, Vec<LearnedProgram>>,
+}
+
+impl ProgramLibrary {
+    /// An empty library at version 0.
+    pub fn new() -> Self {
+        ProgramLibrary::default()
+    }
+
+    /// The mutation counter (persisted in snapshots).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// True when no program is stored.
+    pub fn is_empty(&self) -> bool {
+        self.columns.values().all(Vec::is_empty)
+    }
+
+    /// Number of stored entries across all columns.
+    pub fn len(&self) -> usize {
+        self.columns.values().map(Vec::len).sum()
+    }
+
+    /// The column names with at least one entry.
+    pub fn columns(&self) -> impl Iterator<Item = &str> {
+        self.columns.keys().map(String::as_str)
+    }
+
+    /// The entries of one column (empty when unknown).
+    pub fn entries(&self, column: &str) -> &[LearnedProgram] {
+        self.columns.get(column).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Records an approved group under `column`. The group's member pairs are
+    /// stored oriented in the approved direction; identical duplicates are
+    /// merged into the existing entry.
+    pub fn record(&mut self, column: &str, approved: &ApprovedGroup) {
+        let rewrites: Vec<(String, String)> = approved
+            .group
+            .members()
+            .iter()
+            .map(|r| match approved.direction {
+                Direction::Forward => (r.lhs().to_string(), r.rhs().to_string()),
+                Direction::Backward => (r.rhs().to_string(), r.lhs().to_string()),
+            })
+            .collect();
+        let entries = self.columns.entry(column.to_string()).or_default();
+        if let Some(existing) = entries.iter_mut().find(|e| {
+            e.direction == approved.direction && e.program.as_ref() == approved.group.program()
+        }) {
+            for pair in rewrites {
+                if !existing.rewrites.contains(&pair) {
+                    existing.rewrites.push(pair);
+                }
+            }
+        } else {
+            entries.push(LearnedProgram {
+                program: approved.group.program().cloned(),
+                direction: approved.direction,
+                rewrites,
+            });
+        }
+        self.version += 1;
+    }
+
+    /// Merges every entry of `other` into this library.
+    pub fn merge(&mut self, other: &ProgramLibrary) {
+        for (column, entries) in &other.columns {
+            for entry in entries {
+                let slot = self.columns.entry(column.clone()).or_default();
+                if let Some(existing) = slot
+                    .iter_mut()
+                    .find(|e| e.direction == entry.direction && e.program == entry.program)
+                {
+                    for pair in &entry.rewrites {
+                        if !existing.rewrites.contains(pair) {
+                            existing.rewrites.push(pair.clone());
+                        }
+                    }
+                } else {
+                    slot.push(entry.clone());
+                }
+            }
+        }
+        self.version += 1;
+    }
+
+    /// Standardizes one value of `column` through the library. Precedence is
+    /// deterministic: exact approved pairs first (entry insertion order),
+    /// then "value is a known canonical form" (so a generalizing program can
+    /// never un-standardize an already-canonical value), then deterministic
+    /// forward programs as generalizers to unseen values.
+    pub fn standardize_value(&self, column: &str, value: &str) -> ValueOutcome {
+        let entries = self.entries(column);
+        if entries.is_empty() {
+            return ValueOutcome::Unmatched;
+        }
+        let mut known_canonical = false;
+        for entry in entries {
+            for (from, to) in &entry.rewrites {
+                if from == value {
+                    return ValueOutcome::Rewritten(to.clone());
+                }
+                known_canonical |= to == value;
+            }
+        }
+        if known_canonical {
+            return ValueOutcome::Unchanged;
+        }
+        for entry in entries {
+            if entry.direction != Direction::Forward {
+                continue;
+            }
+            let Some(program) = &entry.program else {
+                continue;
+            };
+            if !program.is_deterministic() {
+                continue;
+            }
+            if let Some(out) = program.eval(&StrCtx::new(value)) {
+                return if out == value {
+                    ValueOutcome::Unchanged
+                } else {
+                    ValueOutcome::Rewritten(out)
+                };
+            }
+        }
+        ValueOutcome::Unmatched
+    }
+
+    /// A reusable apply view over a fixed record schema: column lookups are
+    /// resolved once, then [`LibraryApplier::apply_fields`] standardizes one
+    /// record at a time (the streaming shape `ec apply` and `POST /apply`
+    /// need).
+    pub fn applier<'a>(&'a self, columns: &[String]) -> LibraryApplier<'a> {
+        LibraryApplier {
+            library: self,
+            columns: columns.to_vec(),
+        }
+    }
+
+    /// Serializes the library as a text snapshot (see the module docs for
+    /// the role of snapshots; [`ProgramLibrary::from_snapshot`] parses them).
+    pub fn to_snapshot(&self) -> String {
+        let mut out = String::new();
+        out.push_str(SNAPSHOT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("version {}\n", self.version));
+        for (column, entries) in &self.columns {
+            if entries.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("column {}\n", quote(column)));
+            for entry in entries {
+                let direction = match entry.direction {
+                    Direction::Forward => "forward",
+                    Direction::Backward => "backward",
+                };
+                out.push_str(&format!("entry {direction}\n"));
+                if let Some(program) = &entry.program {
+                    out.push_str(&format!("program {program}\n"));
+                }
+                for (from, to) in &entry.rewrites {
+                    out.push_str(&format!("rewrite {} {}\n", quote(from), quote(to)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a snapshot produced by [`ProgramLibrary::to_snapshot`]. Blank
+    /// lines and `#` comments are ignored, so snapshots can be annotated by
+    /// hand.
+    pub fn from_snapshot(text: &str) -> Result<Self, LibraryError> {
+        let fail = |line: usize, message: &str| LibraryError {
+            line,
+            message: message.to_string(),
+        };
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+        let mut library = ProgramLibrary::new();
+        let mut version_seen = false;
+        match lines.next() {
+            Some((_, first)) if first.trim() == SNAPSHOT_HEADER => {}
+            Some((_, first)) => {
+                return Err(fail(
+                    1,
+                    &format!("expected header '{SNAPSHOT_HEADER}', got '{first}'"),
+                ))
+            }
+            None => return Err(fail(0, "empty snapshot")),
+        }
+        let mut column: Option<String> = None;
+        for (line_no, raw) in lines {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (keyword, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match keyword {
+                "version" => {
+                    library.version = rest
+                        .trim()
+                        .parse()
+                        .map_err(|_| fail(line_no, "version expects an integer"))?;
+                    version_seen = true;
+                }
+                "column" => {
+                    let (name, tail) = unquote(rest).map_err(|e| fail(line_no, &e.to_string()))?;
+                    if !tail.trim().is_empty() {
+                        return Err(fail(line_no, "trailing input after column name"));
+                    }
+                    library.columns.entry(name.clone()).or_default();
+                    column = Some(name);
+                }
+                "entry" => {
+                    let Some(column) = &column else {
+                        return Err(fail(line_no, "entry before any column"));
+                    };
+                    let direction = match rest.trim() {
+                        "forward" => Direction::Forward,
+                        "backward" => Direction::Backward,
+                        other => {
+                            return Err(fail(line_no, &format!("unknown direction '{other}'")))
+                        }
+                    };
+                    library
+                        .columns
+                        .get_mut(column)
+                        .expect("column was inserted above")
+                        .push(LearnedProgram {
+                            program: None,
+                            direction,
+                            rewrites: Vec::new(),
+                        });
+                }
+                "program" => {
+                    let entry = column
+                        .as_ref()
+                        .and_then(|c| library.columns.get_mut(c))
+                        .and_then(|entries| entries.last_mut())
+                        .ok_or_else(|| fail(line_no, "program before any entry"))?;
+                    let program = rest
+                        .parse::<Program>()
+                        .map_err(|e| fail(line_no, &e.to_string()))?;
+                    entry.program = Some(program);
+                }
+                "rewrite" => {
+                    let entry = column
+                        .as_ref()
+                        .and_then(|c| library.columns.get_mut(c))
+                        .and_then(|entries| entries.last_mut())
+                        .ok_or_else(|| fail(line_no, "rewrite before any entry"))?;
+                    let (from, tail) = unquote(rest).map_err(|e| fail(line_no, &e.to_string()))?;
+                    let (to, tail) =
+                        unquote(tail.trim_start()).map_err(|e| fail(line_no, &e.to_string()))?;
+                    if !tail.trim().is_empty() {
+                        return Err(fail(line_no, "trailing input after rewrite"));
+                    }
+                    entry.rewrites.push((from, to));
+                }
+                other => return Err(fail(line_no, &format!("unknown keyword '{other}'"))),
+            }
+        }
+        if !version_seen {
+            return Err(fail(0, "snapshot has no version line"));
+        }
+        Ok(library)
+    }
+}
+
+/// The apply view created by [`ProgramLibrary::applier`].
+#[derive(Debug, Clone)]
+pub struct LibraryApplier<'a> {
+    library: &'a ProgramLibrary,
+    columns: Vec<String>,
+}
+
+impl LibraryApplier<'_> {
+    /// Standardizes one record's fields in place and tallies the outcomes
+    /// into `report`. `fields` must align with the schema the applier was
+    /// created for (extra fields are left untouched).
+    pub fn apply_fields(&self, fields: &mut [String], report: &mut ApplyReport) {
+        report.records += 1;
+        for (column, field) in self.columns.iter().zip(fields.iter_mut()) {
+            match self.library.standardize_value(column, field) {
+                ValueOutcome::Rewritten(out) => {
+                    *field = out;
+                    report.cells_rewritten += 1;
+                }
+                ValueOutcome::Unchanged => report.cells_unchanged += 1,
+                ValueOutcome::Unmatched => report.note_unmatched(column, field),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_dsl::{Dir, PositionFn, StringFn, Term};
+    use ec_graph::Replacement;
+
+    fn initials_program() -> Program {
+        Program::new(vec![
+            StringFn::sub_str(
+                PositionFn::match_pos(Term::Whitespace, 1, Dir::End),
+                PositionFn::match_pos(Term::Upper, -1, Dir::End),
+            ),
+            StringFn::constant(". "),
+            StringFn::sub_str(
+                PositionFn::match_pos(Term::Upper, 1, Dir::Begin),
+                PositionFn::match_pos(Term::Lower, 1, Dir::End),
+            ),
+        ])
+    }
+
+    fn approved(
+        program: Option<Program>,
+        direction: Direction,
+        pairs: &[(&str, &str)],
+    ) -> ApprovedGroup {
+        ApprovedGroup {
+            group: Group::new(
+                program,
+                pairs.iter().map(|(a, b)| Replacement::new(a, b)).collect(),
+            ),
+            direction,
+        }
+    }
+
+    fn sample_library() -> ProgramLibrary {
+        let mut library = ProgramLibrary::new();
+        library.record(
+            "Name",
+            &approved(
+                Some(initials_program()),
+                Direction::Forward,
+                &[("Lee, Mary", "M. Lee"), ("Smith, James", "J. Smith")],
+            ),
+        );
+        library.record(
+            "Name",
+            &approved(None, Direction::Backward, &[("Mary Lee", "Lee, Mary")]),
+        );
+        library.record(
+            "Address",
+            &approved(None, Direction::Forward, &[("Street", "St")]),
+        );
+        library
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let library = sample_library();
+        let snapshot = library.to_snapshot();
+        let parsed = ProgramLibrary::from_snapshot(&snapshot).unwrap();
+        assert_eq!(parsed, library);
+        assert_eq!(parsed.to_snapshot(), snapshot, "serialization is stable");
+        assert_eq!(parsed.version(), library.version());
+        assert_eq!(parsed.len(), 3);
+    }
+
+    #[test]
+    fn snapshot_survives_comments_and_blank_lines() {
+        let library = sample_library();
+        let annotated: String = library
+            .to_snapshot()
+            .lines()
+            .map(|l| format!("{l}\n\n# a comment\n"))
+            .collect();
+        let parsed = ProgramLibrary::from_snapshot(&annotated).unwrap();
+        assert_eq!(parsed, library);
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_input() {
+        assert!(ProgramLibrary::from_snapshot("").is_err());
+        assert!(ProgramLibrary::from_snapshot("not a library\n").is_err());
+        let no_version = format!("{SNAPSHOT_HEADER}\n");
+        assert!(ProgramLibrary::from_snapshot(&no_version).is_err());
+        for bad in [
+            "entry forward\n",
+            "program ConstantStr(\"x\")\n",
+            "rewrite \"a\" \"b\"\n",
+            "column \"Name\"\nentry sideways\n",
+            "column \"Name\"\nentry forward\nprogram Nope(1)\n",
+            "frobnicate\n",
+        ] {
+            let text = format!("{SNAPSHOT_HEADER}\nversion 1\n{bad}");
+            let err = ProgramLibrary::from_snapshot(&text).unwrap_err();
+            assert!(err.line >= 1, "{err}");
+        }
+    }
+
+    #[test]
+    fn exact_pairs_apply_before_programs() {
+        let library = sample_library();
+        assert_eq!(
+            library.standardize_value("Name", "Lee, Mary"),
+            ValueOutcome::Rewritten("M. Lee".to_string())
+        );
+        // The backward approval of "Mary Lee" → "Lee, Mary" made its *lhs*
+        // canonical, so "Mary Lee" is recognized and left alone.
+        assert_eq!(
+            library.standardize_value("Name", "Mary Lee"),
+            ValueOutcome::Unchanged
+        );
+    }
+
+    #[test]
+    fn forward_programs_generalize_to_unseen_values() {
+        let library = sample_library();
+        // "Stone, Olivia" was never reviewed; the initials program covers it.
+        assert_eq!(
+            library.standardize_value("Name", "Stone, Olivia"),
+            ValueOutcome::Rewritten("O. Stone".to_string())
+        );
+    }
+
+    #[test]
+    fn known_canonical_values_are_left_alone() {
+        let library = sample_library();
+        // "M. Lee" is a rewrite target; the transposition program must not
+        // drag it anywhere else.
+        assert_eq!(
+            library.standardize_value("Name", "M. Lee"),
+            ValueOutcome::Unchanged
+        );
+    }
+
+    #[test]
+    fn uncovered_values_and_columns_are_unmatched() {
+        let library = sample_library();
+        assert_eq!(
+            library.standardize_value("Name", "totally different"),
+            ValueOutcome::Unmatched
+        );
+        assert_eq!(
+            library.standardize_value("Phone", "555"),
+            ValueOutcome::Unmatched
+        );
+    }
+
+    #[test]
+    fn applier_standardizes_records_and_reports() {
+        let library = sample_library();
+        let columns = vec!["Name".to_string(), "Address".to_string()];
+        let applier = library.applier(&columns);
+        let mut report = ApplyReport::default();
+        let mut fields = vec!["Lee, Mary".to_string(), "Street".to_string()];
+        applier.apply_fields(&mut fields, &mut report);
+        assert_eq!(fields, vec!["M. Lee".to_string(), "St".to_string()]);
+        let mut fields = vec!["M. Lee".to_string(), "unknown place".to_string()];
+        applier.apply_fields(&mut fields, &mut report);
+        assert_eq!(fields[1], "unknown place", "unmatched values pass through");
+        assert_eq!(report.records, 2);
+        assert_eq!(report.cells_rewritten, 2);
+        assert_eq!(report.cells_unchanged, 1);
+        assert_eq!(report.cells_unmatched, 1);
+        assert_eq!(
+            report.unmatched_sample,
+            vec![("Address".to_string(), "unknown place".to_string())]
+        );
+        assert!(report.to_string().contains("2 records"));
+    }
+
+    #[test]
+    fn record_merges_duplicate_programs_and_bumps_the_version() {
+        let mut library = ProgramLibrary::new();
+        assert_eq!(library.version(), 0);
+        assert!(library.is_empty());
+        let a = approved(None, Direction::Forward, &[("a", "b")]);
+        library.record("C", &a);
+        library.record("C", &a);
+        library.record("C", &approved(None, Direction::Forward, &[("x", "y")]));
+        assert_eq!(
+            library.entries("C").len(),
+            1,
+            "same program+direction merge"
+        );
+        assert_eq!(library.entries("C")[0].rewrites.len(), 2);
+        assert_eq!(library.version(), 3);
+    }
+
+    #[test]
+    fn merge_unions_two_libraries() {
+        let mut a = ProgramLibrary::new();
+        a.record("C", &approved(None, Direction::Forward, &[("a", "b")]));
+        let mut b = ProgramLibrary::new();
+        b.record("C", &approved(None, Direction::Forward, &[("c", "d")]));
+        b.record("D", &approved(None, Direction::Backward, &[("e", "f")]));
+        a.merge(&b);
+        assert_eq!(a.entries("C")[0].rewrites.len(), 2);
+        assert_eq!(a.entries("D").len(), 1);
+    }
+}

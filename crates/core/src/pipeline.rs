@@ -105,12 +105,25 @@ impl Pipeline {
         col: usize,
         oracle: &mut dyn Oracle,
     ) -> ColumnReport {
+        self.standardize_column_traced(dataset, col, oracle).0
+    }
+
+    /// [`Pipeline::standardize_column`], additionally returning the groups
+    /// the oracle approved (with the chosen directions) in review order —
+    /// the raw material a [`crate::ProgramLibrary`] is built from, so the
+    /// human's verification work survives the batch that produced it.
+    pub fn standardize_column_traced(
+        &self,
+        dataset: &mut Dataset,
+        col: usize,
+        oracle: &mut dyn Oracle,
+    ) -> (ColumnReport, Vec<crate::ApprovedGroup>) {
         let values = dataset.column_values(col);
         let mut engine = ReplacementEngine::new(values, &self.config.candidates);
         let candidates = engine.candidates();
         let mut grouper = StructuredGrouper::new(&candidates, self.config.grouping.clone());
         let mut reviewed = 0usize;
-        let mut approved = 0usize;
+        let mut approved = Vec::new();
         while reviewed < self.config.budget {
             let group = match grouper.next_group() {
                 Some(g) => g,
@@ -118,19 +131,19 @@ impl Pipeline {
             };
             reviewed += 1;
             if let Verdict::Approve(direction) = oracle.review(&group) {
-                approved += 1;
                 engine.apply_group(group.members(), direction);
+                approved.push(crate::ApprovedGroup { group, direction });
             }
         }
         let report = ColumnReport {
             column: col,
             candidates: candidates.len(),
             groups_reviewed: reviewed,
-            groups_approved: approved,
+            groups_approved: approved.len(),
             cells_updated: engine.cells_updated(),
         };
         dataset.set_column_values(col, engine.into_values());
-        report
+        (report, approved)
     }
 
     /// Runs truth discovery over the (already standardized) dataset and

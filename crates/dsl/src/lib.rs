@@ -42,12 +42,14 @@
 #![warn(missing_docs)]
 
 pub mod ctx;
+pub mod parse;
 pub mod position;
 pub mod program;
 pub mod strfn;
 pub mod terms;
 
 pub use ctx::StrCtx;
+pub use parse::{parse_program, ParseError};
 pub use position::{Dir, PositionFn};
 pub use program::Program;
 pub use strfn::StringFn;

@@ -1,0 +1,372 @@
+//! Parsing transformation programs back from their display syntax.
+//!
+//! Every DSL type renders to a stable, human-readable form (`ConstantStr(".
+//! ")`, `SubStr(MatchPos(TC, 1, B), ConstPos(3))`, `Prefix(Tl, 1)`, programs
+//! joined with `⊕`). This module makes that syntax a real serialization
+//! format: [`parse_program`] (and `Program`'s [`std::str::FromStr`]) parse it
+//! back, so learned programs can be stored in text snapshots — the
+//! program-library format of `ec-core` — and reloaded without a binary
+//! serializer. The grammar is exactly what [`std::fmt::Display`] emits;
+//! string contents use Rust's debug escaping.
+
+use crate::position::{Dir, PositionFn};
+use crate::program::Program;
+use crate::strfn::StringFn;
+use crate::terms::Term;
+use std::fmt;
+
+/// A failure while parsing program syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a program from its display syntax (`f1 ⊕ f2 ⊕ …`, or `ε` for the
+/// empty program). The whole input must be consumed.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut cursor = Cursor::new(text);
+    cursor.skip_ws();
+    if cursor.eat("ε") {
+        cursor.skip_ws();
+        cursor.expect_end()?;
+        return Ok(Program::empty());
+    }
+    let mut fns = vec![cursor.parse_string_fn()?];
+    loop {
+        cursor.skip_ws();
+        if cursor.eat("⊕") {
+            cursor.skip_ws();
+            fns.push(cursor.parse_string_fn()?);
+        } else {
+            break;
+        }
+    }
+    cursor.expect_end()?;
+    Ok(Program::new(fns))
+}
+
+impl std::str::FromStr for Program {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_program(s)
+    }
+}
+
+/// Escapes `s` exactly like the display syntax does (Rust debug escaping,
+/// including the surrounding quotes).
+pub fn quote(s: &str) -> String {
+    format!("{s:?}")
+}
+
+/// Parses one quoted string (as produced by [`quote`]) at the start of
+/// `text`, returning the unescaped contents and the rest of the input.
+pub fn unquote(text: &str) -> Result<(String, &str), ParseError> {
+    let mut cursor = Cursor::new(text);
+    let s = cursor.parse_quoted()?;
+    Ok((s, &text[cursor.pos..]))
+}
+
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor { text, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.text.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{token}'"))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.rest().is_empty() {
+            Ok(())
+        } else {
+            self.err("trailing input after program")
+        }
+    }
+
+    fn parse_string_fn(&mut self) -> Result<StringFn, ParseError> {
+        self.skip_ws();
+        if self.eat("ConstantStr(") {
+            let s = self.parse_quoted()?;
+            self.expect(")")?;
+            Ok(StringFn::constant(s))
+        } else if self.eat("SubStr(") {
+            let l = self.parse_position_fn()?;
+            self.expect(",")?;
+            self.skip_ws();
+            let r = self.parse_position_fn()?;
+            self.expect(")")?;
+            Ok(StringFn::sub_str(l, r))
+        } else if self.eat("Prefix(") {
+            let (term, k) = self.parse_term_and_ordinal()?;
+            Ok(StringFn::prefix(term, k))
+        } else if self.eat("Suffix(") {
+            let (term, k) = self.parse_term_and_ordinal()?;
+            Ok(StringFn::suffix(term, k))
+        } else {
+            self.err("expected ConstantStr, SubStr, Prefix or Suffix")
+        }
+    }
+
+    fn parse_term_and_ordinal(&mut self) -> Result<(Term, i32), ParseError> {
+        let term = self.parse_term()?;
+        self.expect(",")?;
+        self.skip_ws();
+        let k = self.parse_i32()?;
+        self.expect(")")?;
+        Ok((term, k))
+    }
+
+    fn parse_position_fn(&mut self) -> Result<PositionFn, ParseError> {
+        self.skip_ws();
+        if self.eat("ConstPos(") {
+            let k = self.parse_i32()?;
+            self.expect(")")?;
+            Ok(PositionFn::const_pos(k))
+        } else if self.eat("MatchPos(") {
+            let term = self.parse_term()?;
+            self.expect(",")?;
+            self.skip_ws();
+            let k = self.parse_i32()?;
+            self.expect(",")?;
+            self.skip_ws();
+            let dir = if self.eat("B") {
+                Dir::Begin
+            } else if self.eat("E") {
+                Dir::End
+            } else {
+                return self.err("expected direction B or E");
+            };
+            self.expect(")")?;
+            Ok(PositionFn::match_pos(term, k, dir))
+        } else {
+            self.err("expected ConstPos or MatchPos")
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        // Longest-match first: TC before T"…" (both start with 'T').
+        if self.eat("TC") {
+            Ok(Term::Upper)
+        } else if self.eat("Tl") {
+            Ok(Term::Lower)
+        } else if self.eat("Td") {
+            Ok(Term::Digits)
+        } else if self.eat("Tb") {
+            Ok(Term::Whitespace)
+        } else if self.rest().starts_with("T\"") {
+            self.pos += 1;
+            let s = self.parse_quoted()?;
+            if s.is_empty() {
+                return self.err("literal terms must be non-empty");
+            }
+            Ok(Term::literal(s))
+        } else {
+            self.err("expected term TC, Tl, Td, Tb or T\"…\"")
+        }
+    }
+
+    fn parse_i32(&mut self) -> Result<i32, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let digits_end = rest
+            .char_indices()
+            .take_while(|&(i, c)| c.is_ascii_digit() || (i == 0 && c == '-'))
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        let token = &rest[..digits_end];
+        match token.parse() {
+            Ok(n) => {
+                self.pos += digits_end;
+                Ok(n)
+            }
+            Err(_) => self.err("expected an integer"),
+        }
+    }
+
+    /// Parses a Rust-debug-escaped quoted string (`"a\tb"`).
+    fn parse_quoted(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        self.expect("\"")?;
+        let mut out = String::new();
+        let mut chars = self.rest().char_indices();
+        loop {
+            let Some((i, c)) = chars.next() else {
+                return self.err("unterminated string");
+            };
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let Some((_, esc)) = chars.next() else {
+                        return self.err("dangling escape");
+                    };
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '\'' => out.push('\''),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        '0' => out.push('\0'),
+                        'u' => {
+                            // \u{XXXX}
+                            match chars.next() {
+                                Some((_, '{')) => {}
+                                _ => return self.err("expected '{' after \\u"),
+                            }
+                            let mut code = String::new();
+                            loop {
+                                match chars.next() {
+                                    Some((_, '}')) => break,
+                                    Some((_, h)) if h.is_ascii_hexdigit() => code.push(h),
+                                    _ => return self.err("bad \\u escape"),
+                                }
+                            }
+                            let value =
+                                u32::from_str_radix(&code, 16).ok().and_then(char::from_u32);
+                            match value {
+                                Some(ch) => out.push(ch),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                        }
+                        other => return self.err(format!("unknown escape '\\{other}'")),
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(program: Program) {
+        let text = program.to_string();
+        let parsed: Program = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(parsed, program, "{text}");
+    }
+
+    #[test]
+    fn figure3_program_round_trips() {
+        round_trip(Program::new(vec![
+            StringFn::sub_str(
+                PositionFn::match_pos(Term::Whitespace, 1, Dir::End),
+                PositionFn::match_pos(Term::Upper, -1, Dir::End),
+            ),
+            StringFn::constant(". "),
+            StringFn::sub_str(
+                PositionFn::match_pos(Term::Upper, 1, Dir::Begin),
+                PositionFn::match_pos(Term::Lower, 1, Dir::End),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn every_function_kind_round_trips() {
+        round_trip(Program::new(vec![
+            StringFn::constant("x \"quoted\" \\ tab\t nl\n é"),
+            StringFn::prefix(Term::Lower, 1),
+            StringFn::suffix(Term::Digits, -2),
+            StringFn::sub_str(PositionFn::const_pos(-3), PositionFn::const_pos(4)),
+            StringFn::sub_str(
+                PositionFn::match_pos(Term::literal("St. #5, x"), 2, Dir::Begin),
+                PositionFn::match_pos(Term::Whitespace, -1, Dir::End),
+            ),
+        ]));
+        round_trip(Program::empty());
+    }
+
+    #[test]
+    fn constants_containing_the_join_symbol_round_trip() {
+        round_trip(Program::new(vec![
+            StringFn::constant("a ⊕ b"),
+            StringFn::constant("ε"),
+        ]));
+    }
+
+    #[test]
+    fn parse_errors_name_the_offset() {
+        let err = parse_program("SubStr(ConstPos(1)").unwrap_err();
+        assert!(err.to_string().contains("expected ','"), "{err}");
+        assert!(parse_program("Bogus(1)").is_err());
+        assert!(parse_program("ConstantStr(\"unterminated)").is_err());
+        assert!(parse_program("ConstantStr(\"x\") trailing").is_err());
+        assert!(parse_program("Prefix(T\"\", 1)").is_err());
+        assert!(parse_program("MatchPos(TC, 1, B)").is_err(), "not a fn");
+    }
+
+    #[test]
+    fn quote_and_unquote_are_inverse() {
+        for s in ["", "plain", "with \"quotes\"", "\\ \t\n\r\0", "ünïcodé ⊕"] {
+            let quoted = quote(s);
+            let (back, rest) = unquote(&quoted).unwrap();
+            assert_eq!(back, s);
+            assert!(rest.is_empty());
+        }
+        let (s, rest) = unquote("\"a b\" tail").unwrap();
+        assert_eq!(s, "a b");
+        assert_eq!(rest, " tail");
+    }
+
+    #[test]
+    fn parsed_program_still_evaluates() {
+        let text = "SubStr(MatchPos(Tb, 1, E), MatchPos(TC, -1, E)) ⊕ ConstantStr(\". \") \
+                    ⊕ SubStr(MatchPos(TC, 1, B), MatchPos(Tl, 1, E))";
+        let program: Program = text.parse().unwrap();
+        let ctx = crate::StrCtx::new("Lee, Mary");
+        assert_eq!(program.eval(&ctx).as_deref(), Some("M. Lee"));
+    }
+}

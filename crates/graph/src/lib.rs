@@ -27,11 +27,13 @@
 pub mod builder;
 pub mod label;
 pub mod parallel;
+pub mod pool;
 pub mod replacement;
 pub mod structure;
 
 pub use builder::{ConstantPolicy, Edge, GraphBuilder, GraphConfig, TransformationGraph};
 pub use label::{LabelId, LabelInterner};
 pub use parallel::Parallelism;
+pub use pool::{PoolTask, WorkerPool};
 pub use replacement::Replacement;
 pub use structure::{structure_of, ReplacementStructure, Structure, StructureToken};

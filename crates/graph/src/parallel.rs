@@ -71,6 +71,22 @@ impl Parallelism {
     pub fn is_sequential(self) -> bool {
         self.threads() == 1
     }
+
+    /// Runs one task per shard and returns the results in task order.
+    ///
+    /// Zero or one task runs inline on the calling thread; larger batches run
+    /// on the process-wide work-stealing pool ([`crate::pool::shared`])
+    /// instead of spawning scoped threads per call. The number of pool
+    /// workers is independent of this `Parallelism` value — the knob decides
+    /// how many *shards* a stage cuts its work into, and since every sharded
+    /// stage is bit-identical for any shard count, sharing one pool across
+    /// stages (and server connections) never changes results.
+    pub fn run_tasks<R: Send + 'static>(self, tasks: Vec<crate::pool::PoolTask<R>>) -> Vec<R> {
+        if tasks.len() <= 1 {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        crate::pool::shared().run(tasks)
+    }
 }
 
 impl Default for Parallelism {

@@ -23,11 +23,12 @@ use crate::prepared::PreparedGraphs;
 use crate::search::{PivotResult, PivotSearcher};
 use ec_graph::Replacement;
 use ec_index::GraphId;
+use std::sync::Arc;
 
 /// The incremental (top-k) grouper.
 #[derive(Debug)]
 pub struct IncrementalGrouper {
-    prepared: PreparedGraphs,
+    prepared: Arc<PreparedGraphs>,
     config: GroupingConfig,
     /// Persistent per-graph upper bounds on pivot-path sharing.
     upper_bounds: Vec<u32>,
@@ -43,7 +44,7 @@ impl IncrementalGrouper {
     /// Preprocesses `replacements` (Algorithm 6): graphs, inverted index and
     /// initial upper bounds.
     pub fn new(replacements: &[Replacement], config: GroupingConfig) -> Self {
-        let prepared = PreparedGraphs::build(replacements, &config);
+        let prepared = Arc::new(PreparedGraphs::build(replacements, &config));
         let n = prepared.len();
         let upper_bounds: Vec<u32> = (0..n)
             .map(|g| prepared.upper_bound(GraphId(g as u32)) as u32)
@@ -94,7 +95,7 @@ impl IncrementalGrouper {
         if self.remaining == 0 {
             return self.skipped.pop().map(Group::singleton);
         }
-        let searcher = PivotSearcher::new(&self.prepared, &self.config);
+        let searcher = PivotSearcher::new(Arc::clone(&self.prepared), &self.config);
         // Visit active graphs in decreasing upper-bound order.
         let mut order: Vec<usize> = (0..self.prepared.len())
             .filter(|&g| self.active[g])

@@ -12,18 +12,19 @@ use crate::search::PivotSearcher;
 use ec_graph::{LabelId, Replacement};
 use ec_index::GraphId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The one-shot (upfront) grouper.
 #[derive(Debug)]
 pub struct OneShotGrouper {
-    prepared: PreparedGraphs,
+    prepared: Arc<PreparedGraphs>,
     config: GroupingConfig,
 }
 
 impl OneShotGrouper {
     /// Preprocesses `replacements` (builds graphs and the inverted index).
     pub fn new(replacements: &[Replacement], config: GroupingConfig) -> Self {
-        let prepared = PreparedGraphs::build(replacements, &config);
+        let prepared = Arc::new(PreparedGraphs::build(replacements, &config));
         OneShotGrouper { prepared, config }
     }
 
@@ -48,7 +49,7 @@ impl OneShotGrouper {
         /// Graphs searched per bound-merge round.
         const SEARCH_BATCH: usize = 32;
         let n = self.prepared.len();
-        let searcher = PivotSearcher::new(&self.prepared, &self.config);
+        let searcher = PivotSearcher::new(Arc::clone(&self.prepared), &self.config);
         let active = vec![true; n];
         let mut lower_bounds = vec![1u32; n];
         let gids: Vec<GraphId> = (0..n).map(|g| GraphId(g as u32)).collect();

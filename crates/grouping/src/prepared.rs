@@ -50,30 +50,30 @@ impl PreparedGraphs {
 
         let threads = config.parallelism.threads();
         if config.parallel_graph_build && threads > 1 && unique.len() >= 64 {
+            // Chunks run as `'static` tasks on the shared worker pool, so the
+            // replacements move behind an `Arc` and each task gets an index
+            // range instead of a borrowed slice.
             let chunk_size = unique.len().div_ceil(threads);
-            let chunks: Vec<&[Replacement]> = unique.chunks(chunk_size).collect();
-            let results: Vec<BuiltChunk> = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|chunk| {
-                        let builder = GraphBuilder::new(config.graph.clone());
-                        scope.spawn(move || {
-                            chunk
-                                .iter()
-                                .map(|r| {
-                                    let mut local = LabelInterner::new();
-                                    let g = builder.build(r, &mut local);
-                                    (r.clone(), g.map(|g| (g, local)))
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("graph build thread"))
-                    .collect()
-            });
+            let unique: std::sync::Arc<Vec<Replacement>> = std::sync::Arc::new(unique);
+            let tasks: Vec<ec_graph::PoolTask<BuiltChunk>> = (0..unique.len())
+                .step_by(chunk_size)
+                .map(|start| {
+                    let unique = std::sync::Arc::clone(&unique);
+                    let graph_config = config.graph.clone();
+                    Box::new(move || {
+                        let builder = GraphBuilder::new(graph_config);
+                        unique[start..(start + chunk_size).min(unique.len())]
+                            .iter()
+                            .map(|r| {
+                                let mut local = LabelInterner::new();
+                                let g = builder.build(r, &mut local);
+                                (r.clone(), g.map(|g| (g, local)))
+                            })
+                            .collect::<Vec<_>>()
+                    }) as ec_graph::PoolTask<BuiltChunk>
+                })
+                .collect();
+            let results: Vec<BuiltChunk> = config.parallelism.run_tasks(tasks);
             for chunk in results {
                 for (r, built) in chunk {
                     match built {

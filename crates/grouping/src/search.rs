@@ -24,8 +24,9 @@
 use crate::config::GroupingConfig;
 use crate::prepared::PreparedGraphs;
 use ec_dsl::StringFn;
-use ec_graph::LabelId;
+use ec_graph::{LabelId, PoolTask};
 use ec_index::{GraphId, InvertedIndex, PathList};
+use std::sync::Arc;
 
 /// The result of a pivot-path search.
 #[derive(Debug, Clone)]
@@ -48,15 +49,18 @@ pub struct PivotResult {
 /// The searcher is cheap to construct (two passes over the graphs and the
 /// interner) and immutable afterwards, so one instance can serve the searches
 /// of many graphs — including concurrently via [`PivotSearcher::search_many`].
-pub struct PivotSearcher<'a> {
-    prepared: &'a PreparedGraphs,
-    config: &'a GroupingConfig,
+/// All state is held behind [`Arc`]s, so cloning a searcher is cheap and a
+/// clone can be moved into a `'static` task on the shared worker pool.
+#[derive(Clone)]
+pub struct PivotSearcher {
+    prepared: Arc<PreparedGraphs>,
+    config: Arc<GroupingConfig>,
     /// `last_nodes[g]` — the last node of graph `g`, precomputed once instead
     /// of per search.
-    last_nodes: Vec<u32>,
+    last_nodes: Arc<Vec<u32>>,
     /// `constant_chars[label]` — constant output characters per label,
     /// precomputed once instead of per search.
-    constant_chars: Vec<usize>,
+    constant_chars: Arc<Vec<usize>>,
 }
 
 struct SearchState<'a> {
@@ -156,10 +160,10 @@ impl BoundRaises {
     }
 }
 
-impl<'a> PivotSearcher<'a> {
+impl PivotSearcher {
     /// Creates a searcher over `prepared` using `config`'s path-length cap and
     /// early-termination setting.
-    pub fn new(prepared: &'a PreparedGraphs, config: &'a GroupingConfig) -> Self {
+    pub fn new(prepared: Arc<PreparedGraphs>, config: &GroupingConfig) -> Self {
         let last_nodes: Vec<u32> = prepared.graphs().iter().map(|g| g.last_node()).collect();
         let constant_chars: Vec<usize> = prepared
             .interner()
@@ -171,9 +175,9 @@ impl<'a> PivotSearcher<'a> {
             .collect();
         PivotSearcher {
             prepared,
-            config,
-            last_nodes,
-            constant_chars,
+            config: Arc::new(config.clone()),
+            last_nodes: Arc::new(last_nodes),
+            constant_chars: Arc::new(constant_chars),
         }
     }
 
@@ -308,7 +312,10 @@ impl<'a> PivotSearcher<'a> {
     /// Each worker is handed only its own chunk's graph bounds plus a sparse
     /// update list, so the per-batch memory traffic is O(graphs searched +
     /// raises recorded) instead of the former O(threads × graphs) full-vector
-    /// copies.
+    /// copies. Sharded batches run as `'static` tasks on the process-wide
+    /// work-stealing pool (`ec_graph::pool`) — no scoped threads are spawned
+    /// per call, which is what makes the incremental grouper's speculative
+    /// batch loop cheap inside long-lived processes like `ec serve`.
     pub fn search_many(
         &self,
         gids: &[GraphId],
@@ -319,45 +326,54 @@ impl<'a> PivotSearcher<'a> {
     ) -> Vec<Option<PivotResult>> {
         let shards = parallelism.shards(gids.len());
         let chunk_size = gids.len().div_ceil(shards.max(1)).max(1);
-        // Snapshot only the searched graphs' own bounds, chunk by chunk,
-        // before any search runs — the values every search reads are fixed at
-        // entry no matter how chunks are scheduled.
-        let chunks: Vec<(&[GraphId], Vec<u32>)> = gids
-            .chunks(chunk_size)
-            .map(|chunk| {
-                let bounds = chunk.iter().map(|&g| lower_bounds[g.index()]).collect();
-                (chunk, bounds)
-            })
-            .collect();
         type ShardOutput = (Vec<Option<PivotResult>>, BoundRaises);
-        let run_chunk = |chunk: &[GraphId], bounds: &[u32]| -> ShardOutput {
+        let shard_outputs: Vec<ShardOutput> = if shards <= 1 {
             let mut raised = BoundRaises::default();
-            let results = chunk
+            let results = gids
                 .iter()
-                .zip(bounds)
-                .map(|(&g, &own_bound)| {
+                // Snapshot each graph's own bound before any search runs, so
+                // the sequential path reads exactly what the sharded path
+                // would (raises merge only after the whole call).
+                .map(|&g| (g, lower_bounds[g.index()]))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|(g, own_bound)| {
                     self.search_with_bounds(g, threshold, active, own_bound, &mut raised)
                 })
                 .collect();
-            (results, raised)
-        };
-        let shard_outputs: Vec<ShardOutput> = if shards <= 1 {
-            chunks
-                .iter()
-                .map(|(chunk, bounds)| run_chunk(chunk, bounds))
-                .collect()
+            vec![(results, raised)]
         } else {
-            let run_chunk = &run_chunk;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|(chunk, bounds)| scope.spawn(move || run_chunk(chunk, bounds)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("pivot search worker panicked"))
-                    .collect()
-            })
+            // Snapshot only the searched graphs' own bounds, chunk by chunk,
+            // before any search runs — the values every search reads are
+            // fixed at entry no matter how chunks are scheduled.
+            let active: Arc<[bool]> = active.into();
+            let tasks: Vec<PoolTask<ShardOutput>> = gids
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    let searcher = self.clone();
+                    let chunk: Vec<GraphId> = chunk.to_vec();
+                    let bounds: Vec<u32> = chunk.iter().map(|&g| lower_bounds[g.index()]).collect();
+                    let active = Arc::clone(&active);
+                    Box::new(move || {
+                        let mut raised = BoundRaises::default();
+                        let results = chunk
+                            .iter()
+                            .zip(&bounds)
+                            .map(|(&g, &own_bound)| {
+                                searcher.search_with_bounds(
+                                    g,
+                                    threshold,
+                                    &active,
+                                    own_bound,
+                                    &mut raised,
+                                )
+                            })
+                            .collect();
+                        (results, raised)
+                    }) as PoolTask<ShardOutput>
+                })
+                .collect();
+            parallelism.run_tasks(tasks)
         };
         let mut out = Vec::with_capacity(gids.len());
         for (results, raised) in shard_outputs {
@@ -546,8 +562,8 @@ mod tests {
     use ec_dsl::{Dir, PositionFn, StringFn, Term};
     use ec_graph::Replacement;
 
-    fn prepared(reps: &[Replacement], config: &GroupingConfig) -> PreparedGraphs {
-        PreparedGraphs::build(reps, config)
+    fn prepared(reps: &[Replacement], config: &GroupingConfig) -> Arc<PreparedGraphs> {
+        Arc::new(PreparedGraphs::build(reps, config))
     }
 
     fn example_5_1() -> Vec<Replacement> {
@@ -564,7 +580,7 @@ mod tests {
     fn paper_example_5_2_pivot_of_g1() {
         let config = GroupingConfig::default();
         let prep = prepared(&example_5_1(), &config);
-        let searcher = PivotSearcher::new(&prep, &config);
+        let searcher = PivotSearcher::new(Arc::clone(&prep), &config);
         let mut lower = vec![1u32; prep.len()];
         let active = vec![true; prep.len()];
         let result = searcher
@@ -591,7 +607,7 @@ mod tests {
     fn paper_example_5_3_global_threshold_propagates() {
         let config = GroupingConfig::default();
         let prep = prepared(&example_5_1(), &config);
-        let searcher = PivotSearcher::new(&prep, &config);
+        let searcher = PivotSearcher::new(Arc::clone(&prep), &config);
         let mut lower = vec![1u32; prep.len()];
         let active = vec![true; prep.len()];
         let _ = searcher.search(GraphId(0), 0, &active, &mut lower).unwrap();
@@ -606,7 +622,7 @@ mod tests {
         // no other graph in this tiny example, so its pivot is shared by 1.
         let config = GroupingConfig::default();
         let prep = prepared(&example_5_1(), &config);
-        let searcher = PivotSearcher::new(&prep, &config);
+        let searcher = PivotSearcher::new(Arc::clone(&prep), &config);
         let mut lower = vec![1u32; prep.len()];
         let active = vec![true; prep.len()];
         let result = searcher.search(GraphId(2), 0, &active, &mut lower).unwrap();
@@ -620,7 +636,7 @@ mod tests {
         reps.push(Replacement::new("Smith, James", "James Smith"));
         let config = GroupingConfig::default();
         let prep = prepared(&reps, &config);
-        let searcher = PivotSearcher::new(&prep, &config);
+        let searcher = PivotSearcher::new(Arc::clone(&prep), &config);
         let mut lower = vec![1u32; prep.len()];
         let active = vec![true; prep.len()];
         let result = searcher.search(GraphId(2), 0, &active, &mut lower).unwrap();
@@ -646,10 +662,10 @@ mod tests {
             let mut lower_a = vec![1u32; reps.len()];
             let mut lower_b = vec![1u32; reps.len()];
             let active = vec![true; reps.len()];
-            let a = PivotSearcher::new(&prep_with, &with)
+            let a = PivotSearcher::new(Arc::clone(&prep_with), &with)
                 .search(GraphId(g as u32), 0, &active, &mut lower_a)
                 .unwrap();
-            let b = PivotSearcher::new(&prep_without, &without)
+            let b = PivotSearcher::new(Arc::clone(&prep_without), &without)
                 .search(GraphId(g as u32), 0, &active, &mut lower_b)
                 .unwrap();
             assert_eq!(a.share_count, b.share_count, "graph {g}");
@@ -661,7 +677,7 @@ mod tests {
     fn threshold_filters_small_pivots() {
         let config = GroupingConfig::default();
         let prep = prepared(&example_5_1(), &config);
-        let searcher = PivotSearcher::new(&prep, &config);
+        let searcher = PivotSearcher::new(Arc::clone(&prep), &config);
         let mut lower = vec![1u32; prep.len()];
         let active = vec![true; prep.len()];
         // G3's pivot is shared by only 1 graph, so a threshold of 1 rejects it.
@@ -683,7 +699,7 @@ mod tests {
     fn inactive_graphs_are_not_counted_or_grouped() {
         let config = GroupingConfig::default();
         let prep = prepared(&example_5_1(), &config);
-        let searcher = PivotSearcher::new(&prep, &config);
+        let searcher = PivotSearcher::new(Arc::clone(&prep), &config);
         let mut lower = vec![1u32; prep.len()];
         let mut active = vec![true; prep.len()];
         active[1] = false; // deactivate "Smith, James" -> "J. Smith"
@@ -701,7 +717,7 @@ mod tests {
             ..GroupingConfig::default()
         };
         let prep = prepared(&example_5_1(), &config);
-        let searcher = PivotSearcher::new(&prep, &config);
+        let searcher = PivotSearcher::new(Arc::clone(&prep), &config);
         let mut lower = vec![1u32; prep.len()];
         let active = vec![true; prep.len()];
         let result = searcher.search(GraphId(0), 0, &active, &mut lower).unwrap();
@@ -734,7 +750,7 @@ mod tests {
         }
         let config = GroupingConfig::default();
         let prep = prepared(&reps, &config);
-        let searcher = PivotSearcher::new(&prep, &config);
+        let searcher = PivotSearcher::new(Arc::clone(&prep), &config);
         let active = vec![true; prep.len()];
         let gids: Vec<GraphId> = (0..prep.len()).map(|g| GraphId(g as u32)).collect();
 
@@ -783,7 +799,7 @@ mod tests {
         ];
         let with_affix = GroupingConfig::default();
         let prep = prepared(&reps, &with_affix);
-        let searcher = PivotSearcher::new(&prep, &with_affix);
+        let searcher = PivotSearcher::new(Arc::clone(&prep), &with_affix);
         let mut lower = vec![1u32; 2];
         let active = vec![true; 2];
         let result = searcher.search(GraphId(0), 0, &active, &mut lower).unwrap();
@@ -793,7 +809,7 @@ mod tests {
 
         let without = GroupingConfig::without_affix();
         let prep2 = prepared(&reps, &without);
-        let searcher2 = PivotSearcher::new(&prep2, &without);
+        let searcher2 = PivotSearcher::new(Arc::clone(&prep2), &without);
         let mut lower2 = vec![1u32; 2];
         let result2 = searcher2
             .search(GraphId(0), 0, &active, &mut lower2)
@@ -815,7 +831,7 @@ mod tests {
         ];
         let config = GroupingConfig::default();
         let prep = prepared(&reps, &config);
-        let searcher = PivotSearcher::new(&prep, &config);
+        let searcher = PivotSearcher::new(Arc::clone(&prep), &config);
         let mut lower = vec![1u32; 3];
         let active = vec![true; 3];
         let result = searcher.search(GraphId(0), 0, &active, &mut lower).unwrap();

@@ -104,19 +104,22 @@ pub fn generate_candidates(clusters: &[Vec<String>], config: &CandidateConfig) -
         return generate_cluster_range(clusters, 0, config);
     }
     let chunk_size = clusters.len().div_ceil(shards);
-    let parts: Vec<CandidateSet> = std::thread::scope(|scope| {
-        let handles: Vec<_> = clusters
-            .chunks(chunk_size)
-            .enumerate()
-            .map(|(chunk_idx, chunk)| {
-                scope.spawn(move || generate_cluster_range(chunk, chunk_idx * chunk_size, config))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("candidate generation worker panicked"))
-            .collect()
-    });
+    // Chunks run as `'static` tasks on the shared worker pool (no scoped
+    // threads), so the cluster values move behind one `Arc` and each task
+    // gets an index range — no per-task copies of the column.
+    let clusters: std::sync::Arc<Vec<Vec<String>>> = std::sync::Arc::new(clusters.to_vec());
+    let tasks: Vec<ec_graph::PoolTask<CandidateSet>> = (0..clusters.len())
+        .step_by(chunk_size)
+        .map(|start| {
+            let clusters = std::sync::Arc::clone(&clusters);
+            let config = config.clone();
+            Box::new(move || {
+                let chunk = &clusters[start..(start + chunk_size).min(clusters.len())];
+                generate_cluster_range(chunk, start, &config)
+            }) as ec_graph::PoolTask<CandidateSet>
+        })
+        .collect();
+    let parts: Vec<CandidateSet> = config.parallelism.run_tasks(tasks);
     let mut out = CandidateSet::default();
     for part in parts {
         let mut sets = part.sets;

@@ -1,0 +1,118 @@
+//! A tiny std-only HTTP client for driving a running `ec serve` instance —
+//! the CI smoke job uses it to hit `/healthz` and `/pipeline`, `cmp` the
+//! response against the CLI's file output, and shut the server down cleanly.
+//!
+//! ```text
+//! serve_probe --addr 127.0.0.1:7171 --path /healthz
+//! serve_probe --addr … --method POST --path "/pipeline?budget=15" \
+//!     --body-file flat.csv --output served.csv
+//! serve_probe --addr … --method POST --path /shutdown
+//! ```
+//!
+//! Exits 0 on a 200 response (override with `--expect-status`), 1 otherwise;
+//! the body goes to `--output` or stdout, trailers to stderr.
+
+use std::io::Write;
+use std::net::ToSocketAddrs;
+use std::process::ExitCode;
+
+struct Options {
+    addr: String,
+    method: String,
+    path: String,
+    body_file: Option<String>,
+    output: Option<String>,
+    expect_status: u16,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:7171".to_string(),
+        method: "GET".to_string(),
+        path: "/healthz".to_string(),
+        body_file: None,
+        output: None,
+        expect_status: 200,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("--{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => options.addr = value("addr")?,
+            "--method" => options.method = value("method")?.to_ascii_uppercase(),
+            "--path" => options.path = value("path")?,
+            "--body-file" => options.body_file = Some(value("body-file")?),
+            "--output" => options.output = Some(value("output")?),
+            "--expect-status" => {
+                options.expect_status = value("expect-status")?
+                    .parse()
+                    .map_err(|_| "--expect-status expects an integer".to_string())?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("serve_probe: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let body = match &options.body_file {
+        None => Vec::new(),
+        Some(path) => match std::fs::read(path) {
+            Ok(body) => body,
+            Err(e) => {
+                eprintln!("serve_probe: cannot read {path}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+    };
+    let addr = match options
+        .addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+    {
+        Some(addr) => addr,
+        None => {
+            eprintln!("serve_probe: cannot resolve {}", options.addr);
+            return ExitCode::from(1);
+        }
+    };
+    let response = match ec_serve::http::request(addr, &options.method, &options.path, &body) {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("serve_probe: request failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    for (name, value) in &response.trailers {
+        eprintln!("trailer {name}: {value}");
+    }
+    let written = match &options.output {
+        Some(path) => std::fs::write(path, &response.body).map_err(|e| format!("{path}: {e}")),
+        None => std::io::stdout()
+            .write_all(&response.body)
+            .map_err(|e| e.to_string()),
+    };
+    if let Err(message) = written {
+        eprintln!("serve_probe: cannot write body: {message}");
+        return ExitCode::from(1);
+    }
+    if response.status != options.expect_status {
+        eprintln!(
+            "serve_probe: expected status {}, got {}",
+            options.expect_status, response.status
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,520 @@
+//! A hand-rolled, std-only HTTP/1.1 subset.
+//!
+//! The service needs exactly four things from HTTP: a request line with a
+//! query string, `Content-Length`-delimited request bodies it can *stream*
+//! (CSV records are parsed straight off the socket), chunked responses so CSV
+//! can be written cluster-at-a-time without knowing the total size, and
+//! chunked **trailers** so apply statistics can follow a streamed body. No
+//! external dependency provides a smaller attack surface than ~300 lines of
+//! `TcpStream` plumbing, and nothing here is async — connections are handled
+//! by the shared worker pool.
+//!
+//! Both sides of the protocol live here: the server-side [`Request`] parser
+//! and [`ChunkedWriter`], and the client-side [`request`]/[`read_response`]
+//! used by the `serve_probe` binary, the CI smoke job and the integration
+//! tests (std-only clients, per the repo's no-new-dependencies rule).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Cap on one header line (and the request line).
+const MAX_LINE: usize = 16 * 1024;
+/// Cap on the number of headers per message.
+const MAX_HEADERS: usize = 100;
+
+/// A parsed request head (the body stays on the socket for streaming).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method.
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first query parameter named `key`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first header named `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The declared body length, if any.
+    pub fn content_length(&self) -> io::Result<Option<u64>> {
+        match self.header("content-length") {
+            None => Ok(None),
+            Some(v) => v.trim().parse().map(Some).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length header")
+            }),
+        }
+    }
+}
+
+fn bad(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+/// Reads one `\r\n`-terminated line, enforcing [`MAX_LINE`]. Returns `None`
+/// on clean EOF before any byte.
+fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut raw = Vec::new();
+    let mut limited = reader.take(MAX_LINE as u64 + 1);
+    let n = limited.read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if raw.len() > MAX_LINE {
+        return Err(bad("header line too long"));
+    }
+    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| bad("header line is not UTF-8"))
+}
+
+/// Minimal `%XX` (and `+` as space) decoding for query parameters.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses a request head off the reader. `Ok(None)` means the peer closed
+/// the connection before sending anything.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(bad("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_text
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(bad("connection closed inside headers"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("malformed header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Some(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        query,
+        headers,
+    }))
+}
+
+/// The standard reason phrase for the status codes the service uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete small response with `Content-Length`.
+pub fn write_response(
+    out: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(out, "{name}: {value}\r\n")?;
+    }
+    out.write_all(b"\r\n")?;
+    out.write_all(body)?;
+    out.flush()
+}
+
+/// Writes the head of a chunked response; the body follows through a
+/// [`ChunkedWriter`]. `trailer_names` must announce any trailer written at
+/// [`ChunkedWriter::finish`] time.
+pub fn write_chunked_head(
+    out: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    trailer_names: &[&str],
+) -> io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+        reason(status)
+    )?;
+    for (name, value) in extra_headers {
+        write!(out, "{name}: {value}\r\n")?;
+    }
+    if !trailer_names.is_empty() {
+        write!(out, "Trailer: {}\r\n", trailer_names.join(", "))?;
+    }
+    out.write_all(b"\r\n")
+}
+
+/// An `io::Write` that frames every `write` call as one HTTP chunk. Wrap it
+/// in a `BufWriter` so records coalesce into reasonably sized chunks; memory
+/// use stays bounded by the buffer, never by the response size.
+pub struct ChunkedWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Starts the chunked body (the head must already be written).
+    pub fn new(inner: W) -> Self {
+        ChunkedWriter { inner }
+    }
+
+    /// Terminates the body, appending `trailers` after the last chunk.
+    pub fn finish(mut self, trailers: &[(String, String)]) -> io::Result<W> {
+        self.inner.write_all(b"0\r\n")?;
+        for (name, value) in trailers {
+            write!(self.inner, "{name}: {value}\r\n")?;
+        }
+        self.inner.write_all(b"\r\n")?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        write!(self.inner, "{:x}\r\n", buf.len())?;
+        self.inner.write_all(buf)?;
+        self.inner.write_all(b"\r\n")?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that hands out exactly `remaining` bytes of its inner reader —
+/// how request bodies are streamed without ever buffering them whole.
+pub struct LimitedReader<R: Read> {
+    inner: R,
+    remaining: u64,
+}
+
+impl<R: Read> LimitedReader<R> {
+    /// Wraps `inner`, exposing its next `limit` bytes.
+    pub fn new(inner: R, limit: u64) -> Self {
+        LimitedReader {
+            inner,
+            remaining: limit,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl<R: Read> Read for LimitedReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Ok(0);
+        }
+        let cap = buf
+            .len()
+            .min(self.remaining.min(usize::MAX as u64) as usize);
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.remaining -= n as u64;
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client side (probe binary, CI smoke, integration tests).
+// ---------------------------------------------------------------------------
+
+/// A fully read client-side response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The de-chunked (or length-delimited) body bytes.
+    pub body: Vec<u8>,
+    /// Trailers that followed a chunked body, names lowercased.
+    pub trailers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// The first header named `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first trailer named `name` (lowercase).
+    pub fn trailer(&self, name: &str) -> Option<&str> {
+        self.trailers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads a response (status line, headers, body; `Content-Length` or
+/// chunked + trailers) off a buffered reader.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
+    let Some(status_line) = read_line(reader)? else {
+        return Err(bad("connection closed before the status line"));
+    };
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(bad("connection closed inside headers"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let mut body = Vec::new();
+    let mut trailers = Vec::new();
+    if chunked {
+        loop {
+            let Some(size_line) = read_line(reader)? else {
+                return Err(bad("connection closed inside chunked body"));
+            };
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad("malformed chunk size"))?;
+            if size == 0 {
+                // Trailers until the blank line.
+                loop {
+                    let Some(line) = read_line(reader)? else {
+                        return Err(bad("connection closed inside trailers"));
+                    };
+                    if line.is_empty() {
+                        break;
+                    }
+                    if let Some((name, value)) = line.split_once(':') {
+                        trailers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+                    }
+                }
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    } else {
+        let length: Option<u64> = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.trim().parse().ok());
+        match length {
+            Some(n) => {
+                body.resize(n as usize, 0);
+                reader.read_exact(&mut body)?;
+            }
+            None => {
+                reader.read_to_end(&mut body)?;
+            }
+        }
+    }
+    Ok(Response {
+        status,
+        headers,
+        body,
+        trailers,
+    })
+}
+
+/// Performs one request against `addr` and reads the whole response — the
+/// std-only client used by the probe binary and the tests.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write!(
+        stream,
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_parsing_extracts_query_and_headers() {
+        let raw = "POST /pipeline?budget=15&mode=approve-all&name=a%20b HTTP/1.1\r\n\
+                   Host: x\r\nContent-Length: 5\r\n\r\nhello";
+        let mut reader = BufReader::new(Cursor::new(raw.as_bytes()));
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/pipeline");
+        assert_eq!(req.query_param("budget"), Some("15"));
+        assert_eq!(req.query_param("name"), Some("a b"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.content_length().unwrap(), Some(5));
+        let mut body = String::new();
+        LimitedReader::new(&mut reader, 5)
+            .read_to_string(&mut body)
+            .unwrap();
+        assert_eq!(body, "hello");
+    }
+
+    #[test]
+    fn request_parsing_rejects_garbage() {
+        for raw in [
+            "nonsense\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbroken\r\n\r\n",
+        ] {
+            let mut reader = BufReader::new(Cursor::new(raw.as_bytes()));
+            assert!(read_request(&mut reader).is_err(), "{raw:?}");
+        }
+        let mut empty = BufReader::new(Cursor::new(b"" as &[u8]));
+        assert!(read_request(&mut empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn chunked_round_trip_with_trailers() {
+        let mut wire = Vec::new();
+        write_chunked_head(&mut wire, 200, "text/csv", &[], &["x-ec-records"]).unwrap();
+        let mut body = ChunkedWriter::new(&mut wire);
+        body.write_all(b"first,").unwrap();
+        body.write_all(b"second").unwrap();
+        body.finish(&[("X-Ec-Records".to_string(), "2".to_string())])
+            .unwrap();
+        let mut reader = BufReader::new(Cursor::new(wire));
+        let response = read_response(&mut reader).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, b"first,second");
+        assert_eq!(response.trailer("x-ec-records"), Some("2"));
+    }
+
+    #[test]
+    fn content_length_responses_round_trip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 404, "text/plain", &[], b"nope\n").unwrap();
+        let mut reader = BufReader::new(Cursor::new(wire));
+        let response = read_response(&mut reader).unwrap();
+        assert_eq!(response.status, 404);
+        assert_eq!(response.body, b"nope\n");
+        assert_eq!(response.header("content-length"), Some("5"));
+    }
+
+    #[test]
+    fn limited_reader_stops_at_the_limit() {
+        let mut r = LimitedReader::new(Cursor::new(b"abcdef".to_vec()), 4);
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "abcd");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

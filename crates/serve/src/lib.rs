@@ -1,0 +1,733 @@
+//! # ec-serve — the online consolidation service
+//!
+//! The batch CLI re-learns everything per invocation; this crate is the
+//! *learn once, apply forever* deployment mode: a long-lived, std-only
+//! (`TcpListener` + hand-rolled HTTP/1.1, no external dependencies) service
+//! started via `ec serve --addr … --threads N`. Three pieces work together:
+//!
+//! * the **shared work-stealing worker pool** (re-exported here as
+//!   [`pool`], implemented in `ec_graph::pool` so the `Parallelism` knob can
+//!   adopt it without a dependency cycle) both executes connection handlers
+//!   and the sharded consolidation stages they fan out — no scoped threads
+//!   are spawned per request or per speculative grouping batch;
+//! * the **[`ProgramLibrary`]** holds human-verified transformation
+//!   programs; `POST /pipeline` runs accumulate newly approved groups into
+//!   it, `POST /apply` standardizes incoming records through it *without
+//!   re-learning*, and `GET /library` exposes the text snapshot;
+//! * **streamed endpoints**: request bodies are parsed record-at-a-time off
+//!   the socket and responses are written cluster-at-a-time through chunked
+//!   encoding, so per-connection memory is bounded by the parsed dataset
+//!   (exactly like the CLI), never by raw request/response bytes.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Behaviour |
+//! |---|---|
+//! | `GET /healthz` | liveness + request counter / pool size headers |
+//! | `GET /library` | the program-library text snapshot |
+//! | `POST /pipeline?…` | flat CSV body → standardized (or golden) CSV, byte-identical to `ec pipeline` with the same flags |
+//! | `POST /apply` | flat CSV body → library-standardized flat CSV; unmatched counts in chunked trailers |
+//! | `POST /shutdown` | graceful stop (used by tests and the CI smoke job) |
+//!
+//! `POST /pipeline` accepts the CLI's knobs as query parameters:
+//! `threshold`, `budget`, `mode` (`auto`/`approve-all`), `truth-method`
+//! (`majority`/`reliability`), `column`, `name`, and `output` selecting the
+//! artifact (`standardized`, the default, matching `--output`; `golden`
+//! matching `--golden`; or `summary`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+
+pub use ec_graph::pool;
+
+use ec_core::{
+    resolve_column_spec, standardize_columns, write_golden_records_csv, ApplyReport, AutoMode,
+    ConsolidationConfig, FusedPipeline, ProgramLibrary, TruthMethod,
+};
+use ec_data::stream::DatasetSink;
+use ec_data::{csv::CsvWriter, ClusteredCsvWriter, FlatCsvReader, RecordStream};
+use ec_resolution::ResolverConfig;
+use http::{ChunkedWriter, LimitedReader, Request};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// How long a connection may sit idle before the handler gives up on it.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long a connection may take to deliver its request *head*. Handlers
+/// run as jobs on the CPU-sized shared pool, so an idle connection occupies
+/// a worker until this expires — kept short so stalled clients release
+/// workers quickly (the longer [`READ_TIMEOUT`] applies once a body is
+/// actually streaming).
+const HEAD_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Cap on how many unread request-body bytes are drained before closing.
+/// Draining avoids a TCP RST racing the response out of the client's
+/// receive buffer when a handler rejects a request without reading its
+/// body; the cap bounds the work a garbage request can cause.
+const DRAIN_CAP: u64 = 64 * 1024 * 1024;
+
+/// Configuration of [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7171` (port 0 picks an ephemeral
+    /// port, which the tests use).
+    pub addr: String,
+    /// Worker threads for the shared pool (0 = auto: `EC_THREADS` or the
+    /// machine). Connection handling and the sharded consolidation stages
+    /// run on the same pool, and because every stage is bit-identical for
+    /// any thread count, this knob never changes responses — only latency.
+    pub threads: usize,
+    /// The initial learned-program library (typically loaded from a
+    /// snapshot file by `ec serve --library`).
+    pub library: ProgramLibrary,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            threads: 0,
+            library: ProgramLibrary::new(),
+        }
+    }
+}
+
+/// Shared, connection-visible server state.
+struct ServerState {
+    library: RwLock<ProgramLibrary>,
+    threads: usize,
+    stop: AtomicBool,
+    requests: AtomicUsize,
+    addr: SocketAddr,
+}
+
+/// The bound (but not yet running) service. [`Server::run`] blocks on the
+/// accept loop until a shutdown is requested.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// A cheap handle for stopping a running server and reading its address.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Requests a graceful stop and wakes the accept loop.
+    pub fn stop(&self) {
+        self.state.stop.store(true, Ordering::Release);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.state.addr);
+    }
+
+    /// Requests served so far.
+    pub fn requests(&self) -> usize {
+        self.state.requests.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the current program library.
+    pub fn library_snapshot(&self) -> String {
+        self.state.library.read().unwrap().to_snapshot()
+    }
+}
+
+impl Server {
+    /// Binds the listener and sizes the shared worker pool. The pool's size
+    /// is pinned process-wide by its first user, so bind early.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let pool = pool::configure_shared(config.threads);
+        let state = Arc::new(ServerState {
+            library: RwLock::new(config.library),
+            threads: if config.threads == 0 {
+                pool.threads()
+            } else {
+                config.threads
+            },
+            stop: AtomicBool::new(false),
+            requests: AtomicUsize::new(0),
+            addr: listener.local_addr()?,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// A stop/inspect handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::stop`] (or
+    /// `POST /shutdown`) is called. Each connection is handled as one
+    /// detached, panic-isolated job on the shared pool.
+    pub fn run(self) -> io::Result<()> {
+        let pool = pool::shared();
+        for conn in self.listener.incoming() {
+            if self.state.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match conn {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let state = Arc::clone(&self.state);
+            pool.spawn(move || handle_connection(stream, &state));
+        }
+        Ok(())
+    }
+}
+
+/// A handler failure that still has a clean HTTP answer.
+struct HttpFailure {
+    status: u16,
+    message: String,
+}
+
+impl HttpFailure {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpFailure {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+type HandlerResult = Result<(), HttpFailure>;
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(HEAD_READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::with_capacity(8 * 1024, write_half);
+    let request = match http::read_request(&mut reader) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(e) => {
+            let _ = http::write_response(
+                &mut writer,
+                400,
+                "text/plain",
+                &[],
+                format!("bad request: {e}\n").as_bytes(),
+            );
+            return;
+        }
+    };
+    let _ = reader.get_ref().set_read_timeout(Some(READ_TIMEOUT));
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let declared_length = match request.content_length() {
+        Ok(length) => length,
+        Err(e) => {
+            let _ = http::write_response(
+                &mut writer,
+                400,
+                "text/plain",
+                &[],
+                format!("{e}\n").as_bytes(),
+            );
+            return;
+        }
+    };
+    let mut body = LimitedReader::new(&mut reader, declared_length.unwrap_or(0));
+    let outcome = dispatch(
+        &request,
+        declared_length.is_some(),
+        &mut body,
+        &mut writer,
+        state,
+    );
+    // Drain whatever of the declared body the handler never read: closing
+    // with unread bytes in the receive queue makes the kernel send RST,
+    // which can flush the response right out of the peer's buffer. The cap
+    // bounds the work a garbage request can cause.
+    let leftover = body.remaining().min(DRAIN_CAP);
+    if leftover > 0 {
+        let _ = std::io::copy(
+            &mut Read::by_ref(&mut body).take(leftover),
+            &mut std::io::sink(),
+        );
+    }
+    if let Err(failure) = outcome {
+        // Best effort: if the response head already went out this writes
+        // into the body and the client sees a truncated chunked stream,
+        // which is the correct failure signal mid-stream.
+        let _ = http::write_response(
+            &mut writer,
+            failure.status,
+            "text/plain",
+            &[],
+            format!("{}\n", failure.message).as_bytes(),
+        );
+    }
+    let _ = writer.flush();
+}
+
+fn dispatch(
+    request: &Request,
+    has_body: bool,
+    body: &mut LimitedReader<&mut BufReader<TcpStream>>,
+    writer: &mut BufWriter<TcpStream>,
+    state: &Arc<ServerState>,
+) -> HandlerResult {
+    let require_body = || -> Result<(), HttpFailure> {
+        if has_body {
+            Ok(())
+        } else {
+            Err(HttpFailure::new(
+                411,
+                "a Content-Length body is required (chunked requests are not supported)",
+            ))
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(writer, state),
+        ("GET", "/library") => handle_library(writer, state),
+        ("POST", "/shutdown") => {
+            http::write_response(writer, 200, "text/plain", &[], b"shutting down\n")
+                .map_err(io_failure)?;
+            let _ = writer.flush();
+            ServerHandle {
+                state: Arc::clone(state),
+            }
+            .stop();
+            Ok(())
+        }
+        ("POST", "/pipeline") => {
+            require_body()?;
+            handle_pipeline(request, body, writer, state)
+        }
+        ("POST", "/apply") => {
+            require_body()?;
+            handle_apply(body, writer, state)
+        }
+        ("GET" | "POST", _) => Err(HttpFailure::new(
+            404,
+            format!("no such endpoint: {}", request.path),
+        )),
+        _ => Err(HttpFailure::new(405, "method not allowed")),
+    }
+}
+
+fn io_failure(e: io::Error) -> HttpFailure {
+    HttpFailure::new(500, format!("io error: {e}"))
+}
+
+fn handle_healthz(writer: &mut BufWriter<TcpStream>, state: &ServerState) -> HandlerResult {
+    let library = state.library.read().unwrap();
+    let headers = vec![
+        (
+            "X-Ec-Requests".to_string(),
+            state.requests.load(Ordering::Relaxed).to_string(),
+        ),
+        ("X-Ec-Pool-Threads".to_string(), state.threads.to_string()),
+        (
+            "X-Ec-Library-Version".to_string(),
+            library.version().to_string(),
+        ),
+        (
+            "X-Ec-Library-Entries".to_string(),
+            library.len().to_string(),
+        ),
+    ];
+    drop(library);
+    http::write_response(writer, 200, "text/plain", &headers, b"ok\n").map_err(io_failure)
+}
+
+fn handle_library(writer: &mut BufWriter<TcpStream>, state: &ServerState) -> HandlerResult {
+    let snapshot = state.library.read().unwrap().to_snapshot();
+    http::write_response(writer, 200, "text/plain", &[], snapshot.as_bytes()).map_err(io_failure)
+}
+
+/// The artifact `POST /pipeline` streams back.
+enum PipelineOutput {
+    Standardized,
+    Golden,
+    Summary,
+}
+
+fn handle_pipeline(
+    request: &Request,
+    body: impl Read,
+    writer: &mut BufWriter<TcpStream>,
+    state: &Arc<ServerState>,
+) -> HandlerResult {
+    let fail = |message: String| HttpFailure::new(400, message);
+    let threshold: f64 = match request.query_param("threshold") {
+        None => 0.75,
+        Some(v) => v
+            .parse()
+            .map_err(|_| fail(format!("threshold expects a number, got '{v}'")))?,
+    };
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(fail(format!(
+            "threshold must be between 0 and 1, got {threshold}"
+        )));
+    }
+    let budget: usize = match request.query_param("budget") {
+        None => 100,
+        Some(v) => v
+            .parse()
+            .map_err(|_| fail(format!("budget expects an integer, got '{v}'")))?,
+    };
+    let mode = match request.query_param("mode") {
+        None => AutoMode::Auto,
+        Some(name) => AutoMode::parse(name).ok_or_else(|| {
+            fail(format!(
+                "unknown mode '{name}'; expected auto or approve-all"
+            ))
+        })?,
+    };
+    let truth_method = match request.query_param("truth-method").unwrap_or("majority") {
+        "majority" | "mc" => TruthMethod::MajorityConsensus,
+        "reliability" | "source-reliability" => TruthMethod::SourceReliability,
+        other => return Err(fail(format!("unknown truth method '{other}'"))),
+    };
+    let output = match request.query_param("output").unwrap_or("standardized") {
+        "standardized" | "std" => PipelineOutput::Standardized,
+        "golden" => PipelineOutput::Golden,
+        "summary" => PipelineOutput::Summary,
+        other => {
+            return Err(fail(format!(
+                "unknown output '{other}'; expected standardized, golden or summary"
+            )))
+        }
+    };
+    let name = request
+        .query_param("name")
+        .unwrap_or("resolved")
+        .to_string();
+
+    // Resolve the body stream straight off the socket — the raw CSV is never
+    // buffered; only the resolved dataset (the working set every entry point
+    // needs) lives in memory.
+    let mut stream =
+        FlatCsvReader::new(body).map_err(|e| fail(format!("bad flat CSV body: {e}")))?;
+    let fused = FusedPipeline::new(
+        ResolverConfig {
+            threshold,
+            ..ResolverConfig::default()
+        },
+        ConsolidationConfig {
+            budget,
+            ..ConsolidationConfig::default()
+        }
+        .with_threads(state.threads),
+    );
+    let mut dataset = fused
+        .resolve_stream(&name, &mut stream)
+        .map_err(|e| fail(format!("bad flat CSV body: {e}")))?;
+    let columns: Vec<usize> = match request.query_param("column") {
+        Some(spec) => vec![resolve_column_spec(&dataset.columns, spec).ok_or_else(|| {
+            fail(format!(
+                "no column '{spec}'; available columns: {}",
+                dataset.columns.join(", ")
+            ))
+        })?],
+        None => (0..dataset.columns.len()).collect(),
+    };
+
+    // Standardize with the shared automated driver (byte-identical to the
+    // CLI), learning into a request-local library merged into the server's
+    // store afterwards.
+    let mut learned = ProgramLibrary::new();
+    let reports = standardize_columns(
+        fused.pipeline(),
+        &mut dataset,
+        &columns,
+        mode,
+        // Resolver output always carries per-cell truth, exactly like the
+        // clustered CSV `ec resolve` writes — so `auto` uses the simulated
+        // expert, matching the CLI pipeline.
+        true,
+        Some(&mut learned),
+    );
+    let golden = fused
+        .pipeline()
+        .discover_golden_records(&dataset, truth_method);
+    if !learned.is_empty() {
+        state.library.write().unwrap().merge(&learned);
+    }
+
+    let approved: usize = reports.iter().map(|r| r.groups_approved).sum();
+    let headers = vec![
+        (
+            "X-Ec-Clusters".to_string(),
+            dataset.clusters.len().to_string(),
+        ),
+        (
+            "X-Ec-Records".to_string(),
+            dataset.num_records().to_string(),
+        ),
+        ("X-Ec-Groups-Approved".to_string(), approved.to_string()),
+    ];
+    http::write_chunked_head(writer, 200, "text/csv", &headers, &[]).map_err(io_failure)?;
+    let mut body_writer = ChunkedWriter::new(writer);
+    match output {
+        PipelineOutput::Standardized => {
+            // Cluster-at-a-time through the same sink the CLI streams its
+            // `--output` file through — byte-identical by construction.
+            let mut buffered = BufWriter::with_capacity(8 * 1024, &mut body_writer);
+            let mut csv =
+                ClusteredCsvWriter::new(&mut buffered, &dataset.columns).map_err(io_failure)?;
+            for cluster in &dataset.clusters {
+                csv.write_cluster(cluster).map_err(io_failure)?;
+            }
+            csv.finish().map_err(io_failure)?;
+            drop(csv);
+            buffered.flush().map_err(io_failure)?;
+        }
+        PipelineOutput::Golden => {
+            let mut buffered = BufWriter::with_capacity(8 * 1024, &mut body_writer);
+            write_golden_records_csv(&dataset.columns, &golden, &mut buffered)
+                .map_err(io_failure)?;
+            buffered.flush().map_err(io_failure)?;
+        }
+        PipelineOutput::Summary => {
+            let mut text = format!(
+                "resolved {} records into {} clusters (threshold {threshold})\n",
+                dataset.num_records(),
+                dataset.clusters.len()
+            );
+            for report in &reports {
+                text.push_str(&format!(
+                    "column '{}': {} candidates, {} reviewed, {} approved, {} cells updated\n",
+                    dataset.columns[report.column],
+                    report.candidates,
+                    report.groups_reviewed,
+                    report.groups_approved,
+                    report.cells_updated
+                ));
+            }
+            body_writer.write_all(text.as_bytes()).map_err(io_failure)?;
+        }
+    }
+    body_writer.finish(&[]).map_err(io_failure)?;
+    Ok(())
+}
+
+fn handle_apply(
+    body: impl Read,
+    writer: &mut BufWriter<TcpStream>,
+    state: &Arc<ServerState>,
+) -> HandlerResult {
+    let mut stream = FlatCsvReader::new(body)
+        .map_err(|e| HttpFailure::new(400, format!("bad flat CSV body: {e}")))?;
+    let columns = stream.columns().to_vec();
+    // Snapshot the library under a short-lived guard: holding the read lock
+    // across a streamed (client-paced) request would stall every /pipeline
+    // merge — and, behind that queued writer, all other readers.
+    let library = state.library.read().unwrap().clone();
+    let applier = library.applier(&columns);
+    let mut report = ApplyReport::default();
+
+    http::write_chunked_head(
+        writer,
+        200,
+        "text/csv",
+        &[(
+            "X-Ec-Library-Version".to_string(),
+            library.version().to_string(),
+        )],
+        &[
+            "X-Ec-Records",
+            "X-Ec-Cells-Rewritten",
+            "X-Ec-Cells-Unmatched",
+        ],
+    )
+    .map_err(io_failure)?;
+    let mut body_writer = ChunkedWriter::new(writer);
+    {
+        // Record in, record out: per-connection memory is one record plus
+        // the CSV reader's refill buffer.
+        let mut buffered = BufWriter::with_capacity(8 * 1024, &mut body_writer);
+        let mut csv = CsvWriter::new(&mut buffered);
+        let header = std::iter::once("source").chain(columns.iter().map(String::as_str));
+        csv.write_record(header).map_err(io_failure)?;
+        while let Some(record) = stream.next_record() {
+            let mut record =
+                record.map_err(|e| HttpFailure::new(400, format!("bad flat CSV body: {e}")))?;
+            applier.apply_fields(&mut record.fields, &mut report);
+            let fields = std::iter::once(record.source.to_string()).chain(record.fields);
+            csv.write_record(fields).map_err(io_failure)?;
+        }
+        csv.flush().map_err(io_failure)?;
+        buffered.flush().map_err(io_failure)?;
+    }
+    body_writer
+        .finish(&[
+            ("X-Ec-Records".to_string(), report.records.to_string()),
+            (
+                "X-Ec-Cells-Rewritten".to_string(),
+                report.cells_rewritten.to_string(),
+            ),
+            (
+                "X-Ec-Cells-Unmatched".to_string(),
+                report.cells_unmatched.to_string(),
+            ),
+        ])
+        .map_err(io_failure)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_core::{ApprovedGroup, Group};
+    use ec_graph::Replacement;
+    use ec_replace::Direction;
+
+    fn start_server(config: ServeConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+        let server = Server::bind(config).expect("bind an ephemeral port");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().expect("server run"));
+        (handle, join)
+    }
+
+    fn ephemeral_config() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthz_and_unknown_endpoints() {
+        let (handle, join) = start_server(ephemeral_config());
+        let health = http::request(handle.addr(), "GET", "/healthz", b"").unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(health.body, b"ok\n");
+        assert!(health.header("x-ec-pool-threads").is_some());
+        let missing = http::request(handle.addr(), "GET", "/nope", b"").unwrap();
+        assert_eq!(missing.status, 404);
+        let bad_method = http::request(handle.addr(), "PUT", "/healthz", b"").unwrap();
+        assert_eq!(bad_method.status, 405);
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_accept_loop() {
+        let (handle, join) = start_server(ephemeral_config());
+        let response = http::request(handle.addr(), "POST", "/shutdown", b"").unwrap();
+        assert_eq!(response.status, 200);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn apply_standardizes_through_the_library_and_reports_unmatched() {
+        let mut library = ProgramLibrary::new();
+        library.record(
+            "Name",
+            &ApprovedGroup {
+                group: Group::new(None, vec![Replacement::new("Lee, Mary", "Mary Lee")]),
+                direction: Direction::Forward,
+            },
+        );
+        let (handle, join) = start_server(ServeConfig {
+            library,
+            ..ephemeral_config()
+        });
+        let body = "source,Name\n0,\"Lee, Mary\"\n1,Mary Lee\n2,unknown\n";
+        let response = http::request(handle.addr(), "POST", "/apply", body.as_bytes()).unwrap();
+        assert_eq!(response.status, 200, "{:?}", response.body);
+        let text = String::from_utf8(response.body.clone()).unwrap();
+        assert_eq!(text, "source,Name\n0,Mary Lee\n1,Mary Lee\n2,unknown\n");
+        assert_eq!(response.trailer("x-ec-records"), Some("3"));
+        assert_eq!(response.trailer("x-ec-cells-rewritten"), Some("1"));
+        assert_eq!(response.trailer("x-ec-cells-unmatched"), Some("1"));
+        let snapshot = http::request(handle.addr(), "GET", "/library", b"").unwrap();
+        assert!(String::from_utf8(snapshot.body)
+            .unwrap()
+            .contains("rewrite \"Lee, Mary\" \"Mary Lee\""));
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn pipeline_rejects_bad_parameters_and_bodies() {
+        let (handle, join) = start_server(ephemeral_config());
+        let bad_threshold = http::request(
+            handle.addr(),
+            "POST",
+            "/pipeline?threshold=7",
+            b"source,A\n0,x\n",
+        )
+        .unwrap();
+        assert_eq!(bad_threshold.status, 400);
+        let bad_mode = http::request(
+            handle.addr(),
+            "POST",
+            "/pipeline?mode=interactive",
+            b"source,A\n0,x\n",
+        )
+        .unwrap();
+        assert_eq!(bad_mode.status, 400);
+        let bad_body =
+            http::request(handle.addr(), "POST", "/pipeline", b"not,a,flat\nheader\n").unwrap();
+        assert_eq!(bad_body.status, 400);
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn pipeline_standardizes_and_learns_into_the_library() {
+        let (handle, join) = start_server(ephemeral_config());
+        let body = "source,Name\n\
+                    0,\"Lee, Mary\"\n1,Mary Lee\n2,\"Lee, Mary\"\n\
+                    0,\"Smith, James\"\n1,James Smith\n2,\"Smith, James\"\n";
+        let response = http::request(
+            handle.addr(),
+            "POST",
+            "/pipeline?threshold=0.5&budget=10",
+            body.as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200);
+        let text = String::from_utf8(response.body).unwrap();
+        assert!(text.starts_with("cluster,source,"), "{text}");
+        let golden = http::request(
+            handle.addr(),
+            "POST",
+            "/pipeline?threshold=0.5&budget=10&output=golden",
+            body.as_bytes(),
+        )
+        .unwrap();
+        assert!(String::from_utf8(golden.body)
+            .unwrap()
+            .starts_with("cluster,"));
+        let summary = http::request(
+            handle.addr(),
+            "POST",
+            "/pipeline?threshold=0.5&budget=10&output=summary",
+            body.as_bytes(),
+        )
+        .unwrap();
+        assert!(String::from_utf8(summary.body)
+            .unwrap()
+            .contains("resolved 6 records"));
+        handle.stop();
+        join.join().unwrap();
+    }
+}

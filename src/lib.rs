@@ -63,6 +63,7 @@ pub use ec_profile as profile;
 pub use ec_replace as replace;
 pub use ec_report as report;
 pub use ec_resolution as resolution;
+pub use ec_serve as serve;
 pub use ec_truth as truth;
 
 /// The most commonly used items, re-exported flat.

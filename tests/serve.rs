@@ -1,0 +1,218 @@
+//! Integration tests for `ec serve`, the online consolidation service:
+//!
+//! 1. `POST /pipeline` responses are **byte-identical** to the `ec pipeline`
+//!    CLI's `--output` / `--golden` files for the same input and flags, under
+//!    *concurrent* std-`TcpStream` clients, with the serve `--threads` knob
+//!    at 1 and at N — the shard width never leaks into the bytes;
+//! 2. the apply path standardizes new records through a library learned by a
+//!    pipeline run (`learn once, apply forever`), reporting unmatched values
+//!    through chunked trailers.
+//!
+//! Workload sizes respect `EC_TEST_SCALE` like every root suite.
+
+mod common;
+
+use common::scaled;
+use ec_cli::memio::MemFiles;
+use ec_cli::{parse, run};
+use entity_consolidation::serve::http;
+use entity_consolidation::serve::{ServeConfig, Server, ServerHandle};
+use std::net::SocketAddr;
+
+/// Runs one `ec` subcommand in-process against an in-memory namespace.
+fn run_cli(argv: &[&str], inputs: &[(&str, &str)]) -> (String, MemFiles) {
+    let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let parsed = parse(&args).expect("argv parses");
+    let fs = MemFiles::new();
+    for (path, text) in inputs {
+        fs.insert(path, text);
+    }
+    let mut stdin = std::io::Cursor::new(Vec::new());
+    let mut prompts = Vec::new();
+    let output = run(
+        &parsed,
+        &fs.input_opener(),
+        &fs.output_opener(),
+        &mut stdin,
+        &mut prompts,
+    )
+    .expect("command succeeds");
+    (output.stdout, fs)
+}
+
+/// A generated flat-record workload with transformation families.
+fn flat_workload() -> String {
+    let clusters = scaled(14).to_string();
+    let (stdout, _) = run_cli(
+        &[
+            "generate",
+            "--dataset",
+            "address",
+            "--clusters",
+            &clusters,
+            "--seed",
+            "23",
+            "--flat",
+        ],
+        &[],
+    );
+    stdout
+}
+
+fn start_server(threads: usize) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        ..ServeConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (handle, join)
+}
+
+const PIPELINE_FLAGS: &str = "threshold=0.9&budget=12";
+
+fn expected_outputs(flat: &str) -> (String, String) {
+    let (_, fs) = run_cli(
+        &[
+            "pipeline",
+            "--input",
+            "flat.csv",
+            "--threshold",
+            "0.9",
+            "--budget",
+            "12",
+            "--output",
+            "std.csv",
+            "--golden",
+            "golden.csv",
+        ],
+        &[("flat.csv", flat)],
+    );
+    (fs.get("std.csv").unwrap(), fs.get("golden.csv").unwrap())
+}
+
+#[test]
+fn concurrent_pipeline_responses_match_the_cli_at_one_and_many_threads() {
+    let flat = flat_workload();
+    let (expected_std, expected_golden) = expected_outputs(&flat);
+    assert!(expected_std.starts_with("cluster,source,"));
+    assert!(expected_golden.starts_with("cluster,"));
+
+    // One server sharding sequentially, one sharding wide; both run on the
+    // process-shared worker pool, and neither the shard width nor client
+    // concurrency may leak into the response bytes.
+    let (narrow, narrow_join) = start_server(1);
+    let (wide, wide_join) = start_server(4);
+
+    let mut clients = Vec::new();
+    for i in 0..6usize {
+        let addr: SocketAddr = if i % 2 == 0 {
+            narrow.addr()
+        } else {
+            wide.addr()
+        };
+        let golden = i % 3 == 0;
+        let flat = flat.clone();
+        let expected = if golden {
+            expected_golden.clone()
+        } else {
+            expected_std.clone()
+        };
+        clients.push(std::thread::spawn(move || {
+            let path = if golden {
+                format!("/pipeline?{PIPELINE_FLAGS}&output=golden")
+            } else {
+                format!("/pipeline?{PIPELINE_FLAGS}")
+            };
+            let response =
+                http::request(addr, "POST", &path, flat.as_bytes()).expect("request succeeds");
+            assert_eq!(response.status, 200, "client {i}");
+            assert!(
+                response.header("x-ec-clusters").is_some(),
+                "client {i} sees the cluster-count header"
+            );
+            let body = String::from_utf8(response.body).expect("CSV body is UTF-8");
+            assert_eq!(
+                body, expected,
+                "client {i} (golden={golden}) must get bytes identical to the CLI"
+            );
+        }));
+    }
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    for (handle, join) in [(narrow, narrow_join), (wide, wide_join)] {
+        assert!(handle.requests() >= 3, "each server served clients");
+        handle.stop();
+        join.join().expect("server thread");
+    }
+}
+
+#[test]
+fn pipeline_learns_a_library_that_apply_reuses_on_new_records() {
+    let flat = flat_workload();
+    let (handle, join) = start_server(2);
+
+    // Learning pass: a pipeline run populates the server's library. (The
+    // resolver sets truth = observed on flat input, so the simulated expert
+    // sees only conflicts; approve-all is the mode that actually learns.)
+    let before = http::request(handle.addr(), "GET", "/library", b"").unwrap();
+    let response = http::request(
+        handle.addr(),
+        "POST",
+        &format!("/pipeline?{PIPELINE_FLAGS}&mode=approve-all"),
+        flat.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    let approved: usize = response
+        .header("x-ec-groups-approved")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(approved > 0, "the workload must approve some groups");
+    let after = http::request(handle.addr(), "GET", "/library", b"").unwrap();
+    assert!(
+        after.body.len() > before.body.len(),
+        "the library snapshot grew with the learned programs"
+    );
+
+    // Apply pass: the same records standardize through the library with no
+    // re-learning; every record comes back and the trailers report totals.
+    let applied = http::request(handle.addr(), "POST", "/apply", flat.as_bytes()).unwrap();
+    assert_eq!(applied.status, 200);
+    let body = String::from_utf8(applied.body.clone()).unwrap();
+    assert_eq!(
+        body.lines().count(),
+        flat.lines().count(),
+        "apply is record-in, record-out"
+    );
+    assert!(body.starts_with("source,"));
+    let records: usize = applied.trailer("x-ec-records").unwrap().parse().unwrap();
+    assert_eq!(records, flat.lines().count() - 1);
+    let rewritten: usize = applied
+        .trailer("x-ec-cells-rewritten")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        rewritten > 0,
+        "the learned programs standardize the variant records"
+    );
+
+    // /healthz reflects the library version moving.
+    let health = http::request(handle.addr(), "GET", "/healthz", b"").unwrap();
+    assert_eq!(health.body, b"ok\n");
+    let version: u64 = health
+        .header("x-ec-library-version")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(version > 0);
+
+    handle.stop();
+    join.join().expect("server thread");
+}

@@ -9,7 +9,8 @@
 
 mod common;
 
-use ec_cli::{parse, run, CliError, CommandOutput, InputReader};
+use ec_cli::memio::MemFiles;
+use ec_cli::{parse, run, CliError, CommandOutput};
 use entity_consolidation::data::{FlatCsvReader, RecordStream};
 use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -69,26 +70,25 @@ fn flat_csv(rows: usize) -> String {
     out
 }
 
-/// Drives `parse` + `run` with an in-memory filesystem.
-fn run_cli(argv: &[&str], inputs: &[(&str, &str)]) -> Result<CommandOutput, CliError> {
+/// Drives `parse` + `run` with an in-memory filesystem, returning the
+/// command output plus the namespace holding any streamed output files.
+fn run_cli(argv: &[&str], inputs: &[(&str, &str)]) -> Result<(CommandOutput, MemFiles), CliError> {
     let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
     let parsed = parse(&args)?;
-    let inputs: Vec<(String, String)> = inputs
-        .iter()
-        .map(|(p, t)| (p.to_string(), t.to_string()))
-        .collect();
-    let open = move |path: &str| -> Result<InputReader, CliError> {
-        inputs
-            .iter()
-            .find(|(p, _)| p == path)
-            .map(|(_, text)| {
-                Box::new(std::io::Cursor::new(text.clone().into_bytes())) as InputReader
-            })
-            .ok_or_else(|| CliError::Io(format!("no such file: {path}")))
-    };
+    let fs = MemFiles::new();
+    for (path, text) in inputs {
+        fs.insert(path, text);
+    }
     let mut stdin = std::io::Cursor::new(Vec::new());
     let mut prompts = Vec::new();
-    run(&parsed, &open, &mut stdin, &mut prompts)
+    let output = run(
+        &parsed,
+        &fs.input_opener(),
+        &fs.output_opener(),
+        &mut stdin,
+        &mut prompts,
+    )?;
+    Ok((output, fs))
 }
 
 #[test]
@@ -97,7 +97,7 @@ fn pipeline_is_bit_identical_to_two_pass_on_a_100k_row_flat_csv() {
     let flat = flat_csv(rows);
 
     // Pass 1: resolve to an intermediate clustered CSV.
-    let resolved = run_cli(
+    let (_, resolve_fs) = run_cli(
         &[
             "resolve",
             "--input",
@@ -110,10 +110,10 @@ fn pipeline_is_bit_identical_to_two_pass_on_a_100k_row_flat_csv() {
         &[("flat.csv", &flat)],
     )
     .expect("resolve succeeds");
-    let clustered = &resolved.files[0].1;
+    let clustered = resolve_fs.get("clustered.csv").expect("clustered written");
 
     // Pass 2: consolidate the intermediate file.
-    let two_pass = run_cli(
+    let (_, two_pass_fs) = run_cli(
         &[
             "consolidate",
             "--input",
@@ -127,12 +127,12 @@ fn pipeline_is_bit_identical_to_two_pass_on_a_100k_row_flat_csv() {
             "--golden",
             "golden.csv",
         ],
-        &[("clustered.csv", clustered)],
+        &[("clustered.csv", &clustered)],
     )
     .expect("consolidate succeeds");
 
     // Fused: same flags, no intermediate file.
-    let fused = run_cli(
+    let (fused, fused_fs) = run_cli(
         &[
             "pipeline",
             "--input",
@@ -152,10 +152,13 @@ fn pipeline_is_bit_identical_to_two_pass_on_a_100k_row_flat_csv() {
     )
     .expect("pipeline succeeds");
 
-    assert_eq!(
-        fused.files, two_pass.files,
-        "fused standardized + golden CSVs must be bit-identical to the two-pass flow"
-    );
+    for file in ["std.csv", "golden.csv"] {
+        assert_eq!(
+            fused_fs.get(file),
+            two_pass_fs.get(file),
+            "fused {file} must be bit-identical to the two-pass flow"
+        );
+    }
 
     // The workload actually exercised both stages: triplet clusters merged,
     // and the street-variant clusters produced approved transformation work.
@@ -173,7 +176,7 @@ fn pipeline_is_bit_identical_to_two_pass_on_a_100k_row_flat_csv() {
         fused.stdout.contains("golden records"),
         "pipeline printed the consolidation summary"
     );
-    let std_csv = &fused.files.iter().find(|(p, _)| p == "std.csv").unwrap().1;
+    let std_csv = fused_fs.get("std.csv").unwrap();
     assert!(
         std_csv.contains(" Street") || std_csv.contains(" St"),
         "the street-variant families survived into the standardized output"
