@@ -14,7 +14,48 @@ use ec_replace::{generate_candidates, CandidateConfig};
 use ec_report::{Figure, Series};
 use std::time::{Duration, Instant};
 
+const AXES: [&str; 3] = ["methods", "threads", "mega"];
+
+/// Axis gate: `EC_FIG9_AXES=mega` (comma list of `methods`, `threads`,
+/// `mega`) runs a subset of the harness — CI runs only the fast mega-group
+/// axis; unset (or blank) runs everything. An unknown axis name is a hard
+/// error, so a typo cannot silently turn the bin into a green no-op.
+fn enabled_axes() -> Vec<&'static str> {
+    let raw = match std::env::var("EC_FIG9_AXES") {
+        Ok(v) if !v.trim().is_empty() => v,
+        _ => return AXES.to_vec(),
+    };
+    let mut enabled = Vec::new();
+    for name in raw.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        match AXES.iter().find(|a| a.eq_ignore_ascii_case(name)) {
+            Some(axis) if !enabled.contains(axis) => enabled.push(*axis),
+            Some(_) => {}
+            None => {
+                eprintln!(
+                    "fig9_efficiency: unknown axis '{name}' in EC_FIG9_AXES (expected a comma list of {})",
+                    AXES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    enabled
+}
+
 fn main() {
+    let axes = enabled_axes();
+    if axes.contains(&"methods") {
+        methods_axis();
+    }
+    if axes.contains(&"threads") {
+        threads_axis();
+    }
+    if axes.contains(&"mega") {
+        mega_group_axis();
+    }
+}
+
+fn methods_axis() {
     // Scaled-down configurations so the (intentionally slow) OneShot variant
     // finishes in reasonable time.
     let configs = [
@@ -111,7 +152,6 @@ fn main() {
             oneshot_upfront.as_secs_f64() / earlyterm_upfront.as_secs_f64().max(1e-9)
         );
     }
-    threads_axis();
 }
 
 /// The threads axis of Figure 9: the two sharded stages — candidate
@@ -187,4 +227,81 @@ fn threads_axis() {
     .with_series(Series::new("grouping (EarlyTerm upfront)", group_series))
     .with_series(Series::new("total", total_series));
     export_figure_csv("fig9_threads_axis", &figure);
+}
+
+/// Lookalike variants of one long title, differing only in a trailing
+/// two-digit number — the shape a sorted-neighborhood false-merge produces.
+/// Every pair shares the same structure signature, so *all* candidates land
+/// in one partition and the first pivot search faces hundreds of
+/// near-identical graphs with long shared inverted lists: the single
+/// expensive search nothing but intra-search sharding can speed up.
+fn mega_values() -> Vec<String> {
+    (10..22)
+        .map(|i| format!("International Journal of Distributed Data Systems Volume {i}"))
+        .collect()
+}
+
+/// The single-mega-group axis of Figure 9: one huge cluster of variant
+/// spellings — the worst-case column shape, where the graphs-to-search axis
+/// offers no parallelism (the incremental ramp's early batches search one
+/// graph at a time) and only intra-search sharding can help. Measures the
+/// time to the *first* group (the `ec serve` latency proxy) at 1, 2 and 4
+/// threads, asserts the group is bit-identical across rows, and exports
+/// `fig9_mega_group.csv`. Before the frontier engine this axis showed ~1x at
+/// every thread count.
+fn mega_group_axis() {
+    let values = mega_values();
+    let candidates = generate_candidates(
+        std::slice::from_ref(&values),
+        &CandidateConfig {
+            parallelism: Parallelism::SEQUENTIAL,
+            ..CandidateConfig::default()
+        },
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "=== single-mega-group axis — one cluster, {} variants, {} candidate replacements, {cores} core(s) available ===",
+        values.len(),
+        candidates.len()
+    );
+    println!("threads | first group | speedup vs 1");
+    let mut baseline: Option<Duration> = None;
+    let mut reference: Option<ec_grouping::Group> = None;
+    let mut series = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let start = Instant::now();
+        let mut grouper = StructuredGrouper::new(
+            &candidates.replacements,
+            GroupingConfig::with_threads(threads),
+        );
+        let first = grouper
+            .next_group()
+            .expect("the mega cluster has at least one group");
+        let first_time = start.elapsed();
+        match &reference {
+            None => reference = Some(first),
+            Some(reference) => assert_eq!(
+                reference, &first,
+                "the mega group must be bit-identical at every thread count"
+            ),
+        }
+        let baseline = *baseline.get_or_insert(first_time);
+        println!(
+            "{threads:>7} | {first_time:>11.3?} | {:>11.2}x",
+            baseline.as_secs_f64() / first_time.as_secs_f64().max(1e-9)
+        );
+        series.push((threads as f64, first_time.as_secs_f64()));
+    }
+    println!(
+        "(speedup saturates at the machine's core count; >1.5x at 4 threads expects >=4 cores)"
+    );
+    let figure = Figure::new(
+        "Figure 9 — single-mega-group axis (time to first group)",
+        "threads",
+        "seconds",
+    )
+    .with_series(Series::new("first group", series));
+    export_figure_csv("fig9_mega_group", &figure);
 }

@@ -1,24 +1,77 @@
 //! Table 8: precision of majority-consensus golden records before and after
 //! standardizing variant values with the paper's method. With
 //! `EC_BENCH_EXPORT_DIR` set, the table is also exported as CSV via
-//! `ec-report`. (CI archives only the fast `table6_datasets` export; this
-//! bin runs full standardization and takes minutes, so run it locally.)
+//! `ec-report`.
+//!
+//! The full run (paper-scale datasets and budgets) takes ~12 minutes; pass
+//! `--sample F` (a fraction, e.g. `--sample 0.1`) or set `EC_TEST_SCALE`
+//! (the same multiplier the root test suites honor) to shrink the cluster
+//! counts and review budgets proportionally — CI runs a small-fraction smoke
+//! of this bin instead of skipping it entirely. Scaled runs are labelled in
+//! the printed header and in the exported CSV's dataset column.
 
 use ec_bench::{export_table_csv, table8_point};
 use ec_data::PaperDataset;
 use ec_report::table::fmt_f64;
 use ec_report::TextTable;
 
+/// The workload multiplier: `--sample F` wins, then `EC_TEST_SCALE`, else 1.
+fn scale_factor() -> f64 {
+    let mut args = std::env::args().skip(1);
+    let mut sample: Option<f64> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--sample" => {
+                sample = args
+                    .next()
+                    .and_then(|v| v.trim().parse().ok())
+                    .filter(|f: &f64| f.is_finite() && *f > 0.0);
+                if sample.is_none() {
+                    eprintln!(
+                        "table8_truth_discovery: --sample expects a positive fraction, e.g. 0.1"
+                    );
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("table8_truth_discovery: unknown argument '{other}' (only --sample F)");
+                std::process::exit(2);
+            }
+        }
+    }
+    sample
+        .or_else(|| {
+            std::env::var("EC_TEST_SCALE")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .filter(|f: &f64| f.is_finite() && *f > 0.0)
+        .unwrap_or(1.0)
+}
+
 fn main() {
-    println!("Table 8 — majority-consensus golden-record precision");
+    let factor = scale_factor();
+    if (factor - 1.0).abs() > f64::EPSILON {
+        println!("Table 8 — majority-consensus golden-record precision (scale {factor})");
+        println!("(paper numbers are for the full-scale run; treat this as a smoke test)");
+    } else {
+        println!("Table 8 — majority-consensus golden-record precision");
+    }
     let mut table = TextTable::new(["dataset", "before", "after", "paper before", "paper after"]);
     let paper = [(0.51, 0.65), (0.32, 0.47), (0.335, 0.84)];
     for (kind, (p_before, p_after)) in PaperDataset::ALL.into_iter().zip(paper) {
-        let dataset = kind.generate(&kind.default_config());
-        let budget = kind.paper_budget();
+        let mut config = kind.default_config();
+        config.num_clusters = ((config.num_clusters as f64 * factor).round() as usize).max(2);
+        let dataset = kind.generate(&config);
+        let budget = ((kind.paper_budget() as f64 * factor).ceil() as usize).max(5);
         let (before, after) = table8_point(&dataset, budget, 7);
+        let label = if (factor - 1.0).abs() > f64::EPSILON {
+            format!("{} (x{factor})", kind.name())
+        } else {
+            kind.name().to_string()
+        };
         table.push_row([
-            kind.name().to_string(),
+            label,
             fmt_f64(before, 3),
             fmt_f64(after, 3),
             fmt_f64(p_before, 3),

@@ -287,6 +287,32 @@ mod probe {
 
     #[test]
     #[ignore = "manual performance probe"]
+    fn probe_mega_group_cost() {
+        // Where does the single-mega-group axis of fig9 spend its time —
+        // preparation (graphs + index) or the pivot searches the frontier
+        // engine shards?
+        let values: Vec<String> = (10..22)
+            .map(|i| format!("International Journal of Distributed Data Systems Volume {i}"))
+            .collect();
+        let candidates = generate_candidates(&[values], &CandidateConfig::default());
+        println!("candidates: {}", candidates.len());
+        let tprep = Instant::now();
+        let mut grouper = ec_grouping::IncrementalGrouper::new(
+            &candidates.replacements,
+            GroupingConfig::default(),
+        );
+        println!("prepared in {:?}", tprep.elapsed());
+        let tg = Instant::now();
+        let g = grouper.next_group();
+        println!(
+            "first group: size {:?} in {:?}",
+            g.map(|g| g.size()),
+            tg.elapsed()
+        );
+    }
+
+    #[test]
+    #[ignore = "manual performance probe"]
     fn probe_address_grouping_cost() {
         let ds = PaperDataset::Address.generate(&GeneratorConfig {
             num_clusters: 15,

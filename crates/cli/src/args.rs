@@ -111,7 +111,7 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
             &[],
         )),
         "apply" => Some((&["input", "library", "output"], &[])),
-        "serve" => Some((&["addr", "threads", "library"], &[])),
+        "serve" => Some((&["addr", "threads", "library", "library-cap"], &[])),
         "help" | "" => Some((&[], &[])),
         _ => None,
     }
@@ -204,8 +204,11 @@ SUBCOMMANDS:
                learn once, apply forever, no re-learning
                  --input FILE  --library FILE  [--output FILE]
   serve        run the consolidation HTTP service on the shared worker pool
-               (endpoints: /healthz /library /pipeline /apply /shutdown)
+               (endpoints: /healthz /library /pipeline /apply /shutdown;
+               connections are kept alive across sequential requests)
                  [--addr HOST:PORT]  [--threads N]  [--library FILE]
+                 [--library-cap N]   (cap learned entries per column, LRU
+                                      eviction; 0 = unbounded, the default)
   help         show this message
 
 Clustered CSV has columns: cluster, source, <attr>..., [<attr>__truth]...

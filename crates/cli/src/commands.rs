@@ -577,7 +577,7 @@ pub fn serve(
     open_input: OpenInput<'_>,
     prompt_out: &mut dyn Write,
 ) -> Result<CommandOutput, CliError> {
-    let library = match parsed.get("library") {
+    let mut library = match parsed.get("library") {
         None => ProgramLibrary::new(),
         Some(path) => {
             let mut snapshot = String::new();
@@ -588,6 +588,13 @@ pub fn serve(
                 .map_err(|e| CliError::Data(format!("{path}: {e}")))?
         }
     };
+    // `--library-cap N` bounds the in-memory library of a long-running
+    // server (N entries per column, least-recently-learned evicted first);
+    // 0 — the default — keeps it unbounded.
+    let library_cap = parsed.get_usize("library-cap", 0)?;
+    if library_cap > 0 {
+        library.set_column_capacity(Some(library_cap));
+    }
     let config = ServeConfig {
         addr: parsed.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
         threads: parsed.get_usize("threads", 0)?,

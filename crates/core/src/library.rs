@@ -44,7 +44,7 @@ pub struct ApprovedGroup {
 }
 
 /// One human-verified transformation stored in the library.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LearnedProgram {
     /// The shared transformation program, when the group had one. The program
     /// maps `lhs`-shaped strings to `rhs`-shaped strings, so it generalizes
@@ -55,6 +55,18 @@ pub struct LearnedProgram {
     /// The exact approved pairs, oriented `from → to` (already flipped for
     /// backward approvals).
     pub rewrites: Vec<(String, String)>,
+    /// Recency stamp for capacity eviction: the library version at which the
+    /// entry was last recorded or merged into. Runtime bookkeeping only — it
+    /// is not serialized and does not participate in equality.
+    touched: u64,
+}
+
+impl PartialEq for LearnedProgram {
+    fn eq(&self, other: &Self) -> bool {
+        self.program == other.program
+            && self.direction == other.direction
+            && self.rewrites == other.rewrites
+    }
 }
 
 /// What happened to one value on the apply path.
@@ -133,12 +145,36 @@ impl std::error::Error for LibraryError {}
 
 /// The store of human-verified transformation programs, keyed by column
 /// name. See the module docs for the role it plays.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// A long-running server accumulates entries forever unless told otherwise;
+/// [`ProgramLibrary::set_column_capacity`] caps the entries kept *per
+/// column*, evicting the least recently learned entry (the one whose last
+/// [`record`]/[`merge`] touch is oldest, ties broken by insertion order)
+/// once a column overflows. Evictions are counted in
+/// [`ProgramLibrary::evictions`] — `ec serve` reports them on `GET
+/// /library`.
+///
+/// [`record`]: ProgramLibrary::record
+/// [`merge`]: ProgramLibrary::merge
+#[derive(Debug, Clone, Default)]
 pub struct ProgramLibrary {
     /// Bumped on every mutation; persisted in snapshots so consumers can tell
     /// libraries apart.
     version: u64,
     columns: BTreeMap<String, Vec<LearnedProgram>>,
+    /// Maximum entries kept per column (`None` = unbounded). Runtime
+    /// configuration — not serialized and not part of equality.
+    column_capacity: Option<usize>,
+    /// Entries evicted so far (runtime statistics, like `column_capacity`).
+    evictions: u64,
+}
+
+impl PartialEq for ProgramLibrary {
+    fn eq(&self, other: &Self) -> bool {
+        // The capacity knob and eviction counter are runtime state, not
+        // library content: a parsed snapshot equals the library it came from.
+        self.version == other.version && self.columns == other.columns
+    }
 }
 
 impl ProgramLibrary {
@@ -150,6 +186,55 @@ impl ProgramLibrary {
     /// The mutation counter (persisted in snapshots).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The per-column entry cap, if one was configured.
+    pub fn column_capacity(&self) -> Option<usize> {
+        self.column_capacity
+    }
+
+    /// Entries evicted by the capacity cap so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Caps the entries kept per column (`None` lifts the cap; a cap of 0 is
+    /// clamped to 1 — an empty-by-construction library is never useful).
+    /// Overflowing columns are trimmed immediately, least recently learned
+    /// entries first; if anything was evicted the version is bumped ("bumped
+    /// on every mutation" includes trims).
+    pub fn set_column_capacity(&mut self, capacity: Option<usize>) {
+        self.column_capacity = capacity.map(|c| c.max(1));
+        if self.column_capacity.is_some() {
+            let before = self.evictions;
+            let columns: Vec<String> = self.columns.keys().cloned().collect();
+            for column in columns {
+                self.enforce_capacity(&column);
+            }
+            if self.evictions != before {
+                self.version += 1;
+            }
+        }
+    }
+
+    /// Evicts least-recently-learned entries until `column` fits the cap.
+    fn enforce_capacity(&mut self, column: &str) {
+        let Some(capacity) = self.column_capacity else {
+            return;
+        };
+        let Some(entries) = self.columns.get_mut(column) else {
+            return;
+        };
+        while entries.len() > capacity {
+            let oldest = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, e)| (e.touched, *i))
+                .map(|(i, _)| i)
+                .expect("non-empty overflowing column");
+            entries.remove(oldest);
+            self.evictions += 1;
+        }
     }
 
     /// True when no program is stored.
@@ -176,6 +261,7 @@ impl ProgramLibrary {
     /// stored oriented in the approved direction; identical duplicates are
     /// merged into the existing entry.
     pub fn record(&mut self, column: &str, approved: &ApprovedGroup) {
+        let touched = self.version + 1;
         let rewrites: Vec<(String, String)> = approved
             .group
             .members()
@@ -194,18 +280,22 @@ impl ProgramLibrary {
                     existing.rewrites.push(pair);
                 }
             }
+            existing.touched = touched;
         } else {
             entries.push(LearnedProgram {
                 program: approved.group.program().cloned(),
                 direction: approved.direction,
                 rewrites,
+                touched,
             });
         }
         self.version += 1;
+        self.enforce_capacity(column);
     }
 
     /// Merges every entry of `other` into this library.
     pub fn merge(&mut self, other: &ProgramLibrary) {
+        let touched = self.version + 1;
         for (column, entries) in &other.columns {
             for entry in entries {
                 let slot = self.columns.entry(column.clone()).or_default();
@@ -218,12 +308,19 @@ impl ProgramLibrary {
                             existing.rewrites.push(pair.clone());
                         }
                     }
+                    existing.touched = touched;
                 } else {
-                    slot.push(entry.clone());
+                    slot.push(LearnedProgram {
+                        touched,
+                        ..entry.clone()
+                    });
                 }
             }
         }
         self.version += 1;
+        for column in other.columns.keys() {
+            self.enforce_capacity(column);
+        }
     }
 
     /// Standardizes one value of `column` through the library. Precedence is
@@ -372,6 +469,7 @@ impl ProgramLibrary {
                             program: None,
                             direction,
                             rewrites: Vec::new(),
+                            touched: 0,
                         });
                 }
                 "program" => {
@@ -621,6 +719,72 @@ mod tests {
         );
         assert_eq!(library.entries("C")[0].rewrites.len(), 2);
         assert_eq!(library.version(), 3);
+    }
+
+    #[test]
+    fn capacity_evicts_the_least_recently_learned_entry() {
+        let mut library = ProgramLibrary::new();
+        library.set_column_capacity(Some(2));
+        assert_eq!(library.column_capacity(), Some(2));
+        let a = approved(None, Direction::Forward, &[("a", "A")]);
+        let b = approved(None, Direction::Backward, &[("b", "B")]);
+        let c = approved(Some(initials_program()), Direction::Forward, &[("c", "C")]);
+        library.record("Name", &a);
+        library.record("Name", &b);
+        // Re-recording `a` refreshes its recency, so `b` is now the oldest.
+        library.record("Name", &a);
+        library.record("Name", &c);
+        assert_eq!(library.entries("Name").len(), 2);
+        assert_eq!(library.evictions(), 1);
+        assert!(
+            library
+                .entries("Name")
+                .iter()
+                .all(|e| e.direction == Direction::Forward),
+            "the backward entry was least recently learned and must be gone"
+        );
+        // Capacity is per column: another column starts fresh.
+        library.record(
+            "Address",
+            &approved(None, Direction::Forward, &[("d", "D")]),
+        );
+        assert_eq!(library.entries("Address").len(), 1);
+        assert_eq!(library.evictions(), 1);
+    }
+
+    #[test]
+    fn lowering_the_capacity_trims_existing_columns() {
+        let mut library = sample_library();
+        assert_eq!(library.entries("Name").len(), 2);
+        let version_before = library.version();
+        library.set_column_capacity(Some(1));
+        assert_eq!(library.entries("Name").len(), 1);
+        assert_eq!(library.entries("Address").len(), 1);
+        assert_eq!(library.evictions(), 1);
+        assert_eq!(
+            library.version(),
+            version_before + 1,
+            "a trim is a mutation and must bump the version"
+        );
+        // A cap of zero is clamped: the library never evicts itself empty.
+        library.set_column_capacity(Some(0));
+        assert_eq!(library.column_capacity(), Some(1));
+        assert!(!library.is_empty());
+        // Capacity and eviction statistics are runtime state, not content:
+        // the snapshot round trip still compares equal.
+        let parsed = ProgramLibrary::from_snapshot(&library.to_snapshot()).unwrap();
+        assert_eq!(parsed, library);
+        assert_eq!(parsed.column_capacity(), None);
+    }
+
+    #[test]
+    fn merge_respects_the_capacity_of_the_receiving_library() {
+        let mut small = ProgramLibrary::new();
+        small.set_column_capacity(Some(1));
+        small.merge(&sample_library());
+        assert_eq!(small.entries("Name").len(), 1);
+        assert_eq!(small.entries("Address").len(), 1);
+        assert_eq!(small.evictions(), 1);
     }
 
     #[test]

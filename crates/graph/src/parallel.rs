@@ -87,6 +87,24 @@ impl Parallelism {
         }
         crate::pool::shared().run(tasks)
     }
+
+    /// Runs nested subtasks — a batch submitted from *inside* an already
+    /// sharded stage (the intra-search waves of the pivot engine, say) — and
+    /// returns the results in task order.
+    ///
+    /// Unlike [`Parallelism::run_tasks`], which assumes its caller already
+    /// cut the work into at most `threads()` shards, this honors the knob
+    /// directly: a sequential setting runs every task inline on the calling
+    /// thread, anything else puts the batch on the shared pool (safe at any
+    /// nesting depth — the submitter participates, so nested batches never
+    /// deadlock). Callers must keep task *decomposition* independent of this
+    /// value; only the scheduling may differ, so results stay bit-identical.
+    pub fn run_nested<R: Send + 'static>(self, tasks: Vec<crate::pool::PoolTask<R>>) -> Vec<R> {
+        if tasks.len() <= 1 || self.is_sequential() {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        crate::pool::shared().run(tasks)
+    }
 }
 
 impl Default for Parallelism {
@@ -120,6 +138,19 @@ mod tests {
         assert_eq!(p.shards(3), 3);
         assert_eq!(p.shards(100), 8);
         assert_eq!(p.shards(0), 1);
+    }
+
+    #[test]
+    fn run_nested_is_identical_inline_and_pooled() {
+        let tasks = |n: usize| -> Vec<crate::pool::PoolTask<usize>> {
+            (0..n)
+                .map(|i| Box::new(move || i * 3) as crate::pool::PoolTask<usize>)
+                .collect()
+        };
+        let expected: Vec<usize> = (0..5).map(|i| i * 3).collect();
+        assert_eq!(Parallelism::SEQUENTIAL.run_nested(tasks(5)), expected);
+        assert_eq!(Parallelism::fixed(4).run_nested(tasks(5)), expected);
+        assert!(Parallelism::fixed(4).run_nested(tasks(0)).is_empty());
     }
 
     #[test]

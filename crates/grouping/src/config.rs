@@ -39,6 +39,17 @@ pub struct GroupingConfig {
     /// Build transformation graphs on multiple threads (per-thread label
     /// interners merged afterwards). Deterministic regardless of the setting.
     pub parallel_graph_build: bool,
+    /// Run each pivot-path search through the explicit-frontier engine, whose
+    /// root-level subtrees are independent `SearchTask` subproblems that can
+    /// execute on the shared worker pool when there are more workers than
+    /// graphs to search — the only way `--threads` helps a *single* expensive
+    /// search (the mega-group shape). The engine's task decomposition is
+    /// fixed per search (deterministic waves, snapshot bounds, in-order
+    /// reduction), so results are bit-identical for every thread count;
+    /// disabling this restores the plain recursive DFS, which can differ from
+    /// the engine only on searches truncated by
+    /// [`GroupingConfig::max_search_steps`].
+    pub intra_search_sharding: bool,
     /// Worker threads for the sharded stages: graph preparation and the
     /// per-graph pivot-path searches of the one-shot and incremental
     /// groupers. Every setting produces bit-identical groups; only the
@@ -64,6 +75,7 @@ impl Default for GroupingConfig {
             structure_refinement: true,
             max_search_steps: 50_000,
             parallel_graph_build: true,
+            intra_search_sharding: true,
             parallelism: Parallelism::AUTO,
         }
     }
@@ -107,6 +119,7 @@ mod tests {
         assert!(c.early_termination);
         assert!(c.structure_refinement);
         assert!(c.graph.enable_affix);
+        assert!(c.intra_search_sharding);
     }
 
     #[test]

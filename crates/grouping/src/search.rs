@@ -20,13 +20,49 @@
 //! constants are the least general functions (two replacements with identical
 //! right-hand sides trivially share an all-constants path that conveys no
 //! transformation at all).
+//!
+//! ## The frontier engine
+//!
+//! The search used to be one recursive DFS — which made a single expensive
+//! search (the mega-group shape: one huge cluster whose graphs all share
+//! long inverted lists) impossible to parallelize: `search_many` shards
+//! across graphs-to-search, so one mega search pinned a single worker while
+//! the rest of the pool idled. The search now runs on an explicit-frontier
+//! engine ([`GroupingConfig::intra_search_sharding`], on by default):
+//!
+//! * the root's viable extensions are computed once and each becomes a
+//!   [`SearchTask`] — an independent subproblem carrying its path prefix,
+//!   the prefix's [`PathList`] (a cheap arena view, never a copied
+//!   occurrence vector), a *snapshot* of the acceptance bar and of the
+//!   searched graph's own lower bound, and a private step-budget slice;
+//! * tasks are pulled off the frontier queue in deterministic **waves**
+//!   (sizes 1, 2, 4, 8, 8, …): every task of a wave reads only state
+//!   snapshotted at the wave boundary, and wave outcomes are reduced in
+//!   expansion order — bests folded with the acceptance rule, [`BoundRaises`]
+//!   max-merged, unspent budget returned to the pot;
+//! * a wave's tasks run through [`ec_graph::Parallelism::run_nested`]: inline
+//!   when scheduling is sequential, on the shared worker pool otherwise.
+//!
+//! The task tree, the per-task pruning inputs and the reduction order are all
+//! fixed by the search inputs alone — scheduling only decides *where* a task
+//! runs — so the engine's result is bit-identical for every thread count by
+//! construction, even when [`GroupingConfig::max_search_steps`] truncates
+//! the search. The first wave holds a single task (the most promising root
+//! extension, which usually establishes the final bar), so later, wider
+//! waves prune almost as well as the fully sequential DFS.
 
 use crate::config::GroupingConfig;
 use crate::prepared::PreparedGraphs;
 use ec_dsl::StringFn;
-use ec_graph::{LabelId, PoolTask};
+use ec_graph::{LabelId, Parallelism, PoolTask};
 use ec_index::{GraphId, InvertedIndex, PathList};
 use std::sync::Arc;
+
+/// Upper limit of the frontier's wave-size ramp (1, 2, 4, 8, 8, …). Waves are
+/// the engine's determinism unit — every task of a wave reads only state
+/// snapshotted at the wave boundary — so the cap bounds both the attainable
+/// intra-search parallelism and how stale a task's pruning inputs can be.
+const INTRA_SEARCH_WAVE_CAP: usize = 8;
 
 /// The result of a pivot-path search.
 #[derive(Debug, Clone)]
@@ -72,7 +108,7 @@ struct SearchState<'a> {
     /// `dist_to_end[i]` — minimum number of edges needed to reach the last
     /// node of the searched graph from node `i` (`u32::MAX` if unreachable).
     /// Branches that cannot complete within the path-length cap are pruned.
-    dist_to_end: Vec<u32>,
+    dist_to_end: &'a [u32],
     /// Remaining budget of path extensions (list intersections); when it runs
     /// out the search keeps whatever best complete path it has found so far.
     steps_left: usize,
@@ -91,9 +127,47 @@ struct SearchState<'a> {
     /// Write-only update list of bound raises; the caller merges it into the
     /// shared bounds afterwards by element-wise maximum.
     raised: &'a mut BoundRaises,
-    /// Best complete path so far: `(path, list, share count, quality)`.
+    /// The acceptance bar: the `(share count, quality)` every new complete
+    /// path must beat. Holds the maximum of the [`SearchTask`] floor this
+    /// state started from (the bar snapshotted when the task was spawned)
+    /// and the local `best` — for a whole-search DFS the floor is `None`, so
+    /// the bar tracks `best` exactly.
+    bar: Option<(usize, Quality)>,
+    /// Best complete path found *by this state*: `(path, list, share count,
+    /// quality)`. A path only lands here when it also beats the bar, so a
+    /// task's best is `None` when nothing in its subtree beat its floor.
     best: Option<(Vec<LabelId>, PathList, usize, Quality)>,
     threshold: usize,
+}
+
+impl SearchState<'_> {
+    /// Accepts `(path, list, count, quality)` as the new best if it clears the
+    /// local threshold and beats the bar.
+    fn offer(
+        &mut self,
+        count: usize,
+        quality: Quality,
+        make: impl FnOnce() -> (Vec<LabelId>, PathList),
+    ) {
+        if count <= self.threshold || !beats(count, quality, &self.bar) {
+            return;
+        }
+        let (path, list) = make();
+        self.bar = Some((count, quality));
+        self.best = Some((path, list, count, quality));
+    }
+}
+
+/// Does a candidate `(count, quality)` beat the acceptance bar? Quality only
+/// degrades as a path grows, so a partial path's quality is a valid lower
+/// bound for this comparison (the pruning sites rely on that).
+fn beats(count: usize, quality: Quality, bar: &Option<(usize, Quality)>) -> bool {
+    match bar {
+        None => true,
+        Some((bar_count, bar_quality)) => {
+            count > *bar_count || (count == *bar_count && quality < *bar_quality)
+        }
+    }
 }
 
 /// Tie-break quality of a path: total characters produced by constant labels,
@@ -158,6 +232,54 @@ impl BoundRaises {
             }
         }
     }
+
+    /// Absorbs another update list (raises merge by maximum, so absorption
+    /// order never matters). Compacts on the same doubling watermark as
+    /// [`BoundRaises::push`].
+    fn absorb(&mut self, other: BoundRaises) {
+        self.entries.extend(other.entries);
+        if self.entries.len() > self.watermark.max(64) {
+            self.compact();
+            self.watermark = self.entries.len() * 2;
+        }
+    }
+}
+
+/// One frontier subproblem of the intra-search engine: explore every
+/// pivot-path completion below one root extension of the searched graph.
+/// Everything a task reads is snapshotted at spawn time, so a task is a pure
+/// function of its fields — which is what makes the engine's output
+/// independent of where (and when) the task runs.
+struct SearchTask {
+    /// The root extension's label — the first label of every path in the
+    /// subtree.
+    label: LabelId,
+    /// The node the one-label prefix has reached in the searched graph.
+    node: u32,
+    /// The prefix's occurrence list. A cheap arena view ([`PathList`] clones
+    /// are reference-count bumps), not a copied occurrence vector.
+    list: PathList,
+    /// Constant output characters emitted by the prefix.
+    const_chars: usize,
+    /// Snapshot of the acceptance bar when the task was spawned.
+    floor: Option<(usize, Quality)>,
+    /// Snapshot of the searched graph's own global lower bound at spawn.
+    own_bound: u32,
+    /// The task's private step-budget slice.
+    budget: usize,
+}
+
+/// What one [`SearchTask`] produced, reduced by the engine in expansion
+/// order.
+struct TaskOutcome {
+    /// The subtree's best complete path, if any beat the task's floor.
+    best: Option<(Vec<LabelId>, PathList, usize, Quality)>,
+    /// Bound raises recorded in the subtree.
+    raised: BoundRaises,
+    /// The searched graph's own bound as raised within the subtree.
+    own_bound: u32,
+    /// Steps actually consumed (≤ the task's budget slice).
+    steps_used: usize,
 }
 
 impl PivotSearcher {
@@ -203,41 +325,54 @@ impl PivotSearcher {
     ) -> Option<PivotResult> {
         // Raises are merged into `lower_bounds` after the search, which keeps
         // the cumulative-bounds behavior of Algorithm 4 for a lone `search`
-        // call (the DFS itself only ever reads the searched graph's own
+        // call (the engine itself only ever reads the searched graph's own
         // bound, tracked separately).
         let own_bound = lower_bounds[g.index()];
         let mut raised = BoundRaises::default();
-        let result = self.search_with_bounds(g, threshold, active, own_bound, &mut raised);
+        let active: Arc<[bool]> = active.into();
+        let result = self.search_with_bounds(
+            g,
+            threshold,
+            &active,
+            own_bound,
+            &mut raised,
+            Parallelism::SEQUENTIAL,
+        );
         raised.merge_into(lower_bounds);
         result
     }
 
     /// The core search: reads only `own_bound` (the searched graph's own
     /// global threshold) and records every bound raise into the write-only
-    /// `raised` list, without ever reading other graphs' entries.
+    /// `raised` list, without ever reading other graphs' entries. `waves`
+    /// decides only where the frontier engine's wave tasks run (inline or on
+    /// the shared pool) — never what they compute.
     fn search_with_bounds(
         &self,
         g: GraphId,
         threshold: usize,
-        active: &[bool],
+        active: &Arc<[bool]>,
         own_bound: u32,
         raised: &mut BoundRaises,
+        waves: Parallelism,
     ) -> Option<PivotResult> {
         let graph = self.prepared.graph(g);
         // Minimum number of edges from each node of `graph` to its last node;
-        // paths that cannot complete within the length cap are never explored.
-        let dist_to_end = distance_to_end(graph);
+        // paths that cannot complete within the length cap are never
+        // explored. Shared with the engine's subtree tasks.
+        let dist_to_end = Arc::new(distance_to_end(graph));
         let mut state = SearchState {
             index: self.prepared.index(),
-            active,
+            active: &active[..],
             last_nodes: &self.last_nodes,
             max_path_len: self.config.max_path_len,
             early_termination: self.config.early_termination,
-            dist_to_end,
+            dist_to_end: &dist_to_end[..],
             steps_left: self.config.max_search_steps.max(1),
             constant_chars: &self.constant_chars,
             own_bound,
             raised,
+            bar: None,
             best: None,
             threshold,
         };
@@ -251,36 +386,30 @@ impl PivotSearcher {
             for &label in &full_edge.labels {
                 let list = state.index.extend(&universe, label);
                 let count = active_count(&list, state.active);
-                if count <= state.threshold {
-                    continue;
-                }
                 let quality = Quality {
                     constant_chars: state.constant_chars[label.index()],
                     len: 1,
                 };
-                let better = match &state.best {
-                    None => true,
-                    Some((_, _, best_count, best_quality)) => {
-                        count > *best_count || (count == *best_count && quality < *best_quality)
-                    }
-                };
-                if better {
-                    state.best = Some((vec![label], list, count, quality));
-                }
+                state.offer(count, quality, || (vec![label], list));
             }
         }
 
-        let mut path = Vec::new();
-        if state.dist_to_end.first().copied().unwrap_or(u32::MAX) as usize <= state.max_path_len {
-            dfs(graph, g, 0, &mut path, &universe, 0, &mut state);
+        let reachable =
+            state.dist_to_end.first().copied().unwrap_or(u32::MAX) as usize <= state.max_path_len;
+        if reachable {
+            if self.config.intra_search_sharding && graph.last_node() != 0 {
+                self.run_frontier(g, &mut state, &universe, active, &dist_to_end, waves);
+            } else {
+                let mut path = Vec::new();
+                dfs(graph, g, 0, &mut path, &universe, 0, &mut state);
+            }
         }
-        let (path, list, count, _) = state.best?;
+        let last_nodes = state.last_nodes;
+        let (path, list, count, _) = state.best.take()?;
         let complete: Vec<GraphId> = list
             .occurrences()
             .iter()
-            .filter(|occ| {
-                active[occ.graph.index()] && occ.end == state.last_nodes[occ.graph.index()]
-            })
+            .filter(|occ| active[occ.graph.index()] && occ.end == last_nodes[occ.graph.index()])
             .map(|occ| occ.graph)
             .collect();
         let mut complete_dedup = complete;
@@ -291,6 +420,147 @@ impl PivotSearcher {
             complete: complete_dedup,
             share_count: count,
         })
+    }
+
+    /// The explicit-frontier engine (see the module docs): computes the
+    /// root's viable extensions once, turns each into a [`SearchTask`], and
+    /// executes the frontier in deterministic waves whose outcomes reduce in
+    /// expansion order. `state` carries the pruning inputs in and the best
+    /// path (plus raises and remaining budget) out.
+    fn run_frontier(
+        &self,
+        g: GraphId,
+        state: &mut SearchState<'_>,
+        universe: &PathList,
+        active: &Arc<[bool]>,
+        dist_to_end: &Arc<Vec<u32>>,
+        waves: Parallelism,
+    ) {
+        let graph = self.prepared.graph(g);
+        // Root expansion: identical to the DFS's candidate step at node 0,
+        // including step consumption; `None` means the budget died during the
+        // expansion, exactly where the DFS would have stopped.
+        let Some(candidates) = collect_candidates(graph, 0, universe, 0, 0, state) else {
+            return;
+        };
+        let mut frontier = candidates.into_iter();
+        let mut exhausted = false;
+        let mut wave_cap = 1usize;
+        while !exhausted && state.steps_left > 0 {
+            // Pull the next wave of still-viable tasks off the frontier. The
+            // viability re-check mirrors the DFS's pre-descend re-check, with
+            // the bar and own bound as of this wave boundary.
+            let mut wave: Vec<SearchTask> = Vec::with_capacity(wave_cap);
+            while wave.len() < wave_cap {
+                let Some((label, to, list, count, next_chars)) = frontier.next() else {
+                    exhausted = true;
+                    break;
+                };
+                if state.early_termination {
+                    if count <= state.threshold || (count as u32) < state.own_bound {
+                        continue;
+                    }
+                    let partial = Quality {
+                        constant_chars: next_chars,
+                        len: 1,
+                    };
+                    if !beats(count, partial, &state.bar) {
+                        continue;
+                    }
+                }
+                wave.push(SearchTask {
+                    label,
+                    node: to,
+                    list,
+                    const_chars: next_chars,
+                    floor: state.bar,
+                    own_bound: state.own_bound,
+                    budget: 0, // sliced below, once the wave's size is known
+                });
+            }
+            if wave.is_empty() {
+                continue;
+            }
+            // Slice the remaining budget across the wave; unspent slices
+            // return to the pot when the wave's outcomes are reduced.
+            let share = state.steps_left / wave.len();
+            let extra = state.steps_left % wave.len();
+            for (i, task) in wave.iter_mut().enumerate() {
+                task.budget = share + usize::from(i < extra);
+            }
+            let tasks: Vec<PoolTask<TaskOutcome>> = wave
+                .into_iter()
+                .map(|task| {
+                    let searcher = self.clone();
+                    let active = Arc::clone(active);
+                    let dist_to_end = Arc::clone(dist_to_end);
+                    let threshold = state.threshold;
+                    Box::new(move || searcher.run_task(g, task, threshold, &active, &dist_to_end))
+                        as PoolTask<TaskOutcome>
+                })
+                .collect();
+            // Reduce outcomes in expansion order — together with the
+            // snapshot semantics above this is what keeps the engine
+            // bit-identical for every thread count.
+            for outcome in waves.run_nested(tasks) {
+                state.steps_left -= outcome.steps_used;
+                state.own_bound = state.own_bound.max(outcome.own_bound);
+                state.raised.absorb(outcome.raised);
+                if let Some((path, list, count, quality)) = outcome.best {
+                    state.offer(count, quality, || (path, list));
+                }
+            }
+            wave_cap = (wave_cap * 2).min(INTRA_SEARCH_WAVE_CAP);
+        }
+    }
+
+    /// Executes one [`SearchTask`]: a sequential DFS over the task's subtree,
+    /// reading only the task's snapshots. A pure function of its arguments.
+    fn run_task(
+        &self,
+        g: GraphId,
+        task: SearchTask,
+        threshold: usize,
+        active: &Arc<[bool]>,
+        dist_to_end: &Arc<Vec<u32>>,
+    ) -> TaskOutcome {
+        let graph = self.prepared.graph(g);
+        let mut raised = BoundRaises::default();
+        let budget = task.budget;
+        let mut state = SearchState {
+            index: self.prepared.index(),
+            active: &active[..],
+            last_nodes: &self.last_nodes,
+            max_path_len: self.config.max_path_len,
+            early_termination: self.config.early_termination,
+            dist_to_end: &dist_to_end[..],
+            steps_left: budget,
+            constant_chars: &self.constant_chars,
+            own_bound: task.own_bound,
+            raised: &mut raised,
+            bar: task.floor,
+            best: None,
+            threshold,
+        };
+        let mut path = vec![task.label];
+        dfs(
+            graph,
+            g,
+            task.node,
+            &mut path,
+            &task.list,
+            task.const_chars,
+            &mut state,
+        );
+        let steps_used = budget - state.steps_left;
+        let own_bound = state.own_bound;
+        let best = state.best.take();
+        TaskOutcome {
+            best,
+            raised,
+            own_bound,
+            steps_used,
+        }
     }
 
     /// Searches the pivot paths of `gids`, sharded across scoped worker
@@ -316,6 +586,13 @@ impl PivotSearcher {
     /// work-stealing pool (`ec_graph::pool`) — no scoped threads are spawned
     /// per call, which is what makes the incremental grouper's speculative
     /// batch loop cheap inside long-lived processes like `ec serve`.
+    ///
+    /// When workers outnumber the graphs to search (the mega-group shape —
+    /// one or two huge searches pinning a single worker while the rest of
+    /// the pool idles) and [`GroupingConfig::intra_search_sharding`] is on,
+    /// each search additionally runs its frontier waves *in parallel* on the
+    /// same pool. That choice is scheduling-only: the engine computes the
+    /// same task tree either way, so it never affects results.
     pub fn search_many(
         &self,
         gids: &[GraphId],
@@ -326,6 +603,14 @@ impl PivotSearcher {
     ) -> Vec<Option<PivotResult>> {
         let shards = parallelism.shards(gids.len());
         let chunk_size = gids.len().div_ceil(shards.max(1)).max(1);
+        // Intra-search wave scheduling: worth paying for only when workers
+        // outnumber the graphs to search; results are identical either way.
+        let waves = if self.config.intra_search_sharding && parallelism.threads() > gids.len() {
+            parallelism
+        } else {
+            Parallelism::SEQUENTIAL
+        };
+        let active: Arc<[bool]> = active.into();
         type ShardOutput = (Vec<Option<PivotResult>>, BoundRaises);
         let shard_outputs: Vec<ShardOutput> = if shards <= 1 {
             let mut raised = BoundRaises::default();
@@ -338,7 +623,7 @@ impl PivotSearcher {
                 .collect::<Vec<_>>()
                 .into_iter()
                 .map(|(g, own_bound)| {
-                    self.search_with_bounds(g, threshold, active, own_bound, &mut raised)
+                    self.search_with_bounds(g, threshold, &active, own_bound, &mut raised, waves)
                 })
                 .collect();
             vec![(results, raised)]
@@ -346,7 +631,6 @@ impl PivotSearcher {
             // Snapshot only the searched graphs' own bounds, chunk by chunk,
             // before any search runs — the values every search reads are
             // fixed at entry no matter how chunks are scheduled.
-            let active: Arc<[bool]> = active.into();
             let tasks: Vec<PoolTask<ShardOutput>> = gids
                 .chunks(chunk_size)
                 .map(|chunk| {
@@ -366,6 +650,7 @@ impl PivotSearcher {
                                     &active,
                                     own_bound,
                                     &mut raised,
+                                    waves,
                                 )
                             })
                             .collect();
@@ -417,63 +702,32 @@ fn active_count(list: &PathList, active: &[bool]) -> usize {
     count
 }
 
-fn dfs(
+/// One viable extension of the current node: `(label, target node, extended
+/// list, active share count, constant chars including the label)`.
+type Candidate = (LabelId, u32, PathList, usize, usize);
+
+/// The DFS's candidate step, shared by the recursive DFS and the frontier
+/// engine's root expansion: collects the viable extensions of `node`, sorted
+/// into exploration order — decreasing share count (ties: longer edges, then
+/// fewer constant characters). Finding a high-share complete path early makes
+/// the local threshold bite on all remaining branches, which is where
+/// essentially all of the search time goes on real data.
+///
+/// Consumes one step per examined label; returns `None` when the budget ran
+/// out mid-collection (the caller must stop, keeping its best so far).
+fn collect_candidates(
     graph: &ec_graph::TransformationGraph,
-    g: GraphId,
     node: u32,
-    path: &mut Vec<LabelId>,
     list: &PathList,
+    path_len: usize,
     const_chars: usize,
     state: &mut SearchState<'_>,
-) {
-    if node == graph.last_node() {
-        // The maintained path is a transformation path of `graph`.
-        let count = active_count(list, state.active);
-        let quality = Quality {
-            constant_chars: const_chars,
-            len: path.len(),
-        };
-        let accept = if count <= state.threshold {
-            false
-        } else {
-            match &state.best {
-                None => true,
-                Some((_, _, best_count, best_quality)) => {
-                    count > *best_count || (count == *best_count && quality < *best_quality)
-                }
-            }
-        };
-        if accept {
-            state.best = Some((path.clone(), list.clone(), count, quality));
-        }
-        if state.early_termination {
-            // Global threshold update (Algorithm 4): every graph for which this
-            // path is complete has a pivot path shared by at least `count` graphs.
-            for occ in list.occurrences() {
-                let gi = occ.graph.index();
-                if state.active[gi] && occ.end == state.last_nodes[gi] {
-                    state.raised.push(gi, count as u32);
-                    if gi == g.index() && state.own_bound < count as u32 {
-                        state.own_bound = count as u32;
-                    }
-                }
-            }
-        }
-        return;
-    }
-    if path.len() >= state.max_path_len {
-        return;
-    }
+) -> Option<Vec<Candidate>> {
     // Only one more label fits: the next edge must reach the last node.
-    let last_step = path.len() + 1 == state.max_path_len;
+    let last_step = path_len + 1 == state.max_path_len;
     // Remaining length budget for the rest of the path.
-    let remaining = state.max_path_len - path.len();
-    // Collect the viable extensions of this node first, then explore them in
-    // decreasing share-count order (ties: longer edges, then fewer constant
-    // characters). Finding a high-share complete path early makes the local
-    // threshold bite on all remaining branches, which is where essentially all
-    // of the search time goes on real data.
-    let mut candidates: Vec<(LabelId, u32, PathList, usize, usize)> = Vec::new();
+    let remaining = state.max_path_len - path_len;
+    let mut candidates: Vec<Candidate> = Vec::new();
     for edge in graph.out_edges(node) {
         if last_step && edge.to != graph.last_node() {
             continue;
@@ -491,7 +745,7 @@ fn dfs(
                 continue;
             }
             if state.steps_left == 0 {
-                return;
+                return None;
             }
             state.steps_left -= 1;
             let extended = state.index.extend(list, label);
@@ -513,14 +767,12 @@ fn dfs(
                 if count <= state.threshold || (count as u32) < state.own_bound {
                     continue;
                 }
-                if let Some((_, _, best_count, best_quality)) = &state.best {
-                    let partial = Quality {
-                        constant_chars: next_chars,
-                        len: path.len() + 1,
-                    };
-                    if count < *best_count || (count == *best_count && partial >= *best_quality) {
-                        continue;
-                    }
+                let partial = Quality {
+                    constant_chars: next_chars,
+                    len: path_len + 1,
+                };
+                if !beats(count, partial, &state.bar) {
+                    continue;
                 }
             }
             candidates.push((label, edge.to, extended, count, next_chars));
@@ -531,23 +783,63 @@ fn dfs(
             .then_with(|| b.1.cmp(&a.1)) // longer jumps first (completes sooner)
             .then_with(|| a.4.cmp(&b.4)) // fewer constant characters first
     });
+    Some(candidates)
+}
+
+fn dfs(
+    graph: &ec_graph::TransformationGraph,
+    g: GraphId,
+    node: u32,
+    path: &mut Vec<LabelId>,
+    list: &PathList,
+    const_chars: usize,
+    state: &mut SearchState<'_>,
+) {
+    if node == graph.last_node() {
+        // The maintained path is a transformation path of `graph`.
+        let count = active_count(list, state.active);
+        let quality = Quality {
+            constant_chars: const_chars,
+            len: path.len(),
+        };
+        state.offer(count, quality, || (path.clone(), list.clone()));
+        if state.early_termination {
+            // Global threshold update (Algorithm 4): every graph for which this
+            // path is complete has a pivot path shared by at least `count` graphs.
+            for occ in list.occurrences() {
+                let gi = occ.graph.index();
+                if state.active[gi] && occ.end == state.last_nodes[gi] {
+                    state.raised.push(gi, count as u32);
+                    if gi == g.index() && state.own_bound < count as u32 {
+                        state.own_bound = count as u32;
+                    }
+                }
+            }
+        }
+        return;
+    }
+    if path.len() >= state.max_path_len {
+        return;
+    }
+    let Some(candidates) = collect_candidates(graph, node, list, path.len(), const_chars, state)
+    else {
+        return;
+    };
     for (label, to, extended, count, next_chars) in candidates {
         if state.steps_left == 0 {
             return;
         }
         if state.early_termination {
-            // Re-check against the (possibly improved) best before descending.
+            // Re-check against the (possibly improved) bar before descending.
             if count <= state.threshold || (count as u32) < state.own_bound {
                 continue;
             }
-            if let Some((_, _, best_count, best_quality)) = &state.best {
-                let partial = Quality {
-                    constant_chars: next_chars,
-                    len: path.len() + 1,
-                };
-                if count < *best_count || (count == *best_count && partial >= *best_quality) {
-                    continue;
-                }
+            let partial = Quality {
+                constant_chars: next_chars,
+                len: path.len() + 1,
+            };
+            if !beats(count, partial, &state.bar) {
+                continue;
             }
         }
         path.push(label);
@@ -785,6 +1077,120 @@ mod tests {
                     *bound as usize <= share,
                     "threads={threads}: bound {bound} exceeds true share {share} of graph {g}"
                 );
+            }
+        }
+    }
+
+    /// A workload with several interacting transformation families, reused by
+    /// the engine-equivalence tests below.
+    fn family_replacements() -> Vec<Replacement> {
+        let mut reps = Vec::new();
+        for (last, first) in [
+            ("Lee", "Mary"),
+            ("Smith", "James"),
+            ("Brown", "Anna"),
+            ("Jones", "Paul"),
+            ("Davis", "Emma"),
+            ("Moore", "Lucy"),
+        ] {
+            reps.push(Replacement::new(
+                format!("{last}, {first}"),
+                format!("{first} {last}"),
+            ));
+            let initial = first.chars().next().unwrap();
+            reps.push(Replacement::new(
+                format!("{last}, {first}"),
+                format!("{initial}. {last}"),
+            ));
+        }
+        reps
+    }
+
+    #[test]
+    fn frontier_engine_matches_the_plain_dfs_when_the_budget_is_unbound() {
+        // With a step budget the search never exhausts, the frontier engine
+        // must reproduce the recursive DFS exactly: pruning is sound in both,
+        // and the engine's in-order reduction preserves the DFS's tie-breaks.
+        let reps = family_replacements();
+        // The default 50k-step budget binds on this label-rich workload, and
+        // a bound budget is exactly where the two strategies may legitimately
+        // differ (shared pot vs per-task slices) — so lift it out of the way.
+        let engine_config = GroupingConfig {
+            max_search_steps: 100_000_000,
+            ..GroupingConfig::default()
+        };
+        let dfs_config = GroupingConfig {
+            intra_search_sharding: false,
+            ..engine_config.clone()
+        };
+        assert!(engine_config.intra_search_sharding);
+        let prep_engine = prepared(&reps, &engine_config);
+        let prep_dfs = prepared(&reps, &dfs_config);
+        let engine = PivotSearcher::new(Arc::clone(&prep_engine), &engine_config);
+        let dfs = PivotSearcher::new(Arc::clone(&prep_dfs), &dfs_config);
+        let active = vec![true; reps.len()];
+        let mut bounds_engine = vec![1u32; reps.len()];
+        let mut bounds_dfs = vec![1u32; reps.len()];
+        for g in 0..reps.len() {
+            let a = engine
+                .search(GraphId(g as u32), 0, &active, &mut bounds_engine)
+                .unwrap();
+            let b = dfs
+                .search(GraphId(g as u32), 0, &active, &mut bounds_dfs)
+                .unwrap();
+            assert_eq!(a.path, b.path, "graph {g}");
+            assert_eq!(a.share_count, b.share_count, "graph {g}");
+            assert_eq!(a.complete, b.complete, "graph {g}");
+            assert_eq!(a.list, b.list, "graph {g}");
+        }
+    }
+
+    #[test]
+    fn frontier_waves_are_scheduling_independent_even_when_the_budget_binds() {
+        // A starved budget truncates every subtree task at its private slice;
+        // whether the wave runs inline (1 thread) or on the pool (more
+        // workers than graphs searched) must not move the truncation points.
+        let reps = family_replacements();
+        let config = GroupingConfig {
+            max_search_steps: 25,
+            ..GroupingConfig::default()
+        };
+        let prep = prepared(&reps, &config);
+        let searcher = PivotSearcher::new(Arc::clone(&prep), &config);
+        let active = vec![true; prep.len()];
+        let run = |threads: usize| {
+            let mut bounds = vec![1u32; prep.len()];
+            let results: Vec<Option<PivotResult>> = (0..prep.len())
+                .flat_map(|g| {
+                    // One graph per call, so threads > gids.len() engages the
+                    // parallel wave scheduling inside each search.
+                    searcher.search_many(
+                        &[GraphId(g as u32)],
+                        0,
+                        &active,
+                        &mut bounds,
+                        ec_graph::Parallelism::fixed(threads),
+                    )
+                })
+                .collect();
+            (results, bounds)
+        };
+        let (base_results, base_bounds) = run(1);
+        for threads in [2usize, 4, 7] {
+            let (results, bounds) = run(threads);
+            assert_eq!(bounds, base_bounds, "threads={threads}");
+            assert_eq!(results.len(), base_results.len());
+            for (a, b) in base_results.iter().zip(&results) {
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.path, b.path, "threads={threads}");
+                        assert_eq!(a.share_count, b.share_count, "threads={threads}");
+                        assert_eq!(a.complete, b.complete, "threads={threads}");
+                        assert_eq!(a.list, b.list, "threads={threads}");
+                    }
+                    _ => panic!("presence differs at {threads} threads"),
+                }
             }
         }
     }

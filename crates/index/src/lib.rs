@@ -12,12 +12,30 @@
 //! that contains the current path anchored at its first node, the node the
 //! path has reached; extending the path by a label is a single
 //! [`InvertedIndex::extend`] call.
+//!
+//! ## Layout
+//!
+//! The index stores all postings in one flat **CSR** (compressed sparse row)
+//! arena: `label_offsets[l]..label_offsets[l + 1]` delimits the postings of
+//! label `l`, sorted by `(graph, from, to)`. [`InvertedIndex::extend`] walks
+//! an occurrence list and a posting list graph-by-graph, **galloping** over
+//! whichever side is ahead, so intersecting a short list against a long one
+//! costs `O(short × log(long))` instead of a linear scan of both. Per-label
+//! distinct-graph counts are precomputed at build time, making the search's
+//! hottest pruning probe ([`InvertedIndex::list_graph_count`]) O(1).
+//!
+//! A [`PathList`] is a range view over an `Arc`-shared occurrence arena:
+//! cloning one (the pivot search snapshots its best list on every
+//! improvement) is a reference-count bump, and [`PathList::slice_graphs`]
+//! splits a list by graph range without copying occurrences — which is what
+//! lets search subtasks carry their lists for free.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ec_graph::{LabelId, TransformationGraph};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Identifier of a transformation graph inside one grouping problem: the index
 /// of the graph in the slice the [`InvertedIndex`] was built from.
@@ -60,42 +78,86 @@ pub struct PathOccurrence {
 /// same label sequence to cover different spans of the output string; the
 /// *graph count* [`PathList::graph_count`] — what the paper calls `|ℓ|` — is
 /// the number of distinct graphs.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// The list is a `start..end` view over an `Arc`-shared occurrence arena:
+/// [`Clone`] is a reference-count bump and [`PathList::slice_graphs`]
+/// produces a graph-range sub-view without copying, so search subproblems can
+/// carry (and snapshot) lists for free.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PathList {
-    occurrences: Vec<PathOccurrence>,
+    backing: Arc<[PathOccurrence]>,
+    start: usize,
+    end: usize,
 }
+
+impl PartialEq for PathList {
+    fn eq(&self, other: &Self) -> bool {
+        self.occurrences() == other.occurrences()
+    }
+}
+
+impl Eq for PathList {}
 
 impl PathList {
     /// The list for the empty path over `num_graphs` graphs: every graph
     /// contains the empty path, anchored at its first node (node 0).
     pub fn universe(num_graphs: usize) -> Self {
-        PathList {
-            occurrences: (0..num_graphs)
+        PathList::from_sorted(
+            (0..num_graphs)
                 .map(|g| PathOccurrence {
                     graph: GraphId(g as u32),
                     end: 0,
                 })
                 .collect(),
-        }
+        )
     }
 
     /// Builds a list from raw occurrences (sorted and deduplicated).
     pub fn from_occurrences(mut occurrences: Vec<PathOccurrence>) -> Self {
         occurrences.sort();
         occurrences.dedup();
-        PathList { occurrences }
+        PathList::from_sorted(occurrences)
+    }
+
+    /// Wraps occurrences that are already sorted by `(graph, end)` and
+    /// deduplicated.
+    fn from_sorted(occurrences: Vec<PathOccurrence>) -> Self {
+        if occurrences.is_empty() {
+            // `Arc<[T]>::default()` is a shared static — dead-end extends
+            // (the search's common case) allocate nothing.
+            return PathList::default();
+        }
+        let backing: Arc<[PathOccurrence]> = occurrences.into();
+        PathList {
+            start: 0,
+            end: backing.len(),
+            backing,
+        }
     }
 
     /// The occurrences, sorted by `(graph, end)`.
     pub fn occurrences(&self) -> &[PathOccurrence] {
-        &self.occurrences
+        &self.backing[self.start..self.end]
+    }
+
+    /// The sub-list of occurrences whose graph id lies in `graphs` — a range
+    /// view sharing this list's arena (no occurrences are copied).
+    pub fn slice_graphs(&self, graphs: std::ops::Range<u32>) -> PathList {
+        let occs = self.occurrences();
+        let lo = occs.partition_point(|occ| occ.graph.0 < graphs.start);
+        let hi = lo + occs[lo..].partition_point(|occ| occ.graph.0 < graphs.end);
+        PathList {
+            backing: Arc::clone(&self.backing),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
     }
 
     /// Number of distinct graphs containing the path — the paper's `|ℓ|`.
     pub fn graph_count(&self) -> usize {
         let mut count = 0;
         let mut last: Option<GraphId> = None;
-        for occ in &self.occurrences {
+        for occ in self.occurrences() {
             if last != Some(occ.graph) {
                 count += 1;
                 last = Some(occ.graph);
@@ -107,7 +169,7 @@ impl PathList {
     /// Iterates over the distinct graphs in the list.
     pub fn graphs(&self) -> impl Iterator<Item = GraphId> + '_ {
         let mut last: Option<GraphId> = None;
-        self.occurrences.iter().filter_map(move |occ| {
+        self.occurrences().iter().filter_map(move |occ| {
             if last == Some(occ.graph) {
                 None
             } else {
@@ -122,7 +184,7 @@ impl PathList {
     /// transformation path.
     pub fn complete_graphs(&self, last_node: impl Fn(GraphId) -> u32) -> Vec<GraphId> {
         let mut out: Vec<GraphId> = self
-            .occurrences
+            .occurrences()
             .iter()
             .filter(|occ| occ.end == last_node(occ.graph))
             .map(|occ| occ.graph)
@@ -133,15 +195,24 @@ impl PathList {
 
     /// True when no graph contains the path.
     pub fn is_empty(&self) -> bool {
-        self.occurrences.is_empty()
+        self.start == self.end
     }
 }
 
 /// The inverted index over edge labels of a set of transformation graphs.
+///
+/// Postings live in one flat CSR arena: the postings of label `l` occupy
+/// `postings[label_offsets[l]..label_offsets[l + 1]]`, sorted by
+/// `(graph, from, to)`; per-label distinct-graph counts are precomputed.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InvertedIndex {
-    /// `lists[label.index()]` = postings of that label, sorted by `(graph, from, to)`.
-    lists: Vec<Vec<Posting>>,
+    /// All postings, grouped by label, each label's range sorted.
+    postings: Vec<Posting>,
+    /// `label_offsets[l]..label_offsets[l + 1]` delimits label `l`'s range
+    /// (length `num_labels + 1`).
+    label_offsets: Vec<u32>,
+    /// `graph_counts[l]` — distinct graphs in label `l`'s posting range.
+    graph_counts: Vec<u32>,
 }
 
 impl InvertedIndex {
@@ -149,32 +220,75 @@ impl InvertedIndex {
     /// of labels in the interner the graphs were built with (label ids index
     /// directly into the posting-list table).
     pub fn build(graphs: &[TransformationGraph], num_labels: usize) -> Self {
-        let mut lists: Vec<Vec<Posting>> = vec![Vec::new(); num_labels];
+        // Pass 1: postings per label.
+        let mut counts: Vec<u32> = vec![0; num_labels];
+        for graph in graphs {
+            for (_, _, label) in graph.label_triples() {
+                let idx = label.index();
+                if idx >= counts.len() {
+                    counts.resize(idx + 1, 0);
+                }
+                counts[idx] += 1;
+            }
+        }
+        // Offsets by prefix sum, then scatter through per-label cursors.
+        let mut label_offsets: Vec<u32> = Vec::with_capacity(counts.len() + 1);
+        let mut total = 0u32;
+        for &count in &counts {
+            label_offsets.push(total);
+            total += count;
+        }
+        label_offsets.push(total);
+        let mut postings = vec![
+            Posting {
+                graph: GraphId(0),
+                from: 0,
+                to: 0,
+            };
+            total as usize
+        ];
+        let mut cursors: Vec<u32> = label_offsets[..counts.len()].to_vec();
         for (gid, graph) in graphs.iter().enumerate() {
             for (from, to, label) in graph.label_triples() {
-                let idx = label.index();
-                if idx >= lists.len() {
-                    lists.resize(idx + 1, Vec::new());
-                }
-                lists[idx].push(Posting {
+                let cursor = &mut cursors[label.index()];
+                postings[*cursor as usize] = Posting {
                     graph: GraphId(gid as u32),
                     from,
                     to,
-                });
+                };
+                *cursor += 1;
             }
         }
-        for list in &mut lists {
-            list.sort();
+        // Graphs were scattered in ascending id order, so each range is
+        // already grouped by graph; the sort settles `(from, to)` within it.
+        let mut graph_counts: Vec<u32> = Vec::with_capacity(counts.len());
+        for l in 0..counts.len() {
+            let range = label_offsets[l] as usize..label_offsets[l + 1] as usize;
+            postings[range.clone()].sort_unstable();
+            let mut distinct = 0u32;
+            let mut last = None;
+            for p in &postings[range] {
+                if last != Some(p.graph) {
+                    distinct += 1;
+                    last = Some(p.graph);
+                }
+            }
+            graph_counts.push(distinct);
         }
-        InvertedIndex { lists }
+        InvertedIndex {
+            postings,
+            label_offsets,
+            graph_counts,
+        }
     }
 
     /// The posting list of a label (empty when the label never occurs).
     pub fn list(&self, label: LabelId) -> &[Posting] {
-        self.lists
-            .get(label.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        let idx = label.index();
+        if idx >= self.num_labels() {
+            return &[];
+        }
+        &self.postings[self.label_offsets[idx] as usize..self.label_offsets[idx + 1] as usize]
     }
 
     /// Length of the posting list of a label.
@@ -184,53 +298,80 @@ impl InvertedIndex {
 
     /// Number of *distinct graphs* in the posting list of a label (an upper
     /// bound on how many graphs can share any path through that label).
+    /// Precomputed at build time — this is the pivot search's hottest pruning
+    /// probe, consulted once per candidate extension.
     pub fn list_graph_count(&self, label: LabelId) -> usize {
-        let list = self.list(label);
-        let mut count = 0;
-        let mut last = None;
-        for p in list {
-            if last != Some(p.graph) {
-                count += 1;
-                last = Some(p.graph);
-            }
-        }
-        count
+        self.graph_counts.get(label.index()).copied().unwrap_or(0) as usize
     }
 
     /// Number of labels the index knows about.
     pub fn num_labels(&self) -> usize {
-        self.lists.len()
+        self.label_offsets.len().saturating_sub(1)
     }
 
     /// Extends a path list by one label: the adjacency-aware intersection
     /// `ℓ ∩ I[label]` of Section 5.1. An occurrence `⟨G, end⟩` joins with a
     /// posting `⟨G, from, to⟩` iff `from == end`, producing `⟨G, to⟩`.
+    ///
+    /// The join is graph-scoped and galloping: both sides advance to each
+    /// other's next graph by exponential + binary search instead of a linear
+    /// scan, so a short occurrence list against a mega posting list (or vice
+    /// versa) costs `O(short × log(long))`.
     pub fn extend(&self, current: &PathList, label: LabelId) -> PathList {
         let postings = self.list(label);
-        if postings.is_empty() || current.is_empty() {
+        let occs = current.occurrences();
+        if postings.is_empty() || occs.is_empty() {
             return PathList::default();
         }
-        let occs = current.occurrences();
-        let mut out = Vec::new();
-        // Both inputs are sorted by graph; walk them like a merge join.
+        let mut out: Vec<PathOccurrence> = Vec::new();
+        let mut oi = 0usize;
         let mut pi = 0usize;
-        for occ in occs {
-            // Advance postings to this graph.
-            while pi < postings.len() && postings[pi].graph < occ.graph {
-                pi += 1;
+        while oi < occs.len() && pi < postings.len() {
+            let graph = occs[oi].graph;
+            // Gallop the postings to this graph's block.
+            pi += gallop(&postings[pi..], |p| p.graph < graph);
+            if pi == postings.len() {
+                break;
             }
-            let mut j = pi;
-            while j < postings.len() && postings[j].graph == occ.graph {
-                if postings[j].from == occ.end {
+            if postings[pi].graph > graph {
+                // The postings skipped ahead; gallop the occurrences to catch
+                // up.
+                let ahead = postings[pi].graph;
+                oi += gallop(&occs[oi..], |occ| occ.graph < ahead);
+                continue;
+            }
+            let block_end = pi + gallop(&postings[pi..], |p| p.graph == graph);
+            let occs_end = oi + gallop(&occs[oi..], |occ| occ.graph == graph);
+            // Intersect this graph's occurrence ends (ascending) against the
+            // block's `from` fields (ascending): one forward sweep with a
+            // binary jump per occurrence.
+            let out_start = out.len();
+            let mut pj = pi;
+            for occ in &occs[oi..occs_end] {
+                pj += gallop(&postings[pj..block_end], |p| p.from < occ.end);
+                let mut pk = pj;
+                while pk < block_end && postings[pk].from == occ.end {
                     out.push(PathOccurrence {
-                        graph: occ.graph,
-                        end: postings[j].to,
+                        graph,
+                        end: postings[pk].to,
                     });
+                    pk += 1;
                 }
-                j += 1;
             }
+            // Postings are sorted by `(from, to)`, not by `to`, so this
+            // graph's outputs need a local sort; duplicates (several postings
+            // reaching the same node) are settled by the final dedup.
+            out[out_start..].sort_unstable();
+            oi = occs_end;
+            pi = block_end;
         }
-        PathList::from_occurrences(out)
+        out.dedup();
+        PathList::from_sorted(out)
+    }
+
+    /// Postings stored across all labels (the CSR arena's length).
+    pub fn num_postings(&self) -> usize {
+        self.postings.len()
     }
 
     /// Convenience: the list of graphs containing a whole path (sequence of
@@ -247,6 +388,26 @@ impl InvertedIndex {
         }
         list
     }
+}
+
+/// The first index of `slice` at which `pred` stops holding (the partition
+/// point), found by exponential search from the front followed by a binary
+/// search of the bracketed range — `O(log distance)` when the answer is near
+/// the front, which is the common case for the graph-by-graph merge walks in
+/// [`InvertedIndex::extend`]. `pred` must be monotone (true-prefix).
+fn gallop<T>(slice: &[T], pred: impl Fn(&T) -> bool) -> usize {
+    match slice.first() {
+        Some(first) if pred(first) => {}
+        _ => return 0,
+    }
+    let mut bound = 1usize;
+    while bound < slice.len() && pred(&slice[bound]) {
+        bound <<= 1;
+    }
+    // `pred` holds at `bound >> 1` and fails at `bound` (when in range).
+    let lo = (bound >> 1) + 1;
+    let hi = bound.min(slice.len());
+    lo + slice[lo..hi].partition_point(pred)
 }
 
 #[cfg(test)]
@@ -436,6 +597,63 @@ mod tests {
         assert_eq!(list.graph_count(), 1);
         let complete = list.complete_graphs(|g| graphs[g.index()].last_node());
         assert_eq!(complete, vec![GraphId(0)]);
+    }
+
+    #[test]
+    fn slice_graphs_is_a_zero_copy_sub_view() {
+        let list = PathList::from_occurrences(vec![
+            PathOccurrence {
+                graph: GraphId(0),
+                end: 2,
+            },
+            PathOccurrence {
+                graph: GraphId(2),
+                end: 1,
+            },
+            PathOccurrence {
+                graph: GraphId(2),
+                end: 4,
+            },
+            PathOccurrence {
+                graph: GraphId(5),
+                end: 0,
+            },
+        ]);
+        let mid = list.slice_graphs(1..5);
+        assert_eq!(
+            mid.occurrences(),
+            &[
+                PathOccurrence {
+                    graph: GraphId(2),
+                    end: 1
+                },
+                PathOccurrence {
+                    graph: GraphId(2),
+                    end: 4
+                }
+            ]
+        );
+        assert_eq!(mid.graph_count(), 1);
+        // The sub-view shares the parent's arena.
+        assert!(Arc::ptr_eq(&list.backing, &mid.backing));
+        assert!(list.slice_graphs(3..5).is_empty());
+        assert_eq!(list.slice_graphs(0..6), list);
+        // Slicing composes with `extend`-style equality semantics.
+        assert_eq!(
+            mid,
+            PathList::from_occurrences(mid.occurrences().to_vec()),
+            "a view equals its materialized copy"
+        );
+    }
+
+    #[test]
+    fn gallop_finds_every_partition_point() {
+        for len in 0..20usize {
+            let slice: Vec<usize> = (0..len).collect();
+            for cut in 0..=len {
+                assert_eq!(gallop(&slice, |&x| x < cut), cut, "len={len} cut={cut}");
+            }
+        }
     }
 
     #[test]

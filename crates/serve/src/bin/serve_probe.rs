@@ -6,11 +6,18 @@
 //! serve_probe --addr 127.0.0.1:7171 --path /healthz
 //! serve_probe --addr … --method POST --path "/pipeline?budget=15" \
 //!     --body-file flat.csv --output served.csv
+//! serve_probe --addr … --path /healthz --repeat 2 --output probe.txt
 //! serve_probe --addr … --method POST --path /shutdown
 //! ```
 //!
-//! Exits 0 on a 200 response (override with `--expect-status`), 1 otherwise;
-//! the body goes to `--output` or stdout, trailers to stderr.
+//! `--repeat N` performs the same request `N` times over **one** kept-alive
+//! connection (failing if the server hangs up early) and writes the extra
+//! bodies to `<output>.2`, `<output>.3`, … — the CI smoke job `cmp`s them to
+//! prove keep-alive reuse returns identical answers.
+//!
+//! Exits 0 when every response matches the expected status (default 200,
+//! override with `--expect-status`), 1 otherwise; bodies go to `--output` or
+//! stdout, trailers to stderr.
 
 use std::io::Write;
 use std::net::ToSocketAddrs;
@@ -23,6 +30,7 @@ struct Options {
     body_file: Option<String>,
     output: Option<String>,
     expect_status: u16,
+    repeat: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -33,6 +41,7 @@ fn parse_args() -> Result<Options, String> {
         body_file: None,
         output: None,
         expect_status: 200,
+        repeat: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -50,6 +59,13 @@ fn parse_args() -> Result<Options, String> {
                 options.expect_status = value("expect-status")?
                     .parse()
                     .map_err(|_| "--expect-status expects an integer".to_string())?
+            }
+            "--repeat" => {
+                options.repeat = value("repeat")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| "--repeat expects a positive integer".to_string())?
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -87,32 +103,48 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let response = match ec_serve::http::request(addr, &options.method, &options.path, &body) {
-        Ok(response) => response,
+    let responses = match ec_serve::http::request_many(
+        addr,
+        &options.method,
+        &options.path,
+        &body,
+        options.repeat,
+    ) {
+        Ok(responses) => responses,
         Err(e) => {
             eprintln!("serve_probe: request failed: {e}");
             return ExitCode::from(1);
         }
     };
-    for (name, value) in &response.trailers {
-        eprintln!("trailer {name}: {value}");
-    }
-    let written = match &options.output {
-        Some(path) => std::fs::write(path, &response.body).map_err(|e| format!("{path}: {e}")),
-        None => std::io::stdout()
-            .write_all(&response.body)
-            .map_err(|e| e.to_string()),
-    };
-    if let Err(message) = written {
-        eprintln!("serve_probe: cannot write body: {message}");
-        return ExitCode::from(1);
-    }
-    if response.status != options.expect_status {
-        eprintln!(
-            "serve_probe: expected status {}, got {}",
-            options.expect_status, response.status
-        );
-        return ExitCode::from(1);
+    for (i, response) in responses.iter().enumerate() {
+        for (name, value) in &response.trailers {
+            eprintln!("trailer {name}: {value}");
+        }
+        let written = match &options.output {
+            Some(path) => {
+                // Repeat bodies land next to the first (`out`, `out.2`, …).
+                let path = if i == 0 {
+                    path.clone()
+                } else {
+                    format!("{path}.{}", i + 1)
+                };
+                std::fs::write(&path, &response.body).map_err(|e| format!("{path}: {e}"))
+            }
+            None => std::io::stdout()
+                .write_all(&response.body)
+                .map_err(|e| e.to_string()),
+        };
+        if let Err(message) = written {
+            eprintln!("serve_probe: cannot write body: {message}");
+            return ExitCode::from(1);
+        }
+        if response.status != options.expect_status {
+            eprintln!(
+                "serve_probe: expected status {}, got {}",
+                options.expect_status, response.status
+            );
+            return ExitCode::from(1);
+        }
     }
     ExitCode::SUCCESS
 }

@@ -33,6 +33,9 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Header `(name, value)` pairs, names lowercased.
     pub headers: Vec<(String, String)>,
+    /// True for `HTTP/1.1` (and later 1.x) requests, which default to
+    /// persistent connections; `HTTP/1.0` defaults to close.
+    pub http11: bool,
 }
 
 impl Request {
@@ -59,6 +62,23 @@ impl Request {
             Some(v) => v.trim().parse().map(Some).map_err(|_| {
                 io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length header")
             }),
+        }
+    }
+
+    /// Whether the client asked to keep the connection open after this
+    /// request: the HTTP/1.1 default unless `Connection: close`, opt-in via
+    /// `Connection: keep-alive` for HTTP/1.0.
+    pub fn keep_alive(&self) -> bool {
+        let connection = self.header("connection").unwrap_or("");
+        let mentions = |token: &str| {
+            connection
+                .split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case(token))
+        };
+        if self.http11 {
+            !mentions("close")
+        } else {
+            mentions("keep-alive")
         }
     }
 }
@@ -130,6 +150,7 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
     if !version.starts_with("HTTP/1.") {
         return Err(bad("unsupported HTTP version"));
     }
+    let http11 = version != "HTTP/1.0";
     let (path, query_text) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -163,6 +184,7 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
         path: path.to_string(),
         query,
         headers,
+        http11,
     }))
 }
 
@@ -179,19 +201,42 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// The `Connection` answer a response advertises. Both response framings the
+/// service uses (`Content-Length` and chunked) are self-delimiting, so any
+/// response may keep the connection alive; handlers answer `Close` when the
+/// server intends to hang up (errors, shutdown, or a client that asked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Persistence {
+    /// `Connection: keep-alive` — the server will read another request.
+    KeepAlive,
+    /// `Connection: close` — the server hangs up after this response.
+    Close,
+}
+
+impl Persistence {
+    fn header_value(self) -> &'static str {
+        match self {
+            Persistence::KeepAlive => "keep-alive",
+            Persistence::Close => "close",
+        }
+    }
+}
+
 /// Writes a complete small response with `Content-Length`.
 pub fn write_response(
     out: &mut impl Write,
     status: u16,
     content_type: &str,
     extra_headers: &[(String, String)],
+    persistence: Persistence,
     body: &[u8],
 ) -> io::Result<()> {
     write!(
         out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        persistence.header_value()
     )?;
     for (name, value) in extra_headers {
         write!(out, "{name}: {value}\r\n")?;
@@ -209,12 +254,14 @@ pub fn write_chunked_head(
     status: u16,
     content_type: &str,
     extra_headers: &[(String, String)],
+    persistence: Persistence,
     trailer_names: &[&str],
 ) -> io::Result<()> {
     write!(
         out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
-        reason(status)
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
+        reason(status),
+        persistence.header_value()
     )?;
     for (name, value) in extra_headers {
         write!(out, "{name}: {value}\r\n")?;
@@ -424,17 +471,39 @@ pub fn request(
     path_and_query: &str,
     body: &[u8],
 ) -> io::Result<Response> {
-    let mut stream = TcpStream::connect(addr)?;
+    let mut responses = request_many(addr, method, path_and_query, body, 1)?;
+    Ok(responses.remove(0))
+}
+
+/// Performs the same request `count` times over **one** connection,
+/// advertising `Connection: keep-alive` on every request but the last.
+/// Fails if the server closes the socket early, so a successful call proves
+/// the connection was actually reused — which is what the keep-alive probe
+/// and the CI smoke job check.
+pub fn request_many(
+    addr: SocketAddr,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+    count: usize,
+) -> io::Result<Vec<Response>> {
+    let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
-    write!(
-        stream,
-        "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    )?;
-    stream.write_all(body)?;
-    stream.flush()?;
+    let mut write_half = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    read_response(&mut reader)
+    let mut responses = Vec::with_capacity(count);
+    for i in 0..count.max(1) {
+        let connection = if i + 1 < count { "keep-alive" } else { "close" };
+        write!(
+            write_half,
+            "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            body.len()
+        )?;
+        write_half.write_all(body)?;
+        write_half.flush()?;
+        responses.push(read_response(&mut reader)?);
+    }
+    Ok(responses)
 }
 
 #[cfg(test)]
@@ -478,7 +547,15 @@ mod tests {
     #[test]
     fn chunked_round_trip_with_trailers() {
         let mut wire = Vec::new();
-        write_chunked_head(&mut wire, 200, "text/csv", &[], &["x-ec-records"]).unwrap();
+        write_chunked_head(
+            &mut wire,
+            200,
+            "text/csv",
+            &[],
+            Persistence::KeepAlive,
+            &["x-ec-records"],
+        )
+        .unwrap();
         let mut body = ChunkedWriter::new(&mut wire);
         body.write_all(b"first,").unwrap();
         body.write_all(b"second").unwrap();
@@ -494,12 +571,34 @@ mod tests {
     #[test]
     fn content_length_responses_round_trip() {
         let mut wire = Vec::new();
-        write_response(&mut wire, 404, "text/plain", &[], b"nope\n").unwrap();
+        write_response(
+            &mut wire,
+            404,
+            "text/plain",
+            &[],
+            Persistence::Close,
+            b"nope\n",
+        )
+        .unwrap();
         let mut reader = BufReader::new(Cursor::new(wire));
         let response = read_response(&mut reader).unwrap();
         assert_eq!(response.status, 404);
         assert_eq!(response.body, b"nope\n");
         assert_eq!(response.header("content-length"), Some("5"));
+        assert_eq!(response.header("connection"), Some("close"));
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let parse = |raw: &str| {
+            let mut reader = BufReader::new(Cursor::new(raw.as_bytes().to_vec()));
+            read_request(&mut reader).unwrap().unwrap()
+        };
+        assert!(parse("GET /x HTTP/1.1\r\n\r\n").keep_alive());
+        assert!(parse("GET /x HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").keep_alive());
+        assert!(!parse("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+        assert!(!parse("GET /x HTTP/1.0\r\n\r\n").keep_alive());
+        assert!(parse("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive());
     }
 
     #[test]

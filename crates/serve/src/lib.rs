@@ -19,6 +19,12 @@
 //!   encoding, so per-connection memory is bounded by the parsed dataset
 //!   (exactly like the CLI), never by raw request/response bytes.
 //!
+//! Connections are **kept alive**: sequential requests reuse the socket
+//! (HTTP/1.1 semantics — persistent unless `Connection: close`; HTTP/1.0
+//! opts in via `Connection: keep-alive`) with a short idle timeout, so a
+//! client looping `apply` calls pays the TCP handshake once. Errors and
+//! `POST /shutdown` close the connection.
+//!
 //! ## Endpoints
 //!
 //! | Endpoint | Behaviour |
@@ -49,21 +55,23 @@ use ec_core::{
 use ec_data::stream::DatasetSink;
 use ec_data::{csv::CsvWriter, ClusteredCsvWriter, FlatCsvReader, RecordStream};
 use ec_resolution::ResolverConfig;
-use http::{ChunkedWriter, LimitedReader, Request};
+use http::{ChunkedWriter, LimitedReader, Persistence, Request};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
-/// How long a connection may sit idle before the handler gives up on it.
+/// How long a connection may sit idle mid-request before the handler gives
+/// up on it.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// How long a connection may take to deliver its request *head*. Handlers
-/// run as jobs on the CPU-sized shared pool, so an idle connection occupies
-/// a worker until this expires — kept short so stalled clients release
-/// workers quickly (the longer [`READ_TIMEOUT`] applies once a body is
-/// actually streaming).
+/// How long a connection may take to deliver its request *head* — which on a
+/// kept-alive connection doubles as the **idle timeout** between requests.
+/// Handlers run as jobs on the CPU-sized shared pool, so an idle connection
+/// occupies a worker until this expires — kept short so stalled clients
+/// release workers quickly (the longer [`READ_TIMEOUT`] applies once a body
+/// is actually streaming).
 const HEAD_READ_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Cap on how many unread request-body bytes are drained before closing.
@@ -214,79 +222,120 @@ impl HttpFailure {
 type HandlerResult = Result<(), HttpFailure>;
 
 fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_read_timeout(Some(HEAD_READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::with_capacity(8 * 1024, write_half);
-    let request = match http::read_request(&mut reader) {
-        Ok(Some(request)) => request,
-        Ok(None) => return,
-        Err(e) => {
-            let _ = http::write_response(
-                &mut writer,
-                400,
-                "text/plain",
-                &[],
-                format!("bad request: {e}\n").as_bytes(),
-            );
-            return;
-        }
-    };
-    let _ = reader.get_ref().set_read_timeout(Some(READ_TIMEOUT));
-    state.requests.fetch_add(1, Ordering::Relaxed);
-    let declared_length = match request.content_length() {
-        Ok(length) => length,
-        Err(e) => {
-            let _ = http::write_response(
-                &mut writer,
-                400,
-                "text/plain",
-                &[],
-                format!("{e}\n").as_bytes(),
-            );
-            return;
-        }
-    };
-    let mut body = LimitedReader::new(&mut reader, declared_length.unwrap_or(0));
-    let outcome = dispatch(
-        &request,
-        declared_length.is_some(),
-        &mut body,
-        &mut writer,
-        state,
-    );
-    // Drain whatever of the declared body the handler never read: closing
-    // with unread bytes in the receive queue makes the kernel send RST,
-    // which can flush the response right out of the peer's buffer. The cap
-    // bounds the work a garbage request can cause.
-    let leftover = body.remaining().min(DRAIN_CAP);
-    if leftover > 0 {
-        let _ = std::io::copy(
-            &mut Read::by_ref(&mut body).take(leftover),
-            &mut std::io::sink(),
-        );
-    }
-    if let Err(failure) = outcome {
-        // Best effort: if the response head already went out this writes
-        // into the body and the client sees a truncated chunked stream,
-        // which is the correct failure signal mid-stream.
-        let _ = http::write_response(
+    // One iteration per request: the connection is reused for the next
+    // request whenever the client asked to keep it alive and this request
+    // ended cleanly (responses are always self-delimiting, so nothing else
+    // gates reuse). Errors close the connection — the simple, safe answer.
+    loop {
+        // The head timeout doubles as the keep-alive idle timeout.
+        let _ = reader.get_ref().set_read_timeout(Some(HEAD_READ_TIMEOUT));
+        let request = match http::read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            // Clean hangup between requests.
+            Ok(None) => return,
+            Err(e) => {
+                // An idle kept-alive connection timing out is a normal
+                // hangup, not a protocol error worth answering.
+                if e.kind() != io::ErrorKind::WouldBlock && e.kind() != io::ErrorKind::TimedOut {
+                    let _ = http::write_response(
+                        &mut writer,
+                        400,
+                        "text/plain",
+                        &[],
+                        Persistence::Close,
+                        format!("bad request: {e}\n").as_bytes(),
+                    );
+                    let _ = writer.flush();
+                }
+                return;
+            }
+        };
+        let _ = reader.get_ref().set_read_timeout(Some(READ_TIMEOUT));
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let declared_length = match request.content_length() {
+            Ok(length) => length,
+            Err(e) => {
+                let _ = http::write_response(
+                    &mut writer,
+                    400,
+                    "text/plain",
+                    &[],
+                    Persistence::Close,
+                    format!("{e}\n").as_bytes(),
+                );
+                let _ = writer.flush();
+                return;
+            }
+        };
+        // Decide the advertised persistence *before* any handler writes a
+        // response head: a body too big to drain (should the handler leave
+        // it unread) forfeits reuse, and advertising keep-alive only to hang
+        // up afterwards would leave an honoring client talking to a closed
+        // socket.
+        let persistence = if request.keep_alive() && declared_length.unwrap_or(0) <= DRAIN_CAP {
+            Persistence::KeepAlive
+        } else {
+            Persistence::Close
+        };
+        let mut body = LimitedReader::new(&mut reader, declared_length.unwrap_or(0));
+        let outcome = dispatch(
+            &request,
+            declared_length.is_some(),
+            persistence,
+            &mut body,
             &mut writer,
-            failure.status,
-            "text/plain",
-            &[],
-            format!("{}\n", failure.message).as_bytes(),
+            state,
         );
+        // Drain whatever of the declared body the handler never read:
+        // closing with unread bytes in the receive queue makes the kernel
+        // send RST, which can flush the response right out of the peer's
+        // buffer — and a kept-alive connection needs the stream positioned
+        // at the next request head anyway. The cap bounds the work a garbage
+        // request can cause; an undrainable body forfeits reuse.
+        let leftover = body.remaining();
+        let mut reusable = leftover <= DRAIN_CAP;
+        if leftover > 0 {
+            let drain = leftover.min(DRAIN_CAP);
+            match std::io::copy(
+                &mut Read::by_ref(&mut body).take(drain),
+                &mut std::io::sink(),
+            ) {
+                Ok(n) if n == drain => {}
+                _ => reusable = false,
+            }
+        }
+        if let Err(failure) = outcome {
+            // Best effort: if the response head already went out this writes
+            // into the body and the client sees a truncated chunked stream,
+            // which is the correct failure signal mid-stream.
+            let _ = http::write_response(
+                &mut writer,
+                failure.status,
+                "text/plain",
+                &[],
+                Persistence::Close,
+                format!("{}\n", failure.message).as_bytes(),
+            );
+            let _ = writer.flush();
+            return;
+        }
+        let _ = writer.flush();
+        if persistence == Persistence::Close || !reusable || state.stop.load(Ordering::Acquire) {
+            return;
+        }
     }
-    let _ = writer.flush();
 }
 
 fn dispatch(
     request: &Request,
     has_body: bool,
+    persistence: Persistence,
     body: &mut LimitedReader<&mut BufReader<TcpStream>>,
     writer: &mut BufWriter<TcpStream>,
     state: &Arc<ServerState>,
@@ -302,11 +351,19 @@ fn dispatch(
         }
     };
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => handle_healthz(writer, state),
-        ("GET", "/library") => handle_library(writer, state),
+        ("GET", "/healthz") => handle_healthz(writer, state, persistence),
+        ("GET", "/library") => handle_library(writer, state, persistence),
         ("POST", "/shutdown") => {
-            http::write_response(writer, 200, "text/plain", &[], b"shutting down\n")
-                .map_err(io_failure)?;
+            // The accept loop is stopping; never invite another request.
+            http::write_response(
+                writer,
+                200,
+                "text/plain",
+                &[],
+                Persistence::Close,
+                b"shutting down\n",
+            )
+            .map_err(io_failure)?;
             let _ = writer.flush();
             ServerHandle {
                 state: Arc::clone(state),
@@ -316,11 +373,11 @@ fn dispatch(
         }
         ("POST", "/pipeline") => {
             require_body()?;
-            handle_pipeline(request, body, writer, state)
+            handle_pipeline(request, body, writer, state, persistence)
         }
         ("POST", "/apply") => {
             require_body()?;
-            handle_apply(body, writer, state)
+            handle_apply(body, writer, state, persistence)
         }
         ("GET" | "POST", _) => Err(HttpFailure::new(
             404,
@@ -334,7 +391,11 @@ fn io_failure(e: io::Error) -> HttpFailure {
     HttpFailure::new(500, format!("io error: {e}"))
 }
 
-fn handle_healthz(writer: &mut BufWriter<TcpStream>, state: &ServerState) -> HandlerResult {
+fn handle_healthz(
+    writer: &mut BufWriter<TcpStream>,
+    state: &ServerState,
+    persistence: Persistence,
+) -> HandlerResult {
     let library = state.library.read().unwrap();
     let headers = vec![
         (
@@ -352,12 +413,44 @@ fn handle_healthz(writer: &mut BufWriter<TcpStream>, state: &ServerState) -> Han
         ),
     ];
     drop(library);
-    http::write_response(writer, 200, "text/plain", &headers, b"ok\n").map_err(io_failure)
+    http::write_response(writer, 200, "text/plain", &headers, persistence, b"ok\n")
+        .map_err(io_failure)
 }
 
-fn handle_library(writer: &mut BufWriter<TcpStream>, state: &ServerState) -> HandlerResult {
-    let snapshot = state.library.read().unwrap().to_snapshot();
-    http::write_response(writer, 200, "text/plain", &[], snapshot.as_bytes()).map_err(io_failure)
+fn handle_library(
+    writer: &mut BufWriter<TcpStream>,
+    state: &ServerState,
+    persistence: Persistence,
+) -> HandlerResult {
+    let library = state.library.read().unwrap();
+    let headers = vec![
+        (
+            "X-Ec-Library-Version".to_string(),
+            library.version().to_string(),
+        ),
+        (
+            "X-Ec-Library-Evictions".to_string(),
+            library.evictions().to_string(),
+        ),
+        (
+            "X-Ec-Library-Cap".to_string(),
+            library
+                .column_capacity()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "unbounded".to_string()),
+        ),
+    ];
+    let snapshot = library.to_snapshot();
+    drop(library);
+    http::write_response(
+        writer,
+        200,
+        "text/plain",
+        &headers,
+        persistence,
+        snapshot.as_bytes(),
+    )
+    .map_err(io_failure)
 }
 
 /// The artifact `POST /pipeline` streams back.
@@ -372,6 +465,7 @@ fn handle_pipeline(
     body: impl Read,
     writer: &mut BufWriter<TcpStream>,
     state: &Arc<ServerState>,
+    persistence: Persistence,
 ) -> HandlerResult {
     let fail = |message: String| HttpFailure::new(400, message);
     let threshold: f64 = match request.query_param("threshold") {
@@ -482,7 +576,8 @@ fn handle_pipeline(
         ),
         ("X-Ec-Groups-Approved".to_string(), approved.to_string()),
     ];
-    http::write_chunked_head(writer, 200, "text/csv", &headers, &[]).map_err(io_failure)?;
+    http::write_chunked_head(writer, 200, "text/csv", &headers, persistence, &[])
+        .map_err(io_failure)?;
     let mut body_writer = ChunkedWriter::new(writer);
     match output {
         PipelineOutput::Standardized => {
@@ -531,6 +626,7 @@ fn handle_apply(
     body: impl Read,
     writer: &mut BufWriter<TcpStream>,
     state: &Arc<ServerState>,
+    persistence: Persistence,
 ) -> HandlerResult {
     let mut stream = FlatCsvReader::new(body)
         .map_err(|e| HttpFailure::new(400, format!("bad flat CSV body: {e}")))?;
@@ -550,6 +646,7 @@ fn handle_apply(
             "X-Ec-Library-Version".to_string(),
             library.version().to_string(),
         )],
+        persistence,
         &[
             "X-Ec-Records",
             "X-Ec-Cells-Rewritten",
@@ -628,6 +725,44 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let (handle, join) = start_server(ephemeral_config());
+        // `request_many` fails outright if the server hangs up between
+        // requests, so three identical answers prove actual socket reuse.
+        let responses = http::request_many(handle.addr(), "GET", "/healthz", b"", 3).unwrap();
+        assert_eq!(responses.len(), 3);
+        for response in &responses[..2] {
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, b"ok\n");
+            assert_eq!(response.header("connection"), Some("keep-alive"));
+        }
+        assert_eq!(
+            responses[2].header("connection"),
+            Some("close"),
+            "the final request asked to close"
+        );
+        // All three requests were counted individually.
+        assert!(handle.requests() >= 3);
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_reuses_the_connection_across_posted_bodies() {
+        let (handle, join) = start_server(ephemeral_config());
+        let body = b"source,Name\n0,\"Lee, Mary\"\n1,Mary Lee\n";
+        let responses = http::request_many(handle.addr(), "POST", "/apply", body, 2).unwrap();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].status, 200);
+        assert_eq!(
+            responses[0].body, responses[1].body,
+            "both requests on the one connection see identical answers"
+        );
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
     fn shutdown_endpoint_stops_the_accept_loop() {
         let (handle, join) = start_server(ephemeral_config());
         let response = http::request(handle.addr(), "POST", "/shutdown", b"").unwrap();
@@ -658,6 +793,8 @@ mod tests {
         assert_eq!(response.trailer("x-ec-cells-rewritten"), Some("1"));
         assert_eq!(response.trailer("x-ec-cells-unmatched"), Some("1"));
         let snapshot = http::request(handle.addr(), "GET", "/library", b"").unwrap();
+        assert_eq!(snapshot.header("x-ec-library-evictions"), Some("0"));
+        assert_eq!(snapshot.header("x-ec-library-cap"), Some("unbounded"));
         assert!(String::from_utf8(snapshot.body)
             .unwrap()
             .contains("rewrite \"Lee, Mary\" \"Mary Lee\""));

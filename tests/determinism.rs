@@ -119,6 +119,92 @@ fn plain_incremental_grouper_is_identical_at_any_parallelism() {
     }
 }
 
+/// One cluster, many variants — the mega-group shape real columns produce
+/// when sorted-neighborhood resolution false-merges a pile of lookalikes.
+/// Candidates concentrate in a handful of structure partitions, so the
+/// incremental ramp's early batches search one or two huge graphs at a time:
+/// exactly where `threads > graphs` engages the frontier engine's parallel
+/// wave scheduling inside a single search.
+fn mega_group_candidates() -> Vec<Replacement> {
+    // Systematic variant spellings of one journal title: the base form, each
+    // word abbreviated on its own, and growing abbreviated prefixes. With
+    // every value in one cluster, candidate generation produces the full
+    // quadratic pair pile over closely related graphs.
+    let words = ["International", "Journal", "Advanced", "Data", "Systems"];
+    let abbreviate = |w: &str| format!("{}.", w.chars().next().unwrap());
+    let mut values = vec![words.join(" ")];
+    for i in 0..words.len() {
+        let mut variant: Vec<String> = words.iter().map(|w| w.to_string()).collect();
+        variant[i] = abbreviate(words[i]);
+        values.push(variant.join(" "));
+    }
+    for upto in 2..=words.len() {
+        let variant: Vec<String> = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                if i < upto {
+                    abbreviate(w)
+                } else {
+                    w.to_string()
+                }
+            })
+            .collect();
+        values.push(variant.join(" "));
+    }
+    let candidates = generate_candidates(
+        &[values],
+        &CandidateConfig {
+            parallelism: Parallelism::SEQUENTIAL,
+            ..CandidateConfig::default()
+        },
+    );
+    assert!(
+        candidates.len() > 50,
+        "the mega cluster must yield a searchable candidate pile: {}",
+        candidates.len()
+    );
+    candidates.replacements
+}
+
+#[test]
+fn single_mega_group_grouping_is_identical_at_any_parallelism() {
+    let replacements = mega_group_candidates();
+    let base: Vec<Group> =
+        StructuredGrouper::new(&replacements, config_with_threads(1)).all_groups();
+    assert!(!base.is_empty());
+    for threads in [2usize, 4] {
+        let sharded: Vec<Group> =
+            StructuredGrouper::new(&replacements, config_with_threads(threads)).all_groups();
+        assert_eq!(
+            base, sharded,
+            "mega-group grouping differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn single_mega_group_grouping_is_identical_when_the_step_budget_binds() {
+    // A starved step budget forces every frontier task to its private
+    // slice's truncation point; intra-search sharding (on by default) must
+    // keep those points — and with them the groups — thread-count
+    // independent.
+    let replacements = mega_group_candidates();
+    let drain = |threads: usize| {
+        let config = GroupingConfig {
+            max_search_steps: 200,
+            parallelism: Parallelism::fixed(threads),
+            ..GroupingConfig::default()
+        };
+        assert!(config.intra_search_sharding);
+        StructuredGrouper::new(&replacements, config).all_groups()
+    };
+    let base = drain(1);
+    for threads in [2usize, 4] {
+        assert_eq!(base, drain(threads), "threads={threads}");
+    }
+}
+
 #[test]
 fn oneshot_and_incremental_cover_the_same_replacements_in_parallel() {
     // Cross-driver sanity at a parallel setting: both drivers partition the
