@@ -228,6 +228,21 @@ pub fn export_figure_csv(name: &str, figure: &ec_report::Figure) -> Option<std::
     export_csv(name, &ec_report::csv_export(figure))
 }
 
+/// Writes a non-CSV artifact (e.g. a JSON report) as
+/// `<EC_BENCH_EXPORT_DIR>/<filename>`; falls back to the current directory
+/// when no export directory is configured, so the artifact always lands
+/// somewhere inspectable. Returns the written path.
+pub fn export_artifact(filename: &str, contents: &str) -> std::path::PathBuf {
+    let dir = export_dir().unwrap_or_else(|| std::path::PathBuf::from("."));
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create export dir {}: {e}", dir.display()));
+    let path = dir.join(filename);
+    std::fs::write(&path, contents)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("exported {}", path.display());
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

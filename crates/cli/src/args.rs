@@ -111,7 +111,18 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
             &[],
         )),
         "apply" => Some((&["input", "library", "output"], &[])),
-        "serve" => Some((&["addr", "threads", "library", "library-cap"], &[])),
+        "serve" => Some((
+            &[
+                "addr",
+                "threads",
+                "library",
+                "library-cap",
+                "library-ttl",
+                "max-connections",
+                "route",
+            ],
+            &[],
+        )),
         "help" | "" => Some((&[], &[])),
         _ => None,
     }
@@ -209,6 +220,15 @@ SUBCOMMANDS:
                  [--addr HOST:PORT]  [--threads N]  [--library FILE]
                  [--library-cap N]   (cap learned entries per column, LRU
                                       eviction; 0 = unbounded, the default)
+                 [--library-ttl SECS]  (evict library entries untouched for
+                                      SECS seconds; 0 = never, the default)
+                 [--max-connections N]  (reject connections over N with 503
+                                      + Retry-After; 0 = unbounded)
+               with --route, run as a shard router instead: partition work
+               across backend ec serve processes over a consistent-hash
+               ring (/apply shards by column, /pipeline routes whole by
+               blocking key, libraries replicate across backends)
+                 --route HOST:PORT,HOST:PORT,...  [--addr HOST:PORT]
   help         show this message
 
 Clustered CSV has columns: cluster, source, <attr>..., [<attr>__truth]...

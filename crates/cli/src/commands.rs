@@ -27,7 +27,7 @@ use ec_replace::{generate_candidates, CandidateConfig};
 use ec_report::table::fmt_f64;
 use ec_report::TextTable;
 use ec_resolution::{Resolver, ResolverConfig};
-use ec_serve::{ServeConfig, Server};
+use ec_serve::{Router, RouterConfig, ServeConfig, Server};
 use std::io::{BufRead, Read, Write};
 
 /// Maps a write failure on `path` to a [`CliError::Io`].
@@ -577,6 +577,54 @@ pub fn serve(
     open_input: OpenInput<'_>,
     prompt_out: &mut dyn Write,
 ) -> Result<CommandOutput, CliError> {
+    // `--route b1:port,b2:port,...` turns this process into a shard router
+    // in front of backend `ec serve` processes; a router holds no library
+    // and runs no consolidation, so the single-node flags make no sense
+    // alongside it.
+    if let Some(route) = parsed.get("route") {
+        for conflicting in ["library", "library-cap", "library-ttl", "threads"] {
+            if parsed.get(conflicting).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--{conflicting} does not apply to a router; set it on the backends"
+                )));
+            }
+        }
+        let backends: Vec<String> = route
+            .split(',')
+            .map(str::trim)
+            .filter(|b| !b.is_empty())
+            .map(str::to_string)
+            .collect();
+        if backends.is_empty() {
+            return Err(CliError::Usage(
+                "--route needs at least one backend HOST:PORT".to_string(),
+            ));
+        }
+        let mut config = RouterConfig::new(
+            parsed.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
+            backends,
+        );
+        config.max_connections = parsed.get_usize("max-connections", 0)?;
+        let router = Router::bind(config).map_err(|e| CliError::Io(format!("cannot bind: {e}")))?;
+        writeln!(
+            prompt_out,
+            "ec serve router listening on {} routing {} backends",
+            router.local_addr(),
+            router.handle().backends(),
+        )
+        .map_err(|e| CliError::Io(e.to_string()))?;
+        prompt_out
+            .flush()
+            .map_err(|e| CliError::Io(e.to_string()))?;
+        let handle = router.handle();
+        router
+            .run()
+            .map_err(|e| CliError::Io(format!("router failed: {e}")))?;
+        return Ok(CommandOutput::text(format!(
+            "router stopped after {} requests\n",
+            handle.requests()
+        )));
+    }
     let mut library = match parsed.get("library") {
         None => ProgramLibrary::new(),
         Some(path) => {
@@ -595,10 +643,16 @@ pub fn serve(
     if library_cap > 0 {
         library.set_column_capacity(Some(library_cap));
     }
+    // `--library-ttl SECS` additionally ages entries out by recency —
+    // a long-running server forgets programs nothing has touched lately;
+    // 0 (the default) keeps entries forever.
+    let library_ttl = parsed.get_usize("library-ttl", 0)?;
     let config = ServeConfig {
         addr: parsed.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
         threads: parsed.get_usize("threads", 0)?,
         library,
+        max_connections: parsed.get_usize("max-connections", 0)?,
+        library_ttl: (library_ttl > 0).then(|| std::time::Duration::from_secs(library_ttl as u64)),
     };
     let server = Server::bind(config).map_err(|e| CliError::Io(format!("cannot bind: {e}")))?;
     writeln!(

@@ -29,6 +29,7 @@ use ec_grouping::Group;
 use ec_replace::Direction;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Magic first line of the snapshot format (the trailing integer is the
 /// format version, bumped on incompatible changes).
@@ -59,6 +60,12 @@ pub struct LearnedProgram {
     /// entry was last recorded or merged into. Runtime bookkeeping only — it
     /// is not serialized and does not participate in equality.
     touched: u64,
+    /// Wall-clock stamp for TTL eviction: when the entry was last recorded or
+    /// merged into *in this process*. `None` for entries loaded from a
+    /// snapshot, which [`ProgramLibrary::evict_expired`] stamps lazily on its
+    /// first sweep so they live one full TTL from then. Runtime bookkeeping
+    /// only, like `touched`.
+    touched_at: Option<Instant>,
 }
 
 impl PartialEq for LearnedProgram {
@@ -165,7 +172,11 @@ pub struct ProgramLibrary {
     /// Maximum entries kept per column (`None` = unbounded). Runtime
     /// configuration — not serialized and not part of equality.
     column_capacity: Option<usize>,
-    /// Entries evicted so far (runtime statistics, like `column_capacity`).
+    /// Maximum age of an untouched entry (`None` = entries never expire).
+    /// Runtime configuration, like `column_capacity`.
+    ttl: Option<Duration>,
+    /// Entries evicted so far (runtime statistics, like `column_capacity`),
+    /// by the capacity cap or the TTL.
     evictions: u64,
 }
 
@@ -193,9 +204,57 @@ impl ProgramLibrary {
         self.column_capacity
     }
 
-    /// Entries evicted by the capacity cap so far.
+    /// Entries evicted by the capacity cap or the TTL so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// The maximum entry age, if a TTL was configured.
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
+    }
+
+    /// Expires entries not touched for `ttl` (`None` lifts the limit; a zero
+    /// TTL is clamped to one second — a library that evicts entries the
+    /// instant they are learned is never useful). Expiry is lazy: nothing is
+    /// removed until [`ProgramLibrary::evict_expired`] sweeps.
+    pub fn set_ttl(&mut self, ttl: Option<Duration>) {
+        self.ttl = ttl.map(|t| t.max(Duration::from_secs(1)));
+    }
+
+    /// Evicts every entry whose last [`record`]/[`merge`] touch is more than
+    /// the TTL before `now`, returning how many were removed. Entries that
+    /// were never touched in this process (snapshot loads) are stamped at
+    /// `now`, so they survive one full TTL from the first sweep. A no-op
+    /// without a configured TTL. Evictions count toward
+    /// [`ProgramLibrary::evictions`] and bump the version ("bumped on every
+    /// mutation" includes expiry), exactly like capacity trims.
+    ///
+    /// [`record`]: ProgramLibrary::record
+    /// [`merge`]: ProgramLibrary::merge
+    pub fn evict_expired(&mut self, now: Instant) -> usize {
+        let Some(ttl) = self.ttl else {
+            return 0;
+        };
+        let mut evicted = 0usize;
+        for entries in self.columns.values_mut() {
+            entries.retain_mut(|entry| match entry.touched_at {
+                None => {
+                    entry.touched_at = Some(now);
+                    true
+                }
+                Some(touched_at) => {
+                    let expired = now.saturating_duration_since(touched_at) > ttl;
+                    evicted += usize::from(expired);
+                    !expired
+                }
+            });
+        }
+        if evicted > 0 {
+            self.evictions += evicted as u64;
+            self.version += 1;
+        }
+        evicted
     }
 
     /// Caps the entries kept per column (`None` lifts the cap; a cap of 0 is
@@ -262,6 +321,7 @@ impl ProgramLibrary {
     /// merged into the existing entry.
     pub fn record(&mut self, column: &str, approved: &ApprovedGroup) {
         let touched = self.version + 1;
+        let touched_at = Some(Instant::now());
         let rewrites: Vec<(String, String)> = approved
             .group
             .members()
@@ -281,12 +341,14 @@ impl ProgramLibrary {
                 }
             }
             existing.touched = touched;
+            existing.touched_at = touched_at;
         } else {
             entries.push(LearnedProgram {
                 program: approved.group.program().cloned(),
                 direction: approved.direction,
                 rewrites,
                 touched,
+                touched_at,
             });
         }
         self.version += 1;
@@ -296,6 +358,7 @@ impl ProgramLibrary {
     /// Merges every entry of `other` into this library.
     pub fn merge(&mut self, other: &ProgramLibrary) {
         let touched = self.version + 1;
+        let touched_at = Some(Instant::now());
         for (column, entries) in &other.columns {
             for entry in entries {
                 let slot = self.columns.entry(column.clone()).or_default();
@@ -309,9 +372,11 @@ impl ProgramLibrary {
                         }
                     }
                     existing.touched = touched;
+                    existing.touched_at = touched_at;
                 } else {
                     slot.push(LearnedProgram {
                         touched,
+                        touched_at,
                         ..entry.clone()
                     });
                 }
@@ -470,6 +535,7 @@ impl ProgramLibrary {
                             direction,
                             rewrites: Vec::new(),
                             touched: 0,
+                            touched_at: None,
                         });
                 }
                 "program" => {
@@ -785,6 +851,63 @@ mod tests {
         assert_eq!(small.entries("Name").len(), 1);
         assert_eq!(small.entries("Address").len(), 1);
         assert_eq!(small.evictions(), 1);
+    }
+
+    #[test]
+    fn ttl_expires_untouched_entries_and_stamps_snapshot_loads_lazily() {
+        let mut library = ProgramLibrary::new();
+        let start = Instant::now();
+        library.record("Name", &approved(None, Direction::Forward, &[("a", "A")]));
+        assert_eq!(library.evict_expired(start), 0, "no TTL, no evictions");
+        library.set_ttl(Some(Duration::from_secs(60)));
+        assert_eq!(library.ttl(), Some(Duration::from_secs(60)));
+        assert_eq!(
+            library.evict_expired(start + Duration::from_secs(30)),
+            0,
+            "entries younger than the TTL survive"
+        );
+        let version_before = library.version();
+        assert_eq!(library.evict_expired(start + Duration::from_secs(3600)), 1);
+        assert!(library.is_empty());
+        assert_eq!(library.evictions(), 1);
+        assert_eq!(
+            library.version(),
+            version_before + 1,
+            "expiry is a mutation and must bump the version"
+        );
+
+        // A zero TTL is clamped — the library never expires entries the
+        // instant they are learned.
+        library.set_ttl(Some(Duration::ZERO));
+        assert_eq!(library.ttl(), Some(Duration::from_secs(1)));
+
+        // Snapshot-loaded entries carry no process-local stamp: the first
+        // sweep stamps them instead of evicting, so they live one full TTL.
+        let mut loaded = ProgramLibrary::from_snapshot(&sample_library().to_snapshot()).unwrap();
+        loaded.set_ttl(Some(Duration::from_secs(60)));
+        let first_sweep = Instant::now();
+        assert_eq!(loaded.evict_expired(first_sweep), 0);
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(
+            loaded.evict_expired(first_sweep + Duration::from_secs(3600)),
+            3,
+            "from the first sweep on, the TTL applies"
+        );
+    }
+
+    #[test]
+    fn ttl_touch_refreshes_recency() {
+        let mut library = ProgramLibrary::new();
+        library.set_ttl(Some(Duration::from_secs(60)));
+        let a = approved(None, Direction::Forward, &[("a", "A")]);
+        library.record("Name", &a);
+        let recorded = Instant::now();
+        // Re-recording the same program refreshes the entry's stamp; the
+        // sweep time is chosen inside (recorded, recorded + ttl) relative to
+        // the refresh, so only a *stale* stamp would expire.
+        library.record("Name", &a);
+        assert_eq!(library.evict_expired(recorded + Duration::from_secs(30)), 0);
+        assert_eq!(library.entries("Name").len(), 1);
     }
 
     #[test]

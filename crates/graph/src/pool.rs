@@ -84,6 +84,19 @@ impl PoolShared {
         self.wake.notify_all();
     }
 
+    /// Pushes a job onto the shared injector regardless of the calling
+    /// thread; then wakes sleepers. The own-deque shortcut in
+    /// [`PoolShared::push`] is wrong for a job that re-submits *itself*
+    /// (a server connection yielding its worker): the deque is popped
+    /// LIFO, so the worker would take the same job straight back and
+    /// starve everything queued behind it.
+    fn push_injected(&self, job: Job) {
+        self.injector.lock().unwrap().push_back(job);
+        let mut generation = self.generation.lock().unwrap();
+        *generation += 1;
+        self.wake.notify_all();
+    }
+
     /// Claims the next job: own deque first (most recently pushed), then a
     /// steal sweep over the other workers' deques (oldest first), then the
     /// injector. `slot` is `None` for non-worker threads (they only steal).
@@ -203,6 +216,21 @@ impl WorkerPool {
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
         let shared = Arc::clone(&self.shared);
         self.shared.push(Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                shared.detached_panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    /// Submits a detached job that always joins the back of the shared
+    /// FIFO injector, even from inside a pool worker. [`WorkerPool::spawn`]
+    /// prefers the calling worker's own LIFO deque — right for nested
+    /// batch work (locality), wrong for a job that re-queues itself to
+    /// *give up* the worker: LIFO would hand the worker straight back and
+    /// starve every other waiting job.
+    pub fn spawn_fifo(&self, job: impl FnOnce() + Send + 'static) {
+        let shared = Arc::clone(&self.shared);
+        self.shared.push_injected(Box::new(move || {
             if catch_unwind(AssertUnwindSafe(job)).is_err() {
                 shared.detached_panics.fetch_add(1, Ordering::Relaxed);
             }
@@ -469,6 +497,43 @@ mod tests {
             pool.run(tasks).into_iter().sum()
         }
         assert_eq!(nest(&pool, 4), 16);
+    }
+
+    #[test]
+    fn spawn_fifo_from_a_worker_queues_behind_the_injector() {
+        // A job that re-submits itself to give up the worker must land
+        // *behind* jobs already waiting in the injector; `spawn` would put
+        // it on the worker's own LIFO deque and it would run first again.
+        use std::sync::mpsc;
+        let pool = Arc::new(WorkerPool::new(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (started_tx, started_rx) = mpsc::channel();
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel();
+        {
+            let pool = Arc::clone(&pool);
+            let order = Arc::clone(&order);
+            let done_tx = done_tx.clone();
+            pool.clone().spawn(move || {
+                started_tx.send(()).unwrap();
+                go_rx.recv().unwrap();
+                // The injector now holds "waiting"; a fair re-queue of
+                // "yielded" must run after it.
+                let order2 = Arc::clone(&order);
+                pool.spawn_fifo(move || {
+                    order2.lock().unwrap().push("yielded");
+                    done_tx.send(()).unwrap();
+                });
+            });
+        }
+        started_rx.recv().unwrap();
+        {
+            let order = Arc::clone(&order);
+            pool.spawn(move || order.lock().unwrap().push("waiting"));
+        }
+        go_tx.send(()).unwrap();
+        done_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["waiting", "yielded"]);
     }
 
     #[test]

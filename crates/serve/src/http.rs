@@ -22,6 +22,9 @@ const MAX_LINE: usize = 16 * 1024;
 /// Cap on the number of headers per message.
 const MAX_HEADERS: usize = 100;
 
+/// Header `(name, value)` pairs as parsed off the wire, names lowercased.
+pub type Headers = Vec<(String, String)>;
+
 /// A parsed request head (the body stays on the socket for streaming).
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -31,6 +34,9 @@ pub struct Request {
     pub path: String,
     /// Decoded query parameters, in order of appearance.
     pub query: Vec<(String, String)>,
+    /// The request target exactly as received (path plus raw query string) —
+    /// what a proxy forwards so the upstream sees identical bytes.
+    pub raw_target: String,
     /// Header `(name, value)` pairs, names lowercased.
     pub headers: Vec<(String, String)>,
     /// True for `HTTP/1.1` (and later 1.x) requests, which default to
@@ -183,6 +189,7 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
         method: method.to_ascii_uppercase(),
         path: path.to_string(),
         query,
+        raw_target: target.to_string(),
         headers,
         http11,
     }))
@@ -196,7 +203,10 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         411 => "Length Required",
+        413 => "Content Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -384,9 +394,10 @@ impl Response {
     }
 }
 
-/// Reads a response (status line, headers, body; `Content-Length` or
-/// chunked + trailers) off a buffered reader.
-pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
+/// Reads a response head (status line + headers) off a buffered reader,
+/// leaving the body bytes in place — the streaming half of
+/// [`read_response`], used by the router to relay bodies without buffering.
+pub fn read_response_head(reader: &mut impl BufRead) -> io::Result<(u16, Headers)> {
     let Some(status_line) = read_line(reader)? else {
         return Err(bad("connection closed before the status line"));
     };
@@ -407,14 +418,59 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
     }
-    let chunked = headers
+    Ok((status, headers))
+}
+
+/// Whether a response head declares a chunked body.
+pub fn is_chunked(headers: &[(String, String)]) -> bool {
+    headers
         .iter()
-        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
-    let mut body = Vec::new();
-    let mut trailers = Vec::new();
-    if chunked {
-        loop {
-            let Some(size_line) = read_line(reader)? else {
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"))
+}
+
+/// An `io::Read` that de-chunks a chunked body as it streams by. After the
+/// terminal chunk (`read` returning 0), [`ChunkedReader::trailers`] holds
+/// any trailers and [`ChunkedReader::is_done`] turns true — a `read` hitting
+/// EOF mid-body errors instead, so truncated upstream streams are never
+/// mistaken for complete ones.
+pub struct ChunkedReader<R: BufRead> {
+    inner: R,
+    chunk_remaining: usize,
+    done: bool,
+    trailers: Vec<(String, String)>,
+}
+
+impl<R: BufRead> ChunkedReader<R> {
+    /// Starts de-chunking at the current position of `inner` (the response
+    /// head must already be consumed).
+    pub fn new(inner: R) -> Self {
+        ChunkedReader {
+            inner,
+            chunk_remaining: 0,
+            done: false,
+            trailers: Vec::new(),
+        }
+    }
+
+    /// True once the terminal chunk (and its trailers) have been read.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Trailers that followed the body, names lowercased. Complete only once
+    /// [`ChunkedReader::is_done`] is true.
+    pub fn trailers(&self) -> &[(String, String)] {
+        &self.trailers
+    }
+}
+
+impl<R: BufRead> Read for ChunkedReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.done || buf.is_empty() {
+            return Ok(0);
+        }
+        if self.chunk_remaining == 0 {
+            let Some(size_line) = read_line(&mut self.inner)? else {
                 return Err(bad("connection closed inside chunked body"));
             };
             let size = usize::from_str_radix(size_line.trim(), 16)
@@ -422,24 +478,48 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
             if size == 0 {
                 // Trailers until the blank line.
                 loop {
-                    let Some(line) = read_line(reader)? else {
+                    let Some(line) = read_line(&mut self.inner)? else {
                         return Err(bad("connection closed inside trailers"));
                     };
                     if line.is_empty() {
                         break;
                     }
                     if let Some((name, value)) = line.split_once(':') {
-                        trailers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+                        self.trailers
+                            .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
                     }
                 }
-                break;
+                self.done = true;
+                return Ok(0);
             }
-            let mut chunk = vec![0u8; size];
-            reader.read_exact(&mut chunk)?;
-            body.extend_from_slice(&chunk);
-            let mut crlf = [0u8; 2];
-            reader.read_exact(&mut crlf)?;
+            self.chunk_remaining = size;
         }
+        let want = buf.len().min(self.chunk_remaining);
+        let n = self.inner.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(bad("connection closed inside a chunk"));
+        }
+        self.chunk_remaining -= n;
+        if self.chunk_remaining == 0 {
+            let mut crlf = [0u8; 2];
+            self.inner.read_exact(&mut crlf)?;
+        }
+        Ok(n)
+    }
+}
+
+/// Reads a response body (and trailers) whose head declared `headers` —
+/// chunked, `Content-Length`-delimited, or read-to-close.
+pub fn read_response_body(
+    reader: &mut impl BufRead,
+    headers: &[(String, String)],
+) -> io::Result<(Vec<u8>, Headers)> {
+    let mut body = Vec::new();
+    if is_chunked(headers) {
+        let mut chunks = ChunkedReader::new(reader);
+        chunks.read_to_end(&mut body)?;
+        let trailers = chunks.trailers().to_vec();
+        Ok((body, trailers))
     } else {
         let length: Option<u64> = headers
             .iter()
@@ -454,7 +534,15 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
                 reader.read_to_end(&mut body)?;
             }
         }
+        Ok((body, Vec::new()))
     }
+}
+
+/// Reads a response (status line, headers, body; `Content-Length` or
+/// chunked + trailers) off a buffered reader.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
+    let (status, headers) = read_response_head(reader)?;
+    let (body, trailers) = read_response_body(reader, &headers)?;
     Ok(Response {
         status,
         headers,
@@ -487,23 +575,122 @@ pub fn request_many(
     body: &[u8],
     count: usize,
 ) -> io::Result<Vec<Response>> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    let mut write_half = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    let mut conn = ClientConn::connect(addr, None)?;
+    let count = count.max(1);
     let mut responses = Vec::with_capacity(count);
-    for i in 0..count.max(1) {
-        let connection = if i + 1 < count { "keep-alive" } else { "close" };
-        write!(
-            write_half,
-            "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
-            body.len()
-        )?;
-        write_half.write_all(body)?;
-        write_half.flush()?;
-        responses.push(read_response(&mut reader)?);
+    for i in 0..count {
+        responses.push(conn.request(method, path_and_query, body, i + 1 < count)?);
     }
     Ok(responses)
+}
+
+/// Writes a request head. `keep_alive` picks the advertised `Connection`
+/// answer; the `Content-Length` body (possibly empty) follows on the caller.
+pub fn write_request_head(
+    out: &mut impl Write,
+    method: &str,
+    path_and_query: &str,
+    host: SocketAddr,
+    content_length: u64,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        out,
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {content_length}\r\nConnection: {connection}\r\n\r\n",
+    )
+}
+
+/// A persistent (keep-alive) client connection to one server — the router
+/// keeps a pool of these per backend, and the load generator drives one per
+/// simulated client. Requests and responses interleave strictly (send one,
+/// read one); the response may also be consumed in streaming halves via
+/// [`ClientConn::read_head`] + [`ClientConn::reader`].
+pub struct ClientConn {
+    write_half: TcpStream,
+    reader: BufReader<TcpStream>,
+    peer: SocketAddr,
+}
+
+impl ClientConn {
+    /// Connects (optionally with a timeout) and disables Nagle, like every
+    /// socket in this crate.
+    pub fn connect(addr: SocketAddr, timeout: Option<std::time::Duration>) -> io::Result<Self> {
+        let stream = match timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(ClientConn {
+            write_half,
+            reader: BufReader::new(stream),
+            peer: addr,
+        })
+    }
+
+    /// The server address this connection talks to.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Caps how long a blocked response read may wait (`None` blocks
+    /// forever).
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request (head + `Content-Length` body) without reading the
+    /// response.
+    pub fn send_request(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: &[u8],
+        keep_alive: bool,
+    ) -> io::Result<()> {
+        write_request_head(
+            &mut self.write_half,
+            method,
+            path_and_query,
+            self.peer,
+            body.len() as u64,
+            keep_alive,
+        )?;
+        self.write_half.write_all(body)?;
+        self.write_half.flush()
+    }
+
+    /// Reads the response head, leaving the body on [`ClientConn::reader`].
+    pub fn read_head(&mut self) -> io::Result<(u16, Headers)> {
+        read_response_head(&mut self.reader)
+    }
+
+    /// The buffered read half, positioned at the response body after
+    /// [`ClientConn::read_head`] — wrap it in a [`ChunkedReader`] for
+    /// chunked bodies.
+    pub fn reader(&mut self) -> &mut BufReader<TcpStream> {
+        &mut self.reader
+    }
+
+    /// One full request/response round trip.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: &[u8],
+        keep_alive: bool,
+    ) -> io::Result<Response> {
+        self.send_request(method, path_and_query, body, keep_alive)?;
+        let (status, headers) = self.read_head()?;
+        let (body, trailers) = read_response_body(&mut self.reader, &headers)?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+            trailers,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -599,6 +786,48 @@ mod tests {
         assert!(!parse("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
         assert!(!parse("GET /x HTTP/1.0\r\n\r\n").keep_alive());
         assert!(parse("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive());
+    }
+
+    #[test]
+    fn request_parsing_preserves_the_raw_target() {
+        let raw = "POST /pipeline?name=a%20b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(Cursor::new(raw.as_bytes()));
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(req.raw_target, "/pipeline?name=a%20b");
+        assert_eq!(req.query_param("name"), Some("a b"));
+    }
+
+    #[test]
+    fn chunked_reader_streams_and_exposes_trailers() {
+        let wire = b"6\r\nfirst,\r\n6\r\nsecond\r\n0\r\nX-Ec-Records: 2\r\n\r\n";
+        let mut chunks = ChunkedReader::new(BufReader::new(Cursor::new(wire.as_ref())));
+        let mut body = Vec::new();
+        // One byte at a time to exercise reads that straddle chunk frames.
+        let mut byte = [0u8; 1];
+        loop {
+            match chunks.read(&mut byte).unwrap() {
+                0 => break,
+                n => body.extend_from_slice(&byte[..n]),
+            }
+        }
+        assert_eq!(body, b"first,second");
+        assert!(chunks.is_done());
+        assert_eq!(
+            chunks.trailers(),
+            &[("x-ec-records".to_string(), "2".to_string())]
+        );
+    }
+
+    #[test]
+    fn chunked_reader_rejects_truncated_streams() {
+        for wire in [b"6\r\nfir".as_ref(), b"6\r\nfirst,\r\n".as_ref()] {
+            let mut chunks = ChunkedReader::new(BufReader::new(Cursor::new(wire)));
+            let mut body = Vec::new();
+            assert!(
+                chunks.read_to_end(&mut body).is_err(),
+                "an upstream hangup mid-body must surface as an error"
+            );
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! |---|---|
 //! | `GET /healthz` | liveness + request counter / pool size headers |
 //! | `GET /library` | the program-library text snapshot |
+//! | `POST /library` | merge a posted snapshot into the library (the router's replication channel) |
 //! | `POST /pipeline?…` | flat CSV body → standardized (or golden) CSV, byte-identical to `ec pipeline` with the same flags |
 //! | `POST /apply` | flat CSV body → library-standardized flat CSV; unmatched counts in chunked trailers |
 //! | `POST /shutdown` | graceful stop (used by tests and the CI smoke job) |
@@ -40,14 +41,28 @@
 //! (`majority`/`reliability`), `column`, `name`, and `output` selecting the
 //! artifact (`standardized`, the default, matching `--output`; `golden`
 //! matching `--golden`; or `summary`).
+//!
+//! ## Scale-out
+//!
+//! One process is one shard. `ec serve --route b1:port,b2:port,…` runs the
+//! same binary as a **router** instead (see [`Router`]): a front-end that
+//! owns no library and runs no consolidation, but partitions `/apply` by
+//! column and routes `/pipeline` by blocking key across backend `ec serve`
+//! processes over a consistent-hash [`ring`], health-checking backends and
+//! replicating library mutations between them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod conn;
 pub mod http;
+pub mod ring;
+pub mod router;
 
 pub use ec_graph::pool;
+pub use router::{Router, RouterConfig, RouterHandle};
 
+use conn::{BodyReader, HandlerResult, HttpFailure, Lifecycle, Service};
 use ec_core::{
     resolve_column_spec, standardize_columns, write_golden_records_csv, ApplyReport, AutoMode,
     ConsolidationConfig, FusedPipeline, ProgramLibrary, TruthMethod,
@@ -55,30 +70,12 @@ use ec_core::{
 use ec_data::stream::DatasetSink;
 use ec_data::{csv::CsvWriter, ClusteredCsvWriter, FlatCsvReader, RecordStream};
 use ec_resolution::ResolverConfig;
-use http::{ChunkedWriter, LimitedReader, Persistence, Request};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use http::{ChunkedWriter, Persistence, Request};
+use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, RwLock};
-use std::time::Duration;
-
-/// How long a connection may sit idle mid-request before the handler gives
-/// up on it.
-const READ_TIMEOUT: Duration = Duration::from_secs(30);
-
-/// How long a connection may take to deliver its request *head* — which on a
-/// kept-alive connection doubles as the **idle timeout** between requests.
-/// Handlers run as jobs on the CPU-sized shared pool, so an idle connection
-/// occupies a worker until this expires — kept short so stalled clients
-/// release workers quickly (the longer [`READ_TIMEOUT`] applies once a body
-/// is actually streaming).
-const HEAD_READ_TIMEOUT: Duration = Duration::from_secs(5);
-
-/// Cap on how many unread request-body bytes are drained before closing.
-/// Draining avoids a TCP RST racing the response out of the client's
-/// receive buffer when a handler rejects a request without reading its
-/// body; the cap bounds the work a garbage request can cause.
-const DRAIN_CAP: u64 = 64 * 1024 * 1024;
+use std::time::{Duration, Instant};
 
 /// Configuration of [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -94,6 +91,13 @@ pub struct ServeConfig {
     /// The initial learned-program library (typically loaded from a
     /// snapshot file by `ec serve --library`).
     pub library: ProgramLibrary,
+    /// Maximum concurrent connections (0 = unbounded). Connections over the
+    /// cap are rejected with `503` + `Retry-After` instead of queueing
+    /// unboundedly on the shared pool.
+    pub max_connections: usize,
+    /// Expire library entries untouched for this long (`None` = never).
+    /// Sweeps run lazily on the endpoints that read the library.
+    pub library_ttl: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +106,8 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7171".to_string(),
             threads: 0,
             library: ProgramLibrary::new(),
+            max_connections: 0,
+            library_ttl: None,
         }
     }
 }
@@ -110,9 +116,50 @@ impl Default for ServeConfig {
 struct ServerState {
     library: RwLock<ProgramLibrary>,
     threads: usize,
-    stop: AtomicBool,
-    requests: AtomicUsize,
-    addr: SocketAddr,
+    max_connections: usize,
+    life: Lifecycle,
+}
+
+impl ServerState {
+    /// Expires TTL-stale library entries. Lazy by design: a sweep runs on
+    /// the endpoints that are about to read the library, so an idle server
+    /// does no timer work and a busy one stays current.
+    fn sweep_library_ttl(&self) {
+        if self.library.read().unwrap().ttl().is_some() {
+            self.library.write().unwrap().evict_expired(Instant::now());
+        }
+    }
+}
+
+impl Service for ServerState {
+    fn lifecycle(&self) -> &Lifecycle {
+        &self.life
+    }
+
+    fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    /// Connections are detached, panic-isolated jobs on the shared pool —
+    /// handlers are the CPU work, so the pool is the right executor. FIFO
+    /// submission matters: a connection that yields its worker mid-burst
+    /// re-queues itself through here, and on the worker's own LIFO deque it
+    /// would be popped straight back, starving every other connection (and
+    /// the router's health probes) behind it.
+    fn execute(&self, job: Box<dyn FnOnce() + Send + 'static>) {
+        pool::shared().spawn_fifo(job);
+    }
+
+    fn dispatch(
+        this: &Arc<Self>,
+        request: &Request,
+        has_body: bool,
+        persistence: Persistence,
+        body: &mut BodyReader<'_>,
+        writer: &mut BufWriter<TcpStream>,
+    ) -> HandlerResult {
+        dispatch(request, has_body, persistence, body, writer, this)
+    }
 }
 
 /// The bound (but not yet running) service. [`Server::run`] blocks on the
@@ -131,19 +178,17 @@ pub struct ServerHandle {
 impl ServerHandle {
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
-        self.state.addr
+        self.state.life.addr
     }
 
     /// Requests a graceful stop and wakes the accept loop.
     pub fn stop(&self) {
-        self.state.stop.store(true, Ordering::Release);
-        // Unblock `accept` with a throwaway connection.
-        let _ = TcpStream::connect(self.state.addr);
+        self.state.life.request_stop();
     }
 
     /// Requests served so far.
     pub fn requests(&self) -> usize {
-        self.state.requests.load(Ordering::Relaxed)
+        self.state.life.requests.load(Ordering::Relaxed)
     }
 
     /// A snapshot of the current program library.
@@ -158,23 +203,24 @@ impl Server {
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let pool = pool::configure_shared(config.threads);
+        let mut library = config.library;
+        library.set_ttl(config.library_ttl);
         let state = Arc::new(ServerState {
-            library: RwLock::new(config.library),
+            library: RwLock::new(library),
             threads: if config.threads == 0 {
                 pool.threads()
             } else {
                 config.threads
             },
-            stop: AtomicBool::new(false),
-            requests: AtomicUsize::new(0),
-            addr: listener.local_addr()?,
+            max_connections: config.max_connections,
+            life: Lifecycle::new(listener.local_addr()?),
         });
         Ok(Server { listener, state })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.state.addr
+        self.state.life.addr
     }
 
     /// A stop/inspect handle.
@@ -188,147 +234,7 @@ impl Server {
     /// `POST /shutdown`) is called. Each connection is handled as one
     /// detached, panic-isolated job on the shared pool.
     pub fn run(self) -> io::Result<()> {
-        let pool = pool::shared();
-        for conn in self.listener.incoming() {
-            if self.state.stop.load(Ordering::Acquire) {
-                break;
-            }
-            let stream = match conn {
-                Ok(stream) => stream,
-                Err(_) => continue,
-            };
-            let state = Arc::clone(&self.state);
-            pool.spawn(move || handle_connection(stream, &state));
-        }
-        Ok(())
-    }
-}
-
-/// A handler failure that still has a clean HTTP answer.
-struct HttpFailure {
-    status: u16,
-    message: String,
-}
-
-impl HttpFailure {
-    fn new(status: u16, message: impl Into<String>) -> Self {
-        HttpFailure {
-            status,
-            message: message.into(),
-        }
-    }
-}
-
-type HandlerResult = Result<(), HttpFailure>;
-
-fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::with_capacity(8 * 1024, write_half);
-    // One iteration per request: the connection is reused for the next
-    // request whenever the client asked to keep it alive and this request
-    // ended cleanly (responses are always self-delimiting, so nothing else
-    // gates reuse). Errors close the connection — the simple, safe answer.
-    loop {
-        // The head timeout doubles as the keep-alive idle timeout.
-        let _ = reader.get_ref().set_read_timeout(Some(HEAD_READ_TIMEOUT));
-        let request = match http::read_request(&mut reader) {
-            Ok(Some(request)) => request,
-            // Clean hangup between requests.
-            Ok(None) => return,
-            Err(e) => {
-                // An idle kept-alive connection timing out is a normal
-                // hangup, not a protocol error worth answering.
-                if e.kind() != io::ErrorKind::WouldBlock && e.kind() != io::ErrorKind::TimedOut {
-                    let _ = http::write_response(
-                        &mut writer,
-                        400,
-                        "text/plain",
-                        &[],
-                        Persistence::Close,
-                        format!("bad request: {e}\n").as_bytes(),
-                    );
-                    let _ = writer.flush();
-                }
-                return;
-            }
-        };
-        let _ = reader.get_ref().set_read_timeout(Some(READ_TIMEOUT));
-        state.requests.fetch_add(1, Ordering::Relaxed);
-        let declared_length = match request.content_length() {
-            Ok(length) => length,
-            Err(e) => {
-                let _ = http::write_response(
-                    &mut writer,
-                    400,
-                    "text/plain",
-                    &[],
-                    Persistence::Close,
-                    format!("{e}\n").as_bytes(),
-                );
-                let _ = writer.flush();
-                return;
-            }
-        };
-        // Decide the advertised persistence *before* any handler writes a
-        // response head: a body too big to drain (should the handler leave
-        // it unread) forfeits reuse, and advertising keep-alive only to hang
-        // up afterwards would leave an honoring client talking to a closed
-        // socket.
-        let persistence = if request.keep_alive() && declared_length.unwrap_or(0) <= DRAIN_CAP {
-            Persistence::KeepAlive
-        } else {
-            Persistence::Close
-        };
-        let mut body = LimitedReader::new(&mut reader, declared_length.unwrap_or(0));
-        let outcome = dispatch(
-            &request,
-            declared_length.is_some(),
-            persistence,
-            &mut body,
-            &mut writer,
-            state,
-        );
-        // Drain whatever of the declared body the handler never read:
-        // closing with unread bytes in the receive queue makes the kernel
-        // send RST, which can flush the response right out of the peer's
-        // buffer — and a kept-alive connection needs the stream positioned
-        // at the next request head anyway. The cap bounds the work a garbage
-        // request can cause; an undrainable body forfeits reuse.
-        let leftover = body.remaining();
-        let mut reusable = leftover <= DRAIN_CAP;
-        if leftover > 0 {
-            let drain = leftover.min(DRAIN_CAP);
-            match std::io::copy(
-                &mut Read::by_ref(&mut body).take(drain),
-                &mut std::io::sink(),
-            ) {
-                Ok(n) if n == drain => {}
-                _ => reusable = false,
-            }
-        }
-        if let Err(failure) = outcome {
-            // Best effort: if the response head already went out this writes
-            // into the body and the client sees a truncated chunked stream,
-            // which is the correct failure signal mid-stream.
-            let _ = http::write_response(
-                &mut writer,
-                failure.status,
-                "text/plain",
-                &[],
-                Persistence::Close,
-                format!("{}\n", failure.message).as_bytes(),
-            );
-            let _ = writer.flush();
-            return;
-        }
-        let _ = writer.flush();
-        if persistence == Persistence::Close || !reusable || state.stop.load(Ordering::Acquire) {
-            return;
-        }
+        conn::run_accept_loop(self.listener, self.state)
     }
 }
 
@@ -336,7 +242,7 @@ fn dispatch(
     request: &Request,
     has_body: bool,
     persistence: Persistence,
-    body: &mut LimitedReader<&mut BufReader<TcpStream>>,
+    body: &mut BodyReader<'_>,
     writer: &mut BufWriter<TcpStream>,
     state: &Arc<ServerState>,
 ) -> HandlerResult {
@@ -353,6 +259,10 @@ fn dispatch(
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(writer, state, persistence),
         ("GET", "/library") => handle_library(writer, state, persistence),
+        ("POST", "/library") => {
+            require_body()?;
+            handle_library_merge(body, writer, state, persistence)
+        }
         ("POST", "/shutdown") => {
             // The accept loop is stopping; never invite another request.
             http::write_response(
@@ -365,10 +275,7 @@ fn dispatch(
             )
             .map_err(io_failure)?;
             let _ = writer.flush();
-            ServerHandle {
-                state: Arc::clone(state),
-            }
-            .stop();
+            state.life.request_stop();
             Ok(())
         }
         ("POST", "/pipeline") => {
@@ -400,7 +307,7 @@ fn handle_healthz(
     let headers = vec![
         (
             "X-Ec-Requests".to_string(),
-            state.requests.load(Ordering::Relaxed).to_string(),
+            state.life.requests.load(Ordering::Relaxed).to_string(),
         ),
         ("X-Ec-Pool-Threads".to_string(), state.threads.to_string()),
         (
@@ -422,6 +329,7 @@ fn handle_library(
     state: &ServerState,
     persistence: Persistence,
 ) -> HandlerResult {
+    state.sweep_library_ttl();
     let library = state.library.read().unwrap();
     let headers = vec![
         (
@@ -439,6 +347,13 @@ fn handle_library(
                 .map(|c| c.to_string())
                 .unwrap_or_else(|| "unbounded".to_string()),
         ),
+        (
+            "X-Ec-Library-Ttl".to_string(),
+            library
+                .ttl()
+                .map(|t| t.as_secs().to_string())
+                .unwrap_or_else(|| "unbounded".to_string()),
+        ),
     ];
     let snapshot = library.to_snapshot();
     drop(library);
@@ -449,6 +364,44 @@ fn handle_library(
         &headers,
         persistence,
         snapshot.as_bytes(),
+    )
+    .map_err(io_failure)
+}
+
+/// `POST /library`: merges a posted text snapshot into the server's library
+/// — the router's replication channel, and handy for seeding a running
+/// server by hand. Answers with the resulting version.
+fn handle_library_merge(
+    body: impl Read,
+    writer: &mut BufWriter<TcpStream>,
+    state: &ServerState,
+    persistence: Persistence,
+) -> HandlerResult {
+    let mut text = String::new();
+    let mut body = body;
+    body.read_to_string(&mut text)
+        .map_err(|e| HttpFailure::new(400, format!("unreadable snapshot body: {e}")))?;
+    let incoming = ProgramLibrary::from_snapshot(&text)
+        .map_err(|e| HttpFailure::new(400, format!("bad library snapshot: {e}")))?;
+    let mut library = state.library.write().unwrap();
+    library.merge(&incoming);
+    let headers = vec![(
+        "X-Ec-Library-Version".to_string(),
+        library.version().to_string(),
+    )];
+    let entries = library.len();
+    drop(library);
+    http::write_response(
+        writer,
+        200,
+        "text/plain",
+        &headers,
+        persistence,
+        format!(
+            "merged {} entries; library now holds {entries}\n",
+            incoming.len()
+        )
+        .as_bytes(),
     )
     .map_err(io_failure)
 }
@@ -631,6 +584,7 @@ fn handle_apply(
     let mut stream = FlatCsvReader::new(body)
         .map_err(|e| HttpFailure::new(400, format!("bad flat CSV body: {e}")))?;
     let columns = stream.columns().to_vec();
+    state.sweep_library_ttl();
     // Snapshot the library under a short-lived guard: holding the read lock
     // across a streamed (client-paced) request would stall every /pipeline
     // merge — and, behind that queued writer, all other readers.
@@ -864,6 +818,121 @@ mod tests {
         assert!(String::from_utf8(summary.body)
             .unwrap()
             .contains("resolved 6 records"));
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn library_merge_endpoint_folds_a_posted_snapshot_in() {
+        let (handle, join) = start_server(ephemeral_config());
+        let mut incoming = ProgramLibrary::new();
+        incoming.record(
+            "Name",
+            &ApprovedGroup {
+                group: Group::new(None, vec![Replacement::new("Lee, Mary", "Mary Lee")]),
+                direction: Direction::Forward,
+            },
+        );
+        let response = http::request(
+            handle.addr(),
+            "POST",
+            "/library",
+            incoming.to_snapshot().as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{:?}", response.body);
+        assert!(response.header("x-ec-library-version").is_some());
+        // The merged program now standardizes records.
+        let applied = http::request(
+            handle.addr(),
+            "POST",
+            "/apply",
+            b"source,Name\n0,\"Lee, Mary\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            String::from_utf8(applied.body).unwrap(),
+            "source,Name\n0,Mary Lee\n"
+        );
+        // Merging is idempotent and garbage is rejected cleanly.
+        let again = http::request(
+            handle.addr(),
+            "POST",
+            "/library",
+            incoming.to_snapshot().as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(again.status, 200);
+        let garbage = http::request(handle.addr(), "POST", "/library", b"not a snapshot").unwrap();
+        assert_eq!(garbage.status, 400);
+        let snapshot = http::request(handle.addr(), "GET", "/library", b"").unwrap();
+        assert_eq!(snapshot.header("x-ec-library-ttl"), Some("unbounded"));
+        assert!(String::from_utf8(snapshot.body)
+            .unwrap()
+            .contains("rewrite \"Lee, Mary\" \"Mary Lee\""));
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn library_ttl_is_advertised_and_sweeps_idle_entries() {
+        let mut library = ProgramLibrary::new();
+        library.record(
+            "Name",
+            &ApprovedGroup {
+                group: Group::new(None, vec![Replacement::new("a", "b")]),
+                direction: Direction::Forward,
+            },
+        );
+        let (handle, join) = start_server(ServeConfig {
+            library,
+            // The server clamps sub-second TTLs up to one second, so this
+            // cannot evict within the test's lifetime — it only proves the
+            // wiring (header + sweep path) without a slow sleep.
+            library_ttl: Some(Duration::from_secs(1)),
+            ..ephemeral_config()
+        });
+        let snapshot = http::request(handle.addr(), "GET", "/library", b"").unwrap();
+        assert_eq!(snapshot.header("x-ec-library-ttl"), Some("1"));
+        assert_eq!(snapshot.header("x-ec-library-evictions"), Some("0"));
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn connections_over_the_cap_get_503_with_retry_after() {
+        let (handle, join) = start_server(ServeConfig {
+            max_connections: 1,
+            ..ephemeral_config()
+        });
+        // Occupy the single slot with a connection mid-request: a partial
+        // head parks its handler in the read loop without finishing.
+        let mut holder = std::net::TcpStream::connect(handle.addr()).unwrap();
+        holder.write_all(b"GET /healthz HTT").unwrap();
+        holder.flush().unwrap();
+        // The holder connects (and is accepted) first; the next connection
+        // trips the cap on the accept thread. The inline rejection writes
+        // and closes without reading the request, which can reset the
+        // connection under the client's own write — retry past that race
+        // (the holder occupies the slot for seconds either way).
+        let rejected = (0..50)
+            .find_map(|_| http::request(handle.addr(), "GET", "/healthz", b"").ok())
+            .expect("no rejection response within the holder's window");
+        assert_eq!(rejected.status, 503);
+        assert_eq!(rejected.header("retry-after"), Some("1"));
+        assert_eq!(rejected.header("connection"), Some("close"));
+        // Releasing the slot re-admits new connections.
+        drop(holder);
+        let mut recovered = None;
+        for _ in 0..100 {
+            let response = http::request(handle.addr(), "GET", "/healthz", b"").unwrap();
+            if response.status == 200 {
+                recovered = Some(response);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(recovered.is_some(), "cap never released after disconnect");
         handle.stop();
         join.join().unwrap();
     }

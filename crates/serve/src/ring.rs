@@ -1,0 +1,261 @@
+//! A consistent-hash ring over backend names.
+//!
+//! The router partitions work across backends by key (a column name for
+//! `/apply`, a blocking key for `/pipeline`). Modular hashing
+//! (`hash(key) % n`) would remap almost *every* key when a backend joins or
+//! leaves; consistent hashing remaps only the keys the departed backend
+//! owned. Each backend is hashed onto the ring at [`Ring::replicas`]
+//! pseudo-random **virtual nodes** (so arc lengths — and therefore key
+//! shares — even out), and a key belongs to the first virtual node at or
+//! clockwise after its own hash point.
+//!
+//! Minimal remap falls out of the construction: removing a backend deletes
+//! only its virtual nodes, so a key's owner changes only if its successor
+//! point was one of them. [`Ring::route_where`] walks further clockwise past
+//! backends a predicate rejects — how the router fails open past unhealthy
+//! backends while leaving every healthy key assignment untouched.
+//!
+//! Hashing is FNV-1a (64-bit): deterministic across processes and platforms
+//! (the std hasher is neither), no dependency, and fast for the short keys
+//! routed here — finished with a SplitMix64 mixing step, because raw FNV's
+//! weak high-bit avalanche visibly clusters the virtual nodes of
+//! similarly-named backends.
+
+/// Default virtual nodes per backend. 128 keeps the worst backend's key
+/// share within roughly ±30% of fair for small clusters, at a memory cost of
+/// one `(u64, u32)` point per virtual node.
+pub const DEFAULT_REPLICAS: usize = 128;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes` — the ring's (stable, cross-process) hash function.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The SplitMix64 finalizer over an FNV-1a hash. Ring placement sorts points
+/// by the *full* 64-bit value, so the high bits decide where an arc lands —
+/// exactly where FNV-1a's avalanche is weakest (a trailing-byte change barely
+/// reaches them, clustering the virtual nodes of similarly-named backends).
+/// The finalizer spreads every input bit across the whole word; it is as
+/// deterministic and dependency-free as FNV itself.
+fn point_hash(bytes: &[u8]) -> u64 {
+    let mut z = fnv1a(bytes);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring: backend names plus their sorted virtual-node
+/// points. See the module docs for the routing model.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    backends: Vec<String>,
+    replicas: usize,
+    /// `(point, backend index)`, sorted by point. Ties (vanishingly rare
+    /// with 64-bit points) resolve to the lower backend index, so iteration
+    /// order never depends on insertion order.
+    points: Vec<(u64, u32)>,
+}
+
+impl Ring {
+    /// Builds a ring over `backends` with `replicas` virtual nodes each
+    /// (0 is clamped to 1; [`DEFAULT_REPLICAS`] is the sensible choice).
+    /// Duplicate backend names are ignored after their first occurrence.
+    pub fn new<S: AsRef<str>>(backends: &[S], replicas: usize) -> Self {
+        let mut ring = Ring {
+            backends: Vec::new(),
+            replicas: replicas.max(1),
+            points: Vec::new(),
+        };
+        for backend in backends {
+            ring.add(backend.as_ref());
+        }
+        ring
+    }
+
+    /// The backend names on the ring, in insertion order.
+    pub fn backends(&self) -> &[String] {
+        &self.backends
+    }
+
+    /// Virtual nodes per backend.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Total virtual nodes (`backends × replicas`).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no backend is on the ring.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Adds a backend (a no-op if the name is already present), hashing in
+    /// its virtual nodes. Existing keys move only onto the new backend,
+    /// never between old ones.
+    pub fn add(&mut self, backend: &str) {
+        if self.backends.iter().any(|b| b == backend) {
+            return;
+        }
+        let index = self.backends.len() as u32;
+        self.backends.push(backend.to_string());
+        for replica in 0..self.replicas {
+            let point = point_hash(format!("{backend}\u{0}{replica}").as_bytes());
+            self.points.push((point, index));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes a backend by name, returning whether it was present. Only the
+    /// removed backend's keys remap (to their next clockwise owner).
+    pub fn remove(&mut self, backend: &str) -> bool {
+        let Some(index) = self.backends.iter().position(|b| b == backend) else {
+            return false;
+        };
+        self.backends.remove(index);
+        let index = index as u32;
+        self.points.retain(|&(_, b)| b != index);
+        // Indices above the removed backend shift down by one.
+        for (_, b) in &mut self.points {
+            if *b > index {
+                *b -= 1;
+            }
+        }
+        true
+    }
+
+    /// The backend index owning `key`: the first virtual node at or
+    /// clockwise after the key's hash point. `None` on an empty ring.
+    pub fn route(&self, key: &str) -> Option<usize> {
+        self.route_where(key, |_| true)
+    }
+
+    /// Like [`Ring::route`], but walks clockwise past backends `alive`
+    /// rejects — the fail-open path. Distinct backends are probed in ring
+    /// order (each at most once); `None` when `alive` rejects all of them.
+    pub fn route_where(&self, key: &str, alive: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = point_hash(key.as_bytes());
+        let start = self
+            .points
+            .partition_point(|&(point, _)| point < hash)
+            // partition_point == len means the key hashes past the last
+            // point, so it wraps to the first — the "ring" part.
+            % self.points.len();
+        let mut seen = vec![false; self.backends.len()];
+        for i in 0..self.points.len() {
+            let (_, backend) = self.points[(start + i) % self.points.len()];
+            let backend = backend as usize;
+            if std::mem::replace(&mut seen[backend], true) {
+                continue;
+            }
+            if alive(backend) {
+                return Some(backend);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = Ring::new(&["a:1", "b:2", "c:3"], DEFAULT_REPLICAS);
+        assert_eq!(ring.len(), 3 * DEFAULT_REPLICAS);
+        for key in ["Name", "Address", "Phone", ""] {
+            let owner = ring.route(key).unwrap();
+            assert!(owner < 3);
+            assert_eq!(ring.route(key), Some(owner), "routing is stable");
+        }
+        assert_eq!(Ring::new::<&str>(&[], 8).route("x"), None);
+    }
+
+    #[test]
+    fn arc_shares_are_balanced_within_bounds() {
+        // Deterministic balance check on the ring geometry itself: with 128
+        // virtual nodes the share of hash space each backend owns stays
+        // within a factor of two of fair.
+        let backends = ["alpha:7001", "beta:7002", "gamma:7003", "delta:7004"];
+        let ring = Ring::new(&backends, DEFAULT_REPLICAS);
+        let mut shares = vec![0u128; backends.len()];
+        let mut previous = 0u64;
+        for &(point, backend) in &ring.points {
+            shares[backend as usize] += u128::from(point - previous);
+            previous = point;
+        }
+        // The wraparound arc belongs to the first point's owner.
+        shares[ring.points[0].1 as usize] += u128::from(u64::MAX - previous) + 1;
+        let fair = u128::from(u64::MAX) / backends.len() as u128;
+        for (backend, share) in backends.iter().zip(&shares) {
+            assert!(
+                (fair / 2..=fair * 2).contains(share),
+                "{backend} owns {share} of hash space (fair = {fair})"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_keeps_other_keys_in_place() {
+        let mut ring = Ring::new(&["a:1", "b:2", "c:3"], DEFAULT_REPLICAS);
+        let keys: Vec<String> = (0..500).map(|i| format!("key-{i}")).collect();
+        let before: Vec<usize> = keys.iter().map(|k| ring.route(k).unwrap()).collect();
+        assert!(ring.remove("b:2"));
+        assert!(!ring.remove("b:2"), "already gone");
+        for (key, owner_before) in keys.iter().zip(before) {
+            let owner_after = ring.route(key).unwrap();
+            let name_after = &ring.backends()[owner_after];
+            if owner_before != 1 {
+                let name_before = ["a:1", "b:2", "c:3"][owner_before];
+                assert_eq!(name_after, name_before, "{key} must not move");
+            } else {
+                assert_ne!(name_after, "b:2");
+            }
+        }
+    }
+
+    #[test]
+    fn route_where_fails_open_in_ring_order_only_when_needed() {
+        let ring = Ring::new(&["a:1", "b:2", "c:3"], DEFAULT_REPLICAS);
+        let key = "some-column";
+        let owner = ring.route(key).unwrap();
+        // A predicate accepting the owner changes nothing.
+        assert_eq!(ring.route_where(key, |b| b == owner), Some(owner));
+        // Rejecting the owner re-routes to a different backend…
+        let fallback = ring.route_where(key, |b| b != owner).unwrap();
+        assert_ne!(fallback, owner);
+        // …deterministically.
+        assert_eq!(ring.route_where(key, |b| b != owner), Some(fallback));
+        // Rejecting everything routes nowhere.
+        assert_eq!(ring.route_where(key, |_| false), None);
+    }
+
+    #[test]
+    fn duplicate_backends_collapse() {
+        let ring = Ring::new(&["a:1", "a:1", "b:2"], 16);
+        assert_eq!(ring.backends().len(), 2);
+        assert_eq!(ring.len(), 32);
+    }
+}

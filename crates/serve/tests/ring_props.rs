@@ -1,0 +1,105 @@
+//! Property tests for the consistent-hash ring: the two guarantees routing
+//! correctness rests on must hold for *arbitrary* cluster shapes, not just
+//! the hand-picked cases in the unit tests.
+//!
+//! * **Balance** — with the default virtual-node count, no backend's share
+//!   of a large key population strays outside generous bounds of fair. The
+//!   bound is deliberately loose (hash balance is statistical, and small
+//!   clusters wobble); the property exists to catch *structural* skew, e.g.
+//!   a backend whose virtual nodes all collapse onto one arc.
+//! * **Minimal remap** — removing one backend moves only the keys that
+//!   backend owned; every other key keeps its owner. This is the whole
+//!   point of consistent hashing over `hash % n`, so it is the invariant a
+//!   refactor is most likely to silently break.
+
+use ec_serve::ring::{Ring, DEFAULT_REPLICAS};
+use proptest::prelude::*;
+
+/// 2–6 distinct backend names of the `host:port` shape the CLI passes in.
+fn arb_backends() -> impl Strategy<Value = Vec<String>> {
+    (2usize..=6).prop_map(|n| {
+        (0..n)
+            .map(|i| format!("shard-{i}.internal:{}", 7000 + i))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Every backend owns between 5% and 75% of a large key population —
+    /// generous bounds, but tight enough that structural skew (a backend
+    /// effectively missing from the ring, or owning nearly everything)
+    /// cannot pass.
+    #[test]
+    fn key_shares_stay_within_generous_bounds(
+        backends in arb_backends(),
+        salt in 0u32..1000,
+    ) {
+        let ring = Ring::new(&backends, DEFAULT_REPLICAS);
+        let keys = 4000usize;
+        let mut counts = vec![0usize; backends.len()];
+        for i in 0..keys {
+            let owner = ring.route(&format!("key-{salt}-{i}")).unwrap();
+            counts[owner] += 1;
+        }
+        for (backend, &count) in backends.iter().zip(&counts) {
+            let share = count as f64 / keys as f64;
+            prop_assert!(
+                (0.05..=0.75).contains(&share),
+                "{backend} owns {share:.3} of {keys} keys in a {}-backend ring",
+                backends.len()
+            );
+        }
+    }
+
+    /// Removing one backend remaps exactly that backend's keys: keys owned
+    /// by other backends keep their owner (by name), and displaced keys land
+    /// on some surviving backend.
+    #[test]
+    fn removing_a_backend_remaps_only_its_keys(
+        backends in arb_backends(),
+        removed_index in 0usize..6,
+        salt in 0u32..1000,
+    ) {
+        let removed = backends[removed_index % backends.len()].clone();
+        let mut ring = Ring::new(&backends, DEFAULT_REPLICAS);
+        let keys: Vec<String> = (0..800).map(|i| format!("key-{salt}-{i}")).collect();
+        let before: Vec<String> = keys
+            .iter()
+            .map(|k| ring.backends()[ring.route(k).unwrap()].clone())
+            .collect();
+        prop_assert!(ring.remove(&removed));
+        for (key, owner_before) in keys.iter().zip(&before) {
+            let owner_after = &ring.backends()[ring.route(key).unwrap()];
+            if owner_before != &removed {
+                // A key whose owner survived must not move.
+                prop_assert_eq!(owner_after, owner_before);
+            } else {
+                prop_assert_ne!(owner_after, &removed);
+            }
+        }
+    }
+
+    /// `route_where` agrees with `route` whenever the owner is accepted, and
+    /// fail-open re-routes land on an accepted backend without disturbing
+    /// determinism.
+    #[test]
+    fn fail_open_routing_is_deterministic(
+        backends in arb_backends(),
+        down_index in 0usize..6,
+        salt in 0u32..1000,
+    ) {
+        let ring = Ring::new(&backends, DEFAULT_REPLICAS);
+        let down = down_index % backends.len();
+        for i in 0..200 {
+            let key = format!("key-{salt}-{i}");
+            let owner = ring.route(&key).unwrap();
+            let routed = ring.route_where(&key, |b| b != down).unwrap();
+            prop_assert_ne!(routed, down);
+            if owner != down {
+                // Healthy keys must not move when another backend fails.
+                prop_assert_eq!(routed, owner);
+            }
+            prop_assert_eq!(ring.route_where(&key, |b| b != down), Some(routed));
+        }
+    }
+}
