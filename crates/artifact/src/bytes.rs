@@ -1,0 +1,284 @@
+//! Explicit little-endian primitives: the byte writer/reader for the STRUCT
+//! stream, and the FNV-1a section checksum.
+
+use crate::ArtifactError;
+
+/// FNV-1a 64-bit over little-endian words — the per-section checksum.
+///
+/// Checksum validation walks every payload byte on the cold-start path, and
+/// the posting arenas are tens of megabytes, so throughput matters twice
+/// over: words instead of bytes (8x fewer state updates), and eight
+/// independent lanes per 64-byte block, because the serial
+/// `h = (h ^ w) * PRIME` dependency otherwise caps a single lane at one
+/// multiply latency per word. The lanes are folded together with the same
+/// FNV step and the sub-block tail is folded word- then byte-wise, so every
+/// byte still moves the final state (any single-byte change changes the word
+/// and lane it lives in). Inputs shorter than one block skip the lanes
+/// entirely, and inputs shorter than one word *are* classic byte-wise
+/// FNV-1a, which the standard test vectors below pin.
+pub fn fnv1a64_words(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const LANES: usize = 8;
+    let mut blocks = bytes.chunks_exact(8 * LANES);
+    let mut lanes = [BASIS; LANES];
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        *lane = BASIS.rotate_left(8 * i as u32);
+    }
+    for block in &mut blocks {
+        for (lane, raw) in lanes.iter_mut().zip(block.chunks_exact(8)) {
+            *lane = (*lane ^ u64::from_le_bytes(raw.try_into().unwrap())).wrapping_mul(PRIME);
+        }
+    }
+    let mut h = if bytes.len() < 8 * LANES {
+        BASIS
+    } else {
+        lanes
+            .into_iter()
+            .fold(BASIS, |h, lane| (h ^ lane).wrapping_mul(PRIME))
+    };
+    let mut words = blocks.remainder().chunks_exact(8);
+    for w in &mut words {
+        h ^= u64::from_le_bytes(w.try_into().unwrap());
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in words.remainder() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Appends explicitly little-endian fields to a growing buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The assembled bytes.
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` fields travel as `u64` so the format is identical on every
+    /// pointer width.
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Length-prefixed UTF-8.
+    pub fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reads over a byte slice. Every failure names
+/// the structure being read.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], ArtifactError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.data.len())
+            .ok_or(ArtifactError::Truncated { context })?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, ArtifactError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().unwrap(),
+        ))
+    }
+
+    /// A `u64` length prefix. Every length in the format counts either bytes
+    /// or elements that occupy at least one byte each, so any value larger
+    /// than the remaining stream is malformed — rejecting it here keeps a
+    /// corrupt prefix from driving a huge allocation before the per-element
+    /// reads would hit the end anyway.
+    pub fn len(&mut self, context: &'static str) -> Result<usize, ArtifactError> {
+        let v = self.u64(context)?;
+        let remaining = (self.data.len() - self.pos) as u64;
+        if v > remaining {
+            return Err(ArtifactError::Malformed {
+                context: format!("{context}: length {v} exceeds the {remaining} remaining bytes"),
+            });
+        }
+        Ok(v as usize)
+    }
+
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, ArtifactError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    pub fn bool(&mut self, context: &'static str) -> Result<bool, ArtifactError> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(ArtifactError::Malformed {
+                context: format!("{context}: bad bool byte {other}"),
+            }),
+        }
+    }
+
+    pub fn str(&mut self, context: &'static str) -> Result<String, ArtifactError> {
+        Ok(self.str_ref(context)?.to_owned())
+    }
+
+    /// Like [`ByteReader::str`], but borrows the text from the underlying
+    /// buffer. The interner decode reads hundreds of thousands of short
+    /// strings whose only destination is an `Arc<str>`; going through an
+    /// owned `String` first would allocate and copy each one twice.
+    pub fn str_ref(&mut self, context: &'static str) -> Result<&'a str, ArtifactError> {
+        let n = self.len(context)?;
+        let bytes = self.take(n, context)?;
+        std::str::from_utf8(bytes).map_err(|_| ArtifactError::Malformed {
+            context: format!("{context}: invalid UTF-8"),
+        })
+    }
+
+    /// A raw `n`-byte slice of the stream. Callers decode fixed-stride
+    /// payloads (e.g. an edge's label block) with one bounds check instead
+    /// of one per element.
+    pub fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], ArtifactError> {
+        self.take(n, context)
+    }
+
+    /// Asserts the stream was fully consumed.
+    pub fn finish(&self, context: &'static str) -> Result<(), ArtifactError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(ArtifactError::Malformed {
+                context: format!(
+                    "{context}: {} trailing bytes after the last field",
+                    self.data.len() - self.pos
+                ),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f64(0.75);
+        w.bool(true);
+        w.str("héllo");
+        let bytes = w.into_inner();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64("d").unwrap(), 0.75);
+        assert!(r.bool("e").unwrap());
+        assert_eq!(r.str("f").unwrap(), "héllo");
+        r.finish("stream").unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_named_errors() {
+        let mut w = ByteWriter::new();
+        w.u32(5);
+        let bytes = w.into_inner();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.u64("needs eight"),
+            Err(ArtifactError::Truncated {
+                context: "needs eight"
+            })
+        ));
+        let mut r = ByteReader::new(&bytes);
+        r.u8("one").unwrap();
+        assert!(matches!(
+            r.finish("stream"),
+            Err(ArtifactError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Sub-word inputs take the byte-wise path: standard FNV-1a 64 vectors.
+        assert_eq!(fnv1a64_words(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64_words(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64_words(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn word_checksum_sees_every_byte_and_the_length() {
+        // One short input (words + byte tail) and one long enough to engage
+        // the eight lanes plus a sub-block tail.
+        let long: Vec<u8> = (0..150u8).collect();
+        for base in [&b"0123456789abcdefXYZ"[..], &long] {
+            let h = fnv1a64_words(base);
+            for i in 0..base.len() {
+                for xor in [0x01u8, 0x80] {
+                    let mut flipped = base.to_vec();
+                    flipped[i] ^= xor;
+                    assert_ne!(fnv1a64_words(&flipped), h, "flip at byte {i}");
+                }
+            }
+            // Trailing zero bytes still move the state.
+            let mut extended = base.to_vec();
+            extended.push(0);
+            assert_ne!(fnv1a64_words(&extended), h);
+        }
+        assert_ne!(fnv1a64_words(&[0u8; 8]), fnv1a64_words(&[]));
+        assert_ne!(fnv1a64_words(&[0u8; 64]), fnv1a64_words(&[0u8; 72]));
+    }
+}

@@ -1,0 +1,204 @@
+//! The bytes behind a loaded artifact: a read-only memory mapping on
+//! little-endian unix targets, or an owned 16-byte-aligned buffer everywhere
+//! else (and whenever mapping fails). Both keep the artifact's payload
+//! sections at their in-file alignment, so POD sections can be reinterpreted
+//! in place on little-endian targets.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// A read-only `mmap` of a whole file, unmapped on drop. The platform shim is
+/// deliberately tiny: `mmap`/`munmap` via `extern "C"`, `PROT_READ`,
+/// `MAP_PRIVATE` — constants that are identical across the unix platforms the
+/// workspace builds on.
+#[cfg(all(unix, target_endian = "little"))]
+mod sys {
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+    /// Linux-only: pre-fault the whole mapping inside the `mmap` call. The
+    /// loader touches every byte immediately anyway (checksum validation),
+    /// and one populated mapping is far cheaper than tens of thousands of
+    /// individual minor faults taken mid-decode. Other unix targets just
+    /// fault lazily.
+    #[cfg(target_os = "linux")]
+    const MAP_POPULATE: i32 = 0x8000;
+    #[cfg(not(target_os = "linux"))]
+    const MAP_POPULATE: i32 = 0;
+
+    pub struct Mapping {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ and never mutated; sharing the
+    // pointer across threads is sharing immutable memory.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        pub fn map(file: &File, len: usize) -> io::Result<Mapping> {
+            if len == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "cannot map an empty file",
+                ));
+            }
+            // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of a file we hold
+            // open; failure is reported as MAP_FAILED (-1).
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE | MAP_POPULATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr, len })
+        }
+
+        pub fn as_bytes(&self) -> &[u8] {
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // self; the slice's lifetime is tied to &self.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: exactly the region map() returned, unmapped once.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// An owned byte buffer whose base address is 16-byte aligned (backed by
+/// `u128` words), matching the artifact's section alignment.
+pub struct AlignedBytes {
+    buf: Vec<u128>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Copies `data` into a fresh aligned buffer.
+    pub fn from_slice(data: &[u8]) -> AlignedBytes {
+        let words = data.len().div_ceil(16);
+        let mut buf = vec![0u128; words];
+        // SAFETY: the destination holds `words * 16 >= data.len()` bytes and
+        // the regions cannot overlap (buf was just allocated).
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), buf.as_mut_ptr() as *mut u8, data.len());
+        }
+        AlignedBytes {
+            buf,
+            len: data.len(),
+        }
+    }
+
+    /// The stored bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: the buffer owns at least `len` initialized bytes.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr() as *const u8, self.len) }
+    }
+}
+
+/// The backing storage of a loaded artifact.
+pub enum ArtifactBytes {
+    /// A live read-only memory mapping (the zero-copy path).
+    #[cfg(all(unix, target_endian = "little"))]
+    Mapped(sys::Mapping),
+    /// An owned aligned copy (non-unix targets, big-endian targets via the
+    /// portable decode path, failed mappings, in-memory tests).
+    Owned(AlignedBytes),
+}
+
+impl ArtifactBytes {
+    /// Opens `path`, preferring a memory mapping where the zero-copy
+    /// reinterpretation is sound (little-endian unix); falls back to reading
+    /// the file into an aligned buffer. The `bool` reports whether the bytes
+    /// are mapped.
+    pub fn open(path: &Path) -> io::Result<(ArtifactBytes, bool)> {
+        #[cfg(all(unix, target_endian = "little"))]
+        {
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            if let Ok(len) = usize::try_from(len) {
+                if len > 0 {
+                    if let Ok(mapping) = sys::Mapping::map(&file, len) {
+                        return Ok((ArtifactBytes::Mapped(mapping), true));
+                    }
+                }
+            }
+        }
+        let data = std::fs::read(path)?;
+        Ok((ArtifactBytes::Owned(AlignedBytes::from_slice(&data)), false))
+    }
+
+    /// Wraps in-memory bytes (copied into an aligned buffer).
+    pub fn from_slice(data: &[u8]) -> ArtifactBytes {
+        ArtifactBytes::Owned(AlignedBytes::from_slice(data))
+    }
+
+    /// The artifact's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(all(unix, target_endian = "little"))]
+            ArtifactBytes::Mapped(m) => m.as_bytes(),
+            ArtifactBytes::Owned(b) => b.as_bytes(),
+        }
+    }
+}
+
+impl fmt::Debug for ArtifactBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, len) = match self {
+            #[cfg(all(unix, target_endian = "little"))]
+            ArtifactBytes::Mapped(m) => ("mapped", m.as_bytes().len()),
+            ArtifactBytes::Owned(b) => ("owned", b.as_bytes().len()),
+        };
+        write!(f, "ArtifactBytes {{ {kind}, {len} bytes }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_bytes_round_trip_and_alignment() {
+        for n in [0usize, 1, 15, 16, 17, 1000] {
+            let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            let aligned = AlignedBytes::from_slice(&data);
+            assert_eq!(aligned.as_bytes(), &data[..]);
+            assert_eq!(aligned.as_bytes().as_ptr() as usize % 16, 0);
+        }
+    }
+
+    #[cfg(all(unix, target_endian = "little"))]
+    #[test]
+    fn open_maps_real_files() {
+        let path = std::env::temp_dir().join(format!("ec-artifact-map-{}", std::process::id()));
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let (bytes, mapped) = ArtifactBytes::open(&path).unwrap();
+        assert!(mapped);
+        assert_eq!(bytes.as_bytes(), b"hello mapping");
+        drop(bytes);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

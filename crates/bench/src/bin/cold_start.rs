@@ -1,0 +1,188 @@
+//! `cold_start`: the artifact cold-start benchmark — the perf axis the
+//! `ec compile` work exists for.
+//!
+//! Every pre-artifact run rebuilt the served state from CSV at startup:
+//! parse the clustered records, generate candidate replacements, prepare
+//! the partition graphs and the CSR inverted index. `ec compile` does all
+//! of that once and writes a memory-mappable artifact; `--artifact`
+//! consumers map it and start serving. This benchmark measures the three
+//! numbers that trajectory tracks:
+//!
+//! * **compile** — CSV text → compiled state → encoded artifact bytes
+//!   (the one-time cost a deployment pays per dataset version);
+//! * **csv rebuild** — CSV text → compiled state, the per-process startup
+//!   cost the artifact eliminates;
+//! * **mmap load** — `ec_artifact::read_artifact` on the compiled file,
+//!   checksum validation included: the startup cost that remains.
+//!
+//! Rebuild and load are each run `--iters` times and summarized by their
+//! median, so one cold page-cache outlier cannot distort the ratio.
+//! Results print as a table and export as `BENCH_cold_start.json`
+//! (schema `cold_start/v1`) to `EC_BENCH_EXPORT_DIR` (or the current
+//! directory), where CI archives them next to `BENCH_serve_load.json`.
+//!
+//! Usage: `cold_start [--clusters N] [--iters N]` (defaults 400 clusters,
+//! 7 iterations).
+
+use ec_bench::export_artifact;
+use ec_core::{compile_dataset, ConsolidationConfig};
+use ec_data::{dataset_from_csv, dataset_to_csv, GeneratorConfig, PaperDataset};
+use ec_report::TextTable;
+use std::time::{Duration, Instant};
+
+struct Options {
+    clusters: usize,
+    iters: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        clusters: 400,
+        iters: 7,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Result<usize, String> {
+            args.next()
+                .ok_or_else(|| format!("--{name} expects a value"))?
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer"))
+        };
+        match flag.as_str() {
+            "--clusters" => options.clusters = value("clusters")?.max(1),
+            "--iters" => options.iters = value("iters")?.max(1),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+/// Median of repeated timings of `work` (which must not be optimized away:
+/// every closure returns a value the caller consumes).
+fn median_timing<T>(iters: usize, mut work: impl FnMut() -> T) -> (Duration, T) {
+    let mut timings = Vec::with_capacity(iters);
+    let mut last = None;
+    for _ in 0..iters {
+        let started = Instant::now();
+        let value = work();
+        timings.push(started.elapsed());
+        last = Some(value);
+    }
+    timings.sort_unstable();
+    (timings[timings.len() / 2], last.expect("iters >= 1"))
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("cold_start: {message}");
+            std::process::exit(2);
+        }
+    };
+    const THRESHOLD: f64 = 0.75;
+    let config = ConsolidationConfig::default();
+
+    // The workload: a clustered Address dataset, as CSV text — the same
+    // starting point `ec pipeline`/`ec serve` have after reading a file.
+    let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+        num_clusters: options.clusters,
+        seed: 17,
+        num_sources: 4,
+    });
+    let csv = dataset_to_csv(&dataset);
+    let records = dataset.num_records();
+    println!(
+        "cold_start: {} clusters, {} records, {} CSV bytes, {} iterations",
+        options.clusters,
+        records,
+        csv.len(),
+        options.iters
+    );
+
+    // One-time compile cost, and the artifact everything below loads.
+    let compile_started = Instant::now();
+    let parsed = dataset_from_csv("cold_start", &csv).expect("generated CSV parses");
+    let compiled = compile_dataset(parsed, THRESHOLD, true, &config);
+    let bytes = ec_artifact::encode_artifact(&compiled);
+    let compile_time = compile_started.elapsed();
+    let artifact_path = std::env::temp_dir().join(format!("cold_start_{}.eca", std::process::id()));
+    std::fs::write(&artifact_path, &bytes).expect("write artifact");
+
+    // Startup cost without the artifact: parse the CSV and recompile.
+    let (rebuild, rebuilt) = median_timing(options.iters, || {
+        let parsed = dataset_from_csv("cold_start", &csv).expect("generated CSV parses");
+        compile_dataset(parsed, THRESHOLD, true, &config)
+    });
+
+    // Startup cost with the artifact: map and validate.
+    let (load, (loaded, mapped)) = median_timing(options.iters, || {
+        ec_artifact::read_artifact(&artifact_path).expect("artifact loads")
+    });
+    let _ = std::fs::remove_file(&artifact_path);
+    assert_eq!(
+        loaded.dataset.num_records(),
+        rebuilt.dataset.num_records(),
+        "the loaded artifact describes the same dataset"
+    );
+
+    let speedup = if load.as_secs_f64() > 0.0 {
+        rebuild.as_secs_f64() / load.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+
+    let mut table = TextTable::new(["stage", "median ms", "notes"]);
+    table.push_row([
+        "compile".to_string(),
+        format!("{:.2}", ms(compile_time)),
+        format!("one-time; {} artifact bytes", bytes.len()),
+    ]);
+    table.push_row([
+        "csv rebuild".to_string(),
+        format!("{:.2}", ms(rebuild)),
+        "per-process startup without an artifact".to_string(),
+    ]);
+    table.push_row([
+        "mmap load".to_string(),
+        format!("{:.2}", ms(load)),
+        format!(
+            "{}; {:.1}x faster than rebuild",
+            if mapped {
+                "memory-mapped"
+            } else {
+                "decoded copy"
+            },
+            speedup
+        ),
+    ]);
+    println!("{}", table.to_plain_text());
+
+    let json = format!(
+        "{{\n  \"schema\": \"cold_start/v1\",\n  \"clusters\": {},\n  \"records\": {},\n  \
+         \"csv_bytes\": {},\n  \"artifact_bytes\": {},\n  \"iterations\": {},\n  \
+         \"mapped\": {},\n  \"compile_ms\": {:.3},\n  \"csv_rebuild_ms\": {:.3},\n  \
+         \"mmap_load_ms\": {:.3},\n  \"load_speedup\": {:.1}\n}}\n",
+        options.clusters,
+        records,
+        csv.len(),
+        bytes.len(),
+        options.iters,
+        mapped,
+        ms(compile_time),
+        ms(rebuild),
+        ms(load),
+        speedup,
+    );
+    export_artifact("BENCH_cold_start.json", &json);
+
+    if speedup < 10.0 {
+        eprintln!(
+            "cold_start: warning: mmap load is only {speedup:.1}x faster than the CSV rebuild"
+        );
+    }
+}

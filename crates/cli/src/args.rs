@@ -82,6 +82,7 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
         "consolidate" => Some((
             &[
                 "input",
+                "artifact",
                 "column",
                 "budget",
                 "mode",
@@ -97,6 +98,7 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
         "pipeline" => Some((
             &[
                 "input",
+                "artifact",
                 "threshold",
                 "name",
                 "column",
@@ -110,7 +112,18 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
             ],
             &[],
         )),
-        "apply" => Some((&["input", "library", "output"], &[])),
+        "apply" => Some((&["input", "artifact", "library", "output"], &[])),
+        "compile" => Some((
+            &[
+                "input",
+                "output",
+                "threshold",
+                "name",
+                "threads",
+                "emit-flat",
+            ],
+            &[],
+        )),
         "serve" => Some((
             &[
                 "addr",
@@ -120,6 +133,7 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
                 "library-ttl",
                 "max-connections",
                 "route",
+                "artifact",
             ],
             &[],
         )),
@@ -194,8 +208,8 @@ SUBCOMMANDS:
                  [--max-path-len N]  [--no-affix]  [--no-structure]
                  [--threads N]
   consolidate  standardize columns and emit golden records
-                 --input FILE  [--column NAME|INDEX]  [--budget N]
-                 [--mode auto|approve-all|interactive]
+                 --input FILE  [--artifact FILE]  [--column NAME|INDEX]
+                 [--budget N]  [--mode auto|approve-all|interactive]
                  [--truth-method majority|reliability]
                  [--output FILE]  [--golden FILE]  [--threads N]
                  [--save-library FILE]
@@ -205,8 +219,8 @@ SUBCOMMANDS:
   pipeline     fused resolve + consolidate: flat record CSV in, golden-record
                CSV out, with no intermediate clustered file; output is
                bit-identical to running resolve then consolidate
-                 --input FILE  [--threshold T]  [--name NAME]
-                 [--column NAME|INDEX]  [--budget N]
+                 --input FILE  [--artifact FILE]  [--threshold T]
+                 [--name NAME]  [--column NAME|INDEX]  [--budget N]
                  [--mode auto|approve-all|interactive]
                  [--truth-method majority|reliability]
                  [--output FILE]  [--golden FILE]  [--threads N]
@@ -214,6 +228,17 @@ SUBCOMMANDS:
   apply        standardize flat records through a saved program library —
                learn once, apply forever, no re-learning
                  --input FILE  --library FILE  [--output FILE]
+                 (--artifact FILE replaces --input: apply to the compiled
+                 dataset's own records)
+  compile      compile a dataset into a binary artifact for instant cold
+               start: interned label tables, prepared transformation graphs
+               and the CSR inverted index, ready to be memory-mapped by
+               pipeline/consolidate/apply/serve via --artifact — no parse,
+               resolve, candidate generation or index build at load time
+                 --input FILE (flat or clustered CSV)  --output FILE
+                 [--threshold T]  [--name NAME]  [--threads N]
+                 [--emit-flat FILE]  (also write the compiled records as
+                                      flat CSV, for byte-compare testing)
   serve        run the consolidation HTTP service on the shared worker pool
                (endpoints: /healthz /library /pipeline /apply /shutdown;
                connections are kept alive across sequential requests)
@@ -224,6 +249,10 @@ SUBCOMMANDS:
                                       SECS seconds; 0 = never, the default)
                  [--max-connections N]  (reject connections over N with 503
                                       + Retry-After; 0 = unbounded)
+                 [--artifact FILE]  (memory-map a compiled artifact at
+                                      startup; an empty-body POST /pipeline
+                                      or /apply then replays the compiled
+                                      dataset instead of parsing a body)
                with --route, run as a shard router instead: partition work
                across backend ec serve processes over a consistent-hash
                ring (/apply shards by column, /pipeline routes whole by
@@ -343,6 +372,7 @@ mod tests {
             "resolve",
             "pipeline",
             "apply",
+            "compile",
             "serve",
         ] {
             assert!(text.contains(cmd));

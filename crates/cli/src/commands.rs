@@ -12,8 +12,9 @@ use crate::args::ParsedArgs;
 use crate::interactive::InteractiveOracle;
 use crate::{CliError, CommandOutput, OpenInput, OpenOutput};
 use ec_core::{
-    resolve_column_spec, standardize_columns, write_golden_records_csv, ApplyReport, AutoMode,
-    ColumnReport, ConsolidationConfig, FusedPipeline, Pipeline, ProgramLibrary, TruthMethod,
+    compile_dataset, resolve_column_spec, standardize_columns, standardize_columns_compiled,
+    write_golden_records_csv, ApplyReport, AutoMode, ColumnReport, CompiledDataset,
+    ConsolidationConfig, FusedPipeline, Pipeline, ProgramLibrary, TruthMethod,
 };
 use ec_data::csv::CsvWriter;
 use ec_data::stream::DatasetSink;
@@ -205,6 +206,70 @@ pub fn groups(parsed: &ParsedArgs, input: impl Read) -> Result<CommandOutput, Cl
     Ok(CommandOutput::text(out))
 }
 
+/// Loads a compiled artifact off the real file system — deliberately outside
+/// the test-friendly opener indirection, because memory-mapping the file
+/// *is* the point. Returns the compiled state plus whether it was mapped
+/// (as opposed to read and decoded into fresh allocations).
+fn load_artifact(path: &str) -> Result<(CompiledDataset, bool), CliError> {
+    ec_artifact::read_artifact(std::path::Path::new(path))
+        .map_err(|e| CliError::Data(format!("{path}: {e}")))
+}
+
+/// The startup line a loaded artifact prints: what was skipped and how the
+/// bytes came in.
+fn artifact_summary(path: &str, compiled: &CompiledDataset, mapped: bool) -> String {
+    format!(
+        "loaded compiled artifact {path} ({}): {} records in {} clusters, threshold {} — \
+         parse, resolve, candidate generation and index build all skipped\n",
+        if mapped {
+            "memory-mapped"
+        } else {
+            "decoded into memory"
+        },
+        compiled.dataset.num_records(),
+        compiled.dataset.clusters.len(),
+        compiled.threshold,
+    )
+}
+
+/// Resolves `--artifact` for `consolidate`/`pipeline`: `Ok(Some(...))` when
+/// the artifact loaded, `Ok(None)` for a failed load that can fall back to
+/// `--input` (a warning goes to `prompt_out`), `Err` when there is nothing
+/// to fall back to. An explicit `--threshold` different from the artifact's
+/// is refused — the clusters were formed at compile time.
+fn resolve_artifact(
+    parsed: &ParsedArgs,
+    prompt_out: &mut dyn Write,
+) -> Result<Option<(String, CompiledDataset, bool)>, CliError> {
+    let Some(path) = parsed.get("artifact") else {
+        return Ok(None);
+    };
+    match load_artifact(path) {
+        Ok((compiled, mapped)) => {
+            if parsed.get("threshold").is_some() {
+                let threshold = match_threshold(parsed)?;
+                if threshold != compiled.threshold {
+                    return Err(CliError::Usage(format!(
+                        "{path} was compiled at threshold {}, not {threshold}; \
+                         re-run `ec compile` to change it",
+                        compiled.threshold
+                    )));
+                }
+            }
+            Ok(Some((path.to_string(), compiled, mapped)))
+        }
+        Err(e) if parsed.get("input").is_some() => {
+            writeln!(
+                prompt_out,
+                "warning: cannot load artifact {path} ({e}); rebuilding from --input"
+            )
+            .map_err(|e| CliError::Io(e.to_string()))?;
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// `ec consolidate`: standardize one or all columns under a budget and emit
 /// the standardized dataset and its golden records.
 pub fn consolidate(
@@ -214,10 +279,6 @@ pub fn consolidate(
     stdin: &mut dyn BufRead,
     prompt_out: &mut dyn Write,
 ) -> Result<CommandOutput, CliError> {
-    // The `__truth` columns are what the simulated expert judges against; when
-    // they are absent the automatic mode falls back to approving everything
-    // (an upper bound a user can then restrict interactively).
-    let (mut dataset, has_truth) = read_clustered("input", input)?;
     let pipeline = Pipeline::new(
         ConsolidationConfig {
             budget: parsed.get_usize("budget", 100)?,
@@ -225,11 +286,34 @@ pub fn consolidate(
         }
         .with_threads(parsed.get_usize("threads", 0)?),
     );
+    if let Some((path, compiled, mapped)) = resolve_artifact(parsed, prompt_out)? {
+        let summary = artifact_summary(&path, &compiled, mapped);
+        let mut dataset = compiled.dataset.clone();
+        let consolidated = consolidate_dataset(
+            parsed,
+            &mut dataset,
+            compiled.has_truth,
+            &pipeline,
+            Some(&compiled),
+            open_output,
+            stdin,
+            prompt_out,
+        )?;
+        return Ok(CommandOutput {
+            stdout: summary + &consolidated.stdout,
+            written: consolidated.written,
+        });
+    }
+    // The `__truth` columns are what the simulated expert judges against; when
+    // they are absent the automatic mode falls back to approving everything
+    // (an upper bound a user can then restrict interactively).
+    let (mut dataset, has_truth) = read_clustered("input", input)?;
     consolidate_dataset(
         parsed,
         &mut dataset,
         has_truth,
         &pipeline,
+        None,
         open_output,
         stdin,
         prompt_out,
@@ -239,12 +323,17 @@ pub fn consolidate(
 /// The shared consolidation driver behind `ec consolidate` and the
 /// consolidation half of `ec pipeline`: standardizes the requested columns
 /// with the mode's oracle, runs truth discovery, renders the summary, and
-/// streams the `--output` / `--golden` / `--save-library` files.
+/// streams the `--output` / `--golden` / `--save-library` files. With
+/// `compiled` set (a loaded `--artifact`), candidate generation, grouping
+/// preparation and index building are all skipped — the precompiled state
+/// is replayed instead, byte-identically.
+#[allow(clippy::too_many_arguments)]
 fn consolidate_dataset(
     parsed: &ParsedArgs,
     dataset: &mut Dataset,
     has_truth: bool,
     pipeline: &Pipeline,
+    compiled: Option<&CompiledDataset>,
     open_output: OpenOutput<'_>,
     stdin: &mut dyn BufRead,
     prompt_out: &mut dyn Write,
@@ -292,7 +381,15 @@ fn consolidate_dataset(
             )
             .map_err(|e| CliError::Io(e.to_string()))?;
             let mut oracle = InteractiveOracle::new(stdin, prompt_out);
-            let (report, approved) = pipeline.standardize_column_traced(dataset, col, &mut oracle);
+            let (report, approved) = match compiled {
+                Some(compiled) => pipeline.standardize_column_traced_compiled(
+                    dataset,
+                    col,
+                    &compiled.columns[col],
+                    &mut oracle,
+                ),
+                None => pipeline.standardize_column_traced(dataset, col, &mut oracle),
+            };
             if let Some(library) = &mut library {
                 for group in &approved {
                     library.record(&dataset.columns[col], group);
@@ -307,14 +404,24 @@ fn consolidate_dataset(
                 "unknown mode '{mode}'; expected auto, approve-all, or interactive"
             ))
         })?;
-        standardize_columns(
-            pipeline,
-            dataset,
-            &columns,
-            auto_mode,
-            has_truth,
-            library.as_mut(),
-        )
+        match compiled {
+            Some(compiled) => standardize_columns_compiled(
+                pipeline,
+                compiled,
+                dataset,
+                &columns,
+                auto_mode,
+                library.as_mut(),
+            ),
+            None => standardize_columns(
+                pipeline,
+                dataset,
+                &columns,
+                auto_mode,
+                has_truth,
+                library.as_mut(),
+            ),
+        }
     };
 
     let golden = pipeline.discover_golden_records(dataset, truth_method);
@@ -458,6 +565,33 @@ pub fn pipeline(
     stdin: &mut dyn BufRead,
     prompt_out: &mut dyn Write,
 ) -> Result<CommandOutput, CliError> {
+    if let Some((path, compiled, mapped)) = resolve_artifact(parsed, prompt_out)? {
+        // The artifact already holds the resolved clusters and every prepared
+        // structure; replay the consolidation, skipping resolve entirely.
+        let summary = artifact_summary(&path, &compiled, mapped);
+        let pipeline = Pipeline::new(
+            ConsolidationConfig {
+                budget: parsed.get_usize("budget", 100)?,
+                ..ConsolidationConfig::default()
+            }
+            .with_threads(parsed.get_usize("threads", 0)?),
+        );
+        let mut dataset = compiled.dataset.clone();
+        let consolidated = consolidate_dataset(
+            parsed,
+            &mut dataset,
+            compiled.has_truth,
+            &pipeline,
+            Some(&compiled),
+            open_output,
+            stdin,
+            prompt_out,
+        )?;
+        return Ok(CommandOutput {
+            stdout: summary + &consolidated.stdout,
+            written: consolidated.written,
+        });
+    }
     let threshold = match_threshold(parsed)?;
     let mut stream = FlatCsvReader::new(input).map_err(|e| CliError::Data(e.to_string()))?;
     let name = parsed.get("name").unwrap_or("resolved");
@@ -490,6 +624,7 @@ pub fn pipeline(
         &mut dataset,
         true,
         fused.pipeline(),
+        None,
         open_output,
         stdin,
         prompt_out,
@@ -517,7 +652,23 @@ pub fn apply(
     let library = ProgramLibrary::from_snapshot(&snapshot)
         .map_err(|e| CliError::Data(format!("{library_path}: {e}")))?;
 
-    let input = open_input(parsed.require("input")?)?;
+    // `--artifact` replaces `--input`: the compiled dataset's own records
+    // (flattened cluster-major, exactly like `ec compile --emit-flat`) are
+    // what gets standardized.
+    let input: Box<dyn Read> = match parsed.get("artifact") {
+        Some(artifact_path) => {
+            if parsed.get("input").is_some() {
+                return Err(CliError::Usage(
+                    "pass either --input or --artifact, not both".to_string(),
+                ));
+            }
+            let (compiled, _mapped) = load_artifact(artifact_path)?;
+            let mut flat = Vec::new();
+            stream_flat_csv(&compiled.dataset, &mut flat).expect("writing to a Vec cannot fail");
+            Box::new(std::io::Cursor::new(flat))
+        }
+        None => open_input(parsed.require("input")?)?,
+    };
     let mut stream = FlatCsvReader::new(input).map_err(|e| CliError::Data(e.to_string()))?;
     let columns = stream.columns().to_vec();
     let applier = library.applier(&columns);
@@ -570,6 +721,84 @@ pub fn apply(
     Ok(output)
 }
 
+/// `ec compile`: compile a dataset into the binary artifact that
+/// `--artifact` consumers memory-map at startup. Flat record CSV is resolved
+/// first (threshold applies); clustered CSV — recognized by its
+/// `cluster,source,...` header — is taken as already resolved. Everything
+/// expensive happens here, once: candidate generation, partitioning, graph
+/// preparation and the CSR inverted index all land in the artifact.
+pub fn compile(
+    parsed: &ParsedArgs,
+    input: impl Read,
+    open_output: OpenOutput<'_>,
+) -> Result<CommandOutput, CliError> {
+    let threshold = match_threshold(parsed)?;
+    let threads = parsed.get_usize("threads", 0)?;
+    let name = parsed.get("name").unwrap_or("resolved");
+    let output_path = parsed.require("output")?;
+    // Open every sink before the (expensive) compile runs.
+    let mut sink = open_output(output_path)?;
+    let mut flat_sink = match parsed.get("emit-flat") {
+        Some(path) => Some((path, open_output(path)?)),
+        None => None,
+    };
+    // Compiling is a whole-dataset batch operation, so reading the input up
+    // front (to sniff the header) costs nothing extra.
+    let mut text = String::new();
+    let mut input = input;
+    input
+        .read_to_string(&mut text)
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    let config = ConsolidationConfig::default().with_threads(threads);
+    let (dataset, has_truth) = if text.starts_with("cluster,") {
+        read_clustered(name, text.as_bytes())?
+    } else {
+        let mut stream =
+            FlatCsvReader::new(text.as_bytes()).map_err(|e| CliError::Data(e.to_string()))?;
+        let fused = FusedPipeline::new(
+            ResolverConfig {
+                threshold,
+                ..ResolverConfig::default()
+            },
+            config.clone(),
+        );
+        let dataset = fused
+            .resolve_stream(name, &mut stream)
+            .map_err(|e| CliError::Data(e.to_string()))?;
+        // Resolver output carries per-cell truth, like `ec resolve` output.
+        (dataset, true)
+    };
+    let compiled = compile_dataset(dataset, threshold, has_truth, &config);
+    let bytes = ec_artifact::encode_artifact(&compiled);
+    sink.write_all(&bytes)
+        .and_then(|()| sink.flush())
+        .map_err(write_failed(output_path))?;
+    let candidates: usize = compiled
+        .columns
+        .iter()
+        .map(|c| c.candidates.replacements.len())
+        .sum();
+    let partitions: usize = compiled.columns.iter().map(|c| c.partitions.len()).sum();
+    let mut output = CommandOutput::text(format!(
+        "compiled {}: {} records in {} clusters, {} columns, {} candidate replacements, \
+         {} prepared partitions — {} artifact bytes (threshold {})\n",
+        compiled.name,
+        compiled.dataset.num_records(),
+        compiled.dataset.clusters.len(),
+        compiled.dataset.columns.len(),
+        candidates,
+        partitions,
+        bytes.len(),
+        compiled.threshold,
+    ))
+    .note_written(output_path);
+    if let Some((path, sink)) = flat_sink.as_mut() {
+        stream_flat_csv(&compiled.dataset, sink).map_err(write_failed(path))?;
+        output = output.note_written(*path);
+    }
+    Ok(output)
+}
+
 /// `ec serve`: the long-lived consolidation service (see the `ec-serve`
 /// crate docs for the endpoints). Blocks until `POST /shutdown`.
 pub fn serve(
@@ -582,7 +811,13 @@ pub fn serve(
     // and runs no consolidation, so the single-node flags make no sense
     // alongside it.
     if let Some(route) = parsed.get("route") {
-        for conflicting in ["library", "library-cap", "library-ttl", "threads"] {
+        for conflicting in [
+            "library",
+            "library-cap",
+            "library-ttl",
+            "threads",
+            "artifact",
+        ] {
             if parsed.get(conflicting).is_some() {
                 return Err(CliError::Usage(format!(
                     "--{conflicting} does not apply to a router; set it on the backends"
@@ -647,12 +882,24 @@ pub fn serve(
     // a long-running server forgets programs nothing has touched lately;
     // 0 (the default) keeps entries forever.
     let library_ttl = parsed.get_usize("library-ttl", 0)?;
+    // `--artifact FILE` memory-maps a compiled dataset at startup: an
+    // empty-body POST /pipeline (or /apply) then replays the compiled
+    // consolidation with no parse, resolve, candidate or index work.
+    let preloaded = match parsed.get("artifact") {
+        None => None,
+        Some(path) => {
+            let (compiled, mapped) = load_artifact(path)?;
+            let summary = artifact_summary(path, &compiled, mapped);
+            Some((std::sync::Arc::new(compiled), summary))
+        }
+    };
     let config = ServeConfig {
         addr: parsed.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
         threads: parsed.get_usize("threads", 0)?,
         library,
         max_connections: parsed.get_usize("max-connections", 0)?,
         library_ttl: (library_ttl > 0).then(|| std::time::Duration::from_secs(library_ttl as u64)),
+        preloaded: preloaded.as_ref().map(|(compiled, _)| compiled.clone()),
     };
     let server = Server::bind(config).map_err(|e| CliError::Io(format!("cannot bind: {e}")))?;
     writeln!(
@@ -661,6 +908,9 @@ pub fn serve(
         server.local_addr()
     )
     .map_err(|e| CliError::Io(e.to_string()))?;
+    if let Some((_, summary)) = &preloaded {
+        write!(prompt_out, "{summary}").map_err(|e| CliError::Io(e.to_string()))?;
+    }
     prompt_out
         .flush()
         .map_err(|e| CliError::Io(e.to_string()))?;
@@ -1347,5 +1597,350 @@ mod tests {
         assert_eq!(resolve_column(&dataset, "0").unwrap(), 0);
         assert_eq!(resolve_column(&dataset, &dataset.columns[0]).unwrap(), 0);
         assert!(resolve_column(&dataset, "999").is_err());
+    }
+
+    /// A flat Address CSV straight out of `ec generate --flat`.
+    fn flat_csv(clusters: usize, seed: u64) -> String {
+        let (out, _) = generate_mem(&[
+            "generate",
+            "--dataset",
+            "address",
+            "--clusters",
+            &clusters.to_string(),
+            "--seed",
+            &seed.to_string(),
+            "--flat",
+        ])
+        .unwrap();
+        out.stdout
+    }
+
+    /// Writes an artifact compiled from `flat` to a real temp file and
+    /// returns its path. `load_artifact` deliberately bypasses the opener
+    /// indirection — memory-mapping the file *is* the point — so artifact
+    /// consumers need a genuine file on disk.
+    fn compiled_temp_artifact(flat: &str, threshold: &str, tag: &str) -> std::path::PathBuf {
+        let fs = MemFiles::new();
+        compile(
+            &parsed(&[
+                "compile",
+                "--input",
+                "f.csv",
+                "--output",
+                "a.eca",
+                "--threshold",
+                threshold,
+            ]),
+            flat.as_bytes(),
+            &fs.output_opener(),
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join(format!("ec-cli-{tag}-{}.eca", std::process::id()));
+        std::fs::write(&path, fs.get_bytes("a.eca").unwrap()).unwrap();
+        path
+    }
+
+    #[test]
+    fn compile_writes_a_decodable_artifact_and_flat_csv() {
+        let flat = flat_csv(8, 7);
+        let fs = MemFiles::new();
+        let out = compile(
+            &parsed(&[
+                "compile",
+                "--input",
+                "f.csv",
+                "--output",
+                "a.eca",
+                "--threshold",
+                "0.6",
+                "--emit-flat",
+                "flat.csv",
+            ]),
+            flat.as_bytes(),
+            &fs.output_opener(),
+        )
+        .unwrap();
+        assert!(
+            out.stdout.starts_with("compiled resolved:"),
+            "{}",
+            out.stdout
+        );
+        assert!(out.stdout.contains("artifact bytes"), "{}", out.stdout);
+        assert_eq!(
+            out.written,
+            vec!["a.eca".to_string(), "flat.csv".to_string()]
+        );
+
+        let bytes = fs.get_bytes("a.eca").unwrap();
+        let compiled = ec_artifact::read_artifact_bytes(&bytes).expect("the artifact decodes");
+        assert_eq!(compiled.threshold, 0.6);
+        assert!(compiled.has_truth, "resolver output carries per-cell truth");
+        assert_eq!(compiled.columns.len(), compiled.dataset.columns.len());
+        assert!(!compiled.dataset.clusters.is_empty());
+
+        let emitted = fs.get("flat.csv").unwrap();
+        assert!(emitted.starts_with("source,"));
+        assert_eq!(
+            emitted.lines().count(),
+            compiled.dataset.num_records() + 1,
+            "one line per record plus the header"
+        );
+
+        // Clustered input is recognized by its header and skips the resolver.
+        let clustered = address_csv(4);
+        let fs = MemFiles::new();
+        compile(
+            &parsed(&["compile", "--input", "c.csv", "--output", "c.eca"]),
+            clustered.as_bytes(),
+            &fs.output_opener(),
+        )
+        .unwrap();
+        let compiled = ec_artifact::read_artifact_bytes(&fs.get_bytes("c.eca").unwrap()).unwrap();
+        assert_eq!(compiled.dataset.clusters.len(), 4);
+    }
+
+    #[test]
+    fn pipeline_from_artifact_matches_the_fresh_run_byte_for_byte() {
+        let flat = flat_csv(10, 5);
+        let flags = [
+            "--threshold",
+            "0.6",
+            "--budget",
+            "15",
+            "--output",
+            "std.csv",
+            "--golden",
+            "g.csv",
+            "--save-library",
+            "lib.txt",
+        ];
+
+        let fresh_fs = MemFiles::new();
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        let mut argv = vec!["pipeline", "--input", "f.csv"];
+        argv.extend(flags);
+        pipeline(
+            &parsed(&argv),
+            flat.as_bytes(),
+            &fresh_fs.output_opener(),
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap();
+
+        let path = compiled_temp_artifact(&flat, "0.6", "pipeline");
+        let preloaded_fs = MemFiles::new();
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        let mut argv = vec!["pipeline", "--artifact", path.to_str().unwrap()];
+        argv.extend(flags);
+        let out = pipeline(
+            &parsed(&argv),
+            std::io::empty(),
+            &preloaded_fs.output_opener(),
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        assert!(
+            out.stdout.starts_with("loaded compiled artifact"),
+            "{}",
+            out.stdout
+        );
+        assert!(out.stdout.contains("skipped"), "{}", out.stdout);
+        for file in ["std.csv", "g.csv", "lib.txt"] {
+            assert_eq!(
+                preloaded_fs.get(file),
+                fresh_fs.get(file),
+                "{file} is bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn artifact_threshold_mismatch_is_a_usage_error() {
+        let flat = flat_csv(3, 2);
+        let path = compiled_temp_artifact(&flat, "0.6", "mismatch");
+        let fs = MemFiles::new();
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        let err = pipeline(
+            &parsed(&[
+                "pipeline",
+                "--artifact",
+                path.to_str().unwrap(),
+                "--threshold",
+                "0.9",
+            ]),
+            std::io::empty(),
+            &fs.output_opener(),
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        match err {
+            CliError::Usage(msg) => {
+                assert!(
+                    msg.contains("was compiled at threshold 0.6, not 0.9"),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected a usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn artifact_fallback_rebuilds_from_input_with_a_warning() {
+        let path = std::env::temp_dir().join(format!("ec-cli-fallback-{}.eca", std::process::id()));
+        std::fs::write(&path, b"not an artifact").unwrap();
+        let flat = flat_csv(3, 2);
+
+        // With --input, a bad artifact degrades to a warning plus a fresh build.
+        let fs = MemFiles::new();
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        let out = pipeline(
+            &parsed(&[
+                "pipeline",
+                "--artifact",
+                path.to_str().unwrap(),
+                "--input",
+                "f.csv",
+                "--threshold",
+                "0.6",
+                "--output",
+                "std.csv",
+            ]),
+            flat.as_bytes(),
+            &fs.output_opener(),
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap();
+        assert!(out.stdout.contains("resolved"), "{}", out.stdout);
+        let warning = String::from_utf8(prompts).unwrap();
+        assert!(
+            warning.contains("warning: cannot load artifact"),
+            "{warning}"
+        );
+        assert!(warning.contains("rebuilding from --input"), "{warning}");
+
+        // Without --input there is nothing to fall back to.
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        let err = pipeline(
+            &parsed(&["pipeline", "--artifact", path.to_str().unwrap()]),
+            std::io::empty(),
+            &fs.output_opener(),
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(err, CliError::Data(_)), "{err:?}");
+    }
+
+    #[test]
+    fn apply_from_artifact_matches_apply_on_the_emitted_flat_csv() {
+        let flat = flat_csv(6, 3);
+        let fs = MemFiles::new();
+        // A real library learned from the same records.
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        pipeline(
+            &parsed(&[
+                "pipeline",
+                "--input",
+                "f.csv",
+                "--threshold",
+                "0.6",
+                "--budget",
+                "15",
+                "--save-library",
+                "lib.txt",
+            ]),
+            flat.as_bytes(),
+            &fs.output_opener(),
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap();
+        // The artifact plus its own --emit-flat rendering of the records.
+        compile(
+            &parsed(&[
+                "compile",
+                "--input",
+                "f.csv",
+                "--output",
+                "a.eca",
+                "--threshold",
+                "0.6",
+                "--emit-flat",
+                "emitted.csv",
+            ]),
+            flat.as_bytes(),
+            &fs.output_opener(),
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join(format!("ec-cli-apply-{}.eca", std::process::id()));
+        std::fs::write(&path, fs.get_bytes("a.eca").unwrap()).unwrap();
+
+        let from_input = apply(
+            &parsed(&[
+                "apply",
+                "--library",
+                "lib.txt",
+                "--input",
+                "emitted.csv",
+                "--output",
+                "out1.csv",
+            ]),
+            &fs.input_opener(),
+            &fs.output_opener(),
+        )
+        .unwrap();
+        let from_artifact = apply(
+            &parsed(&[
+                "apply",
+                "--library",
+                "lib.txt",
+                "--artifact",
+                path.to_str().unwrap(),
+                "--output",
+                "out2.csv",
+            ]),
+            &fs.input_opener(),
+            &fs.output_opener(),
+        )
+        .unwrap();
+        let both = apply(
+            &parsed(&[
+                "apply",
+                "--library",
+                "lib.txt",
+                "--artifact",
+                path.to_str().unwrap(),
+                "--input",
+                "emitted.csv",
+            ]),
+            &fs.input_opener(),
+            &fs.output_opener(),
+        );
+        std::fs::remove_file(&path).unwrap();
+
+        assert_eq!(
+            fs.get("out1.csv"),
+            fs.get("out2.csv"),
+            "the artifact's records standardize identically to the emitted flat CSV"
+        );
+        assert_eq!(from_input.stdout, from_artifact.stdout);
+        match both.unwrap_err() {
+            CliError::Usage(msg) => assert!(msg.contains("not both"), "{msg}"),
+            other => panic!("expected a usage error, got {other:?}"),
+        }
     }
 }

@@ -123,7 +123,7 @@ pub fn run(
             commands::groups(parsed, input)
         }
         "consolidate" => {
-            let input = open_input(parsed.require("input")?)?;
+            let input = open_artifact_input(parsed, open_input)?;
             commands::consolidate(parsed, input, open_output, stdin, prompt_out)
         }
         "resolve" => {
@@ -131,12 +131,33 @@ pub fn run(
             commands::resolve(parsed, input, open_output)
         }
         "pipeline" => {
-            let input = open_input(parsed.require("input")?)?;
+            let input = open_artifact_input(parsed, open_input)?;
             commands::pipeline(parsed, input, open_output, stdin, prompt_out)
         }
         "apply" => commands::apply(parsed, open_input, open_output),
+        "compile" => {
+            let input = open_input(parsed.require("input")?)?;
+            commands::compile(parsed, input, open_output)
+        }
         "serve" => commands::serve(parsed, open_input, prompt_out),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+/// Opens `--input` for a command that can run from a compiled `--artifact`
+/// instead: with an artifact and no input, the command gets an empty reader
+/// (the artifact supplies the dataset); without either, the usual missing
+/// `--input` error.
+fn open_artifact_input(
+    parsed: &ParsedArgs,
+    open_input: OpenInput<'_>,
+) -> Result<InputReader, CliError> {
+    match parsed.get("input") {
+        Some(path) => open_input(path),
+        None if parsed.get("artifact").is_some() => Ok(Box::new(std::io::empty())),
+        None => Err(CliError::Usage(
+            "missing required option --input".to_string(),
+        )),
     }
 }
 

@@ -58,6 +58,15 @@ impl MemFiles {
         Some(String::from_utf8(bytes).expect("command output is UTF-8"))
     }
 
+    /// The raw contents of a file, if present — for binary outputs like the
+    /// compiled artifacts `ec compile` writes.
+    pub fn get_bytes(&self, path: &str) -> Option<Vec<u8>> {
+        let files = self.files.lock().unwrap();
+        let buffer = files.get(path)?;
+        let bytes = buffer.lock().unwrap().clone();
+        Some(bytes)
+    }
+
     /// All paths present, sorted.
     pub fn paths(&self) -> Vec<String> {
         self.files.lock().unwrap().keys().cloned().collect()

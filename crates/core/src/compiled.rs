@@ -1,0 +1,271 @@
+//! Compiled datasets: the prepared state of a consolidation run, built once
+//! and reused many times.
+//!
+//! Everything the budgeted review loop needs per column — the candidate
+//! replacement sets, the structure partitions, and each partition's prepared
+//! graphs/interner/inverted index — is deterministic given the resolved
+//! dataset and the configuration. [`compile_dataset`] computes it eagerly
+//! (the budget is a runtime parameter, so *every* partition is prepared);
+//! `ec compile` serializes the result into a memory-mappable artifact
+//! (`ec-artifact`), and [`standardize_columns_compiled`] replays Algorithm 1
+//! from the prepared state, byte-identical to the CSV build path while
+//! skipping candidate generation, graph construction and index building.
+
+use crate::consolidate::AutoMode;
+use crate::library::ProgramLibrary;
+use crate::oracle::{ApproveAllOracle, Oracle, SimulatedOracle, Verdict};
+use crate::pipeline::{ColumnReport, ConsolidationConfig, Pipeline};
+use ec_data::Dataset;
+use ec_graph::Replacement;
+use ec_grouping::{partition_replacements, PreparedGraphs, StructuredGrouper};
+use ec_replace::{CandidateSet, ReplacementEngine};
+use std::sync::Arc;
+
+/// One structure partition of a column, with its preparation done.
+#[derive(Debug, Clone)]
+pub struct CompiledPartition {
+    /// The partition's replacements, in the order
+    /// [`partition_replacements`] produces.
+    pub members: Vec<Replacement>,
+    /// The prepared graphs, interner and inverted index for `members`.
+    pub prepared: Arc<PreparedGraphs>,
+}
+
+/// The compiled state of one column.
+#[derive(Debug, Clone)]
+pub struct CompiledColumn {
+    /// The full candidate set generated from the column's cluster values.
+    pub candidates: CandidateSet,
+    /// The structure partitions over the (non-empty) candidates, biggest
+    /// first — the same order a fresh [`StructuredGrouper`] would scan.
+    pub partitions: Vec<CompiledPartition>,
+}
+
+/// A resolved dataset with every column's consolidation state prepared.
+#[derive(Debug, Clone)]
+pub struct CompiledDataset {
+    /// The dataset name (the `name` every entry point threads through).
+    pub name: String,
+    /// The resolution threshold the clusters were formed with. Consumers
+    /// must reject requests that ask for a different threshold — the
+    /// clusters baked into `dataset` cannot be re-resolved.
+    pub threshold: f64,
+    /// Whether the dataset carries ground truth (drives oracle selection).
+    pub has_truth: bool,
+    /// The resolved, clustered dataset.
+    pub dataset: Dataset,
+    /// One compiled state per dataset column.
+    pub columns: Vec<CompiledColumn>,
+}
+
+impl CompiledDataset {
+    /// The columns every entry point resolves specs against.
+    pub fn column_names(&self) -> &[String] {
+        &self.dataset.columns
+    }
+}
+
+/// Compiles `dataset` (already resolved into clusters at `threshold`): per
+/// column, generates candidates, partitions them by structure, and prepares
+/// every partition's graphs and inverted index.
+///
+/// The grouping/candidate parts of `config` must match the configuration the
+/// compiled state will later be *run* with — `ec` entry points all use the
+/// defaults, so this holds by construction; parallelism and budget are
+/// runtime knobs that never change outputs.
+pub fn compile_dataset(
+    dataset: Dataset,
+    threshold: f64,
+    has_truth: bool,
+    config: &ConsolidationConfig,
+) -> CompiledDataset {
+    let columns = (0..dataset.columns.len())
+        .map(|col| {
+            let values = dataset.column_values(col);
+            let engine = ReplacementEngine::new(values, &config.candidates);
+            let candidates = engine.candidates();
+            let partitions = partition_replacements(&candidates, &config.grouping)
+                .into_iter()
+                .map(|members| {
+                    let prepared = Arc::new(PreparedGraphs::build(&members, &config.grouping));
+                    CompiledPartition { members, prepared }
+                })
+                .collect();
+            CompiledColumn {
+                candidates: engine.candidate_set().clone(),
+                partitions,
+            }
+        })
+        .collect();
+    CompiledDataset {
+        name: dataset.name.clone(),
+        threshold,
+        has_truth,
+        dataset,
+        columns,
+    }
+}
+
+impl Pipeline {
+    /// [`Pipeline::standardize_column_traced`] from a compiled column state:
+    /// the engine is reassembled from the stored candidate sets and the
+    /// grouper from the stored partitions, skipping generation, graph
+    /// construction and indexing. Output is identical to the fresh path.
+    pub fn standardize_column_traced_compiled(
+        &self,
+        dataset: &mut Dataset,
+        col: usize,
+        compiled: &CompiledColumn,
+        oracle: &mut dyn Oracle,
+    ) -> (ColumnReport, Vec<crate::ApprovedGroup>) {
+        let values = dataset.column_values(col);
+        let mut engine = ReplacementEngine::from_parts(values, compiled.candidates.clone());
+        let candidates = engine.candidates();
+        let parts = compiled
+            .partitions
+            .iter()
+            .map(|p| (p.members.clone(), Arc::clone(&p.prepared)))
+            .collect();
+        let mut grouper = StructuredGrouper::from_compiled(parts, self.config().grouping.clone());
+        let mut reviewed = 0usize;
+        let mut approved = Vec::new();
+        while reviewed < self.config().budget {
+            let group = match grouper.next_group() {
+                Some(g) => g,
+                None => break,
+            };
+            reviewed += 1;
+            if let Verdict::Approve(direction) = oracle.review(&group) {
+                engine.apply_group(group.members(), direction);
+                approved.push(crate::ApprovedGroup { group, direction });
+            }
+        }
+        let report = ColumnReport {
+            column: col,
+            candidates: candidates.len(),
+            groups_reviewed: reviewed,
+            groups_approved: approved.len(),
+            cells_updated: engine.cells_updated(),
+        };
+        dataset.set_column_values(col, engine.into_values());
+        (report, approved)
+    }
+}
+
+/// [`crate::standardize_columns`] over a compiled dataset: same oracle
+/// selection and library recording, but each column runs from its compiled
+/// state. `dataset` is the working copy being standardized (typically a clone
+/// of [`CompiledDataset::dataset`]).
+pub fn standardize_columns_compiled(
+    pipeline: &Pipeline,
+    compiled: &CompiledDataset,
+    dataset: &mut Dataset,
+    columns: &[usize],
+    mode: AutoMode,
+    mut library: Option<&mut ProgramLibrary>,
+) -> Vec<ColumnReport> {
+    let mut reports = Vec::with_capacity(columns.len());
+    for &col in columns {
+        let simulated = mode == AutoMode::Auto && compiled.has_truth;
+        let mut oracle: Box<dyn Oracle> = if simulated {
+            Box::new(SimulatedOracle::for_column(dataset, col, 7 + col as u64))
+        } else {
+            Box::new(ApproveAllOracle)
+        };
+        let (report, approved) = pipeline.standardize_column_traced_compiled(
+            dataset,
+            col,
+            &compiled.columns[col],
+            oracle.as_mut(),
+        );
+        if let Some(library) = library.as_deref_mut() {
+            let column_name = &dataset.columns[col];
+            for group in &approved {
+                library.record(column_name, group);
+            }
+        }
+        reports.push(report);
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consolidate::standardize_columns;
+    use ec_data::{GeneratorConfig, PaperDataset};
+
+    #[test]
+    fn compiled_standardization_matches_the_fresh_path_exactly() {
+        let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+            num_clusters: 12,
+            seed: 21,
+            num_sources: 3,
+        });
+        let config = ConsolidationConfig {
+            budget: 10,
+            ..ConsolidationConfig::default()
+        };
+        let pipeline = Pipeline::new(config.clone());
+        let columns: Vec<usize> = (0..dataset.columns.len()).collect();
+
+        let mut fresh = dataset.clone();
+        let mut fresh_library = ProgramLibrary::new();
+        let fresh_reports = standardize_columns(
+            &pipeline,
+            &mut fresh,
+            &columns,
+            AutoMode::Auto,
+            true,
+            Some(&mut fresh_library),
+        );
+
+        let compiled = compile_dataset(dataset, 0.75, true, &config);
+        let mut from_compiled = compiled.dataset.clone();
+        let mut compiled_library = ProgramLibrary::new();
+        let compiled_reports = standardize_columns_compiled(
+            &pipeline,
+            &compiled,
+            &mut from_compiled,
+            &columns,
+            AutoMode::Auto,
+            Some(&mut compiled_library),
+        );
+
+        assert_eq!(fresh, from_compiled, "standardized datasets agree");
+        assert_eq!(fresh_reports, compiled_reports, "reports agree");
+        assert_eq!(
+            fresh_library.to_snapshot(),
+            compiled_library.to_snapshot(),
+            "learned programs agree"
+        );
+    }
+
+    #[test]
+    fn compile_prepares_every_partition_eagerly() {
+        let dataset = PaperDataset::Address.generate(&GeneratorConfig {
+            num_clusters: 8,
+            seed: 3,
+            num_sources: 3,
+        });
+        let compiled = compile_dataset(dataset, 0.75, true, &ConsolidationConfig::default());
+        assert_eq!(compiled.columns.len(), compiled.dataset.columns.len());
+        for column in &compiled.columns {
+            let partition_total: usize = column.partitions.iter().map(|p| p.members.len()).sum();
+            let candidate_total = column
+                .candidates
+                .replacements
+                .iter()
+                .filter(|r| !column.candidates.set(r).is_empty())
+                .count();
+            assert_eq!(partition_total, candidate_total);
+            for p in &column.partitions {
+                assert_eq!(
+                    p.prepared.len() + p.prepared.skipped().len(),
+                    p.members.len(),
+                    "every member has a graph or is recorded as skipped"
+                );
+            }
+        }
+    }
+}

@@ -31,12 +31,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod consolidate;
 pub mod fused;
 pub mod library;
 pub mod oracle;
 pub mod pipeline;
 
+pub use compiled::{
+    compile_dataset, standardize_columns_compiled, CompiledColumn, CompiledDataset,
+    CompiledPartition,
+};
 pub use consolidate::{
     resolve_column_spec, standardize_columns, write_golden_records_csv, AutoMode,
 };

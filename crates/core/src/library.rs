@@ -60,11 +60,12 @@ pub struct LearnedProgram {
     /// entry was last recorded or merged into. Runtime bookkeeping only — it
     /// is not serialized and does not participate in equality.
     touched: u64,
-    /// Wall-clock stamp for TTL eviction: when the entry was last recorded or
-    /// merged into *in this process*. `None` for entries loaded from a
-    /// snapshot, which [`ProgramLibrary::evict_expired`] stamps lazily on its
-    /// first sweep so they live one full TTL from then. Runtime bookkeeping
-    /// only, like `touched`.
+    /// Wall-clock stamp for TTL eviction: when the entry was last recorded,
+    /// merged into, or loaded from a snapshot *in this process*. Stamping at
+    /// snapshot load matters: a restarted server's entries age from the load,
+    /// not from whenever the first sweep happens to run — lazily stamping at
+    /// the first sweep used to hand stale snapshot entries a full extra TTL.
+    /// Runtime bookkeeping only, like `touched`.
     touched_at: Option<Instant>,
 }
 
@@ -222,11 +223,9 @@ impl ProgramLibrary {
         self.ttl = ttl.map(|t| t.max(Duration::from_secs(1)));
     }
 
-    /// Evicts every entry whose last [`record`]/[`merge`] touch is more than
-    /// the TTL before `now`, returning how many were removed. Entries that
-    /// were never touched in this process (snapshot loads) are stamped at
-    /// `now`, so they survive one full TTL from the first sweep. A no-op
-    /// without a configured TTL. Evictions count toward
+    /// Evicts every entry whose last [`record`]/[`merge`]/snapshot-load touch
+    /// is more than the TTL before `now`, returning how many were removed. A
+    /// no-op without a configured TTL. Evictions count toward
     /// [`ProgramLibrary::evictions`] and bump the version ("bumped on every
     /// mutation" includes expiry), exactly like capacity trims.
     ///
@@ -238,16 +237,14 @@ impl ProgramLibrary {
         };
         let mut evicted = 0usize;
         for entries in self.columns.values_mut() {
-            entries.retain_mut(|entry| match entry.touched_at {
-                None => {
-                    entry.touched_at = Some(now);
-                    true
-                }
-                Some(touched_at) => {
-                    let expired = now.saturating_duration_since(touched_at) > ttl;
-                    evicted += usize::from(expired);
-                    !expired
-                }
+            entries.retain_mut(|entry| {
+                // Every constructor stamps `touched_at` (record, merge and
+                // snapshot load), so `None` cannot occur; stamping here keeps
+                // the sweep total if that invariant ever slips.
+                let touched_at = *entry.touched_at.get_or_insert(now);
+                let expired = now.saturating_duration_since(touched_at) > ttl;
+                evicted += usize::from(expired);
+                !expired
             });
         }
         if evicted > 0 {
@@ -482,6 +479,10 @@ impl ProgramLibrary {
         let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
         let mut library = ProgramLibrary::new();
         let mut version_seen = false;
+        // Loaded entries age from *now*: the TTL clock starts at the load,
+        // not at the first sweep — a restarted server with `--library-ttl`
+        // must not keep stale snapshot entries a full extra TTL.
+        let loaded_at = Some(Instant::now());
         match lines.next() {
             Some((_, first)) if first.trim() == SNAPSHOT_HEADER => {}
             Some((_, first)) => {
@@ -535,7 +536,7 @@ impl ProgramLibrary {
                             direction,
                             rewrites: Vec::new(),
                             touched: 0,
-                            touched_at: None,
+                            touched_at: loaded_at,
                         });
                 }
                 "program" => {
@@ -854,7 +855,7 @@ mod tests {
     }
 
     #[test]
-    fn ttl_expires_untouched_entries_and_stamps_snapshot_loads_lazily() {
+    fn ttl_expires_untouched_entries_and_snapshot_loads_age_from_load_time() {
         let mut library = ProgramLibrary::new();
         let start = Instant::now();
         library.record("Name", &approved(None, Direction::Forward, &[("a", "A")]));
@@ -881,18 +882,23 @@ mod tests {
         library.set_ttl(Some(Duration::ZERO));
         assert_eq!(library.ttl(), Some(Duration::from_secs(1)));
 
-        // Snapshot-loaded entries carry no process-local stamp: the first
-        // sweep stamps them instead of evicting, so they live one full TTL.
+        // Snapshot-loaded entries are stamped at load time: a sweep inside
+        // the TTL keeps them, and one past it evicts them — even when it is
+        // the *first* sweep. (Lazily stamping on the first sweep instead
+        // used to keep a restarted server's stale entries a full extra TTL.)
+        let loaded_at = Instant::now();
         let mut loaded = ProgramLibrary::from_snapshot(&sample_library().to_snapshot()).unwrap();
         loaded.set_ttl(Some(Duration::from_secs(60)));
-        let first_sweep = Instant::now();
-        assert_eq!(loaded.evict_expired(first_sweep), 0);
+        assert_eq!(loaded.evict_expired(loaded_at + Duration::from_secs(30)), 0);
         assert_eq!(loaded.len(), 3);
+        let mut stale = ProgramLibrary::from_snapshot(&sample_library().to_snapshot()).unwrap();
+        stale.set_ttl(Some(Duration::from_secs(60)));
         assert_eq!(
-            loaded.evict_expired(first_sweep + Duration::from_secs(3600)),
+            stale.evict_expired(loaded_at + Duration::from_secs(3600)),
             3,
-            "from the first sweep on, the TTL applies"
+            "the very first sweep already evicts entries older than one TTL since the load"
         );
+        assert!(stale.is_empty());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! since they have the narrowest "character class" and never generalise across
 //! values of different lengths.
 
-use crate::label::{LabelId, LabelInterner};
+use crate::label::{LabelId, LabelInterner, LabelList};
 use crate::replacement::Replacement;
 use ec_dsl::{Dir, PositionFn, StrCtx, StringFn, CLASS_TERMS};
 use serde::{Deserialize, Serialize};
@@ -95,7 +95,7 @@ pub struct Edge {
     /// Target node (character position in the output string, `> from`).
     pub to: u32,
     /// Interned string-function labels, deduplicated, in insertion order.
-    pub labels: Vec<LabelId>,
+    pub labels: LabelList,
 }
 
 /// The transformation graph of one candidate replacement.
@@ -173,6 +173,43 @@ impl TransformationGraph {
     /// Does some edge of this graph carry `label`?
     pub fn contains_label(&self, label: LabelId) -> bool {
         self.edges.iter().any(|e| e.labels.contains(&label))
+    }
+
+    /// Reassembles a graph from its stored parts — the compiled-artifact load
+    /// path. Edges must be sorted by `(from, to)` with `from < to <= t_len`
+    /// and at least one label each (exactly what [`TransformationGraph::edges`]
+    /// returned at write time); the CSR `out_start` table is rebuilt. Returns
+    /// `None` when the edges violate the invariant, so a corrupt artifact is
+    /// rejected instead of producing an inconsistent graph.
+    pub fn from_parts(
+        replacement: Replacement,
+        t_len: u32,
+        edges: Vec<Edge>,
+    ) -> Option<TransformationGraph> {
+        for (i, e) in edges.iter().enumerate() {
+            if e.from >= e.to || e.to > t_len || e.labels.is_empty() {
+                return None;
+            }
+            if i > 0 {
+                let prev = &edges[i - 1];
+                if (prev.from, prev.to) >= (e.from, e.to) {
+                    return None;
+                }
+            }
+        }
+        let mut out_start = vec![0u32; t_len as usize + 2];
+        for e in &edges {
+            out_start[e.from as usize + 1] += 1;
+        }
+        for i in 1..out_start.len() {
+            out_start[i] += out_start[i - 1];
+        }
+        Some(TransformationGraph {
+            replacement,
+            t_len,
+            edges,
+            out_start,
+        })
     }
 
     /// Rewrites every label id through `f`, deduplicating per edge afterwards.
@@ -297,7 +334,11 @@ impl GraphBuilder {
         let mut edges: Vec<Edge> = edge_labels
             .into_iter()
             .filter(|(_, labels)| !labels.is_empty())
-            .map(|((from, to), labels)| Edge { from, to, labels })
+            .map(|((from, to), labels)| Edge {
+                from,
+                to,
+                labels: labels.into(),
+            })
             .collect();
         edges.sort_by_key(|e| (e.from, e.to));
         let mut out_start = vec![0u32; t_len + 2];
@@ -674,6 +715,40 @@ mod tests {
         assert_eq!(graphs.len(), 2);
         assert_eq!(graphs[0].0, reps[0]);
         assert_eq!(graphs[1].0, reps[2]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_built_graph() {
+        let (g, _) = build("Lee, Mary", "M. Lee", GraphConfig::default());
+        let rebuilt = TransformationGraph::from_parts(
+            g.replacement().clone(),
+            g.last_node(),
+            g.edges().to_vec(),
+        )
+        .expect("a built graph round-trips");
+        assert_eq!(rebuilt.num_edges(), g.num_edges());
+        for i in 0..=g.last_node() {
+            assert_eq!(rebuilt.out_edges(i), g.out_edges(i), "node {i}");
+        }
+        // Out-of-range targets, empty labels, and unsorted edges are rejected.
+        let rep = g.replacement().clone();
+        let bad_target = vec![Edge {
+            from: 0,
+            to: g.last_node() + 1,
+            labels: vec![LabelId(0)].into(),
+        }];
+        assert!(TransformationGraph::from_parts(rep.clone(), g.last_node(), bad_target).is_none());
+        let empty_labels = vec![Edge {
+            from: 0,
+            to: 1,
+            labels: LabelList::new(),
+        }];
+        assert!(
+            TransformationGraph::from_parts(rep.clone(), g.last_node(), empty_labels).is_none()
+        );
+        let mut unsorted = g.edges().to_vec();
+        unsorted.swap(0, 1);
+        assert!(TransformationGraph::from_parts(rep, g.last_node(), unsorted).is_none());
     }
 
     #[test]

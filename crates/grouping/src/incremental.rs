@@ -45,6 +45,16 @@ impl IncrementalGrouper {
     /// initial upper bounds.
     pub fn new(replacements: &[Replacement], config: GroupingConfig) -> Self {
         let prepared = Arc::new(PreparedGraphs::build(replacements, &config));
+        Self::with_prepared(prepared, config)
+    }
+
+    /// Builds a grouper over an already-prepared (possibly shared) graph
+    /// state, skipping Algorithm 6. Upper bounds, the active set and the
+    /// skipped list are derived from `prepared` — they are cheap relative to
+    /// graph construction and indexing, and deriving them keeps the grouper's
+    /// behaviour identical to [`IncrementalGrouper::new`] over the same
+    /// replacements.
+    pub fn with_prepared(prepared: Arc<PreparedGraphs>, config: GroupingConfig) -> Self {
         let n = prepared.len();
         let upper_bounds: Vec<u32> = (0..n)
             .map(|g| prepared.upper_bound(GraphId(g as u32)) as u32)
@@ -370,6 +380,20 @@ mod tests {
         assert_eq!(groups[0].size(), 2);
         assert_eq!(groups[1].size(), 1);
         assert!(groups[1].program().is_none());
+    }
+
+    #[test]
+    fn with_prepared_matches_new_and_shares_the_preparation() {
+        let reps = example_5_1();
+        let config = GroupingConfig::default();
+        let prepared = Arc::new(PreparedGraphs::build(&reps, &config));
+        let base = IncrementalGrouper::new(&reps, config.clone()).all_groups();
+        let from_shared =
+            IncrementalGrouper::with_prepared(Arc::clone(&prepared), config.clone()).all_groups();
+        assert_eq!(base, from_shared);
+        // The same preparation can seed a second, independent grouper.
+        let again = IncrementalGrouper::with_prepared(prepared, config).all_groups();
+        assert_eq!(base, again);
     }
 
     #[test]

@@ -52,4 +52,4 @@ pub use incremental::IncrementalGrouper;
 pub use oneshot::OneShotGrouper;
 pub use prepared::PreparedGraphs;
 pub use search::{PivotResult, PivotSearcher};
-pub use structured::StructuredGrouper;
+pub use structured::{partition_replacements, StructuredGrouper};

@@ -108,6 +108,36 @@ impl PreparedGraphs {
         }
     }
 
+    /// Reassembles a prepared state from already-built components (e.g. a
+    /// compiled artifact), skipping graph construction and indexing.
+    ///
+    /// Returns `None` when the components are structurally inconsistent:
+    /// `graphs` and `replacements` must pair up one-to-one, and the index must
+    /// cover every interned label. Edge-label ids must already be validated
+    /// against `interner` by the caller.
+    pub fn from_parts(
+        replacements: Vec<Replacement>,
+        graphs: Vec<TransformationGraph>,
+        skipped: Vec<Replacement>,
+        interner: LabelInterner,
+        index: InvertedIndex,
+    ) -> Option<Self> {
+        if replacements.len() != graphs.len() || index.num_labels() < interner.len() {
+            return None;
+        }
+        // Edge-label bounds are the caller's responsibility: the artifact
+        // decoder checks every id against the interner as it copies the
+        // label blocks, where the ids are already in cache — re-walking
+        // millions of labels here doubled the cost of an artifact load.
+        Some(PreparedGraphs {
+            replacements,
+            graphs,
+            skipped,
+            interner,
+            index,
+        })
+    }
+
     /// Number of graphs.
     pub fn len(&self) -> usize {
         self.graphs.len()
@@ -280,6 +310,59 @@ mod tests {
             assert_eq!(seq.graph(gid).num_edges(), par.graph(gid).num_edges());
             assert_eq!(seq.graph(gid).num_labels(), par.graph(gid).num_labels());
         }
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_built_state_and_rejects_mismatched_components() {
+        let built = PreparedGraphs::build(&reps(), &GroupingConfig::default());
+        let replacements = built.replacements().to_vec();
+        let graphs = built.graphs().to_vec();
+        let skipped = built.skipped().to_vec();
+        let interner = built.interner().clone();
+        let (postings, offsets, counts) = built.index().raw_parts();
+        let index = InvertedIndex::from_parts(
+            postings.to_vec().into(),
+            offsets.to_vec().into(),
+            counts.to_vec().into(),
+        )
+        .unwrap();
+        let rebuilt = PreparedGraphs::from_parts(
+            replacements.clone(),
+            graphs.clone(),
+            skipped,
+            interner.clone(),
+            index,
+        )
+        .expect("consistent components are accepted");
+        assert_eq!(rebuilt.replacements(), built.replacements());
+        assert_eq!(rebuilt.len(), built.len());
+        for g in 0..built.len() {
+            let gid = GraphId(g as u32);
+            assert_eq!(rebuilt.upper_bound(gid), built.upper_bound(gid));
+        }
+
+        // Mismatched replacement/graph counts are rejected.
+        let (postings, offsets, counts) = built.index().raw_parts();
+        let index = InvertedIndex::from_parts(
+            postings.to_vec().into(),
+            offsets.to_vec().into(),
+            counts.to_vec().into(),
+        )
+        .unwrap();
+        assert!(PreparedGraphs::from_parts(
+            replacements[..1].to_vec(),
+            graphs.clone(),
+            Vec::new(),
+            interner.clone(),
+            index,
+        )
+        .is_none());
+
+        // An index that does not cover the interner is rejected.
+        let small = InvertedIndex::build(&[], 0);
+        assert!(
+            PreparedGraphs::from_parts(replacements, graphs, Vec::new(), interner, small).is_none()
+        );
     }
 
     #[test]

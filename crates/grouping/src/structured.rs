@@ -13,8 +13,41 @@ use crate::config::GroupingConfig;
 use crate::group::Group;
 use crate::incremental::IncrementalGrouper;
 use crate::oneshot::{sort_groups, OneShotGrouper};
+use crate::prepared::PreparedGraphs;
 use ec_graph::{structure::replacement_structure, Replacement, ReplacementStructure};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Splits `replacements` into the structure partitions the grouper scans:
+/// one partition per [`ReplacementStructure`] when
+/// [`GroupingConfig::structure_refinement`] is set (biggest first, ties by
+/// first member), otherwise a single partition. `ec compile` uses the same
+/// function so compiled partitions line up one-to-one with the ones a fresh
+/// [`StructuredGrouper`] would form.
+pub fn partition_replacements(
+    replacements: &[Replacement],
+    config: &GroupingConfig,
+) -> Vec<Vec<Replacement>> {
+    if config.structure_refinement {
+        let mut by_structure: HashMap<ReplacementStructure, Vec<Replacement>> = HashMap::new();
+        for r in replacements {
+            by_structure
+                .entry(replacement_structure(r.lhs(), r.rhs()))
+                .or_default()
+                .push(r.clone());
+        }
+        let mut parts: Vec<Vec<Replacement>> = by_structure.into_values().collect();
+        // Deterministic order: biggest partitions first, ties by first member.
+        parts.sort_by(|a, b| {
+            b.len()
+                .cmp(&a.len())
+                .then_with(|| a.first().cmp(&b.first()))
+        });
+        parts
+    } else {
+        vec![replacements.to_vec()]
+    }
+}
 
 /// A grouper that composes the structure refinement of Section 7.2 with the
 /// incremental top-k algorithm of Section 6. This is the `Group` method
@@ -28,6 +61,9 @@ pub struct StructuredGrouper {
 #[derive(Debug)]
 struct Partition {
     replacements: Vec<Replacement>,
+    /// Preprocessed graphs loaded from a compiled artifact; consulted by
+    /// [`Partition::materialize`] instead of running Algorithm 6.
+    precompiled: Option<Arc<PreparedGraphs>>,
     grouper: Option<IncrementalGrouper>,
     /// The next group of this partition, already computed but not yet emitted.
     peeked: Option<Group>,
@@ -57,7 +93,10 @@ impl Partition {
         }
         let grouper = self
             .grouper
-            .get_or_insert_with(|| IncrementalGrouper::new(&self.replacements, config.clone()));
+            .get_or_insert_with(|| match self.precompiled.take() {
+                Some(prepared) => IncrementalGrouper::with_prepared(prepared, config.clone()),
+                None => IncrementalGrouper::new(&self.replacements, config.clone()),
+            });
         match grouper.next_group() {
             Some(g) => self.peeked = Some(g),
             None => self.exhausted = true,
@@ -70,30 +109,37 @@ impl StructuredGrouper {
     /// [`GroupingConfig::structure_refinement`] is set; otherwise a single
     /// partition is used) and prepares lazy incremental groupers.
     pub fn new(replacements: &[Replacement], config: GroupingConfig) -> Self {
-        let partitions = if config.structure_refinement {
-            let mut by_structure: HashMap<ReplacementStructure, Vec<Replacement>> = HashMap::new();
-            for r in replacements {
-                by_structure
-                    .entry(replacement_structure(r.lhs(), r.rhs()))
-                    .or_default()
-                    .push(r.clone());
-            }
-            let mut parts: Vec<Vec<Replacement>> = by_structure.into_values().collect();
-            // Deterministic order: biggest partitions first, ties by first member.
-            parts.sort_by(|a, b| {
-                b.len()
-                    .cmp(&a.len())
-                    .then_with(|| a.first().cmp(&b.first()))
-            });
-            parts
-        } else {
-            vec![replacements.to_vec()]
-        };
         StructuredGrouper {
-            partitions: partitions
+            partitions: partition_replacements(replacements, &config)
                 .into_iter()
                 .map(|replacements| Partition {
                     replacements,
+                    precompiled: None,
+                    grouper: None,
+                    peeked: None,
+                    exhausted: false,
+                })
+                .collect(),
+            config,
+        }
+    }
+
+    /// Builds a grouper over partitions whose preparation (graphs, interner,
+    /// index) was already done — e.g. loaded from a compiled artifact. Each
+    /// `(members, prepared)` pair must correspond to one partition as produced
+    /// by [`partition_replacements`] with the same `config`; the emitted
+    /// groups are then identical to a fresh [`StructuredGrouper::new`] over
+    /// the concatenated members.
+    pub fn from_compiled(
+        parts: Vec<(Vec<Replacement>, Arc<PreparedGraphs>)>,
+        config: GroupingConfig,
+    ) -> Self {
+        StructuredGrouper {
+            partitions: parts
+                .into_iter()
+                .map(|(replacements, prepared)| Partition {
+                    replacements,
+                    precompiled: Some(prepared),
                     grouper: None,
                     peeked: None,
                     exhausted: false,
@@ -326,5 +372,22 @@ mod tests {
         let mut grouper = StructuredGrouper::new(&[], GroupingConfig::default());
         assert!(grouper.next_group().is_none());
         assert!(grouper.all_groups().is_empty());
+    }
+
+    #[test]
+    fn from_compiled_emits_the_same_groups_as_a_fresh_grouper() {
+        let reps = mixed_replacements();
+        let config = GroupingConfig::default();
+        let fresh = StructuredGrouper::new(&reps, config.clone()).all_groups();
+        let parts: Vec<(Vec<Replacement>, Arc<PreparedGraphs>)> =
+            partition_replacements(&reps, &config)
+                .into_iter()
+                .map(|members| {
+                    let prepared = Arc::new(PreparedGraphs::build(&members, &config));
+                    (members, prepared)
+                })
+                .collect();
+        let compiled = StructuredGrouper::from_compiled(parts, config).all_groups();
+        assert_eq!(fresh, compiled);
     }
 }

@@ -39,7 +39,11 @@ use std::sync::Arc;
 
 /// Identifier of a transformation graph inside one grouping problem: the index
 /// of the graph in the slice the [`InvertedIndex`] was built from.
+///
+/// `repr(transparent)`: a `GraphId` is exactly a `u32`, so arrays of postings
+/// have a defined layout an on-disk artifact can reproduce byte-for-byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct GraphId(pub u32);
 
 impl GraphId {
@@ -51,7 +55,11 @@ impl GraphId {
 
 /// One posting of the inverted index: graph `graph` has an edge `(from, to)`
 /// carrying the label the posting is filed under (the paper's `⟨G, i, j⟩`).
+///
+/// `repr(C)`: three `u32` fields in declaration order, 12 bytes, align 4 —
+/// the layout the compiled-artifact format stores and maps back in place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Posting {
     /// The graph containing the edge.
     pub graph: GraphId,
@@ -64,11 +72,100 @@ pub struct Posting {
 /// An occurrence of the current path in one graph: the path starts at the
 /// graph's first node and has reached node `end`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(C)]
 pub struct PathOccurrence {
     /// The graph containing the occurrence.
     pub graph: GraphId,
     /// The node reached by the path (the `j` of the last edge).
     pub end: u32,
+}
+
+/// External storage a [`SharedSlice`] can borrow its elements from — e.g. a
+/// memory-mapped compiled artifact. The implementor owns whatever keeps the
+/// bytes alive (a mapping guard, an aligned buffer) and hands out a typed
+/// view; this crate stays `forbid(unsafe_code)` while the artifact crate does
+/// the reinterpretation behind this object-safe seam.
+pub trait SliceBacking<T>: Send + Sync + std::fmt::Debug {
+    /// The backed elements.
+    fn as_slice(&self) -> &[T];
+}
+
+/// A cheaply clonable, shared, immutable slice: either an owned `Arc<[T]>`
+/// arena (the build path) or a borrowed view into external backing such as a
+/// memory-mapped artifact section (the zero-copy load path). Consumers see
+/// `&[T]` either way.
+#[derive(Clone)]
+pub struct SharedSlice<T> {
+    repr: SliceRepr<T>,
+}
+
+#[derive(Clone)]
+enum SliceRepr<T> {
+    Owned(Arc<[T]>),
+    External(Arc<dyn SliceBacking<T>>),
+}
+
+impl<T> SharedSlice<T> {
+    /// Wraps external backing (a mapped artifact section).
+    pub fn external(backing: Arc<dyn SliceBacking<T>>) -> Self {
+        SharedSlice {
+            repr: SliceRepr::External(backing),
+        }
+    }
+
+    /// The elements.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            SliceRepr::Owned(arc) => arc,
+            SliceRepr::External(backing) => backing.as_slice(),
+        }
+    }
+
+    /// True when both views share one arena (same base pointer and length) —
+    /// the zero-copy invariant the tests pin.
+    pub fn ptr_eq(&self, other: &SharedSlice<T>) -> bool {
+        let (a, b) = (self.as_slice(), other.as_slice());
+        std::ptr::eq(a.as_ptr(), b.as_ptr()) && a.len() == b.len()
+    }
+}
+
+impl<T> std::ops::Deref for SharedSlice<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> Default for SharedSlice<T> {
+    fn default() -> Self {
+        // A shared static empty arena — no allocation.
+        SharedSlice {
+            repr: SliceRepr::Owned(Arc::from([] as [T; 0])),
+        }
+    }
+}
+
+impl<T> From<Vec<T>> for SharedSlice<T> {
+    fn from(v: Vec<T>) -> Self {
+        SharedSlice {
+            repr: SliceRepr::Owned(v.into()),
+        }
+    }
+}
+
+impl<T> From<Arc<[T]>> for SharedSlice<T> {
+    fn from(arc: Arc<[T]>) -> Self {
+        SharedSlice {
+            repr: SliceRepr::Owned(arc),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SharedSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
 }
 
 /// The list of graphs containing the current path (the paper's `ℓ`).
@@ -85,7 +182,7 @@ pub struct PathOccurrence {
 /// carry (and snapshot) lists for free.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PathList {
-    backing: Arc<[PathOccurrence]>,
+    backing: SharedSlice<PathOccurrence>,
     start: usize,
     end: usize,
 }
@@ -127,12 +224,28 @@ impl PathList {
             // (the search's common case) allocate nothing.
             return PathList::default();
         }
-        let backing: Arc<[PathOccurrence]> = occurrences.into();
+        let backing = SharedSlice::from(occurrences);
         PathList {
             start: 0,
             end: backing.len(),
             backing,
         }
+    }
+
+    /// Wraps occurrences held in external (e.g. memory-mapped) backing. The
+    /// caller asserts they are sorted by `(graph, end)` and deduplicated;
+    /// returns `None` when they are not, so a corrupt artifact is rejected
+    /// instead of silently misread.
+    pub fn from_backing(backing: SharedSlice<PathOccurrence>) -> Option<Self> {
+        if backing.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        let end = backing.len();
+        Some(PathList {
+            backing,
+            start: 0,
+            end,
+        })
     }
 
     /// The occurrences, sorted by `(graph, end)`.
@@ -147,7 +260,7 @@ impl PathList {
         let lo = occs.partition_point(|occ| occ.graph.0 < graphs.start);
         let hi = lo + occs[lo..].partition_point(|occ| occ.graph.0 < graphs.end);
         PathList {
-            backing: Arc::clone(&self.backing),
+            backing: self.backing.clone(),
             start: self.start + lo,
             end: self.start + hi,
         }
@@ -207,13 +320,90 @@ impl PathList {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InvertedIndex {
     /// All postings, grouped by label, each label's range sorted.
-    postings: Vec<Posting>,
+    postings: SharedSlice<Posting>,
     /// `label_offsets[l]..label_offsets[l + 1]` delimits label `l`'s range
     /// (length `num_labels + 1`).
-    label_offsets: Vec<u32>,
+    label_offsets: SharedSlice<u32>,
     /// `graph_counts[l]` — distinct graphs in label `l`'s posting range.
-    graph_counts: Vec<u32>,
+    graph_counts: SharedSlice<u32>,
 }
+
+/// Why [`InvertedIndex::from_parts`] rejected a CSR layout. Every variant
+/// names the offending label so a corrupt artifact fails loudly and
+/// precisely, never as a silent misread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexLayoutError {
+    /// `label_offsets` must hold at least the terminating offset.
+    OffsetsEmpty,
+    /// `label_offsets` must start at 0.
+    OffsetsStart,
+    /// `label_offsets` must be non-decreasing.
+    OffsetsNotMonotone {
+        /// The first label whose offset decreases.
+        label: usize,
+    },
+    /// The final offset must equal the postings arena length.
+    OffsetsOutOfBounds {
+        /// The final offset.
+        last: u64,
+        /// The postings arena length.
+        postings: u64,
+    },
+    /// `graph_counts` must hold one count per label.
+    GraphCountsLength {
+        /// `label_offsets.len() - 1`.
+        expected: usize,
+        /// `graph_counts.len()`.
+        actual: usize,
+    },
+    /// A label's posting range must be sorted by `(graph, from, to)`.
+    RangeNotSorted {
+        /// The unsorted label.
+        label: usize,
+    },
+    /// A label's precomputed distinct-graph count must match its range.
+    GraphCountMismatch {
+        /// The label with the wrong count.
+        label: usize,
+        /// The count recomputed from the range.
+        expected: u32,
+        /// The stored count.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for IndexLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexLayoutError::OffsetsEmpty => write!(f, "label offsets are empty"),
+            IndexLayoutError::OffsetsStart => write!(f, "label offsets do not start at 0"),
+            IndexLayoutError::OffsetsNotMonotone { label } => {
+                write!(f, "label offsets decrease at label {label}")
+            }
+            IndexLayoutError::OffsetsOutOfBounds { last, postings } => write!(
+                f,
+                "final label offset {last} does not match the postings arena length {postings}"
+            ),
+            IndexLayoutError::GraphCountsLength { expected, actual } => write!(
+                f,
+                "graph-count table holds {actual} entries, expected {expected}"
+            ),
+            IndexLayoutError::RangeNotSorted { label } => {
+                write!(f, "posting range of label {label} is not sorted")
+            }
+            IndexLayoutError::GraphCountMismatch {
+                label,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "graph count of label {label} is {actual}, recomputed {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexLayoutError {}
 
 impl InvertedIndex {
     /// Builds the index for `graphs`. `num_labels` must be at least the number
@@ -276,10 +466,87 @@ impl InvertedIndex {
             graph_counts.push(distinct);
         }
         InvertedIndex {
+            postings: postings.into(),
+            label_offsets: label_offsets.into(),
+            graph_counts: graph_counts.into(),
+        }
+    }
+
+    /// Reassembles an index from its three CSR arrays — the zero-copy load
+    /// path of the compiled-artifact format, where the slices borrow a
+    /// memory-mapped file. The full layout invariant is verified in one O(n)
+    /// pass (monotone offsets closing the arena, per-range `(graph, from,
+    /// to)` sortedness, per-label distinct-graph counts), so an accepted
+    /// index is indistinguishable from a freshly built one.
+    pub fn from_parts(
+        postings: SharedSlice<Posting>,
+        label_offsets: SharedSlice<u32>,
+        graph_counts: SharedSlice<u32>,
+    ) -> Result<Self, IndexLayoutError> {
+        let offsets = label_offsets.as_slice();
+        if offsets.is_empty() {
+            return Err(IndexLayoutError::OffsetsEmpty);
+        }
+        if offsets[0] != 0 {
+            return Err(IndexLayoutError::OffsetsStart);
+        }
+        let num_labels = offsets.len() - 1;
+        if graph_counts.len() != num_labels {
+            return Err(IndexLayoutError::GraphCountsLength {
+                expected: num_labels,
+                actual: graph_counts.len(),
+            });
+        }
+        if let Some(label) = (0..num_labels).find(|&l| offsets[l] > offsets[l + 1]) {
+            return Err(IndexLayoutError::OffsetsNotMonotone { label });
+        }
+        if offsets[num_labels] as usize != postings.len() {
+            return Err(IndexLayoutError::OffsetsOutOfBounds {
+                last: offsets[num_labels] as u64,
+                postings: postings.len() as u64,
+            });
+        }
+        let arena = postings.as_slice();
+        for label in 0..num_labels {
+            // One fused pass per list: sortedness and the distinct-graph
+            // count together. The arena is tens of MB on real datasets and
+            // this loop runs on the artifact cold-start path.
+            let range = &arena[offsets[label] as usize..offsets[label + 1] as usize];
+            let mut distinct = 0u32;
+            let mut last: Option<&Posting> = None;
+            for p in range {
+                match last {
+                    Some(prev) if prev > p => {
+                        return Err(IndexLayoutError::RangeNotSorted { label });
+                    }
+                    Some(prev) if prev.graph == p.graph => {}
+                    _ => distinct += 1,
+                }
+                last = Some(p);
+            }
+            if distinct != graph_counts[label] {
+                return Err(IndexLayoutError::GraphCountMismatch {
+                    label,
+                    expected: distinct,
+                    actual: graph_counts[label],
+                });
+            }
+        }
+        Ok(InvertedIndex {
             postings,
             label_offsets,
             graph_counts,
-        }
+        })
+    }
+
+    /// The three CSR arrays `(postings, label_offsets, graph_counts)` — what
+    /// the compiled-artifact writer serializes.
+    pub fn raw_parts(&self) -> (&[Posting], &[u32], &[u32]) {
+        (
+            self.postings.as_slice(),
+            self.label_offsets.as_slice(),
+            self.graph_counts.as_slice(),
+        )
     }
 
     /// The posting list of a label (empty when the label never occurs).
@@ -635,7 +902,7 @@ mod tests {
         );
         assert_eq!(mid.graph_count(), 1);
         // The sub-view shares the parent's arena.
-        assert!(Arc::ptr_eq(&list.backing, &mid.backing));
+        assert!(list.backing.ptr_eq(&mid.backing));
         assert!(list.slice_graphs(3..5).is_empty());
         assert_eq!(list.slice_graphs(0..6), list);
         // Slicing composes with `extend`-style equality semantics.
@@ -644,6 +911,94 @@ mod tests {
             PathList::from_occurrences(mid.occurrences().to_vec()),
             "a view equals its materialized copy"
         );
+    }
+
+    #[test]
+    fn from_parts_accepts_a_built_layout_and_rejects_corrupt_ones() {
+        let (graphs, interner, index) = example_5_1();
+        let (p, o, c) = index.raw_parts();
+        let (p, o, c) = (p.to_vec(), o.to_vec(), c.to_vec());
+        let rebuilt =
+            InvertedIndex::from_parts(p.clone().into(), o.clone().into(), c.clone().into())
+                .expect("a freshly built layout validates");
+        assert_eq!(rebuilt.num_labels(), index.num_labels());
+        assert_eq!(rebuilt.num_postings(), index.num_postings());
+        for l in 0..interner.len() {
+            let label = LabelId(l as u32);
+            assert_eq!(rebuilt.list(label), index.list(label));
+            assert_eq!(
+                rebuilt.list_graph_count(label),
+                index.list_graph_count(label)
+            );
+        }
+        let path = vec![
+            interner.get(&f2()).unwrap(),
+            interner.get(&f3()).unwrap(),
+            interner.get(&f1()).unwrap(),
+        ];
+        assert_eq!(
+            rebuilt.path_list(graphs.len(), &path),
+            index.path_list(graphs.len(), &path)
+        );
+
+        assert_eq!(
+            InvertedIndex::from_parts(p.clone().into(), Vec::new().into(), c.clone().into())
+                .unwrap_err(),
+            IndexLayoutError::OffsetsEmpty
+        );
+        let mut bad_start = o.clone();
+        bad_start[0] = 1;
+        assert_eq!(
+            InvertedIndex::from_parts(p.clone().into(), bad_start.into(), c.clone().into())
+                .unwrap_err(),
+            IndexLayoutError::OffsetsStart
+        );
+        let mut truncated = o.clone();
+        *truncated.last_mut().unwrap() -= 1;
+        assert!(matches!(
+            InvertedIndex::from_parts(p.clone().into(), truncated.into(), c.clone().into())
+                .unwrap_err(),
+            IndexLayoutError::OffsetsOutOfBounds { .. }
+        ));
+        assert!(matches!(
+            InvertedIndex::from_parts(p.clone().into(), o.clone().into(), c[1..].to_vec().into())
+                .unwrap_err(),
+            IndexLayoutError::GraphCountsLength { .. }
+        ));
+        // Swap two postings inside the first non-trivial range: unsorted.
+        let wide = (0..c.len())
+            .find(|&l| o[l + 1] - o[l] >= 2)
+            .expect("some label has two postings");
+        let mut shuffled = p.clone();
+        shuffled.swap(o[wide] as usize, o[wide] as usize + 1);
+        assert!(matches!(
+            InvertedIndex::from_parts(shuffled.into(), o.clone().into(), c.clone().into())
+                .unwrap_err(),
+            IndexLayoutError::RangeNotSorted { .. }
+        ));
+        let mut wrong_counts = c.clone();
+        wrong_counts[0] += 1;
+        assert!(matches!(
+            InvertedIndex::from_parts(p.into(), o.into(), wrong_counts.into()).unwrap_err(),
+            IndexLayoutError::GraphCountMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn shared_slice_external_backing_is_transparent() {
+        #[derive(Debug)]
+        struct VecBacking(Vec<u32>);
+        impl SliceBacking<u32> for VecBacking {
+            fn as_slice(&self) -> &[u32] {
+                &self.0
+            }
+        }
+        let external = SharedSlice::external(Arc::new(VecBacking(vec![1, 2, 3])));
+        assert_eq!(external.as_slice(), &[1, 2, 3]);
+        assert!(external.ptr_eq(&external.clone()));
+        let owned: SharedSlice<u32> = vec![1, 2, 3].into();
+        assert!(!external.ptr_eq(&owned));
+        assert!(SharedSlice::<u32>::default().as_slice().is_empty());
     }
 
     #[test]

@@ -52,9 +52,30 @@ impl ReplacementEngine {
         }
     }
 
+    /// Reassembles an engine from cluster values and an already-generated
+    /// candidate set, skipping candidate generation.
+    ///
+    /// The caller is responsible for `candidates` actually having been
+    /// generated from `clusters` (e.g. a compiled artifact produced by
+    /// [`generate_candidates`] over the same values); the engine behaves
+    /// exactly as if [`ReplacementEngine::new`] had built it.
+    pub fn from_parts(clusters: Vec<Vec<String>>, candidates: CandidateSet) -> Self {
+        ReplacementEngine {
+            clusters,
+            candidates,
+            updates: 0,
+        }
+    }
+
     /// The current cell values, grouped by cluster.
     pub fn values(&self) -> &[Vec<String>] {
         &self.clusters
+    }
+
+    /// The full candidate set (replacements plus their replacement sets), for
+    /// serialization into compiled artifacts.
+    pub fn candidate_set(&self) -> &CandidateSet {
+        &self.candidates
     }
 
     /// Consumes the engine and returns the (updated) cell values.
@@ -338,6 +359,20 @@ mod tests {
         );
         assert_eq!(replace_token_run("a b", "c", "X"), None);
         assert_eq!(replace_token_run("a b c", "b", "").as_deref(), Some("a c"));
+    }
+
+    #[test]
+    fn from_parts_behaves_like_a_freshly_built_engine() {
+        let built = ReplacementEngine::new(name_column(), &CandidateConfig::full_value_only());
+        let mut rebuilt =
+            ReplacementEngine::from_parts(name_column(), built.candidate_set().clone());
+        assert_eq!(rebuilt.candidates(), built.candidates());
+        let n = rebuilt.apply_group(
+            &[Replacement::new("Lee, Mary", "Mary Lee")],
+            Direction::Forward,
+        );
+        assert_eq!(n, 1);
+        assert_eq!(rebuilt.values()[0][2], "Mary Lee");
     }
 
     #[test]

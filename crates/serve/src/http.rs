@@ -61,14 +61,31 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// The declared body length, if any.
+    /// The declared body length, if any. A message with more than one
+    /// `Content-Length` header is rejected outright — even when the copies
+    /// agree — because duplicate framing headers are the classic request
+    /// smuggling vector: a proxy that picks the first and a server that picks
+    /// the second disagree on where this request ends and the next begins.
     pub fn content_length(&self) -> io::Result<Option<u64>> {
-        match self.header("content-length") {
-            None => Ok(None),
-            Some(v) => v.trim().parse().map(Some).map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length header")
-            }),
+        let mut values = self
+            .headers
+            .iter()
+            .filter(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.as_str());
+        let Some(first) = values.next() else {
+            return Ok(None);
+        };
+        if values.next().is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "multiple Content-Length headers",
+            ));
         }
+        first
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length header"))
     }
 
     /// Whether the client asked to keep the connection open after this
@@ -715,6 +732,29 @@ mod tests {
             .read_to_string(&mut body)
             .unwrap();
         assert_eq!(body, "hello");
+    }
+
+    #[test]
+    fn content_length_rejects_duplicate_conflicting_and_non_numeric_headers() {
+        let parse = |raw: &str| {
+            let mut reader = BufReader::new(Cursor::new(raw.as_bytes().to_vec()));
+            read_request(&mut reader).unwrap().unwrap()
+        };
+        // Conflicting copies are an obvious rejection...
+        let conflicting =
+            parse("POST /apply HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 9\r\n\r\n");
+        assert!(conflicting.content_length().is_err());
+        // ...but even *identical* duplicates are refused: two framing headers
+        // mean two possible message boundaries, whatever their values.
+        let duplicate =
+            parse("POST /apply HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n");
+        assert!(duplicate.content_length().is_err());
+        let non_numeric = parse("POST /apply HTTP/1.1\r\nContent-Length: five\r\n\r\n");
+        assert!(non_numeric.content_length().is_err());
+        let single = parse("POST /apply HTTP/1.1\r\nContent-Length: 5\r\n\r\n");
+        assert_eq!(single.content_length().unwrap(), Some(5));
+        let none = parse("GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(none.content_length().unwrap(), None);
     }
 
     #[test]

@@ -64,10 +64,12 @@ pub use router::{Router, RouterConfig, RouterHandle};
 
 use conn::{BodyReader, HandlerResult, HttpFailure, Lifecycle, Service};
 use ec_core::{
-    resolve_column_spec, standardize_columns, write_golden_records_csv, ApplyReport, AutoMode,
-    ConsolidationConfig, FusedPipeline, ProgramLibrary, TruthMethod,
+    resolve_column_spec, standardize_columns, standardize_columns_compiled,
+    write_golden_records_csv, ApplyReport, AutoMode, ColumnReport, CompiledDataset,
+    ConsolidationConfig, FusedPipeline, Pipeline, ProgramLibrary, TruthMethod,
 };
 use ec_data::stream::DatasetSink;
+use ec_data::Dataset;
 use ec_data::{csv::CsvWriter, ClusteredCsvWriter, FlatCsvReader, RecordStream};
 use ec_resolution::ResolverConfig;
 use http::{ChunkedWriter, Persistence, Request};
@@ -98,6 +100,15 @@ pub struct ServeConfig {
     /// Expire library entries untouched for this long (`None` = never).
     /// Sweeps run lazily on the endpoints that read the library.
     pub library_ttl: Option<Duration>,
+    /// A compiled dataset preloaded at startup (`ec serve --artifact`,
+    /// typically memory-mapped through `ec-artifact`). With it set, an
+    /// **empty-body** `POST /pipeline` replays the compiled consolidation —
+    /// byte-identical to posting the original flat CSV, but skipping parse,
+    /// resolve, candidate generation and index building — and an empty-body
+    /// `POST /apply` standardizes the compiled dataset's records through the
+    /// current library. Requests *with* a body behave exactly as without an
+    /// artifact.
+    pub preloaded: Option<Arc<CompiledDataset>>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +119,7 @@ impl Default for ServeConfig {
             library: ProgramLibrary::new(),
             max_connections: 0,
             library_ttl: None,
+            preloaded: None,
         }
     }
 }
@@ -117,6 +129,7 @@ struct ServerState {
     library: RwLock<ProgramLibrary>,
     threads: usize,
     max_connections: usize,
+    preloaded: Option<Arc<CompiledDataset>>,
     life: Lifecycle,
 }
 
@@ -213,6 +226,7 @@ impl Server {
                 config.threads
             },
             max_connections: config.max_connections,
+            preloaded: config.preloaded,
             life: Lifecycle::new(listener.local_addr()?),
         });
         Ok(Server { listener, state })
@@ -280,11 +294,15 @@ fn dispatch(
         }
         ("POST", "/pipeline") => {
             require_body()?;
-            handle_pipeline(request, body, writer, state, persistence)
+            // An empty declared body (`Content-Length: 0`) against a
+            // preloaded artifact replays the compiled consolidation.
+            let body_empty = body.remaining() == 0;
+            handle_pipeline(request, body_empty, body, writer, state, persistence)
         }
         ("POST", "/apply") => {
             require_body()?;
-            handle_apply(body, writer, state, persistence)
+            let body_empty = body.remaining() == 0;
+            handle_apply(body_empty, body, writer, state, persistence)
         }
         ("GET" | "POST", _) => Err(HttpFailure::new(
             404,
@@ -415,6 +433,7 @@ enum PipelineOutput {
 
 fn handle_pipeline(
     request: &Request,
+    body_empty: bool,
     body: impl Read,
     writer: &mut BufWriter<TcpStream>,
     state: &Arc<ServerState>,
@@ -466,6 +485,53 @@ fn handle_pipeline(
         .unwrap_or("resolved")
         .to_string();
 
+    // An empty body against a preloaded artifact: replay the compiled
+    // consolidation instead of parsing and re-preparing anything. The
+    // clusters were formed at compile time, so an explicit threshold must
+    // match the artifact's — it cannot be re-resolved here.
+    if body_empty {
+        if let Some(compiled) = state.preloaded.as_ref() {
+            if request.query_param("threshold").is_some() && threshold != compiled.threshold {
+                return Err(fail(format!(
+                    "the preloaded artifact was compiled at threshold {}, not {threshold}; \
+                     re-run `ec compile` to change it",
+                    compiled.threshold
+                )));
+            }
+            let mut dataset = compiled.dataset.clone();
+            let columns = resolve_pipeline_columns(request, &dataset)?;
+            let pipeline = Pipeline::new(
+                ConsolidationConfig {
+                    budget,
+                    ..ConsolidationConfig::default()
+                }
+                .with_threads(state.threads),
+            );
+            let mut learned = ProgramLibrary::new();
+            let reports = standardize_columns_compiled(
+                &pipeline,
+                compiled,
+                &mut dataset,
+                &columns,
+                mode,
+                Some(&mut learned),
+            );
+            let golden = pipeline.discover_golden_records(&dataset, truth_method);
+            if !learned.is_empty() {
+                state.library.write().unwrap().merge(&learned);
+            }
+            return stream_pipeline_output(
+                writer,
+                persistence,
+                &dataset,
+                &golden,
+                &reports,
+                compiled.threshold,
+                output,
+            );
+        }
+    }
+
     // Resolve the body stream straight off the socket — the raw CSV is never
     // buffered; only the resolved dataset (the working set every entry point
     // needs) lives in memory.
@@ -485,15 +551,7 @@ fn handle_pipeline(
     let mut dataset = fused
         .resolve_stream(&name, &mut stream)
         .map_err(|e| fail(format!("bad flat CSV body: {e}")))?;
-    let columns: Vec<usize> = match request.query_param("column") {
-        Some(spec) => vec![resolve_column_spec(&dataset.columns, spec).ok_or_else(|| {
-            fail(format!(
-                "no column '{spec}'; available columns: {}",
-                dataset.columns.join(", ")
-            ))
-        })?],
-        None => (0..dataset.columns.len()).collect(),
-    };
+    let columns = resolve_pipeline_columns(request, &dataset)?;
 
     // Standardize with the shared automated driver (byte-identical to the
     // CLI), learning into a request-local library merged into the server's
@@ -516,7 +574,50 @@ fn handle_pipeline(
     if !learned.is_empty() {
         state.library.write().unwrap().merge(&learned);
     }
+    stream_pipeline_output(
+        writer,
+        persistence,
+        &dataset,
+        &golden,
+        &reports,
+        threshold,
+        output,
+    )
+}
 
+/// Resolves the optional `column` query parameter against the dataset —
+/// shared by the fresh and preloaded `/pipeline` paths.
+fn resolve_pipeline_columns(
+    request: &Request,
+    dataset: &Dataset,
+) -> Result<Vec<usize>, HttpFailure> {
+    match request.query_param("column") {
+        Some(spec) => Ok(vec![resolve_column_spec(&dataset.columns, spec)
+            .ok_or_else(|| {
+                HttpFailure::new(
+                    400,
+                    format!(
+                        "no column '{spec}'; available columns: {}",
+                        dataset.columns.join(", ")
+                    ),
+                )
+            })?]),
+        None => Ok((0..dataset.columns.len()).collect()),
+    }
+}
+
+/// Streams the selected `/pipeline` artifact as a chunked response — the one
+/// serialization point for both the fresh and preloaded paths, which is what
+/// makes their outputs byte-identical.
+fn stream_pipeline_output(
+    writer: &mut BufWriter<TcpStream>,
+    persistence: Persistence,
+    dataset: &Dataset,
+    golden: &[Vec<Option<String>>],
+    reports: &[ColumnReport],
+    threshold: f64,
+    output: PipelineOutput,
+) -> HandlerResult {
     let approved: usize = reports.iter().map(|r| r.groups_approved).sum();
     let headers = vec![
         (
@@ -548,7 +649,7 @@ fn handle_pipeline(
         }
         PipelineOutput::Golden => {
             let mut buffered = BufWriter::with_capacity(8 * 1024, &mut body_writer);
-            write_golden_records_csv(&dataset.columns, &golden, &mut buffered)
+            write_golden_records_csv(&dataset.columns, golden, &mut buffered)
                 .map_err(io_failure)?;
             buffered.flush().map_err(io_failure)?;
         }
@@ -558,7 +659,7 @@ fn handle_pipeline(
                 dataset.num_records(),
                 dataset.clusters.len()
             );
-            for report in &reports {
+            for report in reports {
                 text.push_str(&format!(
                     "column '{}': {} candidates, {} reviewed, {} approved, {} cells updated\n",
                     dataset.columns[report.column],
@@ -576,38 +677,28 @@ fn handle_pipeline(
 }
 
 fn handle_apply(
+    body_empty: bool,
     body: impl Read,
     writer: &mut BufWriter<TcpStream>,
     state: &Arc<ServerState>,
     persistence: Persistence,
 ) -> HandlerResult {
+    // An empty body against a preloaded artifact: standardize the compiled
+    // dataset's own records through the current library.
+    if body_empty {
+        if let Some(compiled) = state.preloaded.as_ref() {
+            let compiled = Arc::clone(compiled);
+            return handle_apply_compiled(&compiled, writer, state, persistence);
+        }
+    }
     let mut stream = FlatCsvReader::new(body)
         .map_err(|e| HttpFailure::new(400, format!("bad flat CSV body: {e}")))?;
     let columns = stream.columns().to_vec();
-    state.sweep_library_ttl();
-    // Snapshot the library under a short-lived guard: holding the read lock
-    // across a streamed (client-paced) request would stall every /pipeline
-    // merge — and, behind that queued writer, all other readers.
-    let library = state.library.read().unwrap().clone();
+    let library = apply_snapshot(state);
     let applier = library.applier(&columns);
     let mut report = ApplyReport::default();
 
-    http::write_chunked_head(
-        writer,
-        200,
-        "text/csv",
-        &[(
-            "X-Ec-Library-Version".to_string(),
-            library.version().to_string(),
-        )],
-        persistence,
-        &[
-            "X-Ec-Records",
-            "X-Ec-Cells-Rewritten",
-            "X-Ec-Cells-Unmatched",
-        ],
-    )
-    .map_err(io_failure)?;
+    write_apply_head(writer, persistence, library.version()).map_err(io_failure)?;
     let mut body_writer = ChunkedWriter::new(writer);
     {
         // Record in, record out: per-connection memory is one record plus
@@ -626,6 +717,80 @@ fn handle_apply(
         csv.flush().map_err(io_failure)?;
         buffered.flush().map_err(io_failure)?;
     }
+    finish_apply_body(body_writer, &report)
+}
+
+/// The preloaded-artifact `/apply` path: the compiled dataset's records are
+/// the input, flattened in cluster order exactly like `ec compile
+/// --emit-flat` writes them, so the response matches posting that file.
+fn handle_apply_compiled(
+    compiled: &CompiledDataset,
+    writer: &mut BufWriter<TcpStream>,
+    state: &Arc<ServerState>,
+    persistence: Persistence,
+) -> HandlerResult {
+    let columns = compiled.dataset.columns.clone();
+    let library = apply_snapshot(state);
+    let applier = library.applier(&columns);
+    let mut report = ApplyReport::default();
+
+    write_apply_head(writer, persistence, library.version()).map_err(io_failure)?;
+    let mut body_writer = ChunkedWriter::new(writer);
+    {
+        let mut buffered = BufWriter::with_capacity(8 * 1024, &mut body_writer);
+        let mut csv = CsvWriter::new(&mut buffered);
+        let header = std::iter::once("source").chain(columns.iter().map(String::as_str));
+        csv.write_record(header).map_err(io_failure)?;
+        for cluster in &compiled.dataset.clusters {
+            for row in &cluster.rows {
+                let mut fields: Vec<String> =
+                    row.cells.iter().map(|c| c.observed.clone()).collect();
+                applier.apply_fields(&mut fields, &mut report);
+                let fields = std::iter::once(row.source.to_string()).chain(fields);
+                csv.write_record(fields).map_err(io_failure)?;
+            }
+        }
+        csv.flush().map_err(io_failure)?;
+        buffered.flush().map_err(io_failure)?;
+    }
+    finish_apply_body(body_writer, &report)
+}
+
+/// Sweeps the TTL and clones the library for an `/apply` run. The snapshot
+/// is taken under a short-lived guard: holding the read lock across a
+/// streamed (client-paced) request would stall every /pipeline merge — and,
+/// behind that queued writer, all other readers.
+fn apply_snapshot(state: &ServerState) -> ProgramLibrary {
+    state.sweep_library_ttl();
+    state.library.read().unwrap().clone()
+}
+
+fn write_apply_head(
+    writer: &mut BufWriter<TcpStream>,
+    persistence: Persistence,
+    library_version: u64,
+) -> io::Result<()> {
+    http::write_chunked_head(
+        writer,
+        200,
+        "text/csv",
+        &[(
+            "X-Ec-Library-Version".to_string(),
+            library_version.to_string(),
+        )],
+        persistence,
+        &[
+            "X-Ec-Records",
+            "X-Ec-Cells-Rewritten",
+            "X-Ec-Cells-Unmatched",
+        ],
+    )
+}
+
+fn finish_apply_body(
+    body_writer: ChunkedWriter<&mut BufWriter<TcpStream>>,
+    report: &ApplyReport,
+) -> HandlerResult {
     body_writer
         .finish(&[
             ("X-Ec-Records".to_string(), report.records.to_string()),
@@ -933,6 +1098,186 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
         }
         assert!(recovered.is_some(), "cap never released after disconnect");
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    /// Compiles `flat` the way `ec compile` does for resolver input: resolve
+    /// the stream at `threshold`, then prepare every partition eagerly.
+    fn compile_flat(flat: &str, threshold: f64) -> ec_core::CompiledDataset {
+        let fused = FusedPipeline::new(
+            ResolverConfig {
+                threshold,
+                ..ResolverConfig::default()
+            },
+            ConsolidationConfig::default(),
+        );
+        let mut stream = FlatCsvReader::new(flat.as_bytes()).unwrap();
+        let dataset = fused.resolve_stream("resolved", &mut stream).unwrap();
+        ec_core::compile_dataset(dataset, threshold, true, &ConsolidationConfig::default())
+    }
+
+    /// The compiled dataset's records as flat CSV, cluster-major — the same
+    /// order `handle_apply_compiled` streams and `ec compile --emit-flat`
+    /// writes.
+    fn flatten_compiled(compiled: &CompiledDataset) -> Vec<u8> {
+        let mut flat = Vec::new();
+        let mut csv = CsvWriter::new(&mut flat);
+        let header =
+            std::iter::once("source").chain(compiled.dataset.columns.iter().map(String::as_str));
+        csv.write_record(header).unwrap();
+        for cluster in &compiled.dataset.clusters {
+            for row in &cluster.rows {
+                let fields = std::iter::once(row.source.to_string())
+                    .chain(row.cells.iter().map(|c| c.observed.clone()));
+                csv.write_record(fields).unwrap();
+            }
+        }
+        csv.flush().unwrap();
+        drop(csv);
+        flat
+    }
+
+    #[test]
+    fn preloaded_artifact_replays_pipeline_and_apply_byte_identically() {
+        let body = "source,Name\n\
+                    0,\"Lee, Mary\"\n1,Mary Lee\n2,\"Lee, Mary\"\n\
+                    0,\"Smith, James\"\n1,James Smith\n2,\"Smith, James\"\n";
+        let compiled = Arc::new(compile_flat(body, 0.5));
+        let (fresh, fresh_join) = start_server(ephemeral_config());
+        let (loaded, loaded_join) = start_server(ServeConfig {
+            preloaded: Some(Arc::clone(&compiled)),
+            ..ephemeral_config()
+        });
+
+        // Every output flavour: the fresh server parses and consolidates the
+        // posted CSV; the preloaded one replays the compiled state off an
+        // empty body. Responses must match byte for byte, headers included.
+        for query in [
+            "/pipeline?threshold=0.5&budget=100",
+            "/pipeline?threshold=0.5&budget=100&output=golden",
+            "/pipeline?threshold=0.5&budget=100&output=summary",
+            "/pipeline?threshold=0.5&column=Name",
+        ] {
+            let a = http::request(fresh.addr(), "POST", query, body.as_bytes()).unwrap();
+            let b = http::request(loaded.addr(), "POST", query, b"").unwrap();
+            assert_eq!(
+                a.status,
+                200,
+                "{query}: {:?}",
+                String::from_utf8_lossy(&a.body)
+            );
+            assert_eq!(
+                b.status,
+                200,
+                "{query}: {:?}",
+                String::from_utf8_lossy(&b.body)
+            );
+            assert_eq!(a.body, b.body, "{query}");
+            for header in ["x-ec-clusters", "x-ec-records", "x-ec-groups-approved"] {
+                assert_eq!(a.header(header), b.header(header), "{query}: {header}");
+            }
+        }
+
+        // Both servers learned identical programs, so /apply agrees too:
+        // posting the flattened records to the fresh server matches the
+        // preloaded server standardizing its own compiled records.
+        assert_eq!(fresh.library_snapshot(), loaded.library_snapshot());
+        let flat = flatten_compiled(&compiled);
+        let a = http::request(fresh.addr(), "POST", "/apply", &flat).unwrap();
+        let b = http::request(loaded.addr(), "POST", "/apply", b"").unwrap();
+        assert_eq!(a.status, 200);
+        assert_eq!(b.status, 200);
+        assert_eq!(a.body, b.body);
+        for trailer in [
+            "x-ec-records",
+            "x-ec-cells-rewritten",
+            "x-ec-cells-unmatched",
+        ] {
+            assert_eq!(a.trailer(trailer), b.trailer(trailer), "{trailer}");
+        }
+
+        fresh.stop();
+        loaded.stop();
+        fresh_join.join().unwrap();
+        loaded_join.join().unwrap();
+    }
+
+    #[test]
+    fn preloaded_pipeline_rejects_a_conflicting_threshold() {
+        let body = "source,Name\n0,\"Lee, Mary\"\n1,Mary Lee\n";
+        let (handle, join) = start_server(ServeConfig {
+            preloaded: Some(Arc::new(compile_flat(body, 0.5))),
+            ..ephemeral_config()
+        });
+        // The clusters were formed at compile time; a different threshold
+        // cannot be honoured and must not be silently ignored.
+        let mismatch =
+            http::request(handle.addr(), "POST", "/pipeline?threshold=0.9", b"").unwrap();
+        assert_eq!(mismatch.status, 400);
+        assert!(String::from_utf8(mismatch.body)
+            .unwrap()
+            .contains("compiled at threshold 0.5"));
+        // The artifact's own threshold — spelled out or defaulted — works.
+        let spelled = http::request(handle.addr(), "POST", "/pipeline?threshold=0.5", b"").unwrap();
+        assert_eq!(spelled.status, 200);
+        let defaulted = http::request(handle.addr(), "POST", "/pipeline", b"").unwrap();
+        assert_eq!(defaulted.status, 200);
+        assert_eq!(spelled.body, defaulted.body);
+        // A posted body still takes the fresh path, artifact or not.
+        let fresh = http::request(handle.addr(), "POST", "/pipeline", body.as_bytes()).unwrap();
+        assert_eq!(fresh.status, 200);
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn empty_body_without_an_artifact_is_still_a_bad_request() {
+        let (handle, join) = start_server(ephemeral_config());
+        let pipeline = http::request(handle.addr(), "POST", "/pipeline", b"").unwrap();
+        assert_eq!(pipeline.status, 400, "no artifact: empty CSV is an error");
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    /// Writes `raw` to a fresh socket and returns the status line — for
+    /// malformed requests the test client cannot produce.
+    fn raw_status_line(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Read::read_to_string(&mut stream, &mut response).unwrap();
+        response.lines().next().unwrap_or_default().to_string()
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected_by_server_and_router() {
+        let smuggle = "POST /apply HTTP/1.1\r\nHost: x\r\n\
+                       Content-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        let (handle, join) = start_server(ephemeral_config());
+        assert!(
+            raw_status_line(handle.addr(), smuggle).starts_with("HTTP/1.1 400"),
+            "server must refuse duplicate framing headers"
+        );
+
+        let router = Router::bind(RouterConfig::new(
+            "127.0.0.1:0",
+            vec![handle.addr().to_string()],
+        ))
+        .unwrap();
+        let router_handle = router.handle();
+        let router_join = std::thread::spawn(move || router.run().unwrap());
+        assert!(
+            raw_status_line(router_handle.addr(), smuggle).starts_with("HTTP/1.1 400"),
+            "the router shares the rejection, never relaying the request"
+        );
+
+        router_handle.stop();
+        router_join.join().unwrap();
         handle.stop();
         join.join().unwrap();
     }
