@@ -112,6 +112,22 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
             ],
             &[],
         )),
+        "ingest" => Some((
+            &[
+                "input",
+                "batch-size",
+                "threshold",
+                "name",
+                "budget",
+                "mode",
+                "truth-method",
+                "output",
+                "golden",
+                "threads",
+                "save-library",
+            ],
+            &[],
+        )),
         "apply" => Some((&["input", "artifact", "library", "output"], &[])),
         "compile" => Some((
             &[
@@ -134,6 +150,7 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
                 "max-connections",
                 "route",
                 "artifact",
+                "auth-token",
             ],
             &[],
         )),
@@ -225,6 +242,16 @@ SUBCOMMANDS:
                  [--truth-method majority|reliability]
                  [--output FILE]  [--golden FILE]  [--threads N]
                  [--save-library FILE]
+  ingest       incremental (delta) pipeline: stream flat records in batches
+               through a persistent consolidation state instead of a full
+               rebuild per batch; the final golden output is byte-identical
+               to `ec pipeline` over the same records, but seen shapes cost
+               ~a lookup per record (residue pays for the learning)
+                 --input FILE  [--batch-size N]  [--threshold T]
+                 [--name NAME]  [--budget N]  [--mode auto|approve-all]
+                 [--truth-method majority|reliability]
+                 [--output FILE]  [--golden FILE]  [--threads N]
+                 [--save-library FILE]
   apply        standardize flat records through a saved program library —
                learn once, apply forever, no re-learning
                  --input FILE  --library FILE  [--output FILE]
@@ -249,6 +276,9 @@ SUBCOMMANDS:
                                       SECS seconds; 0 = never, the default)
                  [--max-connections N]  (reject connections over N with 503
                                       + Retry-After; 0 = unbounded)
+                 [--auth-token SECRET]  (require `Authorization: Bearer
+                                      SECRET` on all mutating endpoints;
+                                      routers forward it to their backends)
                  [--artifact FILE]  (memory-map a compiled artifact at
                                       startup; an empty-body POST /pipeline
                                       or /apply then replays the compiled
@@ -371,6 +401,7 @@ mod tests {
             "consolidate",
             "resolve",
             "pipeline",
+            "ingest",
             "apply",
             "compile",
             "serve",

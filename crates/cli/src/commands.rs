@@ -14,7 +14,7 @@ use crate::{CliError, CommandOutput, OpenInput, OpenOutput};
 use ec_core::{
     compile_dataset, resolve_column_spec, standardize_columns, standardize_columns_compiled,
     write_golden_records_csv, ApplyReport, AutoMode, ColumnReport, CompiledDataset,
-    ConsolidationConfig, FusedPipeline, Pipeline, ProgramLibrary, TruthMethod,
+    ConsolidationConfig, DeltaPipeline, FusedPipeline, Pipeline, ProgramLibrary, TruthMethod,
 };
 use ec_data::csv::CsvWriter;
 use ec_data::stream::DatasetSink;
@@ -27,7 +27,7 @@ use ec_profile::{prioritize_columns, render_dataset_profile, render_priorities, 
 use ec_replace::{generate_candidates, CandidateConfig};
 use ec_report::table::fmt_f64;
 use ec_report::TextTable;
-use ec_resolution::{Resolver, ResolverConfig};
+use ec_resolution::{RawRecord, Resolver, ResolverConfig};
 use ec_serve::{Router, RouterConfig, ServeConfig, Server};
 use std::io::{BufRead, Read, Write};
 
@@ -635,6 +635,152 @@ pub fn pipeline(
     })
 }
 
+/// `ec ingest`: the incremental (delta) pipeline. Flat records stream in
+/// batch by batch through a persistent [`DeltaPipeline`]: resolution state,
+/// candidate caches and prepared grouping partitions survive between batches,
+/// so a batch of already-seen shapes costs ~a lookup per record instead of a
+/// full rebuild. The final `--output` / `--golden` files are byte-identical
+/// to `ec pipeline` over the same records with the same flags.
+pub fn ingest(
+    parsed: &ParsedArgs,
+    input: impl Read,
+    open_output: OpenOutput<'_>,
+) -> Result<CommandOutput, CliError> {
+    let threshold = match_threshold(parsed)?;
+    let batch_size = parsed.get_usize("batch-size", 256)?;
+    if batch_size == 0 {
+        return Err(CliError::Usage("--batch-size must be positive".to_string()));
+    }
+    let name = parsed.get("name").unwrap_or("resolved");
+    let mode_name = parsed.get("mode").unwrap_or("auto");
+    let mode = AutoMode::parse(mode_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown mode '{mode_name}'; expected auto or approve-all"
+        ))
+    })?;
+    let truth_method = match parsed.get("truth-method").unwrap_or("majority") {
+        "majority" | "mc" => TruthMethod::MajorityConsensus,
+        "reliability" | "source-reliability" => TruthMethod::SourceReliability,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown truth method '{other}'; expected majority or reliability"
+            )))
+        }
+    };
+    let mut stream = FlatCsvReader::new(input).map_err(|e| CliError::Data(e.to_string()))?;
+    let columns = stream.columns().to_vec();
+
+    // Open every requested sink before any work runs (same contract as
+    // consolidate: a bad path fails before pre-existing files are touched).
+    let mut output_sink = match parsed.get("output") {
+        Some(path) => Some((path, open_output(path)?)),
+        None => None,
+    };
+    let mut golden_sink = match parsed.get("golden") {
+        Some(path) => Some((path, open_output(path)?)),
+        None => None,
+    };
+    let mut library_sink = match parsed.get("save-library") {
+        Some(path) => Some((path, open_output(path)?)),
+        None => None,
+    };
+
+    let mut delta = DeltaPipeline::new(
+        name,
+        columns,
+        ResolverConfig {
+            threshold,
+            ..ResolverConfig::default()
+        },
+        ConsolidationConfig {
+            budget: parsed.get_usize("budget", 100)?,
+            ..ConsolidationConfig::default()
+        }
+        .with_threads(parsed.get_usize("threads", 0)?),
+        mode,
+        truth_method,
+    );
+
+    let mut out = String::new();
+    let mut batch: Vec<RawRecord> = Vec::with_capacity(batch_size);
+    loop {
+        batch.clear();
+        while batch.len() < batch_size {
+            match stream.next_record() {
+                Some(record) => {
+                    let record = record.map_err(|e| CliError::Data(e.to_string()))?;
+                    batch.push(RawRecord {
+                        source: record.source,
+                        fields: record.fields,
+                    });
+                }
+                None => break,
+            }
+        }
+        if batch.is_empty() && delta.batches() > 0 {
+            break;
+        }
+        let report = delta.ingest_batch(std::mem::take(&mut batch));
+        out.push_str(&format!(
+            "batch {}: {} records ({} fast-path hits / {} residue), {} clusters, \
+             {} records total, replayed {}/{} columns\n",
+            delta.batches(),
+            report.batch_records,
+            report.library_hits,
+            report.residue,
+            report.clusters,
+            report.total_records,
+            report.replayed_columns,
+            report.columns.len(),
+        ));
+        if report.batch_records < batch_size {
+            break;
+        }
+    }
+
+    let hits = delta.library_hits();
+    let seen = hits + delta.library_misses();
+    out.push_str(&format!(
+        "ingested {} records in {} batches of up to {} (threshold {}, {} mode): {} clusters\n\
+         fast path: {} hits / {} residue ({}% seen shapes)\n",
+        delta.len(),
+        delta.batches(),
+        batch_size,
+        threshold,
+        mode_name,
+        delta.standardized().map_or(0, |d| d.clusters.len()),
+        hits,
+        delta.library_misses(),
+        fmt_f64(100.0 * hits as f64 / seen.max(1) as f64, 1),
+    ));
+
+    let mut output = CommandOutput::text(out);
+    if let Some((path, sink)) = output_sink.as_mut() {
+        if let Some(dataset) = delta.standardized() {
+            stream_clustered_csv(dataset, sink).map_err(write_failed(path))?;
+        }
+        output = output.note_written(*path);
+    }
+    if let Some((path, sink)) = golden_sink.as_mut() {
+        delta
+            .write_golden_csv(sink)
+            .and_then(|()| sink.flush())
+            .map_err(write_failed(path))?;
+        output = output.note_written(*path);
+    }
+    if let Some((path, sink)) = library_sink.as_mut() {
+        sink.write_all(delta.library().to_snapshot().as_bytes())
+            .and_then(|()| sink.flush())
+            .map_err(write_failed(path))?;
+        output.stdout.push_str(&format!(
+            "saved {} learned programs to the library\n",
+            delta.library().len()
+        ));
+        output = output.note_written(*path);
+    }
+    Ok(output)
+}
+
 /// `ec apply`: standardize flat records through a learned-program library
 /// snapshot — no re-learning, no oracle, record-at-a-time streaming in and
 /// out. Values the library does not cover pass through unchanged and are
@@ -840,6 +986,7 @@ pub fn serve(
             backends,
         );
         config.max_connections = parsed.get_usize("max-connections", 0)?;
+        config.auth_token = parsed.get("auth-token").map(str::to_string);
         let router = Router::bind(config).map_err(|e| CliError::Io(format!("cannot bind: {e}")))?;
         writeln!(
             prompt_out,
@@ -900,11 +1047,12 @@ pub fn serve(
         max_connections: parsed.get_usize("max-connections", 0)?,
         library_ttl: (library_ttl > 0).then(|| std::time::Duration::from_secs(library_ttl as u64)),
         preloaded: preloaded.as_ref().map(|(compiled, _)| compiled.clone()),
+        auth_token: parsed.get("auth-token").map(str::to_string),
     };
     let server = Server::bind(config).map_err(|e| CliError::Io(format!("cannot bind: {e}")))?;
     writeln!(
         prompt_out,
-        "ec serve listening on {} (endpoints: /healthz /library /pipeline /apply /shutdown)",
+        "ec serve listening on {} (endpoints: /healthz /library /ingest /pipeline /apply /shutdown)",
         server.local_addr()
     )
     .map_err(|e| CliError::Io(e.to_string()))?;
@@ -1451,6 +1599,77 @@ mod tests {
             &mut prompts,
         )
         .is_err());
+    }
+
+    #[test]
+    fn ingest_outputs_are_bit_identical_to_pipeline() {
+        let flat = flat_csv(10, 5);
+        let flags = [
+            "--threshold",
+            "0.6",
+            "--budget",
+            "15",
+            "--output",
+            "std.csv",
+            "--golden",
+            "g.csv",
+        ];
+
+        let pipeline_fs = MemFiles::new();
+        let mut stdin = Cursor::new(Vec::new());
+        let mut prompts = Vec::new();
+        let mut argv = vec!["pipeline", "--input", "f.csv"];
+        argv.extend(flags);
+        pipeline(
+            &parsed(&argv),
+            flat.as_bytes(),
+            &pipeline_fs.output_opener(),
+            &mut stdin,
+            &mut prompts,
+        )
+        .unwrap();
+
+        for batch_size in ["7", "1000"] {
+            let ingest_fs = MemFiles::new();
+            let mut argv = vec!["ingest", "--input", "f.csv", "--batch-size", batch_size];
+            argv.extend(flags);
+            let out = ingest(&parsed(&argv), flat.as_bytes(), &ingest_fs.output_opener()).unwrap();
+            assert!(out.stdout.contains("batch 1:"), "{}", out.stdout);
+            assert!(out.stdout.contains("fast path:"), "{}", out.stdout);
+            for file in ["std.csv", "g.csv"] {
+                assert_eq!(
+                    ingest_fs.get(file),
+                    pipeline_fs.get(file),
+                    "{file} diverged at batch size {batch_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_validates_batch_size_and_mode() {
+        let fs = MemFiles::new();
+        assert!(ingest(
+            &parsed(&["ingest", "--input", "x", "--batch-size", "0"]),
+            "source,A\n0,x\n".as_bytes(),
+            &fs.output_opener(),
+        )
+        .is_err());
+        assert!(ingest(
+            &parsed(&["ingest", "--input", "x", "--mode", "interactive"]),
+            "source,A\n0,x\n".as_bytes(),
+            &fs.output_opener(),
+        )
+        .is_err());
+        // Header-only input is fine: one empty batch, empty outputs.
+        let out = ingest(
+            &parsed(&["ingest", "--input", "x", "--golden", "g.csv"]),
+            "source,A\n".as_bytes(),
+            &fs.output_opener(),
+        )
+        .unwrap();
+        assert!(out.stdout.contains("ingested 0 records"), "{}", out.stdout);
+        assert_eq!(fs.get("g.csv").unwrap(), "cluster,A\n");
     }
 
     #[test]

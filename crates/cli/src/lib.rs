@@ -134,6 +134,10 @@ pub fn run(
             let input = open_artifact_input(parsed, open_input)?;
             commands::pipeline(parsed, input, open_output, stdin, prompt_out)
         }
+        "ingest" => {
+            let input = open_input(parsed.require("input")?)?;
+            commands::ingest(parsed, input, open_output)
+        }
         "apply" => commands::apply(parsed, open_input, open_output),
         "compile" => {
             let input = open_input(parsed.require("input")?)?;

@@ -33,6 +33,7 @@
 
 pub mod compiled;
 pub mod consolidate;
+pub mod delta;
 pub mod fused;
 pub mod library;
 pub mod oracle;
@@ -45,6 +46,7 @@ pub use compiled::{
 pub use consolidate::{
     resolve_column_spec, standardize_columns, write_golden_records_csv, AutoMode,
 };
+pub use delta::{BatchReport, DeltaPipeline};
 pub use fused::{FusedPipeline, FusedRun};
 pub use library::{
     ApplyReport, ApprovedGroup, LearnedProgram, LibraryApplier, LibraryError, ProgramLibrary,

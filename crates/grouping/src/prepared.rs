@@ -14,7 +14,7 @@ use ec_index::{GraphId, InvertedIndex};
 type BuiltChunk = Vec<(Replacement, Option<(TransformationGraph, LabelInterner)>)>;
 
 /// The preprocessed state of one grouping problem.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PreparedGraphs {
     /// Replacements whose graphs were built, in input order (deduplicated).
     replacements: Vec<Replacement>,
@@ -106,6 +106,55 @@ impl PreparedGraphs {
             interner,
             index,
         }
+    }
+
+    /// Grows the prepared state in place with `new_replacements` — the delta
+    /// ingest path's alternative to a full rebuild.
+    ///
+    /// Replacements already present (built or skipped) are dropped, exactly as
+    /// [`PreparedGraphs::build`]'s up-front dedup would drop them; the
+    /// survivors' graphs are built sequentially against the *shared* interner
+    /// (so labels keep interning in first-occurrence order, as a sequential
+    /// build over the concatenated input would) and their postings are
+    /// appended to the index via [`InvertedIndex::append`], touching only the
+    /// labels the new graphs use. The result is equivalent to
+    /// `PreparedGraphs::build(old ++ new, config)`. Returns the number of new
+    /// graphs built.
+    pub fn append(&mut self, new_replacements: &[Replacement], config: &GroupingConfig) -> usize {
+        let fresh: Vec<Replacement> = {
+            let seen: std::collections::HashSet<&Replacement> = self
+                .replacements
+                .iter()
+                .chain(self.skipped.iter())
+                .collect();
+            let mut batch_seen = std::collections::HashSet::new();
+            new_replacements
+                .iter()
+                .filter(|r| !seen.contains(*r) && batch_seen.insert((*r).clone()))
+                .cloned()
+                .collect()
+        };
+        if fresh.is_empty() {
+            return 0;
+        }
+        let builder = GraphBuilder::new(config.graph.clone());
+        let base = self.graphs.len();
+        let mut new_graphs = Vec::new();
+        for r in fresh {
+            match builder.build(&r, &mut self.interner) {
+                Some(g) => {
+                    self.replacements.push(r);
+                    new_graphs.push(g);
+                }
+                None => self.skipped.push(r),
+            }
+        }
+        let built = new_graphs.len();
+        if built > 0 || self.index.num_labels() < self.interner.len() {
+            self.index = self.index.append(&new_graphs, base, self.interner.len());
+            self.graphs.extend(new_graphs);
+        }
+        built
     }
 
     /// Reassembles a prepared state from already-built components (e.g. a
@@ -310,6 +359,55 @@ mod tests {
             assert_eq!(seq.graph(gid).num_edges(), par.graph(gid).num_edges());
             assert_eq!(seq.graph(gid).num_labels(), par.graph(gid).num_labels());
         }
+    }
+
+    #[test]
+    fn append_matches_a_full_sequential_build() {
+        let mut many = Vec::new();
+        for i in 0..40 {
+            many.push(Replacement::new(
+                format!("value {i} alpha"),
+                format!("alpha value {i}"),
+            ));
+        }
+        // Duplicates of earlier replacements inside the appended batch must be
+        // dropped, as build's up-front dedup would drop them.
+        many.push(Replacement::new("value 3 alpha", "alpha value 3"));
+        many.push(Replacement::new("fresh, one", "one fresh"));
+        let config = GroupingConfig {
+            parallel_graph_build: false,
+            ..GroupingConfig::default()
+        };
+        for split in [0usize, 1, 17, 40, many.len()] {
+            let mut grown = PreparedGraphs::build(&many[..split], &config);
+            grown.append(&many[split..], &config);
+            let full = PreparedGraphs::build(&many, &config);
+            assert_eq!(grown.replacements(), full.replacements(), "split={split}");
+            assert_eq!(grown.skipped(), full.skipped(), "split={split}");
+            assert_eq!(
+                grown.interner().len(),
+                full.interner().len(),
+                "split={split}"
+            );
+            assert_eq!(
+                grown.index().raw_parts(),
+                full.index().raw_parts(),
+                "split={split}"
+            );
+            for g in 0..full.len() {
+                let gid = GraphId(g as u32);
+                assert_eq!(grown.upper_bound(gid), full.upper_bound(gid));
+            }
+        }
+    }
+
+    #[test]
+    fn append_skips_already_known_replacements() {
+        let config = GroupingConfig::default();
+        let mut prepared = PreparedGraphs::build(&reps(), &config);
+        let before = prepared.len();
+        assert_eq!(prepared.append(&reps(), &config), 0);
+        assert_eq!(prepared.len(), before);
     }
 
     #[test]

@@ -472,6 +472,117 @@ impl InvertedIndex {
         }
     }
 
+    /// Extends the index with the postings of `new_graphs`, whose ids continue
+    /// the existing numbering: the `i`-th new graph is graph
+    /// `base_graphs + i`. `num_labels` is the label count after interning the
+    /// new graphs (at least the current count — new graphs may only *add*
+    /// labels).
+    ///
+    /// Because every new graph id exceeds every existing id, a touched label's
+    /// range stays sorted as soon as its appended tail is: only the tails are
+    /// sorted and only the touched labels' distinct-graph counts recomputed,
+    /// while untouched ranges and counts are copied verbatim. The result is
+    /// array-for-array identical to [`InvertedIndex::build`] over the
+    /// concatenated graph slice (pinned by a property test), so the delta
+    /// ingest path can grow an index without ever rebuilding it.
+    pub fn append(
+        &self,
+        new_graphs: &[TransformationGraph],
+        base_graphs: usize,
+        num_labels: usize,
+    ) -> InvertedIndex {
+        let old_offsets = self.label_offsets.as_slice();
+        let old_postings = self.postings.as_slice();
+        let old_counts = self.graph_counts.as_slice();
+        let old_labels = self.num_labels();
+        // Pass 1: appended postings per label.
+        let mut added: Vec<u32> = vec![0; num_labels.max(old_labels)];
+        for graph in new_graphs {
+            for (_, _, label) in graph.label_triples() {
+                let idx = label.index();
+                if idx >= added.len() {
+                    added.resize(idx + 1, 0);
+                }
+                added[idx] += 1;
+            }
+        }
+        let num_labels = added.len();
+        let old_len = |l: usize| -> u32 {
+            if l < old_labels {
+                old_offsets[l + 1] - old_offsets[l]
+            } else {
+                0
+            }
+        };
+        // Offsets by prefix sum over (old range length + appended count);
+        // copy each old range into place and park the scatter cursor after it.
+        let mut label_offsets: Vec<u32> = Vec::with_capacity(num_labels + 1);
+        let mut total = 0u32;
+        for (l, &extra) in added.iter().enumerate() {
+            label_offsets.push(total);
+            total += old_len(l) + extra;
+        }
+        label_offsets.push(total);
+        let mut postings = vec![
+            Posting {
+                graph: GraphId(0),
+                from: 0,
+                to: 0,
+            };
+            total as usize
+        ];
+        let mut cursors: Vec<u32> = Vec::with_capacity(num_labels);
+        for l in 0..num_labels {
+            let start = label_offsets[l] as usize;
+            let len = old_len(l) as usize;
+            if len > 0 {
+                let src = old_offsets[l] as usize..old_offsets[l + 1] as usize;
+                postings[start..start + len].copy_from_slice(&old_postings[src]);
+            }
+            cursors.push(label_offsets[l] + len as u32);
+        }
+        for (i, graph) in new_graphs.iter().enumerate() {
+            let gid = GraphId((base_graphs + i) as u32);
+            for (from, to, label) in graph.label_triples() {
+                let cursor = &mut cursors[label.index()];
+                postings[*cursor as usize] = Posting {
+                    graph: gid,
+                    from,
+                    to,
+                };
+                *cursor += 1;
+            }
+        }
+        // New graphs were scattered in ascending id order, so each tail is
+        // grouped by graph; sorting it settles `(from, to)` within groups,
+        // and the whole range is sorted because new ids exceed old ones.
+        let mut graph_counts: Vec<u32> = Vec::with_capacity(num_labels);
+        for (l, &extra) in added.iter().enumerate() {
+            let old = if l < old_labels { old_counts[l] } else { 0 };
+            if extra == 0 {
+                graph_counts.push(old);
+                continue;
+            }
+            let tail =
+                label_offsets[l] as usize + old_len(l) as usize..label_offsets[l + 1] as usize;
+            postings[tail.clone()].sort_unstable();
+            let mut distinct = 0u32;
+            let mut last = None;
+            for p in &postings[tail] {
+                if last != Some(p.graph) {
+                    distinct += 1;
+                    last = Some(p.graph);
+                }
+            }
+            graph_counts.push(old + distinct);
+        }
+        InvertedIndex {
+            postings: postings.into(),
+            label_offsets: label_offsets.into(),
+            graph_counts: graph_counts.into(),
+        }
+    }
+
     /// Reassembles an index from its three CSR arrays — the zero-copy load
     /// path of the compiled-artifact format, where the slices borrow a
     /// memory-mapped file. The full layout invariant is verified in one O(n)
@@ -682,6 +793,7 @@ mod tests {
     use super::*;
     use ec_dsl::{Dir, PositionFn, StringFn, Term};
     use ec_graph::{GraphBuilder, GraphConfig, LabelInterner, Replacement};
+    use proptest::prelude::*;
 
     /// Builds the three-replacement example of Example 5.1.
     fn example_5_1() -> (Vec<TransformationGraph>, LabelInterner, InvertedIndex) {
@@ -982,6 +1094,104 @@ mod tests {
             InvertedIndex::from_parts(p.into(), o.into(), wrong_counts.into()).unwrap_err(),
             IndexLayoutError::GraphCountMismatch { .. }
         ));
+    }
+
+    /// Builds graphs for `pairs` with one shared interner, recording the
+    /// interner size after the first `split` pairs — the state an incremental
+    /// ingest sees at the batch boundary.
+    fn graphs_with_split(
+        pairs: &[(String, String)],
+        split: usize,
+    ) -> (Vec<TransformationGraph>, usize, usize) {
+        let mut interner = LabelInterner::new();
+        let builder = GraphBuilder::new(GraphConfig::default());
+        let mut graphs = Vec::new();
+        let mut labels_at_split = 0;
+        for (i, (lhs, rhs)) in pairs.iter().enumerate() {
+            if i == split {
+                labels_at_split = interner.len();
+            }
+            if let Some(g) = builder.build(&Replacement::new(lhs, rhs), &mut interner) {
+                graphs.push(g);
+            }
+        }
+        if split >= pairs.len() {
+            labels_at_split = interner.len();
+        }
+        (graphs, labels_at_split, interner.len())
+    }
+
+    #[test]
+    fn append_matches_full_rebuild_on_the_example() {
+        let pairs: Vec<(String, String)> = [
+            ("Lee, Mary", "M. Lee"),
+            ("Smith, James", "J. Smith"),
+            ("Lee, Mary", "Mary Lee"),
+            ("Ng, Ada", "A. Ng"),
+        ]
+        .iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+        for split in 0..=pairs.len() {
+            let (graphs, labels_at_split, labels_total) = graphs_with_split(&pairs, split);
+            // All example pairs build, so the graph split equals the pair split.
+            assert_eq!(graphs.len(), pairs.len());
+            let prefix = InvertedIndex::build(&graphs[..split], labels_at_split);
+            let appended = prefix.append(&graphs[split..], split, labels_total);
+            let full = InvertedIndex::build(&graphs, labels_total);
+            assert_eq!(appended.raw_parts(), full.raw_parts(), "split={split}");
+        }
+    }
+
+    #[test]
+    fn append_nothing_preserves_the_layout() {
+        let (_, _, index) = example_5_1();
+        let appended = index.append(&[], 3, index.num_labels());
+        assert_eq!(appended.raw_parts(), index.raw_parts());
+    }
+
+    proptest! {
+        /// The delta invariant the ingest path rides on: appending a suffix of
+        /// graphs to the prefix's index is array-for-array identical to a full
+        /// rebuild over all graphs.
+        #[test]
+        fn prop_append_equals_full_rebuild(
+            pairs in proptest::collection::vec(("[a-c, ]{1,8}", "[a-c,. ]{1,8}"), 1..14),
+            cut in 0usize..15,
+        ) {
+            let split = cut.min(pairs.len());
+            // The builder may skip degenerate pairs; graphs built from the
+            // first `split` pairs form the prefix regardless.
+            let mut interner = LabelInterner::new();
+            let builder = GraphBuilder::new(GraphConfig::default());
+            let mut prefix_graphs = Vec::new();
+            for (lhs, rhs) in &pairs[..split] {
+                if lhs == rhs {
+                    continue; // not a replacement
+                }
+                if let Some(g) = builder.build(&Replacement::new(lhs, rhs), &mut interner) {
+                    prefix_graphs.push(g);
+                }
+            }
+            let labels_at_split = interner.len();
+            let mut all_graphs = prefix_graphs.clone();
+            for (lhs, rhs) in &pairs[split..] {
+                if lhs == rhs {
+                    continue;
+                }
+                if let Some(g) = builder.build(&Replacement::new(lhs, rhs), &mut interner) {
+                    all_graphs.push(g);
+                }
+            }
+            let prefix = InvertedIndex::build(&prefix_graphs, labels_at_split);
+            let appended = prefix.append(
+                &all_graphs[prefix_graphs.len()..],
+                prefix_graphs.len(),
+                interner.len(),
+            );
+            let full = InvertedIndex::build(&all_graphs, interner.len());
+            prop_assert_eq!(appended.raw_parts(), full.raw_parts());
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub use similarity::{
     damerau_levenshtein, jaccard, jaro, jaro_winkler, levenshtein, normalized_levenshtein,
     qgram_cosine, SimilarityMeasure,
 };
-pub use streaming::StreamingResolver;
+pub use streaming::{DeltaResolver, StreamingResolver};
 pub use tokenize::{normalize, qgrams, words};
 pub use unionfind::UnionFind;
 
@@ -68,5 +68,5 @@ pub mod prelude {
     pub use crate::blocking::BlockingConfig;
     pub use crate::matcher::{ColumnRule, RawRecord, Resolver, ResolverConfig};
     pub use crate::similarity::SimilarityMeasure;
-    pub use crate::streaming::StreamingResolver;
+    pub use crate::streaming::{DeltaResolver, StreamingResolver};
 }

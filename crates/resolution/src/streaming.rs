@@ -23,11 +23,46 @@
 //! never compares.)
 
 use crate::blocking::blocking_columns;
-use crate::matcher::{clusters_to_dataset, BlockingScheme, RawRecord, Resolver};
+use crate::matcher::{clusters_to_dataset, BlockingScheme, RawRecord, Resolver, ResolverConfig};
 use crate::tokenize::{normalize, words};
 use crate::unionfind::UnionFind;
 use ec_data::Dataset;
 use std::collections::{HashMap, HashSet};
+
+/// A fast, deterministic hasher for the delta resolver's small fixed-width
+/// keys (FxHash-style multiply-fold). The std SipHash default is measurable
+/// overhead when a snapshot performs one lookup per candidate pair; scores
+/// are values, not untrusted input, so HashDoS hardening buys nothing here.
+#[derive(Default)]
+struct PairHasher(u64);
+
+impl std::hash::Hasher for PairHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0 ^ u64::from(n)).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`PairHasher`] (stateless, deterministic).
+#[derive(Clone, Default)]
+struct PairHashBuilder;
+
+impl std::hash::BuildHasher for PairHashBuilder {
+    type Hasher = PairHasher;
+
+    fn build_hasher(&self) -> PairHasher {
+        PairHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
 
 /// One token block: the ids of the records containing the token, or a
 /// tombstone once the block outgrew the configured cap.
@@ -36,9 +71,11 @@ enum TokenBlock {
     Oversized,
 }
 
-/// Incremental resolution state; see the module docs.
-pub struct StreamingResolver<'a> {
-    resolver: &'a Resolver,
+/// The per-record incremental blocking state shared by the one-shot
+/// [`StreamingResolver`] and the cross-batch [`DeltaResolver`]: the records,
+/// the growing union-find forest, and the token blocks / sorted-neighborhood
+/// keys every pushed record updates.
+struct StreamingState {
     records: Vec<RawRecord>,
     uf: UnionFind,
     /// Which columns contribute blocking tokens/keys; locked in by the first
@@ -48,11 +85,9 @@ pub struct StreamingResolver<'a> {
     sn_keys: Vec<(String, u32)>,
 }
 
-impl<'a> StreamingResolver<'a> {
-    /// Creates empty state for `resolver`'s configuration.
-    pub fn new(resolver: &'a Resolver) -> Self {
-        StreamingResolver {
-            resolver,
+impl StreamingState {
+    fn new() -> Self {
+        StreamingState {
             records: Vec::new(),
             uf: UnionFind::new(0),
             cols: Vec::new(),
@@ -61,19 +96,8 @@ impl<'a> StreamingResolver<'a> {
         }
     }
 
-    /// Number of records ingested so far.
-    pub fn len(&self) -> usize {
-        self.records.len()
-    }
-
-    /// True when no record has been ingested.
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
-    }
-
     /// Ingests one record, updating blocks and the union-find incrementally.
-    pub fn push(&mut self, record: RawRecord) {
-        let config = self.resolver.config();
+    fn push(&mut self, config: &ResolverConfig, record: RawRecord) {
         let id = self.uf.push() as u32;
         if self.records.is_empty() {
             self.cols = blocking_columns(&config.blocking, record.fields.len());
@@ -117,15 +141,14 @@ impl<'a> StreamingResolver<'a> {
 
     /// The candidate pairs of the ingested records — exactly the set the
     /// batch blocking functions would produce, deduplicated, ordered, and
-    /// with `a < b`. Sorts `sn_keys` in place (sound: the keys are only ever
-    /// consumed here, at the end of the stream) so no O(records) copy is made
-    /// at the peak-memory moment.
-    fn candidate_pairs(&mut self) -> Vec<(usize, usize)> {
+    /// with `a < b`. Sorts `sn_keys` in place (sound: sorting is idempotent
+    /// and later pushes append keys that the next call re-sorts) so no
+    /// O(records) copy is made at the peak-memory moment.
+    fn candidate_pairs(&mut self, config: &ResolverConfig) -> Vec<(u32, u32)> {
         if self.records.len() < 2 {
             return Vec::new();
         }
-        let config = self.resolver.config();
-        let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         if matches!(config.scheme, BlockingScheme::Token | BlockingScheme::Both) {
             for block in self.token_blocks.values() {
                 let TokenBlock::Ids(ids) = block else {
@@ -134,10 +157,11 @@ impl<'a> StreamingResolver<'a> {
                 if ids.len() < 2 {
                     continue;
                 }
+                // Ids within a block are appended in push order, so they are
+                // already ascending — `(a, b)` is canonical without min/max.
                 for (i, &a) in ids.iter().enumerate() {
                     for &b in ids.iter().skip(i + 1) {
-                        let (a, b) = (a as usize, b as usize);
-                        pairs.insert((a.min(b), a.max(b)));
+                        pairs.push((a, b));
                     }
                 }
             }
@@ -155,14 +179,46 @@ impl<'a> StreamingResolver<'a> {
                     .skip(i + 1)
                     .take(config.blocking.window - 1)
                 {
-                    let (a, b) = (*a as usize, *b as usize);
-                    pairs.insert((a.min(b), a.max(b)));
+                    pairs.push(((*a).min(*b), (*a).max(*b)));
                 }
             }
         }
-        let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
-        out.sort_unstable();
-        out
+        // Sort-and-dedup beats a hash set here: the pair list is regenerated
+        // on every snapshot, and most blocks emit runs of nearly-sorted pairs.
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+}
+
+/// Incremental resolution state; see the module docs.
+pub struct StreamingResolver<'a> {
+    resolver: &'a Resolver,
+    state: StreamingState,
+}
+
+impl<'a> StreamingResolver<'a> {
+    /// Creates empty state for `resolver`'s configuration.
+    pub fn new(resolver: &'a Resolver) -> Self {
+        StreamingResolver {
+            resolver,
+            state: StreamingState::new(),
+        }
+    }
+
+    /// Number of records ingested so far.
+    pub fn len(&self) -> usize {
+        self.state.records.len()
+    }
+
+    /// True when no record has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.state.records.is_empty()
+    }
+
+    /// Ingests one record, updating blocks and the union-find incrementally.
+    pub fn push(&mut self, record: RawRecord) {
+        self.state.push(self.resolver.config(), record);
     }
 
     /// Scores the candidate pairs, closes the clustering transitively, and
@@ -170,16 +226,129 @@ impl<'a> StreamingResolver<'a> {
     /// observed value, as in [`Resolver::resolve_to_dataset`] without
     /// truths). Bit-identical to the batch path on the same records.
     pub fn finish(mut self, name: &str, columns: Vec<String>) -> Dataset {
-        let pairs = self.candidate_pairs();
+        let pairs = self.state.candidate_pairs(self.resolver.config());
         let threshold = self.resolver.config().threshold;
-        let mut uf = self.uf;
+        let mut uf = self.state.uf;
         for (a, b) in pairs {
-            if self.resolver.score_pair(&self.records[a], &self.records[b]) >= threshold {
+            let (a, b) = (a as usize, b as usize);
+            if self
+                .resolver
+                .score_pair(&self.state.records[a], &self.state.records[b])
+                >= threshold
+            {
                 uf.union(a, b);
             }
         }
         let clusters = uf.into_groups();
-        clusters_to_dataset(name, columns, &self.records, clusters, None)
+        clusters_to_dataset(name, columns, &self.state.records, clusters, None)
+    }
+}
+
+/// Cross-batch incremental resolution: the delta ingest path's resolver.
+///
+/// A [`DeltaResolver`] owns its [`Resolver`] and keeps the streaming state
+/// alive *between* batches, so each batch only pays for pushing its own
+/// records. [`DeltaResolver::snapshot`] then produces the clustering of
+/// everything pushed so far, **bit-identical** to
+/// [`Resolver::resolve_stream`] over the concatenated input:
+///
+/// * the candidate-pair set is regenerated from the live block state on every
+///   snapshot — it is *non-monotone* (a token block can outgrow the cap and
+///   tombstone pairs away; a sorted-neighborhood window shifts as records
+///   insert between old neighbors), so pairs unioned in an earlier snapshot
+///   may legitimately vanish, and the union-find for a snapshot is rebuilt
+///   from the current pair set rather than carried over;
+/// * what *is* carried over is the expensive part: pair **scores**, cached by
+///   the two records' value contents ([`Resolver::score_pair`] is a pure,
+///   exactly symmetric function of the field strings — record ids would never
+///   hit, since new records get new ids; the cache key is order-canonicalized
+///   so both argument orders share one entry). At fraction-novel = 0 every
+///   regenerated pair hits the cache and a snapshot performs no
+///   string-similarity work at all.
+pub struct DeltaResolver {
+    resolver: Resolver,
+    state: StreamingState,
+    /// Distinct field vectors, interned: the content key of a record.
+    value_ids: HashMap<Vec<String>, u32>,
+    /// The value id of each pushed record.
+    record_values: Vec<u32>,
+    /// `(min(value_id[a], value_id[b]), max(…))` → score. The key is
+    /// canonicalized because every [`crate::similarity::SimilarityMeasure`]
+    /// is exactly symmetric (integer edit distances; Jaro match and
+    /// transposition counts are order-independent and the combining formulas
+    /// only rely on commutativity of `+`), so one cached score serves both
+    /// argument orders bit-identically — without this, re-ingesting seen
+    /// values in a new interleaving re-scores every reversed pair.
+    pair_cache: HashMap<(u32, u32), f64, PairHashBuilder>,
+    scored_pairs: u64,
+}
+
+impl DeltaResolver {
+    /// Creates empty state for `config`.
+    pub fn new(config: ResolverConfig) -> Self {
+        DeltaResolver {
+            resolver: Resolver::new(config),
+            state: StreamingState::new(),
+            value_ids: HashMap::new(),
+            record_values: Vec::new(),
+            pair_cache: HashMap::default(),
+            scored_pairs: 0,
+        }
+    }
+
+    /// The underlying resolver.
+    pub fn resolver(&self) -> &Resolver {
+        &self.resolver
+    }
+
+    /// Number of records ingested so far (across all batches).
+    pub fn len(&self) -> usize {
+        self.state.records.len()
+    }
+
+    /// True when no record has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.state.records.is_empty()
+    }
+
+    /// Pair scores computed so far (cache misses); the complement of the
+    /// fast-path ratio the delta pipeline reports.
+    pub fn scored_pairs(&self) -> u64 {
+        self.scored_pairs
+    }
+
+    /// Ingests one record.
+    pub fn push(&mut self, record: RawRecord) {
+        let next = self.value_ids.len() as u32;
+        let vid = *self.value_ids.entry(record.fields.clone()).or_insert(next);
+        self.record_values.push(vid);
+        self.state.push(self.resolver.config(), record);
+    }
+
+    /// The clustering of everything pushed so far, packaged as a [`Dataset`]
+    /// — bit-identical to [`Resolver::resolve_stream`] over the same records.
+    pub fn snapshot(&mut self, name: &str, columns: Vec<String>) -> Dataset {
+        let pairs = self.state.candidate_pairs(self.resolver.config());
+        let threshold = self.resolver.config().threshold;
+        let mut uf = UnionFind::new(self.state.records.len());
+        let records = &self.state.records;
+        let record_values = &self.record_values;
+        let resolver = &self.resolver;
+        let scored = &mut self.scored_pairs;
+        for (a, b) in pairs {
+            let (a, b) = (a as usize, b as usize);
+            let (va, vb) = (record_values[a], record_values[b]);
+            let key = (va.min(vb), va.max(vb));
+            let score = *self.pair_cache.entry(key).or_insert_with(|| {
+                *scored += 1;
+                resolver.score_pair(&records[a], &records[b])
+            });
+            if score >= threshold {
+                uf.union(a, b);
+            }
+        }
+        let clusters = uf.into_groups();
+        clusters_to_dataset(name, columns, records, clusters, None)
     }
 }
 
@@ -287,12 +456,13 @@ mod tests {
             builder.push(RawRecord::new(0, [format!("shared unique{i}")]));
         }
         let oversized = builder
+            .state
             .token_blocks
             .values()
             .filter(|b| matches!(b, TokenBlock::Oversized))
             .count();
         assert_eq!(oversized, 1, "the 'shared' block was tombstoned");
-        for block in builder.token_blocks.values() {
+        for block in builder.state.token_blocks.values() {
             if let TokenBlock::Ids(ids) = block {
                 assert!(ids.len() <= 3);
             }
@@ -318,6 +488,129 @@ mod tests {
         let dataset = resolver.resolve_stream("s", &mut one).unwrap();
         assert_eq!(dataset.clusters.len(), 1);
         assert_eq!(dataset.clusters[0].rows[0].source, 3);
+    }
+
+    #[test]
+    fn delta_snapshots_match_one_shot_resolution_at_every_batch_boundary() {
+        let records = sample_records();
+        let columns = vec!["Name".to_string(), "Address".to_string()];
+        for scheme in [
+            BlockingScheme::Token,
+            BlockingScheme::SortedNeighborhood,
+            BlockingScheme::Both,
+        ] {
+            let config = ResolverConfig {
+                scheme,
+                threshold: 0.5,
+                ..ResolverConfig::default()
+            };
+            let resolver = Resolver::new(config.clone());
+            let mut delta = DeltaResolver::new(config);
+            for split in [2usize, 5, records.len()] {
+                while delta.len() < split {
+                    delta.push(records[delta.len()].clone());
+                }
+                let snapshot = delta.snapshot("r", columns.clone());
+                let one_shot = resolver
+                    .resolve_stream("r", &mut stream_of(&records[..split]))
+                    .unwrap();
+                assert_eq!(snapshot, one_shot, "{scheme:?} split={split}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_snapshots_survive_block_overflow_between_batches() {
+        // The "common" block is healthy after the first batch (pairs unioned)
+        // and tombstoned after the second: the snapshot must forget those
+        // pairs exactly as a one-shot run over the union would.
+        let records: Vec<RawRecord> = (0..12)
+            .map(|i| RawRecord::new(i % 3, [format!("common name{}", i / 2)]))
+            .collect();
+        let config = ResolverConfig {
+            scheme: BlockingScheme::Token,
+            blocking: BlockingConfig {
+                max_block_size: 4,
+                ..BlockingConfig::default()
+            },
+            ..ResolverConfig::default()
+        };
+        let name_stream = |records: &[RawRecord]| {
+            VecRecordStream::new(
+                vec!["Name".to_string()],
+                records
+                    .iter()
+                    .map(|r| FlatRecord {
+                        source: r.source,
+                        fields: r.fields.clone(),
+                    })
+                    .collect(),
+            )
+        };
+        let resolver = Resolver::new(config.clone());
+        let mut delta = DeltaResolver::new(config);
+        for r in &records[..4] {
+            delta.push(r.clone());
+        }
+        let early = delta.snapshot("r", vec!["Name".to_string()]);
+        assert_eq!(
+            early,
+            resolver
+                .resolve_stream("r", &mut name_stream(&records[..4]))
+                .unwrap()
+        );
+        for r in &records[4..] {
+            delta.push(r.clone());
+        }
+        let late = delta.snapshot("r", vec!["Name".to_string()]);
+        assert_eq!(
+            late,
+            resolver
+                .resolve_stream("r", &mut name_stream(&records))
+                .unwrap()
+        );
+        assert!(late.clusters.len() > 1, "the common token was dropped");
+    }
+
+    #[test]
+    fn delta_pair_cache_hits_on_repeated_values() {
+        let records = sample_records();
+        let mut delta = DeltaResolver::new(ResolverConfig {
+            threshold: 0.5,
+            ..ResolverConfig::default()
+        });
+        for r in &records {
+            delta.push(r.clone());
+        }
+        let first = delta.snapshot("r", vec!["Name".to_string(), "Address".to_string()]);
+        let scored_once = delta.scored_pairs();
+        assert!(scored_once > 0);
+        // Re-pushing the same values: the first repetition only scores the
+        // genuinely new value pairings (each value against its own duplicate
+        // — the cache key is order-canonicalized, so reversed interleavings
+        // of *distinct* values all hit). By the second repetition every
+        // candidate pair is between warm value contents and the snapshot
+        // performs no similarity work at all.
+        for r in &records {
+            delta.push(r.clone());
+        }
+        let second = delta.snapshot("r", vec!["Name".to_string(), "Address".to_string()]);
+        let scored_twice = delta.scored_pairs();
+        assert!(
+            scored_twice <= scored_once + records.len() as u64,
+            "only self-value pairs may still be cold"
+        );
+        for r in &records {
+            delta.push(r.clone());
+        }
+        let third = delta.snapshot("r", vec!["Name".to_string(), "Address".to_string()]);
+        assert_eq!(
+            delta.scored_pairs(),
+            scored_twice,
+            "all pairs hit the cache"
+        );
+        assert_eq!(second.stats(0).num_records, 2 * first.stats(0).num_records);
+        assert_eq!(third.stats(0).num_records, 3 * first.stats(0).num_records);
     }
 
     #[test]

@@ -1,19 +1,30 @@
 //! A tiny std-only HTTP client for driving a running `ec serve` instance —
-//! the CI smoke job uses it to hit `/healthz` and `/pipeline`, `cmp` the
-//! response against the CLI's file output, and shut the server down cleanly.
+//! the CI smoke job uses it to hit `/healthz`, `/pipeline` and `/ingest`,
+//! `cmp` the response against the CLI's file output, and shut the server
+//! down cleanly.
 //!
 //! ```text
 //! serve_probe --addr 127.0.0.1:7171 --path /healthz
 //! serve_probe --addr … --method POST --path "/pipeline?budget=15" \
 //!     --body-file flat.csv --output served.csv
 //! serve_probe --addr … --path /healthz --repeat 2 --output probe.txt
-//! serve_probe --addr … --method POST --path /shutdown
+//! serve_probe --addr … --method POST --path /ingest \
+//!     --body-file batch1.csv --body-file batch2.csv --output golden.csv
+//! serve_probe --addr … --method POST --path /shutdown \
+//!     --header "Authorization: Bearer SECRET"
 //! ```
 //!
 //! `--repeat N` performs the same request `N` times over **one** kept-alive
 //! connection (failing if the server hangs up early) and writes the extra
 //! bodies to `<output>.2`, `<output>.3`, … — the CI smoke job `cmp`s them to
 //! prove keep-alive reuse returns identical answers.
+//!
+//! `--body-file` may repeat: each file becomes one request — same method,
+//! path and headers — sent in order over **one** kept-alive connection,
+//! which is how the CI smoke job streams delta batches through
+//! `POST /ingest`. Response bodies land like `--repeat`'s (`out`, `out.2`,
+//! …). `--header "Name: Value"` (repeatable) attaches extra request headers
+//! such as a bearer token.
 //!
 //! Exits 0 when every response matches the expected status (default 200,
 //! override with `--expect-status`), 1 otherwise; bodies go to `--output` or
@@ -27,7 +38,8 @@ struct Options {
     addr: String,
     method: String,
     path: String,
-    body_file: Option<String>,
+    body_files: Vec<String>,
+    headers: Vec<(String, String)>,
     output: Option<String>,
     expect_status: u16,
     repeat: usize,
@@ -38,7 +50,8 @@ fn parse_args() -> Result<Options, String> {
         addr: "127.0.0.1:7171".to_string(),
         method: "GET".to_string(),
         path: "/healthz".to_string(),
-        body_file: None,
+        body_files: Vec::new(),
+        headers: Vec::new(),
         output: None,
         expect_status: 200,
         repeat: 1,
@@ -53,7 +66,16 @@ fn parse_args() -> Result<Options, String> {
             "--addr" => options.addr = value("addr")?,
             "--method" => options.method = value("method")?.to_ascii_uppercase(),
             "--path" => options.path = value("path")?,
-            "--body-file" => options.body_file = Some(value("body-file")?),
+            "--body-file" => options.body_files.push(value("body-file")?),
+            "--header" => {
+                let raw = value("header")?;
+                let (name, header_value) = raw
+                    .split_once(':')
+                    .ok_or_else(|| format!("--header expects 'Name: Value', got '{raw}'"))?;
+                options
+                    .headers
+                    .push((name.trim().to_string(), header_value.trim().to_string()));
+            }
             "--output" => options.output = Some(value("output")?),
             "--expect-status" => {
                 options.expect_status = value("expect-status")?
@@ -70,6 +92,9 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    if options.body_files.len() > 1 && options.repeat > 1 {
+        return Err("--repeat does not combine with multiple --body-file values".to_string());
+    }
     Ok(options)
 }
 
@@ -81,16 +106,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let body = match &options.body_file {
-        None => Vec::new(),
-        Some(path) => match std::fs::read(path) {
-            Ok(body) => body,
+    // One body per request: each `--body-file` in order, or the single
+    // (possibly empty) body repeated `--repeat` times.
+    let mut bodies = Vec::new();
+    for path in &options.body_files {
+        match std::fs::read(path) {
+            Ok(body) => bodies.push(body),
             Err(e) => {
                 eprintln!("serve_probe: cannot read {path}: {e}");
                 return ExitCode::from(1);
             }
-        },
-    };
+        }
+    }
+    if bodies.is_empty() {
+        bodies.push(Vec::new());
+    }
+    if bodies.len() == 1 && options.repeat > 1 {
+        let body = bodies[0].clone();
+        bodies.resize(options.repeat, body);
+    }
     let addr = match options
         .addr
         .to_socket_addrs()
@@ -103,26 +137,36 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let responses = match ec_serve::http::request_many(
-        addr,
-        &options.method,
-        &options.path,
-        &body,
-        options.repeat,
-    ) {
-        Ok(responses) => responses,
+    // All requests ride one kept-alive connection; the server hanging up
+    // early surfaces as a request error, exactly like `--repeat`.
+    let mut conn = match ec_serve::http::ClientConn::connect(addr, None) {
+        Ok(conn) => conn,
         Err(e) => {
-            eprintln!("serve_probe: request failed: {e}");
+            eprintln!("serve_probe: cannot connect to {addr}: {e}");
             return ExitCode::from(1);
         }
     };
-    for (i, response) in responses.iter().enumerate() {
+    for (i, body) in bodies.iter().enumerate() {
+        let keep_alive = i + 1 < bodies.len();
+        let response = match conn.request_with_headers(
+            &options.method,
+            &options.path,
+            body,
+            keep_alive,
+            &options.headers,
+        ) {
+            Ok(response) => response,
+            Err(e) => {
+                eprintln!("serve_probe: request failed: {e}");
+                return ExitCode::from(1);
+            }
+        };
         for (name, value) in &response.trailers {
             eprintln!("trailer {name}: {value}");
         }
         let written = match &options.output {
             Some(path) => {
-                // Repeat bodies land next to the first (`out`, `out.2`, …).
+                // Later bodies land next to the first (`out`, `out.2`, …).
                 let path = if i == 0 {
                     path.clone()
                 } else {

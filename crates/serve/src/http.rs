@@ -217,6 +217,7 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         411 => "Length Required",
@@ -580,6 +581,19 @@ pub fn request(
     Ok(responses.remove(0))
 }
 
+/// [`request`] with extra request headers — how tests and the probe binary
+/// present a bearer token to an `--auth-token` server.
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+    extra_headers: &[(String, String)],
+) -> io::Result<Response> {
+    let mut conn = ClientConn::connect(addr, None)?;
+    conn.request_with_headers(method, path_and_query, body, false, extra_headers)
+}
+
 /// Performs the same request `count` times over **one** connection,
 /// advertising `Connection: keep-alive` on every request but the last.
 /// Fails if the server closes the socket early, so a successful call proves
@@ -611,11 +625,38 @@ pub fn write_request_head(
     content_length: u64,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_request_head_ext(
+        out,
+        method,
+        path_and_query,
+        host,
+        content_length,
+        keep_alive,
+        &[],
+    )
+}
+
+/// [`write_request_head`] plus arbitrary extra headers — how clients attach
+/// `Authorization: Bearer …` (and the router forwards it to backends).
+#[allow(clippy::too_many_arguments)]
+pub fn write_request_head_ext(
+    out: &mut impl Write,
+    method: &str,
+    path_and_query: &str,
+    host: SocketAddr,
+    content_length: u64,
+    keep_alive: bool,
+    extra_headers: &[(String, String)],
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         out,
-        "{method} {path_and_query} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {content_length}\r\nConnection: {connection}\r\n\r\n",
-    )
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {content_length}\r\nConnection: {connection}\r\n",
+    )?;
+    for (name, value) in extra_headers {
+        write!(out, "{name}: {value}\r\n")?;
+    }
+    out.write_all(b"\r\n")
 }
 
 /// A persistent (keep-alive) client connection to one server — the router
@@ -666,13 +707,27 @@ impl ClientConn {
         body: &[u8],
         keep_alive: bool,
     ) -> io::Result<()> {
-        write_request_head(
+        self.send_request_with_headers(method, path_and_query, body, keep_alive, &[])
+    }
+
+    /// [`ClientConn::send_request`] with extra request headers (e.g. an
+    /// `Authorization: Bearer` token).
+    pub fn send_request_with_headers(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: &[u8],
+        keep_alive: bool,
+        extra_headers: &[(String, String)],
+    ) -> io::Result<()> {
+        write_request_head_ext(
             &mut self.write_half,
             method,
             path_and_query,
             self.peer,
             body.len() as u64,
             keep_alive,
+            extra_headers,
         )?;
         self.write_half.write_all(body)?;
         self.write_half.flush()
@@ -698,7 +753,19 @@ impl ClientConn {
         body: &[u8],
         keep_alive: bool,
     ) -> io::Result<Response> {
-        self.send_request(method, path_and_query, body, keep_alive)?;
+        self.request_with_headers(method, path_and_query, body, keep_alive, &[])
+    }
+
+    /// [`ClientConn::request`] with extra request headers.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: &[u8],
+        keep_alive: bool,
+        extra_headers: &[(String, String)],
+    ) -> io::Result<Response> {
+        self.send_request_with_headers(method, path_and_query, body, keep_alive, extra_headers)?;
         let (status, headers) = self.read_head()?;
         let (body, trailers) = read_response_body(&mut self.reader, &headers)?;
         Ok(Response {

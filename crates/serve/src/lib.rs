@@ -30,11 +30,27 @@
 //! | Endpoint | Behaviour |
 //! |---|---|
 //! | `GET /healthz` | liveness + request counter / pool size headers |
-//! | `GET /library` | the program-library text snapshot |
+//! | `GET /library` | the program-library text snapshot + fast-path hit/miss totals |
 //! | `POST /library` | merge a posted snapshot into the library (the router's replication channel) |
 //! | `POST /pipeline?…` | flat CSV body → standardized (or golden) CSV, byte-identical to `ec pipeline` with the same flags |
 //! | `POST /apply` | flat CSV body → library-standardized flat CSV; unmatched counts in chunked trailers |
+//! | `POST /ingest?…` | flat CSV batch → incremental consolidation via a persistent [`DeltaPipeline`]; answers the current golden CSV |
 //! | `POST /shutdown` | graceful stop (used by tests and the CI smoke job) |
+//!
+//! `POST /ingest` streams batches into one long-lived delta session: the
+//! first batch fixes the session's parameters (`threshold`, `budget`,
+//! `mode`, `truth-method`, `name`) and columns, subsequent batches must
+//! repeat them (else `400`), and after every batch the response carries the
+//! *complete* current golden CSV — byte-identical to what one `ec pipeline`
+//! run over the concatenation of every batch so far would produce — plus
+//! `X-Ec-Library-Hits` / `X-Ec-Library-Misses` headers counting how many of
+//! the batch's records the program library resolved without consolidation.
+//! Programs the session learns merge into the server's library after each
+//! batch, so `/apply` picks them up immediately.
+//!
+//! With `--auth-token SECRET` every mutating (`POST`) endpoint requires an
+//! `Authorization: Bearer SECRET` header and answers `401` without it;
+//! `GET` endpoints stay open for health probes and snapshot reads.
 //!
 //! `POST /pipeline` accepts the CLI's knobs as query parameters:
 //! `threshold`, `budget`, `mode` (`auto`/`approve-all`), `truth-method`
@@ -66,17 +82,17 @@ use conn::{BodyReader, HandlerResult, HttpFailure, Lifecycle, Service};
 use ec_core::{
     resolve_column_spec, standardize_columns, standardize_columns_compiled,
     write_golden_records_csv, ApplyReport, AutoMode, ColumnReport, CompiledDataset,
-    ConsolidationConfig, FusedPipeline, Pipeline, ProgramLibrary, TruthMethod,
+    ConsolidationConfig, DeltaPipeline, FusedPipeline, Pipeline, ProgramLibrary, TruthMethod,
 };
 use ec_data::stream::DatasetSink;
 use ec_data::Dataset;
 use ec_data::{csv::CsvWriter, ClusteredCsvWriter, FlatCsvReader, RecordStream};
-use ec_resolution::ResolverConfig;
+use ec_resolution::{RawRecord, ResolverConfig};
 use http::{ChunkedWriter, Persistence, Request};
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::Ordering;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Configuration of [`Server::bind`].
@@ -109,6 +125,9 @@ pub struct ServeConfig {
     /// current library. Requests *with* a body behave exactly as without an
     /// artifact.
     pub preloaded: Option<Arc<CompiledDataset>>,
+    /// When set, every mutating (`POST`) endpoint requires
+    /// `Authorization: Bearer <token>` and answers `401` without it.
+    pub auth_token: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -120,8 +139,28 @@ impl Default for ServeConfig {
             max_connections: 0,
             library_ttl: None,
             preloaded: None,
+            auth_token: None,
         }
     }
+}
+
+/// The parameters an `/ingest` delta session is pinned to. The first batch
+/// fixes them; every later batch must repeat them exactly, because a
+/// [`DeltaPipeline`] is only equivalent to a one-shot rebuild when every
+/// batch ran under one configuration.
+#[derive(Debug, Clone, PartialEq)]
+struct IngestParams {
+    threshold: f64,
+    budget: usize,
+    mode: AutoMode,
+    truth: TruthMethod,
+    name: String,
+}
+
+/// The server's one persistent delta-ingest session.
+struct IngestSession {
+    params: IngestParams,
+    delta: DeltaPipeline,
 }
 
 /// Shared, connection-visible server state.
@@ -130,6 +169,19 @@ struct ServerState {
     threads: usize,
     max_connections: usize,
     preloaded: Option<Arc<CompiledDataset>>,
+    /// The `/ingest` session, created by the first batch. One mutex-held
+    /// session serializes batches — the delta pipeline's equivalence
+    /// guarantee is defined over a *sequence* of batches, so concurrent
+    /// ingests have no meaningful interleaving anyway.
+    ingest: Mutex<Option<IngestSession>>,
+    /// Lifetime fast-path hits: `/apply` cells the library resolved
+    /// (rewritten or already canonical) plus `/ingest` records wholly
+    /// recognized from seen shapes. Surfaced on `GET /library`.
+    library_hits: AtomicU64,
+    /// Lifetime fast-path misses: `/apply` cells no program covered plus
+    /// `/ingest` records that entered the residue path.
+    library_misses: AtomicU64,
+    auth_token: Option<String>,
     life: Lifecycle,
 }
 
@@ -227,6 +279,10 @@ impl Server {
             },
             max_connections: config.max_connections,
             preloaded: config.preloaded,
+            ingest: Mutex::new(None),
+            library_hits: AtomicU64::new(0),
+            library_misses: AtomicU64::new(0),
+            auth_token: config.auth_token,
             life: Lifecycle::new(listener.local_addr()?),
         });
         Ok(Server { listener, state })
@@ -270,6 +326,11 @@ fn dispatch(
             ))
         }
     };
+    // Every mutating endpoint is a POST; gate them all before routing so an
+    // unauthorized caller cannot even probe which POST paths exist.
+    if request.method == "POST" {
+        require_bearer(request, state.auth_token.as_deref())?;
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(writer, state, persistence),
         ("GET", "/library") => handle_library(writer, state, persistence),
@@ -304,11 +365,38 @@ fn dispatch(
             let body_empty = body.remaining() == 0;
             handle_apply(body_empty, body, writer, state, persistence)
         }
+        ("POST", "/ingest") => {
+            require_body()?;
+            handle_ingest(request, body, writer, state, persistence)
+        }
         ("GET" | "POST", _) => Err(HttpFailure::new(
             404,
             format!("no such endpoint: {}", request.path),
         )),
         _ => Err(HttpFailure::new(405, "method not allowed")),
+    }
+}
+
+/// Enforces `Authorization: Bearer <token>` when the service was started
+/// with an auth token; a service without one admits everything. Shared with
+/// the router (same header, same failure).
+pub(crate) fn require_bearer(
+    request: &Request,
+    auth_token: Option<&str>,
+) -> Result<(), HttpFailure> {
+    let Some(token) = auth_token else {
+        return Ok(());
+    };
+    let presented = request
+        .header("authorization")
+        .and_then(|v| v.strip_prefix("Bearer "));
+    if presented == Some(token) {
+        Ok(())
+    } else {
+        Err(HttpFailure::new(
+            401,
+            "this endpoint requires 'Authorization: Bearer <token>'",
+        ))
     }
 }
 
@@ -371,6 +459,15 @@ fn handle_library(
                 .ttl()
                 .map(|t| t.as_secs().to_string())
                 .unwrap_or_else(|| "unbounded".to_string()),
+        ),
+        // Lifetime fast-path totals across `/apply` and `/ingest`.
+        (
+            "X-Ec-Library-Hits".to_string(),
+            state.library_hits.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "X-Ec-Library-Misses".to_string(),
+            state.library_misses.load(Ordering::Relaxed).to_string(),
         ),
     ];
     let snapshot = library.to_snapshot();
@@ -676,6 +773,162 @@ fn stream_pipeline_output(
     Ok(())
 }
 
+/// `POST /ingest`: one batch of flat CSV records into the server's
+/// persistent [`DeltaPipeline`]. The response body is the complete current
+/// golden-record CSV — byte-identical to a full `ec pipeline` rebuild over
+/// every batch ingested so far — and the headers report the batch's
+/// fast-path accounting.
+fn handle_ingest(
+    request: &Request,
+    body: impl Read,
+    writer: &mut BufWriter<TcpStream>,
+    state: &Arc<ServerState>,
+    persistence: Persistence,
+) -> HandlerResult {
+    let fail = |message: String| HttpFailure::new(400, message);
+    let threshold: f64 = match request.query_param("threshold") {
+        None => 0.75,
+        Some(v) => v
+            .parse()
+            .map_err(|_| fail(format!("threshold expects a number, got '{v}'")))?,
+    };
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(fail(format!(
+            "threshold must be between 0 and 1, got {threshold}"
+        )));
+    }
+    let budget: usize = match request.query_param("budget") {
+        None => 100,
+        Some(v) => v
+            .parse()
+            .map_err(|_| fail(format!("budget expects an integer, got '{v}'")))?,
+    };
+    let mode = match request.query_param("mode") {
+        None => AutoMode::Auto,
+        Some(name) => AutoMode::parse(name).ok_or_else(|| {
+            fail(format!(
+                "unknown mode '{name}'; expected auto or approve-all"
+            ))
+        })?,
+    };
+    let truth = match request.query_param("truth-method").unwrap_or("majority") {
+        "majority" | "mc" => TruthMethod::MajorityConsensus,
+        "reliability" | "source-reliability" => TruthMethod::SourceReliability,
+        other => return Err(fail(format!("unknown truth method '{other}'"))),
+    };
+    let params = IngestParams {
+        threshold,
+        budget,
+        mode,
+        truth,
+        name: request
+            .query_param("name")
+            .unwrap_or("resolved")
+            .to_string(),
+    };
+
+    // Parse the whole batch off the socket before taking the session lock:
+    // a slow client must not stall other ingests mid-upload.
+    let mut stream =
+        FlatCsvReader::new(body).map_err(|e| fail(format!("bad flat CSV body: {e}")))?;
+    let columns = stream.columns().to_vec();
+    let mut records = Vec::new();
+    while let Some(record) = stream.next_record() {
+        let record = record.map_err(|e| fail(format!("bad flat CSV body: {e}")))?;
+        records.push(RawRecord::new(record.source, record.fields));
+    }
+
+    // One session per server; batches serialize on the lock (see the field
+    // docs — delta correctness is defined over a batch *sequence*).
+    let mut guard = state.ingest.lock().unwrap();
+    if let Some(existing) = guard.as_ref() {
+        if existing.params != params {
+            return Err(fail(format!(
+                "an ingest session is already open with different parameters \
+                 (threshold {}, budget {}, name '{}'); every batch must repeat \
+                 the first batch's parameters",
+                existing.params.threshold, existing.params.budget, existing.params.name
+            )));
+        }
+        if existing.delta.columns() != columns.as_slice() {
+            return Err(fail(format!(
+                "the open ingest session has columns [{}], this batch posted [{}]",
+                existing.delta.columns().join(", "),
+                columns.join(", ")
+            )));
+        }
+    } else {
+        *guard = Some(IngestSession {
+            delta: DeltaPipeline::new(
+                &params.name,
+                columns,
+                ResolverConfig {
+                    threshold,
+                    ..ResolverConfig::default()
+                },
+                ConsolidationConfig {
+                    budget,
+                    ..ConsolidationConfig::default()
+                }
+                .with_threads(state.threads),
+                mode,
+                truth,
+            ),
+            params,
+        });
+    }
+    let session = guard.as_mut().expect("the session was just ensured");
+    let report = session.delta.ingest_batch(records);
+    state
+        .library_hits
+        .fetch_add(report.library_hits as u64, Ordering::Relaxed);
+    state
+        .library_misses
+        .fetch_add(report.residue as u64, Ordering::Relaxed);
+    // Everything the session has learned folds into the serving library, so
+    // `/apply` standardizes through it immediately (merging is idempotent —
+    // re-merging the whole session library each batch only adds new entries).
+    if !session.delta.library().is_empty() {
+        state
+            .library
+            .write()
+            .unwrap()
+            .merge(session.delta.library());
+    }
+
+    let mut golden = Vec::new();
+    session
+        .delta
+        .write_golden_csv(&mut golden)
+        .map_err(io_failure)?;
+    let headers = vec![
+        (
+            "X-Ec-Library-Hits".to_string(),
+            report.library_hits.to_string(),
+        ),
+        (
+            "X-Ec-Library-Misses".to_string(),
+            report.residue.to_string(),
+        ),
+        ("X-Ec-Clusters".to_string(), report.clusters.to_string()),
+        ("X-Ec-Records".to_string(), report.total_records.to_string()),
+        (
+            "X-Ec-Batch-Records".to_string(),
+            report.batch_records.to_string(),
+        ),
+        (
+            "X-Ec-Batches".to_string(),
+            session.delta.batches().to_string(),
+        ),
+        (
+            "X-Ec-Replayed-Columns".to_string(),
+            report.replayed_columns.to_string(),
+        ),
+    ];
+    http::write_response(writer, 200, "text/csv", &headers, persistence, &golden)
+        .map_err(io_failure)
+}
+
 fn handle_apply(
     body_empty: bool,
     body: impl Read,
@@ -717,7 +970,7 @@ fn handle_apply(
         csv.flush().map_err(io_failure)?;
         buffered.flush().map_err(io_failure)?;
     }
-    finish_apply_body(body_writer, &report)
+    finish_apply_body(body_writer, &report, state)
 }
 
 /// The preloaded-artifact `/apply` path: the compiled dataset's records are
@@ -753,7 +1006,7 @@ fn handle_apply_compiled(
         csv.flush().map_err(io_failure)?;
         buffered.flush().map_err(io_failure)?;
     }
-    finish_apply_body(body_writer, &report)
+    finish_apply_body(body_writer, &report, state)
 }
 
 /// Sweeps the TTL and clones the library for an `/apply` run. The snapshot
@@ -783,14 +1036,29 @@ fn write_apply_head(
             "X-Ec-Records",
             "X-Ec-Cells-Rewritten",
             "X-Ec-Cells-Unmatched",
+            "X-Ec-Library-Hits",
+            "X-Ec-Library-Misses",
         ],
     )
 }
 
+/// Finishes a streamed `/apply` response. The fast-path counts ride as
+/// chunked *trailers* (the body streams record-at-a-time, so they are only
+/// known afterwards): hits are cells the library resolved — rewritten to a
+/// canonical form or recognized as already canonical — misses are cells no
+/// program covered. The same counts accumulate into the server-lifetime
+/// totals `GET /library` reports.
 fn finish_apply_body(
     body_writer: ChunkedWriter<&mut BufWriter<TcpStream>>,
     report: &ApplyReport,
+    state: &ServerState,
 ) -> HandlerResult {
+    let hits = report.cells_rewritten + report.cells_unchanged;
+    let misses = report.cells_unmatched;
+    state.library_hits.fetch_add(hits as u64, Ordering::Relaxed);
+    state
+        .library_misses
+        .fetch_add(misses as u64, Ordering::Relaxed);
     body_writer
         .finish(&[
             ("X-Ec-Records".to_string(), report.records.to_string()),
@@ -802,6 +1070,8 @@ fn finish_apply_body(
                 "X-Ec-Cells-Unmatched".to_string(),
                 report.cells_unmatched.to_string(),
             ),
+            ("X-Ec-Library-Hits".to_string(), hits.to_string()),
+            ("X-Ec-Library-Misses".to_string(), misses.to_string()),
         ])
         .map_err(io_failure)?;
     Ok(())
@@ -1229,6 +1499,182 @@ mod tests {
         assert_eq!(fresh.status, 200);
         handle.stop();
         join.join().unwrap();
+    }
+
+    #[test]
+    fn ingest_batches_replay_the_one_shot_pipeline_byte_for_byte() {
+        let batch1 = "source,Name\n0,\"Lee, Mary\"\n1,Mary Lee\n2,\"Lee, Mary\"\n";
+        let batch2 = "source,Name\n0,\"Smith, James\"\n1,James Smith\n2,\"Smith, James\"\n";
+        let batch3 = batch1; // Same values again: pure fast-path traffic.
+        let rows = |batch: &str| batch["source,Name\n".len()..].to_string();
+        let union = format!(
+            "source,Name\n{}{}{}",
+            rows(batch1),
+            rows(batch2),
+            rows(batch3)
+        );
+
+        let (ingesting, ingest_join) = start_server(ephemeral_config());
+        let (one_shot, one_shot_join) = start_server(ephemeral_config());
+
+        let query = "/ingest?threshold=0.5&budget=10&mode=approve-all";
+        let first = http::request(ingesting.addr(), "POST", query, batch1.as_bytes()).unwrap();
+        assert_eq!(
+            first.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&first.body)
+        );
+        // A fresh session has seen nothing: every record is residue.
+        assert_eq!(first.header("x-ec-library-hits"), Some("0"));
+        assert_eq!(first.header("x-ec-library-misses"), Some("3"));
+        let second = http::request(ingesting.addr(), "POST", query, batch2.as_bytes()).unwrap();
+        assert_eq!(second.status, 200);
+        let third = http::request(ingesting.addr(), "POST", query, batch3.as_bytes()).unwrap();
+        assert_eq!(third.status, 200);
+        // Every batch-3 value was already seen (or library-canonical).
+        assert_eq!(third.header("x-ec-library-hits"), Some("3"));
+        assert_eq!(third.header("x-ec-library-misses"), Some("0"));
+        assert_eq!(third.header("x-ec-records"), Some("9"));
+        assert_eq!(third.header("x-ec-batches"), Some("3"));
+
+        // The delta session's answer is byte-identical to one `/pipeline`
+        // run over the union of every batch.
+        let rebuilt = http::request(
+            one_shot.addr(),
+            "POST",
+            "/pipeline?threshold=0.5&budget=10&mode=approve-all&output=golden",
+            union.as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.status, 200);
+        assert_eq!(
+            String::from_utf8(third.body.clone()).unwrap(),
+            String::from_utf8(rebuilt.body.clone()).unwrap()
+        );
+
+        // The session's learned programs reached the serving library, and
+        // `GET /library` totals the fast-path accounting.
+        let snapshot = http::request(ingesting.addr(), "GET", "/library", b"").unwrap();
+        assert!(String::from_utf8(snapshot.body.clone())
+            .unwrap()
+            .contains("rewrite"));
+        assert_eq!(snapshot.header("x-ec-library-hits"), Some("3"));
+        assert_eq!(snapshot.header("x-ec-library-misses"), Some("6"));
+
+        // A batch with different parameters (or columns) is refused: the
+        // session is pinned to its first batch's configuration.
+        let conflicting = http::request(
+            ingesting.addr(),
+            "POST",
+            "/ingest?threshold=0.5&budget=99",
+            batch1.as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(conflicting.status, 400);
+        let wrong_columns =
+            http::request(ingesting.addr(), "POST", query, b"source,Other\n0,x\n").unwrap();
+        assert_eq!(wrong_columns.status, 400);
+
+        ingesting.stop();
+        one_shot.stop();
+        ingest_join.join().unwrap();
+        one_shot_join.join().unwrap();
+    }
+
+    #[test]
+    fn apply_reports_fast_path_hits_and_misses_in_trailers() {
+        let mut library = ProgramLibrary::new();
+        library.record(
+            "Name",
+            &ApprovedGroup {
+                group: Group::new(None, vec![Replacement::new("Lee, Mary", "Mary Lee")]),
+                direction: Direction::Forward,
+            },
+        );
+        let (handle, join) = start_server(ServeConfig {
+            library,
+            ..ephemeral_config()
+        });
+        // One rewritten + one already-canonical cell are hits; the unknown
+        // value is a miss.
+        let body = "source,Name\n0,\"Lee, Mary\"\n1,Mary Lee\n2,unknown\n";
+        let response = http::request(handle.addr(), "POST", "/apply", body.as_bytes()).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.trailer("x-ec-library-hits"), Some("2"));
+        assert_eq!(response.trailer("x-ec-library-misses"), Some("1"));
+        let snapshot = http::request(handle.addr(), "GET", "/library", b"").unwrap();
+        assert_eq!(snapshot.header("x-ec-library-hits"), Some("2"));
+        assert_eq!(snapshot.header("x-ec-library-misses"), Some("1"));
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn auth_token_gates_every_mutating_endpoint() {
+        let (handle, join) = start_server(ServeConfig {
+            auth_token: Some("sekrit".to_string()),
+            ..ephemeral_config()
+        });
+        // GETs stay open — health probes and snapshot reads need no token.
+        let health = http::request(handle.addr(), "GET", "/healthz", b"").unwrap();
+        assert_eq!(health.status, 200);
+        // Every POST without (or with a wrong) token is refused.
+        let body = b"source,Name\n0,x\n";
+        for path in ["/apply", "/pipeline", "/ingest", "/library", "/shutdown"] {
+            let denied = http::request(handle.addr(), "POST", path, body).unwrap();
+            assert_eq!(denied.status, 401, "{path} must require the token");
+        }
+        let wrong = http::request_with_headers(
+            handle.addr(),
+            "POST",
+            "/apply",
+            body,
+            &[("Authorization".to_string(), "Bearer nope".to_string())],
+        )
+        .unwrap();
+        assert_eq!(wrong.status, 401);
+        // The right token admits the request.
+        let bearer = [("Authorization".to_string(), "Bearer sekrit".to_string())];
+        let allowed =
+            http::request_with_headers(handle.addr(), "POST", "/apply", body, &bearer).unwrap();
+        assert_eq!(allowed.status, 200);
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn router_checks_and_forwards_the_bearer_token() {
+        // Backend and router share one token; the client presents it once to
+        // the router, which re-presents it on every backend request.
+        let (backend, backend_join) = start_server(ServeConfig {
+            auth_token: Some("sekrit".to_string()),
+            ..ephemeral_config()
+        });
+        let mut config = RouterConfig::new("127.0.0.1:0", vec![backend.addr().to_string()]);
+        config.auth_token = Some("sekrit".to_string());
+        let router = Router::bind(config).unwrap();
+        let router_handle = router.handle();
+        let router_join = std::thread::spawn(move || router.run().unwrap());
+
+        let body = b"source,Name\n0,x\n";
+        let denied = http::request(router_handle.addr(), "POST", "/apply", body).unwrap();
+        assert_eq!(denied.status, 401);
+        let bearer = [("Authorization".to_string(), "Bearer sekrit".to_string())];
+        let allowed =
+            http::request_with_headers(router_handle.addr(), "POST", "/apply", body, &bearer)
+                .unwrap();
+        assert_eq!(
+            allowed.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&allowed.body)
+        );
+
+        router_handle.stop();
+        router_join.join().unwrap();
+        backend.stop();
+        backend_join.join().unwrap();
     }
 
     #[test]

@@ -102,6 +102,11 @@ pub struct RouterConfig {
     /// Maximum concurrent client connections (0 = unbounded); connections
     /// over the cap get `503` + `Retry-After`, as on a single-node server.
     pub max_connections: usize,
+    /// When set, mutating (`POST`) client requests require
+    /// `Authorization: Bearer <token>` (answering `401` without it) and the
+    /// router presents the same token on every backend request — so a fleet
+    /// of `--auth-token` backends sits behind one `--auth-token` router.
+    pub auth_token: Option<String>,
 }
 
 impl RouterConfig {
@@ -113,6 +118,7 @@ impl RouterConfig {
             replicas: DEFAULT_REPLICAS,
             probe_interval: Duration::from_millis(500),
             max_connections: 0,
+            auth_token: None,
         }
     }
 }
@@ -206,6 +212,19 @@ pub struct RouterState {
     backends: Vec<Backend>,
     probe_interval: Duration,
     max_connections: usize,
+    auth_token: Option<String>,
+}
+
+impl RouterState {
+    /// The headers every backend request carries: the bearer token when the
+    /// router was configured with one. Backends behind an authenticated
+    /// router are expected to share its token.
+    fn backend_headers(&self) -> Vec<(String, String)> {
+        match &self.auth_token {
+            Some(token) => vec![("Authorization".to_string(), format!("Bearer {token}"))],
+            None => Vec::new(),
+        }
+    }
 }
 
 /// The bound (but not yet running) router. [`Router::run`] blocks on the
@@ -294,6 +313,7 @@ impl Router {
             backends,
             probe_interval: config.probe_interval,
             max_connections: config.max_connections,
+            auth_token: config.auth_token,
         });
         Ok(Router { listener, state })
     }
@@ -366,6 +386,11 @@ impl Service for RouterState {
                 ))
             }
         };
+        // The same bearer gate as the single-node server: every mutating
+        // endpoint is a POST, checked before routing.
+        if request.method == "POST" {
+            crate::require_bearer(request, this.auth_token.as_deref())?;
+        }
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => handle_healthz(this, writer, persistence),
             ("GET", "/library") => handle_library(this, writer, persistence),
@@ -505,9 +530,12 @@ impl RouterState {
                     continue;
                 }
             };
+            // Backend requests always present the router's token (when
+            // configured) — the backends share it, whatever the client sent.
+            let headers = self.backend_headers();
             let outcome = lease
                 .conn()
-                .send_request(method, target, body, true)
+                .send_request_with_headers(method, target, body, true, &headers)
                 .and_then(|()| lease.conn().read_head());
             match outcome {
                 Ok((status, headers)) => return Ok((lease, status, headers)),
@@ -1052,6 +1080,8 @@ fn handle_apply(
             "X-Ec-Records",
             "X-Ec-Cells-Rewritten",
             "X-Ec-Cells-Unmatched",
+            "X-Ec-Library-Hits",
+            "X-Ec-Library-Misses",
         ],
     )
     .map_err(io_failure)?;
@@ -1084,6 +1114,16 @@ fn handle_apply(
             (
                 "X-Ec-Cells-Unmatched".to_string(),
                 trailer_sum("x-ec-cells-unmatched").to_string(),
+            ),
+            // Column shards count hits/misses over disjoint column sets, so
+            // the sums equal a single node's whole-request counters.
+            (
+                "X-Ec-Library-Hits".to_string(),
+                trailer_sum("x-ec-library-hits").to_string(),
+            ),
+            (
+                "X-Ec-Library-Misses".to_string(),
+                trailer_sum("x-ec-library-misses").to_string(),
             ),
         ])
         .map_err(io_failure)?;

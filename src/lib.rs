@@ -69,9 +69,10 @@ pub use ec_truth as truth;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use ec_core::{
-        ApproveAllOracle, ColumnReport, ConsolidationConfig, FusedPipeline, FusedRun,
-        GoldenRecordReport, Oracle, Pipeline, RejectAllOracle, ScriptedOracle, SimulatedOracle,
-        TruthMethod, Verdict,
+        standardize_columns, write_golden_records_csv, ApproveAllOracle, AutoMode, BatchReport,
+        ColumnReport, ConsolidationConfig, DeltaPipeline, FusedPipeline, FusedRun,
+        GoldenRecordReport, Oracle, Pipeline, ProgramLibrary, RejectAllOracle, ScriptedOracle,
+        SimulatedOracle, TruthMethod, Verdict,
     };
     pub use ec_data::{
         Dataset, DatasetStats, FlatCsvReader, FlatRecord, GeneratorConfig, LabeledPair,
@@ -85,7 +86,7 @@ pub mod prelude {
     pub use ec_metrics::{evaluate_standardization, golden_record_precision, ConfusionCounts};
     pub use ec_replace::{generate_candidates, CandidateConfig, Direction, ReplacementEngine};
     pub use ec_resolution::{
-        RawRecord, Resolver, ResolverConfig, SimilarityMeasure, StreamingResolver,
+        DeltaResolver, RawRecord, Resolver, ResolverConfig, SimilarityMeasure, StreamingResolver,
     };
     pub use ec_truth::{majority_consensus, reliability_truth_discovery};
 }
