@@ -129,8 +129,15 @@ pub fn write_artifact(compiled: &CompiledDataset, path: &Path) -> std::io::Resul
 /// little-endian unix targets (reading it into an aligned buffer elsewhere).
 /// Returns the dataset and whether the load was a zero-copy mapping.
 pub fn read_artifact(path: &Path) -> Result<(CompiledDataset, bool), ArtifactError> {
-    let (bytes, mapped) = ArtifactBytes::open(path)?;
-    let compiled = decode_artifact(Arc::new(bytes))?;
+    let _span = ec_obs::span!("artifact.load");
+    let (bytes, mapped) = {
+        let _span = ec_obs::span!("artifact.load.map");
+        ArtifactBytes::open(path)?
+    };
+    let compiled = {
+        let _span = ec_obs::span!("artifact.load.decode");
+        decode_artifact(Arc::new(bytes))?
+    };
     Ok((compiled, mapped))
 }
 

@@ -17,6 +17,9 @@
 //!
 //! Rebuild and load are each run `--iters` times and summarized by their
 //! median, so one cold page-cache outlier cannot distort the ratio.
+//! The exported report also embeds the `ec-obs` registry movement across
+//! the run — most usefully the `artifact.load.map`/`artifact.load.decode`
+//! stage timings accumulated by the repeated loads.
 //! Results print as a table and export as `BENCH_cold_start.json`
 //! (schema `cold_start/v1`) to `EC_BENCH_EXPORT_DIR` (or the current
 //! directory), where CI archives them next to `BENCH_serve_load.json`.
@@ -24,7 +27,7 @@
 //! Usage: `cold_start [--clusters N] [--iters N]` (defaults 400 clusters,
 //! 7 iterations).
 
-use ec_bench::export_artifact;
+use ec_bench::{export_artifact, metrics_delta_json};
 use ec_core::{compile_dataset, ConsolidationConfig};
 use ec_data::{dataset_from_csv, dataset_to_csv, GeneratorConfig, PaperDataset};
 use ec_report::TextTable;
@@ -104,6 +107,11 @@ fn main() {
         options.iters
     );
 
+    // Registry snapshot around the whole measured section: the embedded
+    // metrics delta captures the artifact.load(.map/.decode) stage timings
+    // of the `--iters` loads next to the compile/rebuild stage work.
+    let obs_before = ec_obs::render();
+
     // One-time compile cost, and the artifact everything below loads.
     let compile_started = Instant::now();
     let parsed = dataset_from_csv("cold_start", &csv).expect("generated CSV parses");
@@ -162,11 +170,16 @@ fn main() {
     ]);
     println!("{}", table.to_plain_text());
 
+    let metrics = metrics_delta_json(
+        &obs_before,
+        &ec_obs::render(),
+        &["ec_stage_seconds", "ec_pool_", "ec_pivot_"],
+    );
     let json = format!(
         "{{\n  \"schema\": \"cold_start/v1\",\n  \"clusters\": {},\n  \"records\": {},\n  \
          \"csv_bytes\": {},\n  \"artifact_bytes\": {},\n  \"iterations\": {},\n  \
          \"mapped\": {},\n  \"compile_ms\": {:.3},\n  \"csv_rebuild_ms\": {:.3},\n  \
-         \"mmap_load_ms\": {:.3},\n  \"load_speedup\": {:.1}\n}}\n",
+         \"mmap_load_ms\": {:.3},\n  \"load_speedup\": {:.1},\n  \"metrics\": {}\n}}\n",
         options.clusters,
         records,
         csv.len(),
@@ -177,6 +190,7 @@ fn main() {
         ms(rebuild),
         ms(load),
         speedup,
+        metrics,
     );
     export_artifact("BENCH_cold_start.json", &json);
 

@@ -19,12 +19,14 @@
 //! Results print as a table and export as `BENCH_ingest.json` (schema
 //! `ingest/v1`) to `EC_BENCH_EXPORT_DIR` (or the current directory), where CI
 //! archives them; successive PRs extend the trajectory by comparing these
-//! files.
+//! files. Each sweep point embeds the `ec-obs` registry movement across its
+//! timed batches (pair-cache hits/misses/evictions, replayed sequences,
+//! stage timings), snapshotted in-process via `ec_obs::render`.
 //!
 //! Usage: `ingest_rate [--clusters N] [--batch-size N] [--batches N]`
 //! (defaults: 300 base clusters, 8 batches of 80 records).
 
-use ec_bench::export_artifact;
+use ec_bench::{export_artifact, metrics_delta_json};
 use ec_core::{
     standardize_columns, write_golden_records_csv, AutoMode, ConsolidationConfig, DeltaPipeline,
     Pipeline, ProgramLibrary, TruthMethod,
@@ -137,6 +139,11 @@ fn one_shot_golden(records: &[RawRecord]) -> Vec<u8> {
     out
 }
 
+/// Registry families that tell the delta-path story per sweep point: pair
+/// cache traffic, replayed sequences, and how much pivot/stage work the
+/// novel records forced.
+const METRIC_PREFIXES: &[&str] = &["ec_ingest_", "ec_stage_seconds", "ec_pivot_", "ec_pool_"];
+
 struct SweepPoint {
     fraction: f64,
     total_records: usize,
@@ -145,6 +152,10 @@ struct SweepPoint {
     baseline_total: Duration,
     latencies_us: Vec<u64>,
     golden_identical: bool,
+    /// Registry movement across this point's timed batches, as a
+    /// ready-to-embed JSON object (the benchmark runs in-process, so the
+    /// snapshots come straight from `ec_obs::render`).
+    metrics_json: String,
 }
 
 impl SweepPoint {
@@ -198,6 +209,12 @@ fn run_fraction(options: &Options, fraction: f64) -> SweepPoint {
     let mut baseline_total = Duration::ZERO;
     let mut total_records = 0usize;
     let hits_before = delta.library_hits();
+    // Registry snapshot after the untimed warm-up, so the embedded metrics
+    // delta covers exactly this point's batches. The window also spans the
+    // full-rebuild baseline races, so stage/pivot/pool series include the
+    // baseline's work; the ec_ingest_* family is incremented only by the
+    // delta pipeline and isolates the fast path.
+    let obs_before = ec_obs::render();
 
     for batch_index in 0..options.batches {
         let mut batch = Vec::with_capacity(options.batch_size);
@@ -240,6 +257,7 @@ fn run_fraction(options: &Options, fraction: f64) -> SweepPoint {
                 baseline_total,
                 latencies_us,
                 golden_identical: identical,
+                metrics_json: metrics_delta_json(&obs_before, &ec_obs::render(), METRIC_PREFIXES),
             };
         }
     }
@@ -260,7 +278,7 @@ fn json_report(options: &Options, points: &[SweepPoint]) -> String {
              \"records_per_sec\": {:.1}, \"baseline_records_per_sec\": {:.1}, \
              \"speedup\": {:.2}, \
              \"batch_latency_us\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}}, \
-             \"golden_identical\": {}}}{}\n",
+             \"golden_identical\": {}, \"metrics\": {}}}{}\n",
             p.fraction,
             p.total_records,
             p.hits,
@@ -271,6 +289,7 @@ fn json_report(options: &Options, points: &[SweepPoint]) -> String {
             p.percentile(99.0),
             p.latencies_us.last().copied().unwrap_or(0),
             p.golden_identical,
+            p.metrics_json,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

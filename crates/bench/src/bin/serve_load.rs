@@ -14,6 +14,9 @@
 //! Each client thread holds one keep-alive connection and issues its
 //! requests back to back, so the measured latency includes the queueing an
 //! online consolidation service actually exhibits under connection fan-in.
+//! Around each topology's run the harness scrapes `GET /metrics` at the
+//! address the load is driven at and embeds the counter movement (requests,
+//! pool, library fast-path, router lease/replication series) per topology.
 //! Results print as a table and export as `BENCH_serve_load.json`
 //! (schema `serve_load/v1`) to `EC_BENCH_EXPORT_DIR` (or the current
 //! directory), where CI archives them; successive PRs extend the trajectory
@@ -22,7 +25,7 @@
 //! Usage: `serve_load [--connections N] [--requests N] [--records N]`
 //! (defaults 1000 connections × 5 requests over a 24-record body).
 
-use ec_bench::export_artifact;
+use ec_bench::{export_artifact, metrics_delta_json, scrape_metrics};
 use ec_core::{ApprovedGroup, Group, ProgramLibrary};
 use ec_graph::Replacement;
 use ec_replace::Direction;
@@ -250,6 +253,9 @@ struct Summary {
     p99: u64,
     max: u64,
     mean: u64,
+    /// `/metrics` movement across the run at the address the load was driven
+    /// at, as a ready-to-embed JSON object (`{}` when a scrape failed).
+    metrics: String,
 }
 
 fn summarize(name: &'static str, backends: usize, mut result: LoadResult) -> Summary {
@@ -279,7 +285,30 @@ fn summarize(name: &'static str, backends: usize, mut result: LoadResult) -> Sum
         p99: percentile(99.0),
         max: result.latencies_us.last().copied().unwrap_or(0),
         mean: if ok > 0 { sum / ok as u64 } else { 0 },
+        metrics: String::from("{}"),
     }
+}
+
+/// The registry families worth diffing across a load run: request/latency
+/// counters of the scraped process plus its pool, library fast-path, and
+/// (for the router) lease/replication/probe series.
+const METRIC_PREFIXES: &[&str] = &["ec_http_", "ec_pool_", "ec_library_", "ec_router_"];
+
+/// Drives one topology: scrape `/metrics` at the front address, run the
+/// load, scrape again, and record the delta on the summary.
+fn run_topology(
+    name: &'static str,
+    backends: usize,
+    addr: SocketAddr,
+    options: &Options,
+    body: &[u8],
+) -> Summary {
+    let before = scrape_metrics(addr).unwrap_or_default();
+    let result = run_load(addr, options.connections, options.requests, body);
+    let after = scrape_metrics(addr).unwrap_or_default();
+    let mut summary = summarize(name, backends, result);
+    summary.metrics = metrics_delta_json(&before, &after, METRIC_PREFIXES);
+    summary
 }
 
 fn json_report(options: &Options, summaries: &[Summary]) -> String {
@@ -294,7 +323,8 @@ fn json_report(options: &Options, summaries: &[Summary]) -> String {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"backends\": {}, \"ok_requests\": {}, \"errors\": {}, \
              \"wall_seconds\": {:.3}, \"throughput_rps\": {:.1}, \
-             \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}, \"mean\": {}}}}}{}\n",
+             \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}, \"mean\": {}}}, \
+             \"metrics\": {}}}{}\n",
             s.name,
             s.backends,
             s.ok,
@@ -306,6 +336,7 @@ fn json_report(options: &Options, summaries: &[Summary]) -> String {
             s.p99,
             s.max,
             s.mean,
+            s.metrics,
             if i + 1 < summaries.len() { "," } else { "" }
         ));
     }
@@ -348,11 +379,7 @@ fn main() {
     let single = {
         let backend = ServeChild::spawn(&ec, &backend_args(0));
         println!("single: backend at {}", backend.addr);
-        summarize(
-            "single",
-            1,
-            run_load(backend.addr, options.connections, options.requests, &body),
-        )
+        run_topology("single", 1, backend.addr, &options, &body)
     };
 
     // Topology 2: clients at a router sharding across two backends.
@@ -373,11 +400,7 @@ fn main() {
             "routed-2: router at {} over {} and {}",
             router.addr, backend_a.addr, backend_b.addr
         );
-        summarize(
-            "routed-2",
-            2,
-            run_load(router.addr, options.connections, options.requests, &body),
-        )
+        run_topology("routed-2", 2, router.addr, &options, &body)
     };
 
     let _ = std::fs::remove_file(&snapshot_path);

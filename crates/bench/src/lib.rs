@@ -228,6 +228,76 @@ pub fn export_figure_csv(name: &str, figure: &ec_report::Figure) -> Option<std::
     export_csv(name, &ec_report::csv_export(figure))
 }
 
+/// Scrapes `GET /metrics` from a live server, returning the raw Prometheus
+/// exposition — or `None` when anything fails, because a telemetry hiccup
+/// must never fail a benchmark run. Pair two scrapes around the measured
+/// section with [`metrics_delta_json`] to embed the movement in the
+/// exported `BENCH_*.json`.
+pub fn scrape_metrics(addr: std::net::SocketAddr) -> Option<String> {
+    let timeout = std::time::Duration::from_secs(2);
+    let mut conn = ec_serve::http::ClientConn::connect(addr, Some(timeout)).ok()?;
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok()?;
+    let response = conn.request("GET", "/metrics", b"", false).ok()?;
+    if response.status != 200 {
+        return None;
+    }
+    String::from_utf8(response.body).ok()
+}
+
+/// Parses a Prometheus text exposition into `series → value` samples
+/// (`series` keeps its label set: `name{label="v"}`); comment and blank
+/// lines are skipped. Works on both a [`scrape_metrics`] body and an
+/// in-process `ec_obs::render()` string.
+pub fn parse_metric_samples(text: &str) -> std::collections::BTreeMap<String, f64> {
+    let mut samples = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The value is everything after the last space; the series (name +
+        // label set, which may itself contain spaces inside quoted label
+        // values) is everything before it.
+        if let Some((series, value)) = line.rsplit_once(' ') {
+            if let Ok(value) = value.parse::<f64>() {
+                samples.insert(series.trim_end().to_string(), value);
+            }
+        }
+    }
+    samples
+}
+
+/// Renders the before→after movement of every series whose metric name
+/// starts with one of `prefixes` as a compact JSON object
+/// (`{"series": delta, …}`), suitable for embedding verbatim in a
+/// hand-built report. Zero-delta series and per-bucket histogram series
+/// (`*_bucket`) are omitted — `_sum`/`_count` carry the signal; gauges show
+/// their (possibly negative) net movement.
+pub fn metrics_delta_json(before: &str, after: &str, prefixes: &[&str]) -> String {
+    let before = parse_metric_samples(before);
+    let after = parse_metric_samples(after);
+    let mut entries = Vec::new();
+    for (series, &value) in &after {
+        let name = series.split('{').next().unwrap_or(series);
+        if !prefixes.iter().any(|prefix| name.starts_with(prefix)) || name.ends_with("_bucket") {
+            continue;
+        }
+        let delta = value - before.get(series).copied().unwrap_or(0.0);
+        if delta == 0.0 || !delta.is_finite() {
+            continue;
+        }
+        let escaped = series.replace('\\', "\\\\").replace('"', "\\\"");
+        let rendered = if delta.fract() == 0.0 && delta.abs() < 1e15 {
+            format!("{}", delta as i64)
+        } else {
+            format!("{delta:.6}")
+        };
+        entries.push(format!("\"{escaped}\": {rendered}"));
+    }
+    format!("{{{}}}", entries.join(", "))
+}
+
 /// Writes a non-CSV artifact (e.g. a JSON report) as
 /// `<EC_BENCH_EXPORT_DIR>/<filename>`; falls back to the current directory
 /// when no export directory is configured, so the artifact always lands
@@ -290,6 +360,26 @@ mod tests {
         let ds = tiny();
         let (before, after) = table8_point(&ds, 30, 4);
         assert!(after >= before);
+    }
+
+    #[test]
+    fn metric_samples_parse_and_diff() {
+        let before = "# HELP ec_x_total x\n# TYPE ec_x_total counter\n\
+                      ec_x_total{kind=\"a b\"} 3\nec_y_seconds_sum 0.25\n\
+                      ec_y_seconds_bucket{le=\"+Inf\"} 4\nother_total 9\n";
+        let after = "ec_x_total{kind=\"a b\"} 10\nec_y_seconds_sum 1\n\
+                     ec_y_seconds_bucket{le=\"+Inf\"} 6\nother_total 12\n";
+        let samples = parse_metric_samples(before);
+        assert_eq!(samples["ec_x_total{kind=\"a b\"}"], 3.0);
+        assert_eq!(samples.len(), 4);
+
+        // Deltas keep matching-prefix counters (labels JSON-escaped), render
+        // fractional sums with decimals, and drop buckets and foreign names.
+        let json = metrics_delta_json(before, after, &["ec_"]);
+        assert!(json.contains("\"ec_x_total{kind=\\\"a b\\\"}\": 7"));
+        assert!(json.contains("\"ec_y_seconds_sum\": 0.750000"));
+        assert!(!json.contains("bucket"));
+        assert!(!json.contains("other_total"));
     }
 }
 

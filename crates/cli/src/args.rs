@@ -125,6 +125,7 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
                 "golden",
                 "threads",
                 "save-library",
+                "ingest-cache-cap",
             ],
             &[],
         )),
@@ -151,6 +152,7 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
                 "route",
                 "artifact",
                 "auth-token",
+                "ingest-cache-cap",
             ],
             &[],
         )),
@@ -189,7 +191,9 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, CliError> {
         };
         if switch_opts.contains(&name) {
             parsed.switches.insert(name.to_string());
-        } else if value_opts.contains(&name) {
+        } else if value_opts.contains(&name) || name == "trace" {
+            // `--trace FILE` is global: every subcommand can write its stage
+            // spans as JSONL (equivalent to running with EC_TRACE=FILE).
             let value = iter
                 .next()
                 .ok_or_else(|| CliError::Usage(format!("--{name} requires a value")))?;
@@ -252,6 +256,11 @@ SUBCOMMANDS:
                  [--truth-method majority|reliability]
                  [--output FILE]  [--golden FILE]  [--threads N]
                  [--save-library FILE]
+                 [--ingest-cache-cap N]  (bound the per-cluster candidate
+                                      cache to N clusters per column,
+                                      least-recently-hit evicted; evicted
+                                      work is regenerated on demand, so
+                                      outputs never change; 0 = unbounded)
   apply        standardize flat records through a saved program library —
                learn once, apply forever, no re-learning
                  --input FILE  --library FILE  [--output FILE]
@@ -267,8 +276,9 @@ SUBCOMMANDS:
                  [--emit-flat FILE]  (also write the compiled records as
                                       flat CSV, for byte-compare testing)
   serve        run the consolidation HTTP service on the shared worker pool
-               (endpoints: /healthz /library /pipeline /apply /shutdown;
-               connections are kept alive across sequential requests)
+               (endpoints: /healthz /metrics /library /pipeline /apply
+               /shutdown; connections are kept alive across sequential
+               requests)
                  [--addr HOST:PORT]  [--threads N]  [--library FILE]
                  [--library-cap N]   (cap learned entries per column, LRU
                                       eviction; 0 = unbounded, the default)
@@ -283,6 +293,9 @@ SUBCOMMANDS:
                                       startup; an empty-body POST /pipeline
                                       or /apply then replays the compiled
                                       dataset instead of parsing a body)
+                 [--ingest-cache-cap N]  (bound the /ingest session's
+                                      per-cluster candidate cache, as for
+                                      `ec ingest`; 0 = unbounded)
                with --route, run as a shard router instead: partition work
                across backend ec serve processes over a consistent-hash
                ring (/apply shards by column, /pipeline routes whole by
@@ -305,6 +318,13 @@ The program-library workflow is learn -> save -> apply: a consolidate or
 pipeline run with --save-library FILE stores every group the oracle
 approved as a text snapshot; `ec apply` (or a running `ec serve`)
 standardizes new records through that snapshot without re-learning.
+
+Every subcommand accepts --trace FILE (equivalent to EC_TRACE=FILE):
+pipeline stages append one JSON line per span — name, span/parent ids,
+thread, start/end/duration in microseconds — for offline latency analysis.
+A running serve/router additionally exposes the live metrics registry
+(counters, gauges, latency histograms) on GET /metrics in Prometheus text
+format.
 "
     .to_string()
 }

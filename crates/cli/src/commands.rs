@@ -699,7 +699,10 @@ pub fn ingest(
         .with_threads(parsed.get_usize("threads", 0)?),
         mode,
         truth_method,
-    );
+    )
+    // `--ingest-cache-cap N` bounds the per-cluster candidate cache;
+    // eviction is memory-only, outputs never change.
+    .with_cache_cap(Some(parsed.get_usize("ingest-cache-cap", 0)?));
 
     let mut out = String::new();
     let mut batch: Vec<RawRecord> = Vec::with_capacity(batch_size);
@@ -1048,6 +1051,7 @@ pub fn serve(
         library_ttl: (library_ttl > 0).then(|| std::time::Duration::from_secs(library_ttl as u64)),
         preloaded: preloaded.as_ref().map(|(compiled, _)| compiled.clone()),
         auth_token: parsed.get("auth-token").map(str::to_string),
+        ingest_cache_cap: Some(parsed.get_usize("ingest-cache-cap", 0)?),
     };
     let server = Server::bind(config).map_err(|e| CliError::Io(format!("cannot bind: {e}")))?;
     writeln!(

@@ -111,6 +111,13 @@ pub fn run(
     stdin: &mut dyn std::io::BufRead,
     prompt_out: &mut dyn std::io::Write,
 ) -> Result<CommandOutput, CliError> {
+    // `--trace FILE` turns on stage tracing before any stage runs. The sink
+    // is process-global and write-once (like EC_TRACE), so only the first
+    // `run` of a process can set it.
+    if let Some(path) = parsed.get("trace") {
+        ec_obs::trace::init(path)
+            .map_err(|e| CliError::Io(format!("cannot open --trace {path}: {e}")))?;
+    }
     match parsed.command.as_str() {
         "help" => Ok(CommandOutput::text(usage())),
         "generate" => commands::generate(parsed, open_output),

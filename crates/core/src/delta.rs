@@ -41,11 +41,15 @@
 //! reported per batch and drives the serve-layer `X-Ec-Library-Hits` /
 //! `X-Ec-Library-Misses` counters.
 //!
-//! Memory note: the per-cluster candidate cache and per-structure partition
-//! cache keep superseded entries (an entry for a cluster's previous value
-//! vector lingers after the cluster grows). This trades memory for never
-//! recomputing when a later batch reverts to a previously seen shape; callers
-//! that ingest unbounded novel data should recreate the pipeline periodically.
+//! Memory note: the per-cluster candidate cache keeps superseded entries (an
+//! entry for a cluster's previous value vector lingers after the cluster
+//! grows). This trades memory for never recomputing when a later batch
+//! reverts to a previously seen shape. Long-running sessions can bound it
+//! with [`DeltaPipeline::with_cache_cap`] (`--ingest-cache-cap` on the CLI
+//! and server): when the cache exceeds the cap, the least-recently-hit
+//! entries are evicted — results never change, an evicted shape is simply
+//! regenerated on its next appearance. Evictions are counted in the
+//! `ec_ingest_cache_evictions_total` registry metric.
 
 use crate::consolidate::{write_golden_records_csv, AutoMode};
 use crate::library::{ApprovedGroup, ProgramLibrary, ValueOutcome};
@@ -90,19 +94,82 @@ struct CachedPartition {
     prepared: Arc<PreparedGraphs>,
 }
 
+/// Registry handles for the delta pipeline's cache behaviour.
+struct IngestMetrics {
+    cache_hits: ec_obs::Counter,
+    cache_misses: ec_obs::Counter,
+    cache_evictions: ec_obs::Counter,
+    replayed_columns: ec_obs::Counter,
+}
+
+fn ingest_metrics() -> &'static IngestMetrics {
+    static METRICS: std::sync::OnceLock<IngestMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| IngestMetrics {
+        cache_hits: ec_obs::counter(
+            "ec_ingest_cache_hits_total",
+            "Cluster value vectors whose candidate contribution was served from cache.",
+        ),
+        cache_misses: ec_obs::counter(
+            "ec_ingest_cache_misses_total",
+            "Cluster value vectors whose candidate contribution had to be generated.",
+        ),
+        cache_evictions: ec_obs::counter(
+            "ec_ingest_cache_evictions_total",
+            "Candidate-cache entries evicted by the --ingest-cache-cap bound.",
+        ),
+        replayed_columns: ec_obs::counter(
+            "ec_ingest_replayed_columns_total",
+            "Columns whose group sequence was replayed without any pivot search.",
+        ),
+    })
+}
+
+/// One cluster's cached candidate contribution plus its recency stamp for
+/// least-recently-hit eviction.
+struct CachedContribution {
+    set: CandidateSet,
+    /// Value of the column's tick counter at the last lookup; ticks are
+    /// unique, so eviction order is deterministic.
+    last_hit: u64,
+}
+
 /// The memoized per-column state.
 #[derive(Default)]
 struct ColumnCache {
     /// Candidate contributions keyed by a cluster's value vector (the
     /// contribution's [`CellRef`]s carry cluster index 0 and are rebound on
     /// merge).
-    contributions: HashMap<Vec<String>, CandidateSet>,
+    contributions: HashMap<Vec<String>, CachedContribution>,
+    /// Monotone lookup counter backing `CachedContribution::last_hit`.
+    tick: u64,
     /// The last emitted group sequence, keyed by the exact candidate list it
     /// was computed from. At most `budget` groups are stored.
     groups: Option<(Vec<Replacement>, Vec<Group>)>,
     /// Prepared graphs per structure partition, grown via
     /// [`PreparedGraphs::append`] when members only get appended.
     partitions: HashMap<ReplacementStructure, CachedPartition>,
+}
+
+impl ColumnCache {
+    /// Evicts least-recently-hit contributions until the cache fits `cap`.
+    /// Returns how many entries were dropped. Entries touched by the current
+    /// batch carry fresh ticks, so superseded value vectors go first.
+    fn evict_over_cap(&mut self, cap: usize) -> usize {
+        if self.contributions.len() <= cap {
+            return 0;
+        }
+        let excess = self.contributions.len() - cap;
+        let mut by_recency: Vec<(u64, Vec<String>)> = self
+            .contributions
+            .iter()
+            .map(|(key, cached)| (cached.last_hit, key.clone()))
+            .collect();
+        by_recency.sort_unstable();
+        for (_, key) in by_recency.into_iter().take(excess) {
+            self.contributions.remove(&key);
+        }
+        excess
+    }
 }
 
 /// The incremental ingest orchestrator: feed record batches with
@@ -124,6 +191,10 @@ pub struct DeltaPipeline {
     batches: usize,
     library_hits: u64,
     library_misses: u64,
+    /// Per-column bound on cached candidate contributions (`None` =
+    /// unbounded, the historical behaviour).
+    cache_cap: Option<usize>,
+    cache_evictions: u64,
 }
 
 impl DeltaPipeline {
@@ -152,7 +223,23 @@ impl DeltaPipeline {
             batches: 0,
             library_hits: 0,
             library_misses: 0,
+            cache_cap: None,
+            cache_evictions: 0,
         }
+    }
+
+    /// Bounds the per-column candidate-contribution cache to `cap` entries
+    /// (least-recently-hit eviction; 0 or `None` = unbounded). Outputs are
+    /// unaffected — an evicted shape is regenerated when it next appears.
+    pub fn with_cache_cap(mut self, cap: Option<usize>) -> Self {
+        self.cache_cap = cap.filter(|&c| c > 0);
+        self
+    }
+
+    /// Candidate-cache entries evicted so far under
+    /// [`DeltaPipeline::with_cache_cap`].
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions
     }
 
     /// The dataset name.
@@ -279,8 +366,18 @@ impl DeltaPipeline {
             if replayed {
                 replayed_columns += 1;
             }
+            if let Some(cap) = self.cache_cap {
+                let evicted = self.caches[col].evict_over_cap(cap);
+                if evicted > 0 {
+                    self.cache_evictions += evicted as u64;
+                    ingest_metrics().cache_evictions.add(evicted as u64);
+                }
+            }
             reports.push(report);
         }
+        ingest_metrics()
+            .replayed_columns
+            .add(replayed_columns as u64);
         self.golden = self.pipeline.discover_golden_records(&dataset, self.truth);
         self.standardized = Some(dataset);
         self.batches += 1;
@@ -312,14 +409,30 @@ fn merged_candidates(
     values: &[Vec<String>],
     config: &ConsolidationConfig,
 ) -> CandidateSet {
+    let metrics = ingest_metrics();
     let mut merged = CandidateSet::default();
     for (c, cluster_values) in values.iter().enumerate() {
-        if !cache.contributions.contains_key(cluster_values) {
-            let contrib =
-                generate_candidates(std::slice::from_ref(cluster_values), &config.candidates);
-            cache.contributions.insert(cluster_values.clone(), contrib);
+        cache.tick += 1;
+        let tick = cache.tick;
+        match cache.contributions.get_mut(cluster_values) {
+            Some(cached) => {
+                cached.last_hit = tick;
+                metrics.cache_hits.inc();
+            }
+            None => {
+                let set =
+                    generate_candidates(std::slice::from_ref(cluster_values), &config.candidates);
+                cache.contributions.insert(
+                    cluster_values.clone(),
+                    CachedContribution {
+                        set,
+                        last_hit: tick,
+                    },
+                );
+                metrics.cache_misses.inc();
+            }
         }
-        let contrib = &cache.contributions[cluster_values];
+        let contrib = &cache.contributions[cluster_values].set;
         for r in &contrib.replacements {
             let cells = contrib.set(r);
             merged
@@ -620,6 +733,44 @@ mod tests {
         // Reports stay structurally identical to the one-shot pipeline's.
         assert_eq!(second.columns.len(), columns().len());
         assert!(second.columns.iter().all(|c| c.column < columns().len()));
+    }
+
+    #[test]
+    fn a_tight_cache_cap_evicts_but_never_changes_results() {
+        let records = corpus();
+        let (expected, expected_golden, _) = one_shot(&records, AutoMode::ApproveAll);
+        let mut capped = DeltaPipeline::new(
+            "delta-test",
+            columns(),
+            ResolverConfig::default(),
+            ConsolidationConfig::default(),
+            AutoMode::ApproveAll,
+            TruthMethod::MajorityConsensus,
+        )
+        .with_cache_cap(Some(1));
+        for chunk in records.chunks(3) {
+            capped.ingest_batch(chunk.to_vec());
+        }
+        assert_eq!(capped.standardized(), Some(&expected));
+        assert_eq!(capped.golden(), expected_golden.as_slice());
+        assert!(
+            capped.cache_evictions() > 0,
+            "a cap of 1 over a multi-cluster corpus must evict"
+        );
+        for cache in &capped.caches {
+            assert!(cache.contributions.len() <= 1, "the cap must hold");
+        }
+        // A cap of zero (and None) means unbounded.
+        let unbounded = DeltaPipeline::new(
+            "delta-test",
+            columns(),
+            ResolverConfig::default(),
+            ConsolidationConfig::default(),
+            AutoMode::ApproveAll,
+            TruthMethod::MajorityConsensus,
+        )
+        .with_cache_cap(Some(0));
+        assert_eq!(unbounded.cache_cap, None);
     }
 
     #[test]

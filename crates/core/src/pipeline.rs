@@ -118,6 +118,7 @@ impl Pipeline {
         col: usize,
         oracle: &mut dyn Oracle,
     ) -> (ColumnReport, Vec<crate::ApprovedGroup>) {
+        let _span = ec_obs::span!("core.standardize_column", col);
         let values = dataset.column_values(col);
         let mut engine = ReplacementEngine::new(values, &self.config.candidates);
         let candidates = engine.candidates();
@@ -153,6 +154,7 @@ impl Pipeline {
         dataset: &Dataset,
         method: TruthMethod,
     ) -> Vec<Vec<Option<String>>> {
+        let _span = ec_obs::span!("core.truth_discovery");
         match method {
             TruthMethod::MajorityConsensus => dataset
                 .clusters

@@ -30,9 +30,80 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::time::Instant;
 
 /// A detached job: runs once on some worker, result discarded.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Registry handles for the pool's runtime signals — exactly the ones that
+/// would have caught the PR 6 LIFO starvation in minutes instead of a day:
+/// queue depth, steal traffic, submit-path split, and how long jobs wait
+/// versus run.
+struct PoolMetrics {
+    /// Jobs currently sitting in the injector or a worker deque.
+    queue_depth: ec_obs::Gauge,
+    /// Jobs taken from another worker's deque.
+    steals: ec_obs::Counter,
+    /// Jobs pushed onto the submitting worker's own LIFO deque.
+    submit_lifo: ec_obs::Counter,
+    /// Jobs pushed onto the shared FIFO injector.
+    submit_fifo: ec_obs::Counter,
+    /// Time from submit to dequeue.
+    queue_seconds: ec_obs::Histogram,
+    /// Time a job spends executing on its worker.
+    wall_seconds: ec_obs::Histogram,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        queue_depth: ec_obs::gauge(
+            "ec_pool_queue_depth",
+            "Jobs waiting in the shared pool's injector and worker deques.",
+        ),
+        steals: ec_obs::counter(
+            "ec_pool_steals_total",
+            "Jobs taken from another worker's deque.",
+        ),
+        submit_lifo: ec_obs::counter_with(
+            "ec_pool_submit_total",
+            "Jobs submitted to the pool, by queue path.",
+            &[("path", "lifo")],
+        ),
+        submit_fifo: ec_obs::counter_with(
+            "ec_pool_submit_total",
+            "Jobs submitted to the pool, by queue path.",
+            &[("path", "fifo")],
+        ),
+        queue_seconds: ec_obs::histogram(
+            "ec_pool_task_queue_seconds",
+            "Time pool jobs wait between submit and dequeue.",
+            ec_obs::Unit::Seconds,
+            ec_obs::LATENCY_BUCKETS_US,
+        ),
+        wall_seconds: ec_obs::histogram(
+            "ec_pool_task_wall_seconds",
+            "Time pool jobs spend executing on a worker.",
+            ec_obs::Unit::Seconds,
+            ec_obs::LATENCY_BUCKETS_US,
+        ),
+    })
+}
+
+/// A queued job plus its submit time (for the queue-wait histogram).
+struct Queued {
+    job: Job,
+    submitted: Instant,
+}
+
+impl Queued {
+    fn new(job: Job) -> Self {
+        Queued {
+            job,
+            submitted: Instant::now(),
+        }
+    }
+}
 
 /// One task of a [`WorkerPool::run`] batch.
 pub type PoolTask<R> = Box<dyn FnOnce() -> R + Send + 'static>;
@@ -40,10 +111,10 @@ pub type PoolTask<R> = Box<dyn FnOnce() -> R + Send + 'static>;
 /// Queues plus the sleep/wake coordination shared by all workers of a pool.
 struct PoolShared {
     /// Jobs submitted from threads outside the pool.
-    injector: Mutex<VecDeque<Job>>,
+    injector: Mutex<VecDeque<Queued>>,
     /// Per-worker deques for jobs submitted from inside the pool; idle
     /// workers steal from the front.
-    worker_queues: Vec<Mutex<VecDeque<Job>>>,
+    worker_queues: Vec<Mutex<VecDeque<Queued>>>,
     /// Guards the wake generation: bumped (under the lock) on every push so a
     /// worker that scanned all queues empty can detect a concurrent push and
     /// re-scan instead of sleeping through it.
@@ -75,10 +146,21 @@ impl PoolShared {
                 same.then_some(*idx)
             })
         });
+        let metrics = pool_metrics();
         match own_slot {
-            Some(idx) => self.worker_queues[idx].lock().unwrap().push_back(job),
-            None => self.injector.lock().unwrap().push_back(job),
+            Some(idx) => {
+                metrics.submit_lifo.inc();
+                self.worker_queues[idx]
+                    .lock()
+                    .unwrap()
+                    .push_back(Queued::new(job));
+            }
+            None => {
+                metrics.submit_fifo.inc();
+                self.injector.lock().unwrap().push_back(Queued::new(job));
+            }
         }
+        metrics.queue_depth.add(1);
         let mut generation = self.generation.lock().unwrap();
         *generation += 1;
         self.wake.notify_all();
@@ -91,7 +173,10 @@ impl PoolShared {
     /// LIFO, so the worker would take the same job straight back and
     /// starve everything queued behind it.
     fn push_injected(&self, job: Job) {
-        self.injector.lock().unwrap().push_back(job);
+        let metrics = pool_metrics();
+        metrics.submit_fifo.inc();
+        self.injector.lock().unwrap().push_back(Queued::new(job));
+        metrics.queue_depth.add(1);
         let mut generation = self.generation.lock().unwrap();
         *generation += 1;
         self.wake.notify_all();
@@ -100,7 +185,7 @@ impl PoolShared {
     /// Claims the next job: own deque first (most recently pushed), then a
     /// steal sweep over the other workers' deques (oldest first), then the
     /// injector. `slot` is `None` for non-worker threads (they only steal).
-    fn find_job(&self, slot: Option<usize>) -> Option<Job> {
+    fn find_job(&self, slot: Option<usize>) -> Option<Queued> {
         if let Some(idx) = slot {
             if let Some(job) = self.worker_queues[idx].lock().unwrap().pop_back() {
                 return Some(job);
@@ -111,6 +196,7 @@ impl PoolShared {
                 continue;
             }
             if let Some(job) = queue.lock().unwrap().pop_front() {
+                pool_metrics().steals.inc();
                 return Some(job);
             }
         }
@@ -123,9 +209,16 @@ impl PoolShared {
             // Snapshot the generation *before* scanning so a push that the
             // scan raced past is caught by the re-check below.
             let seen = *self.generation.lock().unwrap();
-            if let Some(job) = self.find_job(Some(slot)) {
+            if let Some(queued) = self.find_job(Some(slot)) {
+                let metrics = pool_metrics();
+                metrics.queue_depth.sub(1);
+                metrics
+                    .queue_seconds
+                    .observe_duration(queued.submitted.elapsed());
                 self.executed[slot].fetch_add(1, Ordering::Relaxed);
-                job();
+                let started = Instant::now();
+                (queued.job)();
+                metrics.wall_seconds.observe_duration(started.elapsed());
                 continue;
             }
             if self.shutdown.load(Ordering::Acquire) {

@@ -33,6 +33,7 @@ impl PreparedGraphs {
     /// Builds graphs and the inverted index for `replacements` (duplicates are
     /// removed first; input order of first occurrence is preserved).
     pub fn build(replacements: &[Replacement], config: &GroupingConfig) -> Self {
+        let _span = ec_obs::span!("grouping.prepared_build", replacements.len());
         let mut unique: Vec<Replacement> = Vec::with_capacity(replacements.len());
         {
             let mut seen = std::collections::HashSet::new();
@@ -121,6 +122,7 @@ impl PreparedGraphs {
     /// `PreparedGraphs::build(old ++ new, config)`. Returns the number of new
     /// graphs built.
     pub fn append(&mut self, new_replacements: &[Replacement], config: &GroupingConfig) -> usize {
+        let _span = ec_obs::span!("grouping.prepared_append", new_replacements.len());
         let fresh: Vec<Replacement> = {
             let seen: std::collections::HashSet<&Replacement> = self
                 .replacements

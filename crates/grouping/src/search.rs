@@ -64,6 +64,31 @@ use std::sync::Arc;
 /// intra-search parallelism and how stale a task's pruning inputs can be.
 const INTRA_SEARCH_WAVE_CAP: usize = 8;
 
+/// Registry handles for the search's two budget signals: how many steps each
+/// pivot search actually spends, and how often the budget runs dry (a search
+/// that keeps exhausting its budget is the first thing to look at when group
+/// quality drops on label-rich data).
+struct SearchMetrics {
+    steps: ec_obs::Histogram,
+    budget_exhausted: ec_obs::Counter,
+}
+
+fn search_metrics() -> &'static SearchMetrics {
+    static METRICS: std::sync::OnceLock<SearchMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| SearchMetrics {
+        steps: ec_obs::histogram(
+            "ec_pivot_search_steps",
+            "Path-extension steps spent per pivot search.",
+            ec_obs::Unit::Count,
+            ec_obs::COUNT_BUCKETS,
+        ),
+        budget_exhausted: ec_obs::counter(
+            "ec_pivot_budget_exhausted_total",
+            "Pivot searches that ran out of their step budget.",
+        ),
+    })
+}
+
 /// The result of a pivot-path search.
 #[derive(Debug, Clone)]
 pub struct PivotResult {
@@ -404,6 +429,14 @@ impl PivotSearcher {
                 dfs(graph, g, 0, &mut path, &universe, 0, &mut state);
             }
         }
+        let metrics = search_metrics();
+        let initial_budget = self.config.max_search_steps.max(1);
+        metrics
+            .steps
+            .observe((initial_budget - state.steps_left) as u64);
+        if state.steps_left == 0 {
+            metrics.budget_exhausted.inc();
+        }
         let last_nodes = state.last_nodes;
         let (path, list, count, _) = state.best.take()?;
         let complete: Vec<GraphId> = list
@@ -601,6 +634,7 @@ impl PivotSearcher {
         lower_bounds: &mut [u32],
         parallelism: ec_graph::Parallelism,
     ) -> Vec<Option<PivotResult>> {
+        let _span = ec_obs::span!("grouping.pivot_search", gids.len());
         let shards = parallelism.shards(gids.len());
         let chunk_size = gids.len().div_ceil(shards.max(1)).max(1);
         // Intra-search wave scheduling: worth paying for only when workers

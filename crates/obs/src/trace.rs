@@ -1,0 +1,229 @@
+//! JSONL stage tracing: when enabled, every [`Span`](crate::Span) appends
+//! one hand-serialized event to the trace file, recording its name, span id,
+//! parent span id, thread, start offset and duration (all microseconds from
+//! the moment tracing was initialized). A whole `ec pipeline` run can be
+//! reconstructed as a flame-style timeline from the file.
+//!
+//! Tracing is off unless [`init`] is called (the CLI's `--trace path`) or the
+//! `EC_TRACE` environment variable names a path at the time of the first
+//! span. The enabled check on the span hot path is a single atomic load;
+//! with tracing off no allocation, lock or I/O happens. Spans that run
+//! before [`init`] are simply not recorded — once tracing is *on* it is
+//! pinned for the rest of the process, and a second [`init`] errors.
+//!
+//! One event is written per span, at span *end* — parent/child nesting is
+//! reconstructed from ids, and within a thread spans end in LIFO order, so
+//! end-ordered events are enough to rebuild the timeline. Events from
+//! different threads interleave; the per-line `thread` field separates them.
+//! Each line is flushed as written: the sink lives in a static that is never
+//! dropped, so buffering across lines would lose the tail of the file on
+//! process exit.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+struct Sink {
+    /// Zero point for `start_us`/`end_us` offsets.
+    epoch: Instant,
+    next_id: AtomicU64,
+    out: Mutex<BufWriter<File>>,
+}
+
+static SINK: OnceLock<Sink> = OnceLock::new();
+
+/// Whether the process has decided about tracing yet: `UNDECIDED` until the
+/// first span (or [`init`] call), then `OFF` or `ON`. Spans read only this
+/// atomic on the hot path; `OFF` can still flip to `ON` through [`init`] —
+/// an embedder may run untraced work before opening a trace — but `ON` is
+/// final, so `SINK` is written at most once.
+static STATE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(UNDECIDED);
+const UNDECIDED: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+/// Serializes the UNDECIDED→OFF/ON and OFF→ON transitions (never on the
+/// span hot path once the state is decided).
+static DECIDE: Mutex<()> = Mutex::new(());
+
+fn new_sink(file: File) -> Sink {
+    Sink {
+        epoch: Instant::now(),
+        next_id: AtomicU64::new(0),
+        out: Mutex::new(BufWriter::new(file)),
+    }
+}
+
+/// Enables tracing to `path`, overriding `EC_TRACE`. Spans that already ran
+/// (while tracing was off) are not retroactively recorded and offsets count
+/// from this call; errors if tracing is already writing somewhere.
+pub fn init(path: &str) -> std::io::Result<()> {
+    let _guard = DECIDE.lock().unwrap();
+    if STATE.load(Ordering::Acquire) == ON {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            "tracing was already initialized",
+        ));
+    }
+    let file = File::create(path)?;
+    SINK.get_or_init(|| new_sink(file));
+    STATE.store(ON, Ordering::Release);
+    Ok(())
+}
+
+fn sink() -> Option<&'static Sink> {
+    match STATE.load(Ordering::Acquire) {
+        OFF => None,
+        ON => SINK.get(),
+        _ => {
+            // First span of the process: decide from EC_TRACE, racing
+            // threads serialized so exactly one opens the file.
+            let _guard = DECIDE.lock().unwrap();
+            match STATE.load(Ordering::Acquire) {
+                OFF => return None,
+                ON => return SINK.get(),
+                _ => {}
+            }
+            let file = std::env::var("EC_TRACE")
+                .ok()
+                .filter(|path| !path.is_empty())
+                .and_then(|path| File::create(&path).ok());
+            match file {
+                Some(file) => {
+                    let sink = SINK.get_or_init(|| new_sink(file));
+                    STATE.store(ON, Ordering::Release);
+                    Some(sink)
+                }
+                None => {
+                    STATE.store(OFF, Ordering::Release);
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Whether trace events are being written. Useful for gating detail-string
+/// construction beyond what [`Span::with_detail`](crate::Span::with_detail)
+/// already defers.
+pub fn enabled() -> bool {
+    sink().is_some()
+}
+
+std::thread_local! {
+    /// Stack of open span ids on this thread (for parent attribution).
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Small stable per-thread id for trace events (`ThreadId` has no stable
+    /// public integer form).
+    static THREAD_SEQ: u64 = {
+        static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+        NEXT_THREAD.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// Per-span trace context carried by an open [`Span`](crate::Span).
+pub(crate) struct SpanCtx {
+    id: u64,
+    parent: u64,
+    pub(crate) detail: Option<String>,
+}
+
+/// Claims a span id and pushes it on the thread's parent stack; `None` (the
+/// common case) when tracing is off.
+pub(crate) fn begin() -> Option<SpanCtx> {
+    let sink = sink()?;
+    let id = sink.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let parent = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        parent
+    });
+    Some(SpanCtx {
+        id,
+        parent,
+        detail: None,
+    })
+}
+
+/// Pops the span off the parent stack and writes its event line.
+pub(crate) fn finish(ctx: SpanCtx, name: &str, start: Instant, elapsed: Duration) {
+    let Some(sink) = sink() else { return };
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        // Spans are guards, so within a thread they end LIFO; a span moved
+        // across threads (not a supported pattern) just misses its pop.
+        if stack.last() == Some(&ctx.id) {
+            stack.pop();
+        } else {
+            stack.retain(|&id| id != ctx.id);
+        }
+    });
+    let start_us = start
+        .checked_duration_since(sink.epoch)
+        .unwrap_or(Duration::ZERO)
+        .as_micros() as u64;
+    let dur_us = elapsed.as_micros() as u64;
+    let thread = THREAD_SEQ.with(|t| *t);
+    let mut line = String::with_capacity(128);
+    line.push_str("{\"name\":\"");
+    json_escape_into(&mut line, name);
+    line.push_str("\",\"id\":");
+    line.push_str(&ctx.id.to_string());
+    line.push_str(",\"parent\":");
+    line.push_str(&ctx.parent.to_string());
+    line.push_str(",\"thread\":");
+    line.push_str(&thread.to_string());
+    line.push_str(",\"start_us\":");
+    line.push_str(&start_us.to_string());
+    line.push_str(",\"end_us\":");
+    line.push_str(&(start_us + dur_us).to_string());
+    line.push_str(",\"dur_us\":");
+    line.push_str(&dur_us.to_string());
+    if let Some(detail) = &ctx.detail {
+        line.push_str(",\"detail\":\"");
+        json_escape_into(&mut line, detail);
+        line.push('"');
+    }
+    line.push_str("}\n");
+    let mut out = sink.out.lock().unwrap();
+    let _ = out.write_all(line.as_bytes());
+    let _ = out.flush();
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        let mut out = String::new();
+        json_escape_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    // Sink behaviour (event lines, parent nesting) is covered by the
+    // integration suite, which runs a traced pipeline in its own process;
+    // the sink is process-global, so exercising it here would race with
+    // other unit tests.
+}

@@ -99,6 +99,7 @@ impl CandidateSet {
 /// first-seen order of the sequential scan, so the result is bit-identical for
 /// every thread count.
 pub fn generate_candidates(clusters: &[Vec<String>], config: &CandidateConfig) -> CandidateSet {
+    let _span = ec_obs::span!("replace.generate_candidates", clusters.len());
     let shards = config.parallelism.shards(clusters.len());
     if shards <= 1 {
         return generate_cluster_range(clusters, 0, config);

@@ -162,20 +162,24 @@ impl Resolver {
             return Vec::new();
         }
         let fields: Vec<Vec<String>> = records.iter().map(|r| r.fields.clone()).collect();
-        let mut candidates = match self.config.scheme {
-            BlockingScheme::Token => token_blocking_pairs(&fields, &self.config.blocking),
-            BlockingScheme::SortedNeighborhood => {
-                sorted_neighborhood_pairs(&fields, &self.config.blocking)
-            }
-            BlockingScheme::Both => {
-                let mut pairs = token_blocking_pairs(&fields, &self.config.blocking);
-                pairs.extend(sorted_neighborhood_pairs(&fields, &self.config.blocking));
-                pairs.sort_unstable();
-                pairs.dedup();
-                pairs
+        let mut candidates = {
+            let _span = ec_obs::span!("resolution.blocking", records.len());
+            match self.config.scheme {
+                BlockingScheme::Token => token_blocking_pairs(&fields, &self.config.blocking),
+                BlockingScheme::SortedNeighborhood => {
+                    sorted_neighborhood_pairs(&fields, &self.config.blocking)
+                }
+                BlockingScheme::Both => {
+                    let mut pairs = token_blocking_pairs(&fields, &self.config.blocking);
+                    pairs.extend(sorted_neighborhood_pairs(&fields, &self.config.blocking));
+                    pairs.sort_unstable();
+                    pairs.dedup();
+                    pairs
+                }
             }
         };
         candidates.sort_unstable();
+        let _span = ec_obs::span!("resolution.scoring", candidates.len());
         candidates
             .into_iter()
             .map(|(a, b)| {

@@ -226,7 +226,11 @@ impl<'a> StreamingResolver<'a> {
     /// observed value, as in [`Resolver::resolve_to_dataset`] without
     /// truths). Bit-identical to the batch path on the same records.
     pub fn finish(mut self, name: &str, columns: Vec<String>) -> Dataset {
-        let pairs = self.state.candidate_pairs(self.resolver.config());
+        let pairs = {
+            let _span = ec_obs::span!("resolution.blocking");
+            self.state.candidate_pairs(self.resolver.config())
+        };
+        let _span = ec_obs::span!("resolution.scoring", pairs.len());
         let threshold = self.resolver.config().threshold;
         let mut uf = self.state.uf;
         for (a, b) in pairs {
@@ -328,7 +332,11 @@ impl DeltaResolver {
     /// The clustering of everything pushed so far, packaged as a [`Dataset`]
     /// — bit-identical to [`Resolver::resolve_stream`] over the same records.
     pub fn snapshot(&mut self, name: &str, columns: Vec<String>) -> Dataset {
-        let pairs = self.state.candidate_pairs(self.resolver.config());
+        let pairs = {
+            let _span = ec_obs::span!("resolution.blocking");
+            self.state.candidate_pairs(self.resolver.config())
+        };
+        let _span = ec_obs::span!("resolution.scoring", pairs.len());
         let threshold = self.resolver.config().threshold;
         let mut uf = UnionFind::new(self.state.records.len());
         let records = &self.state.records;

@@ -29,6 +29,18 @@
 //! Exits 0 when every response matches the expected status (default 200,
 //! override with `--expect-status`), 1 otherwise; bodies go to `--output` or
 //! stdout, trailers to stderr.
+//!
+//! `--metrics` switches to observability mode: scrape `GET /metrics`,
+//! **validate** the Prometheus text exposition (malformed output exits 1 —
+//! the CI smoke jobs use this as a format check) and pretty-print it with
+//! client-side histogram quantiles. With `--interval SECS` a second scrape
+//! follows and counter/histogram *deltas* over the window are printed — a
+//! poor man's `rate()` for eyeballing a live server:
+//!
+//! ```text
+//! serve_probe --addr 127.0.0.1:7171 --metrics
+//! serve_probe --addr 127.0.0.1:7171 --metrics --interval 5
+//! ```
 
 use std::io::Write;
 use std::net::ToSocketAddrs;
@@ -43,6 +55,8 @@ struct Options {
     output: Option<String>,
     expect_status: u16,
     repeat: usize,
+    metrics: bool,
+    interval: Option<f64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -55,6 +69,8 @@ fn parse_args() -> Result<Options, String> {
         output: None,
         expect_status: 200,
         repeat: 1,
+        metrics: false,
+        interval: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -89,11 +105,24 @@ fn parse_args() -> Result<Options, String> {
                     .filter(|n| *n >= 1)
                     .ok_or_else(|| "--repeat expects a positive integer".to_string())?
             }
+            "--metrics" => options.metrics = true,
+            "--interval" => {
+                options.interval = Some(
+                    value("interval")?
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|s| *s > 0.0)
+                        .ok_or_else(|| "--interval expects positive seconds".to_string())?,
+                )
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if options.body_files.len() > 1 && options.repeat > 1 {
         return Err("--repeat does not combine with multiple --body-file values".to_string());
+    }
+    if options.interval.is_some() && !options.metrics {
+        return Err("--interval only applies with --metrics".to_string());
     }
     Ok(options)
 }
@@ -137,6 +166,15 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    if options.metrics {
+        return match metrics::run(addr, options.interval) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("serve_probe: {message}");
+                ExitCode::from(1)
+            }
+        };
+    }
     // All requests ride one kept-alive connection; the server hanging up
     // early surfaces as a request error, exactly like `--repeat`.
     let mut conn = match ec_serve::http::ClientConn::connect(addr, None) {
@@ -191,4 +229,292 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The `--metrics` mode: scrape, validate, pretty-print, and (with
+/// `--interval`) diff two scrapes.
+mod metrics {
+    use std::collections::BTreeMap;
+    use std::net::SocketAddr;
+    use std::time::Duration;
+
+    /// One parsed sample: full series key (`name{labels}`) to value.
+    type Samples = BTreeMap<String, f64>;
+
+    /// A scrape parsed into families and samples.
+    pub struct Scrape {
+        /// Family name -> declared type (`counter` / `gauge` / `histogram`).
+        pub families: BTreeMap<String, String>,
+        pub samples: Samples,
+    }
+
+    pub fn run(addr: SocketAddr, interval: Option<f64>) -> Result<(), String> {
+        let first = scrape(addr)?;
+        print!("{}", render(&first));
+        let Some(seconds) = interval else {
+            return Ok(());
+        };
+        std::thread::sleep(Duration::from_secs_f64(seconds));
+        let second = scrape(addr)?;
+        print!("{}", render_delta(&first, &second, seconds));
+        Ok(())
+    }
+
+    fn scrape(addr: SocketAddr) -> Result<Scrape, String> {
+        let mut conn = ec_serve::http::ClientConn::connect(addr, Some(Duration::from_secs(5)))
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let response = conn
+            .request("GET", "/metrics", b"", false)
+            .map_err(|e| format!("scrape failed: {e}"))?;
+        if response.status != 200 {
+            return Err(format!("/metrics answered {}", response.status));
+        }
+        let text = String::from_utf8(response.body)
+            .map_err(|_| "metrics exposition is not UTF-8".to_string())?;
+        parse(&text)
+    }
+
+    /// Parses (and thereby validates) one Prometheus text exposition. Any
+    /// violation — unknown sample family, bad name, unparsable value,
+    /// unbalanced labels — is an error, which is what makes this mode a
+    /// usable CI format check.
+    pub fn parse(text: &str) -> Result<Scrape, String> {
+        let mut families = BTreeMap::new();
+        let mut samples = Samples::new();
+        for (number, line) in text.lines().enumerate() {
+            let bad = |what: &str| format!("line {}: {what}: {line}", number + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                    return Err(bad("malformed TYPE comment"));
+                };
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(bad("unknown metric type"));
+                }
+                families.insert(name.to_string(), kind.to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                // HELP and free comments carry no structure to check.
+                continue;
+            }
+            let (series, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| bad("sample line without a value"))?;
+            if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" {
+                return Err(bad("unparsable sample value"));
+            }
+            let name = match series.split_once('{') {
+                Some((name, labels)) => {
+                    if !labels.ends_with('}') {
+                        return Err(bad("unterminated label set"));
+                    }
+                    name
+                }
+                None => series,
+            };
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+                || name.starts_with(|c: char| c.is_ascii_digit())
+            {
+                return Err(bad("invalid metric name"));
+            }
+            // Every sample must belong to a declared family: the name
+            // itself, or a histogram's _bucket/_sum/_count expansion.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    name.strip_suffix(suffix)
+                        .filter(|base| families.get(*base).map(String::as_str) == Some("histogram"))
+                })
+                .unwrap_or(name);
+            if !families.contains_key(family) {
+                return Err(bad("sample without a preceding TYPE"));
+            }
+            let value = value.parse::<f64>().unwrap_or(f64::INFINITY);
+            samples.insert(series.to_string(), value);
+        }
+        Ok(Scrape { families, samples })
+    }
+
+    /// Pretty-prints one scrape: counters and gauges one line per series,
+    /// histograms folded to count/sum plus client-side quantiles.
+    fn render(scrape: &Scrape) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# {} families, {} series\n",
+            scrape.families.len(),
+            scrape.samples.len()
+        ));
+        for (family, kind) in &scrape.families {
+            if kind == "histogram" {
+                for (series, quantiles) in histogram_summaries(scrape, family) {
+                    out.push_str(&format!("histogram {series} {quantiles}\n"));
+                }
+                continue;
+            }
+            for (series, value) in series_of(&scrape.samples, family) {
+                out.push_str(&format!("{kind} {series} {}\n", trim_float(value)));
+            }
+        }
+        out
+    }
+
+    /// Prints what moved between two scrapes: counter and histogram deltas
+    /// (suffixed `+N`), gauges at their current value. Series quiet over the
+    /// window are omitted.
+    fn render_delta(first: &Scrape, second: &Scrape, seconds: f64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# delta over {seconds}s\n"));
+        for (series, value) in &second.samples {
+            let family = base_family(second, series);
+            let kind = family
+                .and_then(|f| second.families.get(f))
+                .map(String::as_str)
+                .unwrap_or("untyped");
+            match kind {
+                "gauge" => {
+                    let previous = first.samples.get(series).copied().unwrap_or(0.0);
+                    if (value - previous).abs() > f64::EPSILON {
+                        out.push_str(&format!("gauge {series} {}\n", trim_float(*value)));
+                    }
+                }
+                _ => {
+                    // Histogram movement reads fine off _count/_sum; the
+                    // per-bucket deltas would drown the report.
+                    let name = series.split('{').next().unwrap_or(series);
+                    if name.ends_with("_bucket") {
+                        continue;
+                    }
+                    let previous = first.samples.get(series).copied().unwrap_or(0.0);
+                    let delta = value - previous;
+                    if delta.abs() > f64::EPSILON && value.is_finite() {
+                        out.push_str(&format!("{kind} {series} +{}\n", trim_float(delta)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The declared family a series belongs to (resolving histogram
+    /// expansions), if any.
+    fn base_family<'a>(scrape: &'a Scrape, series: &'a str) -> Option<&'a str> {
+        let name = series.split('{').next().unwrap_or(series);
+        if scrape.families.contains_key(name) {
+            return Some(name);
+        }
+        ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+            name.strip_suffix(suffix)
+                .filter(|base| scrape.families.contains_key(*base))
+        })
+    }
+
+    /// All samples of one family (exact name match before any `{`).
+    fn series_of<'a>(samples: &'a Samples, family: &str) -> Vec<(&'a str, f64)> {
+        samples
+            .iter()
+            .filter(|(series, _)| {
+                let name = series.split('{').next().unwrap_or(series);
+                name == family
+            })
+            .map(|(series, value)| (series.as_str(), *value))
+            .collect()
+    }
+
+    /// Folds a histogram family's `_bucket` samples into per-labelset
+    /// count/sum/p50/p90/p99 summaries (quantiles read off the cumulative
+    /// bucket upper bounds, like the server does at scrape time).
+    fn histogram_summaries(scrape: &Scrape, family: &str) -> Vec<(String, String)> {
+        // Group buckets by the label set minus `le`.
+        let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        let prefix = format!("{family}_bucket{{");
+        for (series, value) in &scrape.samples {
+            let Some(labels) = series.strip_prefix(&prefix) else {
+                continue;
+            };
+            let labels = labels.trim_end_matches('}');
+            // Tokenize `k="v",k="v"` at the quote-comma boundary, restoring
+            // the closing quote the split consumed, and drop the `le` label
+            // — what remains keys the group.
+            let mut le = f64::INFINITY;
+            let mut rest: Vec<String> = Vec::new();
+            for token in labels.split("\",") {
+                if token.is_empty() {
+                    continue;
+                }
+                let token = if token.ends_with('"') {
+                    token.to_string()
+                } else {
+                    format!("{token}\"")
+                };
+                if let Some(raw) = token.strip_prefix("le=\"") {
+                    le = raw.trim_end_matches('"').parse().unwrap_or(f64::INFINITY);
+                } else {
+                    rest.push(token);
+                }
+            }
+            groups.entry(rest.join(",")).or_default().push((le, *value));
+        }
+        groups
+            .into_iter()
+            .map(|(labels, mut buckets)| {
+                buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let total = buckets.last().map(|(_, c)| *c).unwrap_or(0.0);
+                let sum_key = if labels.is_empty() {
+                    format!("{family}_sum")
+                } else {
+                    format!("{family}_sum{{{labels}}}")
+                };
+                let sum = scrape.samples.get(&sum_key).copied().unwrap_or(0.0);
+                let quantile = |q: f64| -> String {
+                    let target = q * total;
+                    for (le, cumulative) in &buckets {
+                        if *cumulative >= target {
+                            return trim_float(*le);
+                        }
+                    }
+                    "+Inf".to_string()
+                };
+                let series = if labels.is_empty() {
+                    family.to_string()
+                } else {
+                    format!("{family}{{{labels}}}")
+                };
+                let summary = if total == 0.0 {
+                    "count=0".to_string()
+                } else {
+                    format!(
+                        "count={} sum={} p50<={} p90<={} p99<={}",
+                        trim_float(total),
+                        trim_float(sum),
+                        quantile(0.50),
+                        quantile(0.90),
+                        quantile(0.99)
+                    )
+                };
+                (series, summary)
+            })
+            .collect()
+    }
+
+    /// Renders a float without trailing noise (counters print as integers).
+    fn trim_float(value: f64) -> String {
+        if value.is_infinite() {
+            return if value > 0.0 { "+Inf" } else { "-Inf" }.to_string();
+        }
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            format!("{}", value as i64)
+        } else {
+            format!("{value:.6}")
+        }
+    }
 }

@@ -21,7 +21,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a connection may sit idle mid-request before the handler gives
 /// up on it.
@@ -117,6 +117,10 @@ impl Lifecycle {
 pub(crate) trait Service: Send + Sync + Sized + 'static {
     /// The embedded stop/statistics state.
     fn lifecycle(&self) -> &Lifecycle;
+
+    /// The `service` label this service's requests carry in the metrics
+    /// registry (`"serve"`, `"router"`, …).
+    fn metrics_service() -> &'static str;
 
     /// Maximum concurrent connection jobs (0 = unbounded). Connections over
     /// the cap are rejected with `503` before a job is spawned.
@@ -357,6 +361,7 @@ fn handle_connection<S: Service>(stream: TcpStream, service: &Arc<S>) -> Turn {
             Persistence::Close
         };
         let mut body = http::LimitedReader::new(&mut reader, declared_length.unwrap_or(0));
+        let dispatched = Instant::now();
         let outcome = S::dispatch(
             service,
             &request,
@@ -364,6 +369,15 @@ fn handle_connection<S: Service>(stream: TcpStream, service: &Arc<S>) -> Turn {
             persistence,
             &mut body,
             &mut writer,
+        );
+        record_request(
+            S::metrics_service(),
+            &request.path,
+            match &outcome {
+                Ok(()) => 200,
+                Err(failure) => failure.status,
+            },
+            dispatched.elapsed(),
         );
         // Drain whatever of the declared body the handler never read:
         // closing with unread bytes in the receive queue makes the kernel
@@ -405,4 +419,45 @@ fn handle_connection<S: Service>(stream: TcpStream, service: &Arc<S>) -> Turn {
             return Turn::Close;
         }
     }
+}
+
+/// Folds one finished request into the process-wide metrics registry:
+/// per-endpoint request count and handler latency, plus a status-class
+/// count. The status is the *handler outcome* — a handler that writes its
+/// own non-200 head and returns `Ok` (the router's degraded `/healthz`)
+/// counts as `2xx` here; failures carry their real status. Unroutable paths
+/// (404/405) collapse into one `other` series so a scanner cannot mint
+/// unbounded label values.
+fn record_request(service: &'static str, path: &str, status: u16, elapsed: Duration) {
+    let endpoint = if status == 404 || status == 405 {
+        "other"
+    } else {
+        path
+    };
+    ec_obs::counter_with(
+        "ec_http_requests_total",
+        "Requests handled, by service and endpoint.",
+        &[("endpoint", endpoint), ("service", service)],
+    )
+    .inc();
+    let class = match status / 100 {
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        _ => "5xx",
+    };
+    ec_obs::counter_with(
+        "ec_http_responses_total",
+        "Handler outcomes by status class.",
+        &[("class", class), ("service", service)],
+    )
+    .inc();
+    ec_obs::histogram_with(
+        "ec_http_request_seconds",
+        "Wall time from parsed request head to handler completion.",
+        ec_obs::Unit::Seconds,
+        ec_obs::LATENCY_BUCKETS_US,
+        &[("endpoint", endpoint), ("service", service)],
+    )
+    .observe_duration(elapsed);
 }

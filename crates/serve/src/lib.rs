@@ -30,6 +30,7 @@
 //! | Endpoint | Behaviour |
 //! |---|---|
 //! | `GET /healthz` | liveness + request counter / pool size headers |
+//! | `GET /metrics` | the process-wide metrics registry in Prometheus text exposition |
 //! | `GET /library` | the program-library text snapshot + fast-path hit/miss totals |
 //! | `POST /library` | merge a posted snapshot into the library (the router's replication channel) |
 //! | `POST /pipeline?…` | flat CSV body → standardized (or golden) CSV, byte-identical to `ec pipeline` with the same flags |
@@ -128,6 +129,11 @@ pub struct ServeConfig {
     /// When set, every mutating (`POST`) endpoint requires
     /// `Authorization: Bearer <token>` and answers `401` without it.
     pub auth_token: Option<String>,
+    /// Bound on the `/ingest` session's per-cluster candidate cache
+    /// (`ec serve --ingest-cache-cap`); `None`/0 = unbounded. Eviction is
+    /// memory-only — evicted contributions are regenerated on demand, so
+    /// responses never change.
+    pub ingest_cache_cap: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -140,6 +146,7 @@ impl Default for ServeConfig {
             library_ttl: None,
             preloaded: None,
             auth_token: None,
+            ingest_cache_cap: None,
         }
     }
 }
@@ -176,14 +183,23 @@ struct ServerState {
     ingest: Mutex<Option<IngestSession>>,
     /// Lifetime fast-path hits: `/apply` cells the library resolved
     /// (rewritten or already canonical) plus `/ingest` records wholly
-    /// recognized from seen shapes. Surfaced on `GET /library`.
-    library_hits: AtomicU64,
+    /// recognized from seen shapes. Surfaced on `GET /library` and, as the
+    /// registry series behind that header, on `GET /metrics` — the counter
+    /// is a per-instance labeled series so several servers in one process
+    /// (tests, embedded fleets) never cross-pollute.
+    library_hits: ec_obs::Counter,
     /// Lifetime fast-path misses: `/apply` cells no program covered plus
     /// `/ingest` records that entered the residue path.
-    library_misses: AtomicU64,
+    library_misses: ec_obs::Counter,
+    /// Bound on the `/ingest` session's per-cluster candidate cache.
+    ingest_cache_cap: Option<usize>,
     auth_token: Option<String>,
     life: Lifecycle,
 }
+
+/// Distinguishes the per-instance registry series of multiple servers in
+/// one process.
+static INSTANCE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl ServerState {
     /// Expires TTL-stale library entries. Lazy by design: a sweep runs on
@@ -199,6 +215,10 @@ impl ServerState {
 impl Service for ServerState {
     fn lifecycle(&self) -> &Lifecycle {
         &self.life
+    }
+
+    fn metrics_service() -> &'static str {
+        "serve"
     }
 
     fn max_connections(&self) -> usize {
@@ -270,6 +290,17 @@ impl Server {
         let pool = pool::configure_shared(config.threads);
         let mut library = config.library;
         library.set_ttl(config.library_ttl);
+        let instance = INSTANCE_SEQ.fetch_add(1, Ordering::Relaxed).to_string();
+        let library_hits = ec_obs::counter_with(
+            "ec_library_hits_total",
+            "Library fast-path hits: /apply cells the library resolved plus /ingest records wholly recognized from seen shapes.",
+            &[("instance", &instance)],
+        );
+        let library_misses = ec_obs::counter_with(
+            "ec_library_misses_total",
+            "Library fast-path misses: /apply cells no program covered plus /ingest records that entered the residue path.",
+            &[("instance", &instance)],
+        );
         let state = Arc::new(ServerState {
             library: RwLock::new(library),
             threads: if config.threads == 0 {
@@ -280,8 +311,9 @@ impl Server {
             max_connections: config.max_connections,
             preloaded: config.preloaded,
             ingest: Mutex::new(None),
-            library_hits: AtomicU64::new(0),
-            library_misses: AtomicU64::new(0),
+            library_hits,
+            library_misses,
+            ingest_cache_cap: config.ingest_cache_cap,
             auth_token: config.auth_token,
             life: Lifecycle::new(listener.local_addr()?),
         });
@@ -333,6 +365,7 @@ fn dispatch(
     }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(writer, state, persistence),
+        ("GET", "/metrics") => handle_metrics(writer, persistence),
         ("GET", "/library") => handle_library(writer, state, persistence),
         ("POST", "/library") => {
             require_body()?;
@@ -404,6 +437,26 @@ fn io_failure(e: io::Error) -> HttpFailure {
     HttpFailure::new(500, format!("io error: {e}"))
 }
 
+/// `GET /metrics`: the process-wide registry in Prometheus text exposition.
+/// Open like `/healthz` — the scrape is read-only, and health probes and
+/// metric collectors sit on the same trust boundary. Shared with the router
+/// (one registry per process either way).
+pub(crate) fn handle_metrics(
+    writer: &mut BufWriter<TcpStream>,
+    persistence: Persistence,
+) -> HandlerResult {
+    let body = ec_obs::render();
+    http::write_response(
+        writer,
+        200,
+        "text/plain; version=0.0.4",
+        &[],
+        persistence,
+        body.as_bytes(),
+    )
+    .map_err(io_failure)
+}
+
 fn handle_healthz(
     writer: &mut BufWriter<TcpStream>,
     state: &ServerState,
@@ -463,11 +516,11 @@ fn handle_library(
         // Lifetime fast-path totals across `/apply` and `/ingest`.
         (
             "X-Ec-Library-Hits".to_string(),
-            state.library_hits.load(Ordering::Relaxed).to_string(),
+            state.library_hits.get().to_string(),
         ),
         (
             "X-Ec-Library-Misses".to_string(),
-            state.library_misses.load(Ordering::Relaxed).to_string(),
+            state.library_misses.get().to_string(),
         ),
     ];
     let snapshot = library.to_snapshot();
@@ -873,18 +926,15 @@ fn handle_ingest(
                 .with_threads(state.threads),
                 mode,
                 truth,
-            ),
+            )
+            .with_cache_cap(state.ingest_cache_cap),
             params,
         });
     }
     let session = guard.as_mut().expect("the session was just ensured");
     let report = session.delta.ingest_batch(records);
-    state
-        .library_hits
-        .fetch_add(report.library_hits as u64, Ordering::Relaxed);
-    state
-        .library_misses
-        .fetch_add(report.residue as u64, Ordering::Relaxed);
+    state.library_hits.add(report.library_hits as u64);
+    state.library_misses.add(report.residue as u64);
     // Everything the session has learned folds into the serving library, so
     // `/apply` standardizes through it immediately (merging is idempotent —
     // re-merging the whole session library each batch only adds new entries).
@@ -1055,10 +1105,8 @@ fn finish_apply_body(
 ) -> HandlerResult {
     let hits = report.cells_rewritten + report.cells_unchanged;
     let misses = report.cells_unmatched;
-    state.library_hits.fetch_add(hits as u64, Ordering::Relaxed);
-    state
-        .library_misses
-        .fetch_add(misses as u64, Ordering::Relaxed);
+    state.library_hits.add(hits as u64);
+    state.library_misses.add(misses as u64);
     body_writer
         .finish(&[
             ("X-Ec-Records".to_string(), report.records.to_string()),
@@ -1356,14 +1404,19 @@ mod tests {
         assert_eq!(rejected.status, 503);
         assert_eq!(rejected.header("retry-after"), Some("1"));
         assert_eq!(rejected.header("connection"), Some("close"));
-        // Releasing the slot re-admits new connections.
+        // Releasing the slot re-admits new connections. Until the holder's
+        // job notices the hangup, requests still trip the cap — and the
+        // inline rejection can reset the connection mid-write exactly like
+        // above, so errors here are retried, not fatal.
         drop(holder);
         let mut recovered = None;
         for _ in 0..100 {
-            let response = http::request(handle.addr(), "GET", "/healthz", b"").unwrap();
-            if response.status == 200 {
-                recovered = Some(response);
-                break;
+            match http::request(handle.addr(), "GET", "/healthz", b"") {
+                Ok(response) if response.status == 200 => {
+                    recovered = Some(response);
+                    break;
+                }
+                Ok(_) | Err(_) => {}
             }
             std::thread::sleep(Duration::from_millis(20));
         }

@@ -351,6 +351,10 @@ impl Service for RouterState {
         &self.life
     }
 
+    fn metrics_service() -> &'static str {
+        "router"
+    }
+
     fn max_connections(&self) -> usize {
         self.max_connections
     }
@@ -393,6 +397,7 @@ impl Service for RouterState {
         }
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => handle_healthz(this, writer, persistence),
+            ("GET", "/metrics") => crate::handle_metrics(writer, persistence),
             ("GET", "/library") => handle_library(this, writer, persistence),
             ("POST", "/library") => {
                 require_body()?;
@@ -449,7 +454,17 @@ impl RouterState {
     /// per call — pooled connections keep whatever the previous caller set.
     fn acquire(&self, index: usize, fresh: bool, read_timeout: Duration) -> io::Result<Lease<'_>> {
         let backend = &self.backends[index];
-        let deadline = Instant::now() + read_timeout;
+        let started = Instant::now();
+        let deadline = started + read_timeout;
+        // How long this call waited for a usable connection — pool wait plus
+        // any dial. Per-backend, so one saturated backend shows up by name.
+        let lease_wait = ec_obs::histogram_with(
+            "ec_router_lease_wait_seconds",
+            "Wall time a request waited to lease a backend connection (pool wait plus dial).",
+            ec_obs::Unit::Seconds,
+            ec_obs::LATENCY_BUCKETS_US,
+            &[("backend", &backend.name)],
+        );
         let mut pool = backend.pool.lock().unwrap();
         loop {
             if fresh {
@@ -466,6 +481,7 @@ impl RouterState {
                     conn: Some(conn),
                 };
                 lease.conn().set_read_timeout(Some(read_timeout))?;
+                lease_wait.observe_duration(started.elapsed());
                 return Ok(lease);
             }
             if pool.total < backend.budget.load(Ordering::Relaxed).max(1) {
@@ -481,6 +497,7 @@ impl RouterState {
                 let conn = ClientConn::connect(backend.addr, Some(CONNECT_TIMEOUT))?;
                 conn.set_read_timeout(Some(read_timeout))?;
                 lease.conn = Some(conn);
+                lease_wait.observe_duration(started.elapsed());
                 return Ok(lease);
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
@@ -663,6 +680,14 @@ impl RouterState {
         let previous = self.backends[from]
             .synced_version
             .fetch_max(version, Ordering::AcqRel);
+        // How many library versions the fleet is behind this source backend:
+        // nonzero while a fan-out is in flight, zero at steady state.
+        let lag = ec_obs::gauge_with(
+            "ec_router_replication_lag",
+            "Library versions published by a backend but not yet fanned out to its peers.",
+            &[("backend", &self.backends[from].name)],
+        );
+        lag.set(version.saturating_sub(previous) as i64);
         if previous >= version {
             return;
         }
@@ -681,6 +706,7 @@ impl RouterState {
                 BACKEND_READ_TIMEOUT,
             );
         }
+        lag.set(0);
     }
 }
 
@@ -714,10 +740,23 @@ fn probe_backend(addr: SocketAddr) -> (bool, Option<usize>) {
 /// transitioning *up* is re-seeded with a healthy peer's library before it
 /// rejoins the ring, closing the replication gap its downtime opened.
 fn probe_loop(state: &Arc<RouterState>) {
+    // Consecutive failed probes per backend, for the transition log: reset
+    // on success, so a recovery line reports how long the outage looked
+    // from here.
+    let mut failed_probes = vec![0u64; state.backends.len()];
     while !state.life.stopping() {
         for (index, backend) in state.backends.iter().enumerate() {
             let was_healthy = backend.is_healthy();
             let (now_healthy, threads) = probe_backend(backend.addr);
+            if !now_healthy {
+                failed_probes[index] += 1;
+            }
+            if now_healthy != was_healthy {
+                log_probe_transition(&backend.name, now_healthy, failed_probes[index]);
+            }
+            if now_healthy {
+                failed_probes[index] = 0;
+            }
             if let Some(threads) = threads {
                 let budget = (threads + CONN_BUDGET_HEADROOM).clamp(2, MAX_CONN_BUDGET);
                 backend.budget.store(budget, Ordering::Relaxed);
@@ -742,6 +781,37 @@ fn probe_loop(state: &Arc<RouterState>) {
             remaining -= slice;
         }
     }
+}
+
+/// Logs one health-state transition the probe loop observed — once per
+/// flip, to stderr, with a unix timestamp and the consecutive-failure count
+/// so an operator can read flap frequency and outage length straight off
+/// the log. Also counts the transition in the metrics registry.
+fn log_probe_transition(backend: &str, now_healthy: bool, failed_probes: u64) {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    if now_healthy {
+        eprintln!(
+            "[ec-router] t={unix_secs} backend {backend} down -> up \
+             (recovered after {failed_probes} consecutive failed probes)"
+        );
+    } else {
+        eprintln!(
+            "[ec-router] t={unix_secs} backend {backend} up -> down \
+             (consecutive failed probes: {failed_probes})"
+        );
+    }
+    ec_obs::counter_with(
+        "ec_router_probe_transitions_total",
+        "Backend health-state transitions observed by the probe loop.",
+        &[
+            ("backend", backend),
+            ("to", if now_healthy { "up" } else { "down" }),
+        ],
+    )
+    .inc();
 }
 
 /// Copies a healthy peer's library onto a backend that just came back.

@@ -59,6 +59,7 @@ pub use ec_graph as graph;
 pub use ec_grouping as grouping;
 pub use ec_index as index;
 pub use ec_metrics as metrics;
+pub use ec_obs as obs;
 pub use ec_profile as profile;
 pub use ec_replace as replace;
 pub use ec_report as report;
