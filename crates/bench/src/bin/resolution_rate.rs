@@ -1,0 +1,379 @@
+//! `resolution_rate`: pair-scoring throughput of the bit-parallel similarity
+//! kernels against the frozen textbook references.
+//!
+//! For every similarity measure × input class (short ASCII, long ASCII past
+//! the 64-character single-word Myers limit, multi-byte Unicode) the harness
+//! scores the same deterministic set of string pairs twice — once through the
+//! rewritten [`ec_resolution::SimilarityMeasure::score`] kernels and once
+//! through [`ec_resolution::reference`] — and reports pairs/second for both.
+//! Every pair is also byte-compared (`f64::to_bits`): the benchmark *is* a
+//! differential test, and any divergence fails the run. A second section
+//! resolves a synthetic corpus end-to-end sequentially and sharded, checking
+//! that [`ec_resolution::Resolver::match_pairs`] is bit-identical at any
+//! thread count while reporting the wall-clock win.
+//!
+//! Results print as a table and export as `BENCH_resolution.json` (schema
+//! `resolution/v1`) to `EC_BENCH_EXPORT_DIR` (or the current directory). The
+//! report embeds the `ec-obs` registry movement of the
+//! `ec_resolution_*` counters (kernel ASCII/Unicode path split, pairs
+//! early-abandoned below threshold).
+//!
+//! Usage: `resolution_rate [--pairs N] [--threads N]` (defaults: 4000 pairs
+//! per cell, 4 threads for the sharded section).
+
+use ec_bench::{export_artifact, metrics_delta_json};
+use ec_report::TextTable;
+use ec_resolution::{
+    reference, Parallelism, RawRecord, Resolver, ResolverConfig, SimilarityMeasure,
+};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+struct Options {
+    pairs: usize,
+    threads: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        pairs: 4000,
+        threads: 4,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Result<usize, String> {
+            args.next()
+                .ok_or_else(|| format!("--{name} expects a value"))?
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer"))
+        };
+        match flag.as_str() {
+            "--pairs" => options.pairs = value("pairs")?.max(1),
+            "--threads" => options.threads = value("threads")?.max(1),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+/// A tiny deterministic generator (splitmix64) so every run scores the same
+/// pairs without pulling in an RNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick<T: Copy>(&mut self, from: &[T]) -> T {
+        from[(self.next() % from.len() as u64) as usize]
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo + 1) as u64) as usize
+    }
+}
+
+/// The three input classes; each stresses a different kernel path.
+#[derive(Clone, Copy, PartialEq)]
+enum Class {
+    /// Entity-like short ASCII fields — the common case, single-word Myers.
+    Ascii,
+    /// 70–120 character ASCII — the blocked multi-word Myers kernel.
+    LongAscii,
+    /// Multi-byte code points — the Unicode fallback path.
+    Unicode,
+}
+
+impl Class {
+    fn label(self) -> &'static str {
+        match self {
+            Class::Ascii => "ascii",
+            Class::LongAscii => "long-ascii",
+            Class::Unicode => "unicode",
+        }
+    }
+
+    /// One synthetic string; pairs are drawn from a shared pool so a realistic
+    /// share of near-duplicates (trailing edits on the same stem) appears.
+    fn synth(self, rng: &mut Rng) -> String {
+        const FIRST: [&str; 6] = ["mary", "james", "patricia", "robert", "linda", "michael"];
+        const LAST: [&str; 6] = ["lee", "smith", "johnson", "brown", "garcia", "miller"];
+        const GREEK: [char; 8] = ['α', 'β', 'γ', 'δ', 'é', 'ü', '中', '文'];
+        match self {
+            Class::Ascii => {
+                format!(
+                    "{} {}{} {} st",
+                    rng.pick(&FIRST),
+                    rng.pick(&LAST),
+                    rng.range(0, 99),
+                    rng.range(1, 999),
+                )
+            }
+            Class::LongAscii => {
+                let mut s = String::new();
+                while s.len() < rng.range(70, 120) {
+                    s.push_str(rng.pick(&FIRST));
+                    s.push(' ');
+                    s.push_str(rng.pick(&LAST));
+                    s.push_str(&rng.range(0, 9).to_string());
+                    s.push(' ');
+                }
+                s
+            }
+            Class::Unicode => {
+                let len = rng.range(4, 24);
+                (0..len)
+                    .map(|i| if i % 5 == 4 { ' ' } else { rng.pick(&GREEK) })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Deterministic string pairs for one class.
+fn synth_pairs(class: Class, n: usize) -> Vec<(String, String)> {
+    let mut rng = Rng(0x5eed_0000 + class.label().len() as u64);
+    (0..n)
+        .map(|_| {
+            let a = class.synth(&mut rng);
+            // Half the pairs are near-duplicates: the same string with a
+            // couple of trailing edits, like real entity spellings.
+            let b = if rng.next() % 2 == 0 {
+                let mut b = a.clone();
+                b.pop();
+                b.push(rng.pick(&['x', 'y', 'z', 'é']));
+                b
+            } else {
+                class.synth(&mut rng)
+            };
+            (a, b)
+        })
+        .collect()
+}
+
+/// Times `f` over all pairs, folding every score into a black-boxed sum so
+/// the work cannot be optimized away.
+fn time_all(pairs: &[(String, String)], mut f: impl FnMut(&str, &str) -> f64) -> Duration {
+    let started = Instant::now();
+    let mut sum = 0.0f64;
+    for (a, b) in pairs {
+        sum += f(a, b);
+    }
+    black_box(sum);
+    started.elapsed()
+}
+
+struct KernelPoint {
+    measure: &'static str,
+    class: &'static str,
+    pairs: usize,
+    new_rate: f64,
+    reference_rate: f64,
+    identical: bool,
+}
+
+impl KernelPoint {
+    fn speedup(&self) -> f64 {
+        self.new_rate / self.reference_rate.max(1e-9)
+    }
+}
+
+/// One benchmark cell: warm both implementations, time both, verify bitwise
+/// agreement on every pair.
+fn run_kernel(
+    measure: SimilarityMeasure,
+    label: &'static str,
+    class: Class,
+    pairs: &[(String, String)],
+) -> KernelPoint {
+    let identical = pairs
+        .iter()
+        .all(|(a, b)| measure.score(a, b).to_bits() == reference::score(measure, a, b).to_bits());
+    let new_elapsed = time_all(pairs, |a, b| measure.score(a, b));
+    let reference_elapsed = time_all(pairs, |a, b| reference::score(measure, a, b));
+    let rate = |d: Duration| pairs.len() as f64 / d.as_secs_f64().max(1e-9);
+    KernelPoint {
+        measure: label,
+        class: class.label(),
+        pairs: pairs.len(),
+        new_rate: rate(new_elapsed),
+        reference_rate: rate(reference_elapsed),
+        identical,
+    }
+}
+
+struct ResolvePoint {
+    records: usize,
+    decisions: usize,
+    threads: usize,
+    sequential: Duration,
+    sharded: Duration,
+    identical: bool,
+}
+
+/// End-to-end sharding check: `match_pairs` sequentially vs over `threads`
+/// worker shards must produce bit-identical decisions.
+fn run_resolve(threads: usize) -> ResolvePoint {
+    let mut rng = Rng(0xabcd);
+    let records: Vec<RawRecord> = (0..600)
+        .map(|i| {
+            RawRecord::new(
+                i % 4,
+                [Class::Ascii.synth(&mut rng), Class::Ascii.synth(&mut rng)],
+            )
+        })
+        .collect();
+    let config = ResolverConfig::default();
+    let sequential_resolver =
+        Resolver::new(config.clone()).with_parallelism(Parallelism::SEQUENTIAL);
+    let sharded_resolver = Resolver::new(config).with_parallelism(Parallelism::fixed(threads));
+
+    let started = Instant::now();
+    let sequential = sequential_resolver.match_pairs(&records);
+    let sequential_elapsed = started.elapsed();
+    let started = Instant::now();
+    let sharded = sharded_resolver.match_pairs(&records);
+    let sharded_elapsed = started.elapsed();
+
+    let identical = sequential.len() == sharded.len()
+        && sequential.iter().zip(&sharded).all(|(x, y)| {
+            (x.a, x.b, x.is_match) == (y.a, y.b, y.is_match)
+                && x.score.to_bits() == y.score.to_bits()
+        });
+    ResolvePoint {
+        records: records.len(),
+        decisions: sequential.len(),
+        threads,
+        sequential: sequential_elapsed,
+        sharded: sharded_elapsed,
+        identical,
+    }
+}
+
+fn json_report(
+    options: &Options,
+    kernels: &[KernelPoint],
+    resolve: &ResolvePoint,
+    metrics_json: &str,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"resolution/v1\",\n");
+    out.push_str(&format!("  \"pairs_per_cell\": {},\n", options.pairs));
+    out.push_str("  \"kernels\": [\n");
+    for (i, p) in kernels.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"measure\": \"{}\", \"class\": \"{}\", \"pairs\": {}, \
+             \"pairs_per_sec\": {:.0}, \"reference_pairs_per_sec\": {:.0}, \
+             \"speedup\": {:.2}, \"bitwise_identical\": {}}}{}\n",
+            p.measure,
+            p.class,
+            p.pairs,
+            p.new_rate,
+            p.reference_rate,
+            p.speedup(),
+            p.identical,
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"resolve\": {{\"records\": {}, \"decisions\": {}, \"threads\": {}, \
+         \"sequential_ms\": {:.2}, \"sharded_ms\": {:.2}, \"speedup\": {:.2}, \
+         \"bitwise_identical\": {}}},\n",
+        resolve.records,
+        resolve.decisions,
+        resolve.threads,
+        resolve.sequential.as_secs_f64() * 1e3,
+        resolve.sharded.as_secs_f64() * 1e3,
+        resolve.sequential.as_secs_f64() / resolve.sharded.as_secs_f64().max(1e-9),
+        resolve.identical,
+    ));
+    out.push_str(&format!("  \"metrics\": {metrics_json}\n"));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("resolution_rate: {message}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "resolution_rate: {} pairs per cell, sharded resolve on {} threads",
+        options.pairs, options.threads
+    );
+
+    let measures: [(SimilarityMeasure, &'static str); 6] = [
+        (SimilarityMeasure::Levenshtein, "levenshtein"),
+        (SimilarityMeasure::DamerauLevenshtein, "damerau"),
+        (SimilarityMeasure::Jaro, "jaro"),
+        (SimilarityMeasure::JaroWinkler, "jaro-winkler"),
+        (SimilarityMeasure::Jaccard, "jaccard"),
+        (SimilarityMeasure::QgramCosine(2), "qgram-cosine-2"),
+    ];
+    let classes = [Class::Ascii, Class::LongAscii, Class::Unicode];
+
+    let obs_before = ec_obs::render();
+    let mut kernels = Vec::new();
+    for class in classes {
+        let pairs = synth_pairs(class, options.pairs);
+        for (measure, label) in measures {
+            kernels.push(run_kernel(measure, label, class, &pairs));
+        }
+    }
+
+    // Drive the threshold path too, so the abandoned-pairs counter moves and
+    // the exported metrics show the early-abandon rate on a realistic corpus.
+    let resolve = run_resolve(options.threads);
+    let metrics_json = metrics_delta_json(&obs_before, &ec_obs::render(), &["ec_resolution_"]);
+
+    let mut table = TextTable::new([
+        "measure",
+        "class",
+        "pairs/s",
+        "ref pairs/s",
+        "speedup",
+        "ok",
+    ]);
+    for p in &kernels {
+        table.push_row([
+            p.measure.to_string(),
+            p.class.to_string(),
+            format!("{:.0}", p.new_rate),
+            format!("{:.0}", p.reference_rate),
+            format!("{:.2}", p.speedup()),
+            if p.identical { "bitwise" } else { "DIVERGED" }.to_string(),
+        ]);
+    }
+    println!("{}", table.to_plain_text());
+    println!(
+        "resolve: {} records, {} decisions, {:.1}ms sequential vs {:.1}ms on {} threads ({})",
+        resolve.records,
+        resolve.decisions,
+        resolve.sequential.as_secs_f64() * 1e3,
+        resolve.sharded.as_secs_f64() * 1e3,
+        resolve.threads,
+        if resolve.identical {
+            "bitwise identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    export_artifact(
+        "BENCH_resolution.json",
+        &json_report(&options, &kernels, &resolve, &metrics_json),
+    );
+
+    if kernels.iter().any(|p| !p.identical) || !resolve.identical {
+        eprintln!("resolution_rate: rewritten kernels diverged from the reference");
+        std::process::exit(1);
+    }
+}

@@ -94,7 +94,7 @@ fn accepted(command: &str) -> Option<(&'static [&'static str], &'static [&'stati
             ],
             &[],
         )),
-        "resolve" => Some((&["input", "threshold", "output", "name"], &[])),
+        "resolve" => Some((&["input", "threshold", "output", "name", "threads"], &[])),
         "pipeline" => Some((
             &[
                 "input",
@@ -237,6 +237,7 @@ SUBCOMMANDS:
   resolve      cluster flat (unresolved) records into a clustered CSV,
                streaming the input record by record
                  --input FILE  [--threshold T]  [--name NAME]  [--output FILE]
+                 [--threads N]
   pipeline     fused resolve + consolidate: flat record CSV in, golden-record
                CSV out, with no intermediate clustered file; output is
                bit-identical to running resolve then consolidate

@@ -530,7 +530,8 @@ pub fn resolve(
     let resolver = Resolver::new(ResolverConfig {
         threshold,
         ..ResolverConfig::default()
-    });
+    })
+    .with_parallelism(Parallelism::from(parsed.get_usize("threads", 0)?));
     let dataset = resolver
         .resolve_stream(name, &mut stream)
         .map_err(|e| CliError::Data(e.to_string()))?;

@@ -208,8 +208,9 @@ impl DeltaPipeline {
         truth: TruthMethod,
     ) -> Self {
         let num_columns = columns.len();
+        let parallelism = consolidation.candidates.parallelism;
         DeltaPipeline {
-            resolver: DeltaResolver::new(resolver),
+            resolver: DeltaResolver::new(resolver).with_parallelism(parallelism),
             pipeline: Pipeline::new(consolidation),
             mode,
             truth,

@@ -41,8 +41,11 @@ pub struct FusedPipeline {
 impl FusedPipeline {
     /// Creates a fused pipeline from the two stages' configurations.
     pub fn new(resolver: ResolverConfig, consolidation: ConsolidationConfig) -> Self {
+        // Pair scoring shards over the same thread budget as the
+        // consolidation stages; output is bit-identical for every setting.
+        let parallelism = consolidation.candidates.parallelism;
         FusedPipeline {
-            resolver: Resolver::new(resolver),
+            resolver: Resolver::new(resolver).with_parallelism(parallelism),
             pipeline: Pipeline::new(consolidation),
         }
     }

@@ -10,9 +10,9 @@
 //! * **sorted neighborhood** — records are sorted by a blocking key and every
 //!   pair within a sliding window becomes a candidate.
 
-use crate::tokenize::{normalize, words};
+use crate::tokenize::{normalize_into, words_into, TokenBuf};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Configuration of candidate-pair generation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,76 +54,92 @@ pub(crate) fn blocking_columns(config: &BlockingConfig, num_columns: usize) -> V
 /// a blocking column becomes a candidate. Pairs are returned deduplicated,
 /// ordered, and with `a < b`.
 ///
-/// `records[i]` is the field vector of record `i`.
-pub fn token_blocking_pairs(
-    records: &[Vec<String>],
+/// `records[i]` is anything that exposes the field slice of record `i` —
+/// `Vec<String>` or a borrowed [`crate::matcher::RawRecord`] — so callers
+/// never have to clone fields just to run blocking. Tokenization goes through
+/// one reused [`TokenBuf`] (distinct tokens per record, no per-token
+/// allocation).
+pub fn token_blocking_pairs<R: AsRef<[String]>>(
+    records: &[R],
     config: &BlockingConfig,
 ) -> Vec<(usize, usize)> {
     if records.is_empty() {
         return Vec::new();
     }
-    let cols = blocking_columns(config, records[0].len());
+    let cols = blocking_columns(config, records[0].as_ref().len());
     let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut buf = TokenBuf::new();
     for (id, record) in records.iter().enumerate() {
-        let mut seen: HashSet<String> = HashSet::new();
+        let fields = record.as_ref();
+        buf.clear();
         for &col in &cols {
-            for token in words(&record[col]) {
-                if seen.insert(token.clone()) {
-                    blocks.entry(token).or_default().push(id);
-                }
+            words_into(&fields[col], &mut buf);
+        }
+        let distinct = buf.sort_dedup_tokens();
+        for i in 0..distinct {
+            let token = buf.token(i);
+            if let Some(ids) = blocks.get_mut(token) {
+                ids.push(id);
+            } else {
+                blocks.insert(token.to_string(), vec![id]);
             }
         }
     }
-    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
     for ids in blocks.values() {
         if ids.len() < 2 || ids.len() > config.max_block_size {
             continue;
         }
         for (i, &a) in ids.iter().enumerate() {
             for &b in ids.iter().skip(i + 1) {
-                pairs.insert((a.min(b), a.max(b)));
+                pairs.push((a.min(b), a.max(b)));
             }
         }
     }
-    let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
-    out.sort_unstable();
-    out
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
 }
 
 /// Sorted-neighborhood blocking: records are sorted by the concatenation of
 /// their normalized blocking-column values, and every pair within a sliding
 /// window of size `config.window` becomes a candidate. Pairs are returned
 /// deduplicated, ordered, and with `a < b`.
-pub fn sorted_neighborhood_pairs(
-    records: &[Vec<String>],
+pub fn sorted_neighborhood_pairs<R: AsRef<[String]>>(
+    records: &[R],
     config: &BlockingConfig,
 ) -> Vec<(usize, usize)> {
     if records.len() < 2 || config.window < 2 {
         return Vec::new();
     }
-    let cols = blocking_columns(config, records[0].len());
+    let cols = blocking_columns(config, records[0].as_ref().len());
+    let mut scratch = String::new();
     let mut keyed: Vec<(String, usize)> = records
         .iter()
         .enumerate()
         .map(|(id, record)| {
-            let key = cols
-                .iter()
-                .map(|&c| normalize(&record[c]))
-                .collect::<Vec<_>>()
-                .join("\u{1}");
+            let fields = record.as_ref();
+            let mut key = String::new();
+            for (i, &c) in cols.iter().enumerate() {
+                if i > 0 {
+                    key.push('\u{1}');
+                }
+                normalize_into(&fields[c], &mut scratch);
+                key.push_str(&scratch);
+            }
             (key, id)
         })
         .collect();
     keyed.sort();
-    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
     for (i, (_, a)) in keyed.iter().enumerate() {
         for (_, b) in keyed.iter().skip(i + 1).take(config.window - 1) {
-            pairs.insert((*a.min(b), *a.max(b)));
+            pairs.push((*a.min(b), *a.max(b)));
         }
     }
-    let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
-    out.sort_unstable();
-    out
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
 }
 
 #[cfg(test)]
@@ -190,7 +206,7 @@ mod tests {
 
     #[test]
     fn token_blocking_empty_input() {
-        assert!(token_blocking_pairs(&[], &BlockingConfig::default()).is_empty());
+        assert!(token_blocking_pairs::<Vec<String>>(&[], &BlockingConfig::default()).is_empty());
     }
 
     #[test]
@@ -226,7 +242,9 @@ mod tests {
 
     #[test]
     fn sorted_neighborhood_degenerate_inputs() {
-        assert!(sorted_neighborhood_pairs(&[], &BlockingConfig::default()).is_empty());
+        assert!(
+            sorted_neighborhood_pairs::<Vec<String>>(&[], &BlockingConfig::default()).is_empty()
+        );
         let one = vec![vec!["a".to_string()]];
         assert!(sorted_neighborhood_pairs(&one, &BlockingConfig::default()).is_empty());
         let cfg = BlockingConfig {

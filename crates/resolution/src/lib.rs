@@ -7,9 +7,14 @@
 //! clusters. So that this repository is usable end-to-end on raw (unclustered)
 //! records, this crate implements that substrate from scratch:
 //!
-//! * [`tokenize`] — normalization, word and q-gram tokenizers;
+//! * [`tokenize`] — normalization, word and q-gram tokenizers, plus the
+//!   scratch-based variants ([`tokenize::TokenBuf`], [`tokenize::words_into`])
+//!   the hot paths use;
 //! * [`similarity`] — edit distance, Damerau–Levenshtein, Jaro / Jaro–Winkler,
-//!   Jaccard and q-gram cosine similarity;
+//!   Jaccard and q-gram cosine similarity, implemented as allocation-free
+//!   bit-parallel kernels with threshold-aware early-abandon entry points;
+//! * [`reference`] — the pre-rewrite textbook kernels, frozen verbatim as
+//!   differential test references and benchmark baselines;
 //! * [`blocking`] — token blocking and sorted-neighborhood candidate
 //!   generation so that resolution does not need to compare all `O(n²)` pairs;
 //! * [`unionfind`] — a disjoint-set forest used to turn matching pairs into
@@ -48,19 +53,23 @@
 
 pub mod blocking;
 pub mod matcher;
+pub mod reference;
 pub mod similarity;
 pub mod streaming;
 pub mod tokenize;
 pub mod unionfind;
 
 pub use blocking::{sorted_neighborhood_pairs, token_blocking_pairs, BlockingConfig};
-pub use matcher::{BlockingScheme, ColumnRule, MatchDecision, RawRecord, Resolver, ResolverConfig};
+pub use ec_graph::Parallelism;
+pub use matcher::{
+    BlockingScheme, ColumnRule, CompiledRules, MatchDecision, RawRecord, Resolver, ResolverConfig,
+};
 pub use similarity::{
     damerau_levenshtein, jaccard, jaro, jaro_winkler, levenshtein, normalized_levenshtein,
-    qgram_cosine, SimilarityMeasure,
+    qgram_cosine, take_kernel_path_counts, SimilarityMeasure, EARLY_ABANDON_MARGIN,
 };
 pub use streaming::{DeltaResolver, StreamingResolver};
-pub use tokenize::{normalize, qgrams, words};
+pub use tokenize::{normalize, normalize_into, qgrams, words, words_into, TokenBuf};
 pub use unionfind::UnionFind;
 
 /// The most commonly used items, re-exported flat.

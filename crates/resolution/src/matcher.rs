@@ -7,12 +7,29 @@
 //! clusters. [`Resolver::resolve_to_dataset`] additionally packages the result
 //! as an [`ec_data::Dataset`] so the consolidation pipeline can run directly
 //! on resolver output.
+//!
+//! # Scoring architecture
+//!
+//! The per-pair work is compiled out of the hot loop: [`CompiledRules`]
+//! resolves a config's effective rules and weight sums once per resolve (per
+//! column arity), pair scoring shards across the shared worker pool in
+//! contiguous chunks merged in candidate order (the same pattern as
+//! `ec-replace`'s candidate generation), and the threshold-only paths
+//! ([`Resolver::resolve`], `StreamingResolver::finish`) use early-abandon
+//! scoring ([`CompiledRules::decide_score`]) that skips similarity kernels
+//! when a cheap upper bound proves the pair cannot reach the threshold.
+//! Every path is **bit-identical** to sequential exact scoring: exact scores
+//! are returned wherever a score is observable ([`MatchDecision::score`], the
+//! delta resolver's cache), and abandoned pairs are provably sub-threshold
+//! (see [`crate::similarity::SimilarityMeasure::score_at_least`]).
 
 use crate::blocking::{sorted_neighborhood_pairs, token_blocking_pairs, BlockingConfig};
-use crate::similarity::SimilarityMeasure;
+use crate::similarity::{take_kernel_path_counts, SimilarityMeasure};
 use crate::unionfind::UnionFind;
 use ec_data::{Cell, Cluster, Dataset, Row};
+use ec_graph::{Parallelism, PoolTask};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// An unclustered input record.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,6 +52,14 @@ impl RawRecord {
             source,
             fields: fields.into_iter().map(Into::into).collect(),
         }
+    }
+}
+
+impl AsRef<[String]> for RawRecord {
+    /// The field slice — lets blocking run directly over borrowed records
+    /// instead of cloning every field vector.
+    fn as_ref(&self) -> &[String] {
+        &self.fields
     }
 }
 
@@ -100,25 +125,27 @@ pub struct MatchDecision {
     pub is_match: bool,
 }
 
-/// The entity resolver.
+/// A config's scoring rules compiled for one column arity: the effective rule
+/// list, the total weight, and per-rule suffix weight sums. Hoists what the
+/// old per-pair path re-derived (and re-allocated) for every single pair, and
+/// carries the bookkeeping the early-abandon loop needs.
 #[derive(Debug, Clone)]
-pub struct Resolver {
-    config: ResolverConfig,
+pub struct CompiledRules {
+    rules: Vec<ColumnRule>,
+    total_weight: f64,
+    /// `suffix_weight[i]` — the summed weight of the rules *after* `i`, i.e.
+    /// the maximum score mass still ahead once rule `i` is being evaluated.
+    /// Feeds only abandon bounds, never a returned score.
+    suffix_weight: Vec<f64>,
 }
 
-impl Resolver {
-    /// Creates a resolver with the given configuration.
-    pub fn new(config: ResolverConfig) -> Self {
-        Resolver { config }
-    }
-
-    /// The configuration in use.
-    pub fn config(&self) -> &ResolverConfig {
-        &self.config
-    }
-
-    fn effective_rules(&self, num_columns: usize) -> Vec<ColumnRule> {
-        if self.config.rules.is_empty() {
+impl CompiledRules {
+    /// Compiles `config`'s effective rules for records with `num_columns`
+    /// columns: an empty rule list means Jaro–Winkler on every column at
+    /// equal weight; otherwise rules on missing columns or with non-positive
+    /// weight are dropped.
+    pub fn compile(config: &ResolverConfig, num_columns: usize) -> Self {
+        let rules: Vec<ColumnRule> = if config.rules.is_empty() {
             (0..num_columns)
                 .map(|column| ColumnRule {
                     column,
@@ -127,23 +154,34 @@ impl Resolver {
                 })
                 .collect()
         } else {
-            self.config
+            config
                 .rules
                 .iter()
                 .copied()
                 .filter(|r| r.column < num_columns && r.weight > 0.0)
                 .collect()
+        };
+        let total_weight: f64 = rules.iter().map(|r| r.weight).sum();
+        let mut suffix_weight = vec![0.0f64; rules.len()];
+        let mut ahead = 0.0f64;
+        for i in (0..rules.len()).rev() {
+            suffix_weight[i] = ahead;
+            ahead += rules[i].weight;
+        }
+        CompiledRules {
+            rules,
+            total_weight,
+            suffix_weight,
         }
     }
 
-    /// Scores one record pair with the configured rules.
-    pub fn score_pair(&self, a: &RawRecord, b: &RawRecord) -> f64 {
-        let rules = self.effective_rules(a.fields.len().min(b.fields.len()));
-        let total_weight: f64 = rules.iter().map(|r| r.weight).sum();
-        if total_weight == 0.0 {
+    /// The exact weighted score of a pair — the same additions in the same
+    /// order as the pre-compilation scorer, so results are bit-identical.
+    pub fn score(&self, a: &RawRecord, b: &RawRecord) -> f64 {
+        if self.total_weight == 0.0 {
             return 0.0;
         }
-        rules
+        self.rules
             .iter()
             .map(|rule| {
                 rule.weight
@@ -152,44 +190,295 @@ impl Resolver {
                         .score(&a.fields[rule.column], &b.fields[rule.column])
             })
             .sum::<f64>()
-            / total_weight
+            / self.total_weight
+    }
+
+    /// Threshold-aware scoring with early abandon. Returns the exact score
+    /// (bitwise identical to [`CompiledRules::score`]) unless some rule's
+    /// similarity provably cannot lift the weighted total to `threshold` even
+    /// with every remaining rule at 1.0 — then scoring stops, `abandoned` is
+    /// bumped, and `f64::NEG_INFINITY` is returned in place of the (provably
+    /// sub-threshold) score. `returned >= threshold` therefore always equals
+    /// the exact decision; only callers that never observe sub-threshold
+    /// scores may use this.
+    pub fn decide_score(
+        &self,
+        a: &RawRecord,
+        b: &RawRecord,
+        threshold: f64,
+        abandoned: &mut u64,
+    ) -> f64 {
+        if self.total_weight == 0.0 {
+            return 0.0;
+        }
+        let target = threshold * self.total_weight;
+        // -0.0 is `Iterator::sum::<f64>()`'s fold identity; starting there
+        // keeps `acc` bitwise equal to the `.sum()` in `score` even when
+        // every term is a negative zero (e.g. disjoint-gram cosine).
+        let mut acc = -0.0f64;
+        for (i, rule) in self.rules.iter().enumerate() {
+            // The score rule i must reach assuming every later rule scores a
+            // perfect 1.0. `score_at_least` only abandons when its measure
+            // bound misses this by more than the FP safety margin.
+            let needed = (target - acc - self.suffix_weight[i]) / rule.weight;
+            match rule.measure.score_at_least(
+                &a.fields[rule.column],
+                &b.fields[rule.column],
+                needed,
+            ) {
+                Some(s) => acc += rule.weight * s,
+                None => {
+                    *abandoned += 1;
+                    return f64::NEG_INFINITY;
+                }
+            }
+        }
+        acc / self.total_weight
+    }
+}
+
+/// Lazily compiles rules per column arity. Records almost always share one
+/// arity (one compile per resolve); mixed-arity inputs still score exactly as
+/// the old per-pair rule derivation did, because the effective rules depend
+/// only on `min(|a|, |b|)`.
+struct RuleCache<'c> {
+    config: &'c ResolverConfig,
+    compiled: Vec<Option<CompiledRules>>,
+}
+
+impl<'c> RuleCache<'c> {
+    fn new(config: &'c ResolverConfig) -> Self {
+        RuleCache {
+            config,
+            compiled: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, num_columns: usize) -> &CompiledRules {
+        if self.compiled.len() <= num_columns {
+            self.compiled.resize_with(num_columns + 1, || None);
+        }
+        self.compiled[num_columns]
+            .get_or_insert_with(|| CompiledRules::compile(self.config, num_columns))
+    }
+}
+
+/// Record-index types the sharded scorer accepts (`usize` from batch
+/// blocking, `u32` from the streaming state).
+pub(crate) trait PairIx: Copy + Send + Sync + 'static {
+    fn ix(self) -> usize;
+}
+
+impl PairIx for usize {
+    fn ix(self) -> usize {
+        self
+    }
+}
+
+impl PairIx for u32 {
+    fn ix(self) -> usize {
+        self as usize
+    }
+}
+
+/// Minimum candidate count before scoring shards across the pool — below
+/// this, chunk bookkeeping (and the one-time record copy the `'static` pool
+/// tasks need) costs more than it saves.
+const MIN_PARALLEL_PAIRS: usize = 512;
+
+/// Flushes this thread's kernel-path counters plus a chunk's abandoned-pair
+/// count into the global metrics registry. Called once per scored chunk so
+/// the kernels themselves never touch an atomic; registration is
+/// unconditional (`add(0)` is a no-op) so the series exist as soon as any
+/// scoring has run.
+fn flush_kernel_metrics(abandoned: u64) {
+    const CALLS_HELP: &str = "Similarity kernel invocations by string path";
+    let (ascii, unicode) = take_kernel_path_counts();
+    ec_obs::counter_with(
+        "ec_resolution_kernel_calls_total",
+        CALLS_HELP,
+        &[("path", "ascii")],
+    )
+    .add(ascii);
+    ec_obs::counter_with(
+        "ec_resolution_kernel_calls_total",
+        CALLS_HELP,
+        &[("path", "unicode")],
+    )
+    .add(unicode);
+    ec_obs::counter(
+        "ec_resolution_pairs_abandoned_total",
+        "Candidate pairs skipped by threshold early-abandon before exact scoring",
+    )
+    .add(abandoned);
+}
+
+/// Scores one contiguous chunk of pairs on the calling thread. With
+/// `threshold: None` every returned value is the exact pair score; with
+/// `Some(t)` pairs may be early-abandoned to `f64::NEG_INFINITY` (provably
+/// `< t`), and values `>= t` are always exact.
+fn score_chunk<I: PairIx>(
+    config: &ResolverConfig,
+    records: &[RawRecord],
+    pairs: &[(I, I)],
+    threshold: Option<f64>,
+) -> Vec<f64> {
+    let mut cache = RuleCache::new(config);
+    let mut abandoned = 0u64;
+    let out = pairs
+        .iter()
+        .map(|&(a, b)| {
+            let (ra, rb) = (&records[a.ix()], &records[b.ix()]);
+            let compiled = cache.get(ra.fields.len().min(rb.fields.len()));
+            match threshold {
+                None => compiled.score(ra, rb),
+                Some(t) => compiled.decide_score(ra, rb, t, &mut abandoned),
+            }
+        })
+        .collect();
+    flush_kernel_metrics(abandoned);
+    out
+}
+
+/// Shards `pairs` into contiguous chunks over the worker pool and merges the
+/// per-chunk scores in order — the same in-order merge pattern as
+/// `ec-replace`'s candidate generation, so the output is bit-identical to the
+/// sequential loop at any thread count.
+fn score_pairs_pooled<I: PairIx>(
+    config: &ResolverConfig,
+    parallelism: Parallelism,
+    records: &Arc<Vec<RawRecord>>,
+    pairs: Vec<(I, I)>,
+    threshold: Option<f64>,
+) -> Vec<f64> {
+    let shards = parallelism.shards(pairs.len());
+    let chunk = pairs.len().div_ceil(shards);
+    let pairs = Arc::new(pairs);
+    let config = Arc::new(config.clone());
+    let tasks: Vec<PoolTask<Vec<f64>>> = (0..shards)
+        .map(|s| {
+            let records = Arc::clone(records);
+            let pairs = Arc::clone(&pairs);
+            let config = Arc::clone(&config);
+            Box::new(move || {
+                let lo = s * chunk;
+                let hi = ((s + 1) * chunk).min(pairs.len());
+                score_chunk(&config, &records, &pairs[lo..hi], threshold)
+            }) as PoolTask<Vec<f64>>
+        })
+        .collect();
+    parallelism.run_tasks(tasks).into_iter().flatten().collect()
+}
+
+/// Pair scoring over borrowed records: small or sequential workloads run in
+/// place; larger ones move one copy of the records behind an `Arc` (the pool
+/// needs `'static` tasks) and shard.
+fn score_pairs_slice<I: PairIx>(
+    config: &ResolverConfig,
+    parallelism: Parallelism,
+    records: &[RawRecord],
+    pairs: &[(I, I)],
+    threshold: Option<f64>,
+) -> Vec<f64> {
+    if pairs.len() < MIN_PARALLEL_PAIRS || parallelism.shards(pairs.len()) <= 1 {
+        return score_chunk(config, records, pairs, threshold);
+    }
+    let records = Arc::new(records.to_vec());
+    score_pairs_pooled(config, parallelism, &records, pairs.to_vec(), threshold)
+}
+
+/// Pair scoring over records already behind an `Arc` (the streaming state) —
+/// no record copy on any path.
+pub(crate) fn score_pairs_arc<I: PairIx>(
+    config: &ResolverConfig,
+    parallelism: Parallelism,
+    records: &Arc<Vec<RawRecord>>,
+    pairs: &[(I, I)],
+    threshold: Option<f64>,
+) -> Vec<f64> {
+    if pairs.len() < MIN_PARALLEL_PAIRS || parallelism.shards(pairs.len()) <= 1 {
+        return score_chunk(config, records, pairs, threshold);
+    }
+    score_pairs_pooled(config, parallelism, records, pairs.to_vec(), threshold)
+}
+
+/// The entity resolver.
+#[derive(Debug, Clone)]
+pub struct Resolver {
+    config: ResolverConfig,
+    parallelism: Parallelism,
+}
+
+impl Resolver {
+    /// Creates a resolver with the given configuration.
+    pub fn new(config: ResolverConfig) -> Self {
+        Resolver {
+            config,
+            parallelism: Parallelism::AUTO,
+        }
+    }
+
+    /// Sets how many threads pair scoring may shard across. Results are
+    /// bit-identical for every value; the knob only trades wall-clock time
+    /// for cores.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The scoring parallelism in use.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    /// Scores one record pair with the configured rules.
+    pub fn score_pair(&self, a: &RawRecord, b: &RawRecord) -> f64 {
+        CompiledRules::compile(&self.config, a.fields.len().min(b.fields.len())).score(a, b)
+    }
+
+    /// Generates the candidate pairs of `records` (sorted, deduplicated).
+    fn candidates(&self, records: &[RawRecord]) -> Vec<(usize, usize)> {
+        let _span = ec_obs::span!("resolution.blocking", records.len());
+        let mut candidates = match self.config.scheme {
+            BlockingScheme::Token => token_blocking_pairs(records, &self.config.blocking),
+            BlockingScheme::SortedNeighborhood => {
+                sorted_neighborhood_pairs(records, &self.config.blocking)
+            }
+            BlockingScheme::Both => {
+                let mut pairs = token_blocking_pairs(records, &self.config.blocking);
+                pairs.extend(sorted_neighborhood_pairs(records, &self.config.blocking));
+                pairs.sort_unstable();
+                pairs.dedup();
+                pairs
+            }
+        };
+        candidates.sort_unstable();
+        candidates
     }
 
     /// Generates candidate pairs and scores each one. Decisions are returned
-    /// in candidate order (sorted by record indices).
+    /// in candidate order (sorted by record indices) and every score is
+    /// exact — this entry point reports scores, so it never early-abandons.
     pub fn match_pairs(&self, records: &[RawRecord]) -> Vec<MatchDecision> {
         if records.len() < 2 {
             return Vec::new();
         }
-        let fields: Vec<Vec<String>> = records.iter().map(|r| r.fields.clone()).collect();
-        let mut candidates = {
-            let _span = ec_obs::span!("resolution.blocking", records.len());
-            match self.config.scheme {
-                BlockingScheme::Token => token_blocking_pairs(&fields, &self.config.blocking),
-                BlockingScheme::SortedNeighborhood => {
-                    sorted_neighborhood_pairs(&fields, &self.config.blocking)
-                }
-                BlockingScheme::Both => {
-                    let mut pairs = token_blocking_pairs(&fields, &self.config.blocking);
-                    pairs.extend(sorted_neighborhood_pairs(&fields, &self.config.blocking));
-                    pairs.sort_unstable();
-                    pairs.dedup();
-                    pairs
-                }
-            }
-        };
-        candidates.sort_unstable();
+        let candidates = self.candidates(records);
         let _span = ec_obs::span!("resolution.scoring", candidates.len());
+        let scores = score_pairs_slice(&self.config, self.parallelism, records, &candidates, None);
         candidates
             .into_iter()
-            .map(|(a, b)| {
-                let score = self.score_pair(&records[a], &records[b]);
-                MatchDecision {
-                    a,
-                    b,
-                    score,
-                    is_match: score >= self.config.threshold,
-                }
+            .zip(scores)
+            .map(|((a, b), score)| MatchDecision {
+                a,
+                b,
+                score,
+                is_match: score >= self.config.threshold,
             })
             .collect()
     }
@@ -197,11 +486,28 @@ impl Resolver {
     /// Resolves the records into clusters of record indices (the transitive
     /// closure of the pairwise match decisions). Singleton clusters are kept:
     /// a record that matches nothing is still an entity.
+    ///
+    /// Only the match/no-match decision of each pair is observable here, so
+    /// scoring early-abandons pairs that provably cannot reach the threshold;
+    /// the clusters are identical to thresholding [`Resolver::match_pairs`].
     pub fn resolve(&self, records: &[RawRecord]) -> Vec<Vec<usize>> {
+        if records.len() < 2 {
+            return UnionFind::new(records.len()).into_groups();
+        }
+        let candidates = self.candidates(records);
+        let _span = ec_obs::span!("resolution.scoring", candidates.len());
+        let threshold = self.config.threshold;
+        let scores = score_pairs_slice(
+            &self.config,
+            self.parallelism,
+            records,
+            &candidates,
+            Some(threshold),
+        );
         let mut uf = UnionFind::new(records.len());
-        for decision in self.match_pairs(records) {
-            if decision.is_match {
-                uf.union(decision.a, decision.b);
+        for (&(a, b), score) in candidates.iter().zip(&scores) {
+            if *score >= threshold {
+                uf.union(a, b);
             }
         }
         uf.into_groups()
@@ -474,6 +780,90 @@ mod tests {
     fn mismatched_truths_panic() {
         let records = vec![RawRecord::new(0, ["a"])];
         Resolver::default().resolve_to_dataset("bad", vec!["x".to_string()], &records, Some(&[]));
+    }
+
+    #[test]
+    fn sharded_scoring_is_bit_identical_to_sequential() {
+        // Enough overlapping records that the candidate count clears
+        // MIN_PARALLEL_PAIRS and sharding actually engages.
+        let records: Vec<RawRecord> = (0..120)
+            .map(|i| {
+                RawRecord::new(
+                    i % 3,
+                    [
+                        format!("shared name{}", i % 40),
+                        format!("addr {} st", i % 7),
+                    ],
+                )
+            })
+            .collect();
+        let config = ResolverConfig {
+            threshold: 0.6,
+            ..ResolverConfig::default()
+        };
+        let seq = Resolver::new(config.clone()).with_parallelism(Parallelism::SEQUENTIAL);
+        let par = Resolver::new(config).with_parallelism(Parallelism::fixed(4));
+        let a = seq.match_pairs(&records);
+        let b = par.match_pairs(&records);
+        assert!(
+            a.len() >= MIN_PARALLEL_PAIRS,
+            "workload must engage sharding"
+        );
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.a, x.b), (y.a, y.b));
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.is_match, y.is_match);
+        }
+        assert_eq!(seq.resolve(&records), par.resolve(&records));
+    }
+
+    #[test]
+    fn decide_score_agrees_with_exact_threshold_decisions() {
+        let records = lee_smith_records();
+        for threshold in [0.3, 0.5, 0.75, 0.9] {
+            let config = ResolverConfig {
+                threshold,
+                ..ResolverConfig::default()
+            };
+            let compiled = CompiledRules::compile(&config, 2);
+            let mut abandoned = 0;
+            for a in &records {
+                for b in &records {
+                    let exact = compiled.score(a, b);
+                    let decided = compiled.decide_score(a, b, threshold, &mut abandoned);
+                    if decided.is_finite() {
+                        assert_eq!(decided.to_bits(), exact.to_bits());
+                    } else {
+                        assert!(exact < threshold, "abandoned pair scored {exact}");
+                    }
+                    assert_eq!(decided >= threshold, exact >= threshold);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_with_early_abandon_matches_thresholded_match_pairs() {
+        // Pairs with wildly different lengths provoke actual abandons; the
+        // clusters must still equal the exact-scoring path's.
+        let mut records = lee_smith_records();
+        records.push(RawRecord::new(0, ["M", "9"]));
+        records.push(RawRecord::new(
+            1,
+            ["Mary Lee Extraordinarily Long Name Variant", "9th St"],
+        ));
+        let resolver = Resolver::new(ResolverConfig {
+            threshold: 0.9,
+            ..ResolverConfig::default()
+        });
+        let mut uf = UnionFind::new(records.len());
+        for d in resolver.match_pairs(&records) {
+            if d.is_match {
+                uf.union(d.a, d.b);
+            }
+        }
+        assert_eq!(resolver.resolve(&records), uf.into_groups());
     }
 
     #[test]

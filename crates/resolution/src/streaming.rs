@@ -23,11 +23,14 @@
 //! never compares.)
 
 use crate::blocking::blocking_columns;
-use crate::matcher::{clusters_to_dataset, BlockingScheme, RawRecord, Resolver, ResolverConfig};
-use crate::tokenize::{normalize, words};
+use crate::matcher::{
+    clusters_to_dataset, score_pairs_arc, BlockingScheme, RawRecord, Resolver, ResolverConfig,
+};
+use crate::tokenize::{normalize_into, words_into, TokenBuf};
 use crate::unionfind::UnionFind;
 use ec_data::Dataset;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A fast, deterministic hasher for the delta resolver's small fixed-width
 /// keys (FxHash-style multiply-fold). The std SipHash default is measurable
@@ -76,23 +79,31 @@ enum TokenBlock {
 /// the growing union-find forest, and the token blocks / sorted-neighborhood
 /// keys every pushed record updates.
 struct StreamingState {
-    records: Vec<RawRecord>,
+    /// The records live behind an `Arc` so that scoring can shard `'static`
+    /// tasks over them without copying; while a single owner is pushing,
+    /// `Arc::make_mut` mutates in place with no clone.
+    records: Arc<Vec<RawRecord>>,
     uf: UnionFind,
     /// Which columns contribute blocking tokens/keys; locked in by the first
     /// record's column count (as in the batch path).
     cols: Vec<usize>,
     token_blocks: HashMap<String, TokenBlock>,
     sn_keys: Vec<(String, u32)>,
+    /// Reusable tokenization scratch for [`StreamingState::push`].
+    token_buf: TokenBuf,
+    key_scratch: String,
 }
 
 impl StreamingState {
     fn new() -> Self {
         StreamingState {
-            records: Vec::new(),
+            records: Arc::new(Vec::new()),
             uf: UnionFind::new(0),
             cols: Vec::new(),
             token_blocks: HashMap::new(),
             sn_keys: Vec::new(),
+            token_buf: TokenBuf::new(),
+            key_scratch: String::new(),
         }
     }
 
@@ -104,16 +115,15 @@ impl StreamingState {
         }
         let scheme = config.scheme;
         if matches!(scheme, BlockingScheme::Token | BlockingScheme::Both) {
-            let mut seen: HashSet<String> = HashSet::new();
+            let buf = &mut self.token_buf;
+            buf.clear();
             for &col in &self.cols {
-                for token in words(&record.fields[col]) {
-                    if !seen.insert(token.clone()) {
-                        continue;
-                    }
-                    let block = self
-                        .token_blocks
-                        .entry(token)
-                        .or_insert_with(|| TokenBlock::Ids(Vec::new()));
+                words_into(&record.fields[col], buf);
+            }
+            let distinct = buf.sort_dedup_tokens();
+            for t in 0..distinct {
+                let token = buf.token(t);
+                if let Some(block) = self.token_blocks.get_mut(token) {
                     if let TokenBlock::Ids(ids) = block {
                         ids.push(id);
                         if ids.len() > config.blocking.max_block_size {
@@ -121,6 +131,15 @@ impl StreamingState {
                             *block = TokenBlock::Oversized;
                         }
                     }
+                } else {
+                    // A brand-new block only outlives its first record when
+                    // the cap allows a block of one.
+                    let block = if config.blocking.max_block_size < 1 {
+                        TokenBlock::Oversized
+                    } else {
+                        TokenBlock::Ids(vec![id])
+                    };
+                    self.token_blocks.insert(token.to_string(), block);
                 }
             }
         }
@@ -128,15 +147,17 @@ impl StreamingState {
             scheme,
             BlockingScheme::SortedNeighborhood | BlockingScheme::Both
         ) {
-            let key = self
-                .cols
-                .iter()
-                .map(|&c| normalize(&record.fields[c]))
-                .collect::<Vec<_>>()
-                .join("\u{1}");
+            let mut key = String::new();
+            for (i, &c) in self.cols.iter().enumerate() {
+                if i > 0 {
+                    key.push('\u{1}');
+                }
+                normalize_into(&record.fields[c], &mut self.key_scratch);
+                key.push_str(&self.key_scratch);
+            }
             self.sn_keys.push((key, id));
         }
-        self.records.push(record);
+        Arc::make_mut(&mut self.records).push(record);
     }
 
     /// The candidate pairs of the ingested records — exactly the set the
@@ -225,6 +246,11 @@ impl<'a> StreamingResolver<'a> {
     /// packages the result as a [`Dataset`] (each cell's truth is its
     /// observed value, as in [`Resolver::resolve_to_dataset`] without
     /// truths). Bit-identical to the batch path on the same records.
+    ///
+    /// Scores are unobservable here — only the clustering escapes — so pair
+    /// scoring early-abandons sub-threshold pairs and shards across the
+    /// worker pool, both of which leave the decisions (and so the dataset)
+    /// unchanged.
     pub fn finish(mut self, name: &str, columns: Vec<String>) -> Dataset {
         let pairs = {
             let _span = ec_obs::span!("resolution.blocking");
@@ -232,15 +258,17 @@ impl<'a> StreamingResolver<'a> {
         };
         let _span = ec_obs::span!("resolution.scoring", pairs.len());
         let threshold = self.resolver.config().threshold;
+        let scores = score_pairs_arc(
+            self.resolver.config(),
+            self.resolver.parallelism(),
+            &self.state.records,
+            &pairs,
+            Some(threshold),
+        );
         let mut uf = self.state.uf;
-        for (a, b) in pairs {
-            let (a, b) = (a as usize, b as usize);
-            if self
-                .resolver
-                .score_pair(&self.state.records[a], &self.state.records[b])
-                >= threshold
-            {
-                uf.union(a, b);
+        for (&(a, b), score) in pairs.iter().zip(&scores) {
+            if *score >= threshold {
+                uf.union(a as usize, b as usize);
             }
         }
         let clusters = uf.into_groups();
@@ -300,6 +328,14 @@ impl DeltaResolver {
         }
     }
 
+    /// Sets the pair-scoring parallelism (see
+    /// [`Resolver::with_parallelism`]). Snapshots are bit-identical at any
+    /// setting; only wall-clock time changes.
+    pub fn with_parallelism(mut self, parallelism: ec_graph::Parallelism) -> Self {
+        self.resolver = self.resolver.with_parallelism(parallelism);
+        self
+    }
+
     /// The underlying resolver.
     pub fn resolver(&self) -> &Resolver {
         &self.resolver
@@ -331,6 +367,14 @@ impl DeltaResolver {
 
     /// The clustering of everything pushed so far, packaged as a [`Dataset`]
     /// — bit-identical to [`Resolver::resolve_stream`] over the same records.
+    ///
+    /// The cache stores **exact** scores (they are observable across
+    /// snapshots), so misses are never early-abandoned; they are, however,
+    /// scored in parallel: a sequential pass collects the first-occurrence
+    /// cache misses in pair order, the misses are exact-scored sharded over
+    /// the pool, and the results are inserted back in the same order —
+    /// cache contents, `scored_pairs`, and the clustering all end up
+    /// identical to the old one-pass loop.
     pub fn snapshot(&mut self, name: &str, columns: Vec<String>) -> Dataset {
         let pairs = {
             let _span = ec_obs::span!("resolution.blocking");
@@ -338,25 +382,43 @@ impl DeltaResolver {
         };
         let _span = ec_obs::span!("resolution.scoring", pairs.len());
         let threshold = self.resolver.config().threshold;
-        let mut uf = UnionFind::new(self.state.records.len());
-        let records = &self.state.records;
         let record_values = &self.record_values;
-        let resolver = &self.resolver;
-        let scored = &mut self.scored_pairs;
-        for (a, b) in pairs {
-            let (a, b) = (a as usize, b as usize);
-            let (va, vb) = (record_values[a], record_values[b]);
+        // Phase 1: the distinct missing value-pair keys, first occurrence
+        // wins (exactly the pair `or_insert_with` would have scored).
+        let mut miss_keys: Vec<(u32, u32)> = Vec::new();
+        let mut miss_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut miss_seen: HashSet<(u32, u32), PairHashBuilder> = HashSet::default();
+        for &(a, b) in &pairs {
+            let (va, vb) = (record_values[a as usize], record_values[b as usize]);
             let key = (va.min(vb), va.max(vb));
-            let score = *self.pair_cache.entry(key).or_insert_with(|| {
-                *scored += 1;
-                resolver.score_pair(&records[a], &records[b])
-            });
-            if score >= threshold {
-                uf.union(a, b);
+            if !self.pair_cache.contains_key(&key) && miss_seen.insert(key) {
+                miss_keys.push(key);
+                miss_pairs.push((a, b));
+            }
+        }
+        // Phase 2: exact scores for the misses, sharded over the pool.
+        let scores = score_pairs_arc(
+            self.resolver.config(),
+            self.resolver.parallelism(),
+            &self.state.records,
+            &miss_pairs,
+            None,
+        );
+        // Phase 3: fill the cache in order, then union every pair from it.
+        self.scored_pairs += miss_keys.len() as u64;
+        for (key, score) in miss_keys.into_iter().zip(scores) {
+            self.pair_cache.insert(key, score);
+        }
+        let mut uf = UnionFind::new(self.state.records.len());
+        for &(a, b) in &pairs {
+            let (va, vb) = (record_values[a as usize], record_values[b as usize]);
+            let key = (va.min(vb), va.max(vb));
+            if self.pair_cache[&key] >= threshold {
+                uf.union(a as usize, b as usize);
             }
         }
         let clusters = uf.into_groups();
-        clusters_to_dataset(name, columns, records, clusters, None)
+        clusters_to_dataset(name, columns, &self.state.records, clusters, None)
     }
 }
 

@@ -7,6 +7,13 @@
 //! the way users expect without hiding the variant formats that entity
 //! consolidation later learns to standardize — consolidation always works on
 //! the *original* observed values, only resolution looks at normalized ones.
+//!
+//! Tokenization sits on the hot path (every blocking pass and every
+//! Jaccard/q-gram score tokenizes), so next to the owned-`Vec<String>`
+//! convenience functions ([`words`], [`qgrams`]) this module exposes
+//! *scratch-based* variants: [`words_into`] appends token spans into a
+//! reusable [`TokenBuf`] arena and [`normalize_into`] writes into a caller
+//! buffer, so steady-state tokenization performs no allocation at all.
 
 /// Normalizes a string for matching: lowercases ASCII letters, maps every
 /// whitespace run to a single space, and trims leading/trailing whitespace.
@@ -15,6 +22,14 @@
 /// on non-alphanumeric characters.
 pub fn normalize(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    normalize_into(s, &mut out);
+    out
+}
+
+/// [`normalize`] into a caller-owned buffer: `out` is cleared and filled with
+/// the normalized text, reusing its allocation.
+pub fn normalize_into(s: &str, out: &mut String) {
+    out.clear();
     let mut in_space = true; // swallow leading whitespace
     for ch in s.chars() {
         if ch.is_whitespace() {
@@ -30,26 +45,115 @@ pub fn normalize(s: &str) -> String {
     while out.ends_with(' ') {
         out.pop();
     }
-    out
+}
+
+/// A reusable token buffer: tokens live as byte spans into one arena string,
+/// so tokenizing a value performs no per-token allocation and re-tokenizing
+/// with the same buffer performs none at all once the arena has grown.
+///
+/// Filled by [`words_into`]; [`TokenBuf::sort_dedup_tokens`] turns the token
+/// list into the sorted distinct token *set* in place, which is the shape the
+/// allocation-free Jaccard kernel and token blocking consume.
+#[derive(Debug, Clone, Default)]
+pub struct TokenBuf {
+    arena: String,
+    spans: Vec<(u32, u32)>,
+}
+
+impl TokenBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        TokenBuf::default()
+    }
+
+    /// Drops all tokens, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+        self.spans.clear();
+    }
+
+    /// Number of tokens currently held.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no token is held.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The `i`-th token.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    pub fn token(&self, i: usize) -> &str {
+        let (start, end) = self.spans[i];
+        &self.arena[start as usize..end as usize]
+    }
+
+    /// Iterates over the tokens in order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.spans
+            .iter()
+            .map(|&(start, end)| &self.arena[start as usize..end as usize])
+    }
+
+    /// Sorts the token spans lexicographically by token content and removes
+    /// duplicates, leaving the distinct token set in sorted order. Returns
+    /// the distinct count. The arena is untouched — only spans move.
+    pub fn sort_dedup_tokens(&mut self) -> usize {
+        let arena = &self.arena;
+        self.spans.sort_unstable_by(|&(a0, a1), &(b0, b1)| {
+            arena[a0 as usize..a1 as usize].cmp(&arena[b0 as usize..b1 as usize])
+        });
+        self.spans.dedup_by(|&mut (a0, a1), &mut (b0, b1)| {
+            arena[a0 as usize..a1 as usize] == arena[b0 as usize..b1 as usize]
+        });
+        self.spans.len()
+    }
+
+    fn push_span(&mut self, start: usize) {
+        let end = self.arena.len();
+        if end > start {
+            self.spans.push((start as u32, end as u32));
+        }
+    }
+}
+
+/// Appends the word tokens of `s` to `buf` (which is **not** cleared — clear
+/// it first for a fresh tokenization, or keep appending to accumulate the
+/// tokens of several columns, as blocking does). Token content is identical
+/// to [`words`]: maximal alphanumeric runs, ASCII-lowercased.
+pub fn words_into(s: &str, buf: &mut TokenBuf) {
+    let mut start = buf.arena.len();
+    let mut in_token = false;
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            if !in_token {
+                start = buf.arena.len();
+                in_token = true;
+            }
+            buf.arena.push(ch.to_ascii_lowercase());
+        } else if in_token {
+            buf.push_span(start);
+            in_token = false;
+        }
+    }
+    if in_token {
+        buf.push_span(start);
+    }
 }
 
 /// Splits a string into lowercase alphanumeric word tokens. Every maximal run
 /// of alphanumeric characters becomes one token; everything else is a
 /// separator. An empty input yields an empty vector.
+///
+/// This is the owned-`Vec<String>` convenience wrapper around [`words_into`];
+/// hot paths use the scratch variant directly.
 pub fn words(s: &str) -> Vec<String> {
-    let mut tokens = Vec::new();
-    let mut current = String::new();
-    for ch in s.chars() {
-        if ch.is_alphanumeric() {
-            current.push(ch.to_ascii_lowercase());
-        } else if !current.is_empty() {
-            tokens.push(std::mem::take(&mut current));
-        }
-    }
-    if !current.is_empty() {
-        tokens.push(current);
-    }
-    tokens
+    let mut buf = TokenBuf::new();
+    words_into(s, &mut buf);
+    buf.iter().map(str::to_string).collect()
 }
 
 /// Character q-grams of the normalized string, padded with `q - 1` leading and
@@ -95,6 +199,17 @@ mod tests {
     }
 
     #[test]
+    fn normalize_into_reuses_the_buffer() {
+        let mut buf = String::new();
+        normalize_into("  Mary\t Lee  ", &mut buf);
+        assert_eq!(buf, "mary lee");
+        normalize_into("J.  Smith", &mut buf);
+        assert_eq!(buf, "j. smith");
+        normalize_into("   ", &mut buf);
+        assert_eq!(buf, "");
+    }
+
+    #[test]
     fn words_split_on_non_alphanumerics() {
         assert_eq!(words("Lee, Mary"), vec!["lee", "mary"]);
         assert_eq!(
@@ -103,6 +218,36 @@ mod tests {
         );
         assert_eq!(words("---"), Vec::<String>::new());
         assert_eq!(words(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn words_into_accumulates_and_matches_words() {
+        let mut buf = TokenBuf::new();
+        words_into("Lee, Mary", &mut buf);
+        assert_eq!(buf.iter().collect::<Vec<_>>(), vec!["lee", "mary"]);
+        // Appending accumulates (the multi-column blocking shape).
+        words_into("9th St", &mut buf);
+        assert_eq!(
+            buf.iter().collect::<Vec<_>>(),
+            vec!["lee", "mary", "9th", "st"]
+        );
+        buf.clear();
+        assert!(buf.is_empty());
+        words_into("Ünïcode tøkens", &mut buf);
+        assert_eq!(
+            buf.iter().collect::<Vec<_>>(),
+            words("Ünïcode tøkens").iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sort_dedup_tokens_leaves_the_sorted_distinct_set() {
+        let mut buf = TokenBuf::new();
+        words_into("b a c a b", &mut buf);
+        assert_eq!(buf.sort_dedup_tokens(), 3);
+        assert_eq!(buf.iter().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        // Idempotent.
+        assert_eq!(buf.sort_dedup_tokens(), 3);
     }
 
     #[test]

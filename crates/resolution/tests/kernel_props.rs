@@ -1,0 +1,202 @@
+//! Differential property tests: the rewritten bit-parallel kernels in
+//! [`ec_resolution::similarity`] against the frozen textbook implementations
+//! in [`ec_resolution::reference`].
+//!
+//! The rewrite's contract is *bitwise identity*, not approximate agreement:
+//! every distance must be equal as `usize` and every similarity equal as the
+//! exact `f64` bit pattern (`to_bits`), across ASCII, multi-byte Unicode,
+//! empty strings, and inputs past the 64-character single-word Myers limit.
+//! The threshold-aware entry point must abandon only when the exact score is
+//! provably below the requested threshold.
+
+use ec_resolution::prelude::*;
+use ec_resolution::{reference, EARLY_ABANDON_MARGIN};
+use proptest::prelude::*;
+
+/// Every measure the matcher can be configured with.
+const MEASURES: [SimilarityMeasure; 8] = [
+    SimilarityMeasure::Levenshtein,
+    SimilarityMeasure::DamerauLevenshtein,
+    SimilarityMeasure::Jaro,
+    SimilarityMeasure::JaroWinkler,
+    SimilarityMeasure::Jaccard,
+    SimilarityMeasure::QgramCosine(1),
+    SimilarityMeasure::QgramCosine(2),
+    SimilarityMeasure::QgramCosine(3),
+];
+
+/// Short ASCII strings, empty included.
+fn arb_ascii() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9 ,.()\\-']{0,24}").unwrap()
+}
+
+/// ASCII strings long enough to exercise the blocked (multi-word) Myers
+/// kernel, whose single-`u64` fast path stops at 64 characters.
+fn arb_long_ascii() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9 ]{60,100}").unwrap()
+}
+
+/// Strings over a mixed alphabet of multi-byte code points (two-, three- and
+/// four-byte UTF-8) plus a few ASCII characters, so the Unicode fallback and
+/// the char/byte boundary logic are both exercised.
+fn arb_unicode() -> impl Strategy<Value = String> {
+    const ALPHABET: [char; 12] = [
+        'α', 'β', 'γ', 'é', 'ü', 'ß', '中', '文', '字', '🦀', ' ', 'a',
+    ];
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..20)
+        .prop_map(|ixs| ixs.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+/// Asserts bitwise `f64` equality with a readable failure message.
+macro_rules! assert_bits_eq {
+    ($new:expr, $old:expr, $($ctx:tt)*) => {{
+        let (n, o): (f64, f64) = ($new, $old);
+        prop_assert!(
+            n.to_bits() == o.to_bits(),
+            "{}: new {} vs reference {}",
+            format_args!($($ctx)*),
+            n,
+            o
+        );
+    }};
+}
+
+/// The shared body: every kernel and every measure must agree bitwise with
+/// its reference on the pair `(a, b)` — and on the swapped pair, so symmetry
+/// of the new kernels is checked against symmetry of the old.
+fn check_pair(a: &str, b: &str) -> Result<(), String> {
+    prop_assert_eq!(
+        ec_resolution::levenshtein(a, b),
+        reference::levenshtein(a, b)
+    );
+    prop_assert_eq!(
+        ec_resolution::damerau_levenshtein(a, b),
+        reference::damerau_levenshtein(a, b)
+    );
+    assert_bits_eq!(
+        ec_resolution::normalized_levenshtein(a, b),
+        reference::normalized_levenshtein(a, b),
+        "normalized_levenshtein({a:?}, {b:?})"
+    );
+    assert_bits_eq!(
+        ec_resolution::jaro(a, b),
+        reference::jaro(a, b),
+        "jaro({a:?}, {b:?})"
+    );
+    assert_bits_eq!(
+        ec_resolution::jaro_winkler(a, b),
+        reference::jaro_winkler(a, b),
+        "jaro_winkler({a:?}, {b:?})"
+    );
+    assert_bits_eq!(
+        ec_resolution::jaccard(a, b),
+        reference::jaccard(a, b),
+        "jaccard({a:?}, {b:?})"
+    );
+    for q in 1..=3 {
+        assert_bits_eq!(
+            ec_resolution::qgram_cosine(a, b, q),
+            reference::qgram_cosine(a, b, q),
+            "qgram_cosine({a:?}, {b:?}, {q})"
+        );
+    }
+    for measure in MEASURES {
+        assert_bits_eq!(
+            measure.score(a, b),
+            reference::score(measure, a, b),
+            "{measure:?}.score({a:?}, {b:?})"
+        );
+        assert_bits_eq!(
+            measure.score(b, a),
+            reference::score(measure, b, a),
+            "{measure:?}.score({b:?}, {a:?})"
+        );
+    }
+    Ok(())
+}
+
+/// `score_at_least` must return the bitwise-exact score or prove the score
+/// is below the threshold; it must never abandon a pair the exact kernel
+/// would have accepted.
+fn check_early_abandon(a: &str, b: &str) -> Result<(), String> {
+    for measure in MEASURES {
+        let exact = measure.score(a, b);
+        for needed in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            match measure.score_at_least(a, b, needed) {
+                Some(got) => assert_bits_eq!(
+                    got,
+                    exact,
+                    "{measure:?}.score_at_least({a:?}, {b:?}, {needed})"
+                ),
+                None => prop_assert!(
+                    exact < needed - EARLY_ABANDON_MARGIN,
+                    "{measure:?} abandoned ({a:?}, {b:?}) at {needed} but exact is {exact}"
+                ),
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn ascii_kernels_match_reference(a in arb_ascii(), b in arb_ascii()) {
+        check_pair(&a, &b)?;
+    }
+
+    #[test]
+    fn long_ascii_kernels_match_reference(a in arb_long_ascii(), b in arb_long_ascii()) {
+        check_pair(&a, &b)?;
+    }
+
+    #[test]
+    fn mixed_length_kernels_match_reference(a in arb_ascii(), b in arb_long_ascii()) {
+        // One side short, one past the 64-char block boundary.
+        check_pair(&a, &b)?;
+    }
+
+    #[test]
+    fn unicode_kernels_match_reference(a in arb_unicode(), b in arb_unicode()) {
+        check_pair(&a, &b)?;
+    }
+
+    #[test]
+    fn ascii_unicode_cross_kernels_match_reference(a in arb_ascii(), b in arb_unicode()) {
+        // Mixed pairs take the Unicode fallback; still must match bitwise.
+        check_pair(&a, &b)?;
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_exact_ascii(a in arb_ascii(), b in arb_ascii()) {
+        check_early_abandon(&a, &b)?;
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_exact_unicode(a in arb_unicode(), b in arb_unicode()) {
+        check_early_abandon(&a, &b)?;
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_exact_skewed_lengths(
+        a in arb_ascii(),
+        b in arb_long_ascii(),
+    ) {
+        // Length-skewed pairs are exactly where the |Δlen| bounds trigger.
+        check_early_abandon(&a, &b)?;
+    }
+
+    #[test]
+    fn score_pair_is_bitwise_symmetric(a in arb_ascii(), b in arb_unicode(), c in arb_ascii()) {
+        let resolver = Resolver::new(ResolverConfig::default());
+        let r1 = RawRecord::new(0, [a.clone(), c.clone()]);
+        let r2 = RawRecord::new(1, [b.clone(), a.clone()]);
+        let ab = resolver.score_pair(&r1, &r2);
+        let ba = resolver.score_pair(&r2, &r1);
+        prop_assert!(
+            ab.to_bits() == ba.to_bits(),
+            "score_pair not symmetric: {} vs {}",
+            ab,
+            ba
+        );
+    }
+}
